@@ -1,0 +1,74 @@
+// Ablation — compressed (CONCISE-style) vs plain bitmaps, §III-B's
+// "Boolean operations on compressed indices can improve performance and
+// save space": footprint and AND/OR cost across densities.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "storage/bitmap.h"
+#include "storage/concise.h"
+
+namespace {
+
+using namespace dpss;
+using namespace dpss::storage;
+
+constexpr std::size_t kBits = 1'000'000;
+
+Bitmap makePlain(double densityPermille, std::uint64_t seed) {
+  Rng rng(seed);
+  Bitmap b(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if (rng.chance(densityPermille / 1000.0)) b.set(i);
+  }
+  return b;
+}
+
+void BM_PlainOr(benchmark::State& state) {
+  const auto a = makePlain(static_cast<double>(state.range(0)), 1);
+  const auto b = makePlain(static_cast<double>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a | b);
+  }
+  state.counters["bytes"] = static_cast<double>(kBits / 8);
+}
+BENCHMARK(BM_PlainOr)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConciseOr(benchmark::State& state) {
+  const auto a = ConciseBitmap::fromBitmap(
+      makePlain(static_cast<double>(state.range(0)), 1));
+  const auto b = ConciseBitmap::fromBitmap(
+      makePlain(static_cast<double>(state.range(0)), 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a | b);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(a.compressedBytes() + b.compressedBytes()) / 2;
+}
+BENCHMARK(BM_ConciseOr)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConciseAnd(benchmark::State& state) {
+  const auto a = ConciseBitmap::fromBitmap(
+      makePlain(static_cast<double>(state.range(0)), 1));
+  const auto b = ConciseBitmap::fromBitmap(
+      makePlain(static_cast<double>(state.range(0)), 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a & b);
+  }
+}
+BENCHMARK(BM_ConciseAnd)->Arg(1)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConciseBuild(benchmark::State& state) {
+  const auto plain = makePlain(static_cast<double>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConciseBitmap::fromBitmap(plain));
+  }
+}
+BENCHMARK(BM_ConciseBuild)->Arg(1)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

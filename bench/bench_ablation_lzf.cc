@@ -1,0 +1,85 @@
+// Ablation — LZF on columnar payloads (§III-B): compression throughput,
+// decompression throughput, and achieved ratio on the three column
+// shapes a segment serializes: sorted dictionary ids, timestamps deltas,
+// and near-random doubles.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "storage/lzf.h"
+
+namespace {
+
+using namespace dpss;
+using namespace dpss::storage;
+
+std::string sortedIdColumn() {
+  // Dictionary ids after the segment sort: long runs, tiny alphabet.
+  Rng rng(1);
+  std::string out;
+  while (out.size() < 256 * 1024) {
+    out.append(1 + rng.below(64), static_cast<char>(rng.below(8)));
+  }
+  return out;
+}
+
+std::string timestampDeltaColumn() {
+  Rng rng(2);
+  ByteWriter w;
+  for (int i = 0; i < 100'000; ++i) w.svarint(rng.below(2000));
+  return w.take();
+}
+
+std::string randomDoublesColumn() {
+  Rng rng(3);
+  ByteWriter w;
+  for (int i = 0; i < 50'000; ++i) w.f64(rng.uniform01() * 1000);
+  return w.take();
+}
+
+void runCompress(benchmark::State& state, const std::string& input) {
+  std::size_t outBytes = 0;
+  for (auto _ : state) {
+    const auto compressed = lzfCompress(input);
+    outBytes = compressed.size();
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * input.size()));
+  state.counters["ratio"] =
+      static_cast<double>(input.size()) / static_cast<double>(outBytes);
+}
+
+void runDecompress(benchmark::State& state, const std::string& input) {
+  const auto compressed = lzfCompress(input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lzfDecompress(compressed));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * input.size()));
+}
+
+void BM_CompressSortedIds(benchmark::State& state) {
+  runCompress(state, sortedIdColumn());
+}
+void BM_CompressTimestamps(benchmark::State& state) {
+  runCompress(state, timestampDeltaColumn());
+}
+void BM_CompressDoubles(benchmark::State& state) {
+  runCompress(state, randomDoublesColumn());
+}
+void BM_DecompressSortedIds(benchmark::State& state) {
+  runDecompress(state, sortedIdColumn());
+}
+void BM_DecompressTimestamps(benchmark::State& state) {
+  runDecompress(state, timestampDeltaColumn());
+}
+BENCHMARK(BM_CompressSortedIds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompressTimestamps)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompressDoubles)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecompressSortedIds)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecompressTimestamps)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Figure 6 — core scanning rate (10,000 rows/s per core) vs node count.
+//
+// Same measured-costs + simulated-schedule harness as Figure 5; here the
+// cluster rate is divided by the total worker-thread count. Expected
+// paper shape: per-core rate approximately flat across node counts (the
+// work is embarrassingly parallel per segment), dipping only in the
+// over-provisioned tail where idle threads dilute the average; Q1 around
+// the paper's "330 thousand rows per second per core" order, decreasing
+// as metric columns are added (Q2, Q3) and for the grouped queries
+// (Q4-Q6).
+#include <cstdio>
+#include <vector>
+
+#include "bench/scaling_sim.h"
+#include "query/engine.h"
+#include "query/result.h"
+#include "storage/adtech.h"
+
+int main() {
+  using namespace dpss;
+  using namespace dpss::bench;
+
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 10'000;
+  config.highCardCardinality = 20'000;
+  const std::size_t kSegments = 360;
+  const auto segments =
+      storage::generateAdTechSegments(config, "ads", kSegments);
+  const double totalRows =
+      static_cast<double>(kSegments * config.rowsPerSegment);
+  const Interval all(0, 4'000'000'000'000LL);
+  const std::size_t kThreads = 15;
+
+  std::vector<std::vector<double>> segCosts(7);
+  std::vector<double> mergeCost(7, 0.0);
+  for (int qn = 1; qn <= 6; ++qn) {
+    const auto spec = query::tableTwoQuery(qn, "ads", all);
+    for (const auto& seg : segments) {
+      segCosts[qn].push_back(timeSeconds([&] {
+        for (int rep = 0; rep < 4; ++rep) query::scanSegment(*seg, spec);
+      }, /*reps=*/2) / 4.0);
+    }
+    const auto partial = query::scanSegment(*segments[0], spec);
+    mergeCost[qn] = timeSeconds([&] {
+      query::QueryResult acc;
+      for (int i = 0; i < 16; ++i) acc.mergeFrom(partial);
+    }) / 16.0;
+  }
+
+  std::printf("# Figure 6: core scanning rate vs nodes "
+              "(10k rows/s per core; cores = nodes x %zu threads)\n",
+              kThreads);
+  std::printf("%-6s", "nodes");
+  for (int qn = 1; qn <= 6; ++qn) std::printf("  q%d_10krows_s_core", qn);
+  std::printf("\n");
+
+  for (const std::size_t nodes : {1u, 2u, 5u, 10u, 15u, 20u, 30u, 35u}) {
+    std::printf("%-6zu", nodes);
+    const double cores = static_cast<double>(nodes * kThreads);
+    for (int qn = 1; qn <= 6; ++qn) {
+      const double makespan =
+          clusterMakespan(segCosts[qn], nodes, kThreads, mergeCost[qn]);
+      const double perCore = totalRows / makespan / cores;
+      std::printf("  %16.2f", perCore / 1e4);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

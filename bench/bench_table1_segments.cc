@@ -1,0 +1,73 @@
+// Table I — the segment data model: cost of turning raw events with the
+// paper's ad-tech schema into immutable columnar segments, serializing
+// them for deep storage, and loading them back, plus the compression the
+// column layout achieves (§III-B).
+#include <benchmark/benchmark.h>
+
+#include "storage/adtech.h"
+#include "storage/segment_builder.h"
+#include "storage/segment_codec.h"
+
+namespace {
+
+using namespace dpss;
+using namespace dpss::storage;
+
+std::vector<InputRow>& rows10k() {
+  static std::vector<InputRow> rows = [] {
+    AdTechConfig config;
+    config.rowsPerSegment = 10'000;
+    return generateAdTechRows(config, 0);
+  }();
+  return rows;
+}
+
+SegmentId segId() {
+  SegmentId id;
+  id.dataSource = "ads";
+  id.interval = Interval(0, 4'000'000'000'000LL);
+  id.version = "v1";
+  return id;
+}
+
+void BM_BuildSegment(benchmark::State& state) {
+  const auto& rows = rows10k();
+  for (auto _ : state) {
+    SegmentBuilder builder(adTechSchema());
+    for (const auto& row : rows) builder.add(row);
+    benchmark::DoNotOptimize(builder.build(segId()));
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * rows.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BuildSegment)->Unit(benchmark::kMillisecond);
+
+void BM_EncodeSegment(benchmark::State& state) {
+  SegmentBuilder builder(adTechSchema());
+  for (const auto& row : rows10k()) builder.add(row);
+  const auto segment = builder.build(segId());
+  for (auto _ : state) {
+    const auto blob = encodeSegment(*segment);
+    state.counters["blob_bytes"] = static_cast<double>(blob.size());
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["memory_bytes"] =
+      static_cast<double>(segment->memoryFootprint());
+}
+BENCHMARK(BM_EncodeSegment)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeSegment(benchmark::State& state) {
+  SegmentBuilder builder(adTechSchema());
+  for (const auto& row : rows10k()) builder.add(row);
+  const std::string blob = encodeSegment(*builder.build(segId()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decodeSegment(blob));
+  }
+  state.counters["blob_bytes"] = static_cast<double>(blob.size());
+}
+BENCHMARK(BM_DecodeSegment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

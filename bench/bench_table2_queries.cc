@@ -1,0 +1,102 @@
+// Table II — the six query statements, measured two ways:
+//   engine/qN    one real segment scan on the query engine (the per-core
+//                cost that Figure 6 normalizes to)
+//   cluster/qN   the full broker path: routing via the timeline, one RPC
+//                per segment over the serialized transport, partial merge
+//                and finalization, on a small real cluster
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "query/engine.h"
+#include "storage/adtech.h"
+
+namespace {
+
+using namespace dpss;
+
+const Interval kAll(0, 4'000'000'000'000LL);
+
+storage::SegmentPtr sharedSegment() {
+  static storage::SegmentPtr segment = [] {
+    storage::AdTechConfig config;
+    config.rowsPerSegment = 10'000;
+    return storage::generateAdTechSegments(config, "ads", 1)[0];
+  }();
+  return segment;
+}
+
+void BM_EngineScan(benchmark::State& state) {
+  const auto segment = sharedSegment();
+  const auto spec =
+      query::tableTwoQuery(static_cast<int>(state.range(0)), "ads", kAll);
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    const auto result = query::scanSegment(*segment, spec);
+    rows += result.rowsScanned;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineScan)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+struct ClusterFixture {
+  ClusterFixture() : clock(1'400'000'000'000), cluster(clock, options()) {
+    storage::AdTechConfig config;
+    config.rowsPerSegment = 10'000;
+    cluster.publishSegments(
+        storage::generateAdTechSegments(config, "ads", 8));
+  }
+  static cluster::ClusterOptions options() {
+    cluster::ClusterOptions o;
+    o.historicalNodes = 2;
+    o.workerThreadsPerNode = 2;  // single-core host
+    o.brokerScatterThreads = 2;
+    o.brokerCacheCapacity = 0;   // measure real scatter, not the cache
+    return o;
+  }
+  ManualClock clock;
+  cluster::Cluster cluster;
+};
+
+void BM_ClusterQuery(benchmark::State& state) {
+  static ClusterFixture fixture;
+  const auto spec =
+      query::tableTwoQuery(static_cast<int>(state.range(0)), "ads", kAll);
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    const auto outcome = fixture.cluster.broker().query(spec);
+    rows += outcome.rowsScanned;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterQuery)->DenseRange(1, 6)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterQueryCached(benchmark::State& state) {
+  // Same path with the broker result cache on: after the first round
+  // every per-segment partial is served from the LRU cache.
+  static ManualClock clock(1'400'000'000'000);
+  static auto& cached = *[] {
+    cluster::ClusterOptions o = ClusterFixture::options();
+    o.brokerCacheCapacity = 4096;
+    auto* c = new cluster::Cluster(clock, o);  // leaked: process-lifetime
+    storage::AdTechConfig config;
+    config.rowsPerSegment = 10'000;
+    c->publishSegments(storage::generateAdTechSegments(config, "ads", 8));
+    return c;
+  }();
+  const auto spec =
+      query::tableTwoQuery(static_cast<int>(state.range(0)), "ads", kAll);
+  for (auto _ : state) {
+    const auto outcome = cached.broker().query(spec);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ClusterQueryCached)->DenseRange(1, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,301 @@
+#include "cluster/broker_node.h"
+
+#include <future>
+
+#include "cluster/names.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace dpss::cluster {
+
+using storage::SegmentId;
+
+BrokerNode::BrokerNode(std::string name, Registry& registry,
+                       Transport& transport, BrokerOptions options)
+    : name_(std::move(name)),
+      registry_(registry),
+      transport_(transport),
+      options_(options) {
+  DPSS_CHECK_MSG(options_.scatterThreads >= 1, "need at least one thread");
+}
+
+BrokerNode::~BrokerNode() {
+  if (running_) stop();
+}
+
+void BrokerNode::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPSS_CHECK_MSG(!running_, "broker already running");
+  session_ = registry_.connect(name_);
+  pool_ = std::make_unique<ThreadPool>(options_.scatterThreads);
+  running_ = true;
+  viewDirty_ = true;
+  // Any announcement change anywhere invalidates the global view; the
+  // next query rebuilds it from the registry.
+  watchIds_.push_back(registry_.watchChildren(
+      paths::announcements(), [this](const std::string&) {
+        invalidateView();
+      }));
+}
+
+void BrokerNode::stop() {
+  std::vector<std::uint64_t> watches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    watches = std::move(watchIds_);
+    watchIds_.clear();
+    nodeWatches_.clear();
+  }
+  for (const auto id : watches) registry_.unwatch(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.expire(session_);
+  session_.reset();
+  pool_.reset();
+}
+
+void BrokerNode::invalidateView() {
+  std::lock_guard<std::mutex> lock(mu_);
+  viewDirty_ = true;
+}
+
+BrokerNode::View BrokerNode::buildView() {
+  // Served-segment znodes carry the canonical id string as data (the
+  // znode *name* is an escaped, lossy form).
+  View view;
+  for (const auto& node : registry_.children(paths::announcements())) {
+    const std::string nodePath = paths::nodeAnnouncement(node);
+    // Watch every node's served-segments path: the segment announcements
+    // are grandchildren of /announcements, invisible to the root watch.
+    if (nodeWatches_.emplace(nodePath).second) {
+      watchIds_.push_back(registry_.watchChildren(
+          nodePath, [this](const std::string&) { invalidateView(); }));
+    }
+    for (const auto& child : registry_.children(nodePath)) {
+      const auto data = registry_.getData(nodePath + "/" + child);
+      if (!data) continue;
+      SegmentId id;
+      try {
+        id = SegmentId::parse(*data);
+      } catch (const Error&) {
+        continue;  // unparseable announcement: skip defensively
+      }
+      view.serving[id].insert(node);
+      view.timelines[id.dataSource].add(id);
+    }
+  }
+  return view;
+}
+
+BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
+  // Snapshot routing decisions under one lock: visible segments and the
+  // replica rotation for each.
+  struct Target {
+    SegmentId id;
+    std::vector<std::string> replicas;
+    std::string cacheKey;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DPSS_CHECK_MSG(running_, "broker not running");
+    if (viewDirty_) {
+      view_ = buildView();
+      viewDirty_ = false;
+    }
+    const auto it = view_.timelines.find(spec.dataSource);
+    if (it != view_.timelines.end()) {
+      for (const auto& id : it->second.lookup(spec.interval)) {
+        Target t;
+        t.id = id;
+        const auto servingIt = view_.serving.find(id);
+        if (servingIt != view_.serving.end()) {
+          t.replicas.assign(servingIt->second.begin(),
+                            servingIt->second.end());
+        }
+        if (t.replicas.size() > 1) {
+          const std::size_t rot = rng_.below(t.replicas.size());
+          std::rotate(t.replicas.begin(), t.replicas.begin() + rot,
+                      t.replicas.end());
+        }
+        t.cacheKey = id.toString() + "|" + spec.fingerprint();
+        targets.push_back(std::move(t));
+      }
+    }
+  }
+
+  BrokerQueryOutcome outcome;
+  outcome.segmentsQueried = targets.size();
+
+  // Scatter: one task per segment (the paper's parallel query unit).
+  std::mutex statsMu;
+  std::vector<std::future<query::QueryResult>> futures;
+  futures.reserve(targets.size());
+  for (const auto& target : targets) {
+    futures.push_back(pool_->submit([this, target, spec, &outcome,
+                                     &statsMu]() -> query::QueryResult {
+      // Segments are immutable, so a cached partial is always valid.
+      if (auto cached = cacheGet(target.cacheKey)) {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++outcome.cacheHits;
+        if (target.replicas.empty()) ++outcome.servedFromCacheAfterLoss;
+        return *cached;
+      }
+      for (const auto& node : target.replicas) {
+        try {
+          auto result = callQuerySegment(transport_, node, target.id, spec);
+          cachePut(target.cacheKey, result);
+          return result;
+        } catch (const Unavailable&) {
+          continue;  // try the next replica
+        } catch (const NotFound&) {
+          continue;  // stale view: node no longer serves it
+        }
+      }
+      throw Unavailable("all replicas of " + target.id.toString() +
+                        " unreachable and result not cached");
+    }));
+  }
+
+  // Drain every future before any rethrow: tasks capture references to
+  // this frame, so unwinding with tasks still running would dangle.
+  query::QueryResult merged;
+  std::size_t lost = 0;
+  std::string firstLost;
+  std::exception_ptr firstError;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      merged.mergeFrom(futures[i].get());
+    } catch (const Unavailable&) {
+      ++lost;
+      if (firstLost.empty()) firstLost = targets[i].id.toString();
+    } catch (...) {
+      // User-level error (bad column, malformed spec): surface after all
+      // tasks finished.
+      if (!firstError) firstError = std::current_exception();
+    }
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  if (lost > 0) {
+    throw Unavailable("segments unavailable (no replica, no cache): " +
+                      firstLost + " (+" + std::to_string(lost - 1) +
+                      " more)");
+  }
+
+  outcome.rowsScanned = merged.rowsScanned;
+  outcome.rows = finalizeResult(spec, merged);
+  return outcome;
+}
+
+std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
+    const std::string& docSource, const pss::Dictionary& dictionary,
+    const pss::EncryptedQuery& encryptedQuery) {
+  // Discover nodes holding slices of the document source and their
+  // maximum payload size, so every node searches with the same s.
+  std::vector<std::string> nodes;
+  for (const auto& node : registry_.children(paths::announcements())) {
+    nodes.push_back(node);
+  }
+  struct SliceInfo {
+    std::string node;
+    std::uint64_t base = 0;
+    std::uint64_t count = 0;
+    std::uint64_t maxPayload = 0;
+  };
+  std::vector<SliceInfo> slices;
+  for (const auto& node : nodes) {
+    ByteWriter w;
+    w.u8(rpc::kPssInfo);
+    w.str(docSource);
+    try {
+      const std::string resp = transport_.call(node, w.data());
+      ByteReader r(resp);
+      SliceInfo info;
+      info.node = node;
+      info.base = r.u64();
+      info.count = r.varint();
+      info.maxPayload = r.varint();
+      if (info.count > 0) slices.push_back(std::move(info));
+    } catch (const Error&) {
+      continue;  // node has no slice / unreachable
+    }
+  }
+  if (slices.empty()) {
+    throw NotFound("no node serves document source: " + docSource);
+  }
+
+  std::uint64_t maxPayload = 0;
+  for (const auto& s : slices) maxPayload = std::max(maxPayload, s.maxPayload);
+  const pss::BlockCodec codec(pss::BlockCodec::maxBlockBytesFor(
+      encryptedQuery.publicKey().modulusBits()));
+  const std::size_t blocks = codec.blockCount(maxPayload);
+
+  // Scatter the encrypted query; each node searches its slice.
+  std::vector<std::future<pss::SearchResultEnvelope>> futures;
+  for (const auto& slice : slices) {
+    ByteWriter w;
+    w.u8(rpc::kPssSearch);
+    w.str(docSource);
+    w.varint(dictionary.size());
+    for (const auto& word : dictionary.words()) w.str(word);
+    encryptedQuery.serialize(w);
+    w.varint(blocks);
+    std::uint64_t seed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seed = rng_.next();
+    }
+    w.u64(seed);
+    std::string request = w.take();
+    futures.push_back(pool_->submit(
+        [this, node = slice.node, request = std::move(request)] {
+          const std::string resp = transport_.call(node, request);
+          ByteReader r(resp);
+          return pss::SearchResultEnvelope::deserialize(r);
+        }));
+  }
+  std::vector<pss::SearchResultEnvelope> envelopes;
+  envelopes.reserve(futures.size());
+  for (auto& f : futures) envelopes.push_back(f.get());
+  return envelopes;
+}
+
+std::vector<SegmentId> BrokerNode::visibleSegments(
+    const std::string& dataSource, const Interval& interval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (viewDirty_) {
+    view_ = buildView();
+    viewDirty_ = false;
+  }
+  const auto it = view_.timelines.find(dataSource);
+  if (it == view_.timelines.end()) return {};
+  return it->second.lookup(interval);
+}
+
+void BrokerNode::cachePut(const std::string& key,
+                          const query::QueryResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cacheIndex_.find(key);
+  if (it != cacheIndex_.end()) {
+    cacheList_.erase(it->second);
+    cacheIndex_.erase(it);
+  }
+  cacheList_.push_front(CacheEntry{key, result});
+  cacheIndex_[key] = cacheList_.begin();
+  while (cacheList_.size() > options_.resultCacheCapacity) {
+    cacheIndex_.erase(cacheList_.back().key);
+    cacheList_.pop_back();
+  }
+}
+
+std::optional<query::QueryResult> BrokerNode::cacheGet(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = cacheIndex_.find(key);
+  if (it == cacheIndex_.end()) return std::nullopt;
+  cacheList_.splice(cacheList_.begin(), cacheList_, it->second);
+  return it->second->result;
+}
+
+}  // namespace dpss::cluster

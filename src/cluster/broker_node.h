@@ -1,0 +1,116 @@
+// Broker node (§III-A-3) — query router, result merger, result cache,
+// and (§III-C) the entry point of the private search scheme.
+//
+// The broker builds its global view from the registry: which queryable
+// nodes exist and which segments each serves. Per data source it derives
+// the versioned timeline (query/timeline.h) and routes one RPC per
+// visible segment to a serving node, scattering across replicas, then
+// merges the partials and finalizes.
+//
+// The result cache keys on (segment id, query fingerprint). When every
+// replica of a segment is unreachable, a cached partial still answers —
+// the paper's "if the information has already been stored in the cache,
+// the segment results can still be returned".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/transport.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "pss/query.h"
+#include "pss/searcher.h"
+#include "query/result.h"
+#include "query/timeline.h"
+
+namespace dpss::cluster {
+
+struct BrokerOptions {
+  std::size_t scatterThreads = 16;   // parallel per-segment RPCs
+  std::size_t resultCacheCapacity = 4096;  // cached (segment, query) entries
+};
+
+struct BrokerQueryOutcome {
+  std::vector<query::ResultRow> rows;
+  std::uint64_t rowsScanned = 0;
+  std::size_t segmentsQueried = 0;
+  std::size_t cacheHits = 0;
+  std::size_t servedFromCacheAfterLoss = 0;
+};
+
+class BrokerNode {
+ public:
+  BrokerNode(std::string name, Registry& registry, Transport& transport,
+             BrokerOptions options = {});
+  ~BrokerNode();
+
+  void start();
+  void stop();
+
+  const std::string& name() const { return name_; }
+
+  /// Routes, scatters, merges and finalizes one query.
+  /// Throws Unavailable when a needed segment has no reachable replica
+  /// and no cached result.
+  BrokerQueryOutcome query(const query::QuerySpec& spec);
+
+  /// Runs the paper's private stream search over a distributed document
+  /// source: every node announcing a slice of `docSource` searches its
+  /// slice in parallel with the client's encrypted query; the returned
+  /// envelopes (one per slice) go back to the client for reconstruction.
+  std::vector<pss::SearchResultEnvelope> privateSearch(
+      const std::string& docSource, const pss::Dictionary& dictionary,
+      const pss::EncryptedQuery& encryptedQuery);
+
+  /// Current global view, for tests: data source -> timeline.
+  std::vector<storage::SegmentId> visibleSegments(
+      const std::string& dataSource, const Interval& interval);
+
+ private:
+  struct View {
+    // segment -> nodes serving it.
+    std::map<storage::SegmentId, std::set<std::string>> serving;
+    // data source -> timeline.
+    std::map<std::string, query::Timeline> timelines;
+  };
+
+  View buildView();
+  void invalidateView();
+
+  std::string name_;
+  Registry& registry_;
+  Transport& transport_;
+  BrokerOptions options_;
+
+  std::mutex mu_;
+  SessionPtr session_;
+  bool running_ = false;
+  bool viewDirty_ = true;
+  View view_;
+  std::vector<std::uint64_t> watchIds_;
+  std::set<std::string> nodeWatches_;  // node paths already watched
+  std::unique_ptr<ThreadPool> pool_;
+  Rng rng_{0xb20c};
+
+  // LRU result cache: (segment id string + query fingerprint) -> partial.
+  struct CacheEntry {
+    std::string key;
+    query::QueryResult result;
+  };
+  std::list<CacheEntry> cacheList_;  // front = most recent
+  std::map<std::string, std::list<CacheEntry>::iterator> cacheIndex_;
+
+  void cachePut(const std::string& key, const query::QueryResult& result);
+  std::optional<query::QueryResult> cacheGet(const std::string& key);
+};
+
+}  // namespace dpss::cluster

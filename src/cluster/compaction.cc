@@ -1,0 +1,60 @@
+#include "cluster/compaction.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "storage/segment_builder.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::cluster {
+
+CompactionResult compactInterval(storage::DeepStorage& deepStorage,
+                                 MetaStore& metaStore,
+                                 const std::string& dataSource,
+                                 const Interval& interval,
+                                 const std::string& newVersion) {
+  std::vector<SegmentRecord> inputs;
+  for (const auto& record : metaStore.usedSegments()) {
+    if (record.id.dataSource != dataSource) continue;
+    if (!interval.contains(record.id.interval)) continue;
+    DPSS_CHECK_MSG(record.id.version < newVersion,
+                   "compaction version must exceed every input version");
+    inputs.push_back(record);
+  }
+  CompactionResult result;
+  result.inputSegments = inputs.size();
+  if (inputs.empty()) return result;
+
+  std::vector<storage::SegmentPtr> parts;
+  parts.reserve(inputs.size());
+  for (const auto& record : inputs) {
+    parts.push_back(storage::decodeSegment(
+        deepStorage.get(record.deepStorageKey)));
+  }
+
+  storage::SegmentId outId;
+  outId.dataSource = dataSource;
+  outId.interval = interval;
+  outId.version = newVersion;
+  outId.partition = 0;
+  const storage::SegmentPtr merged = storage::mergeSegments(parts, outId);
+
+  const std::string key = outId.toString();
+  const std::string blob = storage::encodeSegment(*merged);
+  deepStorage.put(key, blob);
+  SegmentRecord record;
+  record.id = outId;
+  record.deepStorageKey = key;
+  record.sizeBytes = blob.size();
+  metaStore.upsertSegment(record);
+  for (const auto& input : inputs) metaStore.markUnused(input.id);
+
+  result.outputRows = merged->rowCount();
+  result.outputId = outId;
+  DPSS_LOG(Info) << "compacted " << inputs.size() << " segments into "
+                 << key << " (" << merged->rowCount() << " rows)";
+  return result;
+}
+
+}  // namespace dpss::cluster

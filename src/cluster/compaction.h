@@ -1,0 +1,35 @@
+// Segment compaction: merge many small segments covering an interval into
+// one new higher-version segment — the paper's replacement model ("the
+// historical segment can be updated through the creation of a new
+// historical segment that obsoletes the older one") applied to the
+// classic many-small-segments problem left behind by fine-grained
+// real-time handoffs.
+#pragma once
+
+#include <string>
+
+#include "cluster/metastore.h"
+#include "common/interval.h"
+#include "storage/deep_storage.h"
+
+namespace dpss::cluster {
+
+struct CompactionResult {
+  std::size_t inputSegments = 0;
+  std::size_t outputRows = 0;
+  storage::SegmentId outputId;
+};
+
+/// Merges every used segment of `dataSource` fully inside `interval` into
+/// one segment with version `newVersion` (must sort above the inputs'
+/// versions), uploads it, registers it, and marks the inputs unused.
+/// Returns nullopt-like zero-input result when nothing qualifies.
+/// The next coordinator cycle drops the old copies and loads the new one;
+/// the broker timeline overshadows in the meantime.
+CompactionResult compactInterval(storage::DeepStorage& deepStorage,
+                                 MetaStore& metaStore,
+                                 const std::string& dataSource,
+                                 const Interval& interval,
+                                 const std::string& newVersion);
+
+}  // namespace dpss::cluster

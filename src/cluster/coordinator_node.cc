@@ -1,0 +1,131 @@
+#include "cluster/coordinator_node.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cluster/names.h"
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace dpss::cluster {
+
+using storage::SegmentId;
+
+CoordinatorNode::CoordinatorNode(std::string name, Registry& registry,
+                                 MetaStore& metaStore, Clock& clock)
+    : name_(std::move(name)),
+      registry_(registry),
+      metaStore_(metaStore),
+      clock_(clock) {
+  session_ = registry_.connect(name_);
+}
+
+CoordinatorStats CoordinatorNode::runOnce() {
+  CoordinatorStats stats;
+
+  // ---- actual state: live historical nodes, serving + pending sets. ---
+  std::vector<std::string> historicals;
+  for (const auto& node : registry_.children(paths::announcements())) {
+    const auto type = registry_.getData(paths::nodeAnnouncement(node));
+    if (type && *type == "historical") historicals.push_back(node);
+  }
+
+  // servingNodes[segmentNodeName] = nodes serving or assigned the segment.
+  std::map<std::string, std::set<std::string>> holders;
+  std::map<std::string, std::size_t> nodeLoad;
+  for (const auto& node : historicals) {
+    nodeLoad[node] = 0;
+    for (const auto& child : registry_.children(paths::nodeAnnouncement(node))) {
+      holders[child].insert(node);
+      ++nodeLoad[node];
+    }
+    for (const auto& child : registry_.children(paths::loadQueue(node))) {
+      const auto data =
+          registry_.getData(paths::loadQueue(node) + "/" + child);
+      if (data && data->rfind("load:", 0) == 0) {
+        holders[child].insert(node);
+        ++nodeLoad[node];
+      }
+    }
+  }
+
+  // ---- expected state: the segment table filtered by retention. -------
+  const TimeMs now = clock_.nowMs();
+  std::set<std::string> expectedNames;
+  for (const auto& record : metaStore_.usedSegments()) {
+    ++stats.segmentsEvaluated;
+    const LoadRules rules = metaStore_.rulesFor(record.id.dataSource);
+    const bool expired = rules.retentionMs > 0 &&
+                         record.id.interval.end() + rules.retentionMs < now;
+    const std::string segName = paths::segmentNode(record.id);
+    if (!expired) expectedNames.insert(segName);
+    if (expired) continue;
+    if (historicals.empty()) continue;
+
+    const std::size_t want = std::min(rules.replicationFactor,
+                                      historicals.size());
+    auto& holding = holders[segName];
+    // Deficit: assign to the least-loaded nodes not already holding it.
+    while (holding.size() < want) {
+      std::string best;
+      std::size_t bestLoad = 0;
+      for (const auto& node : historicals) {
+        if (holding.count(node) > 0) continue;
+        if (best.empty() || nodeLoad[node] < bestLoad) {
+          best = node;
+          bestLoad = nodeLoad[node];
+        }
+      }
+      if (best.empty()) break;  // fewer nodes than the target replication
+      const std::string entry = paths::loadQueueEntry(best, record.id);
+      if (!registry_.exists(entry)) {
+        registry_.create(entry,
+                         "load:" + record.id.toString() + "\x01" +
+                             record.deepStorageKey,
+                         session_, /*ephemeral=*/false);
+        ++stats.loadsIssued;
+      }
+      holding.insert(best);
+      ++nodeLoad[best];
+    }
+    // Surplus: drop from the most-loaded holders.
+    while (holding.size() > want) {
+      std::string worst;
+      std::size_t worstLoad = 0;
+      for (const auto& node : holding) {
+        if (worst.empty() || nodeLoad[node] > worstLoad) {
+          worst = node;
+          worstLoad = nodeLoad[node];
+        }
+      }
+      const std::string entry = paths::loadQueueEntry(worst, record.id);
+      if (!registry_.exists(entry)) {
+        registry_.create(entry, "drop", session_, /*ephemeral=*/false);
+        ++stats.dropsIssued;
+      }
+      holding.erase(worst);
+      --nodeLoad[worst];
+    }
+  }
+
+  // ---- segments served but no longer expected: drop everywhere. -------
+  for (const auto& [segName, nodes] : holders) {
+    if (expectedNames.count(segName) > 0) continue;
+    for (const auto& node : nodes) {
+      const std::string entry = paths::loadQueue(node) + "/" + segName;
+      if (!registry_.exists(entry)) {
+        registry_.create(entry, "drop", session_, /*ephemeral=*/false);
+        ++stats.dropsIssued;
+      }
+    }
+  }
+
+  if (stats.loadsIssued + stats.dropsIssued > 0) {
+    DPSS_LOG(Info) << name_ << " issued " << stats.loadsIssued << " loads, "
+                   << stats.dropsIssued << " drops";
+  }
+  return stats;
+}
+
+}  // namespace dpss::cluster

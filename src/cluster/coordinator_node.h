@@ -1,0 +1,56 @@
+// Coordination node (§III-A-4).
+//
+// "At running time, the coordination node compares the expected state of
+// the cluster and the actual state of the cluster to make decision."
+// Expected state comes from the metadata store (segment table + rule
+// table); actual state from the registry (announcements + pending load
+// queues). The coordinator never talks to a compute node directly: every
+// decision is a znode written into some node's load-queue path.
+//
+// Responsibilities reproduced: loading new segments, dropping outdated /
+// unused ones, maintaining the replication factor, and least-loaded
+// balancing of assignments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/metastore.h"
+#include "cluster/registry.h"
+#include "common/clock.h"
+
+namespace dpss::cluster {
+
+struct CoordinatorStats {
+  std::size_t loadsIssued = 0;
+  std::size_t dropsIssued = 0;
+  std::size_t segmentsEvaluated = 0;
+};
+
+class CoordinatorNode {
+ public:
+  CoordinatorNode(std::string name, Registry& registry, MetaStore& metaStore,
+                  Clock& clock);
+
+  /// One reconciliation cycle ("periodically checks the current status of
+  /// the cluster"). Deterministic and idempotent: a second run with no
+  /// state change issues nothing.
+  CoordinatorStats runOnce();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct NodeState {
+    std::string node;
+    std::size_t load = 0;  // served + pending assignments
+  };
+
+  std::string name_;
+  Registry& registry_;
+  MetaStore& metaStore_;
+  Clock& clock_;
+  SessionPtr session_;
+};
+
+}  // namespace dpss::cluster

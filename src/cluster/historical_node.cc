@@ -1,0 +1,282 @@
+#include "cluster/historical_node.h"
+
+#include <future>
+
+#include "cluster/names.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "pss/searcher.h"
+#include "query/engine.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::cluster {
+
+using storage::SegmentId;
+using storage::SegmentPtr;
+
+HistoricalNode::HistoricalNode(std::string name, Registry& registry,
+                               storage::DeepStorage& deepStorage,
+                               Transport& transport,
+                               HistoricalNodeOptions options)
+    : name_(std::move(name)),
+      registry_(registry),
+      deepStorage_(deepStorage),
+      transport_(transport),
+      options_(options) {
+  DPSS_CHECK_MSG(options_.workerThreads >= 1, "need at least one worker");
+}
+
+HistoricalNode::~HistoricalNode() {
+  if (running_) stop();
+}
+
+void HistoricalNode::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DPSS_CHECK_MSG(!running_, "node already running");
+    session_ = registry_.connect(name_);
+    pool_ = std::make_unique<ThreadPool>(options_.workerThreads);
+    running_ = true;
+  }
+  // Announce the node itself (ephemeral: crash -> vanishes).
+  registry_.create(paths::nodeAnnouncement(name_), "historical", session_,
+                   /*ephemeral=*/true);
+  transport_.bind(name_, [this](const std::string& req) {
+    return handleRpc(req);
+  });
+  // Arm the load-queue watch, then drain anything already assigned.
+  watchId_ = registry_.watchChildren(paths::loadQueue(name_),
+                                     [this](const std::string&) {
+                                       onLoadQueueEvent();
+                                     });
+  onLoadQueueEvent();
+  DPSS_LOG(Info) << "historical node " << name_ << " online";
+}
+
+void HistoricalNode::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    served_.clear();
+  }
+  transport_.unbind(name_);
+  registry_.unwatch(watchId_);
+  registry_.expire(session_);  // removes announcement + served ephemerals
+  std::lock_guard<std::mutex> lock(mu_);
+  session_.reset();
+  pool_.reset();
+}
+
+void HistoricalNode::crash() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    served_.clear();  // in-memory state dies; localDisk_ survives
+  }
+  transport_.unbind(name_);
+  registry_.unwatch(watchId_);
+  registry_.expire(session_);
+  std::lock_guard<std::mutex> lock(mu_);
+  session_.reset();
+  pool_.reset();
+}
+
+void HistoricalNode::onLoadQueueEvent() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+  }
+  for (const auto& entry : registry_.children(paths::loadQueue(name_))) {
+    processAssignment(entry);
+  }
+}
+
+void HistoricalNode::processAssignment(const std::string& entryName) {
+  const std::string path = paths::loadQueue(name_) + "/" + entryName;
+  const auto data = registry_.getData(path);
+  if (!data) return;  // already acked by this node
+  try {
+    if (data->rfind("load:", 0) == 0) {
+      const SegmentId id = SegmentId::parse(data->substr(5, data->find('\x01') - 5));
+      const std::string key = data->substr(data->find('\x01') + 1);
+      loadSegment(id, key);
+    } else if (*data == "drop") {
+      // Entry name is the escaped segment id; recover it from served set.
+      std::optional<SegmentId> victim;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [id, seg] : served_) {
+          (void)seg;
+          if (paths::segmentNode(id) == entryName) {
+            victim = id;
+            break;
+          }
+        }
+      }
+      if (victim) dropSegment(*victim);
+    }
+  } catch (const Error& e) {
+    DPSS_LOG(Warn) << name_ << " failed assignment " << entryName << ": "
+                   << e.what();
+    return;  // leave the queue entry so a later event retries
+  }
+  registry_.remove(path);  // ack
+}
+
+void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (served_.count(id) > 0) return;  // idempotent
+  }
+  std::string blob;
+  bool fromCache = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = localDisk_.find(key);
+    if (it != localDisk_.end()) {
+      blob = it->second;
+      fromCache = true;
+    }
+  }
+  if (fromCache) {
+    cacheHits_.fetch_add(1);
+  } else {
+    blob = deepStorage_.get(key);  // may throw Unavailable/NotFound
+    downloads_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    localDisk_[key] = blob;
+  }
+  SegmentPtr segment = storage::decodeSegment(blob);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    served_[id] = std::move(segment);
+  }
+  // Publish: the segment is queryable from this moment. The znode data is
+  // the canonical id string (the znode name is an escaped, lossy form).
+  registry_.create(paths::servedSegment(name_, id), id.toString(), session_,
+                   /*ephemeral=*/true);
+  DPSS_LOG(Info) << name_ << " serving " << id.toString();
+}
+
+void HistoricalNode::dropSegment(const SegmentId& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    served_.erase(id);
+  }
+  registry_.remove(paths::servedSegment(name_, id));
+  DPSS_LOG(Info) << name_ << " dropped " << id.toString();
+}
+
+std::vector<SegmentId> HistoricalNode::servedSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentId> out;
+  out.reserve(served_.size());
+  for (const auto& [id, seg] : served_) {
+    (void)seg;
+    out.push_back(id);
+  }
+  return out;
+}
+
+bool HistoricalNode::serves(const SegmentId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_.count(id) > 0;
+}
+
+bool HistoricalNode::cachedLocally(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return localDisk_.count(key) > 0;
+}
+
+void HistoricalNode::loadDocuments(const std::string& docSource,
+                                   std::uint64_t baseIndex,
+                                   std::vector<std::string> documents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  docSlices_[docSource] = DocSlice{baseIndex, std::move(documents)};
+}
+
+std::string HistoricalNode::handleRpc(const std::string& request) {
+  if (request.empty()) throw CorruptData("empty rpc");
+  const auto tag = static_cast<std::uint8_t>(request[0]);
+  const std::string body = request.substr(1);
+
+  if (tag == rpc::kQuerySegment) {
+    const auto req = SegmentQueryRequest::decode(body);
+    SegmentPtr segment;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = served_.find(req.segment);
+      if (it == served_.end()) {
+        throw NotFound("segment not served here: " + req.segment.toString());
+      }
+      segment = it->second;
+    }
+    // The scan runs on the node's bounded pool: with many concurrent
+    // segment RPCs the pool enforces the paper's threads-per-node cap.
+    auto fut = pool_->submit([segment, spec = req.spec] {
+      return query::scanSegment(*segment, spec);
+    });
+    ByteWriter w;
+    fut.get().serialize(w);
+    return w.take();
+  }
+
+  if (tag == rpc::kPssInfo) {
+    ByteReader r(body);
+    const std::string docSource = r.str();
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = docSlices_.find(docSource);
+    if (it == docSlices_.end()) {
+      throw NotFound("no document slice for: " + docSource);
+    }
+    std::size_t maxPayload = 0;
+    for (const auto& d : it->second.documents) {
+      maxPayload = std::max(maxPayload, d.size());
+    }
+    ByteWriter w;
+    w.u64(it->second.baseIndex);
+    w.varint(it->second.documents.size());
+    w.varint(maxPayload);
+    return w.take();
+  }
+
+  if (tag == rpc::kPssSearch) {
+    ByteReader r(body);
+    const std::string docSource = r.str();
+    const std::uint64_t dictSize = r.varint();
+    std::vector<std::string> words;
+    words.reserve(dictSize);
+    for (std::uint64_t i = 0; i < dictSize; ++i) words.push_back(r.str());
+    auto encQuery = pss::EncryptedQuery::deserialize(r);
+    const std::size_t blocks = r.varint();
+    const std::uint64_t seed = r.u64();
+
+    DocSlice slice;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = docSlices_.find(docSource);
+      if (it == docSlices_.end()) {
+        throw NotFound("no document slice for: " + docSource);
+      }
+      slice = it->second;
+    }
+    const pss::Dictionary dict(words);
+    Rng rng(seed);
+    pss::StreamSearcher searcher(dict, std::move(encQuery), blocks, rng);
+    for (std::size_t i = 0; i < slice.documents.size(); ++i) {
+      searcher.processSegment(slice.baseIndex + i, slice.documents[i]);
+    }
+    const auto envelope = searcher.finish();
+    ByteWriter w;
+    envelope.serialize(w);
+    return w.take();
+  }
+
+  throw CorruptData("unknown rpc tag");
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,116 @@
+// Historical compute node (§III-A-1) — "the main worker of our system".
+//
+// Shared-nothing: historical nodes never talk to each other and learn
+// about work only through their registry load-queue path. The lifecycle
+// per assignment is exactly the paper's: check the local cache first,
+// otherwise download the blob from deep storage, decode, then publish the
+// served segment under the node's announcement path — at which point the
+// segment is queryable.
+//
+// Queries arrive over the transport as one RPC per segment; each scan is
+// executed on the node's bounded worker pool ("one thread scan a
+// segment", 15 workers in the paper's test configuration).
+//
+// For the private-search integration the node can also hold a slice of a
+// document stream and run the broker-shipped encrypted query over it,
+// returning the three-buffer envelope for its slice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/transport.h"
+#include "common/thread_pool.h"
+#include "pss/dictionary.h"
+#include "storage/deep_storage.h"
+#include "storage/segment.h"
+
+namespace dpss::cluster {
+
+struct HistoricalNodeOptions {
+  std::size_t workerThreads = 15;  // the paper's per-node thread count
+};
+
+class HistoricalNode {
+ public:
+  HistoricalNode(std::string name, Registry& registry,
+                 storage::DeepStorage& deepStorage, Transport& transport,
+                 HistoricalNodeOptions options = {});
+  ~HistoricalNode();
+
+  HistoricalNode(const HistoricalNode&) = delete;
+  HistoricalNode& operator=(const HistoricalNode&) = delete;
+
+  /// Connects the session, announces the node, arms the load-queue watch
+  /// and processes any assignments already queued.
+  void start();
+
+  /// Graceful stop: unannounces everything and leaves the network.
+  void stop();
+
+  /// Simulates a crash: the registry session expires (announcements
+  /// vanish) and the node drops off the transport, but the local disk
+  /// cache survives for a later restart.
+  void crash();
+
+  /// Periodic maintenance: re-processes any load-queue entries that a
+  /// previous attempt left behind (e.g. a deep-storage outage). Watch
+  /// events cover the steady state; tick() is the recovery path a real
+  /// node runs on a timer.
+  void tick() { onLoadQueueEvent(); }
+
+  const std::string& name() const { return name_; }
+  bool running() const { return running_; }
+
+  std::vector<storage::SegmentId> servedSegments() const;
+  bool serves(const storage::SegmentId& id) const;
+
+  /// Local-disk-cache introspection for tests and the cache ablation.
+  bool cachedLocally(const std::string& deepStorageKey) const;
+  std::uint64_t deepStorageDownloads() const { return downloads_.load(); }
+  std::uint64_t cacheHits() const { return cacheHits_.load(); }
+
+  /// Loads a slice of a private-search document stream (batch path; see
+  /// broker_node.h for how slices are discovered and searched).
+  void loadDocuments(const std::string& docSource, std::uint64_t baseIndex,
+                     std::vector<std::string> documents);
+
+ private:
+  void onLoadQueueEvent();
+  void processAssignment(const std::string& entryName);
+  void loadSegment(const storage::SegmentId& id, const std::string& key);
+  void dropSegment(const storage::SegmentId& id);
+  std::string handleRpc(const std::string& request);
+
+  std::string name_;
+  Registry& registry_;
+  storage::DeepStorage& deepStorage_;
+  Transport& transport_;
+  HistoricalNodeOptions options_;
+
+  mutable std::mutex mu_;
+  SessionPtr session_;
+  std::uint64_t watchId_ = 0;
+  bool running_ = false;
+  // "Local disk": encoded blobs that survive crash()/start() cycles.
+  std::map<std::string, std::string> localDisk_;
+  // Decoded, servable segments.
+  std::map<storage::SegmentId, storage::SegmentPtr> served_;
+  struct DocSlice {
+    std::uint64_t baseIndex = 0;
+    std::vector<std::string> documents;
+  };
+  std::map<std::string, DocSlice> docSlices_;  // docSource -> slice
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::uint64_t> downloads_{0};
+  std::atomic<std::uint64_t> cacheHits_{0};
+};
+
+}  // namespace dpss::cluster

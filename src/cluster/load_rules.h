@@ -1,0 +1,23 @@
+// Rule table entries (§III-A-4): "MySQL database also contains a rule
+// table to manage how segments are created, destroyed and replicated in
+// the cluster."
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.h"
+
+namespace dpss::cluster {
+
+struct LoadRules {
+  /// Copies of each segment the coordinator maintains across historical
+  /// nodes (the paper's "management of the replicated segments").
+  std::size_t replicationFactor = 1;
+
+  /// Segments whose interval ended more than this long before now are
+  /// dropped from the cluster (0 = keep forever). Deep-storage blobs are
+  /// never deleted by retention — only serving copies.
+  TimeMs retentionMs = 0;
+};
+
+}  // namespace dpss::cluster

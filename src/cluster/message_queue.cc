@@ -1,0 +1,89 @@
+#include "cluster/message_queue.h"
+
+#include "common/error.h"
+
+namespace dpss::cluster {
+
+namespace {
+std::string commitKey(const std::string& group, const std::string& topic,
+                      std::size_t partition) {
+  return group + "\x01" + topic + "\x01" + std::to_string(partition);
+}
+}  // namespace
+
+void MessageQueue::createTopic(const std::string& topic,
+                               std::size_t partitions) {
+  DPSS_CHECK_MSG(partitions >= 1, "topic needs at least one partition");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) > 0) {
+    throw AlreadyExists("topic already exists: " + topic);
+  }
+  topics_[topic].partitions.resize(partitions);
+}
+
+std::size_t MessageQueue::partitionCount(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw NotFound("no such topic: " + topic);
+  return it->second.partitions.size();
+}
+
+const MessageQueue::Partition& MessageQueue::partitionRef(
+    const std::string& topic, std::size_t partition) const {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) throw NotFound("no such topic: " + topic);
+  if (partition >= it->second.partitions.size()) {
+    throw InvalidArgument("partition out of range");
+  }
+  return it->second.partitions[partition];
+}
+
+std::uint64_t MessageQueue::append(const std::string& topic,
+                                   std::size_t partition,
+                                   std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& part = const_cast<Partition&>(partitionRef(topic, partition));
+  Message m;
+  m.offset = part.log.size();
+  m.payload = std::move(payload);
+  part.log.push_back(std::move(m));
+  return part.log.back().offset;
+}
+
+std::vector<Message> MessageQueue::poll(const std::string& topic,
+                                        std::size_t partition,
+                                        std::uint64_t fromOffset,
+                                        std::size_t maxMessages) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& part = partitionRef(topic, partition);
+  std::vector<Message> out;
+  for (std::uint64_t off = fromOffset;
+       off < part.log.size() && out.size() < maxMessages; ++off) {
+    out.push_back(part.log[off]);
+  }
+  return out;
+}
+
+std::uint64_t MessageQueue::endOffset(const std::string& topic,
+                                      std::size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return partitionRef(topic, partition).log.size();
+}
+
+void MessageQueue::commit(const std::string& group, const std::string& topic,
+                          std::size_t partition, std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)partitionRef(topic, partition);  // validates topic/partition
+  commits_[commitKey(group, topic, partition)] = offset;
+}
+
+std::uint64_t MessageQueue::committed(const std::string& group,
+                                      const std::string& topic,
+                                      std::size_t partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)partitionRef(topic, partition);
+  const auto it = commits_.find(commitKey(group, topic, partition));
+  return it == commits_.end() ? 0 : it->second;
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,69 @@
+// Message queue — the in-process Kafka (§III-A-2, Figure 3).
+//
+// "A message queue can be regarded as a buffer for incoming data stream.
+// The message queue can maintain offsets indicating the location that the
+// real-time compute node has read to and the real-time compute node can
+// periodically update this offsets."
+//
+// Topics are partitioned; messages append to a partition log and are
+// polled by offset; consumer groups commit offsets per partition so a
+// recovering consumer re-reads exactly from its last commit ("reads the
+// message queue from the point which the last offset is committed").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dpss::cluster {
+
+struct Message {
+  std::uint64_t offset = 0;
+  std::string payload;
+};
+
+class MessageQueue {
+ public:
+  /// Creates a topic with `partitions` partitions. Throws AlreadyExists.
+  void createTopic(const std::string& topic, std::size_t partitions);
+  std::size_t partitionCount(const std::string& topic) const;
+
+  /// Appends to a partition; returns the assigned offset.
+  std::uint64_t append(const std::string& topic, std::size_t partition,
+                       std::string payload);
+
+  /// Messages with offset >= `fromOffset`, up to `maxMessages`.
+  std::vector<Message> poll(const std::string& topic, std::size_t partition,
+                            std::uint64_t fromOffset,
+                            std::size_t maxMessages = 1024) const;
+
+  /// Next offset to be assigned (log end).
+  std::uint64_t endOffset(const std::string& topic,
+                          std::size_t partition) const;
+
+  /// Consumer-group committed offset (next offset to read). Starts at 0.
+  void commit(const std::string& group, const std::string& topic,
+              std::size_t partition, std::uint64_t offset);
+  std::uint64_t committed(const std::string& group, const std::string& topic,
+                          std::size_t partition) const;
+
+ private:
+  struct Partition {
+    std::vector<Message> log;
+  };
+  struct Topic {
+    std::vector<Partition> partitions;
+  };
+
+  const Partition& partitionRef(const std::string& topic,
+                                std::size_t partition) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+  // (group, topic, partition) -> committed offset.
+  std::map<std::string, std::uint64_t> commits_;
+};
+
+}  // namespace dpss::cluster

@@ -1,0 +1,60 @@
+// Metadata store — the in-process MySQL (§III-A-4).
+//
+// Holds "an important piece of information ... the segment table, which
+// contains all historical segments that should be served", plus the rule
+// table governing load/drop/replication. Any service creating historical
+// segments (the real-time node handoff, batch indexing) inserts here; the
+// coordinator reads it on every run.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/load_rules.h"
+#include "storage/segment_id.h"
+
+namespace dpss::cluster {
+
+/// Segment-table row.
+struct SegmentRecord {
+  storage::SegmentId id;
+  std::string deepStorageKey;  // where the blob lives
+  bool used = true;            // false = dropped/obsoleted
+  std::size_t sizeBytes = 0;
+};
+
+class MetaStore {
+ public:
+  /// Inserts or replaces a segment record (idempotent upsert).
+  void upsertSegment(const SegmentRecord& record);
+
+  /// Marks a segment unused (the coordinator will drop it everywhere).
+  void markUnused(const storage::SegmentId& id);
+
+  std::optional<SegmentRecord> getSegment(const storage::SegmentId& id) const;
+
+  /// All records with used == true.
+  std::vector<SegmentRecord> usedSegments() const;
+  /// Every record, including unused.
+  std::vector<SegmentRecord> allSegments() const;
+
+  // --- rule table -----------------------------------------------------
+  void setRules(const std::string& dataSource, LoadRules rules);
+  /// Rules for a data source, falling back to the default rule set.
+  LoadRules rulesFor(const std::string& dataSource) const;
+  void setDefaultRules(LoadRules rules) {
+    std::lock_guard<std::mutex> lock(mu_);
+    defaultRules_ = rules;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<storage::SegmentId, SegmentRecord> segments_;
+  std::map<std::string, LoadRules> rules_;
+  LoadRules defaultRules_;
+};
+
+}  // namespace dpss::cluster

@@ -1,0 +1,42 @@
+// Registry path layout shared by all node types (Figure 2's
+// /announcements and per-node "load queue" paths).
+#pragma once
+
+#include <string>
+
+#include "storage/segment_id.h"
+
+namespace dpss::cluster::paths {
+
+/// Escapes a segment id for use as a single znode name.
+inline std::string segmentNode(const storage::SegmentId& id) {
+  std::string s = id.toString();
+  for (auto& c : s) {
+    if (c == '/') c = '_';
+  }
+  return s;
+}
+
+/// Root under which every queryable node announces itself and its served
+/// segments: /announcements/<node>/<segment>.
+inline std::string announcements() { return "/announcements"; }
+inline std::string nodeAnnouncement(const std::string& node) {
+  return "/announcements/" + node;
+}
+inline std::string servedSegment(const std::string& node,
+                                 const storage::SegmentId& id) {
+  return nodeAnnouncement(node) + "/" + segmentNode(id);
+}
+
+/// Per-node load queues the coordinator writes into:
+/// /loadqueue/<node>/<segment> with data "load" or "drop".
+inline std::string loadQueueRoot() { return "/loadqueue"; }
+inline std::string loadQueue(const std::string& node) {
+  return "/loadqueue/" + node;
+}
+inline std::string loadQueueEntry(const std::string& node,
+                                  const storage::SegmentId& id) {
+  return loadQueue(node) + "/" + segmentNode(id);
+}
+
+}  // namespace dpss::cluster::paths

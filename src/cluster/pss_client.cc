@@ -1,0 +1,42 @@
+#include "cluster/pss_client.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace dpss::cluster {
+
+std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
+    BrokerNode& broker, pss::PrivateSearchClient& client,
+    const std::string& docSource, const std::set<std::string>& keywords,
+    DistributedSearchStats* stats, int maxRetries) {
+  DistributedSearchStats local;
+  for (int attempt = 0;; ++attempt) {
+    const auto query = client.makeQuery(keywords);
+    const auto envelopes =
+        broker.privateSearch(docSource, client.dictionary(), query);
+    local.envelopes = envelopes.size();
+    local.documents = 0;
+    for (const auto& env : envelopes) local.documents += env.segmentsProcessed;
+    try {
+      std::vector<pss::RecoveredSegment> all;
+      for (const auto& env : envelopes) {
+        const auto part = client.open(env);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      std::sort(all.begin(), all.end(),
+                [](const pss::RecoveredSegment& a,
+                   const pss::RecoveredSegment& b) { return a.index < b.index; });
+      if (stats != nullptr) *stats = local;
+      return all;
+    } catch (const CryptoError& e) {
+      ++local.retries;
+      if (attempt >= maxRetries) throw;
+      DPSS_LOG(Warn) << "distributed private search: singular slice, "
+                     << "re-scattering batch (" << e.what() << ")";
+    }
+  }
+}
+
+}  // namespace dpss::cluster

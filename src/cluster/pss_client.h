@@ -1,0 +1,30 @@
+// Client-side driver for the distributed private search (§III-C over the
+// cluster): one call makes the encrypted query, scatters it through the
+// broker, opens every per-slice envelope, and retries the whole batch
+// with fresh seeds when a slice's reconstruction system is singular.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/broker_node.h"
+#include "pss/session.h"
+
+namespace dpss::cluster {
+
+struct DistributedSearchStats {
+  std::size_t envelopes = 0;    // slices searched (nodes involved)
+  std::size_t retries = 0;      // singular-system batch retries
+  std::uint64_t documents = 0;  // stream length covered
+};
+
+/// Runs one distributed private-search round. Throws CryptoError after
+/// `maxRetries` singular batches, NotFound when no node serves the
+/// document source.
+std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
+    BrokerNode& broker, pss::PrivateSearchClient& client,
+    const std::string& docSource, const std::set<std::string>& keywords,
+    DistributedSearchStats* stats = nullptr, int maxRetries = 5);
+
+}  // namespace dpss::cluster

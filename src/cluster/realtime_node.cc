@@ -1,0 +1,342 @@
+#include "cluster/realtime_node.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "cluster/names.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "query/engine.h"
+#include "storage/segment_builder.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::cluster {
+
+using storage::SegmentId;
+using storage::SegmentPtr;
+
+RealtimeNode::RealtimeNode(std::string name, Registry& registry,
+                           MessageQueue& queue, std::string topic,
+                           std::size_t partition,
+                           storage::DeepStorage& deepStorage,
+                           MetaStore& metaStore, Transport& transport,
+                           Clock& clock, storage::Schema schema,
+                           std::string dataSource, NodeDisk& disk,
+                           RealtimeNodeOptions options)
+    : name_(std::move(name)),
+      registry_(registry),
+      queue_(queue),
+      topic_(std::move(topic)),
+      partition_(partition),
+      deepStorage_(deepStorage),
+      metaStore_(metaStore),
+      transport_(transport),
+      clock_(clock),
+      schema_(std::move(schema)),
+      dataSource_(std::move(dataSource)),
+      disk_(disk),
+      options_(options) {
+  DPSS_CHECK_MSG(options_.segmentGranularityMs > 0, "granularity must be > 0");
+}
+
+RealtimeNode::~RealtimeNode() {
+  if (running_) stop();
+}
+
+TimeMs RealtimeNode::bucketStart(TimeMs t) const {
+  const TimeMs g = options_.segmentGranularityMs;
+  TimeMs b = t - (t % g);
+  if (t < 0 && t % g != 0) b -= g;
+  return b;
+}
+
+SegmentId RealtimeNode::realtimeSegmentId(TimeMs bucket) const {
+  SegmentId id;
+  id.dataSource = dataSource_;
+  id.interval = Interval(bucket, bucket + options_.segmentGranularityMs);
+  // All real-time partitions of a stream share one version so none
+  // overshadows another ("each real-time segment has a partition
+  // number"); "rt" < "v..." lexicographically, so a handed-off historical
+  // version always overshadows the live one.
+  id.version = "rt";
+  id.partition = static_cast<std::uint32_t>(partition_);
+  return id;
+}
+
+void RealtimeNode::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DPSS_CHECK_MSG(!running_, "node already running");
+    session_ = registry_.connect(name_);
+    running_ = true;
+    // Recovery: "reload any index which has been persisted to disk and
+    // then read the message queue from the last committed offset".
+    offset_ = queue_.committed(name_, topic_, partition_);
+    lastPersist_ = clock_.nowMs();
+    // Handoff versions must keep increasing across restarts so newer
+    // re-handoffs overshadow older ones; seed the sequence from the clock.
+    if (versionCounter_ == 0) {
+      versionCounter_ = static_cast<std::uint64_t>(clock_.nowMs()) * 1000;
+    }
+  }
+  registry_.create(paths::nodeAnnouncement(name_), "realtime", session_,
+                   /*ephemeral=*/true);
+  transport_.bind(name_, [this](const std::string& req) {
+    return handleRpc(req);
+  });
+  // Re-announce buckets with surviving persisted data.
+  std::vector<TimeMs> buckets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [bucket, snaps] : disk_.persisted) {
+      if (!snaps.empty()) buckets.push_back(bucket);
+    }
+  }
+  for (const auto b : buckets) announceBucket(b);
+  DPSS_LOG(Info) << "realtime node " << name_ << " online from offset "
+                 << offset_;
+}
+
+void RealtimeNode::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    live_.clear();
+    announced_.clear();
+    awaitingServe_.clear();
+  }
+  transport_.unbind(name_);
+  registry_.expire(session_);
+  std::lock_guard<std::mutex> lock(mu_);
+  session_.reset();
+}
+
+void RealtimeNode::crash() { stop(); }  // identical observable effect:
+                                        // ephemerals vanish, disk survives
+
+void RealtimeNode::tick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+  }
+  ingest();
+  persistIfDue();
+  handoffIfDue();
+}
+
+void RealtimeNode::ingest() {
+  for (;;) {
+    const auto messages =
+        queue_.poll(topic_, partition_, offset_, options_.maxPollBatch);
+    if (messages.empty()) return;
+    std::vector<TimeMs> newBuckets;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& m : messages) {
+        const auto row = storage::decodeInputRow(m.payload);
+        const TimeMs bucket = bucketStart(row.timestamp);
+        auto& index = live_[bucket];
+        if (index == nullptr) {
+          index = std::make_unique<storage::IncrementalIndex>(
+              schema_, options_.rollupGranularityMs);
+          newBuckets.push_back(bucket);
+        }
+        index->add(row);
+        ++eventsIngested_;
+        offset_ = m.offset + 1;
+      }
+    }
+    for (const auto b : newBuckets) announceBucket(b);
+  }
+}
+
+void RealtimeNode::announceBucket(TimeMs bucket) {
+  bool needed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    if (!announced_[bucket]) {
+      announced_[bucket] = true;
+      needed = true;
+    }
+  }
+  if (!needed) return;
+  const SegmentId id = realtimeSegmentId(bucket);
+  try {
+    registry_.create(paths::servedSegment(name_, id), id.toString(), session_,
+                     /*ephemeral=*/true);
+  } catch (const AlreadyExists&) {
+    // Restart within the same process lifetime; announcement persists.
+  }
+}
+
+void RealtimeNode::persistIfDue() {
+  const TimeMs now = clock_.nowMs();
+  std::uint64_t offsetToCommit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now - lastPersist_ < options_.persistPeriodMs) return;
+    lastPersist_ = now;
+    for (auto& [bucket, index] : live_) {
+      if (index == nullptr || index->empty()) continue;
+      // Each persisted index is unchangeable.
+      SegmentId snapId = realtimeSegmentId(bucket);
+      snapId.version += "-p" + std::to_string(disk_.persisted[bucket].size());
+      disk_.persisted[bucket].push_back(index->persistAndClear(snapId));
+    }
+    offsetToCommit = offset_;
+  }
+  // "a real-time compute node uses the offset of the last message of the
+  // most recently persisted index to update the message queue".
+  queue_.commit(name_, topic_, partition_, offsetToCommit);
+  DPSS_LOG(Info) << name_ << " persisted indexes, committed offset "
+                 << offsetToCommit;
+}
+
+void RealtimeNode::handoffIfDue() {
+  const TimeMs now = clock_.nowMs();
+
+  // Phase 1: buckets past end + window -> merge, upload, register.
+  std::vector<TimeMs> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [bucket, flag] : announced_) {
+      (void)flag;
+      if (awaitingServe_.count(bucket) > 0) continue;
+      const TimeMs bucketEnd = bucket + options_.segmentGranularityMs;
+      if (bucketEnd + options_.windowMs <= now) ready.push_back(bucket);
+    }
+  }
+  for (const auto bucket : ready) {
+    std::vector<SegmentPtr> parts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Late data still in memory joins the merge.
+      auto liveIt = live_.find(bucket);
+      if (liveIt != live_.end() && liveIt->second != nullptr &&
+          !liveIt->second->empty()) {
+        SegmentId snapId = realtimeSegmentId(bucket);
+        snapId.version +=
+            "-p" + std::to_string(disk_.persisted[bucket].size());
+        disk_.persisted[bucket].push_back(
+            liveIt->second->persistAndClear(snapId));
+      }
+      parts = disk_.persisted[bucket];
+    }
+    SegmentId historicalId;
+    historicalId.dataSource = dataSource_;
+    historicalId.interval =
+        Interval(bucket, bucket + options_.segmentGranularityMs);
+    char version[32];
+    std::snprintf(version, sizeof(version), "v%020" PRIu64,
+                  ++versionCounter_);
+    historicalId.version = version;
+    historicalId.partition = static_cast<std::uint32_t>(partition_);
+
+    if (parts.empty()) {
+      // Nothing ever arrived for this bucket; just unannounce.
+      std::lock_guard<std::mutex> lock(mu_);
+      awaitingServe_[bucket] = PendingHandoff{historicalId};
+      continue;
+    }
+    const SegmentPtr merged = storage::mergeSegments(parts, historicalId);
+    const std::string blob = storage::encodeSegment(*merged);
+    const std::string key = historicalId.toString();
+    deepStorage_.put(key, blob);
+    SegmentRecord record;
+    record.id = historicalId;
+    record.deepStorageKey = key;
+    record.sizeBytes = blob.size();
+    metaStore_.upsertSegment(record);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      awaitingServe_[bucket] = PendingHandoff{historicalId};
+    }
+    DPSS_LOG(Info) << name_ << " handed off " << historicalId.toString();
+  }
+
+  // Phase 2: buckets whose historical segment is now served somewhere ->
+  // delete local state and unannounce ("publish it will never serve this
+  // segment").
+  std::vector<TimeMs> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [bucket, pending] : awaitingServe_) {
+      const std::string segName = paths::segmentNode(pending.historicalId);
+      bool servedSomewhere = disk_.persisted[bucket].empty();  // empty bucket
+      if (!servedSomewhere) {
+        for (const auto& node : registry_.children(paths::announcements())) {
+          if (node == name_) continue;
+          if (registry_.exists(paths::nodeAnnouncement(node) + "/" +
+                               segName)) {
+            servedSomewhere = true;
+            break;
+          }
+        }
+      }
+      if (servedSomewhere) done.push_back(bucket);
+    }
+    for (const auto bucket : done) {
+      live_.erase(bucket);
+      disk_.persisted.erase(bucket);
+      awaitingServe_.erase(bucket);
+      announced_.erase(bucket);
+    }
+  }
+  for (const auto bucket : done) {
+    registry_.remove(paths::servedSegment(name_, realtimeSegmentId(bucket)));
+    DPSS_LOG(Info) << name_ << " retired real-time segment for bucket "
+                   << bucket;
+  }
+}
+
+std::size_t RealtimeNode::pendingHandoffs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return awaitingServe_.size();
+}
+
+std::vector<SegmentId> RealtimeNode::announcedSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentId> out;
+  for (const auto& [bucket, flag] : announced_) {
+    if (flag) out.push_back(realtimeSegmentId(bucket));
+  }
+  return out;
+}
+
+std::string RealtimeNode::handleRpc(const std::string& request) {
+  if (request.empty()) throw CorruptData("empty rpc");
+  const auto tag = static_cast<std::uint8_t>(request[0]);
+  if (tag != rpc::kQuerySegment) throw CorruptData("unsupported rpc");
+  const auto req = SegmentQueryRequest::decode(request.substr(1));
+
+  // "The real-time compute node maintains a comprehensive view of the
+  // current index being updated and of all indexes persisted to disk.
+  // This comprehensive view allows all indexes on a node to be queried."
+  const TimeMs bucket = req.segment.interval.start();
+  std::vector<SegmentPtr> view;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto diskIt = disk_.persisted.find(bucket);
+    if (diskIt != disk_.persisted.end()) {
+      view = diskIt->second;
+    }
+    const auto liveIt = live_.find(bucket);
+    if (liveIt != live_.end() && liveIt->second != nullptr &&
+        !liveIt->second->empty()) {
+      view.push_back(liveIt->second->snapshot(req.segment));
+    }
+  }
+  query::QueryResult result;
+  for (const auto& part : view) {
+    result.mergeFrom(query::scanSegment(*part, req.spec));
+  }
+  result.segmentsScanned = view.empty() ? 0 : 1;
+  ByteWriter w;
+  result.serialize(w);
+  return w.take();
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,123 @@
+// Real-time compute node (§III-A-2).
+//
+// Consumes events from the message queue into an in-memory incremental
+// index (queryable immediately), persists the index to local disk on a
+// period, commits the consumed offset after each persist ("periodically
+// committing offsets can reduce the amount of re-scanned data after a
+// real-time compute node fails"), and after the segment interval plus a
+// window time has passed merges all persisted indexes into a historical
+// segment, uploads it to deep storage, registers it in the metadata
+// store, and unannounces its own real-time segment once a historical node
+// serves the handoff ("there is no data loss").
+//
+// The node is clock-driven through tick(): the cluster harness (or a
+// test) advances the clock and calls tick(), keeping every schedule
+// deterministic. Crash/restart is modeled by constructing a new node over
+// the same NodeDisk — persisted indexes and the committed queue offset
+// are all that survive, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/message_queue.h"
+#include "cluster/metastore.h"
+#include "cluster/registry.h"
+#include "cluster/transport.h"
+#include "common/clock.h"
+#include "storage/deep_storage.h"
+#include "storage/incremental_index.h"
+
+namespace dpss::cluster {
+
+/// The node's local disk: persisted index snapshots per segment interval.
+/// Survives crash/restart (held by the harness, not the node).
+struct NodeDisk {
+  // interval start -> persisted immutable snapshots.
+  std::map<TimeMs, std::vector<storage::SegmentPtr>> persisted;
+};
+
+struct RealtimeNodeOptions {
+  TimeMs segmentGranularityMs = 3'600'000;  // hourly real-time segments
+  TimeMs persistPeriodMs = 600'000;         // "every 10 minutes"
+  TimeMs windowMs = 600'000;                // handoff window time
+  TimeMs rollupGranularityMs = 60'000;      // aggregate roll-up bucket
+  std::size_t maxPollBatch = 4096;
+};
+
+class RealtimeNode {
+ public:
+  RealtimeNode(std::string name, Registry& registry, MessageQueue& queue,
+               std::string topic, std::size_t partition,
+               storage::DeepStorage& deepStorage, MetaStore& metaStore,
+               Transport& transport, Clock& clock, storage::Schema schema,
+               std::string dataSource, NodeDisk& disk,
+               RealtimeNodeOptions options = {});
+  ~RealtimeNode();
+
+  RealtimeNode(const RealtimeNode&) = delete;
+  RealtimeNode& operator=(const RealtimeNode&) = delete;
+
+  /// Connects, recovers from disk + committed offset, announces.
+  void start();
+  void stop();
+  /// Crash: in-memory index lost; disk and committed offset survive.
+  void crash();
+
+  /// One scheduling round: ingest available messages, then run persist
+  /// and handoff if their deadlines passed.
+  void tick();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t eventsIngested() const { return eventsIngested_; }
+  std::uint64_t currentOffset() const { return offset_; }
+  std::size_t pendingHandoffs() const;
+  std::vector<storage::SegmentId> announcedSegments() const;
+
+ private:
+  TimeMs bucketStart(TimeMs t) const;
+  storage::SegmentId realtimeSegmentId(TimeMs bucket) const;
+  void ingest();
+  void persistIfDue();
+  void handoffIfDue();
+  void announceBucket(TimeMs bucket);
+  std::string handleRpc(const std::string& request);
+
+  std::string name_;
+  Registry& registry_;
+  MessageQueue& queue_;
+  std::string topic_;
+  std::size_t partition_;
+  storage::DeepStorage& deepStorage_;
+  MetaStore& metaStore_;
+  Transport& transport_;
+  Clock& clock_;
+  storage::Schema schema_;
+  std::string dataSource_;
+  NodeDisk& disk_;
+  RealtimeNodeOptions options_;
+
+  mutable std::mutex mu_;
+  SessionPtr session_;
+  bool running_ = false;
+  std::uint64_t offset_ = 0;           // next queue offset to read
+  std::uint64_t eventsIngested_ = 0;
+  TimeMs lastPersist_ = 0;
+  std::uint64_t versionCounter_ = 0;   // handoff version sequence
+
+  // Live in-memory indexes per segment interval start.
+  std::map<TimeMs, std::unique_ptr<storage::IncrementalIndex>> live_;
+  // Buckets whose historical segment was uploaded; waiting for a
+  // historical node to serve it before unannouncing.
+  struct PendingHandoff {
+    storage::SegmentId historicalId;
+  };
+  std::map<TimeMs, PendingHandoff> awaitingServe_;
+  std::map<TimeMs, bool> announced_;
+};
+
+}  // namespace dpss::cluster

@@ -1,0 +1,172 @@
+#include "cluster/registry.h"
+
+#include "common/error.h"
+
+namespace dpss::cluster {
+
+namespace {
+void validatePath(const std::string& path) {
+  if (path.empty() || path[0] != '/' ||
+      (path.size() > 1 && path.back() == '/')) {
+    throw InvalidArgument("bad registry path: '" + path + "'");
+  }
+}
+}  // namespace
+
+SessionPtr Registry::connect(const std::string& ownerName) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SessionPtr(new RegistrySession(this, nextSessionId_++, ownerName));
+}
+
+std::string Registry::parentOf(const std::string& path) {
+  const auto slash = path.rfind('/');
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void Registry::create(const std::string& path, const std::string& data,
+                      const SessionPtr& session, bool ephemeral) {
+  validatePath(path);
+  DPSS_CHECK_MSG(session != nullptr, "create requires a session");
+  std::vector<Watch> toFire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session->expired()) throw Unavailable("session expired");
+    if (nodes_.count(path) > 0) {
+      throw AlreadyExists("znode already exists: " + path);
+    }
+    // Materialize persistent parents.
+    std::string parent = parentOf(path);
+    std::vector<std::string> missing;
+    while (parent != "/" && nodes_.count(parent) == 0) {
+      missing.push_back(parent);
+      parent = parentOf(parent);
+    }
+    for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+      nodes_.emplace(*it, Node{});
+    }
+    Node node;
+    node.data = data;
+    node.ephemeral = ephemeral;
+    node.sessionId = ephemeral ? session->id() : 0;
+    nodes_.emplace(path, std::move(node));
+    notifyLocked(parentOf(path), toFire);
+  }
+  for (const auto& w : toFire) w(path);
+}
+
+void Registry::setData(const std::string& path, const std::string& data) {
+  validatePath(path);
+  std::vector<Watch> toFire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw NotFound("no such znode: " + path);
+    it->second.data = data;
+    notifyLocked(parentOf(path), toFire);
+  }
+  for (const auto& w : toFire) w(path);
+}
+
+std::optional<std::string> Registry::getData(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(path);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.data;
+}
+
+bool Registry::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.count(path) > 0;
+}
+
+void Registry::removeSubtreeLocked(const std::string& path,
+                                   std::set<std::string>& changedParents) {
+  const std::string prefix = path + "/";
+  auto it = nodes_.lower_bound(path);
+  while (it != nodes_.end() &&
+         (it->first == path || it->first.rfind(prefix, 0) == 0)) {
+    changedParents.insert(parentOf(it->first));
+    it = nodes_.erase(it);
+  }
+}
+
+void Registry::remove(const std::string& path) {
+  validatePath(path);
+  std::vector<Watch> toFire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (nodes_.count(path) == 0) return;
+    std::set<std::string> changedParents;
+    removeSubtreeLocked(path, changedParents);
+    for (const auto& parent : changedParents) notifyLocked(parent, toFire);
+  }
+  for (const auto& w : toFire) w(path);
+}
+
+std::vector<std::string> Registry::children(const std::string& path) const {
+  validatePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> out;
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) break;
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) out.push_back(rest);
+  }
+  return out;
+}
+
+std::uint64_t Registry::watchChildren(const std::string& path, Watch watch) {
+  validatePath(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = nextWatchId_++;
+  watches_.emplace(id, WatchEntry{path, std::move(watch)});
+  return id;
+}
+
+void Registry::unwatch(std::uint64_t watchId) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watches_.erase(watchId);
+}
+
+void Registry::notifyLocked(const std::string& parentPath,
+                            std::vector<Watch>& toFire) const {
+  for (const auto& [id, entry] : watches_) {
+    (void)id;
+    if (entry.path == parentPath) toFire.push_back(entry.fn);
+  }
+}
+
+void Registry::expire(const SessionPtr& session) {
+  if (session == nullptr || session->expired()) return;
+  std::vector<Watch> toFire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session->expired_ = true;
+    std::set<std::string> changedParents;
+    for (auto it = nodes_.begin(); it != nodes_.end();) {
+      if (it->second.ephemeral && it->second.sessionId == session->id()) {
+        changedParents.insert(parentOf(it->first));
+        it = nodes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& parent : changedParents) notifyLocked(parent, toFire);
+  }
+  for (const auto& w : toFire) w("");
+}
+
+RegistrySession::~RegistrySession() {
+  // Session handles are shared; the last owner dropping the handle ends
+  // the session, mirroring a client disconnect.
+  if (!expired_ && registry_ != nullptr) {
+    // Cannot call expire(shared_from_this) from the destructor; inline the
+    // ephemeral sweep via a throwaway shared_ptr with no-op deleter.
+    SessionPtr self(this, [](RegistrySession*) {});
+    registry_->expire(self);
+  }
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,114 @@
+// Coordination service — the in-process Zookeeper (§III-A).
+//
+// The paper's nodes interact exclusively through znodes: historical nodes
+// publish "announcements" (online status + served segments) as ephemeral
+// nodes, the coordinator writes assignments into per-node "load queue"
+// paths, and the broker watches announcements to build its global view.
+// This class reproduces exactly those primitives: a hierarchical key
+// space, ephemeral nodes bound to sessions, and child/data watches.
+//
+// Thread-safety: all operations lock a single registry mutex; watch
+// callbacks fire synchronously after the mutation, outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpss::cluster {
+
+/// A session handle. Destroying it (or calling expire()) removes every
+/// ephemeral node it owns — the Zookeeper session-loss semantics that
+/// drive failure detection in the cluster.
+class RegistrySession;
+using SessionPtr = std::shared_ptr<RegistrySession>;
+
+class Registry {
+ public:
+  using Watch = std::function<void(const std::string& path)>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Opens a session for a node.
+  SessionPtr connect(const std::string& ownerName);
+
+  /// Creates a node at `path` with `data`. Parents are created implicitly
+  /// (as persistent nodes). Throws AlreadyExists.
+  void create(const std::string& path, const std::string& data,
+              const SessionPtr& session, bool ephemeral);
+
+  /// Updates data; throws NotFound.
+  void setData(const std::string& path, const std::string& data);
+
+  std::optional<std::string> getData(const std::string& path) const;
+  bool exists(const std::string& path) const;
+
+  /// Deletes a node (and its subtree). Unknown paths are ignored.
+  void remove(const std::string& path);
+
+  /// Direct children names (not full paths), sorted.
+  std::vector<std::string> children(const std::string& path) const;
+
+  /// Fires `watch` whenever the direct-children set of `path` changes or
+  /// data of a direct child changes. Persistent (re-arms itself).
+  /// Returns an id usable with unwatch().
+  std::uint64_t watchChildren(const std::string& path, Watch watch);
+  void unwatch(std::uint64_t watchId);
+
+  /// Ends a session: every ephemeral node it owns disappears (with
+  /// watches firing) — simulates a node crash / network partition.
+  void expire(const SessionPtr& session);
+
+ private:
+  struct Node {
+    std::string data;
+    bool ephemeral = false;
+    std::uint64_t sessionId = 0;  // owner session for ephemerals
+  };
+  struct WatchEntry {
+    std::string path;
+    Watch fn;
+  };
+
+  void notifyLocked(const std::string& parentPath,
+                    std::vector<Watch>& toFire) const;
+  static std::string parentOf(const std::string& path);
+  void removeSubtreeLocked(const std::string& path,
+                           std::set<std::string>& changedParents);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Node> nodes_;
+  std::map<std::uint64_t, WatchEntry> watches_;
+  std::uint64_t nextWatchId_ = 1;
+  std::uint64_t nextSessionId_ = 1;
+
+  friend class RegistrySession;
+};
+
+class RegistrySession {
+ public:
+  ~RegistrySession();
+  std::uint64_t id() const { return id_; }
+  const std::string& owner() const { return owner_; }
+  bool expired() const { return expired_; }
+
+ private:
+  friend class Registry;
+  RegistrySession(Registry* registry, std::uint64_t id, std::string owner)
+      : registry_(registry), id_(id), owner_(std::move(owner)) {}
+
+  Registry* registry_;
+  std::uint64_t id_;
+  std::string owner_;
+  bool expired_ = false;
+};
+
+}  // namespace dpss::cluster

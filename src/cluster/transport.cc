@@ -1,0 +1,100 @@
+#include "cluster/transport.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dpss::cluster {
+
+void Transport::bind(const std::string& nodeName, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[nodeName] = std::move(handler);
+}
+
+void Transport::unbind(const std::string& nodeName) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_.erase(nodeName);
+}
+
+bool Transport::reachable(const std::string& nodeName) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = partitioned_.find(nodeName);
+  const bool cut = it != partitioned_.end() && it->second;
+  return !cut && handlers_.count(nodeName) > 0;
+}
+
+std::string Transport::call(const std::string& nodeName,
+                            const std::string& request) {
+  RpcHandler handler;
+  TimeMs latency = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++calls_;
+    const auto failIt = failures_.find(nodeName);
+    if (failIt != failures_.end() && failIt->second > 0) {
+      --failIt->second;
+      throw Unavailable("injected network failure to " + nodeName);
+    }
+    const auto partIt = partitioned_.find(nodeName);
+    if (partIt != partitioned_.end() && partIt->second) {
+      throw Unavailable("node partitioned away: " + nodeName);
+    }
+    const auto it = handlers_.find(nodeName);
+    if (it == handlers_.end()) {
+      throw Unavailable("no route to node: " + nodeName);
+    }
+    handler = it->second;
+    latency = latencyMs_;
+  }
+  if (latency > 0) clock_.sleepFor(latency);
+  std::string response = handler(request);
+  if (latency > 0) clock_.sleepFor(latency);
+  return response;
+}
+
+void Transport::setLatencyMs(TimeMs ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencyMs_ = ms;
+}
+
+void Transport::failNextCalls(const std::string& nodeName, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failures_[nodeName] = n;
+}
+
+void Transport::setPartitioned(const std::string& nodeName, bool partitioned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_[nodeName] = partitioned;
+}
+
+std::uint64_t Transport::callCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+std::string SegmentQueryRequest::encode() const {
+  ByteWriter w;
+  w.u8(rpc::kQuerySegment);
+  segment.serialize(w);
+  spec.serialize(w);
+  return w.take();
+}
+
+SegmentQueryRequest SegmentQueryRequest::decode(const std::string& bytes) {
+  ByteReader r(bytes);
+  SegmentQueryRequest req;
+  req.segment = storage::SegmentId::deserialize(r);
+  req.spec = query::QuerySpec::deserialize(r);
+  return req;
+}
+
+query::QueryResult callQuerySegment(Transport& transport,
+                                    const std::string& nodeName,
+                                    const storage::SegmentId& segment,
+                                    const query::QuerySpec& spec) {
+  SegmentQueryRequest req{segment, spec};
+  const std::string responseBytes = transport.call(nodeName, req.encode());
+  ByteReader r(responseBytes);
+  return query::QueryResult::deserialize(r);
+}
+
+}  // namespace dpss::cluster

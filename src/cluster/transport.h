@@ -1,0 +1,84 @@
+// In-process query transport (§III-A: "the query is forwarded via HTTP").
+//
+// Every call crosses a serialization boundary — the request and response
+// are encoded to bytes and decoded on the other side — so nothing is
+// shared between nodes except what the real system would put on the wire
+// (shared-nothing honesty). Latency and failure injection emulate the
+// network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "storage/segment_id.h"
+
+namespace dpss::cluster {
+
+/// A node-side handler: receives the serialized request, returns the
+/// serialized response. Throws to signal a node-side error.
+using RpcHandler = std::function<std::string(const std::string& requestBytes)>;
+
+class Transport {
+ public:
+  explicit Transport(Clock& clock) : clock_(clock) {}
+
+  /// Registers/replaces the handler serving `nodeName`.
+  void bind(const std::string& nodeName, RpcHandler handler);
+  void unbind(const std::string& nodeName);
+  bool reachable(const std::string& nodeName) const;
+
+  /// Sends request bytes to a node; throws Unavailable when the node is
+  /// unbound, disconnected, or an injected failure fires.
+  std::string call(const std::string& nodeName, const std::string& request);
+
+  // --- network emulation ----------------------------------------------
+  /// One-way artificial latency per call (applied twice: there and back).
+  void setLatencyMs(TimeMs ms);
+  /// The next `n` calls to `nodeName` throw Unavailable.
+  void failNextCalls(const std::string& nodeName, std::size_t n);
+  /// Drops a node off the network without unbinding it (partition).
+  void setPartitioned(const std::string& nodeName, bool partitioned);
+
+  std::uint64_t callCount() const;
+
+ private:
+  Clock& clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, RpcHandler> handlers_;
+  std::map<std::string, std::size_t> failures_;
+  std::map<std::string, bool> partitioned_;
+  TimeMs latencyMs_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+// --- wire protocol -------------------------------------------------------
+
+namespace rpc {
+/// First byte of every request selects the operation.
+constexpr std::uint8_t kQuerySegment = 1;  // scan one served segment
+constexpr std::uint8_t kPssInfo = 2;       // describe a document slice
+constexpr std::uint8_t kPssSearch = 3;     // run encrypted query on a slice
+}  // namespace rpc
+
+/// Request to scan one served segment.
+struct SegmentQueryRequest {
+  storage::SegmentId segment;
+  query::QuerySpec spec;
+
+  std::string encode() const;  // includes the rpc::kQuerySegment tag
+  static SegmentQueryRequest decode(const std::string& bytes);  // after tag
+};
+
+/// Issues a segment-scan RPC and decodes the partial result.
+query::QueryResult callQuerySegment(Transport& transport,
+                                    const std::string& nodeName,
+                                    const storage::SegmentId& segment,
+                                    const query::QuerySpec& spec);
+
+}  // namespace dpss::cluster

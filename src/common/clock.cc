@@ -1,0 +1,61 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace dpss {
+
+TimeMs SystemClock::nowMs() const {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::sleepFor(TimeMs ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+TimeMs ManualClock::nowMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void ManualClock::sleepFor(TimeMs ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const TimeMs deadline = now_ + ms;
+  ++sleepers_;
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+  --sleepers_;
+}
+
+std::size_t ManualClock::sleeperCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sleepers_;
+}
+
+void ManualClock::advance(TimeMs delta) {
+  DPSS_CHECK_MSG(delta >= 0, "manual clock cannot move backwards");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += delta;
+  }
+  cv_.notify_all();
+}
+
+void ManualClock::set(TimeMs t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DPSS_CHECK_MSG(t >= now_, "manual clock cannot move backwards");
+    now_ = t;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace dpss

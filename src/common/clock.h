@@ -1,0 +1,68 @@
+// Time source abstraction.
+//
+// Every time-dependent component in dpss (real-time node persist periods,
+// window-time handoff, coordinator cycles, caches) takes a Clock&, so tests
+// drive them deterministically with ManualClock instead of sleeping.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dpss {
+
+/// Milliseconds since the epoch (the paper's data model keys rows and
+/// segment intervals by millisecond timestamps).
+using TimeMs = std::int64_t;
+
+/// Abstract monotone-enough time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in milliseconds since epoch.
+  virtual TimeMs nowMs() const = 0;
+
+  /// Blocks the calling thread for roughly `ms` of this clock's time.
+  /// ManualClock returns as soon as the clock is advanced past the deadline.
+  virtual void sleepFor(TimeMs ms) = 0;
+};
+
+/// Wall-clock time. Suitable for examples and benches.
+class SystemClock final : public Clock {
+ public:
+  TimeMs nowMs() const override;
+  void sleepFor(TimeMs ms) override;
+
+  /// Process-wide instance (stateless, so sharing is safe).
+  static SystemClock& instance();
+};
+
+/// Deterministic, manually advanced clock for tests. Thread-safe: worker
+/// threads may block in sleepFor() while the test thread advances time.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeMs start = 0) : now_(start) {}
+
+  TimeMs nowMs() const override;
+  void sleepFor(TimeMs ms) override;
+
+  /// Moves time forward and wakes all sleepers whose deadline passed.
+  void advance(TimeMs delta);
+
+  /// Jumps to an absolute time (must not move backwards).
+  void set(TimeMs t);
+
+  /// Number of threads currently blocked in sleepFor(). Lets tests
+  /// synchronize with a sleeper deterministically before advancing.
+  std::size_t sleeperCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  TimeMs now_;
+  std::size_t sleepers_ = 0;
+};
+
+}  // namespace dpss

@@ -1,0 +1,86 @@
+// Error types and checking macros used across dpss.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we use exceptions for
+// error handling, with a small hierarchy rooted at dpss::Error so callers
+// can distinguish subsystem failures when they care and catch the root
+// when they do not.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpss {
+
+/// Root of all dpss exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user input: malformed query, bad parameter, out-of-range value.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A referenced entity (segment, znode, topic, blob) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// An entity that must not exist already does (znode create, topic create).
+class AlreadyExists : public Error {
+ public:
+  explicit AlreadyExists(const std::string& what) : Error(what) {}
+};
+
+/// Data failed to decode: corrupt segment blob, bad magic, short buffer.
+class CorruptData : public Error {
+ public:
+  explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+/// Cryptographic failure: key mismatch, non-invertible element, bad key size.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error(what) {}
+};
+
+/// The operation is valid but the component cannot serve it right now
+/// (node stopped, session expired, all replicas lost).
+class Unavailable : public Error {
+ public:
+  explicit Unavailable(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violation; indicates a dpss bug, not user error.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwCheckFailure(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dpss
+
+/// Runtime invariant check that stays on in release builds. Throws
+/// dpss::InternalError with location info on failure.
+#define DPSS_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dpss::detail::throwCheckFailure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                   \
+  } while (false)
+
+/// Like DPSS_CHECK but with an extra message (anything streamable to
+/// std::string via operator+ is overkill; we take a std::string).
+#define DPSS_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::dpss::detail::throwCheckFailure(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                     \
+  } while (false)

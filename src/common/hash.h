@@ -1,0 +1,44 @@
+// Non-cryptographic hashing primitives.
+//
+// Used for dictionary/bitmap internals, result-cache fingerprints, the
+// Bloom-filter hash family of the matching-indices buffer, and the keyed
+// PRF g(i, j) of the private search scheme (see crypto/prf.h for the
+// query-facing wrappers).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dpss {
+
+/// SplitMix64 finalizer: a strong 64-bit mixing function. Deterministic
+/// across platforms, which the PSS reconstruction relies on (client and
+/// broker must evaluate the identical function).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one (order-sensitive).
+constexpr std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// FNV-1a over bytes; stable across platforms.
+constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash of a string with a seed, for seeded hash families.
+constexpr std::uint64_t seededHash(std::uint64_t seed, std::string_view bytes) {
+  return hashCombine(seed, fnv1a(bytes));
+}
+
+}  // namespace dpss

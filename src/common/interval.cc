@@ -1,0 +1,27 @@
+#include "common/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dpss {
+
+Interval::Interval(TimeMs start, TimeMs end) : start_(start), end_(end) {
+  DPSS_CHECK_MSG(start <= end, "interval start must be <= end");
+}
+
+Interval Interval::intersect(const Interval& other) const {
+  const TimeMs s = std::max(start_, other.start_);
+  const TimeMs e = std::min(end_, other.end_);
+  if (s >= e) return Interval(s, s);
+  return Interval(s, e);
+}
+
+std::string Interval::toString() const {
+  std::ostringstream os;
+  os << "[" << start_ << "," << end_ << ")";
+  return os.str();
+}
+
+}  // namespace dpss

@@ -1,0 +1,59 @@
+// Half-open time interval [start, end) in epoch milliseconds.
+//
+// Segments (paper §III) are keyed by the time interval of the data they
+// hold; the broker's timeline and all query routing reason in intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace dpss {
+
+class Interval {
+ public:
+  /// Empty interval at time zero.
+  constexpr Interval() = default;
+
+  /// [start, end); requires start <= end (start == end is the empty interval).
+  Interval(TimeMs start, TimeMs end);
+
+  constexpr TimeMs start() const { return start_; }
+  constexpr TimeMs end() const { return end_; }
+  constexpr TimeMs durationMs() const { return end_ - start_; }
+  constexpr bool empty() const { return start_ == end_; }
+
+  /// True if `t` lies inside [start, end).
+  constexpr bool contains(TimeMs t) const { return t >= start_ && t < end_; }
+
+  /// True if `other` is fully inside this interval.
+  constexpr bool contains(const Interval& other) const {
+    return other.start_ >= start_ && other.end_ <= end_;
+  }
+
+  /// True if the two intervals share at least one instant.
+  constexpr bool overlaps(const Interval& other) const {
+    return start_ < other.end_ && other.start_ < end_;
+  }
+
+  /// Intersection; empty interval (at the overlap point) when disjoint.
+  Interval intersect(const Interval& other) const;
+
+  /// "[start,end)" — for logs and segment identifiers.
+  std::string toString() const;
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_;
+  }
+  /// Orders by start, then end; gives timelines a natural sort.
+  friend constexpr bool operator<(const Interval& a, const Interval& b) {
+    return a.start_ != b.start_ ? a.start_ < b.start_ : a.end_ < b.end_;
+  }
+
+ private:
+  TimeMs start_ = 0;
+  TimeMs end_ = 0;
+};
+
+}  // namespace dpss

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Nodes log lifecycle events (segment loads,
+// handoffs, coordinator decisions); tests run at Warn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpss {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum level (default: Warn).
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+void logLine(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { logLine(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dpss
+
+#define DPSS_LOG(level) \
+  ::dpss::detail::LogMessage(::dpss::LogLevel::k##level)

@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace dpss {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion of the seed, per the xoshiro authors' advice.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x = mix64(x);
+    s = x | 1;  // avoid the all-zero state
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  DPSS_CHECK_MSG(bound > 0, "Rng::below requires bound > 0");
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  DPSS_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  DPSS_CHECK_MSG(n >= 1, "Zipf needs at least one category");
+  DPSS_CHECK_MSG(s > 0, "Zipf exponent must be positive");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace dpss

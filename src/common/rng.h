@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation for workloads and internals.
+//
+// Xoshiro256** core plus the distributions the benchmarks need. The data
+// generator uses a Zipf sampler to reproduce the paper's "cardinalities
+// range from double digits to tens of millions" dimension skew.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpss {
+
+/// Xoshiro256** — fast, high-quality, seedable, copyable. Satisfies
+/// UniformRandomBitGenerator so it also plugs into <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli with probability p.
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using precomputed CDF; O(log n) draw.
+class ZipfDistribution {
+ public:
+  /// n >= 1; exponent s > 0 (s≈1 gives classic web-like skew).
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dpss

@@ -1,0 +1,139 @@
+#include "crypto/paillier.h"
+
+#include "common/error.h"
+
+namespace dpss::crypto {
+
+namespace {
+
+/// L(x) = (x - 1) / d; x must be ≡ 1 mod d for a well-formed input.
+Bigint ell(const Bigint& x, const Bigint& d) {
+  return Bigint::divFloor(x - Bigint(1), d);
+}
+
+}  // namespace
+
+PaillierPublicKey::PaillierPublicKey(Bigint n) : n_(std::move(n)) {
+  DPSS_CHECK_MSG(n_ > Bigint(1), "Paillier modulus must exceed 1");
+  n2_ = n_ * n_;
+}
+
+Ciphertext PaillierPublicKey::encrypt(const Bigint& m, Rng& rng) const {
+  DPSS_CHECK_MSG(m.sign() >= 0 && m < n_, "plaintext out of [0, n)");
+  // g^m with g = n+1: (1 + m·n) mod n².
+  const Bigint gm = (Bigint(1) + m * n_) % n2_;
+  // r uniform in Z*_n. gcd(r, n) != 1 would factor n; retry (never in
+  // practice for honest keys).
+  Bigint r;
+  do {
+    r = Bigint::randomBelow(rng, n_);
+  } while (r.isZero() || !Bigint::gcd(r, n_).isOne());
+  const Bigint rn = Bigint::powm(r, n_, n2_);
+  return Ciphertext{(gm * rn) % n2_};
+}
+
+Ciphertext PaillierPublicKey::addCipher(const Ciphertext& a,
+                                        const Ciphertext& b) const {
+  return Ciphertext{(a.value * b.value) % n2_};
+}
+
+Ciphertext PaillierPublicKey::mulPlain(const Ciphertext& c,
+                                       const Bigint& k) const {
+  DPSS_CHECK_MSG(k.sign() >= 0, "scalar must be non-negative");
+  return Ciphertext{Bigint::powm(c.value, k, n2_)};
+}
+
+Ciphertext PaillierPublicKey::addPlain(const Ciphertext& c,
+                                       const Bigint& m) const {
+  const Bigint gm = (Bigint(1) + (m % n_) * n_) % n2_;
+  return Ciphertext{(c.value * gm) % n2_};
+}
+
+bool PaillierPublicKey::validCiphertext(const Ciphertext& c) const {
+  return c.value.sign() >= 0 && c.value < n2_ &&
+         Bigint::gcd(c.value, n_).isOne();
+}
+
+void PaillierPublicKey::serialize(ByteWriter& w) const {
+  w.str(n_.toBytes());
+}
+
+PaillierPublicKey PaillierPublicKey::deserialize(ByteReader& r) {
+  return PaillierPublicKey(Bigint::fromBytes(r.str()));
+}
+
+PaillierPrivateKey::PaillierPrivateKey(Bigint p, Bigint q)
+    : p_(std::move(p)), q_(std::move(q)) {
+  DPSS_CHECK_MSG(!(p_ == q_), "p and q must differ");
+  DPSS_CHECK_MSG(p_.isProbablePrime() && q_.isProbablePrime(),
+                 "p and q must be prime");
+  pub_ = PaillierPublicKey(p_ * q_);
+  const Bigint& n = pub_.n();
+  const Bigint& n2 = pub_.nSquared();
+
+  lambda_ = Bigint::lcm(p_ - Bigint(1), q_ - Bigint(1));
+  // μ = L(g^λ mod n²)^{-1} mod n, g = n+1.
+  const Bigint gl = Bigint::powm(n + Bigint(1), lambda_, n2);
+  mu_ = Bigint::invert(ell(gl, n), n);
+
+  p2_ = p_ * p_;
+  q2_ = q_ * q_;
+  pMinus1_ = p_ - Bigint(1);
+  qMinus1_ = q_ - Bigint(1);
+  const Bigint gp = Bigint::powm(n + Bigint(1), pMinus1_, p2_);
+  const Bigint gq = Bigint::powm(n + Bigint(1), qMinus1_, q2_);
+  hp_ = Bigint::invert(ell(gp, p_) % p_, p_);
+  hq_ = Bigint::invert(ell(gq, q_) % q_, q_);
+  pInvModQ_ = Bigint::invert(p_, q_);
+}
+
+Bigint PaillierPrivateKey::decrypt(const Ciphertext& c) const {
+  const Bigint& n = pub_.n();
+  const Bigint& n2 = pub_.nSquared();
+  DPSS_CHECK_MSG(c.value.sign() >= 0 && c.value < n2,
+                 "ciphertext out of range");
+  const Bigint cl = Bigint::powm(c.value, lambda_, n2);
+  return (ell(cl, n) * mu_) % n;
+}
+
+Bigint PaillierPrivateKey::decryptCrt(const Ciphertext& c) const {
+  // m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise for q; then CRT.
+  const Bigint cp = Bigint::powm(c.value % p2_, pMinus1_, p2_);
+  const Bigint cq = Bigint::powm(c.value % q2_, qMinus1_, q2_);
+  const Bigint mp = (ell(cp, p_) % p_) * hp_ % p_;
+  const Bigint mq = (ell(cq, q_) % q_) * hq_ % q_;
+  // m = mp + p·((mq - mp)·p^{-1} mod q)
+  const Bigint diff = ((mq - mp) % q_ + q_) % q_;
+  return mp + p_ * ((diff * pInvModQ_) % q_);
+}
+
+void PaillierPrivateKey::serialize(ByteWriter& w) const {
+  w.str(p_.toBytes());
+  w.str(q_.toBytes());
+}
+
+PaillierPrivateKey PaillierPrivateKey::deserialize(ByteReader& r) {
+  Bigint p = Bigint::fromBytes(r.str());
+  Bigint q = Bigint::fromBytes(r.str());
+  return PaillierPrivateKey(std::move(p), std::move(q));
+}
+
+PaillierKeyPair generateKeyPair(std::size_t modulusBits, Rng& rng) {
+  DPSS_CHECK_MSG(modulusBits >= 64, "modulus must be at least 64 bits");
+  const std::size_t half = modulusBits / 2;
+  for (;;) {
+    Bigint p = Bigint::randomPrime(rng, half);
+    Bigint q = Bigint::randomPrime(rng, modulusBits - half);
+    if (p == q) continue;
+    const Bigint n = p * q;
+    if (n.bitLength() != modulusBits) continue;
+    // gcd(n, φ(n)) == 1 is automatic for same-size primes, but verify:
+    // needed for λ to be invertible mod n.
+    if (!Bigint::gcd(n, (p - Bigint(1)) * (q - Bigint(1))).isOne()) continue;
+    PaillierPrivateKey priv(std::move(p), std::move(q));
+    PaillierPublicKey pub = priv.publicKey();
+    return PaillierKeyPair{std::move(pub), std::move(priv)};
+  }
+}
+
+}  // namespace dpss::crypto

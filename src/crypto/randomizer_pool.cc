@@ -1,0 +1,66 @@
+#include "crypto/randomizer_pool.h"
+
+#include "common/error.h"
+
+namespace dpss::crypto {
+
+RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, Rng& rng)
+    : pub_(pub), rng_(rng) {
+  DPSS_CHECK_MSG(pub.modulusBits() > 0, "pool needs an initialized key");
+}
+
+Bigint RandomizerPool::makeRandomizer() {
+  // r uniform in Z*_n, then r^n mod n² — the blinding factor. Only the
+  // rng draw is serialized; the expensive exponentiation runs unlocked.
+  Bigint r;
+  {
+    std::lock_guard<std::mutex> lock(rngMu_);
+    do {
+      r = Bigint::randomBelow(rng_, pub_.n());
+    } while (r.isZero() || !Bigint::gcd(r, pub_.n()).isOne());
+  }
+  return Bigint::powm(r, pub_.n(), pub_.nSquared());
+}
+
+void RandomizerPool::refill(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Bigint rn = makeRandomizer();
+    std::lock_guard<std::mutex> lock(mu_);
+    pool_.push_back(std::move(rn));
+  }
+}
+
+std::size_t RandomizerPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+Ciphertext RandomizerPool::encrypt(const Bigint& m) {
+  DPSS_CHECK_MSG(m.sign() >= 0 && m < pub_.n(), "plaintext out of [0, n)");
+  Bigint rn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      rn = std::move(pool_.front());
+      pool_.pop_front();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+  if (rn.isZero()) rn = makeRandomizer();  // pool was dry
+  const Bigint gm = (Bigint(1) + m * pub_.n()) % pub_.nSquared();
+  return Ciphertext{(gm * rn) % pub_.nSquared()};
+}
+
+std::size_t RandomizerPool::pooledHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t RandomizerPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace dpss::crypto

@@ -1,0 +1,51 @@
+// Precomputed Paillier randomizers.
+//
+// Every encryption spends one r^n mod n² exponentiation on blinding —
+// by far its dominant cost, and independent of the message. A broker
+// initializing buffers (l_F·s + l_F + l_I encryptions of zero per batch)
+// can precompute randomizers offline/idle and drain them at enqueue
+// time; bench_ablation_paillier quantifies the speedup.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "common/rng.h"
+#include "crypto/paillier.h"
+
+namespace dpss::crypto {
+
+class RandomizerPool {
+ public:
+  /// Pool for one public key. `rng` is captured by reference and must
+  /// outlive the pool.
+  RandomizerPool(const PaillierPublicKey& pub, Rng& rng);
+
+  /// Precomputes `count` randomizers (r^n mod n²).
+  void refill(std::size_t count);
+
+  std::size_t available() const;
+
+  /// E(m) using a pooled randomizer; falls back to computing one on the
+  /// spot when the pool is dry (never blocks, never weakens randomness).
+  Ciphertext encrypt(const Bigint& m);
+  Ciphertext encryptZero() { return encrypt(Bigint(0)); }
+
+  /// Encryptions served from the pool vs computed on demand.
+  std::size_t pooledHits() const;
+  std::size_t misses() const;
+
+ private:
+  Bigint makeRandomizer();
+
+  const PaillierPublicKey& pub_;
+  Rng& rng_;
+  std::mutex rngMu_;  // serializes rng draws (fallback + refill paths)
+  mutable std::mutex mu_;
+  std::deque<Bigint> pool_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dpss::crypto

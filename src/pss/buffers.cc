@@ -1,0 +1,53 @@
+#include "pss/buffers.h"
+
+#include "common/error.h"
+
+namespace dpss::pss {
+
+SearchBuffers::SearchBuffers(const crypto::PaillierPublicKey& pub,
+                             const SearchParams& p,
+                             std::size_t blocksPerSegment, Rng& rng)
+    : blocks_(blocksPerSegment) {
+  p.validate();
+  DPSS_CHECK_MSG(blocksPerSegment >= 1, "need at least one block");
+  dataBuffer_.reserve(p.bufferLength * blocks_);
+  for (std::size_t i = 0; i < p.bufferLength * blocks_; ++i) {
+    dataBuffer_.push_back(pub.encryptZero(rng));
+  }
+  cBuffer_.reserve(p.bufferLength);
+  for (std::size_t i = 0; i < p.bufferLength; ++i) {
+    cBuffer_.push_back(pub.encryptZero(rng));
+  }
+  matchBuffer_.reserve(p.indexBufferLength);
+  for (std::size_t i = 0; i < p.indexBufferLength; ++i) {
+    matchBuffer_.push_back(pub.encryptZero(rng));
+  }
+}
+
+void SearchBuffers::serialize(ByteWriter& w) const {
+  w.varint(blocks_);
+  w.varint(cBuffer_.size());
+  w.varint(matchBuffer_.size());
+  for (const auto& ct : dataBuffer_) w.str(ct.value.toBytes());
+  for (const auto& ct : cBuffer_) w.str(ct.value.toBytes());
+  for (const auto& ct : matchBuffer_) w.str(ct.value.toBytes());
+}
+
+SearchBuffers SearchBuffers::deserialize(ByteReader& r) {
+  SearchBuffers b;
+  b.blocks_ = r.varint();
+  const std::uint64_t lf = r.varint();
+  const std::uint64_t li = r.varint();
+  auto readN = [&r](std::size_t n, std::vector<crypto::Ciphertext>& out) {
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(crypto::Ciphertext{crypto::Bigint::fromBytes(r.str())});
+    }
+  };
+  readN(lf * b.blocks_, b.dataBuffer_);
+  readN(lf, b.cBuffer_);
+  readN(li, b.matchBuffer_);
+  return b;
+}
+
+}  // namespace dpss::pss

@@ -1,0 +1,48 @@
+#include "pss/dictionary.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace dpss::pss {
+
+Dictionary::Dictionary(std::vector<std::string> words)
+    : words_(std::move(words)) {
+  index_.reserve(words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const auto [it, inserted] = index_.emplace(words_[i], i);
+    (void)it;
+    DPSS_CHECK_MSG(inserted, "duplicate dictionary word: " + words_[i]);
+  }
+}
+
+std::optional<std::size_t> Dictionary::indexOf(std::string_view w) const {
+  const auto it = index_.find(std::string(w));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> distinctWords(std::string_view text) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      if (seen.insert(current).second) out.push_back(current);
+      current.clear();
+    }
+  };
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace dpss::pss

@@ -1,0 +1,39 @@
+// Public keyword dictionary D = {w_1, ..., w_|D|} (§III-C, Step 1).
+//
+// Both client and broker hold the same public dictionary; the encrypted
+// query is an array of |D| ciphertexts aligned to this ordering.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dpss::pss {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+  /// Builds from a word list; duplicates rejected, order preserved.
+  explicit Dictionary(std::vector<std::string> words);
+
+  std::size_t size() const { return words_.size(); }
+  const std::string& word(std::size_t i) const { return words_.at(i); }
+  const std::vector<std::string>& words() const { return words_; }
+
+  /// Index of `w` in the dictionary, if present.
+  std::optional<std::size_t> indexOf(std::string_view w) const;
+  bool contains(std::string_view w) const { return indexOf(w).has_value(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Splits text into lowercase alphanumeric tokens, deduplicated — the
+/// "set of distinct words W_i in the i-th segment" of Step 2.1.
+std::vector<std::string> distinctWords(std::string_view text);
+
+}  // namespace dpss::pss

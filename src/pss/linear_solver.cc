@@ -1,0 +1,103 @@
+#include "pss/linear_solver.h"
+
+#include "common/error.h"
+
+namespace dpss::pss {
+
+using crypto::Bigint;
+
+ModMatrix::ModMatrix(std::size_t rows, std::size_t cols, Bigint modulus)
+    : rows_(rows), cols_(cols), n_(std::move(modulus)) {
+  DPSS_CHECK_MSG(rows >= 1 && cols >= 1, "matrix dimensions must be >= 1");
+  DPSS_CHECK_MSG(n_ > Bigint(1), "modulus must exceed 1");
+  cells_.assign(rows_ * cols_, Bigint(0));
+}
+
+namespace {
+
+/// Gauss–Jordan on the augmented system [A | B]; returns X with A·X = B.
+/// Returns false (instead of throwing) when singular if `solution` null.
+bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
+  const std::size_t dim = a.rows();
+  const Bigint& n = a.modulus();
+  for (std::size_t col = 0; col < dim; ++col) {
+    // Find a row at or below `col` whose pivot is invertible mod n.
+    std::size_t pivotRow = dim;
+    Bigint pivotInv;
+    for (std::size_t r = col; r < dim; ++r) {
+      const Bigint& candidate = a.at(r, col);
+      if (candidate.isZero()) continue;
+      try {
+        pivotInv = Bigint::invert(candidate, n);
+      } catch (const CryptoError&) {
+        // Non-invertible non-zero pivot: gcd(candidate, n) factors n.
+        // Treat as unusable and keep scanning.
+        continue;
+      }
+      pivotRow = r;
+      break;
+    }
+    if (pivotRow == dim) return false;
+
+    // Swap into place.
+    if (pivotRow != col) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        std::swap(a.at(pivotRow, c), a.at(col, c));
+      }
+      if (b != nullptr) {
+        for (std::size_t c = 0; c < b->cols(); ++c) {
+          std::swap(b->at(pivotRow, c), b->at(col, c));
+        }
+      }
+    }
+
+    // Normalize the pivot row.
+    for (std::size_t c = 0; c < dim; ++c) {
+      a.at(col, c) = (a.at(col, c) * pivotInv) % n;
+    }
+    if (b != nullptr) {
+      for (std::size_t c = 0; c < b->cols(); ++c) {
+        b->at(col, c) = (b->at(col, c) * pivotInv) % n;
+      }
+    }
+
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < dim; ++r) {
+      if (r == col) continue;
+      const Bigint factor = a.at(r, col);
+      if (factor.isZero()) continue;
+      for (std::size_t c = 0; c < dim; ++c) {
+        a.at(r, c) = (a.at(r, c) + (n - Bigint(1)) * factor % n * a.at(col, c)) % n;
+      }
+      if (b != nullptr) {
+        for (std::size_t c = 0; c < b->cols(); ++c) {
+          b->at(r, c) =
+              (b->at(r, c) + (n - Bigint(1)) * factor % n * b->at(col, c)) % n;
+        }
+      }
+    }
+  }
+  if (solution != nullptr && b != nullptr) *solution = std::move(*b);
+  return true;
+}
+
+}  // namespace
+
+ModMatrix solveLinearSystem(const ModMatrix& a, const ModMatrix& b) {
+  DPSS_CHECK_MSG(a.rows() == a.cols(), "coefficient matrix must be square");
+  DPSS_CHECK_MSG(b.rows() == a.rows(), "rhs row count mismatch");
+  DPSS_CHECK_MSG(a.modulus() == b.modulus(), "modulus mismatch");
+  ModMatrix rhs = b;
+  ModMatrix solution(b.rows(), b.cols(), b.modulus());
+  if (!eliminate(a, &rhs, &solution)) {
+    throw CryptoError("singular reconstruction matrix: retry the batch");
+  }
+  return solution;
+}
+
+bool isInvertible(const ModMatrix& a) {
+  if (a.rows() != a.cols()) return false;
+  return eliminate(a, nullptr, nullptr);
+}
+
+}  // namespace dpss::pss

@@ -1,0 +1,47 @@
+// Exact linear algebra modulo the Paillier modulus n.
+//
+// The decrypted buffers are systems of linear equations over Z_n (§III-C,
+// Steps 3.3 and 4). Gaussian elimination needs invertible pivots; an
+// element of Z_n that is neither zero nor invertible would factor n, so a
+// failed inversion is treated as singularity (CryptoError) and triggers a
+// batch retry with a fresh PRF seed at the protocol layer.
+#pragma once
+
+#include <vector>
+
+#include "crypto/bigint.h"
+
+namespace dpss::pss {
+
+/// Dense matrix over Z_n, row-major.
+class ModMatrix {
+ public:
+  ModMatrix(std::size_t rows, std::size_t cols, crypto::Bigint modulus);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const crypto::Bigint& modulus() const { return n_; }
+
+  crypto::Bigint& at(std::size_t r, std::size_t c) {
+    return cells_.at(r * cols_ + c);
+  }
+  const crypto::Bigint& at(std::size_t r, std::size_t c) const {
+    return cells_.at(r * cols_ + c);
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  crypto::Bigint n_;
+  std::vector<crypto::Bigint> cells_;
+};
+
+/// Solves A·x = b (mod n) for square A. `b` may have several columns
+/// (each solved simultaneously — the data buffer has one column per
+/// block). Throws CryptoError("singular ...") when A has no solution path
+/// with invertible pivots.
+ModMatrix solveLinearSystem(const ModMatrix& a, const ModMatrix& b);
+
+/// True iff A is invertible mod n (destructive elimination on a copy).
+bool isInvertible(const ModMatrix& a);
+
+}  // namespace dpss::pss

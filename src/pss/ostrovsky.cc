@@ -1,0 +1,130 @@
+#include "pss/ostrovsky.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace dpss::pss {
+
+using crypto::Bigint;
+using crypto::Ciphertext;
+
+OstrovskySearcher::OstrovskySearcher(const Dictionary& dict,
+                                     EncryptedQuery query,
+                                     std::size_t blocksPerSegment,
+                                     OstrovskyParams params, Rng& rng)
+    : dict_(dict),
+      query_(std::move(query)),
+      blocks_(blocksPerSegment),
+      params_(params),
+      codec_(BlockCodec::maxBlockBytesFor(query_.publicKey().modulusBits())),
+      rng_(rng),
+      prfSeed_(rng.next()) {
+  DPSS_CHECK_MSG(params_.bufferSlots >= 1, "need at least one slot");
+  DPSS_CHECK_MSG(params_.copies >= 1, "need at least one copy");
+  DPSS_CHECK_MSG(query_.dictionarySize() == dict.size(),
+                 "encrypted query length must match the public dictionary");
+  const auto& pub = query_.publicKey();
+  dataSlots_.reserve(params_.bufferSlots * blocks_);
+  for (std::size_t i = 0; i < params_.bufferSlots * blocks_; ++i) {
+    dataSlots_.push_back(pub.encryptZero(rng_));
+  }
+  cSlots_.reserve(params_.bufferSlots);
+  for (std::size_t i = 0; i < params_.bufferSlots; ++i) {
+    cSlots_.push_back(pub.encryptZero(rng_));
+  }
+}
+
+void OstrovskySearcher::processSegment(std::uint64_t index,
+                                       std::string_view payload) {
+  const auto& pub = query_.publicKey();
+  const auto words = distinctWords(payload);
+  const auto blocks = codec_.encode(payload, blocks_);
+
+  // E(c) = Π Q[j] over dictionary words in the segment.
+  Ciphertext ec{Bigint(1)};
+  for (const auto& w : words) {
+    if (const auto idx = dict_.indexOf(w)) {
+      ec = pub.addCipher(ec, query_.entry(*idx));
+    }
+  }
+
+  std::vector<Ciphertext> ecf;
+  ecf.reserve(blocks_);
+  for (const auto& block : blocks) ecf.push_back(pub.mulPlain(ec, block));
+
+  // γ pseudo-random copies; distinct slots per segment where possible.
+  std::set<std::size_t> slots;
+  for (std::size_t copy = 0; slots.size() < params_.copies; ++copy) {
+    slots.insert(static_cast<std::size_t>(
+        mix64(hashCombine(hashCombine(prfSeed_, index), copy)) %
+        params_.bufferSlots));
+    if (copy > params_.copies * 8) break;  // tiny buffers: give up on distinct
+  }
+  for (const auto slot : slots) {
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      dataSlots_[slot * blocks_ + b] =
+          pub.addCipher(dataSlots_[slot * blocks_ + b], ecf[b]);
+    }
+    cSlots_[slot] = pub.addCipher(cSlots_[slot], ec);
+  }
+}
+
+OstrovskyEnvelope OstrovskySearcher::finish() {
+  OstrovskyEnvelope env;
+  env.dataSlots = std::move(dataSlots_);
+  env.cSlots = std::move(cSlots_);
+  env.blocksPerSegment = blocks_;
+  env.prfSeed = prfSeed_;
+  env.params = params_;
+
+  const auto& pub = query_.publicKey();
+  dataSlots_.clear();
+  cSlots_.clear();
+  for (std::size_t i = 0; i < params_.bufferSlots * blocks_; ++i) {
+    dataSlots_.push_back(pub.encryptZero(rng_));
+  }
+  for (std::size_t i = 0; i < params_.bufferSlots; ++i) {
+    cSlots_.push_back(pub.encryptZero(rng_));
+  }
+  prfSeed_ = rng_.next();
+  return env;
+}
+
+std::vector<std::string> ostrovskyReconstruct(
+    const crypto::PaillierPrivateKey& priv, const OstrovskyEnvelope& env) {
+  const Bigint& n = priv.publicKey().n();
+  const std::size_t blocks = env.blocksPerSegment;
+  const BlockCodec codec(
+      BlockCodec::maxBlockBytesFor(priv.publicKey().modulusBits()));
+
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (std::size_t slot = 0; slot < env.cSlots.size(); ++slot) {
+    const Bigint c = priv.decryptCrt(env.cSlots[slot]);
+    if (c.isZero()) continue;  // empty slot (or cancelling collision)
+    Bigint cInv;
+    try {
+      cInv = Bigint::invert(c, n);
+    } catch (const CryptoError&) {
+      continue;  // would factor n; cryptographically impossible for honest runs
+    }
+    std::vector<Bigint> payloadBlocks;
+    payloadBlocks.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const Bigint v = priv.decryptCrt(env.dataSlots[slot * blocks + b]);
+      payloadBlocks.push_back((v * cInv) % n);
+    }
+    try {
+      std::string payload = codec.decode(payloadBlocks);
+      if (seen.insert(payload).second) out.push_back(std::move(payload));
+    } catch (const CorruptData&) {
+      // Collision garbage: checksum rejects it. This is the baseline's
+      // data-loss mode, measured by bench_ablation_buffers.
+    }
+  }
+  return out;
+}
+
+}  // namespace dpss::pss

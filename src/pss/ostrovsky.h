@@ -1,0 +1,68 @@
+// "Primitive private search" baseline — the Ostrovsky–Skeith-style
+// single-buffer scheme the paper's §II describes and Figure 7 compares
+// against.
+//
+// One survival buffer of B slots, each slot a pair (E(c·f), E(c)). Every
+// segment is folded into γ pseudo-randomly chosen slots ("copies"); a
+// matching segment survives if at least one of its copies lands in a slot
+// no other matching segment touched. Collisions produce garbage that the
+// block codec's checksum rejects — the classic probabilistic-loss
+// behaviour the three-buffer scheme was designed to replace (it instead
+// *solves* the mixed slots as a linear system).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/paillier.h"
+#include "crypto/prf.h"
+#include "pss/blocking.h"
+#include "pss/query.h"
+
+namespace dpss::pss {
+
+struct OstrovskyParams {
+  std::size_t bufferSlots = 64;  // B
+  std::size_t copies = 3;        // γ
+};
+
+struct OstrovskyEnvelope {
+  std::vector<crypto::Ciphertext> dataSlots;  // B × s, slot-major
+  std::vector<crypto::Ciphertext> cSlots;     // B
+  std::size_t blocksPerSegment = 0;
+  std::uint64_t prfSeed = 0;
+  OstrovskyParams params;
+};
+
+class OstrovskySearcher {
+ public:
+  OstrovskySearcher(const Dictionary& dict, EncryptedQuery query,
+                    std::size_t blocksPerSegment, OstrovskyParams params,
+                    Rng& rng);
+
+  void processSegment(std::uint64_t index, std::string_view payload);
+  OstrovskyEnvelope finish();
+
+ private:
+  const Dictionary& dict_;
+  EncryptedQuery query_;
+  std::size_t blocks_;
+  OstrovskyParams params_;
+  BlockCodec codec_;
+  Rng& rng_;
+  std::uint64_t prfSeed_;
+  std::vector<crypto::Ciphertext> dataSlots_;
+  std::vector<crypto::Ciphertext> cSlots_;
+};
+
+/// Recovered payloads (exact original bytes) from collision-free slots.
+/// Collided or empty slots are silently dropped — the baseline's inherent
+/// loss mode. Duplicates (a segment surviving in several slots) are
+/// deduplicated.
+std::vector<std::string> ostrovskyReconstruct(
+    const crypto::PaillierPrivateKey& priv, const OstrovskyEnvelope& env);
+
+}  // namespace dpss::pss

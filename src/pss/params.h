@@ -1,0 +1,61 @@
+// Tuning parameters of the private stream search scheme (§III-C, Step 2).
+//
+// The client picks these and ships them to the broker with the encrypted
+// query: l_F (data/c-buffer length), l_I (matching-indices Bloom buffer
+// length) and k (Bloom hash count). The paper's guidance: with m expected
+// matches, pick k = floor(l_I / m · ln 2).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dpss::pss {
+
+struct SearchParams {
+  /// Length of the data buffer F and the c-buffer C. Also the maximum
+  /// number of matches (plus Bloom false positives) one batch can carry.
+  std::size_t bufferLength = 32;  // l_F
+
+  /// Length of the matching-indices (encrypted Bloom filter) buffer.
+  std::size_t indexBufferLength = 256;  // l_I
+
+  /// Number of Bloom hash functions.
+  std::size_t bloomHashes = 5;  // k
+
+  void validate() const {
+    DPSS_CHECK_MSG(bufferLength >= 1, "bufferLength must be >= 1");
+    DPSS_CHECK_MSG(indexBufferLength >= 1, "indexBufferLength must be >= 1");
+    DPSS_CHECK_MSG(bloomHashes >= 1, "bloomHashes must be >= 1");
+  }
+
+  /// The paper's optimum k = floor(l_I/m · ln 2) for m expected matches.
+  static std::size_t optimalBloomHashes(std::size_t indexBufferLength,
+                                        std::size_t expectedMatches) {
+    DPSS_CHECK_MSG(expectedMatches >= 1, "expectedMatches must be >= 1");
+    const double k = std::floor(static_cast<double>(indexBufferLength) /
+                                static_cast<double>(expectedMatches) *
+                                std::log(2.0));
+    return k < 1 ? 1 : static_cast<std::size_t>(k);
+  }
+
+  void serialize(ByteWriter& w) const {
+    w.varint(bufferLength);
+    w.varint(indexBufferLength);
+    w.varint(bloomHashes);
+  }
+
+  static SearchParams deserialize(ByteReader& r) {
+    SearchParams p;
+    p.bufferLength = r.varint();
+    p.indexBufferLength = r.varint();
+    p.bloomHashes = r.varint();
+    p.validate();
+    return p;
+  }
+};
+
+}  // namespace dpss::pss

@@ -1,0 +1,128 @@
+#include "pss/reconstruct.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/prf.h"
+#include "pss/blocking.h"
+#include "pss/linear_solver.h"
+
+namespace dpss::pss {
+
+using crypto::Bigint;
+
+Reconstructor::Reconstructor(const crypto::PaillierPrivateKey& priv)
+    : priv_(priv) {}
+
+std::vector<RecoveredSegment> Reconstructor::reconstruct(
+    const SearchResultEnvelope& env) const {
+  const auto& pub = priv_.publicKey();
+  const Bigint& n = pub.n();
+  const std::size_t lf = env.params.bufferLength;
+  const std::size_t blocks = env.buffers.blocksPerSegment();
+  DPSS_CHECK_MSG(env.buffers.bufferLength() == lf, "buffer length mismatch");
+
+  if (env.segmentsProcessed == 0) return {};
+  DPSS_CHECK_MSG(env.segmentsProcessed >= lf,
+                 "batch must process at least l_F segments so padding "
+                 "indices exist (paper: t > l_F)");
+
+  // ---- Step 3.1: decrypt the buffers. -------------------------------
+  std::vector<Bigint> iBuf(env.buffers.indexBufferLength());
+  for (std::size_t s = 0; s < iBuf.size(); ++s) {
+    iBuf[s] = priv_.decryptCrt(env.buffers.match(s));
+  }
+
+  // ---- Step 3.2: Bloom candidate extraction. ------------------------
+  const crypto::BloomHashFamily bloom(env.bloomSeed, env.params.bloomHashes,
+                                      env.params.indexBufferLength);
+  const std::uint64_t lo = env.firstIndex;
+  const std::uint64_t hi = env.firstIndex + env.segmentsProcessed;
+  std::vector<std::uint64_t> candidates;
+  std::vector<std::uint64_t> nonCandidates;  // padding pool ("pick")
+  for (std::uint64_t i = lo; i < hi; ++i) {
+    bool allSet = true;
+    for (std::size_t t = 0; t < bloom.k(); ++t) {
+      if (iBuf[bloom.hash(t, i)].isZero()) {
+        allSet = false;
+        break;
+      }
+    }
+    if (allSet) {
+      candidates.push_back(i);
+    } else if (nonCandidates.size() < lf) {
+      nonCandidates.push_back(i);
+    }
+  }
+  if (candidates.size() > lf) {
+    throw BufferOverflow(
+        "matches + Bloom false positives (" +
+        std::to_string(candidates.size()) + ") exceed buffer length (" +
+        std::to_string(lf) + "); retry with larger l_F / l_I");
+  }
+  // Pad to exactly l_F with known non-matching indices.
+  for (std::size_t p = 0; candidates.size() < lf; ++p) {
+    if (p >= nonCandidates.size()) {
+      throw BufferOverflow(
+          "not enough non-candidate indices to pad the system; "
+          "process more segments per batch (t) or shrink l_F");
+    }
+    candidates.push_back(nonCandidates[p]);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  // ---- Step 3.3: solve A·c = C'. -------------------------------------
+  // Slot j accumulated Σ_r g(a_r, j)·c_{a_r}, so the coefficient matrix
+  // has one row per buffer slot and one column per candidate index.
+  const crypto::BitPrf g(env.prfSeed);
+  ModMatrix coeff(lf, lf, n);
+  for (std::size_t j = 0; j < lf; ++j) {
+    for (std::size_t r = 0; r < lf; ++r) {
+      coeff.at(j, r) = Bigint(g(candidates[r], j) ? 1 : 0);
+    }
+  }
+  ModMatrix cRhs(lf, 1, n);
+  for (std::size_t j = 0; j < lf; ++j) {
+    cRhs.at(j, 0) = priv_.decryptCrt(env.buffers.c(j));
+  }
+  const ModMatrix cSol = solveLinearSystem(coeff, cRhs);
+
+  // Exact matching indices: candidates whose c-value is non-zero.
+  std::vector<bool> isMatch(lf);
+  std::vector<Bigint> cValues(lf);
+  for (std::size_t r = 0; r < lf; ++r) {
+    cValues[r] = cSol.at(r, 0);
+    isMatch[r] = !cValues[r].isZero();
+    if (cValues[r].isZero()) cValues[r] = Bigint(1);  // "replace zeros by ones"
+  }
+
+  // ---- Step 4: solve A·diag(c)·f = F' blockwise. ----------------------
+  ModMatrix fRhs(lf, blocks, n);
+  for (std::size_t j = 0; j < lf; ++j) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      fRhs.at(j, b) = priv_.decryptCrt(env.buffers.data(j, b));
+    }
+  }
+  // Solve coeff·y = F' (y = diag(c)·f), then f_r = c_r^{-1}·y_r.
+  const ModMatrix y = solveLinearSystem(coeff, fRhs);
+
+  const BlockCodec codec(BlockCodec::maxBlockBytesFor(pub.modulusBits()));
+  std::vector<RecoveredSegment> out;
+  for (std::size_t r = 0; r < lf; ++r) {
+    if (!isMatch[r]) continue;
+    const Bigint cInv = Bigint::invert(cValues[r], n);
+    std::vector<Bigint> blocksOut;
+    blocksOut.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      blocksOut.push_back((y.at(r, b) * cInv) % n);
+    }
+    RecoveredSegment seg;
+    seg.index = candidates[r];
+    seg.cValue = cValues[r].toUint64();
+    seg.payload = codec.decode(blocksOut);
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace dpss::pss

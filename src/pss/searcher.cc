@@ -1,0 +1,122 @@
+#include "pss/searcher.h"
+
+#include "common/error.h"
+
+namespace dpss::pss {
+
+void SearchResultEnvelope::serialize(ByteWriter& w) const {
+  buffers.serialize(w);
+  w.u64(prfSeed);
+  w.u64(bloomSeed);
+  w.u64(firstIndex);
+  w.u64(segmentsProcessed);
+  params.serialize(w);
+}
+
+SearchResultEnvelope SearchResultEnvelope::deserialize(ByteReader& r) {
+  SearchResultEnvelope e;
+  e.buffers = SearchBuffers::deserialize(r);
+  e.prfSeed = r.u64();
+  e.bloomSeed = r.u64();
+  e.firstIndex = r.u64();
+  e.segmentsProcessed = r.u64();
+  e.params = SearchParams::deserialize(r);
+  return e;
+}
+
+StreamSearcher::StreamSearcher(const Dictionary& dict, EncryptedQuery query,
+                               std::size_t blocksPerSegment, Rng& rng)
+    : dict_(dict),
+      query_(std::move(query)),
+      blocks_(blocksPerSegment),
+      codec_(BlockCodec::maxBlockBytesFor(query_.publicKey().modulusBits())),
+      rng_(rng),
+      buffers_(query_.publicKey(), query_.params(), blocksPerSegment, rng),
+      prf_(rng.next()),
+      bloom_(rng.next(), query_.params().bloomHashes,
+             query_.params().indexBufferLength) {
+  DPSS_CHECK_MSG(query_.dictionarySize() == dict.size(),
+                 "encrypted query length must match the public dictionary");
+}
+
+crypto::Ciphertext StreamSearcher::encryptedCValue(
+    const std::vector<std::string>& words) const {
+  const auto& pub = query_.publicKey();
+  // Π Q[j] over dictionary words found in the segment. The accumulator
+  // starts at the multiplicative identity 1, i.e. E(0) with blinding
+  // r = 1 — no fresh randomness is needed because the product is only
+  // ever folded into buffer slots that carry their own randomness.
+  crypto::Ciphertext acc{crypto::Bigint(1)};
+  for (const auto& w : words) {
+    if (const auto idx = dict_.indexOf(w)) {
+      acc = pub.addCipher(acc, query_.entry(*idx));
+    }
+  }
+  return acc;
+}
+
+void StreamSearcher::processSegment(std::uint64_t index,
+                                    std::string_view payload) {
+  processSegment(index, distinctWords(payload),
+                 codec_.encode(payload, blocks_));
+}
+
+void StreamSearcher::processSegment(
+    std::uint64_t index, const std::vector<std::string>& words,
+    const std::vector<crypto::Bigint>& blocks) {
+  DPSS_CHECK_MSG(blocks.size() == blocks_,
+                 "segment must be encoded into exactly s blocks");
+  if (processed_ == 0) {
+    firstIndex_ = index;
+  } else {
+    DPSS_CHECK_MSG(index == firstIndex_ + processed_,
+                   "stream indices must be contiguous within a batch");
+  }
+  const auto& pub = query_.publicKey();
+
+  // Step 2.1: E(c_i).
+  const crypto::Ciphertext ec = encryptedCValue(words);
+
+  // Step 2.2 (blockwise) + 2.3: fold into slots with g(i, j) = 1.
+  // E(c_i·f_block) = E(c_i)^{f_block}.
+  std::vector<crypto::Ciphertext> ecf;
+  ecf.reserve(blocks_);
+  for (const auto& block : blocks) {
+    ecf.push_back(pub.mulPlain(ec, block));
+  }
+  for (std::size_t j = 0; j < buffers_.bufferLength(); ++j) {
+    if (!prf_(index, j)) continue;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      buffers_.data(j, b) = pub.addCipher(buffers_.data(j, b), ecf[b]);
+    }
+    buffers_.c(j) = pub.addCipher(buffers_.c(j), ec);
+  }
+
+  // Step 2.4: Bloom update of the matching-indices buffer.
+  for (const auto slot : bloom_.slots(index)) {
+    buffers_.match(slot) = pub.addCipher(buffers_.match(slot), ec);
+  }
+
+  ++processed_;
+}
+
+SearchResultEnvelope StreamSearcher::finish() {
+  SearchResultEnvelope env;
+  env.prfSeed = prf_.seed();
+  env.bloomSeed = bloom_.seed();
+  env.firstIndex = firstIndex_;
+  env.segmentsProcessed = processed_;
+  env.params = query_.params();
+  env.buffers = std::move(buffers_);
+
+  // Re-arm for the next batch with fresh buffers and seeds.
+  buffers_ = SearchBuffers(query_.publicKey(), query_.params(), blocks_, rng_);
+  prf_ = crypto::BitPrf(rng_.next());
+  bloom_ = crypto::BloomHashFamily(rng_.next(), query_.params().bloomHashes,
+                                   query_.params().indexBufferLength);
+  processed_ = 0;
+  firstIndex_ = 0;
+  return env;
+}
+
+}  // namespace dpss::pss

@@ -1,0 +1,51 @@
+#include "pss/streaming.h"
+
+#include "common/error.h"
+
+namespace dpss::pss {
+
+StandingSearch::StandingSearch(const Dictionary& dict, EncryptedQuery query,
+                               std::size_t blocksPerSegment,
+                               std::size_t batchSize, std::uint64_t seed)
+    : dict_(dict),
+      batchSize_(batchSize),
+      rng_(seed),
+      searcher_(dict, std::move(query), blocksPerSegment, rng_) {
+  DPSS_CHECK_MSG(batchSize_ > 0, "batch size must be positive");
+}
+
+bool StandingSearch::feed(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  searcher_.processSegment(nextIndex_++, payload);
+  if (searcher_.segmentsProcessed() >= batchSize_) {
+    ready_.push_back(searcher_.finish());
+    return true;
+  }
+  return false;
+}
+
+void StandingSearch::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (searcher_.segmentsProcessed() > 0) {
+    ready_.push_back(searcher_.finish());
+  }
+}
+
+std::vector<SearchResultEnvelope> StandingSearch::drainEnvelopes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SearchResultEnvelope> out(ready_.begin(), ready_.end());
+  ready_.clear();
+  return out;
+}
+
+std::uint64_t StandingSearch::documentsSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nextIndex_;
+}
+
+std::size_t StandingSearch::pendingEnvelopes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+}  // namespace dpss::pss

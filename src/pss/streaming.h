@@ -1,0 +1,60 @@
+// Standing private search over a live stream (the paper's headline
+// scenario: "private search on streaming data ... a private search
+// scheme with communication independent of the size of the stream").
+//
+// A StandingSearch holds one encrypted query and consumes documents as
+// they arrive; every `batchSize` documents (the paper's parameter t) it
+// seals the three buffers into an envelope and re-arms with fresh
+// randomness. The client polls envelopes and opens each independently —
+// communication per batch is the fixed buffer size, independent of the
+// stream length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "pss/searcher.h"
+
+namespace dpss::pss {
+
+class StandingSearch {
+ public:
+  /// `batchSize` must exceed the query's bufferLength (the paper requires
+  /// t > l_F so padding indices always exist).
+  StandingSearch(const Dictionary& dict, EncryptedQuery query,
+                 std::size_t blocksPerSegment, std::size_t batchSize,
+                 std::uint64_t seed);
+
+  /// Feeds the next document; stream indices are assigned contiguously.
+  /// Returns true when this document sealed a batch (an envelope became
+  /// available).
+  bool feed(std::string_view payload);
+
+  /// Seals the current partial batch early (e.g. on shutdown). No-op
+  /// when the current batch is empty. The envelope still satisfies the
+  /// t > l_F requirement only if enough documents were fed; callers
+  /// flushing early should size l_F accordingly.
+  void flush();
+
+  /// Envelopes ready for the client, in stream order.
+  std::vector<SearchResultEnvelope> drainEnvelopes();
+
+  std::uint64_t documentsSeen() const;
+  std::size_t pendingEnvelopes() const;
+
+ private:
+  const Dictionary& dict_;
+  std::size_t batchSize_;
+  Rng rng_;
+  mutable std::mutex mu_;
+  StreamSearcher searcher_;
+  std::uint64_t nextIndex_ = 0;
+  std::deque<SearchResultEnvelope> ready_;
+};
+
+}  // namespace dpss::pss

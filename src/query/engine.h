@@ -1,0 +1,18 @@
+// Per-segment scan: the unit of work of the paper's concurrency model
+// ("one thread scan a segment"). Row selection combines a binary-searched
+// timestamp range with the compressed-bitmap filter; selected rows feed
+// the aggregators, optionally grouped by a dimension.
+#pragma once
+
+#include "query/query.h"
+#include "query/result.h"
+#include "storage/segment.h"
+
+namespace dpss::query {
+
+/// Scans one segment for `spec`, returning a mergeable partial result.
+/// Throws InvalidArgument for unknown dimension/metric names.
+QueryResult scanSegment(const storage::Segment& segment,
+                        const QuerySpec& spec);
+
+}  // namespace dpss::query

@@ -1,0 +1,48 @@
+// Filters (§III-B): "Filters can be represented by the Boolean expression
+// of multiple indices. Boolean operations on compressed indices can
+// improve performance and save space."
+//
+// A filter is a boolean tree over dimension predicates; evaluation
+// produces the row-selection bitmap of a segment by combining per-value
+// inverted indexes in their compressed form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "storage/concise.h"
+#include "storage/segment.h"
+
+namespace dpss::query {
+
+class Filter;
+using FilterPtr = std::shared_ptr<const Filter>;
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Rows of `segment` matching this filter.
+  virtual storage::ConciseBitmap evaluate(
+      const storage::Segment& segment) const = 0;
+
+  /// Stable textual form — used in query fingerprints for the broker's
+  /// result cache and for logging.
+  virtual std::string describe() const = 0;
+
+  /// Wire form (tag + payload), so queries travel between nodes.
+  virtual void serialize(ByteWriter& w) const = 0;
+  static FilterPtr deserialize(ByteReader& r);
+};
+
+/// dimension == value.
+FilterPtr selectorFilter(std::string dimension, std::string value);
+/// dimension ∈ values (OR of inverted indexes).
+FilterPtr inFilter(std::string dimension, std::vector<std::string> values);
+FilterPtr andFilter(std::vector<FilterPtr> children);
+FilterPtr orFilter(std::vector<FilterPtr> children);
+FilterPtr notFilter(FilterPtr child);
+
+}  // namespace dpss::query

@@ -1,0 +1,71 @@
+// Query model covering the paper's Table II statements: aggregations
+// (count / sum / min / max / avg) over a timestamp range, optionally
+// grouped by a dimension with ORDER BY <agg> LIMIT n (topN).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/interval.h"
+#include "query/filter.h"
+
+namespace dpss::query {
+
+enum class AggType : std::uint8_t {
+  kCount = 0,
+  kLongSum = 1,
+  kDoubleSum = 2,
+  kMin = 3,
+  kMax = 4,
+  kAvg = 5,
+};
+
+struct AggregatorSpec {
+  AggType type = AggType::kCount;
+  std::string outputName;  // result column, e.g. "cnt"
+  std::string metric;      // source metric; unused for kCount
+
+  friend bool operator==(const AggregatorSpec& a,
+                         const AggregatorSpec& b) = default;
+};
+
+struct QuerySpec {
+  std::string dataSource;
+  Interval interval;                      // WHERE timestamp ∈ [start, end)
+  FilterPtr filter;                       // optional dimension filter
+  std::vector<AggregatorSpec> aggregations;
+  std::string groupByDimension;           // empty -> single global group
+  std::string orderBy;                    // output name; empty -> unordered
+  std::size_t limit = 0;                  // 0 -> no limit
+  /// Timeseries bucketing: when > 0 (and no dimension group-by), results
+  /// group by time bucket of this width; group keys are zero-padded
+  /// bucket-start strings (see timeBucketKey), so merges and ordering
+  /// work across segments.
+  TimeMs granularityMs = 0;
+
+  /// Stable identity for the broker result cache: every semantic field.
+  std::string fingerprint() const;
+
+  void serialize(ByteWriter& w) const;
+  static QuerySpec deserialize(ByteReader& r);
+};
+
+/// Convenience constructors for the Table II query shapes.
+AggregatorSpec countAgg(std::string outputName = "cnt");
+AggregatorSpec longSumAgg(std::string metric, std::string outputName = "");
+AggregatorSpec doubleSumAgg(std::string metric, std::string outputName = "");
+AggregatorSpec minAgg(std::string metric, std::string outputName = "");
+AggregatorSpec maxAgg(std::string metric, std::string outputName = "");
+AggregatorSpec avgAgg(std::string metric, std::string outputName = "");
+
+/// Query q of Table II (1-based, 1..6) over the ad-tech schema.
+QuerySpec tableTwoQuery(int queryNumber, std::string dataSource,
+                        Interval interval);
+
+/// Sortable group key for a timeseries bucket, and its inverse.
+std::string timeBucketKey(TimeMs bucketStart);
+TimeMs parseTimeBucketKey(const std::string& key);
+
+}  // namespace dpss::query

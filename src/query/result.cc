@@ -1,0 +1,137 @@
+#include "query/result.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dpss::query {
+
+void PartialAgg::mergeFrom(const PartialAgg& other) {
+  sum += other.sum;
+  count += other.count;
+  minValue = std::min(minValue, other.minValue);
+  maxValue = std::max(maxValue, other.maxValue);
+}
+
+void QueryResult::mergeFrom(const QueryResult& other) {
+  rowsScanned += other.rowsScanned;
+  segmentsScanned += other.segmentsScanned;
+  for (const auto& [group, partials] : other.groups) {
+    auto [it, inserted] = groups.try_emplace(group, partials);
+    if (!inserted) {
+      DPSS_CHECK_MSG(it->second.size() == partials.size(),
+                     "aggregator arity mismatch in merge");
+      for (std::size_t i = 0; i < partials.size(); ++i) {
+        it->second[i].mergeFrom(partials[i]);
+      }
+    }
+  }
+}
+
+void QueryResult::serialize(ByteWriter& w) const {
+  w.u64(rowsScanned);
+  w.u64(segmentsScanned);
+  w.varint(groups.size());
+  for (const auto& [group, partials] : groups) {
+    w.str(group);
+    w.varint(partials.size());
+    for (const auto& p : partials) {
+      w.f64(p.sum);
+      w.i64(p.count);
+      w.f64(p.minValue);
+      w.f64(p.maxValue);
+    }
+  }
+}
+
+QueryResult QueryResult::deserialize(ByteReader& r) {
+  QueryResult out;
+  out.rowsScanned = r.u64();
+  out.segmentsScanned = r.u64();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t g = 0; g < n; ++g) {
+    std::string group = r.str();
+    const std::uint64_t m = r.varint();
+    std::vector<PartialAgg> partials(m);
+    for (auto& p : partials) {
+      p.sum = r.f64();
+      p.count = r.i64();
+      p.minValue = r.f64();
+      p.maxValue = r.f64();
+    }
+    out.groups.emplace(std::move(group), std::move(partials));
+  }
+  return out;
+}
+
+double partialFinalValue(const AggregatorSpec& spec, const PartialAgg& p) {
+  switch (spec.type) {
+    case AggType::kCount:
+      return static_cast<double>(p.count);
+    case AggType::kLongSum:
+    case AggType::kDoubleSum:
+      return p.sum;
+    case AggType::kMin:
+      return p.minValue;
+    case AggType::kMax:
+      return p.maxValue;
+    case AggType::kAvg:
+      return p.count == 0 ? 0.0 : p.sum / static_cast<double>(p.count);
+  }
+  throw InternalError("unknown aggregator type");
+}
+
+std::vector<ResultRow> finalizeResult(const QuerySpec& spec,
+                                      const QueryResult& partial) {
+  std::vector<ResultRow> rows;
+  rows.reserve(partial.groups.size());
+  if (spec.groupByDimension.empty() && partial.groups.empty()) {
+    // An ungrouped aggregate always yields one row, even over no data.
+    ResultRow zero;
+    zero.values.assign(spec.aggregations.size(), 0.0);
+    return {zero};
+  }
+  for (const auto& [group, partials] : partial.groups) {
+    DPSS_CHECK_MSG(partials.size() == spec.aggregations.size(),
+                   "aggregator arity mismatch in finalize");
+    ResultRow row;
+    row.group = group;
+    row.values.reserve(partials.size());
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      row.values.push_back(
+          partialFinalValue(spec.aggregations[i], partials[i]));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  if (spec.orderBy.empty()) {
+    // Deterministic output order for unordered queries.
+    std::sort(rows.begin(), rows.end(),
+              [](const ResultRow& a, const ResultRow& b) {
+                return a.group < b.group;
+              });
+  } else {
+    std::size_t orderIdx = spec.aggregations.size();
+    for (std::size_t i = 0; i < spec.aggregations.size(); ++i) {
+      if (spec.aggregations[i].outputName == spec.orderBy) {
+        orderIdx = i;
+        break;
+      }
+    }
+    DPSS_CHECK_MSG(orderIdx < spec.aggregations.size(),
+                   "orderBy references unknown output: " + spec.orderBy);
+    std::sort(rows.begin(), rows.end(),
+              [orderIdx](const ResultRow& a, const ResultRow& b) {
+                if (a.values[orderIdx] != b.values[orderIdx]) {
+                  return a.values[orderIdx] > b.values[orderIdx];
+                }
+                return a.group < b.group;  // deterministic tie-break
+              });
+  }
+  if (spec.limit > 0 && rows.size() > spec.limit) {
+    rows.resize(spec.limit);
+  }
+  return rows;
+}
+
+}  // namespace dpss::query

@@ -1,0 +1,301 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpss::query {
+
+namespace {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;       // identifier (lowercased) / literal value
+  std::int64_t number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InvalidArgument("SQL error at position " +
+                          std::to_string(current_.pos) + ": " + message);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= sql_.size()) {
+      current_.kind = Tok::kEnd;
+      return;
+    }
+    const char c = sql_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_')) {
+        ident.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql_[pos_]))));
+        ++pos_;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = std::move(ident);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < sql_.size() &&
+         std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+      std::size_t end = pos_ + 1;
+      while (end < sql_.size() &&
+             std::isdigit(static_cast<unsigned char>(sql_[end]))) {
+        ++end;
+      }
+      current_.kind = Tok::kNumber;
+      current_.number = std::stoll(std::string(sql_.substr(pos_, end - pos_)));
+      pos_ = end;
+      return;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++pos_;
+      while (pos_ < sql_.size() && sql_[pos_] != '\'') {
+        value.push_back(sql_[pos_++]);
+      }
+      if (pos_ >= sql_.size()) {
+        throw InvalidArgument("SQL error: unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      current_.kind = Tok::kString;
+      current_.text = std::move(value);
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case ',': current_.kind = Tok::kComma; return;
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '*': current_.kind = Tok::kStar; return;
+      case '=': current_.kind = Tok::kEq; return;
+      case '<':
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          ++pos_;
+          current_.kind = Tok::kLe;
+        } else {
+          current_.kind = Tok::kLt;
+        }
+        return;
+      case '>':
+        if (pos_ < sql_.size() && sql_[pos_] == '=') {
+          ++pos_;
+          current_.kind = Tok::kGe;
+        } else {
+          current_.kind = Tok::kGt;
+        }
+        return;
+      default:
+        throw InvalidArgument(std::string("SQL error: unexpected char '") +
+                              c + "'");
+    }
+  }
+
+  std::string_view sql_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lex_(sql) {}
+
+  QuerySpec parse() {
+    expectKeyword("select");
+    parseSelects();
+    expectKeyword("from");
+    spec_.dataSource = expectIdent("table name");
+    TimeMs lo = std::numeric_limits<TimeMs>::min() / 2;
+    TimeMs hi = std::numeric_limits<TimeMs>::max() / 2;
+    std::vector<FilterPtr> predicates;
+    if (acceptKeyword("where")) {
+      parsePredicate(lo, hi, predicates);
+      while (acceptKeyword("and")) parsePredicate(lo, hi, predicates);
+    }
+    spec_.interval = Interval(lo, hi);
+    if (predicates.size() == 1) {
+      spec_.filter = predicates.front();
+    } else if (predicates.size() > 1) {
+      spec_.filter = andFilter(std::move(predicates));
+    }
+    if (acceptKeyword("group")) {
+      expectKeyword("by");
+      spec_.groupByDimension = expectIdent("group-by dimension");
+    }
+    if (acceptKeyword("order")) {
+      expectKeyword("by");
+      spec_.orderBy = expectIdent("order-by output name");
+      acceptKeyword("desc");  // descending is the only (and default) order
+    }
+    if (acceptKeyword("limit")) {
+      const Token t = lex_.take();
+      if (t.kind != Tok::kNumber || t.number < 0) {
+        lex_.fail("LIMIT expects a non-negative number");
+      }
+      spec_.limit = static_cast<std::size_t>(t.number);
+    }
+    if (lex_.peek().kind != Tok::kEnd) lex_.fail("trailing input");
+    if (!spec_.orderBy.empty()) {
+      bool known = false;
+      for (const auto& a : spec_.aggregations) {
+        known |= (a.outputName == spec_.orderBy);
+      }
+      if (!known) lex_.fail("ORDER BY references unknown output column");
+    }
+    return std::move(spec_);
+  }
+
+ private:
+  bool acceptKeyword(std::string_view kw) {
+    if (lex_.peek().kind == Tok::kIdent && lex_.peek().text == kw) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expectKeyword(std::string_view kw) {
+    if (!acceptKeyword(kw)) {
+      lex_.fail("expected keyword '" + std::string(kw) + "'");
+    }
+  }
+
+  std::string expectIdent(const std::string& what) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::kIdent) lex_.fail("expected " + what);
+    return t.text;
+  }
+
+  void expect(Tok kind, const std::string& what) {
+    if (lex_.take().kind != kind) lex_.fail("expected " + what);
+  }
+
+  void parseSelects() {
+    do {
+      parseSelect();
+    } while (lex_.peek().kind == Tok::kComma && (lex_.take(), true));
+  }
+
+  void parseSelect() {
+    const std::string fn = expectIdent("aggregate function");
+    expect(Tok::kLParen, "'('");
+    AggregatorSpec agg;
+    if (fn == "count") {
+      expect(Tok::kStar, "'*'");
+      agg = countAgg("cnt");
+    } else {
+      const std::string metric = expectIdent("metric name");
+      if (fn == "sum") {
+        agg = doubleSumAgg(metric);
+      } else if (fn == "min") {
+        agg = minAgg(metric);
+      } else if (fn == "max") {
+        agg = maxAgg(metric);
+      } else if (fn == "avg") {
+        agg = avgAgg(metric);
+      } else {
+        lex_.fail("unknown aggregate function '" + fn + "'");
+      }
+    }
+    expect(Tok::kRParen, "')'");
+    if (acceptKeyword("as")) {
+      agg.outputName = expectIdent("output alias");
+    }
+    for (const auto& existing : spec_.aggregations) {
+      if (existing.outputName == agg.outputName) {
+        lex_.fail("duplicate output column '" + agg.outputName + "'");
+      }
+    }
+    spec_.aggregations.push_back(std::move(agg));
+  }
+
+  void parsePredicate(TimeMs& lo, TimeMs& hi,
+                      std::vector<FilterPtr>& predicates) {
+    const std::string column = expectIdent("column name");
+    if (column == "timestamp") {
+      const Token op = lex_.take();
+      const Token val = lex_.take();
+      if (val.kind != Tok::kNumber) lex_.fail("timestamp bound must be a number");
+      switch (op.kind) {
+        case Tok::kGt: lo = std::max(lo, val.number + 1); break;
+        case Tok::kGe: lo = std::max(lo, val.number); break;
+        case Tok::kLt: hi = std::min(hi, val.number); break;
+        case Tok::kLe: hi = std::min(hi, val.number + 1); break;
+        default: lex_.fail("timestamp supports only < <= > >=");
+      }
+      if (lo > hi) hi = lo;  // empty range rather than invalid interval
+      return;
+    }
+    if (acceptKeyword("in")) {
+      expect(Tok::kLParen, "'('");
+      std::vector<std::string> values;
+      for (;;) {
+        const Token v = lex_.take();
+        if (v.kind != Tok::kString) lex_.fail("IN expects string literals");
+        values.push_back(v.text);
+        if (lex_.peek().kind == Tok::kComma) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+      expect(Tok::kRParen, "')'");
+      predicates.push_back(inFilter(column, std::move(values)));
+      return;
+    }
+    expect(Tok::kEq, "'=' or IN");
+    const Token v = lex_.take();
+    if (v.kind != Tok::kString) lex_.fail("dimension value must be a string");
+    predicates.push_back(selectorFilter(column, v.text));
+  }
+
+  Lexer lex_;
+  QuerySpec spec_;
+};
+
+}  // namespace
+
+QuerySpec parseSql(std::string_view sql) { return Parser(sql).parse(); }
+
+}  // namespace dpss::query

@@ -1,0 +1,37 @@
+// SQL front-end for the paper's Table II query dialect.
+//
+// Parses exactly the shapes the evaluation runs (plus dimension equality
+// predicates), e.g.:
+//
+//   SELECT count(*), sum(metric1) FROM ads
+//     WHERE timestamp >= 100 AND timestamp < 900 AND gender = 'Male'
+//     GROUP BY high_card_dimension ORDER BY cnt LIMIT 100
+//
+// Grammar (case-insensitive keywords):
+//   query     := SELECT selects FROM ident [WHERE conj] [GROUP BY ident]
+//                [ORDER BY ident [DESC]] [LIMIT number]
+//   selects   := select (',' select)*
+//   select    := agg ['AS' ident]
+//   agg       := COUNT '(' '*' ')' | (SUM|MIN|MAX|AVG) '(' ident ')'
+//   conj      := pred (AND pred)*
+//   pred      := 'timestamp' ('>'|'>='|'<'|'<=') number
+//              | ident '=' string
+//              | ident IN '(' string (',' string)* ')'
+//
+// Metric types (long vs double sums) are resolved against the schema at
+// execution time, so the parser emits kDoubleSum for SUM and the engine
+// treats long metrics exactly (both accumulate in doubles internally).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "query/query.h"
+
+namespace dpss::query {
+
+/// Parses one statement. Throws InvalidArgument with position info on any
+/// syntax error. Unbounded timestamp sides default to the full range.
+QuerySpec parseSql(std::string_view sql);
+
+}  // namespace dpss::query

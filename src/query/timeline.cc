@@ -1,0 +1,34 @@
+#include "query/timeline.h"
+
+namespace dpss::query {
+
+using storage::SegmentId;
+
+void Timeline::add(const SegmentId& id) { segments_.insert(id); }
+
+void Timeline::remove(const SegmentId& id) { segments_.erase(id); }
+
+std::vector<SegmentId> Timeline::lookup(const Interval& interval) const {
+  std::vector<SegmentId> candidates;
+  for (const auto& id : segments_) {
+    if (id.interval.overlaps(interval)) candidates.push_back(id);
+  }
+  std::vector<SegmentId> visible;
+  for (const auto& s : candidates) {
+    bool overshadowed = false;
+    for (const auto& t : candidates) {
+      if (t.version > s.version && t.interval.contains(s.interval)) {
+        overshadowed = true;
+        break;
+      }
+    }
+    if (!overshadowed) visible.push_back(s);
+  }
+  return visible;
+}
+
+std::vector<SegmentId> Timeline::all() const {
+  return {segments_.begin(), segments_.end()};
+}
+
+}  // namespace dpss::query

@@ -1,0 +1,48 @@
+// Versioned segment timeline (§III-A-3).
+//
+// "For each data source ... the broker node builds a timeline of the
+// segments ... The timeline view always presents the segment with the
+// latest version number for a time range. If the intervals of two
+// segments overlap, the segment with the latest version has higher
+// priority."
+//
+// A segment is overshadowed when a strictly-newer-version segment's
+// interval fully covers its interval — the paper's replacement model,
+// where "the historical segment can be updated through the creation of a
+// new historical segment that obsoletes the older one". Partitions of the
+// same (interval, version) coexist and are all visible.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/interval.h"
+#include "storage/segment_id.h"
+
+namespace dpss::query {
+
+class Timeline {
+ public:
+  /// Registers a segment announcement. Idempotent.
+  void add(const storage::SegmentId& id);
+  /// Removes a segment (drop / unannounce). Unknown ids are ignored.
+  void remove(const storage::SegmentId& id);
+
+  std::size_t size() const { return segments_.size(); }
+  bool contains(const storage::SegmentId& id) const {
+    return segments_.count(id) > 0;
+  }
+
+  /// Segments visible for `interval`: those overlapping it and not
+  /// overshadowed by a newer version covering them. Sorted by id.
+  std::vector<storage::SegmentId> lookup(const Interval& interval) const;
+
+  /// All distinct ids currently registered (visible or not).
+  std::vector<storage::SegmentId> all() const;
+
+ private:
+  std::set<storage::SegmentId> segments_;
+};
+
+}  // namespace dpss::query

@@ -1,0 +1,82 @@
+#include "storage/adtech.h"
+
+#include "storage/segment_builder.h"
+
+namespace dpss::storage {
+
+Schema adTechSchema() {
+  Schema s;
+  s.dimensions = {"publisher", "advertiser", "gender", "country",
+                  "high_card_dimension"};
+  s.metrics = {{"impressions", MetricType::kLong},
+               {"clicks", MetricType::kLong},
+               {"revenue", MetricType::kDouble},
+               {"conversions", MetricType::kLong},
+               {"spend", MetricType::kDouble}};
+  return s;
+}
+
+std::vector<InputRow> generateAdTechRows(const AdTechConfig& config,
+                                         std::size_t segmentIndex) {
+  // Per-segment deterministic substream so segments generate independently
+  // (and in parallel) from a single top-level seed.
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + segmentIndex);
+  const ZipfDistribution publisherDist(config.publisherCardinality, 1.1);
+  const ZipfDistribution advertiserDist(config.advertiserCardinality, 1.05);
+  const ZipfDistribution countryDist(config.countryCardinality, 1.2);
+  const ZipfDistribution highCardDist(config.highCardCardinality, 1.01);
+
+  const TimeMs segStart =
+      config.startTime +
+      static_cast<TimeMs>(segmentIndex) * config.segmentDurationMs;
+
+  std::vector<InputRow> rows;
+  rows.reserve(config.rowsPerSegment);
+  for (std::size_t i = 0; i < config.rowsPerSegment; ++i) {
+    InputRow row;
+    row.timestamp =
+        segStart + static_cast<TimeMs>(rng.below(
+                       static_cast<std::uint64_t>(config.segmentDurationMs)));
+    row.dimensions = {
+        "pub" + std::to_string(publisherDist(rng)),
+        "adv" + std::to_string(advertiserDist(rng)),
+        rng.chance(0.52) ? "Male" : "Female",
+        "country" + std::to_string(countryDist(rng)),
+        "entity" + std::to_string(highCardDist(rng)),
+    };
+    const double impressions = static_cast<double>(500 + rng.below(5000));
+    const double clicks = static_cast<double>(rng.below(200));
+    row.metrics = {
+        impressions,
+        clicks,
+        clicks * (0.05 + rng.uniform01() * 0.9),        // revenue
+        static_cast<double>(rng.below(20)),             // conversions
+        impressions * (0.001 + rng.uniform01() * 0.01)  // spend
+    };
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<SegmentPtr> generateAdTechSegments(const AdTechConfig& config,
+                                               const std::string& dataSource,
+                                               std::size_t segmentCount) {
+  const Schema schema = adTechSchema();
+  std::vector<SegmentPtr> segments;
+  segments.reserve(segmentCount);
+  for (std::size_t s = 0; s < segmentCount; ++s) {
+    SegmentBuilder builder(schema);
+    for (auto& row : generateAdTechRows(config, s)) builder.add(std::move(row));
+    SegmentId id;
+    id.dataSource = dataSource;
+    const TimeMs start =
+        config.startTime + static_cast<TimeMs>(s) * config.segmentDurationMs;
+    id.interval = Interval(start, start + config.segmentDurationMs);
+    id.version = "v1";
+    id.partition = 0;
+    segments.push_back(builder.build(std::move(id)));
+  }
+  return segments;
+}
+
+}  // namespace dpss::storage

@@ -1,0 +1,45 @@
+// Synthetic ad-tech workload with the paper's Table I schema.
+//
+// The evaluation dataset is described as "80GB ... more than a dozen
+// dimensions, cardinalities from double digits to tens of millions",
+// partitioned by timestamp then dimension value into ~10k-row segments.
+// This generator reproduces the schema and the cardinality spread at a
+// configurable scale; dimension values are Zipf-distributed so the
+// dictionary/bitmap code paths see realistic skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/schema.h"
+#include "storage/segment.h"
+
+namespace dpss::storage {
+
+struct AdTechConfig {
+  std::uint64_t seed = 2015;
+  std::size_t rowsPerSegment = 10'000;  // the paper's segment size
+  TimeMs startTime = 1'388'534'400'000;  // 2014-01-01T00:00:00Z
+  TimeMs segmentDurationMs = 3'600'000;  // hourly segments
+  std::size_t publisherCardinality = 50;      // double digits
+  std::size_t advertiserCardinality = 200;
+  std::size_t countryCardinality = 40;
+  std::size_t highCardCardinality = 100'000;  // "tens of millions", scaled
+};
+
+/// The Table I schema plus the high-cardinality dimension used by
+/// queries 4–6 and the four extra metrics of queries 2–3.
+Schema adTechSchema();
+
+/// One segment's worth of rows for segment ordinal `segmentIndex`.
+std::vector<InputRow> generateAdTechRows(const AdTechConfig& config,
+                                         std::size_t segmentIndex);
+
+/// Builds `segmentCount` hourly segments for `dataSource`.
+std::vector<SegmentPtr> generateAdTechSegments(const AdTechConfig& config,
+                                               const std::string& dataSource,
+                                               std::size_t segmentCount);
+
+}  // namespace dpss::storage

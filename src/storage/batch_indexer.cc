@@ -1,0 +1,92 @@
+#include "storage/batch_indexer.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "storage/incremental_index.h"
+
+namespace dpss::storage {
+
+std::vector<SegmentPtr> buildBatch(const Schema& schema,
+                                   const std::string& dataSource,
+                                   const std::vector<InputRow>& rows,
+                                   const BatchIndexerOptions& options) {
+  DPSS_CHECK_MSG(options.segmentGranularityMs > 0,
+                 "segment granularity must be positive");
+  DPSS_CHECK_MSG(options.targetRowsPerSegment > 0,
+                 "target rows per segment must be positive");
+
+  const TimeMs g = options.segmentGranularityMs;
+  auto bucketOf = [g](TimeMs t) {
+    TimeMs b = t - (t % g);
+    if (t < 0 && t % g != 0) b -= g;
+    return b;
+  };
+
+  // First pass: count rows per time bucket to size the partitioning.
+  std::map<TimeMs, std::size_t> bucketCounts;
+  for (const auto& row : rows) ++bucketCounts[bucketOf(row.timestamp)];
+
+  std::map<TimeMs, std::size_t> partitionsPerBucket;
+  for (const auto& [bucket, count] : bucketCounts) {
+    partitionsPerBucket[bucket] =
+        (count + options.targetRowsPerSegment - 1) /
+        options.targetRowsPerSegment;
+  }
+
+  // Second pass: route rows to (bucket, partition) builders. Partitioning
+  // hashes the first dimension value so one value's rows stay together.
+  std::map<std::pair<TimeMs, std::size_t>, SegmentBuilder> builders;
+  for (const auto& row : rows) {
+    DPSS_CHECK_MSG(row.dimensions.size() == schema.dimensions.size(),
+                   "row dimension count mismatch");
+    const TimeMs bucket = bucketOf(row.timestamp);
+    const std::size_t parts = partitionsPerBucket[bucket];
+    std::size_t partition = 0;
+    if (parts > 1 && !row.dimensions.empty()) {
+      partition = static_cast<std::size_t>(fnv1a(row.dimensions[0]) % parts);
+    }
+    auto it = builders.find({bucket, partition});
+    if (it == builders.end()) {
+      it = builders.emplace(std::make_pair(bucket, partition),
+                            SegmentBuilder(schema)).first;
+    }
+    it->second.add(row);
+  }
+
+  std::vector<SegmentPtr> out;
+  out.reserve(builders.size());
+  for (auto& [key, builder] : builders) {
+    SegmentId id;
+    id.dataSource = dataSource;
+    id.interval = Interval(key.first, key.first + g);
+    id.version = options.version;
+    id.partition = static_cast<std::uint32_t>(key.second);
+    if (options.rollupGranularityMs > 0) {
+      // Re-run the rows through a roll-up index before sealing.
+      IncrementalIndex rollup(schema, options.rollupGranularityMs);
+      const SegmentPtr raw = builder.build(id);
+      for (std::size_t r = 0; r < raw->rowCount(); ++r) {
+        InputRow row;
+        row.timestamp = raw->timestamps()[r];
+        for (std::size_t d = 0; d < schema.dimensions.size(); ++d) {
+          row.dimensions.push_back(raw->dim(d).dict.valueOf(raw->dim(d).ids[r]));
+        }
+        for (std::size_t m = 0; m < schema.metrics.size(); ++m) {
+          const auto& col = raw->metric(m);
+          row.metrics.push_back(col.type == MetricType::kLong
+                                    ? static_cast<double>(col.longs[r])
+                                    : col.doubles[r]);
+        }
+        rollup.add(row);
+      }
+      out.push_back(rollup.snapshot(id));
+    } else {
+      out.push_back(builder.build(id));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpss::storage

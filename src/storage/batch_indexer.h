@@ -1,0 +1,35 @@
+// Batch indexing: raw events -> immutable segments (§III: "partitions
+// data sources into well defined time intervals, typically an hour or a
+// day, and may further partition according to values from other columns
+// to achieve the desired segment size"; Figure 1's "batch data" path into
+// deep storage).
+//
+// Rows are bucketed by the segment granularity; a bucket larger than the
+// target row count splits into partitions by a stable hash of the first
+// dimension value, so all rows of one dimension value stay colocated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/segment.h"
+#include "storage/segment_builder.h"
+
+namespace dpss::storage {
+
+struct BatchIndexerOptions {
+  TimeMs segmentGranularityMs = 3'600'000;  // hourly
+  std::size_t targetRowsPerSegment = 10'000;  // the paper's segment size
+  std::string version = "v1";
+  /// Roll-up granularity applied within each segment (0 = keep raw rows).
+  TimeMs rollupGranularityMs = 0;
+};
+
+/// Builds one segment per (time bucket, partition). Segments come back
+/// ordered by (bucket, partition). Rows may arrive in any order.
+std::vector<SegmentPtr> buildBatch(const Schema& schema,
+                                   const std::string& dataSource,
+                                   const std::vector<InputRow>& rows,
+                                   const BatchIndexerOptions& options = {});
+
+}  // namespace dpss::storage

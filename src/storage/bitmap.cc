@@ -1,0 +1,65 @@
+#include "storage/bitmap.h"
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+Bitmap::Bitmap(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+void Bitmap::set(std::size_t pos) {
+  DPSS_CHECK_MSG(pos < size_, "bitmap position out of range");
+  words_[pos / 64] |= (1ULL << (pos % 64));
+}
+
+void Bitmap::clear(std::size_t pos) {
+  DPSS_CHECK_MSG(pos < size_, "bitmap position out of range");
+  words_[pos / 64] &= ~(1ULL << (pos % 64));
+}
+
+bool Bitmap::get(std::size_t pos) const {
+  DPSS_CHECK_MSG(pos < size_, "bitmap position out of range");
+  return (words_[pos / 64] >> (pos % 64)) & 1;
+}
+
+std::size_t Bitmap::cardinality() const {
+  std::size_t count = 0;
+  for (const auto w : words_) count += __builtin_popcountll(w);
+  return count;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  DPSS_CHECK_MSG(size_ == other.size_, "bitmap size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  DPSS_CHECK_MSG(size_ == other.size_, "bitmap size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+void Bitmap::flip() {
+  for (auto& w : words_) w = ~w;
+  // Mask tail bits beyond size_.
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+bool operator==(const Bitmap& a, const Bitmap& b) {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+std::vector<std::size_t> Bitmap::toPositions() const {
+  std::vector<std::size_t> out;
+  out.reserve(cardinality());
+  forEach([&](std::size_t pos) {
+    out.push_back(pos);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace dpss::storage

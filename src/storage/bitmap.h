@@ -1,0 +1,58 @@
+// Plain (uncompressed) dynamic bitset — the reference implementation the
+// compressed CONCISE-style bitmap is validated against, and the working
+// representation for filter evaluation inside a single segment scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpss::storage {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// All-zeros bitmap over [0, size).
+  explicit Bitmap(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  void set(std::size_t pos);
+  void clear(std::size_t pos);
+  bool get(std::size_t pos) const;
+
+  /// Number of set bits.
+  std::size_t cardinality() const;
+
+  /// In-place boolean ops; sizes must match.
+  Bitmap& operator&=(const Bitmap& other);
+  Bitmap& operator|=(const Bitmap& other);
+  /// Complement over [0, size).
+  void flip();
+
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend bool operator==(const Bitmap& a, const Bitmap& b);
+
+  /// Positions of all set bits, ascending.
+  std::vector<std::size_t> toPositions() const;
+
+  /// Calls fn(pos) for each set bit, ascending. fn returning false stops.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        if (!fn(w * 64 + static_cast<std::size_t>(bit))) return;
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dpss::storage

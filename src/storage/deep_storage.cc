@@ -1,0 +1,129 @@
+#include "storage/deep_storage.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace dpss::storage {
+
+namespace fs = std::filesystem;
+
+LocalDeepStorage::LocalDeepStorage(std::string root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string LocalDeepStorage::pathFor(const std::string& key) const {
+  std::string name;
+  name.reserve(key.size() + 17);
+  for (const char c : key) {
+    name.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  // Disambiguate keys that sanitize identically.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv1a(key)));
+  name.push_back('.');
+  name.append(hex);
+  return root_ + "/" + name;
+}
+
+void LocalDeepStorage::put(const std::string& key, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = pathFor(key);
+  // Write-then-rename so readers never observe a torn blob.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Unavailable("cannot open for write: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Unavailable("short write: " + tmp);
+  }
+  fs::rename(tmp, path);
+  keyToFile_[key] = path;
+}
+
+std::string LocalDeepStorage::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = pathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw NotFound("deep storage blob not found: " + key);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+bool LocalDeepStorage::exists(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fs::exists(pathFor(key));
+}
+
+void LocalDeepStorage::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fs::remove(pathFor(key));
+  keyToFile_.erase(key);
+}
+
+std::vector<std::string> LocalDeepStorage::list() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(keyToFile_.size());
+  for (const auto& [key, file] : keyToFile_) {
+    (void)file;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+void MemoryDeepStorage::put(const std::string& key, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_[key] = bytes;
+}
+
+std::string MemoryDeepStorage::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++getCount_;
+  if (failGets_ > 0) {
+    --failGets_;
+    throw Unavailable("injected deep-storage failure");
+  }
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) throw NotFound("deep storage blob not found: " + key);
+  return it->second;
+}
+
+bool MemoryDeepStorage::exists(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.count(key) > 0;
+}
+
+void MemoryDeepStorage::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_.erase(key);
+}
+
+std::vector<std::string> MemoryDeepStorage::list() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(blobs_.size());
+  for (const auto& [key, bytes] : blobs_) {
+    (void)bytes;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+void MemoryDeepStorage::failNextGets(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failGets_ = n;
+}
+
+std::size_t MemoryDeepStorage::getCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return getCount_;
+}
+
+}  // namespace dpss::storage

@@ -1,0 +1,74 @@
+// Deep storage — the permanent home of historical segments (§III: "stored
+// permanently in a distributed file system, such as S3 or HDFS").
+//
+// The interface is the whole HDFS contract the system depends on:
+// immutable blob put/get plus listing. Two implementations:
+//   LocalDeepStorage  — directory-backed, one file per blob
+//   MemoryDeepStorage — map-backed, with failure injection for tests
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dpss::storage {
+
+class DeepStorage {
+ public:
+  virtual ~DeepStorage() = default;
+
+  /// Stores a blob; overwriting an existing key is allowed (segment
+  /// re-upload after a retried handoff must be idempotent).
+  virtual void put(const std::string& key, const std::string& bytes) = 0;
+
+  /// Throws NotFound when the key does not exist, Unavailable on an
+  /// injected/IO failure.
+  virtual std::string get(const std::string& key) = 0;
+
+  virtual bool exists(const std::string& key) = 0;
+  virtual void remove(const std::string& key) = 0;
+  virtual std::vector<std::string> list() = 0;
+};
+
+/// One file per blob under `root`; keys are sanitized into file names.
+class LocalDeepStorage final : public DeepStorage {
+ public:
+  explicit LocalDeepStorage(std::string root);
+
+  void put(const std::string& key, const std::string& bytes) override;
+  std::string get(const std::string& key) override;
+  bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> list() override;
+
+ private:
+  std::string pathFor(const std::string& key) const;
+
+  std::string root_;
+  std::mutex mu_;
+  std::map<std::string, std::string> keyToFile_;  // key -> sanitized name
+};
+
+/// In-memory deep storage with fault injection.
+class MemoryDeepStorage final : public DeepStorage {
+ public:
+  void put(const std::string& key, const std::string& bytes) override;
+  std::string get(const std::string& key) override;
+  bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> list() override;
+
+  /// The next `n` get() calls throw Unavailable (simulated HDFS outage).
+  void failNextGets(std::size_t n);
+  std::size_t getCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> blobs_;
+  std::size_t failGets_ = 0;
+  std::size_t getCount_ = 0;
+};
+
+}  // namespace dpss::storage

@@ -1,0 +1,70 @@
+#include "storage/dictionary_encoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+std::uint32_t StringDictionary::encode(std::string_view value) {
+  DPSS_CHECK_MSG(!finalized_, "cannot intern into a finalized dictionary");
+  const auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), id);
+  return id;
+}
+
+std::optional<std::uint32_t> StringDictionary::idOf(
+    std::string_view value) const {
+  const auto it = index_.find(std::string(value));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> StringDictionary::finalizeSorted() {
+  DPSS_CHECK_MSG(!finalized_, "dictionary already finalized");
+  std::vector<std::uint32_t> order(values_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return values_[a] < values_[b];
+            });
+  // order[newId] = oldId; we need remap[oldId] = newId.
+  std::vector<std::uint32_t> remap(values_.size());
+  std::vector<std::string> sorted(values_.size());
+  for (std::uint32_t newId = 0; newId < order.size(); ++newId) {
+    remap[order[newId]] = newId;
+    sorted[newId] = std::move(values_[order[newId]]);
+  }
+  values_ = std::move(sorted);
+  index_.clear();
+  for (std::uint32_t id = 0; id < values_.size(); ++id) {
+    index_.emplace(values_[id], id);
+  }
+  finalized_ = true;
+  return remap;
+}
+
+void StringDictionary::serialize(ByteWriter& w) const {
+  w.u8(finalized_ ? 1 : 0);
+  w.varint(values_.size());
+  for (const auto& v : values_) w.str(v);
+}
+
+StringDictionary StringDictionary::deserialize(ByteReader& r) {
+  StringDictionary d;
+  const bool finalized = r.u8() != 0;
+  const std::uint64_t n = r.varint();
+  d.values_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    d.values_.push_back(r.str());
+    d.index_.emplace(d.values_.back(), static_cast<std::uint32_t>(i));
+  }
+  d.finalized_ = finalized;
+  return d;
+}
+
+}  // namespace dpss::storage

@@ -1,0 +1,47 @@
+// Dictionary encoding for string columns (§III-B: "String column is
+// dictionary encoding ... map each publisher into a unique integer
+// identifier").
+//
+// Ids are assigned in first-seen order while building; finalize() remaps
+// them to the sorted order of the values so that range predicates and
+// binary search work on the finalized dictionary (the immutable-segment
+// form).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dpss::storage {
+
+class StringDictionary {
+ public:
+  /// Interns `value`, returning its id (existing or fresh).
+  std::uint32_t encode(std::string_view value);
+
+  /// Id of `value` if present (no interning).
+  std::optional<std::uint32_t> idOf(std::string_view value) const;
+
+  const std::string& valueOf(std::uint32_t id) const { return values_.at(id); }
+  std::size_t size() const { return values_.size(); }
+
+  /// Sorts values lexicographically and returns old-id -> new-id so the
+  /// caller can rewrite its encoded column. Call once, before sealing.
+  std::vector<std::uint32_t> finalizeSorted();
+  bool finalized() const { return finalized_; }
+
+  void serialize(ByteWriter& w) const;
+  static StringDictionary deserialize(ByteReader& r);
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  bool finalized_ = false;
+};
+
+}  // namespace dpss::storage

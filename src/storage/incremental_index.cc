@@ -1,0 +1,72 @@
+#include "storage/incremental_index.h"
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+IncrementalIndex::IncrementalIndex(Schema schema, TimeMs rollupGranularityMs)
+    : schema_(std::move(schema)), granularity_(rollupGranularityMs) {
+  DPSS_CHECK_MSG(granularity_ >= 0, "granularity must be non-negative");
+}
+
+void IncrementalIndex::add(const InputRow& row) {
+  DPSS_CHECK_MSG(row.dimensions.size() == schema_.dimensions.size(),
+                 "row dimension count mismatch");
+  DPSS_CHECK_MSG(row.metrics.size() == schema_.metrics.size(),
+                 "row metric count mismatch");
+  TimeMs bucket = row.timestamp;
+  if (granularity_ > 0) {
+    bucket = row.timestamp - (row.timestamp % granularity_);
+    if (row.timestamp < 0 && row.timestamp % granularity_ != 0) {
+      bucket -= granularity_;  // floor for negative timestamps
+    }
+  } else {
+    // No roll-up: make every event unique by tagging the key with the
+    // event ordinal through an impossible dimension value... simpler: use
+    // a multimap-like trick below.
+  }
+
+  Key key{bucket, row.dimensions};
+  if (granularity_ == 0) {
+    // Disambiguate identical rows so nothing merges.
+    key.second.push_back("\x01" + std::to_string(events_));
+  }
+  auto [it, inserted] = rows_.try_emplace(key, row.metrics);
+  if (!inserted) {
+    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+      it->second[m] += row.metrics[m];
+    }
+  }
+  if (events_ == 0) {
+    minTime_ = maxTime_ = bucket;
+  } else {
+    minTime_ = std::min(minTime_, bucket);
+    maxTime_ = std::max(maxTime_, bucket);
+  }
+  ++events_;
+}
+
+SegmentPtr IncrementalIndex::snapshot(const SegmentId& id) const {
+  SegmentBuilder builder(schema_);
+  for (const auto& [key, metrics] : rows_) {
+    InputRow row;
+    row.timestamp = key.first;
+    row.dimensions.assign(key.second.begin(),
+                          key.second.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  schema_.dimensions.size()));
+    row.metrics = metrics;
+    builder.add(std::move(row));
+  }
+  return builder.build(id);
+}
+
+SegmentPtr IncrementalIndex::persistAndClear(const SegmentId& id) {
+  SegmentPtr segment = snapshot(id);
+  rows_.clear();
+  events_ = 0;
+  minTime_ = maxTime_ = 0;
+  return segment;
+}
+
+}  // namespace dpss::storage

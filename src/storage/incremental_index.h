@@ -1,0 +1,61 @@
+// In-memory incremental index of the real-time compute node (§III-A-2).
+//
+// Rows are rolled up on (timestamp truncated to the roll-up granularity,
+// dimension tuple): metric values aggregate in place, which is the
+// paper's "order of magnitude compression without sacrificing numerical
+// accuracy" — at the cost of not supporting queries over non-aggregated
+// rows. Roll-up can be disabled (granularity 0) for the ablation bench.
+//
+// The index is incrementally updated and immediately queryable via
+// snapshot(), which materializes the current contents as an immutable
+// columnar segment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/segment.h"
+#include "storage/segment_builder.h"
+
+namespace dpss::storage {
+
+class IncrementalIndex {
+ public:
+  /// granularityMs == 0 disables roll-up (every row kept verbatim).
+  IncrementalIndex(Schema schema, TimeMs rollupGranularityMs);
+
+  /// Ingests one event, aggregating into an existing roll-up row when the
+  /// (truncated timestamp, dimensions) key already exists.
+  void add(const InputRow& row);
+
+  /// Rolled-up row count (what a segment built now would contain).
+  std::size_t rowCount() const { return rows_.size(); }
+  /// Raw events ingested (>= rowCount when roll-up merges).
+  std::size_t eventCount() const { return events_; }
+  bool empty() const { return rows_.empty(); }
+
+  TimeMs minTime() const { return minTime_; }
+  TimeMs maxTime() const { return maxTime_; }
+
+  /// Immutable columnar snapshot of the current contents.
+  SegmentPtr snapshot(const SegmentId& id) const;
+
+  /// Snapshot + clear — the real-time node's periodic persist.
+  SegmentPtr persistAndClear(const SegmentId& id);
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  using Key = std::pair<TimeMs, std::vector<std::string>>;
+
+  Schema schema_;
+  TimeMs granularity_;
+  std::map<Key, std::vector<double>> rows_;  // key -> aggregated metrics
+  std::size_t events_ = 0;
+  TimeMs minTime_ = 0;
+  TimeMs maxTime_ = 0;
+};
+
+}  // namespace dpss::storage

@@ -1,0 +1,84 @@
+#include "storage/schema.h"
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+std::size_t Schema::dimensionIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < dimensions.size(); ++i) {
+    if (dimensions[i] == name) return i;
+  }
+  throw InvalidArgument("no such dimension: " + name);
+}
+
+std::size_t Schema::metricIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics[i].name == name) return i;
+  }
+  throw InvalidArgument("no such metric: " + name);
+}
+
+bool Schema::hasDimension(const std::string& name) const {
+  for (const auto& d : dimensions) {
+    if (d == name) return true;
+  }
+  return false;
+}
+
+bool Schema::hasMetric(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+void Schema::serialize(ByteWriter& w) const {
+  w.varint(dimensions.size());
+  for (const auto& d : dimensions) w.str(d);
+  w.varint(metrics.size());
+  for (const auto& m : metrics) {
+    w.str(m.name);
+    w.u8(static_cast<std::uint8_t>(m.type));
+  }
+}
+
+std::string encodeInputRow(const InputRow& row) {
+  ByteWriter w;
+  w.i64(row.timestamp);
+  w.varint(row.dimensions.size());
+  for (const auto& d : row.dimensions) w.str(d);
+  w.varint(row.metrics.size());
+  for (const auto m : row.metrics) w.f64(m);
+  return w.take();
+}
+
+InputRow decodeInputRow(const std::string& bytes) {
+  ByteReader r(bytes);
+  InputRow row;
+  row.timestamp = r.i64();
+  const std::uint64_t nd = r.varint();
+  row.dimensions.reserve(nd);
+  for (std::uint64_t i = 0; i < nd; ++i) row.dimensions.push_back(r.str());
+  const std::uint64_t nm = r.varint();
+  row.metrics.reserve(nm);
+  for (std::uint64_t i = 0; i < nm; ++i) row.metrics.push_back(r.f64());
+  return row;
+}
+
+Schema Schema::deserialize(ByteReader& r) {
+  Schema s;
+  const std::uint64_t nd = r.varint();
+  s.dimensions.reserve(nd);
+  for (std::uint64_t i = 0; i < nd; ++i) s.dimensions.push_back(r.str());
+  const std::uint64_t nm = r.varint();
+  s.metrics.reserve(nm);
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    MetricSpec m;
+    m.name = r.str();
+    m.type = static_cast<MetricType>(r.u8());
+    s.metrics.push_back(std::move(m));
+  }
+  return s;
+}
+
+}  // namespace dpss::storage

@@ -1,0 +1,55 @@
+// Table schema: the timestamp column, string dimensions and numeric
+// metrics (the Table I data model: Publisher/Advertiser/Gender/Country
+// dimensions; Impressions/Clicks/Revenue metrics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+
+namespace dpss::storage {
+
+enum class MetricType : std::uint8_t { kLong = 0, kDouble = 1 };
+
+struct MetricSpec {
+  std::string name;
+  MetricType type = MetricType::kLong;
+
+  friend bool operator==(const MetricSpec& a, const MetricSpec& b) = default;
+};
+
+struct Schema {
+  std::vector<std::string> dimensions;
+  std::vector<MetricSpec> metrics;
+
+  /// Index of a dimension/metric by name; throws NotFound.
+  std::size_t dimensionIndex(const std::string& name) const;
+  std::size_t metricIndex(const std::string& name) const;
+  bool hasDimension(const std::string& name) const;
+  bool hasMetric(const std::string& name) const;
+
+  void serialize(ByteWriter& w) const;
+  static Schema deserialize(ByteReader& r);
+
+  friend bool operator==(const Schema& a, const Schema& b) = default;
+};
+
+/// One incoming event before columnarization (a line of Table I).
+struct InputRow {
+  TimeMs timestamp = 0;
+  std::vector<std::string> dimensions;  // aligned with Schema::dimensions
+  std::vector<double> metrics;          // aligned with Schema::metrics
+                                        // (longs carried as exact doubles)
+
+  friend bool operator==(const InputRow& a, const InputRow& b) = default;
+};
+
+/// Wire form of an event, the message-queue payload format.
+std::string encodeInputRow(const InputRow& row);
+InputRow decodeInputRow(const std::string& bytes);
+
+}  // namespace dpss::storage

@@ -1,0 +1,67 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+Segment::Segment(SegmentId id, Schema schema, std::vector<TimeMs> timestamps,
+                 std::vector<DimColumn> dims,
+                 std::vector<MetricColumn> metrics)
+    : id_(std::move(id)),
+      schema_(std::move(schema)),
+      timestamps_(std::move(timestamps)),
+      dims_(std::move(dims)),
+      metrics_(std::move(metrics)) {
+  DPSS_CHECK_MSG(dims_.size() == schema_.dimensions.size(),
+                 "dimension column count mismatch");
+  DPSS_CHECK_MSG(metrics_.size() == schema_.metrics.size(),
+                 "metric column count mismatch");
+  DPSS_CHECK_MSG(
+      std::is_sorted(timestamps_.begin(), timestamps_.end()),
+      "segment rows must be sorted by timestamp");
+  const std::size_t rows = timestamps_.size();
+  for (const auto& d : dims_) {
+    DPSS_CHECK_MSG(d.ids.size() == rows, "dimension column length mismatch");
+    DPSS_CHECK_MSG(d.bitmaps.size() == d.dict.size(),
+                   "one inverted index per dictionary value required");
+  }
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    const auto& col = metrics_[m];
+    const std::size_t len = col.type == MetricType::kLong ? col.longs.size()
+                                                          : col.doubles.size();
+    DPSS_CHECK_MSG(len == rows, "metric column length mismatch");
+  }
+  if (!timestamps_.empty()) {
+    minTime_ = timestamps_.front();
+    maxTime_ = timestamps_.back();
+  }
+}
+
+ConciseBitmap Segment::valueBitmap(std::size_t dimIdx,
+                                   const std::string& value) const {
+  const auto& col = dims_.at(dimIdx);
+  if (const auto id = col.dict.idOf(value)) {
+    return col.bitmaps[*id];
+  }
+  return ConciseBitmap::fromPositions({}, rowCount());
+}
+
+std::size_t Segment::memoryFootprint() const {
+  std::size_t bytes = timestamps_.size() * sizeof(TimeMs);
+  for (const auto& d : dims_) {
+    bytes += d.ids.size() * sizeof(std::uint32_t);
+    for (const auto& b : d.bitmaps) bytes += b.compressedBytes();
+    for (std::size_t v = 0; v < d.dict.size(); ++v) {
+      bytes += d.dict.valueOf(static_cast<std::uint32_t>(v)).size();
+    }
+  }
+  for (const auto& m : metrics_) {
+    bytes += m.longs.size() * sizeof(std::int64_t) +
+             m.doubles.size() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace dpss::storage

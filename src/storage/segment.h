@@ -1,0 +1,73 @@
+// Immutable columnar segment (§III-B).
+//
+// Column-oriented layout: a timestamp column, dictionary-encoded string
+// dimension columns each with per-value CONCISE-compressed inverted
+// indexes ("the mapping of column values to the row indices forms an
+// inverted index"), and numeric metric columns. Rows are sorted by
+// timestamp. Instances are immutable after construction and shared
+// between the storage layer and concurrent query scans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/concise.h"
+#include "storage/dictionary_encoder.h"
+#include "storage/schema.h"
+#include "storage/segment_id.h"
+
+namespace dpss::storage {
+
+class Segment;
+using SegmentPtr = std::shared_ptr<const Segment>;
+
+class Segment {
+ public:
+  struct DimColumn {
+    StringDictionary dict;
+    std::vector<std::uint32_t> ids;      // row -> value id
+    std::vector<ConciseBitmap> bitmaps;  // value id -> inverted index
+  };
+  struct MetricColumn {
+    MetricType type = MetricType::kLong;
+    std::vector<std::int64_t> longs;   // used when type == kLong
+    std::vector<double> doubles;       // used when type == kDouble
+  };
+
+  Segment(SegmentId id, Schema schema, std::vector<TimeMs> timestamps,
+          std::vector<DimColumn> dims, std::vector<MetricColumn> metrics);
+
+  const SegmentId& id() const { return id_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t rowCount() const { return timestamps_.size(); }
+  TimeMs minTime() const { return minTime_; }
+  TimeMs maxTime() const { return maxTime_; }
+
+  const std::vector<TimeMs>& timestamps() const { return timestamps_; }
+
+  const DimColumn& dim(std::size_t dimIdx) const { return dims_.at(dimIdx); }
+  const MetricColumn& metric(std::size_t metricIdx) const {
+    return metrics_.at(metricIdx);
+  }
+
+  /// Inverted index for (dimension, value); an all-zero bitmap when the
+  /// value does not occur in this segment.
+  ConciseBitmap valueBitmap(std::size_t dimIdx,
+                            const std::string& value) const;
+
+  /// Approximate in-memory footprint in bytes (for cache accounting).
+  std::size_t memoryFootprint() const;
+
+ private:
+  SegmentId id_;
+  Schema schema_;
+  std::vector<TimeMs> timestamps_;
+  std::vector<DimColumn> dims_;
+  std::vector<MetricColumn> metrics_;
+  TimeMs minTime_ = 0;
+  TimeMs maxTime_ = 0;
+};
+
+}  // namespace dpss::storage

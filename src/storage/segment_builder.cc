@@ -1,0 +1,103 @@
+#include "storage/segment_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+SegmentBuilder::SegmentBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+void SegmentBuilder::add(InputRow row) {
+  DPSS_CHECK_MSG(row.dimensions.size() == schema_.dimensions.size(),
+                 "row dimension count mismatch");
+  DPSS_CHECK_MSG(row.metrics.size() == schema_.metrics.size(),
+                 "row metric count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+SegmentPtr SegmentBuilder::build(SegmentId id) {
+  // Sort row order by timestamp (stable so ingest order breaks ties).
+  std::vector<std::size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return rows_[a].timestamp < rows_[b].timestamp;
+                   });
+
+  std::vector<TimeMs> timestamps;
+  timestamps.reserve(rows_.size());
+  for (const auto r : order) timestamps.push_back(rows_[r].timestamp);
+
+  std::vector<Segment::DimColumn> dims(schema_.dimensions.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    auto& col = dims[d];
+    col.ids.reserve(rows_.size());
+    for (const auto r : order) {
+      col.ids.push_back(col.dict.encode(rows_[r].dimensions[d]));
+    }
+    // Remap ids to the sorted dictionary, then build inverted indexes.
+    const auto remap = col.dict.finalizeSorted();
+    std::vector<std::vector<std::size_t>> positions(col.dict.size());
+    for (std::size_t row = 0; row < col.ids.size(); ++row) {
+      col.ids[row] = remap[col.ids[row]];
+      positions[col.ids[row]].push_back(row);
+    }
+    col.bitmaps.reserve(col.dict.size());
+    for (const auto& pos : positions) {
+      col.bitmaps.push_back(ConciseBitmap::fromPositions(pos, rows_.size()));
+    }
+  }
+
+  std::vector<Segment::MetricColumn> metrics(schema_.metrics.size());
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    auto& col = metrics[m];
+    col.type = schema_.metrics[m].type;
+    if (col.type == MetricType::kLong) {
+      col.longs.reserve(rows_.size());
+      for (const auto r : order) {
+        col.longs.push_back(std::llround(rows_[r].metrics[m]));
+      }
+    } else {
+      col.doubles.reserve(rows_.size());
+      for (const auto r : order) col.doubles.push_back(rows_[r].metrics[m]);
+    }
+  }
+
+  rows_.clear();
+  return std::make_shared<Segment>(std::move(id), schema_,
+                                   std::move(timestamps), std::move(dims),
+                                   std::move(metrics));
+}
+
+SegmentPtr mergeSegments(const std::vector<SegmentPtr>& parts, SegmentId id) {
+  DPSS_CHECK_MSG(!parts.empty(), "cannot merge zero segments");
+  const Schema& schema = parts.front()->schema();
+  for (const auto& p : parts) {
+    DPSS_CHECK_MSG(p->schema() == schema, "merge requires identical schemas");
+  }
+  SegmentBuilder builder(schema);
+  for (const auto& p : parts) {
+    for (std::size_t row = 0; row < p->rowCount(); ++row) {
+      InputRow r;
+      r.timestamp = p->timestamps()[row];
+      r.dimensions.reserve(schema.dimensions.size());
+      for (std::size_t d = 0; d < schema.dimensions.size(); ++d) {
+        r.dimensions.push_back(p->dim(d).dict.valueOf(p->dim(d).ids[row]));
+      }
+      r.metrics.reserve(schema.metrics.size());
+      for (std::size_t m = 0; m < schema.metrics.size(); ++m) {
+        const auto& col = p->metric(m);
+        r.metrics.push_back(col.type == MetricType::kLong
+                                ? static_cast<double>(col.longs[row])
+                                : col.doubles[row]);
+      }
+      builder.add(std::move(r));
+    }
+  }
+  return builder.build(std::move(id));
+}
+
+}  // namespace dpss::storage

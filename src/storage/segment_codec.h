@@ -1,0 +1,21 @@
+// Segment serialization for deep storage.
+//
+// Blob layout: magic "DPS1", segment id, schema, row count, then LZF-
+// compressed column blocks (timestamps delta-encoded, dimension ids
+// varint-packed, metrics packed by type), per-value bitmap indexes in
+// their compressed CONCISE form, and a trailing FNV-64 checksum of
+// everything before it.
+#pragma once
+
+#include <string>
+
+#include "storage/segment.h"
+
+namespace dpss::storage {
+
+std::string encodeSegment(const Segment& segment);
+
+/// Throws CorruptData on bad magic, short buffer, or checksum mismatch.
+SegmentPtr decodeSegment(const std::string& blob);
+
+}  // namespace dpss::storage

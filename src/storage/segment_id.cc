@@ -1,0 +1,72 @@
+#include "storage/segment_id.h"
+
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+
+std::string SegmentId::toString() const {
+  std::ostringstream os;
+  os << dataSource << "/" << interval.start() << "-" << interval.end() << "/"
+     << version << "/" << partition;
+  return os.str();
+}
+
+SegmentId SegmentId::parse(const std::string& s) {
+  // dataSource may not contain '/'; fields are fixed-count.
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t slash = s.find('/', start);
+    if (slash == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, slash - start));
+    start = slash + 1;
+  }
+  if (parts.size() != 4) throw CorruptData("malformed segment id: " + s);
+  const std::size_t dash = parts[1].find('-', 1);  // allow negative start
+  if (dash == std::string::npos) {
+    throw CorruptData("malformed segment interval: " + parts[1]);
+  }
+  SegmentId id;
+  id.dataSource = parts[0];
+  try {
+    id.interval = Interval(std::stoll(parts[1].substr(0, dash)),
+                           std::stoll(parts[1].substr(dash + 1)));
+    id.version = parts[2];
+    id.partition = static_cast<std::uint32_t>(std::stoul(parts[3]));
+  } catch (const std::logic_error&) {
+    throw CorruptData("malformed segment id: " + s);
+  }
+  return id;
+}
+
+void SegmentId::serialize(ByteWriter& w) const {
+  w.str(dataSource);
+  w.i64(interval.start());
+  w.i64(interval.end());
+  w.str(version);
+  w.u32(partition);
+}
+
+SegmentId SegmentId::deserialize(ByteReader& r) {
+  SegmentId id;
+  id.dataSource = r.str();
+  const TimeMs start = r.i64();
+  const TimeMs end = r.i64();
+  id.interval = Interval(start, end);
+  id.version = r.str();
+  id.partition = r.u32();
+  return id;
+}
+
+bool operator<(const SegmentId& a, const SegmentId& b) {
+  return std::tie(a.dataSource, a.interval, a.version, a.partition) <
+         std::tie(b.dataSource, b.interval, b.version, b.partition);
+}
+
+}  // namespace dpss::storage

@@ -1,0 +1,227 @@
+// Integration tests across the full node set: coordinator assignment,
+// historical serving, broker routing/merging/caching, real-time ingestion
+// with persist + handoff, crash recovery, replication and scale-out.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/names.h"
+#include "common/error.h"
+#include "query/engine.h"
+#include "storage/adtech.h"
+#include "storage/segment_builder.h"
+
+namespace dpss::cluster {
+namespace {
+
+using query::countAgg;
+using query::longSumAgg;
+using query::QuerySpec;
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+using storage::SegmentPtr;
+
+QuerySpec countQuery(const std::string& dataSource, Interval interval) {
+  QuerySpec q;
+  q.dataSource = dataSource;
+  q.interval = interval;
+  q.aggregations = {countAgg("cnt")};
+  return q;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : clock_(1'400'000'000'000) {}
+
+  std::vector<SegmentPtr> makeSegments(std::size_t count,
+                                       std::size_t rows = 200) {
+    AdTechConfig config;
+    config.rowsPerSegment = rows;
+    return generateAdTechSegments(config, "ads", count);
+  }
+
+  static Interval allTime() { return Interval(0, 4'000'000'000'000LL); }
+
+  ManualClock clock_;
+};
+
+TEST_F(ClusterTest, CoordinatorAssignsAndBrokerQueries) {
+  Cluster cluster(clock_, {.historicalNodes = 3});
+  cluster.publishSegments(makeSegments(6));
+
+  // Every segment got loaded somewhere; least-loaded balancing spreads 2/2/2.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto served = cluster.historical(i).servedSegments().size();
+    EXPECT_EQ(served, 2u) << "node " << i;
+    total += served;
+  }
+  EXPECT_EQ(total, 6u);
+
+  const auto outcome = cluster.broker().query(countQuery("ads", allTime()));
+  ASSERT_EQ(outcome.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 6 * 200.0);
+  EXPECT_EQ(outcome.segmentsQueried, 6u);
+  EXPECT_EQ(outcome.rowsScanned, 1200u);
+}
+
+TEST_F(ClusterTest, QueryIntervalRoutesOnlyRelevantSegments) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  const auto segments = makeSegments(4);
+  cluster.publishSegments(segments);
+  // Restrict to the second hourly segment's interval.
+  const auto interval = segments[1]->id().interval;
+  const auto outcome = cluster.broker().query(countQuery("ads", interval));
+  EXPECT_EQ(outcome.segmentsQueried, 1u);
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+}
+
+TEST_F(ClusterTest, MergeAcrossNodesMatchesDirectScan) {
+  Cluster cluster(clock_, {.historicalNodes = 3});
+  const auto segments = makeSegments(5);
+  cluster.publishSegments(segments);
+
+  auto spec = query::tableTwoQuery(5, "ads", allTime());
+  const auto outcome = cluster.broker().query(spec);
+
+  query::QueryResult direct;
+  for (const auto& seg : segments) {
+    direct.mergeFrom(query::scanSegment(*seg, spec));
+  }
+  EXPECT_EQ(outcome.rows, finalizeResult(spec, direct));
+}
+
+TEST_F(ClusterTest, ReplicationSurvivesNodeCrash) {
+  ClusterOptions options;
+  options.historicalNodes = 3;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(4));
+
+  // Each segment on 2 nodes.
+  std::size_t copies = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    copies += cluster.historical(i).servedSegments().size();
+  }
+  EXPECT_EQ(copies, 8u);
+
+  cluster.historical(0).crash();
+  // Broker routes around the dead node using surviving replicas.
+  const auto outcome = cluster.broker().query(countQuery("ads", allTime()));
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 800.0);
+
+  // Coordinator restores the replication factor on remaining nodes.
+  cluster.converge();
+  copies = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    copies += cluster.historical(i).servedSegments().size();
+  }
+  EXPECT_EQ(copies, 8u);
+}
+
+TEST_F(ClusterTest, CacheServesQueryWhenAllCopiesLost) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.publishSegments(makeSegments(2));
+
+  // Prime the broker cache.
+  const auto spec = countQuery("ads", allTime());
+  const auto first = cluster.broker().query(spec);
+  EXPECT_DOUBLE_EQ(first.rows[0].values[0], 400.0);
+
+  // Kill the only copy. The registry loses the announcements, so the
+  // timeline would go empty — partition the node instead, so the view
+  // still routes to it but every call fails.
+  cluster.transport().setPartitioned("historical-0", true);
+  const auto second = cluster.broker().query(spec);
+  EXPECT_DOUBLE_EQ(second.rows[0].values[0], 400.0);
+  EXPECT_EQ(second.cacheHits, 2u);
+  EXPECT_EQ(second.servedFromCacheAfterLoss, 0u);  // replicas still listed
+}
+
+TEST_F(ClusterTest, UncachedQueryOnLostSegmentFailsLoudly) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.publishSegments(makeSegments(1));
+  cluster.transport().setPartitioned("historical-0", true);
+  EXPECT_THROW(cluster.broker().query(countQuery("ads", allTime())),
+               Unavailable);
+}
+
+TEST_F(ClusterTest, LocalDiskCacheAvoidsRedownload) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  const auto segments = makeSegments(1);
+  cluster.publishSegments(segments);
+  auto& node = cluster.historical(0);
+  EXPECT_EQ(node.deepStorageDownloads(), 1u);
+
+  // Drop and re-assign: the blob is in the local disk cache, so the node
+  // must not touch deep storage again ("it firstly checks the local disk").
+  const auto key = segments[0]->id().toString();
+  cluster.metaStore().markUnused(segments[0]->id());
+  cluster.converge();
+  EXPECT_EQ(node.servedSegments().size(), 0u);
+  EXPECT_TRUE(node.cachedLocally(key));
+
+  SegmentRecord rec;
+  rec.id = segments[0]->id();
+  rec.deepStorageKey = key;
+  cluster.metaStore().upsertSegment(rec);
+  cluster.converge();
+  EXPECT_EQ(node.servedSegments().size(), 1u);
+  EXPECT_EQ(node.deepStorageDownloads(), 1u);  // unchanged
+  EXPECT_EQ(node.cacheHits(), 1u);
+}
+
+TEST_F(ClusterTest, ScaleOutRebalancesNewSegments) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.publishSegments(makeSegments(4));
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 4u);
+
+  cluster.addHistoricalNode();
+  AdTechConfig config;
+  config.rowsPerSegment = 200;
+  config.startTime = 1'388'534'400'000 + 10 * 3'600'000;  // later hours
+  cluster.publishSegments(
+      generateAdTechSegments(config, "ads", 4));
+
+  // New segments land on the empty node (least loaded).
+  EXPECT_EQ(cluster.historical(1).servedSegments().size(), 4u);
+  const auto outcome = cluster.broker().query(countQuery("ads", allTime()));
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 1600.0);
+}
+
+TEST_F(ClusterTest, RetentionDropsOldSegments) {
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.defaultRules.retentionMs = 1;  // everything in 2014 is ancient
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(3));
+  cluster.converge();
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 0u);
+}
+
+TEST_F(ClusterTest, VersionedReplacementOvershadows) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  const auto segments = makeSegments(1);
+  cluster.publishSegments(segments);
+
+  // Replace with a v2 covering the same interval but only half the rows.
+  storage::SegmentBuilder builder(segments[0]->schema());
+  for (std::size_t row = 0; row < 100; ++row) {
+    storage::InputRow r;
+    r.timestamp = segments[0]->timestamps()[row];
+    for (std::size_t d = 0; d < 5; ++d) {
+      r.dimensions.push_back(
+          segments[0]->dim(d).dict.valueOf(segments[0]->dim(d).ids[row]));
+    }
+    r.metrics = {1, 1, 1.0, 1, 1.0};
+    builder.add(std::move(r));
+  }
+  storage::SegmentId v2 = segments[0]->id();
+  v2.version = "v2";
+  cluster.publishSegments({builder.build(v2)});
+
+  const auto outcome = cluster.broker().query(countQuery("ads", allTime()));
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 100.0);  // v2 only
+}
+
+}  // namespace
+}  // namespace dpss::cluster

@@ -1,0 +1,131 @@
+#include "cluster/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/pss_client.h"
+#include "common/error.h"
+#include "storage/adtech.h"
+
+namespace dpss::cluster {
+namespace {
+
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+
+constexpr TimeMs kHour = 3'600'000;
+constexpr TimeMs kStart = 1'388'534'400'000;
+
+query::QuerySpec countQuery() {
+  query::QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {query::countAgg("cnt"),
+                    query::longSumAgg("impressions", "imps")};
+  return q;
+}
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  CompactionTest() : clock_(1'400'000'000'000) {}
+  ManualClock clock_;
+};
+
+TEST_F(CompactionTest, MergesHourlySegmentsIntoOne) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  AdTechConfig config;
+  config.rowsPerSegment = 150;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 4));
+  const auto before = cluster.broker().query(countQuery());
+
+  const Interval day(kStart, kStart + 24 * kHour);
+  const auto result = compactInterval(cluster.deepStorage(),
+                                      cluster.metaStore(), "ads", day, "v2");
+  EXPECT_EQ(result.inputSegments, 4u);
+  EXPECT_EQ(result.outputRows, 600u);
+  cluster.converge();
+
+  // One segment now serves the whole day; the totals are unchanged.
+  const auto after = cluster.broker().query(countQuery());
+  EXPECT_EQ(after.rows, before.rows);
+  EXPECT_EQ(after.segmentsQueried, 1u);
+}
+
+TEST_F(CompactionTest, OldCopiesDroppedByCoordinator) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 3));
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 3u);
+
+  compactInterval(cluster.deepStorage(), cluster.metaStore(), "ads",
+                  Interval(kStart, kStart + 24 * kHour), "v2");
+  cluster.converge();
+  const auto served = cluster.historical(0).servedSegments();
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].version, "v2");
+}
+
+TEST_F(CompactionTest, OnlyFullyContainedSegmentsCompact) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 4));
+  // Window covers only the first two hourly segments.
+  const Interval window(kStart, kStart + 2 * kHour);
+  const auto result = compactInterval(cluster.deepStorage(),
+                                      cluster.metaStore(), "ads", window,
+                                      "v2");
+  EXPECT_EQ(result.inputSegments, 2u);
+  cluster.converge();
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 3u);  // 1 + 2
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+}
+
+TEST_F(CompactionTest, NothingToCompactIsANoop) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  const auto result = compactInterval(cluster.deepStorage(),
+                                      cluster.metaStore(), "ads",
+                                      Interval(0, 1), "v2");
+  EXPECT_EQ(result.inputSegments, 0u);
+}
+
+TEST_F(CompactionTest, RejectsNonIncreasingVersion) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  AdTechConfig config;
+  config.rowsPerSegment = 10;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 1));
+  EXPECT_THROW(
+      compactInterval(cluster.deepStorage(), cluster.metaStore(), "ads",
+                      Interval(kStart, kStart + 24 * kHour), "v0"),
+      InternalError);
+}
+
+TEST_F(CompactionTest, DistributedSearchHelperWorks) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  pss::Dictionary dict({"needle", "hay"});
+  pss::SearchParams params{.bufferLength = 16, .indexBufferLength = 256,
+                           .bloomHashes = 5};
+  pss::PrivateSearchClient client(dict, params, 128, 2024);
+
+  std::vector<std::string> docs(50, "just hay here");
+  docs[13] = "a needle appears";
+  docs[37] = "another needle hiding";
+  cluster.historical(0).loadDocuments("logs", 0,
+                                      {docs.begin(), docs.begin() + 25});
+  cluster.historical(1).loadDocuments("logs", 25,
+                                      {docs.begin() + 25, docs.end()});
+
+  DistributedSearchStats stats;
+  const auto results = runDistributedPrivateSearch(
+      cluster.broker(), client, "logs", {"needle"}, &stats);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].index, 13u);
+  EXPECT_EQ(results[1].index, 37u);
+  EXPECT_EQ(stats.envelopes, 2u);
+  EXPECT_EQ(stats.documents, 50u);
+}
+
+}  // namespace
+}  // namespace dpss::cluster

@@ -1,0 +1,118 @@
+// Coordinator invariants: idempotence (expected state reached => no new
+// work), replication capping, and stats reporting.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "storage/adtech.h"
+
+namespace dpss::cluster {
+namespace {
+
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+
+TEST(Coordinator, RunOnceIsIdempotentAtSteadyState) {
+  ManualClock clock(1'400'000'000'000);
+  Cluster cluster(clock, {.historicalNodes = 2});
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 4));
+
+  const auto stats = cluster.coordinator().runOnce();
+  EXPECT_EQ(stats.loadsIssued, 0u);
+  EXPECT_EQ(stats.dropsIssued, 0u);
+  EXPECT_EQ(stats.segmentsEvaluated, 4u);
+}
+
+TEST(Coordinator, ReplicationCappedByLiveNodeCount) {
+  ManualClock clock(1'400'000'000'000);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 5;  // more than nodes exist
+  Cluster cluster(clock, options);
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 2));
+
+  // Each segment on every live node, exactly once — no queue spam.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.historical(i).servedSegments().size(), 2u);
+  }
+  const auto stats = cluster.coordinator().runOnce();
+  EXPECT_EQ(stats.loadsIssued, 0u);
+}
+
+TEST(Coordinator, SurplusCopiesDroppedWhenReplicationLowered) {
+  ManualClock clock(1'400'000'000'000);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock, options);
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 2));
+  std::size_t copies = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    copies += cluster.historical(i).servedSegments().size();
+  }
+  EXPECT_EQ(copies, 4u);
+
+  LoadRules lowered;
+  lowered.replicationFactor = 1;
+  cluster.metaStore().setDefaultRules(lowered);
+  cluster.converge();
+  copies = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    copies += cluster.historical(i).servedSegments().size();
+  }
+  EXPECT_EQ(copies, 2u);  // one copy each, still queryable
+  query::QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {query::countAgg("cnt")};
+  EXPECT_DOUBLE_EQ(cluster.broker().query(q).rows[0].values[0], 100.0);
+}
+
+TEST(Coordinator, PerDataSourceRulesOverrideDefault) {
+  ManualClock clock(1'400'000'000'000);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 1;
+  Cluster cluster(clock, options);
+  cluster.metaStore().setRules("ads", LoadRules{.replicationFactor = 2});
+
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 1));
+  cluster.publishSegments(generateAdTechSegments(config, "other", 1));
+
+  std::size_t adsCopies = 0, otherCopies = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (const auto& id : cluster.historical(i).servedSegments()) {
+      (id.dataSource == "ads" ? adsCopies : otherCopies) += 1;
+    }
+  }
+  EXPECT_EQ(adsCopies, 2u);    // per-source rule
+  EXPECT_EQ(otherCopies, 1u);  // default rule
+}
+
+TEST(Coordinator, UnusedSegmentsDroppedEverywhere) {
+  ManualClock clock(1'400'000'000'000);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock, options);
+  AdTechConfig config;
+  config.rowsPerSegment = 50;
+  const auto segments = generateAdTechSegments(config, "ads", 1);
+  cluster.publishSegments(segments);
+
+  cluster.metaStore().markUnused(segments[0]->id());
+  cluster.converge();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(cluster.historical(i).servedSegments().empty());
+  }
+}
+
+}  // namespace
+}  // namespace dpss::cluster

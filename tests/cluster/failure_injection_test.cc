@@ -1,0 +1,196 @@
+// Failure injection across the cluster: deep-storage outages during
+// segment loads, node crashes mid-assignment, broker view convergence
+// after churn, and SQL/timeseries queries over the full distributed path.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/names.h"
+#include "common/error.h"
+#include "query/sql.h"
+#include "storage/adtech.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::cluster {
+namespace {
+
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+using storage::SegmentPtr;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : clock_(1'400'000'000'000) {}
+
+  std::vector<SegmentPtr> makeSegments(std::size_t count) {
+    AdTechConfig config;
+    config.rowsPerSegment = 100;
+    return generateAdTechSegments(config, "ads", count);
+  }
+
+  static Interval allTime() { return Interval(0, 4'000'000'000'000LL); }
+
+  query::QuerySpec countQuery() {
+    query::QuerySpec q;
+    q.dataSource = "ads";
+    q.interval = allTime();
+    q.aggregations = {query::countAgg("cnt")};
+    return q;
+  }
+
+  ManualClock clock_;
+};
+
+TEST_F(FailureTest, DeepStorageOutageRetriedOnNextCoordinatorRun) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  // Every download fails during the first assignment attempt.
+  cluster.deepStorage().failNextGets(10);
+  const auto segments = makeSegments(2);
+  for (const auto& seg : segments) {
+    const std::string key = seg->id().toString();
+    cluster.deepStorage().put(key, storage::encodeSegment(*seg));
+    SegmentRecord rec;
+    rec.id = seg->id();
+    rec.deepStorageKey = key;
+    cluster.metaStore().upsertSegment(rec);
+  }
+  cluster.coordinator().runOnce();  // loads fail, queue entries remain
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 0u);
+
+  // Outage ends; the load-queue entries are still pending. The node's
+  // periodic tick retries them (the coordinator never re-issues existing
+  // assignments).
+  cluster.deepStorage().failNextGets(0);
+  cluster.historical(0).tick();
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 2u);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+}
+
+TEST_F(FailureTest, CrashedNodeAnnouncementsVanish) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  cluster.publishSegments(makeSegments(4));
+  const auto before =
+      cluster.registry().children(paths::announcements()).size();
+  EXPECT_EQ(before, 2u);  // only queryable nodes announce themselves
+  cluster.historical(0).crash();
+  // Ephemeral announcement gone.
+  EXPECT_FALSE(
+      cluster.registry().exists(paths::nodeAnnouncement("historical-0")));
+}
+
+TEST_F(FailureTest, CoordinatorReassignsAfterCrash) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  cluster.publishSegments(makeSegments(4));
+  cluster.historical(0).crash();
+  cluster.converge();
+  // All 4 segments now on the surviving node.
+  EXPECT_EQ(cluster.historical(1).servedSegments().size(), 4u);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 400.0);
+}
+
+TEST_F(FailureTest, RestartedNodeUsesItsDiskCache) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.publishSegments(makeSegments(3));
+  auto& node = cluster.historical(0);
+  EXPECT_EQ(node.deepStorageDownloads(), 3u);
+  node.crash();
+  node.start();
+  cluster.converge();  // coordinator reassigns everything
+  EXPECT_EQ(node.servedSegments().size(), 3u);
+  EXPECT_EQ(node.deepStorageDownloads(), 3u);  // all from local disk
+  EXPECT_EQ(node.cacheHits(), 3u);
+}
+
+TEST_F(FailureTest, TransientRpcFailuresFailoverToReplica) {
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 2;
+  options.brokerCacheCapacity = 0;  // force real RPCs
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(2));
+
+  cluster.transport().failNextCalls("historical-0", 5);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+}
+
+TEST_F(FailureTest, SqlThroughTheBroker) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  cluster.publishSegments(makeSegments(4));
+  const auto spec = query::parseSql(
+      "SELECT count(*) AS cnt, sum(impressions) FROM ads "
+      "WHERE gender = 'Male' GROUP BY publisher ORDER BY cnt LIMIT 5");
+  const auto outcome = cluster.broker().query(spec);
+  EXPECT_LE(outcome.rows.size(), 5u);
+  EXPECT_GT(outcome.rows.size(), 0u);
+  for (std::size_t i = 1; i < outcome.rows.size(); ++i) {
+    EXPECT_GE(outcome.rows[i - 1].values[0], outcome.rows[i].values[0]);
+  }
+}
+
+TEST_F(FailureTest, TimeseriesThroughTheBroker) {
+  Cluster cluster(clock_, {.historicalNodes = 2});
+  const auto segments = makeSegments(4);  // 4 hourly segments
+  cluster.publishSegments(segments);
+  query::QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = allTime();
+  q.aggregations = {query::countAgg("cnt")};
+  q.granularityMs = 3'600'000;
+  const auto outcome = cluster.broker().query(q);
+  ASSERT_EQ(outcome.rows.size(), 4u);  // one row per hour bucket
+  for (const auto& row : outcome.rows) {
+    EXPECT_DOUBLE_EQ(row.values[0], 100.0);
+  }
+  // Buckets ascend (zero-padded keys sort naturally).
+  for (std::size_t i = 1; i < outcome.rows.size(); ++i) {
+    EXPECT_LT(outcome.rows[i - 1].group, outcome.rows[i].group);
+  }
+}
+
+TEST_F(FailureTest, BrokerViewConvergesAfterScaleOutAndCrash) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.publishSegments(makeSegments(2));
+  EXPECT_EQ(cluster.broker()
+                .visibleSegments("ads", allTime())
+                .size(),
+            2u);
+  cluster.addHistoricalNode();
+  AdTechConfig config;
+  config.rowsPerSegment = 100;
+  config.startTime = 1'388'534'400'000 + 10 * 3'600'000;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 2));
+  EXPECT_EQ(cluster.broker().visibleSegments("ads", allTime()).size(), 4u);
+
+  cluster.historical(0).crash();
+  cluster.converge();
+  // View rebuilt: everything reassigned to the survivor and queryable.
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 400.0);
+}
+
+TEST_F(FailureTest, RegistrySessionExpiryMidLoadLeavesQueueConsistent) {
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  // Crash the node, then publish: the coordinator sees no live nodes and
+  // issues nothing; the segment stays pending until a node returns.
+  cluster.historical(0).crash();
+  const auto segments = makeSegments(1);
+  for (const auto& seg : segments) {
+    const std::string key = seg->id().toString();
+    cluster.deepStorage().put(key, storage::encodeSegment(*seg));
+    SegmentRecord rec;
+    rec.id = seg->id();
+    rec.deepStorageKey = key;
+    cluster.metaStore().upsertSegment(rec);
+  }
+  const auto stats = cluster.coordinator().runOnce();
+  EXPECT_EQ(stats.loadsIssued, 0u);
+
+  cluster.historical(0).start();
+  cluster.converge();
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpss::cluster

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "cluster/metastore.h"
+#include "cluster/transport.h"
+#include "common/error.h"
+
+namespace dpss::cluster {
+namespace {
+
+storage::SegmentId segId(const std::string& version) {
+  storage::SegmentId id;
+  id.dataSource = "ads";
+  id.interval = Interval(0, 100);
+  id.version = version;
+  return id;
+}
+
+TEST(MetaStore, UpsertAndGet) {
+  MetaStore ms;
+  SegmentRecord rec;
+  rec.id = segId("v1");
+  rec.deepStorageKey = "k1";
+  rec.sizeBytes = 123;
+  ms.upsertSegment(rec);
+  const auto got = ms.getSegment(rec.id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->deepStorageKey, "k1");
+  EXPECT_TRUE(got->used);
+  EXPECT_FALSE(ms.getSegment(segId("v9")).has_value());
+}
+
+TEST(MetaStore, MarkUnusedFiltersFromUsed) {
+  MetaStore ms;
+  SegmentRecord a, b;
+  a.id = segId("v1");
+  b.id = segId("v2");
+  ms.upsertSegment(a);
+  ms.upsertSegment(b);
+  ms.markUnused(a.id);
+  const auto used = ms.usedSegments();
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(used[0].id.version, "v2");
+  EXPECT_EQ(ms.allSegments().size(), 2u);
+}
+
+TEST(MetaStore, RulesFallBackToDefault) {
+  MetaStore ms;
+  LoadRules def;
+  def.replicationFactor = 2;
+  ms.setDefaultRules(def);
+  EXPECT_EQ(ms.rulesFor("anything").replicationFactor, 2u);
+  LoadRules special;
+  special.replicationFactor = 3;
+  special.retentionMs = 1000;
+  ms.setRules("ads", special);
+  EXPECT_EQ(ms.rulesFor("ads").replicationFactor, 3u);
+  EXPECT_EQ(ms.rulesFor("other").replicationFactor, 2u);
+}
+
+TEST(Transport, CallRoundTrip) {
+  SystemClock clock;
+  Transport t(clock);
+  t.bind("node", [](const std::string& req) { return "echo:" + req; });
+  EXPECT_EQ(t.call("node", "hi"), "echo:hi");
+  EXPECT_EQ(t.callCount(), 1u);
+}
+
+TEST(Transport, UnboundNodeUnavailable) {
+  SystemClock clock;
+  Transport t(clock);
+  EXPECT_THROW(t.call("ghost", "x"), Unavailable);
+  EXPECT_FALSE(t.reachable("ghost"));
+}
+
+TEST(Transport, UnbindDisconnects) {
+  SystemClock clock;
+  Transport t(clock);
+  t.bind("node", [](const std::string&) { return ""; });
+  EXPECT_TRUE(t.reachable("node"));
+  t.unbind("node");
+  EXPECT_THROW(t.call("node", "x"), Unavailable);
+}
+
+TEST(Transport, FailureInjection) {
+  SystemClock clock;
+  Transport t(clock);
+  t.bind("node", [](const std::string&) { return "ok"; });
+  t.failNextCalls("node", 2);
+  EXPECT_THROW(t.call("node", "x"), Unavailable);
+  EXPECT_THROW(t.call("node", "x"), Unavailable);
+  EXPECT_EQ(t.call("node", "x"), "ok");
+}
+
+TEST(Transport, Partition) {
+  SystemClock clock;
+  Transport t(clock);
+  t.bind("node", [](const std::string&) { return "ok"; });
+  t.setPartitioned("node", true);
+  EXPECT_FALSE(t.reachable("node"));
+  EXPECT_THROW(t.call("node", "x"), Unavailable);
+  t.setPartitioned("node", false);
+  EXPECT_EQ(t.call("node", "x"), "ok");
+}
+
+TEST(Transport, HandlerExceptionPropagates) {
+  SystemClock clock;
+  Transport t(clock);
+  t.bind("node", [](const std::string&) -> std::string {
+    throw NotFound("segment missing");
+  });
+  EXPECT_THROW(t.call("node", "x"), NotFound);
+}
+
+}  // namespace
+}  // namespace dpss::cluster

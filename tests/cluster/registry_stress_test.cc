@@ -1,0 +1,94 @@
+// Multithreaded stress of the coordination service: concurrent creates,
+// removals, watches and session expiries must neither crash, deadlock,
+// nor corrupt the znode tree.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cluster/registry.h"
+#include "common/error.h"
+
+namespace dpss::cluster {
+namespace {
+
+TEST(RegistryStress, ConcurrentCreateRemoveOnDisjointSubtrees) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  // Sessions outlive the worker threads (a dropped handle expires the
+  // session and sweeps its ephemerals).
+  std::vector<SessionPtr> sessions;
+  for (int t = 0; t < 4; ++t) {
+    sessions.push_back(reg.connect("n" + std::to_string(t)));
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, &errors, session = sessions[t], t] {
+      const std::string base = "/node" + std::to_string(t);
+      try {
+        for (int i = 0; i < 200; ++i) {
+          const std::string path = base + "/item" + std::to_string(i);
+          reg.create(path, "v", session, i % 2 == 0);
+          if (i % 3 == 0) reg.remove(path);
+        }
+      } catch (const Error&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Each subtree holds exactly the non-removed entries.
+  for (int t = 0; t < 4; ++t) {
+    const auto kids = reg.children("/node" + std::to_string(t));
+    EXPECT_EQ(kids.size(), 200u - 67u);  // i % 3 == 0 removed (67 of 200)
+  }
+}
+
+TEST(RegistryStress, WatchesFireUnderConcurrency) {
+  Registry reg;
+  std::atomic<int> fired{0};
+  reg.watchChildren("/hot", [&](const std::string&) { fired.fetch_add(1); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      auto session = reg.connect("w" + std::to_string(t));
+      for (int i = 0; i < 50; ++i) {
+        reg.create("/hot/t" + std::to_string(t) + "_" + std::to_string(i),
+                   "", session, false);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 200);
+  EXPECT_EQ(reg.children("/hot").size(), 200u);
+}
+
+TEST(RegistryStress, ExpiryRacingCreates) {
+  Registry reg;
+  for (int round = 0; round < 20; ++round) {
+    auto session = reg.connect("victim");
+    auto survivor = reg.connect("survivor");
+    std::thread creator([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          reg.create("/eph/v" + std::to_string(i), "", session, true);
+        } catch (const Unavailable&) {
+          break;  // session expired mid-run: expected
+        }
+      }
+    });
+    std::thread killer([&] { reg.expire(session); });
+    creator.join();
+    killer.join();
+    // Whatever the interleaving: no victim ephemerals may survive.
+    for (const auto& child : reg.children("/eph")) {
+      ADD_FAILURE() << "orphaned ephemeral: " << child;
+    }
+    reg.remove("/eph");
+    (void)survivor;
+  }
+}
+
+}  // namespace
+}  // namespace dpss::cluster

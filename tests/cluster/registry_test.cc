@@ -1,0 +1,171 @@
+#include "cluster/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace dpss::cluster {
+namespace {
+
+TEST(Registry, CreateGetSetData) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/a", "hello", session, false);
+  EXPECT_EQ(reg.getData("/a"), "hello");
+  reg.setData("/a", "world");
+  EXPECT_EQ(reg.getData("/a"), "world");
+  EXPECT_TRUE(reg.exists("/a"));
+  EXPECT_FALSE(reg.exists("/b"));
+}
+
+TEST(Registry, CreateRejectsDuplicates) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/a", "", session, false);
+  EXPECT_THROW(reg.create("/a", "", session, false), AlreadyExists);
+}
+
+TEST(Registry, RejectsBadPaths) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  EXPECT_THROW(reg.create("noslash", "", session, false), InvalidArgument);
+  EXPECT_THROW(reg.create("/trailing/", "", session, false), InvalidArgument);
+  EXPECT_THROW(reg.create("", "", session, false), InvalidArgument);
+}
+
+TEST(Registry, ImplicitParentsCreated) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/a/b/c", "deep", session, false);
+  EXPECT_TRUE(reg.exists("/a"));
+  EXPECT_TRUE(reg.exists("/a/b"));
+  EXPECT_EQ(reg.children("/a"), (std::vector<std::string>{"b"}));
+}
+
+TEST(Registry, ChildrenAreDirectOnly) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/a/x", "", session, false);
+  reg.create("/a/y", "", session, false);
+  reg.create("/a/x/deep", "", session, false);
+  EXPECT_EQ(reg.children("/a"), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Registry, SetDataOnMissingThrows) {
+  Registry reg;
+  EXPECT_THROW(reg.setData("/nope", "x"), NotFound);
+}
+
+TEST(Registry, RemoveDeletesSubtree) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/a/b/c", "", session, false);
+  reg.remove("/a/b");
+  EXPECT_FALSE(reg.exists("/a/b"));
+  EXPECT_FALSE(reg.exists("/a/b/c"));
+  EXPECT_TRUE(reg.exists("/a"));
+  reg.remove("/missing");  // no-op, no throw
+}
+
+TEST(Registry, EphemeralsVanishOnExpire) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  auto other = reg.connect("n2");
+  reg.create("/live/n1", "x", session, true);
+  reg.create("/live/n2", "y", other, true);
+  reg.create("/persist", "z", session, false);
+  reg.expire(session);
+  EXPECT_FALSE(reg.exists("/live/n1"));
+  EXPECT_TRUE(reg.exists("/live/n2"));
+  EXPECT_TRUE(reg.exists("/persist"));  // persistent survives its creator
+}
+
+TEST(Registry, ExpiredSessionCannotCreate) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.expire(session);
+  EXPECT_THROW(reg.create("/x", "", session, true), Unavailable);
+}
+
+TEST(Registry, SessionDropRemovesEphemerals) {
+  Registry reg;
+  {
+    auto session = reg.connect("n1");
+    reg.create("/live/n1", "", session, true);
+    EXPECT_TRUE(reg.exists("/live/n1"));
+  }  // handle dropped -> session ends
+  EXPECT_FALSE(reg.exists("/live/n1"));
+}
+
+TEST(Registry, WatchFiresOnChildCreate) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  std::atomic<int> fired{0};
+  reg.watchChildren("/load", [&](const std::string&) { fired.fetch_add(1); });
+  reg.create("/load/task1", "", session, false);
+  EXPECT_EQ(fired.load(), 1);
+  reg.create("/load/task2", "", session, false);
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(Registry, WatchFiresOnChildRemoveAndData) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/load/task1", "", session, false);
+  std::atomic<int> fired{0};
+  reg.watchChildren("/load", [&](const std::string&) { fired.fetch_add(1); });
+  reg.setData("/load/task1", "updated");
+  EXPECT_EQ(fired.load(), 1);
+  reg.remove("/load/task1");
+  EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(Registry, WatchDoesNotFireForOtherPaths) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  std::atomic<int> fired{0};
+  reg.watchChildren("/a", [&](const std::string&) { fired.fetch_add(1); });
+  reg.create("/b/child", "", session, false);
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(Registry, UnwatchStopsNotifications) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  std::atomic<int> fired{0};
+  const auto id =
+      reg.watchChildren("/a", [&](const std::string&) { fired.fetch_add(1); });
+  reg.create("/a/x", "", session, false);
+  reg.unwatch(id);
+  reg.create("/a/y", "", session, false);
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(Registry, ExpireFiresWatches) {
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.create("/ann/n1", "", session, true);
+  std::atomic<int> fired{0};
+  reg.watchChildren("/ann", [&](const std::string&) { fired.fetch_add(1); });
+  reg.expire(session);
+  EXPECT_GE(fired.load(), 1);
+}
+
+TEST(Registry, WatchCanReenterRegistry) {
+  // Watch callbacks run outside the registry lock, so a handler may call
+  // back in — the historical node's load-queue handler does exactly this.
+  Registry reg;
+  auto session = reg.connect("n1");
+  reg.watchChildren("/load", [&](const std::string& path) {
+    if (reg.exists(path) && !reg.exists("/ack")) {
+      reg.create("/ack", "", session, false);
+    }
+  });
+  reg.create("/load/task", "", session, false);
+  EXPECT_TRUE(reg.exists("/ack"));
+}
+
+}  // namespace
+}  // namespace dpss::cluster

@@ -1,0 +1,88 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.h"
+
+namespace dpss {
+namespace {
+
+TEST(SystemClock, AdvancesMonotonically) {
+  auto& clock = SystemClock::instance();
+  const TimeMs a = clock.nowMs();
+  const TimeMs b = clock.nowMs();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 1'000'000'000'000LL);  // after Sep 2001 in ms — sane wall time
+}
+
+TEST(ManualClock, StartsAtGivenTime) {
+  ManualClock clock(500);
+  EXPECT_EQ(clock.nowMs(), 500);
+}
+
+TEST(ManualClock, AdvanceMovesTime) {
+  ManualClock clock;
+  clock.advance(250);
+  EXPECT_EQ(clock.nowMs(), 250);
+  clock.advance(0);
+  EXPECT_EQ(clock.nowMs(), 250);
+}
+
+TEST(ManualClock, SetJumpsForward) {
+  ManualClock clock(10);
+  clock.set(100);
+  EXPECT_EQ(clock.nowMs(), 100);
+}
+
+TEST(ManualClock, CannotMoveBackwards) {
+  ManualClock clock(10);
+  EXPECT_THROW(clock.set(5), InternalError);
+  EXPECT_THROW(clock.advance(-1), InternalError);
+}
+
+TEST(ManualClock, SleepWakesWhenAdvanced) {
+  ManualClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.sleepFor(100);
+    woke.store(true);
+  });
+  // Wait until the sleeper is actually blocked, so its deadline is
+  // definitely now(=0) + 100 before we start advancing.
+  while (clock.sleeperCount() == 0) std::this_thread::yield();
+  clock.advance(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());  // 50 < 100: still asleep
+  clock.advance(50);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ManualClock, ZeroSleepReturnsImmediately) {
+  ManualClock clock;
+  clock.sleepFor(0);  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ManualClock, ManySleepersAllWake) {
+  ManualClock clock;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 8; ++i) {
+    threads.emplace_back([&clock, &woke, i] {
+      clock.sleepFor(i * 10);
+      woke.fetch_add(1);
+    });
+  }
+  // All sleepers must be blocked (deadlines fixed) before time moves.
+  while (clock.sleeperCount() < 8) std::this_thread::yield();
+  clock.advance(100);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(woke.load(), 8);
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,56 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dpss {
+namespace {
+
+TEST(Hash, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(Hash, Mix64SpreadsConsecutiveInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);  // no collisions on small dense range
+}
+
+TEST(Hash, Mix64BitBalance) {
+  // Roughly half of the low bits should be set over a dense input range.
+  int ones = 0;
+  constexpr int kTrials = 10000;
+  for (std::uint64_t i = 0; i < kTrials; ++i) ones += mix64(i) & 1;
+  EXPECT_GT(ones, kTrials * 45 / 100);
+  EXPECT_LT(ones, kTrials * 55 / 100);
+}
+
+TEST(Hash, Fnv1aKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  // Differing strings hash differently.
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Hash, HashCombineOrderSensitive) {
+  EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+            hashCombine(hashCombine(0, 2), 1));
+}
+
+TEST(Hash, SeededHashVariesWithSeed) {
+  EXPECT_NE(seededHash(1, "query"), seededHash(2, "query"));
+  EXPECT_EQ(seededHash(7, "query"), seededHash(7, "query"));
+}
+
+TEST(Hash, ConstexprUsable) {
+  constexpr auto h = fnv1a("compile-time");
+  static_assert(h != 0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,74 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dpss {
+namespace {
+
+TEST(Interval, BasicAccessors) {
+  Interval iv(10, 20);
+  EXPECT_EQ(iv.start(), 10);
+  EXPECT_EQ(iv.end(), 20);
+  EXPECT_EQ(iv.durationMs(), 10);
+  EXPECT_FALSE(iv.empty());
+}
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+}
+
+TEST(Interval, RejectsInvertedBounds) {
+  EXPECT_THROW(Interval(20, 10), InternalError);
+}
+
+TEST(Interval, ContainsPointHalfOpen) {
+  Interval iv(10, 20);
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(19));
+  EXPECT_FALSE(iv.contains(20));  // end excluded
+}
+
+TEST(Interval, ContainsInterval) {
+  Interval outer(0, 100);
+  EXPECT_TRUE(outer.contains(Interval(0, 100)));
+  EXPECT_TRUE(outer.contains(Interval(10, 90)));
+  EXPECT_FALSE(outer.contains(Interval(10, 101)));
+}
+
+TEST(Interval, OverlapsHalfOpen) {
+  Interval a(10, 20);
+  EXPECT_TRUE(a.overlaps(Interval(15, 25)));
+  EXPECT_TRUE(a.overlaps(Interval(0, 11)));
+  EXPECT_FALSE(a.overlaps(Interval(20, 30)));  // touching ends don't overlap
+  EXPECT_FALSE(a.overlaps(Interval(0, 10)));
+}
+
+TEST(Interval, IntersectOverlapping) {
+  Interval a(10, 20);
+  Interval b(15, 30);
+  EXPECT_EQ(a.intersect(b), Interval(15, 20));
+  EXPECT_EQ(b.intersect(a), Interval(15, 20));
+}
+
+TEST(Interval, IntersectDisjointIsEmpty) {
+  Interval a(10, 20);
+  Interval b(30, 40);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Interval, OrderingByStartThenEnd) {
+  EXPECT_LT(Interval(1, 5), Interval(2, 3));
+  EXPECT_LT(Interval(1, 3), Interval(1, 5));
+  EXPECT_FALSE(Interval(1, 5) < Interval(1, 5));
+}
+
+TEST(Interval, ToStringFormat) {
+  EXPECT_EQ(Interval(5, 9).toString(), "[5,9)");
+}
+
+}  // namespace
+}  // namespace dpss

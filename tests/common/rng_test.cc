@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpss {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), InternalError);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10, kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.below(kBuckets)]++;
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 9 / 10);
+    EXPECT_LT(c, kDraws / kBuckets * 11 / 10);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    sawLo |= (v == -2);
+    sawHi |= (v == 2);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, copy);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Zipf, FirstCategoryDominates) {
+  Rng rng(23);
+  ZipfDistribution zipf(100, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(Zipf, CoversRangeOnly) {
+  Rng rng(29);
+  ZipfDistribution zipf(5, 1.2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 5u);
+}
+
+TEST(Zipf, SingleCategory) {
+  Rng rng(31);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), InternalError);
+  EXPECT_THROW(ZipfDistribution(10, 0.0), InternalError);
+}
+
+}  // namespace
+}  // namespace dpss

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace dpss {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SingleThreadExecutesInOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ActuallyParallel) {
+  // Two tasks that each wait for the other via atomics can only finish if
+  // the pool really runs them concurrently.
+  ThreadPool pool(2);
+  std::atomic<bool> aReady{false}, bReady{false};
+  auto fa = pool.submit([&] {
+    aReady = true;
+    while (!bReady) std::this_thread::yield();
+  });
+  auto fb = pool.submit([&] {
+    bReady = true;
+    while (!aReady) std::this_thread::yield();
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  ASSERT_EQ(fa.wait_until(deadline), std::future_status::ready);
+  ASSERT_EQ(fb.wait_until(deadline), std::future_status::ready);
+}
+
+TEST(ThreadPool, DestructionWithQueuedWorkIsCleanAndPrompt) {
+  // Destroying a pool with a long queue must neither hang nor crash; the
+  // running task is joined, queued tasks may be abandoned (their count is
+  // scheduling-dependent, so only the lower bound is asserted).
+  std::atomic<int> ran{0};
+  std::atomic<bool> started{false};
+  const auto start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      started.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    // Ensure the worker is inside the first task before tearing down, so
+    // "the running task is joined" is actually exercised.
+    while (!started.load()) std::this_thread::yield();
+  }  // pool destroyed: running task joined, pending queue dropped
+  EXPECT_GE(ran.load(), 1);
+  // Prompt: nowhere near the time 1000 sequential 50ms tasks would take.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+}
+
+TEST(ThreadPool, ThreadCountReported) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+}  // namespace
+}  // namespace dpss

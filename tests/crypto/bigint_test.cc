@@ -1,0 +1,165 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpss::crypto {
+namespace {
+
+TEST(Bigint, DefaultIsZero) {
+  Bigint z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.bitLength(), 0u);
+  EXPECT_EQ(z.toString(), "0");
+}
+
+TEST(Bigint, FromInt64) {
+  EXPECT_EQ(Bigint(12345).toString(), "12345");
+  EXPECT_EQ(Bigint(-7).toString(), "-7");
+}
+
+TEST(Bigint, FromDecimalString) {
+  Bigint big("123456789012345678901234567890");
+  EXPECT_EQ(big.toString(), "123456789012345678901234567890");
+  EXPECT_THROW(Bigint("12x4"), InvalidArgument);
+  EXPECT_THROW(Bigint(""), InvalidArgument);
+}
+
+TEST(Bigint, Arithmetic) {
+  Bigint a("1000000000000000000000");
+  Bigint b(7);
+  EXPECT_EQ((a + b).toString(), "1000000000000000000007");
+  EXPECT_EQ((a - b).toString(), "999999999999999999993");
+  EXPECT_EQ((b * b).toString(), "49");
+  EXPECT_EQ((a % b).toString(), "6");  // 10^21 ≡ 3^21 ≡ 6 (mod 7)
+}
+
+TEST(Bigint, ModuloIsNonNegative) {
+  // mpz_mod semantics: result in [0, b) even for negative a.
+  EXPECT_EQ((Bigint(-5) % Bigint(3)).toString(), "1");
+}
+
+TEST(Bigint, CompoundAssign) {
+  Bigint a(10);
+  a += Bigint(5);
+  EXPECT_EQ(a, Bigint(15));
+  a -= Bigint(20);
+  EXPECT_EQ(a, Bigint(-5));
+  a *= Bigint(-2);
+  EXPECT_EQ(a, Bigint(10));
+}
+
+TEST(Bigint, DivExactAndFloor) {
+  EXPECT_EQ(Bigint::divExact(Bigint(84), Bigint(7)), Bigint(12));
+  EXPECT_EQ(Bigint::divFloor(Bigint(85), Bigint(7)), Bigint(12));
+  EXPECT_EQ(Bigint::divFloor(Bigint(-1), Bigint(7)), Bigint(-1));
+}
+
+TEST(Bigint, Powm) {
+  // 3^100 mod 101 = 1 by Fermat.
+  EXPECT_EQ(Bigint::powm(Bigint(3), Bigint(100), Bigint(101)), Bigint(1));
+  EXPECT_EQ(Bigint::powm(Bigint(2), Bigint(10), Bigint(1000)), Bigint(24));
+  EXPECT_EQ(Bigint::powm(Bigint(5), Bigint(0), Bigint(7)), Bigint(1));
+}
+
+TEST(Bigint, Invert) {
+  const Bigint inv = Bigint::invert(Bigint(3), Bigint(7));
+  EXPECT_EQ((inv * Bigint(3)) % Bigint(7), Bigint(1));
+  EXPECT_THROW(Bigint::invert(Bigint(6), Bigint(9)), CryptoError);
+}
+
+TEST(Bigint, GcdLcm) {
+  EXPECT_EQ(Bigint::gcd(Bigint(12), Bigint(18)), Bigint(6));
+  EXPECT_EQ(Bigint::lcm(Bigint(4), Bigint(6)), Bigint(12));
+  EXPECT_EQ(Bigint::gcd(Bigint(17), Bigint(13)), Bigint(1));
+}
+
+TEST(Bigint, Comparisons) {
+  EXPECT_LT(Bigint(3), Bigint(5));
+  EXPECT_GT(Bigint(5), Bigint(-5));
+  EXPECT_EQ(Bigint(7), Bigint(7));
+  EXPECT_TRUE(Bigint(1).isOne());
+}
+
+TEST(Bigint, Uint64Conversion) {
+  EXPECT_EQ(Bigint(0).toUint64(), 0u);
+  EXPECT_EQ(Bigint("18446744073709551615").toUint64(), ~0ULL);
+  EXPECT_THROW(Bigint("18446744073709551616").toUint64(), InvalidArgument);
+  EXPECT_THROW(Bigint(-1).toUint64(), InvalidArgument);
+}
+
+TEST(Bigint, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Bigint v = Bigint::randomBits(rng, 1 + rng.below(512));
+    EXPECT_EQ(Bigint::fromBytes(v.toBytes()), v);
+  }
+  EXPECT_EQ(Bigint::fromBytes(Bigint(0).toBytes()), Bigint(0));
+  EXPECT_TRUE(Bigint(0).toBytes().empty());
+}
+
+TEST(Bigint, BytesBigEndian) {
+  // 0x0102 -> bytes {0x01, 0x02}
+  const Bigint v(0x0102);
+  const std::string bytes = v.toBytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[1]), 0x02);
+}
+
+TEST(Bigint, RandomBitsExactWidth) {
+  Rng rng(2);
+  for (const std::size_t bits : {1u, 7u, 8u, 9u, 64u, 100u, 1024u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(Bigint::randomBits(rng, bits).bitLength(), bits);
+    }
+  }
+}
+
+TEST(Bigint, RandomBelowUniformAndInRange) {
+  Rng rng(3);
+  const Bigint n(1000);
+  std::int64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Bigint v = Bigint::randomBelow(rng, n);
+    ASSERT_GE(v.sign(), 0);
+    ASSERT_LT(v, n);
+    sum += static_cast<std::int64_t>(v.toUint64());
+  }
+  EXPECT_NEAR(static_cast<double>(sum) / 10000.0, 499.5, 15.0);
+}
+
+TEST(Bigint, RandomPrimeIsPrimeWithExactBits) {
+  Rng rng(4);
+  for (const std::size_t bits : {16u, 32u, 64u, 128u}) {
+    const Bigint p = Bigint::randomPrime(rng, bits);
+    EXPECT_TRUE(p.isProbablePrime());
+    EXPECT_EQ(p.bitLength(), bits);
+  }
+}
+
+TEST(Bigint, ProbablePrimeKnownValues) {
+  EXPECT_TRUE(Bigint(2).isProbablePrime());
+  EXPECT_TRUE(Bigint(97).isProbablePrime());
+  EXPECT_FALSE(Bigint(91).isProbablePrime());  // 7*13
+  EXPECT_FALSE(Bigint(1).isProbablePrime());
+}
+
+TEST(Bigint, MoveLeavesValidState) {
+  Bigint a(42);
+  Bigint b(std::move(a));
+  EXPECT_EQ(b, Bigint(42));
+  a = Bigint(7);  // moved-from object must be assignable
+  EXPECT_EQ(a, Bigint(7));
+}
+
+TEST(Bigint, SelfAssignment) {
+  Bigint a(42);
+  a = *&a;
+  EXPECT_EQ(a, Bigint(42));
+}
+
+}  // namespace
+}  // namespace dpss::crypto

@@ -1,0 +1,101 @@
+#include "crypto/randomizer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace dpss::crypto {
+namespace {
+
+class RandomizerPoolTest : public ::testing::Test {
+ protected:
+  RandomizerPoolTest() : rng_(22), kp_(generateKeyPair(256, rng_)) {}
+
+  Rng rng_;
+  PaillierKeyPair kp_;
+};
+
+TEST_F(RandomizerPoolTest, PooledEncryptionsDecryptCorrectly) {
+  RandomizerPool pool(kp_.pub, rng_);
+  pool.refill(10);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(kp_.priv.decryptCrt(pool.encrypt(Bigint(i))), Bigint(i));
+  }
+  EXPECT_EQ(pool.pooledHits(), 10u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST_F(RandomizerPoolTest, DryPoolFallsBackCorrectly) {
+  RandomizerPool pool(kp_.pub, rng_);
+  EXPECT_EQ(kp_.priv.decrypt(pool.encrypt(Bigint(42))), Bigint(42));
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST_F(RandomizerPoolTest, RefillAndDrainAccounting) {
+  RandomizerPool pool(kp_.pub, rng_);
+  pool.refill(5);
+  EXPECT_EQ(pool.available(), 5u);
+  (void)pool.encryptZero();
+  (void)pool.encryptZero();
+  EXPECT_EQ(pool.available(), 3u);
+}
+
+TEST_F(RandomizerPoolTest, PooledCiphertextsAreDistinct) {
+  // Each pooled randomizer is fresh: same plaintext, different ciphertext.
+  RandomizerPool pool(kp_.pub, rng_);
+  pool.refill(2);
+  const auto a = pool.encrypt(Bigint(7));
+  const auto b = pool.encrypt(Bigint(7));
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST_F(RandomizerPoolTest, PooledAndDirectAreInterchangeable) {
+  RandomizerPool pool(kp_.pub, rng_);
+  pool.refill(1);
+  const auto pooled = pool.encrypt(Bigint(5));
+  const auto direct = kp_.pub.encrypt(Bigint(6), rng_);
+  // Homomorphic ops mix freely.
+  EXPECT_EQ(kp_.priv.decrypt(kp_.pub.addCipher(pooled, direct)), Bigint(11));
+}
+
+TEST_F(RandomizerPoolTest, OutOfRangePlaintextRejected) {
+  RandomizerPool pool(kp_.pub, rng_);
+  EXPECT_THROW(pool.encrypt(kp_.pub.n()), InternalError);
+}
+
+TEST_F(RandomizerPoolTest, ConcurrentDrainIsSafe) {
+  RandomizerPool pool(kp_.pub, rng_);
+  pool.refill(64);
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Ciphertext>> results(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &results, t] {
+      for (int i = 0; i < 16; ++i) {
+        results[t].push_back(pool.encrypt(Bigint(t * 100 + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(kp_.priv.decryptCrt(results[t][i]), Bigint(t * 100 + i));
+    }
+  }
+  EXPECT_EQ(pool.pooledHits() + pool.misses(), 64u);
+}
+
+TEST_F(RandomizerPoolTest, PrivateKeySerializationRoundTrip) {
+  ByteWriter w;
+  kp_.priv.serialize(w);
+  ByteReader r(w.data());
+  const auto restored = PaillierPrivateKey::deserialize(r);
+  const auto ct = kp_.pub.encrypt(Bigint(321), rng_);
+  EXPECT_EQ(restored.decrypt(ct), Bigint(321));
+  EXPECT_EQ(restored.decryptCrt(ct), Bigint(321));
+  EXPECT_EQ(restored.publicKey().n(), kp_.pub.n());
+}
+
+}  // namespace
+}  // namespace dpss::crypto

@@ -1,0 +1,103 @@
+#include "pss/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpss::pss {
+namespace {
+
+TEST(BlockCodec, SingleBlockRoundTrip) {
+  BlockCodec codec(16);
+  const std::string payload = "hello";
+  const auto blocks = codec.encode(payload, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(codec.decode(blocks), payload);
+}
+
+TEST(BlockCodec, EmptyPayload) {
+  BlockCodec codec(16);
+  EXPECT_EQ(codec.decode(codec.encode("", 1)), "");
+}
+
+TEST(BlockCodec, MultiBlockRoundTrip) {
+  BlockCodec codec(16);
+  const std::string payload(100, 'x');
+  const std::size_t blocks = codec.blockCount(payload.size());
+  EXPECT_GT(blocks, 1u);
+  EXPECT_EQ(codec.decode(codec.encode(payload, blocks)), payload);
+}
+
+TEST(BlockCodec, BinaryPayloadWithNulsAndHighBytes) {
+  BlockCodec codec(16);
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  const std::size_t blocks = codec.blockCount(payload.size());
+  EXPECT_EQ(codec.decode(codec.encode(payload, blocks)), payload);
+}
+
+TEST(BlockCodec, PaddingToExtraBlocksStillDecodes) {
+  BlockCodec codec(16);
+  const auto blocks = codec.encode("short", 10);
+  ASSERT_EQ(blocks.size(), 10u);
+  EXPECT_EQ(codec.decode(blocks), "short");
+}
+
+TEST(BlockCodec, PayloadTooLargeThrows) {
+  BlockCodec codec(16);
+  EXPECT_THROW(codec.encode(std::string(1000, 'a'), 1), InvalidArgument);
+}
+
+TEST(BlockCodec, CorruptBlockFailsChecksum) {
+  BlockCodec codec(16);
+  auto blocks = codec.encode("important data", 2);
+  blocks[0] += crypto::Bigint(1);
+  EXPECT_THROW(codec.decode(blocks), CorruptData);
+}
+
+TEST(BlockCodec, GarbageBlocksRejected) {
+  // Random blocks (a collided OS05 slot) must virtually never decode.
+  BlockCodec codec(16);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<crypto::Bigint> garbage;
+    for (int b = 0; b < 3; ++b) {
+      garbage.push_back(crypto::Bigint::randomBits(rng, 120));
+    }
+    EXPECT_THROW(codec.decode(garbage), CorruptData);
+  }
+}
+
+TEST(BlockCodec, BlockValuesFitWidth) {
+  BlockCodec codec(8);
+  const auto blocks = codec.encode(std::string(50, '\xff'), 8);
+  for (const auto& b : blocks) EXPECT_LE(b.bitLength(), 64u);
+}
+
+TEST(BlockCodec, RejectsTinyWidth) {
+  EXPECT_THROW(BlockCodec(4), InternalError);
+}
+
+TEST(BlockCodec, MaxBlockBytesLeavesHeadroom) {
+  // 2^(8·maxBlockBytes) must stay below 2^(modulusBits - 1) <= n.
+  EXPECT_EQ(BlockCodec::maxBlockBytesFor(256), 31u);
+  EXPECT_EQ(BlockCodec::maxBlockBytesFor(257), 32u);
+}
+
+TEST(BlockCodec, FuzzRoundTrip) {
+  BlockCodec codec(24);
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string payload;
+    const std::size_t len = rng.below(300);
+    for (std::size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(rng.next() & 0xff));
+    }
+    const std::size_t blocks = codec.blockCount(len);
+    ASSERT_EQ(codec.decode(codec.encode(payload, blocks)), payload);
+  }
+}
+
+}  // namespace
+}  // namespace dpss::pss

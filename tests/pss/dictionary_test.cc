@@ -1,0 +1,50 @@
+#include "pss/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dpss::pss {
+namespace {
+
+TEST(Dictionary, BuildAndLookup) {
+  Dictionary d({"alpha", "beta", "gamma"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.word(0), "alpha");
+  EXPECT_EQ(d.indexOf("beta"), 1u);
+  EXPECT_FALSE(d.indexOf("delta").has_value());
+  EXPECT_TRUE(d.contains("gamma"));
+}
+
+TEST(Dictionary, RejectsDuplicates) {
+  EXPECT_THROW(Dictionary({"a", "b", "a"}), InternalError);
+}
+
+TEST(Dictionary, EmptyDictionary) {
+  Dictionary d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.contains("anything"));
+}
+
+TEST(DistinctWords, TokenizesAndLowercases) {
+  const auto words = distinctWords("Hello, World! HELLO again.");
+  EXPECT_EQ(words, (std::vector<std::string>{"hello", "world", "again"}));
+}
+
+TEST(DistinctWords, AlnumRunsAreTokens) {
+  const auto words = distinctWords("abc123 456 x-y");
+  EXPECT_EQ(words, (std::vector<std::string>{"abc123", "456", "x", "y"}));
+}
+
+TEST(DistinctWords, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(distinctWords("").empty());
+  EXPECT_TRUE(distinctWords("?!...---").empty());
+}
+
+TEST(DistinctWords, PreservesFirstOccurrenceOrder) {
+  const auto words = distinctWords("b a b c a");
+  EXPECT_EQ(words, (std::vector<std::string>{"b", "a", "c"}));
+}
+
+}  // namespace
+}  // namespace dpss::pss

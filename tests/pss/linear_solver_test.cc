@@ -1,0 +1,165 @@
+#include "pss/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpss::pss {
+namespace {
+
+using crypto::Bigint;
+
+const Bigint kMod("1000003");  // prime, so every non-zero pivot inverts
+
+ModMatrix fromRows(const std::vector<std::vector<int>>& rows,
+                   const Bigint& mod = kMod) {
+  ModMatrix m(rows.size(), rows[0].size(), mod);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      m.at(r, c) = Bigint(rows[r][c]) % mod;
+    }
+  }
+  return m;
+}
+
+TEST(LinearSolver, IdentitySolvesToRhs) {
+  const auto a = fromRows({{1, 0}, {0, 1}});
+  const auto b = fromRows({{5}, {9}});
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_EQ(x.at(0, 0), Bigint(5));
+  EXPECT_EQ(x.at(1, 0), Bigint(9));
+}
+
+TEST(LinearSolver, SimpleTwoByTwo) {
+  // x + y = 7, x - y ≡ 1 -> x = 4, y = 3.
+  const auto a = fromRows({{1, 1}, {1, -1}});
+  const auto b = fromRows({{7}, {1}});
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_EQ(x.at(0, 0), Bigint(4));
+  EXPECT_EQ(x.at(1, 0), Bigint(3));
+}
+
+TEST(LinearSolver, PaperWorkedExampleCValues) {
+  // §III-C Step 3 example: candidates {1,3,5,7}, four buffer slots.
+  // A (slot-row × candidate-col) reconstructed from the paper's Step 4
+  // equations; C' = A·(1,2,1,0)ᵀ.
+  const auto a = fromRows({{1, 0, 1, 0},
+                           {1, 1, 0, 1},
+                           {1, 0, 0, 1},
+                           {0, 1, 1, 0}});
+  const auto cPrime = fromRows({{2}, {3}, {1}, {3}});
+  const auto c = solveLinearSystem(a, cPrime);
+  EXPECT_EQ(c.at(0, 0), Bigint(1));  // c_1 = 1
+  EXPECT_EQ(c.at(1, 0), Bigint(2));  // c_3 = 2
+  EXPECT_EQ(c.at(2, 0), Bigint(1));  // c_5 = 1
+  EXPECT_EQ(c.at(3, 0), Bigint(0));  // c_7 = 0 (Bloom false positive)
+}
+
+TEST(LinearSolver, PaperWorkedExampleSegments) {
+  // Step 4: A·diag(c)·f = F' with F' = (32, 32, 10, 44); after replacing
+  // the zero c with one, f = (10, 11, 22, 0).
+  const auto a = fromRows({{1, 0, 1, 0},
+                           {1, 1, 0, 1},
+                           {1, 0, 0, 1},
+                           {0, 1, 1, 0}});
+  const auto fPrime = fromRows({{32}, {32}, {10}, {44}});
+  const auto y = solveLinearSystem(a, fPrime);  // y = diag(c)·f
+  const std::vector<int> cVals = {1, 2, 1, 1};  // zero already replaced
+  const std::vector<int> expected = {10, 11, 22, 0};
+  for (std::size_t r = 0; r < 4; ++r) {
+    const Bigint f =
+        (y.at(r, 0) * Bigint::invert(Bigint(cVals[r]), kMod)) % kMod;
+    EXPECT_EQ(f, Bigint(expected[r])) << "f at candidate " << r;
+  }
+}
+
+TEST(LinearSolver, MultiColumnRhs) {
+  const auto a = fromRows({{2, 1}, {1, 1}});
+  const auto b = fromRows({{5, 8}, {3, 5}});
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_EQ(x.at(0, 0), Bigint(2));
+  EXPECT_EQ(x.at(1, 0), Bigint(1));
+  EXPECT_EQ(x.at(0, 1), Bigint(3));
+  EXPECT_EQ(x.at(1, 1), Bigint(2));
+}
+
+TEST(LinearSolver, SingularThrows) {
+  const auto a = fromRows({{1, 1}, {2, 2}});
+  const auto b = fromRows({{3}, {6}});
+  EXPECT_THROW(solveLinearSystem(a, b), CryptoError);
+}
+
+TEST(LinearSolver, ZeroMatrixSingular) {
+  const auto a = fromRows({{0, 0}, {0, 0}});
+  EXPECT_FALSE(isInvertible(a));
+}
+
+TEST(LinearSolver, IsInvertibleAgreesWithSolve) {
+  EXPECT_TRUE(isInvertible(fromRows({{1, 1}, {1, -1}})));
+  EXPECT_FALSE(isInvertible(fromRows({{1, 1}, {2, 2}})));
+}
+
+TEST(LinearSolver, RequiresSquareMatrix) {
+  ModMatrix a(2, 3, kMod);
+  ModMatrix b(2, 1, kMod);
+  EXPECT_THROW(solveLinearSystem(a, b), InternalError);
+}
+
+TEST(LinearSolver, PivotingHandlesLeadingZeros) {
+  // First pivot position is zero; elimination must row-swap.
+  const auto a = fromRows({{0, 1}, {1, 0}});
+  const auto b = fromRows({{3}, {4}});
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_EQ(x.at(0, 0), Bigint(4));
+  EXPECT_EQ(x.at(1, 0), Bigint(3));
+}
+
+TEST(LinearSolver, CompositeModulusLikePaillier) {
+  // Modulus 77 = 7·11: pivots that share a factor with n must be skipped,
+  // not crash. System chosen so all pivots are units mod 77.
+  const Bigint mod(77);
+  const auto a = fromRows({{2, 3}, {3, 2}}, mod);
+  // x = 5, y = 6: 2·5+3·6 = 28, 3·5+2·6 = 27.
+  const auto b = fromRows({{28}, {27}}, mod);
+  const auto x = solveLinearSystem(a, b);
+  EXPECT_EQ(x.at(0, 0), Bigint(5));
+  EXPECT_EQ(x.at(1, 0), Bigint(6));
+}
+
+class RandomSystem : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystem, SolveThenMultiplyRecoversRhs) {
+  // Property: for random 0/1 matrices that are invertible (the PSS case),
+  // A·solve(A, b) == b (mod n).
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t dim = 2 + rng.below(10);
+  ModMatrix a(dim, dim, kMod);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      a.at(r, c) = Bigint(static_cast<std::int64_t>(rng.next() & 1));
+    }
+  }
+  if (!isInvertible(a)) GTEST_SKIP() << "random matrix singular";
+  ModMatrix b(dim, 2, kMod);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      b.at(r, c) = Bigint(static_cast<std::int64_t>(rng.below(1000000)));
+    }
+  }
+  const auto x = solveLinearSystem(a, b);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      Bigint acc(0);
+      for (std::size_t k = 0; k < dim; ++k) {
+        acc = (acc + a.at(r, k) * x.at(k, c)) % kMod;
+      }
+      ASSERT_EQ(acc, b.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSystem, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dpss::pss

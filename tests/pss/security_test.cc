@@ -1,0 +1,115 @@
+// Adversarial-input behaviour of the reconstruction pipeline: tampered
+// buffers and truncated envelopes must fail loudly (or verifiably wrong),
+// never silently return forged payloads as genuine.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "pss/reconstruct.h"
+#include "pss/session.h"
+
+namespace dpss::pss {
+namespace {
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  SecurityTest()
+      : dict_({"secret", "public"}),
+        params_{.bufferLength = 16, .indexBufferLength = 256,
+                .bloomHashes = 5},
+        client_(dict_, params_, 128, 3141),
+        rng_(2718) {}
+
+  SearchResultEnvelope makeEnvelope() {
+    std::vector<std::string> docs(30, "public chatter");
+    docs[9] = "the secret payload";
+    const auto query = client_.makeQuery({"secret"});
+    StreamSearcher searcher(dict_, query, 2, rng_);
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      searcher.processSegment(i, docs[i]);
+    }
+    return searcher.finish();
+  }
+
+  Dictionary dict_;
+  SearchParams params_;
+  PrivateSearchClient client_;
+  Rng rng_;
+};
+
+TEST_F(SecurityTest, BaselineEnvelopeOpens) {
+  const auto results = client_.open(makeEnvelope());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].payload, "the secret payload");
+}
+
+TEST_F(SecurityTest, TamperedDataBufferNeverForgesPayloads) {
+  auto env = makeEnvelope();
+  // Corrupt one data-buffer slot (multiply by a ciphertext of 1).
+  const auto& pub = client_.publicKey();
+  env.buffers.data(3, 0) =
+      pub.addPlain(env.buffers.data(3, 0), crypto::Bigint(99999));
+  try {
+    const auto results = client_.open(env);
+    // If reconstruction "succeeds", the forged slot must not produce the
+    // genuine payload attributed to a wrong document, and any surviving
+    // result must still checksum-decode — so either the true payload at
+    // the true index, or nothing.
+    for (const auto& r : results) {
+      EXPECT_EQ(r.payload, "the secret payload");
+      EXPECT_EQ(r.index, 9u);
+    }
+  } catch (const Error&) {
+    SUCCEED();  // checksum / solver rejected the tampering — the norm
+  }
+}
+
+TEST_F(SecurityTest, TamperedCBufferDetected) {
+  auto env = makeEnvelope();
+  const auto& pub = client_.publicKey();
+  // Shift a c-buffer slot: the two linear systems become inconsistent.
+  env.buffers.c(5) = pub.addPlain(env.buffers.c(5), crypto::Bigint(1));
+  try {
+    const auto results = client_.open(env);
+    for (const auto& r : results) {
+      EXPECT_EQ(r.payload, "the secret payload");
+    }
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+TEST_F(SecurityTest, TruncatedEnvelopeRejected) {
+  const auto env = makeEnvelope();
+  ByteWriter w;
+  env.serialize(w);
+  const std::string bytes = w.take();
+  for (const std::size_t cut : {bytes.size() / 4, bytes.size() / 2,
+                                bytes.size() - 3}) {
+    ByteReader r(std::string_view(bytes).substr(0, cut));
+    EXPECT_THROW(SearchResultEnvelope::deserialize(r), CorruptData)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(SecurityTest, MismatchedParamsRejected) {
+  auto env = makeEnvelope();
+  env.params.bufferLength = 8;  // lies about l_F
+  EXPECT_THROW(client_.open(env), Error);
+}
+
+TEST_F(SecurityTest, WrongBloomSeedCannotForgeMatches) {
+  auto env = makeEnvelope();
+  env.bloomSeed ^= 0xdeadbeef;  // wrong candidate extraction
+  try {
+    for (const auto& r : client_.open(env)) {
+      // Any surviving "match" still decoded through the checksum, so the
+      // payload is genuine content; it must be the real one.
+      EXPECT_EQ(r.payload, "the secret payload");
+    }
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace dpss::pss

@@ -1,0 +1,107 @@
+#include "pss/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "pss/session.h"
+
+namespace dpss::pss {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest()
+      : dict_({"anomaly", "normal", "spike"}),
+        params_{.bufferLength = 16, .indexBufferLength = 256,
+                .bloomHashes = 5},
+        client_(dict_, params_, 128, 1212) {}
+
+  /// Opens all pending envelopes, retrying a singular batch is not
+  /// possible for a live stream — the test seeds avoid singular systems,
+  /// and the production path would re-request the batch from the queue's
+  /// retained log.
+  std::vector<RecoveredSegment> openAll(StandingSearch& search) {
+    std::vector<RecoveredSegment> out;
+    for (const auto& env : search.drainEnvelopes()) {
+      const auto part = client_.open(env);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+  Dictionary dict_;
+  SearchParams params_;
+  PrivateSearchClient client_;
+};
+
+TEST_F(StreamingTest, SealsEnvelopeEveryBatch) {
+  StandingSearch search(dict_, client_.makeQuery({"anomaly"}), 2, 20, 77);
+  int sealed = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::string doc = (i % 25 == 3)
+                                ? "anomaly at " + std::to_string(i)
+                                : "normal " + std::to_string(i);
+    sealed += search.feed(doc);
+  }
+  EXPECT_EQ(sealed, 3);
+  EXPECT_EQ(search.pendingEnvelopes(), 3u);
+  EXPECT_EQ(search.documentsSeen(), 60u);
+}
+
+TEST_F(StreamingTest, MatchesCarryGlobalStreamIndices) {
+  StandingSearch search(dict_, client_.makeQuery({"anomaly"}), 2, 20, 78);
+  std::vector<std::string> stream;
+  for (int i = 0; i < 40; ++i) {
+    stream.push_back(i == 7 || i == 33 ? "anomaly spotted"
+                                       : "normal " + std::to_string(i));
+  }
+  for (const auto& doc : stream) search.feed(doc);
+  const auto matches = openAll(search);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].index, 7u);    // first batch (0..19)
+  EXPECT_EQ(matches[1].index, 33u);   // second batch (20..39), global index
+  EXPECT_EQ(matches[1].payload, "anomaly spotted");
+}
+
+TEST_F(StreamingTest, CommunicationIndependentOfStreamLength) {
+  // The envelope size depends only on (l_F, l_I, s), not on t.
+  StandingSearch small(dict_, client_.makeQuery({"spike"}), 2, 20, 79);
+  StandingSearch large(dict_, client_.makeQuery({"spike"}), 2, 200, 80);
+  for (int i = 0; i < 20; ++i) small.feed("normal");
+  for (int i = 0; i < 200; ++i) large.feed("normal");
+  ByteWriter a, b;
+  small.drainEnvelopes()[0].serialize(a);
+  large.drainEnvelopes()[0].serialize(b);
+  // Within a few bytes (varint-encoded counters differ).
+  EXPECT_NEAR(static_cast<double>(a.size()), static_cast<double>(b.size()),
+              16.0);
+}
+
+TEST_F(StreamingTest, FlushSealsPartialBatch) {
+  StandingSearch search(dict_, client_.makeQuery({"anomaly"}), 2, 100, 81);
+  for (int i = 0; i < 30; ++i) {
+    search.feed(i == 11 ? "anomaly here" : "normal traffic");
+  }
+  EXPECT_EQ(search.pendingEnvelopes(), 0u);
+  search.flush();
+  EXPECT_EQ(search.pendingEnvelopes(), 1u);
+  const auto matches = openAll(search);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].index, 11u);
+}
+
+TEST_F(StreamingTest, FlushOnEmptyBatchIsNoop) {
+  StandingSearch search(dict_, client_.makeQuery({"anomaly"}), 2, 10, 82);
+  search.flush();
+  EXPECT_EQ(search.pendingEnvelopes(), 0u);
+}
+
+TEST_F(StreamingTest, DrainClearsPending) {
+  StandingSearch search(dict_, client_.makeQuery({"anomaly"}), 2, 5, 83);
+  for (int i = 0; i < 10; ++i) search.feed("normal");
+  EXPECT_EQ(search.drainEnvelopes().size(), 2u);
+  EXPECT_EQ(search.pendingEnvelopes(), 0u);
+}
+
+}  // namespace
+}  // namespace dpss::pss

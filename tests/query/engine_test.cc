@@ -1,0 +1,248 @@
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "storage/adtech.h"
+#include "storage/segment_builder.h"
+
+namespace dpss::query {
+namespace {
+
+using storage::MetricType;
+using storage::Schema;
+using storage::SegmentBuilder;
+using storage::SegmentId;
+using storage::SegmentPtr;
+
+SegmentPtr adsSegment() {
+  Schema schema;
+  schema.dimensions = {"publisher", "country"};
+  schema.metrics = {{"impressions", MetricType::kLong},
+                    {"revenue", MetricType::kDouble}};
+  SegmentBuilder builder(schema);
+  builder.add({100, {"sina", "cn"}, {10, 1.5}});
+  builder.add({200, {"sina", "cn"}, {20, 2.5}});
+  builder.add({300, {"yahoo", "us"}, {30, 3.5}});
+  builder.add({400, {"yahoo", "cn"}, {40, 4.5}});
+  builder.add({500, {"bing", "us"}, {50, 5.5}});
+  SegmentId id;
+  id.dataSource = "ads";
+  id.interval = Interval(0, 1000);
+  id.version = "v1";
+  return builder.build(std::move(id));
+}
+
+QuerySpec baseQuery() {
+  QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 1000);
+  q.aggregations = {countAgg("cnt")};
+  return q;
+}
+
+TEST(Engine, CountAllRows) {
+  const auto seg = adsSegment();
+  const auto result = scanSegment(*seg, baseQuery());
+  EXPECT_EQ(result.rowsScanned, 5u);
+  const auto rows = finalizeResult(baseQuery(), result);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 5.0);
+}
+
+TEST(Engine, TimestampRangeIsHalfOpen) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.interval = Interval(200, 400);  // rows at 200, 300
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 2.0);
+}
+
+TEST(Engine, EmptyTimeRangeCountsZero) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.interval = Interval(600, 900);
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 0.0);
+}
+
+TEST(Engine, LongAndDoubleSums) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.aggregations = {countAgg("cnt"), longSumAgg("impressions"),
+                    doubleSumAgg("revenue")};
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 150.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[2], 17.5);
+}
+
+TEST(Engine, MinMaxAvg) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.aggregations = {minAgg("impressions"), maxAgg("impressions"),
+                    avgAgg("revenue")};
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 50.0);
+  EXPECT_DOUBLE_EQ(rows[0].values[2], 3.5);
+}
+
+TEST(Engine, FilteredScan) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.filter = selectorFilter("country", "cn");
+  q.aggregations = {countAgg("cnt"), longSumAgg("impressions")};
+  const auto result = scanSegment(*seg, q);
+  EXPECT_EQ(result.rowsScanned, 3u);
+  const auto rows = finalizeResult(q, result);
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 70.0);
+}
+
+TEST(Engine, FilterAndTimeRangeCompose) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.interval = Interval(150, 450);
+  q.filter = selectorFilter("publisher", "yahoo");
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 2.0);  // rows at 300 and 400
+}
+
+TEST(Engine, GroupByDimension) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.groupByDimension = "publisher";
+  q.aggregations = {countAgg("cnt"), longSumAgg("impressions")};
+  const auto result = scanSegment(*seg, q);
+  ASSERT_EQ(result.groups.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.groups.at("sina")[1].sum, 30.0);
+  EXPECT_DOUBLE_EQ(result.groups.at("yahoo")[1].sum, 70.0);
+  EXPECT_DOUBLE_EQ(result.groups.at("bing")[1].sum, 50.0);
+}
+
+TEST(Engine, TopNOrderingAndLimit) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.groupByDimension = "publisher";
+  q.aggregations = {countAgg("cnt")};
+  q.orderBy = "cnt";
+  q.limit = 2;
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].group, "sina");   // 2 rows
+  EXPECT_EQ(rows[1].group, "yahoo");  // 2 rows (stable tie-break by key)
+}
+
+TEST(Engine, OrderByUnknownOutputThrows) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.groupByDimension = "publisher";
+  q.orderBy = "nope";
+  EXPECT_THROW(finalizeResult(q, scanSegment(*seg, q)), InternalError);
+}
+
+TEST(Engine, UnknownMetricThrows) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.aggregations = {longSumAgg("nope")};
+  EXPECT_THROW(scanSegment(*seg, q), InvalidArgument);
+}
+
+TEST(Engine, PartialMergeMatchesSingleScan) {
+  // Scanning two half-ranges and merging must equal one full scan — the
+  // broker's merge correctness property.
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.groupByDimension = "country";
+  q.aggregations = {countAgg("cnt"), longSumAgg("impressions"),
+                    minAgg("revenue"), maxAgg("revenue"), avgAgg("revenue")};
+
+  auto qa = q;
+  qa.interval = Interval(0, 300);
+  auto qb = q;
+  qb.interval = Interval(300, 1000);
+  QueryResult merged = scanSegment(*seg, qa);
+  merged.mergeFrom(scanSegment(*seg, qb));
+
+  const auto whole = scanSegment(*seg, q);
+  const auto rowsMerged = finalizeResult(q, merged);
+  const auto rowsWhole = finalizeResult(q, whole);
+  EXPECT_EQ(rowsMerged, rowsWhole);
+  EXPECT_EQ(merged.rowsScanned, whole.rowsScanned);
+}
+
+TEST(Engine, ResultSerializationRoundTrip) {
+  const auto seg = adsSegment();
+  auto q = baseQuery();
+  q.groupByDimension = "publisher";
+  q.aggregations = {countAgg("cnt"), avgAgg("revenue")};
+  const auto result = scanSegment(*seg, q);
+  ByteWriter w;
+  result.serialize(w);
+  ByteReader r(w.data());
+  const auto restored = QueryResult::deserialize(r);
+  EXPECT_EQ(finalizeResult(q, restored), finalizeResult(q, result));
+  EXPECT_EQ(restored.rowsScanned, result.rowsScanned);
+}
+
+TEST(Engine, TableTwoQueriesRunOnAdTechSchema) {
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 500;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 1);
+  for (int qn = 1; qn <= 6; ++qn) {
+    const auto q = tableTwoQuery(qn, "ads", Interval(0, 1ll << 62));
+    const auto result = scanSegment(*segments[0], q);
+    EXPECT_EQ(result.rowsScanned, 500u) << "query " << qn;
+    const auto rows = finalizeResult(q, result);
+    if (qn <= 3) {
+      ASSERT_EQ(rows.size(), 1u) << "query " << qn;
+      EXPECT_DOUBLE_EQ(rows[0].values[0], 500.0);
+    } else {
+      EXPECT_LE(rows.size(), 100u) << "query " << qn;
+      EXPECT_GT(rows.size(), 0u);
+      // Ordered descending by cnt.
+      for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i - 1].values[0], rows[i].values[0]);
+      }
+    }
+  }
+}
+
+TEST(Engine, TableTwoAggregatorArity) {
+  const Interval all(0, 1);
+  EXPECT_EQ(tableTwoQuery(1, "a", all).aggregations.size(), 1u);
+  EXPECT_EQ(tableTwoQuery(2, "a", all).aggregations.size(), 2u);
+  EXPECT_EQ(tableTwoQuery(3, "a", all).aggregations.size(), 5u);
+  EXPECT_EQ(tableTwoQuery(4, "a", all).aggregations.size(), 1u);
+  EXPECT_EQ(tableTwoQuery(5, "a", all).aggregations.size(), 2u);
+  EXPECT_EQ(tableTwoQuery(6, "a", all).aggregations.size(), 5u);
+  EXPECT_TRUE(tableTwoQuery(4, "a", all).groupByDimension ==
+              "high_card_dimension");
+  EXPECT_THROW(tableTwoQuery(0, "a", all), InternalError);
+  EXPECT_THROW(tableTwoQuery(7, "a", all), InternalError);
+}
+
+TEST(Engine, QuerySpecSerializationRoundTrip) {
+  auto q = tableTwoQuery(5, "ads", Interval(100, 900));
+  q.filter = andFilter({selectorFilter("gender", "Male"),
+                        notFilter(selectorFilter("country", "country3"))});
+  ByteWriter w;
+  q.serialize(w);
+  ByteReader r(w.data());
+  const auto restored = QuerySpec::deserialize(r);
+  EXPECT_EQ(restored.fingerprint(), q.fingerprint());
+}
+
+TEST(Engine, FingerprintDistinguishesQueries) {
+  const Interval all(0, 1000);
+  EXPECT_NE(tableTwoQuery(1, "a", all).fingerprint(),
+            tableTwoQuery(2, "a", all).fingerprint());
+  EXPECT_NE(tableTwoQuery(1, "a", all).fingerprint(),
+            tableTwoQuery(1, "b", all).fingerprint());
+  EXPECT_NE(tableTwoQuery(1, "a", Interval(0, 500)).fingerprint(),
+            tableTwoQuery(1, "a", all).fingerprint());
+}
+
+}  // namespace
+}  // namespace dpss::query

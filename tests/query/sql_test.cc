@@ -1,0 +1,165 @@
+#include "query/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "query/engine.h"
+#include "storage/adtech.h"
+
+namespace dpss::query {
+namespace {
+
+TEST(Sql, TableTwoQueryOne) {
+  const auto q = parseSql(
+      "SELECT count(*) FROM ads WHERE timestamp > 100 AND timestamp < 900");
+  EXPECT_EQ(q.dataSource, "ads");
+  EXPECT_EQ(q.interval, Interval(101, 900));
+  ASSERT_EQ(q.aggregations.size(), 1u);
+  EXPECT_EQ(q.aggregations[0].type, AggType::kCount);
+  EXPECT_EQ(q.aggregations[0].outputName, "cnt");
+  EXPECT_EQ(q.filter, nullptr);
+  EXPECT_TRUE(q.groupByDimension.empty());
+}
+
+TEST(Sql, TableTwoQueryFourShape) {
+  // Table II lists the grouped dimension in the SELECT list; our dialect
+  // takes it from GROUP BY only (the grouped value is always emitted).
+  const auto q = parseSql(
+      "SELECT count(*) AS cnt FROM t WHERE timestamp >= 0 "
+      "GROUP BY high_card_dimension ORDER BY cnt LIMIT 100");
+  EXPECT_EQ(q.groupByDimension, "high_card_dimension");
+  EXPECT_EQ(q.orderBy, "cnt");
+  EXPECT_EQ(q.limit, 100u);
+}
+
+TEST(Sql, GroupByOrderLimit) {
+  const auto q = parseSql(
+      "SELECT count(*) AS cnt, sum(impressions) FROM ads "
+      "WHERE timestamp >= 0 AND timestamp < 1000 "
+      "GROUP BY publisher ORDER BY cnt DESC LIMIT 10");
+  EXPECT_EQ(q.groupByDimension, "publisher");
+  EXPECT_EQ(q.orderBy, "cnt");
+  EXPECT_EQ(q.limit, 10u);
+  ASSERT_EQ(q.aggregations.size(), 2u);
+  EXPECT_EQ(q.aggregations[1].outputName, "sum_impressions");
+}
+
+TEST(Sql, AllAggregateFunctions) {
+  const auto q = parseSql(
+      "SELECT count(*), sum(a) AS s, min(b) AS lo, max(b) AS hi, "
+      "avg(c) AS mean FROM t");
+  ASSERT_EQ(q.aggregations.size(), 5u);
+  EXPECT_EQ(q.aggregations[1].type, AggType::kDoubleSum);
+  EXPECT_EQ(q.aggregations[2].type, AggType::kMin);
+  EXPECT_EQ(q.aggregations[3].type, AggType::kMax);
+  EXPECT_EQ(q.aggregations[4].type, AggType::kAvg);
+  EXPECT_EQ(q.aggregations[4].outputName, "mean");
+}
+
+TEST(Sql, DimensionPredicates) {
+  const auto q = parseSql(
+      "SELECT count(*) FROM ads WHERE gender = 'Male' "
+      "AND country IN ('China', 'USA') AND timestamp < 500");
+  ASSERT_NE(q.filter, nullptr);
+  EXPECT_EQ(q.filter->describe(),
+            "(gender='Male' AND country in ('China','USA'))");
+  EXPECT_EQ(q.interval.end(), 500);
+}
+
+TEST(Sql, SinglePredicateHasNoAndWrapper) {
+  const auto q = parseSql("SELECT count(*) FROM ads WHERE gender = 'Male'");
+  EXPECT_EQ(q.filter->describe(), "gender='Male'");
+}
+
+TEST(Sql, KeywordsAreCaseInsensitive) {
+  const auto q = parseSql(
+      "select COUNT(*) from ads where TIMESTAMP >= 5 group by publisher "
+      "order by CNT limit 3");
+  EXPECT_EQ(q.groupByDimension, "publisher");
+  EXPECT_EQ(q.limit, 3u);
+}
+
+TEST(Sql, StringValuesKeepCase) {
+  const auto q = parseSql("SELECT count(*) FROM t WHERE g = 'MiXeD'");
+  EXPECT_EQ(q.filter->describe(), "g='MiXeD'");
+}
+
+TEST(Sql, InclusiveExclusiveBounds) {
+  const auto a = parseSql("SELECT count(*) FROM t WHERE timestamp >= 10 AND "
+                          "timestamp <= 20");
+  EXPECT_EQ(a.interval, Interval(10, 21));
+  const auto b = parseSql("SELECT count(*) FROM t WHERE timestamp > 10 AND "
+                          "timestamp < 20");
+  EXPECT_EQ(b.interval, Interval(11, 20));
+}
+
+TEST(Sql, ContradictoryBoundsGiveEmptyInterval) {
+  const auto q =
+      parseSql("SELECT count(*) FROM t WHERE timestamp > 100 AND "
+               "timestamp < 50");
+  EXPECT_TRUE(q.interval.empty());
+}
+
+TEST(Sql, SyntaxErrors) {
+  EXPECT_THROW(parseSql(""), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT nope(*) FROM t"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(x) FROM t"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t WHERE"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t WHERE x = 5"),
+               InvalidArgument);  // dimension values are strings
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t WHERE timestamp = 5"),
+               InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t LIMIT -1"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t trailing"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*) FROM t WHERE g = 'unclosed"),
+               InvalidArgument);
+}
+
+TEST(Sql, DuplicateOutputNamesRejected) {
+  EXPECT_THROW(parseSql("SELECT sum(a), sum(a) FROM t"), InvalidArgument);
+  EXPECT_THROW(parseSql("SELECT count(*), sum(a) AS cnt FROM t"),
+               InvalidArgument);
+}
+
+TEST(Sql, OrderByUnknownColumnRejected) {
+  EXPECT_THROW(
+      parseSql("SELECT count(*) FROM t GROUP BY g ORDER BY nope LIMIT 5"),
+      InvalidArgument);
+}
+
+TEST(Sql, ParsedQueryExecutesLikeHandBuilt) {
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 500;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 1);
+
+  const auto sqlSpec = parseSql(
+      "SELECT count(*) AS cnt, sum(impressions) AS sum_impressions "
+      "FROM ads WHERE gender = 'Male' GROUP BY publisher "
+      "ORDER BY cnt LIMIT 5");
+
+  QuerySpec hand;
+  hand.dataSource = "ads";
+  hand.interval = sqlSpec.interval;
+  hand.filter = selectorFilter("gender", "Male");
+  hand.aggregations = {countAgg("cnt"),
+                       doubleSumAgg("impressions", "sum_impressions")};
+  hand.groupByDimension = "publisher";
+  hand.orderBy = "cnt";
+  hand.limit = 5;
+
+  const auto a = finalizeResult(sqlSpec, scanSegment(*segments[0], sqlSpec));
+  const auto b = finalizeResult(hand, scanSegment(*segments[0], hand));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Sql, FingerprintStability) {
+  const char* sql =
+      "SELECT count(*) FROM ads WHERE timestamp >= 1 AND timestamp < 2";
+  EXPECT_EQ(parseSql(sql).fingerprint(), parseSql(sql).fingerprint());
+}
+
+}  // namespace
+}  // namespace dpss::query

@@ -1,0 +1,111 @@
+#include "query/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace dpss::query {
+namespace {
+
+using storage::SegmentId;
+
+SegmentId seg(TimeMs start, TimeMs end, const std::string& version,
+              std::uint32_t partition = 0) {
+  SegmentId id;
+  id.dataSource = "ads";
+  id.interval = Interval(start, end);
+  id.version = version;
+  id.partition = partition;
+  return id;
+}
+
+TEST(Timeline, LookupReturnsOverlapping) {
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  t.add(seg(100, 200, "v1"));
+  t.add(seg(200, 300, "v1"));
+  const auto visible = t.lookup(Interval(50, 150));
+  ASSERT_EQ(visible.size(), 2u);
+  EXPECT_EQ(visible[0].interval, Interval(0, 100));
+  EXPECT_EQ(visible[1].interval, Interval(100, 200));
+}
+
+TEST(Timeline, NewerVersionOvershadowsSameInterval) {
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  t.add(seg(0, 100, "v2"));
+  const auto visible = t.lookup(Interval(0, 100));
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].version, "v2");
+}
+
+TEST(Timeline, NewerCoveringVersionOvershadowsFinerSegments) {
+  // A v2 segment covering the whole day obsoletes the hourly v1 segments.
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  t.add(seg(100, 200, "v1"));
+  t.add(seg(0, 200, "v2"));
+  const auto visible = t.lookup(Interval(0, 200));
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].version, "v2");
+}
+
+TEST(Timeline, OlderCoveringVersionDoesNotOvershadowNewer) {
+  Timeline t;
+  t.add(seg(0, 200, "v1"));   // old coarse segment
+  t.add(seg(0, 100, "v2"));   // newer fine segment
+  const auto visible = t.lookup(Interval(0, 200));
+  // Both visible: v2 replaces only its own range; v1 still covers the rest.
+  ASSERT_EQ(visible.size(), 2u);
+}
+
+TEST(Timeline, AllPartitionsOfAVersionVisible) {
+  Timeline t;
+  t.add(seg(0, 100, "v1", 0));
+  t.add(seg(0, 100, "v1", 1));
+  t.add(seg(0, 100, "v1", 2));
+  EXPECT_EQ(t.lookup(Interval(0, 100)).size(), 3u);
+}
+
+TEST(Timeline, NewVersionOvershadowsAllOldPartitions) {
+  Timeline t;
+  t.add(seg(0, 100, "v1", 0));
+  t.add(seg(0, 100, "v1", 1));
+  t.add(seg(0, 100, "v2", 0));
+  const auto visible = t.lookup(Interval(0, 100));
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].version, "v2");
+}
+
+TEST(Timeline, RemoveRestoresOvershadowed) {
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  t.add(seg(0, 100, "v2"));
+  t.remove(seg(0, 100, "v2"));
+  const auto visible = t.lookup(Interval(0, 100));
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].version, "v1");
+}
+
+TEST(Timeline, AddIsIdempotent) {
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  t.add(seg(0, 100, "v1"));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Timeline, DisjointQueryFindsNothing) {
+  Timeline t;
+  t.add(seg(0, 100, "v1"));
+  EXPECT_TRUE(t.lookup(Interval(100, 200)).empty());
+}
+
+TEST(Timeline, ContainsAndAll) {
+  Timeline t;
+  const auto s = seg(0, 100, "v1");
+  EXPECT_FALSE(t.contains(s));
+  t.add(s);
+  EXPECT_TRUE(t.contains(s));
+  EXPECT_EQ(t.all().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpss::query

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "query/engine.h"
+#include "storage/segment_builder.h"
+
+namespace dpss::query {
+namespace {
+
+using storage::MetricType;
+using storage::Schema;
+using storage::SegmentBuilder;
+using storage::SegmentId;
+using storage::SegmentPtr;
+
+SegmentPtr segmentWithRows() {
+  Schema schema;
+  schema.dimensions = {"publisher"};
+  schema.metrics = {{"impressions", MetricType::kLong}};
+  SegmentBuilder builder(schema);
+  builder.add({100, {"a"}, {1}});
+  builder.add({150, {"b"}, {2}});
+  builder.add({1100, {"a"}, {4}});
+  builder.add({2900, {"b"}, {8}});
+  SegmentId id;
+  id.dataSource = "ts";
+  id.interval = Interval(0, 10'000);
+  id.version = "v1";
+  return builder.build(std::move(id));
+}
+
+QuerySpec tsQuery(TimeMs granularity) {
+  QuerySpec q;
+  q.dataSource = "ts";
+  q.interval = Interval(0, 10'000);
+  q.aggregations = {countAgg("cnt"), longSumAgg("impressions", "imps")};
+  q.granularityMs = granularity;
+  return q;
+}
+
+TEST(Timeseries, BucketsRowsByGranularity) {
+  const auto seg = segmentWithRows();
+  const auto q = tsQuery(1000);
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 3u);
+  // Finalize sorts unordered grouped results by key = time order.
+  EXPECT_EQ(parseTimeBucketKey(rows[0].group), 0);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 2.0);  // rows at 100, 150
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 3.0);
+  EXPECT_EQ(parseTimeBucketKey(rows[1].group), 1000);
+  EXPECT_DOUBLE_EQ(rows[1].values[1], 4.0);
+  EXPECT_EQ(parseTimeBucketKey(rows[2].group), 2000);
+  EXPECT_DOUBLE_EQ(rows[2].values[1], 8.0);
+}
+
+TEST(Timeseries, EmptyBucketsAreOmitted) {
+  const auto seg = segmentWithRows();
+  const auto q = tsQuery(500);
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  // Buckets 0, 1000, 2500 only (500-wide): 100/150 -> 0; 1100 -> 1000;
+  // 2900 -> 2500. Bucket 500, 1500, 2000 empty and absent.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(parseTimeBucketKey(rows[2].group), 2500);
+}
+
+TEST(Timeseries, MergeAcrossSegmentsAlignsBuckets) {
+  Schema schema;
+  schema.dimensions = {"publisher"};
+  schema.metrics = {{"impressions", MetricType::kLong}};
+  SegmentBuilder b1(schema), b2(schema);
+  b1.add({100, {"a"}, {1}});
+  b2.add({200, {"b"}, {10}});  // same bucket, different segment
+  b2.add({1200, {"b"}, {100}});
+  SegmentId id;
+  id.dataSource = "ts";
+  id.interval = Interval(0, 10'000);
+  id.version = "v1";
+  const auto s1 = b1.build(id);
+  id.partition = 1;
+  const auto s2 = b2.build(id);
+
+  const auto q = tsQuery(1000);
+  QueryResult merged = scanSegment(*s1, q);
+  merged.mergeFrom(scanSegment(*s2, q));
+  const auto rows = finalizeResult(q, merged);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].values[1], 11.0);   // bucket 0 across segments
+  EXPECT_DOUBLE_EQ(rows[1].values[1], 100.0);  // bucket 1000
+}
+
+TEST(Timeseries, IntervalFilterAppliesBeforeBucketing) {
+  const auto seg = segmentWithRows();
+  auto q = tsQuery(1000);
+  q.interval = Interval(1000, 3000);
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(parseTimeBucketKey(rows[0].group), 1000);
+}
+
+TEST(Timeseries, CombiningWithGroupByRejected) {
+  const auto seg = segmentWithRows();
+  auto q = tsQuery(1000);
+  q.groupByDimension = "publisher";
+  EXPECT_THROW(scanSegment(*seg, q), InvalidArgument);
+}
+
+TEST(Timeseries, BucketKeyRoundTrip) {
+  for (const TimeMs t : {0LL, 1'388'534'400'000LL, -3'600'000LL}) {
+    EXPECT_EQ(parseTimeBucketKey(timeBucketKey(t)), t);
+  }
+  // Lexicographic order == numeric order.
+  EXPECT_LT(timeBucketKey(-1), timeBucketKey(0));
+  EXPECT_LT(timeBucketKey(999), timeBucketKey(1000));
+}
+
+TEST(Timeseries, NegativeTimestampsBucketToFloor) {
+  Schema schema;
+  schema.dimensions = {"publisher"};
+  schema.metrics = {{"impressions", MetricType::kLong}};
+  SegmentBuilder builder(schema);
+  builder.add({-500, {"a"}, {1}});
+  SegmentId id;
+  id.dataSource = "ts";
+  id.interval = Interval(-10'000, 10'000);
+  id.version = "v1";
+  const auto seg = builder.build(std::move(id));
+  auto q = tsQuery(1000);
+  q.interval = Interval(-10'000, 10'000);
+  const auto rows = finalizeResult(q, scanSegment(*seg, q));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(parseTimeBucketKey(rows[0].group), -1000);
+}
+
+TEST(Timeseries, SpecSerializationCarriesGranularity) {
+  auto q = tsQuery(750);
+  ByteWriter w;
+  q.serialize(w);
+  ByteReader r(w.data());
+  EXPECT_EQ(QuerySpec::deserialize(r).granularityMs, 750);
+  EXPECT_NE(tsQuery(750).fingerprint(), tsQuery(1000).fingerprint());
+}
+
+}  // namespace
+}  // namespace dpss::query

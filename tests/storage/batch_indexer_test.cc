@@ -1,0 +1,148 @@
+#include "storage/batch_indexer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpss::storage {
+namespace {
+
+Schema schema() {
+  Schema s;
+  s.dimensions = {"publisher", "country"};
+  s.metrics = {{"impressions", MetricType::kLong}};
+  return s;
+}
+
+constexpr TimeMs kHour = 3'600'000;
+
+InputRow row(TimeMs ts, const std::string& pub, double imps = 1) {
+  return InputRow{ts, {pub, "cn"}, {imps}};
+}
+
+TEST(BatchIndexer, BucketsByGranularity) {
+  std::vector<InputRow> rows = {
+      row(10, "a"), row(kHour - 1, "b"), row(kHour, "c"), row(2 * kHour, "d")};
+  const auto segments = buildBatch(schema(), "ads", rows);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0]->id().interval, Interval(0, kHour));
+  EXPECT_EQ(segments[0]->rowCount(), 2u);
+  EXPECT_EQ(segments[1]->id().interval, Interval(kHour, 2 * kHour));
+  EXPECT_EQ(segments[2]->id().interval, Interval(2 * kHour, 3 * kHour));
+}
+
+TEST(BatchIndexer, RowsLandInsideTheirSegmentInterval) {
+  Rng rng(1);
+  std::vector<InputRow> rows;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(row(static_cast<TimeMs>(rng.below(5 * kHour)),
+                       "p" + std::to_string(rng.below(5))));
+  }
+  const auto segments = buildBatch(schema(), "ads", rows);
+  std::size_t total = 0;
+  for (const auto& seg : segments) {
+    total += seg->rowCount();
+    for (const auto t : seg->timestamps()) {
+      EXPECT_TRUE(seg->id().interval.contains(t));
+    }
+  }
+  EXPECT_EQ(total, rows.size());
+}
+
+TEST(BatchIndexer, SecondaryPartitioningSplitsLargeBuckets) {
+  BatchIndexerOptions options;
+  options.targetRowsPerSegment = 100;
+  std::vector<InputRow> rows;
+  for (int i = 0; i < 450; ++i) {
+    rows.push_back(row(100, "pub" + std::to_string(i % 30)));
+  }
+  const auto segments = buildBatch(schema(), "ads", rows, options);
+  // 450 rows / 100 target -> 5 partitions (some may be uneven or empty-
+  // skipped; all carry the same interval, distinct partition numbers).
+  EXPECT_GE(segments.size(), 2u);
+  std::set<std::uint32_t> partitions;
+  std::size_t total = 0;
+  for (const auto& seg : segments) {
+    EXPECT_EQ(seg->id().interval, Interval(0, kHour));
+    partitions.insert(seg->id().partition);
+    total += seg->rowCount();
+  }
+  EXPECT_EQ(partitions.size(), segments.size());  // distinct partitions
+  EXPECT_EQ(total, 450u);
+}
+
+TEST(BatchIndexer, PartitioningKeepsDimensionValueTogether) {
+  // "may further partition according to values from other columns": all
+  // rows of one publisher stay in one partition.
+  BatchIndexerOptions options;
+  options.targetRowsPerSegment = 50;
+  std::vector<InputRow> rows;
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back(row(100, "pub" + std::to_string(i % 20)));
+  }
+  const auto segments = buildBatch(schema(), "ads", rows, options);
+  std::map<std::string, std::set<std::uint32_t>> partitionsOfPublisher;
+  for (const auto& seg : segments) {
+    const auto& pub = seg->dim(0);
+    for (const auto id : pub.ids) {
+      partitionsOfPublisher[pub.dict.valueOf(id)].insert(
+          seg->id().partition);
+    }
+  }
+  for (const auto& [pub, parts] : partitionsOfPublisher) {
+    EXPECT_EQ(parts.size(), 1u) << pub << " split across partitions";
+  }
+}
+
+TEST(BatchIndexer, SmallBucketsGetSinglePartition) {
+  std::vector<InputRow> rows = {row(1, "a"), row(2, "b")};
+  const auto segments = buildBatch(schema(), "ads", rows);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0]->id().partition, 0u);
+}
+
+TEST(BatchIndexer, RollupOptionAggregates) {
+  BatchIndexerOptions options;
+  options.rollupGranularityMs = kHour;
+  std::vector<InputRow> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(row(i, "same", 2));
+  const auto segments = buildBatch(schema(), "ads", rows, options);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0]->rowCount(), 1u);
+  EXPECT_EQ(segments[0]->metric(0).longs[0], 200);
+}
+
+TEST(BatchIndexer, VersionAndDataSourceStamped) {
+  BatchIndexerOptions options;
+  options.version = "v0042";
+  const auto segments =
+      buildBatch(schema(), "clicks", {row(5, "a")}, options);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0]->id().dataSource, "clicks");
+  EXPECT_EQ(segments[0]->id().version, "v0042");
+}
+
+TEST(BatchIndexer, NegativeTimestampsBucketCorrectly) {
+  const auto segments =
+      buildBatch(schema(), "ads", {row(-1, "a"), row(-kHour, "b")});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0]->id().interval, Interval(-kHour, 0));
+}
+
+TEST(BatchIndexer, EmptyInput) {
+  EXPECT_TRUE(buildBatch(schema(), "ads", {}).empty());
+}
+
+TEST(BatchIndexer, RejectsBadOptions) {
+  BatchIndexerOptions options;
+  options.segmentGranularityMs = 0;
+  EXPECT_THROW(buildBatch(schema(), "ads", {row(1, "a")}, options),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace dpss::storage

@@ -1,0 +1,104 @@
+#include "storage/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpss::storage {
+namespace {
+
+TEST(Bitmap, SetGetClear) {
+  Bitmap b(100);
+  EXPECT_FALSE(b.get(5));
+  b.set(5);
+  EXPECT_TRUE(b.get(5));
+  b.clear(5);
+  EXPECT_FALSE(b.get(5));
+}
+
+TEST(Bitmap, OutOfRangeThrows) {
+  Bitmap b(10);
+  EXPECT_THROW(b.set(10), InternalError);
+  EXPECT_THROW(b.get(10), InternalError);
+}
+
+TEST(Bitmap, Cardinality) {
+  Bitmap b(200);
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);
+  EXPECT_EQ(b.cardinality(), 67u);
+}
+
+TEST(Bitmap, PaperExampleOr) {
+  // §III-B: [1][1][0][0] v [0][0][1][1] = [1][1][1][1].
+  Bitmap sina(4), yahoo(4);
+  sina.set(0);
+  sina.set(1);
+  yahoo.set(2);
+  yahoo.set(3);
+  const Bitmap joined = sina | yahoo;
+  EXPECT_EQ(joined.cardinality(), 4u);
+}
+
+TEST(Bitmap, AndOr) {
+  Bitmap a(128), b(128);
+  a.set(1);
+  a.set(64);
+  a.set(100);
+  b.set(64);
+  b.set(100);
+  b.set(127);
+  EXPECT_EQ((a & b).toPositions(), (std::vector<std::size_t>{64, 100}));
+  EXPECT_EQ((a | b).toPositions(),
+            (std::vector<std::size_t>{1, 64, 100, 127}));
+}
+
+TEST(Bitmap, SizeMismatchThrows) {
+  Bitmap a(10), b(20);
+  EXPECT_THROW(a &= b, InternalError);
+}
+
+TEST(Bitmap, FlipRespectsLogicalSize) {
+  Bitmap b(70);  // deliberately not a multiple of 64
+  b.set(0);
+  b.set(69);
+  b.flip();
+  EXPECT_EQ(b.cardinality(), 68u);
+  EXPECT_FALSE(b.get(0));
+  EXPECT_TRUE(b.get(1));
+  EXPECT_FALSE(b.get(69));
+}
+
+TEST(Bitmap, DoubleFlipIsIdentity) {
+  Rng rng(5);
+  Bitmap b(1000);
+  for (int i = 0; i < 100; ++i) b.set(rng.below(1000));
+  Bitmap copy = b;
+  b.flip();
+  b.flip();
+  EXPECT_EQ(b, copy);
+}
+
+TEST(Bitmap, ForEachAscendingAndStoppable) {
+  Bitmap b(100);
+  b.set(10);
+  b.set(50);
+  b.set(90);
+  std::vector<std::size_t> seen;
+  b.forEach([&](std::size_t pos) {
+    seen.push_back(pos);
+    return seen.size() < 2;  // stop after two
+  });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{10, 50}));
+}
+
+TEST(Bitmap, EmptyBitmap) {
+  Bitmap b(0);
+  EXPECT_EQ(b.cardinality(), 0u);
+  EXPECT_TRUE(b.toPositions().empty());
+  b.flip();  // must not crash on empty word array
+  EXPECT_EQ(b.cardinality(), 0u);
+}
+
+}  // namespace
+}  // namespace dpss::storage

@@ -1,0 +1,104 @@
+// Property fuzzing of the segment codec: random schemas, random rows,
+// random corruption. Round-trips must be exact; corrupted blobs must
+// throw CorruptData, never decode to a different segment.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "storage/segment_builder.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::storage {
+namespace {
+
+Schema randomSchema(Rng& rng) {
+  Schema s;
+  const std::size_t dims = 1 + rng.below(5);
+  for (std::size_t d = 0; d < dims; ++d) {
+    s.dimensions.push_back("dim" + std::to_string(d));
+  }
+  const std::size_t metrics = rng.below(5);
+  for (std::size_t m = 0; m < metrics; ++m) {
+    s.metrics.push_back({"m" + std::to_string(m),
+                         rng.chance(0.5) ? MetricType::kLong
+                                         : MetricType::kDouble});
+  }
+  return s;
+}
+
+SegmentPtr randomSegment(Rng& rng, const Schema& schema) {
+  SegmentBuilder builder(schema);
+  const std::size_t rows = rng.below(400);
+  for (std::size_t r = 0; r < rows; ++r) {
+    InputRow row;
+    row.timestamp = rng.between(-1'000'000, 1'000'000);
+    for (std::size_t d = 0; d < schema.dimensions.size(); ++d) {
+      // Occasionally empty or high-cardinality values.
+      if (rng.chance(0.05)) {
+        row.dimensions.push_back("");
+      } else {
+        row.dimensions.push_back("v" + std::to_string(rng.below(50)));
+      }
+    }
+    for (const auto& m : schema.metrics) {
+      row.metrics.push_back(m.type == MetricType::kLong
+                                ? static_cast<double>(rng.between(-1e6, 1e6))
+                                : rng.uniform01() * 1e6 - 5e5);
+    }
+    builder.add(std::move(row));
+  }
+  SegmentId id;
+  id.dataSource = "fuzz";
+  id.interval = Interval(-2'000'000, 2'000'000);
+  id.version = "v" + std::to_string(rng.below(100));
+  id.partition = static_cast<std::uint32_t>(rng.below(8));
+  return builder.build(std::move(id));
+}
+
+void expectSegmentsEqual(const Segment& a, const Segment& b) {
+  ASSERT_EQ(a.id(), b.id());
+  ASSERT_EQ(a.schema(), b.schema());
+  ASSERT_EQ(a.rowCount(), b.rowCount());
+  EXPECT_EQ(a.timestamps(), b.timestamps());
+  for (std::size_t d = 0; d < a.schema().dimensions.size(); ++d) {
+    EXPECT_EQ(a.dim(d).ids, b.dim(d).ids) << "dim " << d;
+    ASSERT_EQ(a.dim(d).dict.size(), b.dim(d).dict.size());
+    for (std::size_t v = 0; v < a.dim(d).dict.size(); ++v) {
+      EXPECT_EQ(a.dim(d).bitmaps[v], b.dim(d).bitmaps[v])
+          << "dim " << d << " value " << v;
+    }
+  }
+  for (std::size_t m = 0; m < a.schema().metrics.size(); ++m) {
+    EXPECT_EQ(a.metric(m).longs, b.metric(m).longs);
+    EXPECT_EQ(a.metric(m).doubles, b.metric(m).doubles);
+  }
+}
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, RoundTripExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+  const Schema schema = randomSchema(rng);
+  const auto segment = randomSegment(rng, schema);
+  const auto restored = decodeSegment(encodeSegment(*segment));
+  expectSegmentsEqual(*segment, *restored);
+}
+
+TEST_P(CodecFuzz, BitFlipsNeverDecodeSilently) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const Schema schema = randomSchema(rng);
+  const auto segment = randomSegment(rng, schema);
+  std::string blob = encodeSegment(*segment);
+  for (int flip = 0; flip < 8; ++flip) {
+    std::string corrupted = blob;
+    const std::size_t pos = rng.below(corrupted.size());
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << rng.below(8)));
+    EXPECT_THROW(decodeSegment(corrupted), CorruptData)
+        << "flip at byte " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dpss::storage

@@ -1,0 +1,98 @@
+#include "storage/deep_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+namespace {
+
+class LocalDeepStorageTest : public ::testing::Test {
+ protected:
+  LocalDeepStorageTest()
+      : root_(std::filesystem::temp_directory_path() /
+              ("dpss_ds_test_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(root_);
+  }
+  ~LocalDeepStorageTest() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(LocalDeepStorageTest, PutGetRoundTrip) {
+  LocalDeepStorage ds(root_.string());
+  ds.put("ads/0-100/v1/0", "segment bytes here");
+  EXPECT_EQ(ds.get("ads/0-100/v1/0"), "segment bytes here");
+}
+
+TEST_F(LocalDeepStorageTest, BinaryBlobSurvives) {
+  LocalDeepStorage ds(root_.string());
+  std::string blob;
+  for (int i = 0; i < 1024; ++i) blob.push_back(static_cast<char>(i & 0xff));
+  ds.put("k", blob);
+  EXPECT_EQ(ds.get("k"), blob);
+}
+
+TEST_F(LocalDeepStorageTest, OverwriteIsAllowed) {
+  LocalDeepStorage ds(root_.string());
+  ds.put("k", "v1");
+  ds.put("k", "v2");
+  EXPECT_EQ(ds.get("k"), "v2");
+}
+
+TEST_F(LocalDeepStorageTest, MissingKeyThrowsNotFound) {
+  LocalDeepStorage ds(root_.string());
+  EXPECT_THROW(ds.get("nope"), NotFound);
+}
+
+TEST_F(LocalDeepStorageTest, ExistsAndRemove) {
+  LocalDeepStorage ds(root_.string());
+  ds.put("k", "v");
+  EXPECT_TRUE(ds.exists("k"));
+  ds.remove("k");
+  EXPECT_FALSE(ds.exists("k"));
+  EXPECT_THROW(ds.get("k"), NotFound);
+}
+
+TEST_F(LocalDeepStorageTest, SimilarKeysDoNotCollide) {
+  LocalDeepStorage ds(root_.string());
+  // Both sanitize to the same alnum skeleton; hash suffix must separate.
+  ds.put("ads/0-100/v1/0", "first");
+  ds.put("ads_0-100_v1_0", "second");
+  EXPECT_EQ(ds.get("ads/0-100/v1/0"), "first");
+  EXPECT_EQ(ds.get("ads_0-100_v1_0"), "second");
+}
+
+TEST_F(LocalDeepStorageTest, SurvivesReopen) {
+  {
+    LocalDeepStorage ds(root_.string());
+    ds.put("persistent", "data");
+  }
+  LocalDeepStorage ds2(root_.string());
+  EXPECT_EQ(ds2.get("persistent"), "data");  // path derivation is stateless
+}
+
+TEST(MemoryDeepStorage, BasicRoundTrip) {
+  MemoryDeepStorage ds;
+  ds.put("a", "1");
+  ds.put("b", "2");
+  EXPECT_EQ(ds.get("a"), "1");
+  EXPECT_EQ(ds.list(), (std::vector<std::string>{"a", "b"}));
+  ds.remove("a");
+  EXPECT_FALSE(ds.exists("a"));
+}
+
+TEST(MemoryDeepStorage, FaultInjection) {
+  MemoryDeepStorage ds;
+  ds.put("k", "v");
+  ds.failNextGets(2);
+  EXPECT_THROW(ds.get("k"), Unavailable);
+  EXPECT_THROW(ds.get("k"), Unavailable);
+  EXPECT_EQ(ds.get("k"), "v");  // recovers after injected failures
+  EXPECT_EQ(ds.getCount(), 3u);
+}
+
+}  // namespace
+}  // namespace dpss::storage

@@ -1,0 +1,83 @@
+#include "storage/dictionary_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+namespace {
+
+TEST(StringDictionary, PaperExampleEncoding) {
+  // §III-B: sina.com -> 0, yahoo.com -> 1, column [0, 0, 1, 1].
+  StringDictionary dict;
+  std::vector<std::uint32_t> column;
+  for (const auto* v : {"sina.com", "sina.com", "yahoo.com", "yahoo.com"}) {
+    column.push_back(dict.encode(v));
+  }
+  EXPECT_EQ(column, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+  EXPECT_EQ(dict.valueOf(0), "sina.com");
+  EXPECT_EQ(dict.valueOf(1), "yahoo.com");
+}
+
+TEST(StringDictionary, EncodeIsIdempotent) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.encode("a"), dict.encode("a"));
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(StringDictionary, IdOfWithoutInterning) {
+  StringDictionary dict;
+  dict.encode("x");
+  EXPECT_EQ(dict.idOf("x"), 0u);
+  EXPECT_FALSE(dict.idOf("y").has_value());
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(StringDictionary, FinalizeSortsValuesAndRemaps) {
+  StringDictionary dict;
+  std::vector<std::uint32_t> column = {dict.encode("zebra"),
+                                       dict.encode("apple"),
+                                       dict.encode("mango")};
+  const auto remap = dict.finalizeSorted();
+  for (auto& id : column) id = remap[id];
+  // Sorted: apple=0, mango=1, zebra=2.
+  EXPECT_EQ(column, (std::vector<std::uint32_t>{2, 0, 1}));
+  EXPECT_EQ(dict.valueOf(0), "apple");
+  EXPECT_EQ(dict.valueOf(2), "zebra");
+  EXPECT_EQ(dict.idOf("mango"), 1u);
+  EXPECT_TRUE(dict.finalized());
+}
+
+TEST(StringDictionary, NoInternAfterFinalize) {
+  StringDictionary dict;
+  dict.encode("a");
+  dict.finalizeSorted();
+  EXPECT_THROW(dict.encode("b"), InternalError);
+  EXPECT_THROW(dict.finalizeSorted(), InternalError);
+}
+
+TEST(StringDictionary, EmptyStringIsAValue) {
+  StringDictionary dict;
+  const auto id = dict.encode("");
+  EXPECT_EQ(dict.valueOf(id), "");
+  EXPECT_EQ(dict.idOf(""), id);
+}
+
+TEST(StringDictionary, SerializationRoundTrip) {
+  StringDictionary dict;
+  dict.encode("foo");
+  dict.encode("bar");
+  dict.finalizeSorted();
+  ByteWriter w;
+  dict.serialize(w);
+  ByteReader r(w.data());
+  const auto restored = StringDictionary::deserialize(r);
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.valueOf(0), "bar");
+  EXPECT_EQ(restored.valueOf(1), "foo");
+  EXPECT_TRUE(restored.finalized());
+  EXPECT_EQ(restored.idOf("foo"), 1u);
+}
+
+}  // namespace
+}  // namespace dpss::storage

@@ -1,0 +1,122 @@
+#include "storage/incremental_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace dpss::storage {
+namespace {
+
+Schema schema() {
+  Schema s;
+  s.dimensions = {"publisher", "country"};
+  s.metrics = {{"impressions", MetricType::kLong},
+               {"revenue", MetricType::kDouble}};
+  return s;
+}
+
+SegmentId segId() {
+  SegmentId id;
+  id.dataSource = "rt";
+  id.interval = Interval(0, 3'600'000);
+  id.version = "rt1";
+  id.partition = 0;
+  return id;
+}
+
+TEST(IncrementalIndex, RollupAggregatesSameKey) {
+  IncrementalIndex index(schema(), /*granularity=*/60'000);
+  index.add({30'000, {"sina", "cn"}, {100, 1.5}});
+  index.add({45'000, {"sina", "cn"}, {200, 2.5}});  // same minute, same dims
+  index.add({70'000, {"sina", "cn"}, {50, 0.5}});   // next minute
+  EXPECT_EQ(index.eventCount(), 3u);
+  EXPECT_EQ(index.rowCount(), 2u);
+
+  const auto seg = index.snapshot(segId());
+  ASSERT_EQ(seg->rowCount(), 2u);
+  EXPECT_EQ(seg->timestamps(), (std::vector<TimeMs>{0, 60'000}));
+  EXPECT_EQ(seg->metric(0).longs, (std::vector<std::int64_t>{300, 50}));
+  EXPECT_DOUBLE_EQ(seg->metric(1).doubles[0], 4.0);
+}
+
+TEST(IncrementalIndex, DifferentDimensionsStaySeparate) {
+  IncrementalIndex index(schema(), 60'000);
+  index.add({1000, {"sina", "cn"}, {1, 0.1}});
+  index.add({1000, {"yahoo", "us"}, {2, 0.2}});
+  EXPECT_EQ(index.rowCount(), 2u);
+}
+
+TEST(IncrementalIndex, RollupCompressionRatio) {
+  // The paper's "order of magnitude compression": many events, few keys.
+  IncrementalIndex index(schema(), 3'600'000);
+  for (int i = 0; i < 10'000; ++i) {
+    index.add({static_cast<TimeMs>(i * 100), {"p" + std::to_string(i % 10), "cn"},
+               {1, 0.01}});
+  }
+  EXPECT_EQ(index.eventCount(), 10'000u);
+  EXPECT_LE(index.rowCount(), 20u);  // 10 publishers × ≤2 hour buckets
+}
+
+TEST(IncrementalIndex, NoRollupKeepsEveryEvent) {
+  IncrementalIndex index(schema(), 0);
+  for (int i = 0; i < 100; ++i) {
+    index.add({1000, {"same", "same"}, {1, 1.0}});
+  }
+  EXPECT_EQ(index.rowCount(), 100u);
+  // The disambiguation tag must not leak into snapshots.
+  const auto seg = index.snapshot(segId());
+  EXPECT_EQ(seg->rowCount(), 100u);
+  EXPECT_EQ(seg->schema().dimensions.size(), 2u);
+  EXPECT_EQ(seg->valueBitmap(0, "same").cardinality(), 100u);
+}
+
+TEST(IncrementalIndex, NumericalAccuracyPreserved) {
+  // "without sacrificing the numerical accuracy": sums are exact.
+  IncrementalIndex index(schema(), 3'600'000);
+  for (int i = 1; i <= 1000; ++i) {
+    index.add({0, {"p", "c"}, {static_cast<double>(i), 0.25}});
+  }
+  const auto seg = index.snapshot(segId());
+  ASSERT_EQ(seg->rowCount(), 1u);
+  EXPECT_EQ(seg->metric(0).longs[0], 500'500);
+  EXPECT_DOUBLE_EQ(seg->metric(1).doubles[0], 250.0);
+}
+
+TEST(IncrementalIndex, MinMaxTimeTracksBuckets) {
+  IncrementalIndex index(schema(), 1000);
+  index.add({5500, {"a", "b"}, {1, 1.0}});
+  index.add({2500, {"a", "b"}, {1, 1.0}});
+  EXPECT_EQ(index.minTime(), 2000);
+  EXPECT_EQ(index.maxTime(), 5000);
+}
+
+TEST(IncrementalIndex, PersistAndClearEmptiesIndex) {
+  IncrementalIndex index(schema(), 1000);
+  index.add({100, {"a", "b"}, {1, 1.0}});
+  const auto seg = index.persistAndClear(segId());
+  EXPECT_EQ(seg->rowCount(), 1u);
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.eventCount(), 0u);
+  // Reusable after clear.
+  index.add({200, {"c", "d"}, {2, 2.0}});
+  EXPECT_EQ(index.rowCount(), 1u);
+}
+
+TEST(IncrementalIndex, SnapshotIsImmutableView) {
+  IncrementalIndex index(schema(), 1000);
+  index.add({100, {"a", "b"}, {1, 1.0}});
+  const auto before = index.snapshot(segId());
+  index.add({100, {"a", "b"}, {9, 9.0}});
+  EXPECT_EQ(before->metric(0).longs[0], 1);  // unchanged by later adds
+  const auto after = index.snapshot(segId());
+  EXPECT_EQ(after->metric(0).longs[0], 10);
+}
+
+TEST(IncrementalIndex, RejectsMalformedRows) {
+  IncrementalIndex index(schema(), 1000);
+  EXPECT_THROW(index.add({0, {"only-one-dim"}, {1, 1.0}}), InternalError);
+  EXPECT_THROW(index.add({0, {"a", "b"}, {1}}), InternalError);
+}
+
+}  // namespace
+}  // namespace dpss::storage
