@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lzf.dir/bench_ablation_lzf.cc.o"
+  "CMakeFiles/bench_ablation_lzf.dir/bench_ablation_lzf.cc.o.d"
+  "bench_ablation_lzf"
+  "bench_ablation_lzf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lzf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

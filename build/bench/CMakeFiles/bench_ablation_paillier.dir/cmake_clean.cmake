@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_paillier.dir/bench_ablation_paillier.cc.o"
+  "CMakeFiles/bench_ablation_paillier.dir/bench_ablation_paillier.cc.o.d"
+  "bench_ablation_paillier"
+  "bench_ablation_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

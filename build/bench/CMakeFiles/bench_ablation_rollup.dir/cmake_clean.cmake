@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rollup.dir/bench_ablation_rollup.cc.o"
+  "CMakeFiles/bench_ablation_rollup.dir/bench_ablation_rollup.cc.o.d"
+  "bench_ablation_rollup"
+  "bench_ablation_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

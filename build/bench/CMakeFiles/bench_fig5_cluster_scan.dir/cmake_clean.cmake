@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cluster_scan.dir/bench_fig5_cluster_scan.cc.o"
+  "CMakeFiles/bench_fig5_cluster_scan.dir/bench_fig5_cluster_scan.cc.o.d"
+  "bench_fig5_cluster_scan"
+  "bench_fig5_cluster_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cluster_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_core_scan.dir/bench_fig6_core_scan.cc.o"
+  "CMakeFiles/bench_fig6_core_scan.dir/bench_fig6_core_scan.cc.o.d"
+  "bench_fig6_core_scan"
+  "bench_fig6_core_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_core_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

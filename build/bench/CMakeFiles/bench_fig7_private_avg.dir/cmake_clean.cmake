@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_private_avg.dir/bench_fig7_private_avg.cc.o"
+  "CMakeFiles/bench_fig7_private_avg.dir/bench_fig7_private_avg.cc.o.d"
+  "bench_fig7_private_avg"
+  "bench_fig7_private_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_private_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_segments.cc" "bench/CMakeFiles/bench_table1_segments.dir/bench_table1_segments.cc.o" "gcc" "bench/CMakeFiles/bench_table1_segments.dir/bench_table1_segments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/dpss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

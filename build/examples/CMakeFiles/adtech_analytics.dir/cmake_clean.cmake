@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adtech_analytics.dir/adtech_analytics.cpp.o"
+  "CMakeFiles/adtech_analytics.dir/adtech_analytics.cpp.o.d"
+  "adtech_analytics"
+  "adtech_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adtech_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

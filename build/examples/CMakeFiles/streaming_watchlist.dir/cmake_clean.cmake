@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_watchlist.dir/streaming_watchlist.cpp.o"
+  "CMakeFiles/streaming_watchlist.dir/streaming_watchlist.cpp.o.d"
+  "streaming_watchlist"
+  "streaming_watchlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_watchlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

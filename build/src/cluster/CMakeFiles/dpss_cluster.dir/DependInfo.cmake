@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/broker_node.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/broker_node.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/broker_node.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/compaction.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/compaction.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/compaction.cc.o.d"
+  "/root/repo/src/cluster/coordinator_node.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/coordinator_node.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/coordinator_node.cc.o.d"
+  "/root/repo/src/cluster/historical_node.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/historical_node.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/historical_node.cc.o.d"
+  "/root/repo/src/cluster/message_queue.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/message_queue.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/message_queue.cc.o.d"
+  "/root/repo/src/cluster/metastore.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/metastore.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/metastore.cc.o.d"
+  "/root/repo/src/cluster/pss_client.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/pss_client.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/pss_client.cc.o.d"
+  "/root/repo/src/cluster/realtime_node.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/realtime_node.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/realtime_node.cc.o.d"
+  "/root/repo/src/cluster/registry.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/registry.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/registry.cc.o.d"
+  "/root/repo/src/cluster/transport.cc" "src/cluster/CMakeFiles/dpss_cluster.dir/transport.cc.o" "gcc" "src/cluster/CMakeFiles/dpss_cluster.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

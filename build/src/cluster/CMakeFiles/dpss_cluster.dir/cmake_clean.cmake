@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_cluster.dir/broker_node.cc.o"
+  "CMakeFiles/dpss_cluster.dir/broker_node.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dpss_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/compaction.cc.o"
+  "CMakeFiles/dpss_cluster.dir/compaction.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/coordinator_node.cc.o"
+  "CMakeFiles/dpss_cluster.dir/coordinator_node.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/historical_node.cc.o"
+  "CMakeFiles/dpss_cluster.dir/historical_node.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/message_queue.cc.o"
+  "CMakeFiles/dpss_cluster.dir/message_queue.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/metastore.cc.o"
+  "CMakeFiles/dpss_cluster.dir/metastore.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/pss_client.cc.o"
+  "CMakeFiles/dpss_cluster.dir/pss_client.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/realtime_node.cc.o"
+  "CMakeFiles/dpss_cluster.dir/realtime_node.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/registry.cc.o"
+  "CMakeFiles/dpss_cluster.dir/registry.cc.o.d"
+  "CMakeFiles/dpss_cluster.dir/transport.cc.o"
+  "CMakeFiles/dpss_cluster.dir/transport.cc.o.d"
+  "libdpss_cluster.a"
+  "libdpss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

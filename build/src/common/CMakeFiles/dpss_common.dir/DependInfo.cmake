@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cc" "src/common/CMakeFiles/dpss_common.dir/bytes.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/bytes.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/dpss_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/common/CMakeFiles/dpss_common.dir/error.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/error.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/common/CMakeFiles/dpss_common.dir/interval.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/interval.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/dpss_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/dpss_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/dpss_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/dpss_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

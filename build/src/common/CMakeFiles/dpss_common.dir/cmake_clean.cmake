@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_common.dir/bytes.cc.o"
+  "CMakeFiles/dpss_common.dir/bytes.cc.o.d"
+  "CMakeFiles/dpss_common.dir/clock.cc.o"
+  "CMakeFiles/dpss_common.dir/clock.cc.o.d"
+  "CMakeFiles/dpss_common.dir/error.cc.o"
+  "CMakeFiles/dpss_common.dir/error.cc.o.d"
+  "CMakeFiles/dpss_common.dir/interval.cc.o"
+  "CMakeFiles/dpss_common.dir/interval.cc.o.d"
+  "CMakeFiles/dpss_common.dir/logging.cc.o"
+  "CMakeFiles/dpss_common.dir/logging.cc.o.d"
+  "CMakeFiles/dpss_common.dir/rng.cc.o"
+  "CMakeFiles/dpss_common.dir/rng.cc.o.d"
+  "CMakeFiles/dpss_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dpss_common.dir/thread_pool.cc.o.d"
+  "libdpss_common.a"
+  "libdpss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

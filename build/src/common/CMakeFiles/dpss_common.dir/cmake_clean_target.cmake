@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpss_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/dpss_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/dpss_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/dpss_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/dpss_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/randomizer_pool.cc" "src/crypto/CMakeFiles/dpss_crypto.dir/randomizer_pool.cc.o" "gcc" "src/crypto/CMakeFiles/dpss_crypto.dir/randomizer_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_crypto.dir/bigint.cc.o"
+  "CMakeFiles/dpss_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/dpss_crypto.dir/paillier.cc.o"
+  "CMakeFiles/dpss_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/dpss_crypto.dir/randomizer_pool.cc.o"
+  "CMakeFiles/dpss_crypto.dir/randomizer_pool.cc.o.d"
+  "libdpss_crypto.a"
+  "libdpss_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

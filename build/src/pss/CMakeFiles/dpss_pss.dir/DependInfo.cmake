@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pss/blocking.cc" "src/pss/CMakeFiles/dpss_pss.dir/blocking.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/blocking.cc.o.d"
+  "/root/repo/src/pss/buffers.cc" "src/pss/CMakeFiles/dpss_pss.dir/buffers.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/buffers.cc.o.d"
+  "/root/repo/src/pss/dictionary.cc" "src/pss/CMakeFiles/dpss_pss.dir/dictionary.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/dictionary.cc.o.d"
+  "/root/repo/src/pss/linear_solver.cc" "src/pss/CMakeFiles/dpss_pss.dir/linear_solver.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/linear_solver.cc.o.d"
+  "/root/repo/src/pss/ostrovsky.cc" "src/pss/CMakeFiles/dpss_pss.dir/ostrovsky.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/ostrovsky.cc.o.d"
+  "/root/repo/src/pss/query.cc" "src/pss/CMakeFiles/dpss_pss.dir/query.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/query.cc.o.d"
+  "/root/repo/src/pss/reconstruct.cc" "src/pss/CMakeFiles/dpss_pss.dir/reconstruct.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/reconstruct.cc.o.d"
+  "/root/repo/src/pss/searcher.cc" "src/pss/CMakeFiles/dpss_pss.dir/searcher.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/searcher.cc.o.d"
+  "/root/repo/src/pss/session.cc" "src/pss/CMakeFiles/dpss_pss.dir/session.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/session.cc.o.d"
+  "/root/repo/src/pss/streaming.cc" "src/pss/CMakeFiles/dpss_pss.dir/streaming.cc.o" "gcc" "src/pss/CMakeFiles/dpss_pss.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_pss.dir/blocking.cc.o"
+  "CMakeFiles/dpss_pss.dir/blocking.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/buffers.cc.o"
+  "CMakeFiles/dpss_pss.dir/buffers.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/dictionary.cc.o"
+  "CMakeFiles/dpss_pss.dir/dictionary.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/linear_solver.cc.o"
+  "CMakeFiles/dpss_pss.dir/linear_solver.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/ostrovsky.cc.o"
+  "CMakeFiles/dpss_pss.dir/ostrovsky.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/query.cc.o"
+  "CMakeFiles/dpss_pss.dir/query.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/reconstruct.cc.o"
+  "CMakeFiles/dpss_pss.dir/reconstruct.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/searcher.cc.o"
+  "CMakeFiles/dpss_pss.dir/searcher.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/session.cc.o"
+  "CMakeFiles/dpss_pss.dir/session.cc.o.d"
+  "CMakeFiles/dpss_pss.dir/streaming.cc.o"
+  "CMakeFiles/dpss_pss.dir/streaming.cc.o.d"
+  "libdpss_pss.a"
+  "libdpss_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

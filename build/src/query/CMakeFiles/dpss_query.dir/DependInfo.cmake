@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/dpss_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/filter.cc" "src/query/CMakeFiles/dpss_query.dir/filter.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/filter.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/dpss_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/query.cc.o.d"
+  "/root/repo/src/query/result.cc" "src/query/CMakeFiles/dpss_query.dir/result.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/result.cc.o.d"
+  "/root/repo/src/query/sql.cc" "src/query/CMakeFiles/dpss_query.dir/sql.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/sql.cc.o.d"
+  "/root/repo/src/query/timeline.cc" "src/query/CMakeFiles/dpss_query.dir/timeline.cc.o" "gcc" "src/query/CMakeFiles/dpss_query.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

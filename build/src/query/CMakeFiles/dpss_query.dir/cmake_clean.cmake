@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_query.dir/engine.cc.o"
+  "CMakeFiles/dpss_query.dir/engine.cc.o.d"
+  "CMakeFiles/dpss_query.dir/filter.cc.o"
+  "CMakeFiles/dpss_query.dir/filter.cc.o.d"
+  "CMakeFiles/dpss_query.dir/query.cc.o"
+  "CMakeFiles/dpss_query.dir/query.cc.o.d"
+  "CMakeFiles/dpss_query.dir/result.cc.o"
+  "CMakeFiles/dpss_query.dir/result.cc.o.d"
+  "CMakeFiles/dpss_query.dir/sql.cc.o"
+  "CMakeFiles/dpss_query.dir/sql.cc.o.d"
+  "CMakeFiles/dpss_query.dir/timeline.cc.o"
+  "CMakeFiles/dpss_query.dir/timeline.cc.o.d"
+  "libdpss_query.a"
+  "libdpss_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/adtech.cc" "src/storage/CMakeFiles/dpss_storage.dir/adtech.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/adtech.cc.o.d"
+  "/root/repo/src/storage/batch_indexer.cc" "src/storage/CMakeFiles/dpss_storage.dir/batch_indexer.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/batch_indexer.cc.o.d"
+  "/root/repo/src/storage/bitmap.cc" "src/storage/CMakeFiles/dpss_storage.dir/bitmap.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/bitmap.cc.o.d"
+  "/root/repo/src/storage/concise.cc" "src/storage/CMakeFiles/dpss_storage.dir/concise.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/concise.cc.o.d"
+  "/root/repo/src/storage/deep_storage.cc" "src/storage/CMakeFiles/dpss_storage.dir/deep_storage.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/deep_storage.cc.o.d"
+  "/root/repo/src/storage/dictionary_encoder.cc" "src/storage/CMakeFiles/dpss_storage.dir/dictionary_encoder.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/dictionary_encoder.cc.o.d"
+  "/root/repo/src/storage/incremental_index.cc" "src/storage/CMakeFiles/dpss_storage.dir/incremental_index.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/incremental_index.cc.o.d"
+  "/root/repo/src/storage/lzf.cc" "src/storage/CMakeFiles/dpss_storage.dir/lzf.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/lzf.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/dpss_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/storage/CMakeFiles/dpss_storage.dir/segment.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/segment.cc.o.d"
+  "/root/repo/src/storage/segment_builder.cc" "src/storage/CMakeFiles/dpss_storage.dir/segment_builder.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/segment_builder.cc.o.d"
+  "/root/repo/src/storage/segment_codec.cc" "src/storage/CMakeFiles/dpss_storage.dir/segment_codec.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/segment_codec.cc.o.d"
+  "/root/repo/src/storage/segment_id.cc" "src/storage/CMakeFiles/dpss_storage.dir/segment_id.cc.o" "gcc" "src/storage/CMakeFiles/dpss_storage.dir/segment_id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpss_storage.dir/adtech.cc.o"
+  "CMakeFiles/dpss_storage.dir/adtech.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/batch_indexer.cc.o"
+  "CMakeFiles/dpss_storage.dir/batch_indexer.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/bitmap.cc.o"
+  "CMakeFiles/dpss_storage.dir/bitmap.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/concise.cc.o"
+  "CMakeFiles/dpss_storage.dir/concise.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/deep_storage.cc.o"
+  "CMakeFiles/dpss_storage.dir/deep_storage.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/dictionary_encoder.cc.o"
+  "CMakeFiles/dpss_storage.dir/dictionary_encoder.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/incremental_index.cc.o"
+  "CMakeFiles/dpss_storage.dir/incremental_index.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/lzf.cc.o"
+  "CMakeFiles/dpss_storage.dir/lzf.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/schema.cc.o"
+  "CMakeFiles/dpss_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/segment.cc.o"
+  "CMakeFiles/dpss_storage.dir/segment.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/segment_builder.cc.o"
+  "CMakeFiles/dpss_storage.dir/segment_builder.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/segment_codec.cc.o"
+  "CMakeFiles/dpss_storage.dir/segment_codec.cc.o.d"
+  "CMakeFiles/dpss_storage.dir/segment_id.cc.o"
+  "CMakeFiles/dpss_storage.dir/segment_id.cc.o.d"
+  "libdpss_storage.a"
+  "libdpss_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpss_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/broker_routing_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/broker_routing_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/broker_routing_test.cc.o.d"
+  "/root/repo/tests/cluster/cluster_integration_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_integration_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_integration_test.cc.o.d"
+  "/root/repo/tests/cluster/compaction_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/compaction_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/compaction_test.cc.o.d"
+  "/root/repo/tests/cluster/concurrency_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/concurrency_test.cc.o.d"
+  "/root/repo/tests/cluster/coordinator_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/coordinator_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/coordinator_test.cc.o.d"
+  "/root/repo/tests/cluster/differential_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/differential_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/differential_test.cc.o.d"
+  "/root/repo/tests/cluster/failure_injection_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cc.o.d"
+  "/root/repo/tests/cluster/message_queue_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/message_queue_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/message_queue_test.cc.o.d"
+  "/root/repo/tests/cluster/metastore_transport_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/metastore_transport_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/metastore_transport_test.cc.o.d"
+  "/root/repo/tests/cluster/private_search_cluster_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/private_search_cluster_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/private_search_cluster_test.cc.o.d"
+  "/root/repo/tests/cluster/realtime_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/realtime_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/realtime_test.cc.o.d"
+  "/root/repo/tests/cluster/registry_stress_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/registry_stress_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/registry_stress_test.cc.o.d"
+  "/root/repo/tests/cluster/registry_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/registry_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/registry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dpss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

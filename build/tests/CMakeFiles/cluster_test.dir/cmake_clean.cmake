@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster/broker_routing_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/broker_routing_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/cluster_integration_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/cluster_integration_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/compaction_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/compaction_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/concurrency_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/concurrency_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/coordinator_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/coordinator_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/differential_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/differential_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/failure_injection_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/message_queue_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/message_queue_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/metastore_transport_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/metastore_transport_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/private_search_cluster_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/private_search_cluster_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/realtime_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/realtime_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/registry_stress_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/registry_stress_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/registry_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster/registry_test.cc.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/bigint_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/bigint_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bigint_test.cc.o.d"
+  "/root/repo/tests/crypto/paillier_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/paillier_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/paillier_test.cc.o.d"
+  "/root/repo/tests/crypto/prf_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/prf_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/prf_test.cc.o.d"
+  "/root/repo/tests/crypto/randomizer_pool_test.cc" "tests/CMakeFiles/crypto_test.dir/crypto/randomizer_pool_test.cc.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/randomizer_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dpss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

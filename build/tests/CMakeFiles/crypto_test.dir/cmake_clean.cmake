@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/bigint_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/bigint_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/paillier_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/paillier_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/prf_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/prf_test.cc.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/randomizer_pool_test.cc.o"
+  "CMakeFiles/crypto_test.dir/crypto/randomizer_pool_test.cc.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pss/blocking_test.cc" "tests/CMakeFiles/pss_test.dir/pss/blocking_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/blocking_test.cc.o.d"
+  "/root/repo/tests/pss/dictionary_test.cc" "tests/CMakeFiles/pss_test.dir/pss/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/dictionary_test.cc.o.d"
+  "/root/repo/tests/pss/linear_solver_test.cc" "tests/CMakeFiles/pss_test.dir/pss/linear_solver_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/linear_solver_test.cc.o.d"
+  "/root/repo/tests/pss/loss_sweep_test.cc" "tests/CMakeFiles/pss_test.dir/pss/loss_sweep_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/loss_sweep_test.cc.o.d"
+  "/root/repo/tests/pss/ostrovsky_test.cc" "tests/CMakeFiles/pss_test.dir/pss/ostrovsky_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/ostrovsky_test.cc.o.d"
+  "/root/repo/tests/pss/query_test.cc" "tests/CMakeFiles/pss_test.dir/pss/query_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/query_test.cc.o.d"
+  "/root/repo/tests/pss/search_e2e_test.cc" "tests/CMakeFiles/pss_test.dir/pss/search_e2e_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/search_e2e_test.cc.o.d"
+  "/root/repo/tests/pss/security_test.cc" "tests/CMakeFiles/pss_test.dir/pss/security_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/security_test.cc.o.d"
+  "/root/repo/tests/pss/streaming_test.cc" "tests/CMakeFiles/pss_test.dir/pss/streaming_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/streaming_test.cc.o.d"
+  "/root/repo/tests/pss/threshold_test.cc" "tests/CMakeFiles/pss_test.dir/pss/threshold_test.cc.o" "gcc" "tests/CMakeFiles/pss_test.dir/pss/threshold_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dpss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pss_test.dir/pss/blocking_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/blocking_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/dictionary_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/dictionary_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/linear_solver_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/linear_solver_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/loss_sweep_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/loss_sweep_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/ostrovsky_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/ostrovsky_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/query_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/query_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/search_e2e_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/search_e2e_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/security_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/security_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/streaming_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/streaming_test.cc.o.d"
+  "CMakeFiles/pss_test.dir/pss/threshold_test.cc.o"
+  "CMakeFiles/pss_test.dir/pss/threshold_test.cc.o.d"
+  "pss_test"
+  "pss_test.pdb"
+  "pss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/batch_indexer_test.cc" "tests/CMakeFiles/storage_test.dir/storage/batch_indexer_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/batch_indexer_test.cc.o.d"
+  "/root/repo/tests/storage/bitmap_test.cc" "tests/CMakeFiles/storage_test.dir/storage/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/bitmap_test.cc.o.d"
+  "/root/repo/tests/storage/codec_fuzz_test.cc" "tests/CMakeFiles/storage_test.dir/storage/codec_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/codec_fuzz_test.cc.o.d"
+  "/root/repo/tests/storage/concise_test.cc" "tests/CMakeFiles/storage_test.dir/storage/concise_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/concise_test.cc.o.d"
+  "/root/repo/tests/storage/deep_storage_test.cc" "tests/CMakeFiles/storage_test.dir/storage/deep_storage_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/deep_storage_test.cc.o.d"
+  "/root/repo/tests/storage/dictionary_encoder_test.cc" "tests/CMakeFiles/storage_test.dir/storage/dictionary_encoder_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/dictionary_encoder_test.cc.o.d"
+  "/root/repo/tests/storage/incremental_index_test.cc" "tests/CMakeFiles/storage_test.dir/storage/incremental_index_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/incremental_index_test.cc.o.d"
+  "/root/repo/tests/storage/lzf_test.cc" "tests/CMakeFiles/storage_test.dir/storage/lzf_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/lzf_test.cc.o.d"
+  "/root/repo/tests/storage/segment_test.cc" "tests/CMakeFiles/storage_test.dir/storage/segment_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/segment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dpss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/dpss_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dpss_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dpss_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dpss_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

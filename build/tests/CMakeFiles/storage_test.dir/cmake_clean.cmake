@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/batch_indexer_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/batch_indexer_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/bitmap_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/bitmap_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/codec_fuzz_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/codec_fuzz_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/concise_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/concise_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/deep_storage_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/deep_storage_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/dictionary_encoder_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/dictionary_encoder_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/incremental_index_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/incremental_index_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/lzf_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/lzf_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/segment_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/segment_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
