@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/scaling_sim.h"
+#include "obs/metrics.h"
 #include "query/engine.h"
 #include "query/result.h"
 #include "storage/adtech.h"
@@ -76,5 +77,10 @@ int main() {
     }
     std::printf("  %10.2f\n", q1At5 * (static_cast<double>(nodes) / 5.0) / 1e6);
   }
+
+  // Scan-layer metrics recorded underneath the measurements, as Prometheus
+  // text on stderr (stdout stays a clean data table for plotting).
+  std::fprintf(stderr, "%s",
+               obs::renderText(obs::globalRegistry().snapshot()).c_str());
   return 0;
 }

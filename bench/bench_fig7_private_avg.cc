@@ -21,6 +21,7 @@
 #include "common/error.h"
 
 #include "bench/scaling_sim.h"
+#include "obs/metrics.h"
 #include "pss/ostrovsky.h"
 #include "pss/session.h"
 
@@ -130,5 +131,10 @@ int main() {
       return 1;
     }
   }
+
+  // Crypto-layer cost breakdown (Paillier op counts, fold timings) as
+  // JSON on stderr, leaving the stdout data table clean.
+  std::fprintf(stderr, "%s\n",
+               obs::renderJson(obs::globalRegistry().snapshot()).c_str());
   return 0;
 }

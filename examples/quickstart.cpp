@@ -5,9 +5,14 @@
 // ever sees are Paillier ciphertexts); the client opens the returned
 // three-buffer envelope and recovers exactly the matching documents.
 //
+// Afterwards it dumps the process-global metrics registry as Prometheus
+// text — the Paillier op counts and timings recorded underneath the
+// search by src/obs/.
+//
 //   ./examples/quickstart
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "pss/session.h"
 
 int main() {
@@ -52,5 +57,9 @@ int main() {
                 static_cast<unsigned long long>(m.cValue),
                 m.cValue == 1 ? "" : "s", m.payload.c_str());
   }
+
+  // What the search cost, straight from the instrumentation layer.
+  std::printf("\n--- metrics (Prometheus exposition) ---\n%s",
+              obs::renderText(obs::globalRegistry().snapshot()).c_str());
   return matches.size() == 3 ? 0 : 1;
 }

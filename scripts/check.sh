@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the code whose
+# correctness depends on concurrency: the obs/ metrics+tracing layer and
+# the thread pool. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: full build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== tsan: obs_test + thread_pool under -fsanitize=thread =="
+cmake -B build-tsan -S . -DDPSS_SANITIZE=thread >/dev/null
+cmake --build build-tsan --target obs_test common_test -j "$JOBS" >/dev/null
+./build-tsan/tests/obs_test
+./build-tsan/tests/common_test --gtest_filter='ThreadPool.*'
+
+echo
+echo "all checks passed"

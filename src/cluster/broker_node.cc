@@ -3,13 +3,31 @@
 #include <future>
 
 #include "cluster/names.h"
+#include "cluster/stats.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace dpss::cluster {
 
 using storage::SegmentId;
+
+namespace {
+
+const obs::MetricId kQueryCount = obs::internCounter("broker.query.count");
+const obs::MetricId kQueryNs = obs::internHistogram("broker.query.ns");
+const obs::MetricId kScatterLatencyNs =
+    obs::internHistogram("broker.scatter.latency_ns");
+const obs::MetricId kScatterRpcs = obs::internCounter("broker.scatter.rpcs");
+const obs::MetricId kCacheHits = obs::internCounter("broker.cache.hits");
+const obs::MetricId kCacheMisses = obs::internCounter("broker.cache.misses");
+const obs::MetricId kCacheLossServes =
+    obs::internCounter("broker.cache.loss_serves");
+const obs::MetricId kMergeNs = obs::internHistogram("broker.merge.ns");
+const obs::MetricId kPssSearches = obs::internCounter("broker.pss.searches");
+
+}  // namespace
 
 BrokerNode::BrokerNode(std::string name, Registry& registry,
                        Transport& transport, BrokerOptions options)
@@ -31,6 +49,14 @@ void BrokerNode::start() {
   pool_ = std::make_unique<ThreadPool>(options_.scatterThreads);
   running_ = true;
   viewDirty_ = true;
+  // The broker answers stats probes (it never announces, so the
+  // coordinator lists it explicitly when assembling cluster stats).
+  transport_.bind(name_, [this](const std::string& req) {
+    if (req.empty() || static_cast<std::uint8_t>(req[0]) != rpc::kStats) {
+      throw CorruptData("broker serves only stats rpcs");
+    }
+    return handleStatsRpc(obs_, req.substr(1));
+  });
   // Any announcement change anywhere invalidates the global view; the
   // next query rebuilds it from the registry.
   watchIds_.push_back(registry_.watchChildren(
@@ -50,6 +76,7 @@ void BrokerNode::stop() {
     nodeWatches_.clear();
   }
   for (const auto id : watches) registry_.unwatch(id);
+  transport_.unbind(name_);
   std::lock_guard<std::mutex> lock(mu_);
   registry_.expire(session_);
   session_.reset();
@@ -90,6 +117,12 @@ BrokerNode::View BrokerNode::buildView() {
 }
 
 BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
+  obs::ScopedRegistry obsScope(obs_);
+  obs::SpanGuard querySpan("broker.query");
+  querySpan.tag("data_source", spec.dataSource);
+  obs_.counter(kQueryCount).inc();
+  obs::ScopedTimer queryTimer(obs_.histogram(kQueryNs));
+
   // Snapshot routing decisions under one lock: visible segments and the
   // replica rotation for each.
   struct Target {
@@ -128,24 +161,43 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
 
   BrokerQueryOutcome outcome;
   outcome.segmentsQueried = targets.size();
+  outcome.traceId = querySpan.traceId();
 
   // Scatter: one task per segment (the paper's parallel query unit).
+  // Pool workers re-enter this node's observability scope and continue
+  // the query's trace explicitly — thread-locals don't cross the pool.
+  const obs::TraceContext traceCtx = obs::currentTraceContext();
   std::mutex statsMu;
   std::vector<std::future<query::QueryResult>> futures;
   futures.reserve(targets.size());
   for (const auto& target : targets) {
-    futures.push_back(pool_->submit([this, target, spec, &outcome,
-                                     &statsMu]() -> query::QueryResult {
+    futures.push_back(pool_->submit([this, target, spec, &outcome, &statsMu,
+                                     traceCtx]() -> query::QueryResult {
+      obs::ScopedRegistry obsScope(obs_);
+      obs::TraceScope traceScope(traceCtx);
+      obs::SpanGuard scatterSpan("broker.scatter");
+      scatterSpan.tag("segment", target.id.toString());
       // Segments are immutable, so a cached partial is always valid.
-      if (auto cached = cacheGet(target.cacheKey)) {
-        std::lock_guard<std::mutex> lock(statsMu);
-        ++outcome.cacheHits;
-        if (target.replicas.empty()) ++outcome.servedFromCacheAfterLoss;
-        return *cached;
+      {
+        obs::SpanGuard probeSpan("broker.cache.probe");
+        if (auto cached = cacheGet(target.cacheKey)) {
+          obs_.counter(kCacheHits).inc();
+          if (target.replicas.empty()) obs_.counter(kCacheLossServes).inc();
+          std::lock_guard<std::mutex> lock(statsMu);
+          ++outcome.cacheHits;
+          if (target.replicas.empty()) ++outcome.servedFromCacheAfterLoss;
+          return *cached;
+        }
       }
+      obs_.counter(kCacheMisses).inc();
       for (const auto& node : target.replicas) {
         try {
+          obs_.counter(kScatterRpcs).inc();
+          const std::uint64_t rpcStart = obs::nowNanos();
           auto result = callQuerySegment(transport_, node, target.id, spec);
+          obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
+                                                    rpcStart);
+          scatterSpan.tag("node", node);
           cachePut(target.cacheKey, result);
           return result;
         } catch (const Unavailable&) {
@@ -161,6 +213,8 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
 
   // Drain every future before any rethrow: tasks capture references to
   // this frame, so unwinding with tasks still running would dangle.
+  obs::SpanGuard mergeSpan("broker.merge");
+  obs::ScopedTimer mergeTimer(obs_.histogram(kMergeNs));
   query::QueryResult merged;
   std::size_t lost = 0;
   std::string firstLost;
@@ -191,7 +245,13 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
 
 std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     const std::string& docSource, const pss::Dictionary& dictionary,
-    const pss::EncryptedQuery& encryptedQuery) {
+    const pss::EncryptedQuery& encryptedQuery, std::uint64_t* traceIdOut) {
+  obs::ScopedRegistry obsScope(obs_);
+  obs::SpanGuard searchSpan("broker.private_search");
+  searchSpan.tag("doc_source", docSource);
+  obs_.counter(kPssSearches).inc();
+  if (traceIdOut != nullptr) *traceIdOut = searchSpan.traceId();
+
   // Discover nodes holding slices of the document source and their
   // maximum payload size, so every node searches with the same s.
   std::vector<std::string> nodes;
@@ -249,9 +309,18 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     }
     w.u64(seed);
     std::string request = w.take();
+    const obs::TraceContext traceCtx = obs::currentTraceContext();
     futures.push_back(pool_->submit(
-        [this, node = slice.node, request = std::move(request)] {
+        [this, node = slice.node, request = std::move(request), traceCtx] {
+          obs::ScopedRegistry obsScope(obs_);
+          obs::TraceScope traceScope(traceCtx);
+          obs::SpanGuard span("broker.pss.scatter");
+          span.tag("node", node);
+          obs_.counter(kScatterRpcs).inc();
+          const std::uint64_t rpcStart = obs::nowNanos();
           const std::string resp = transport_.call(node, request);
+          obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
+                                                    rpcStart);
           ByteReader r(resp);
           return pss::SearchResultEnvelope::deserialize(r);
         }));

@@ -27,6 +27,7 @@
 #include "cluster/transport.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "pss/query.h"
 #include "pss/searcher.h"
 #include "query/result.h"
@@ -45,6 +46,9 @@ struct BrokerQueryOutcome {
   std::size_t segmentsQueried = 0;
   std::size_t cacheHits = 0;
   std::size_t servedFromCacheAfterLoss = 0;
+  /// Trace id of this query's span tree (cumulative totals live in the
+  /// broker's obs::MetricsRegistry, not here).
+  std::uint64_t traceId = 0;
 };
 
 class BrokerNode {
@@ -67,9 +71,14 @@ class BrokerNode {
   /// source: every node announcing a slice of `docSource` searches its
   /// slice in parallel with the client's encrypted query; the returned
   /// envelopes (one per slice) go back to the client for reconstruction.
+  /// `traceIdOut`, when non-null, receives the search's trace id.
   std::vector<pss::SearchResultEnvelope> privateSearch(
       const std::string& docSource, const pss::Dictionary& dictionary,
-      const pss::EncryptedQuery& encryptedQuery);
+      const pss::EncryptedQuery& encryptedQuery,
+      std::uint64_t* traceIdOut = nullptr);
+
+  /// This node's metrics + span store (also served over rpc::kStats).
+  obs::MetricsRegistry& metrics() { return obs_; }
 
   /// Current global view, for tests: data source -> timeline.
   std::vector<storage::SegmentId> visibleSegments(
@@ -90,6 +99,7 @@ class BrokerNode {
   Registry& registry_;
   Transport& transport_;
   BrokerOptions options_;
+  obs::MetricsRegistry obs_{name_};
 
   std::mutex mu_;
   SessionPtr session_;

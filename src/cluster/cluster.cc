@@ -98,4 +98,9 @@ void Cluster::converge(int maxCycles) {
   }
 }
 
+ClusterStats Cluster::collectStats(std::uint64_t traceIdFilter) {
+  return coordinator_->collectClusterStats(transport_, {broker_->name()},
+                                           traceIdFilter);
+}
+
 }  // namespace dpss::cluster

@@ -75,6 +75,11 @@ class Cluster {
   /// Runs coordinator cycles until no new work is issued (stable state).
   void converge(int maxCycles = 10);
 
+  /// Cluster-wide metrics + span snapshot, assembled by the coordinator
+  /// over rpc::kStats (the broker never announces, so it is polled
+  /// explicitly). Pass a trace id to restrict spans to one query.
+  ClusterStats collectStats(std::uint64_t traceIdFilter = 0);
+
  private:
   Clock& clock_;
   ClusterOptions options_;

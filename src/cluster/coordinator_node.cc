@@ -128,4 +128,11 @@ CoordinatorStats CoordinatorNode::runOnce() {
   return stats;
 }
 
+ClusterStats CoordinatorNode::collectClusterStats(
+    Transport& transport, const std::vector<std::string>& extraNodes,
+    std::uint64_t traceIdFilter) {
+  return dpss::cluster::collectClusterStats(registry_, transport, extraNodes,
+                                            traceIdFilter);
+}
+
 }  // namespace dpss::cluster

@@ -18,6 +18,8 @@
 
 #include "cluster/metastore.h"
 #include "cluster/registry.h"
+#include "cluster/stats.h"
+#include "cluster/transport.h"
 #include "common/clock.h"
 
 namespace dpss::cluster {
@@ -37,6 +39,13 @@ class CoordinatorNode {
   /// the cluster"). Deterministic and idempotent: a second run with no
   /// state change issues nothing.
   CoordinatorStats runOnce();
+
+  /// Assembles the cluster-wide observability snapshot by polling every
+  /// announced node (plus `extraNodes`, e.g. the broker, which answers
+  /// queries but never announces) over rpc::kStats.
+  ClusterStats collectClusterStats(
+      Transport& transport, const std::vector<std::string>& extraNodes = {},
+      std::uint64_t traceIdFilter = 0);
 
   const std::string& name() const { return name_; }
 

@@ -3,10 +3,12 @@
 #include <future>
 
 #include "cluster/names.h"
+#include "cluster/stats.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "pss/searcher.h"
 #include "query/engine.h"
 #include "storage/segment_codec.h"
@@ -15,6 +17,24 @@ namespace dpss::cluster {
 
 using storage::SegmentId;
 using storage::SegmentPtr;
+
+namespace {
+
+const obs::MetricId kSegmentsScanned =
+    obs::internCounter("historical.segments.scanned");
+const obs::MetricId kScanNs = obs::internHistogram("historical.scan.ns");
+const obs::MetricId kSegmentsLoaded =
+    obs::internCounter("historical.segments.loaded");
+const obs::MetricId kLoadNs = obs::internHistogram("historical.load.ns");
+const obs::MetricId kDownloads =
+    obs::internCounter("historical.deep_storage.downloads");
+const obs::MetricId kDiskCacheHits =
+    obs::internCounter("historical.disk_cache.hits");
+const obs::MetricId kPssSlices =
+    obs::internCounter("historical.pss.slice_searches");
+const obs::MetricId kServedGauge = obs::internGauge("historical.segments.served");
+
+}  // namespace
 
 HistoricalNode::HistoricalNode(std::string name, Registry& registry,
                                storage::DeepStorage& deepStorage,
@@ -37,7 +57,7 @@ void HistoricalNode::start() {
     std::lock_guard<std::mutex> lock(mu_);
     DPSS_CHECK_MSG(!running_, "node already running");
     session_ = registry_.connect(name_);
-    pool_ = std::make_unique<ThreadPool>(options_.workerThreads);
+    pool_ = std::make_shared<ThreadPool>(options_.workerThreads);
     running_ = true;
   }
   // Announce the node itself (ephemeral: crash -> vanishes).
@@ -132,6 +152,8 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
     std::lock_guard<std::mutex> lock(mu_);
     if (served_.count(id) > 0) return;  // idempotent
   }
+  obs::ScopedRegistry obsScope(obs_);
+  obs::ScopedTimer loadTimer(obs_.histogram(kLoadNs));
   std::string blob;
   bool fromCache = false;
   {
@@ -144,9 +166,11 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
   }
   if (fromCache) {
     cacheHits_.fetch_add(1);
+    obs_.counter(kDiskCacheHits).inc();
   } else {
     blob = deepStorage_.get(key);  // may throw Unavailable/NotFound
     downloads_.fetch_add(1);
+    obs_.counter(kDownloads).inc();
     std::lock_guard<std::mutex> lock(mu_);
     localDisk_[key] = blob;
   }
@@ -154,7 +178,9 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     served_[id] = std::move(segment);
+    obs_.gauge(kServedGauge).set(static_cast<std::int64_t>(served_.size()));
   }
+  obs_.counter(kSegmentsLoaded).inc();
   // Publish: the segment is queryable from this moment. The znode data is
   // the canonical id string (the znode name is an escaped, lossy form).
   registry_.create(paths::servedSegment(name_, id), id.toString(), session_,
@@ -166,6 +192,7 @@ void HistoricalNode::dropSegment(const SegmentId& id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     served_.erase(id);
+    obs_.gauge(kServedGauge).set(static_cast<std::int64_t>(served_.size()));
   }
   registry_.remove(paths::servedSegment(name_, id));
   DPSS_LOG(Info) << name_ << " dropped " << id.toString();
@@ -204,9 +231,20 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
   const auto tag = static_cast<std::uint8_t>(request[0]);
   const std::string body = request.substr(1);
 
+  // Everything node-side records into this node's registry; the trace
+  // context was installed by the transport before we got here.
+  obs::ScopedRegistry obsScope(obs_);
+
+  if (tag == rpc::kStats) {
+    return handleStatsRpc(obs_, body);
+  }
+
   if (tag == rpc::kQuerySegment) {
+    obs::SpanGuard rpcSpan("historical.query_segment");
     const auto req = SegmentQueryRequest::decode(body);
+    rpcSpan.tag("segment", req.segment.toString());
     SegmentPtr segment;
+    std::shared_ptr<ThreadPool> pool;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = served_.find(req.segment);
@@ -214,14 +252,27 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
         throw NotFound("segment not served here: " + req.segment.toString());
       }
       segment = it->second;
+      pool = pool_;  // pin across a concurrent crash()/stop()
     }
+    if (pool == nullptr) throw Unavailable("node stopping: " + name_);
     // The scan runs on the node's bounded pool: with many concurrent
     // segment RPCs the pool enforces the paper's threads-per-node cap.
-    auto fut = pool_->submit([segment, spec = req.spec] {
+    const obs::TraceContext traceCtx = obs::currentTraceContext();
+    auto fut = pool->submit([this, segment, spec = req.spec, traceCtx] {
+      obs::ScopedRegistry scanScope(obs_);
+      obs::TraceScope traceScope(traceCtx);
+      obs::SpanGuard scanSpan("historical.scan.segment");
+      obs_.counter(kSegmentsScanned).inc();
+      obs::ScopedTimer scanTimer(obs_.histogram(kScanNs));
       return query::scanSegment(*segment, spec);
     });
     ByteWriter w;
-    fut.get().serialize(w);
+    try {
+      fut.get().serialize(w);
+    } catch (const std::future_error&) {
+      // The pool died under us anyway; to the caller this is a node loss.
+      throw Unavailable("node stopped mid-scan: " + name_);
+    }
     return w.take();
   }
 
@@ -245,6 +296,8 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
   }
 
   if (tag == rpc::kPssSearch) {
+    obs::SpanGuard sliceSpan("historical.pss.slice_search");
+    obs_.counter(kPssSlices).inc();
     ByteReader r(body);
     const std::string docSource = r.str();
     const std::uint64_t dictSize = r.varint();

@@ -27,6 +27,7 @@
 #include "cluster/registry.h"
 #include "cluster/transport.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "pss/dictionary.h"
 #include "storage/deep_storage.h"
 #include "storage/segment.h"
@@ -81,6 +82,9 @@ class HistoricalNode {
   void loadDocuments(const std::string& docSource, std::uint64_t baseIndex,
                      std::vector<std::string> documents);
 
+  /// This node's metrics + span store (also served over rpc::kStats).
+  obs::MetricsRegistry& metrics() { return obs_; }
+
  private:
   void onLoadQueueEvent();
   void processAssignment(const std::string& entryName);
@@ -93,6 +97,7 @@ class HistoricalNode {
   storage::DeepStorage& deepStorage_;
   Transport& transport_;
   HistoricalNodeOptions options_;
+  obs::MetricsRegistry obs_{name_};
 
   mutable std::mutex mu_;
   SessionPtr session_;
@@ -108,7 +113,11 @@ class HistoricalNode {
   };
   std::map<std::string, DocSlice> docSlices_;  // docSource -> slice
 
-  std::unique_ptr<ThreadPool> pool_;
+  // Shared so an in-flight RPC can pin the pool across a concurrent
+  // crash()/stop(): its scan still runs and the pool is destroyed by the
+  // last holder, instead of abandoning the task (broken promise) or
+  // racing the reset (use-after-free).
+  std::shared_ptr<ThreadPool> pool_;
   std::atomic<std::uint64_t> downloads_{0};
   std::atomic<std::uint64_t> cacheHits_{0};
 };

@@ -4,9 +4,11 @@
 #include <cstdio>
 
 #include "cluster/names.h"
+#include "cluster/stats.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 #include "storage/segment_builder.h"
 #include "storage/segment_codec.h"
@@ -15,6 +17,19 @@ namespace dpss::cluster {
 
 using storage::SegmentId;
 using storage::SegmentPtr;
+
+namespace {
+
+const obs::MetricId kEventsIngested =
+    obs::internCounter("realtime.events.ingested");
+const obs::MetricId kPersistCount = obs::internCounter("realtime.persist.count");
+const obs::MetricId kPersistNs = obs::internHistogram("realtime.persist.ns");
+const obs::MetricId kHandoffCount = obs::internCounter("realtime.handoff.count");
+const obs::MetricId kScanCount =
+    obs::internCounter("realtime.segments.scanned");
+const obs::MetricId kScanNs = obs::internHistogram("realtime.scan.ns");
+
+}  // namespace
 
 RealtimeNode::RealtimeNode(std::string name, Registry& registry,
                            MessageQueue& queue, std::string topic,
@@ -127,10 +142,12 @@ void RealtimeNode::tick() {
 }
 
 void RealtimeNode::ingest() {
+  obs::ScopedRegistry obsScope(obs_);
   for (;;) {
     const auto messages =
         queue_.poll(topic_, partition_, offset_, options_.maxPollBatch);
     if (messages.empty()) return;
+    obs_.counter(kEventsIngested).inc(messages.size());
     std::vector<TimeMs> newBuckets;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -175,10 +192,13 @@ void RealtimeNode::announceBucket(TimeMs bucket) {
 void RealtimeNode::persistIfDue() {
   const TimeMs now = clock_.nowMs();
   std::uint64_t offsetToCommit = 0;
+  obs::ScopedRegistry obsScope(obs_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (now - lastPersist_ < options_.persistPeriodMs) return;
     lastPersist_ = now;
+    obs_.counter(kPersistCount).inc();
+    obs::ScopedTimer persistTimer(obs_.histogram(kPersistNs));
     for (auto& [bucket, index] : live_) {
       if (index == nullptr || index->empty()) continue;
       // Each persisted index is unchangeable.
@@ -254,6 +274,7 @@ void RealtimeNode::handoffIfDue() {
       std::lock_guard<std::mutex> lock(mu_);
       awaitingServe_[bucket] = PendingHandoff{historicalId};
     }
+    obs_.counter(kHandoffCount).inc();
     DPSS_LOG(Info) << name_ << " handed off " << historicalId.toString();
   }
 
@@ -309,8 +330,12 @@ std::vector<SegmentId> RealtimeNode::announcedSegments() const {
 std::string RealtimeNode::handleRpc(const std::string& request) {
   if (request.empty()) throw CorruptData("empty rpc");
   const auto tag = static_cast<std::uint8_t>(request[0]);
+  obs::ScopedRegistry obsScope(obs_);
+  if (tag == rpc::kStats) return handleStatsRpc(obs_, request.substr(1));
   if (tag != rpc::kQuerySegment) throw CorruptData("unsupported rpc");
+  obs::SpanGuard rpcSpan("realtime.query_segment");
   const auto req = SegmentQueryRequest::decode(request.substr(1));
+  rpcSpan.tag("segment", req.segment.toString());
 
   // "The real-time compute node maintains a comprehensive view of the
   // current index being updated and of all indexes persisted to disk.
@@ -330,9 +355,13 @@ std::string RealtimeNode::handleRpc(const std::string& request) {
     }
   }
   query::QueryResult result;
-  for (const auto& part : view) {
-    result.mergeFrom(query::scanSegment(*part, req.spec));
+  {
+    obs::ScopedTimer scanTimer(obs_.histogram(kScanNs));
+    for (const auto& part : view) {
+      result.mergeFrom(query::scanSegment(*part, req.spec));
+    }
   }
+  if (!view.empty()) obs_.counter(kScanCount).inc();
   result.segmentsScanned = view.empty() ? 0 : 1;
   ByteWriter w;
   result.serialize(w);

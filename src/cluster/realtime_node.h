@@ -29,6 +29,7 @@
 #include "cluster/registry.h"
 #include "cluster/transport.h"
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "storage/deep_storage.h"
 #include "storage/incremental_index.h"
 
@@ -78,6 +79,9 @@ class RealtimeNode {
   std::size_t pendingHandoffs() const;
   std::vector<storage::SegmentId> announcedSegments() const;
 
+  /// This node's metrics + span store (also served over rpc::kStats).
+  obs::MetricsRegistry& metrics() { return obs_; }
+
  private:
   TimeMs bucketStart(TimeMs t) const;
   storage::SegmentId realtimeSegmentId(TimeMs bucket) const;
@@ -100,6 +104,7 @@ class RealtimeNode {
   std::string dataSource_;
   NodeDisk& disk_;
   RealtimeNodeOptions options_;
+  obs::MetricsRegistry obs_{name_};
 
   mutable std::mutex mu_;
   SessionPtr session_;

@@ -1,0 +1,128 @@
+#include "cluster/stats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/names.h"
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dpss::cluster {
+
+std::string StatsRequest::encode() const {
+  ByteWriter w;
+  w.u8(rpc::kStats);
+  w.u8(includeSpans ? 1 : 0);
+  w.u64(traceIdFilter);
+  return w.take();
+}
+
+StatsRequest StatsRequest::decode(const std::string& body) {
+  ByteReader r(body);
+  StatsRequest req;
+  req.includeSpans = r.u8() != 0;
+  req.traceIdFilter = r.u64();
+  return req;
+}
+
+void NodeStats::serialize(ByteWriter& w) const {
+  metrics.serialize(w);
+  w.varint(spans.size());
+  for (const auto& s : spans) s.serialize(w);
+}
+
+NodeStats NodeStats::deserialize(ByteReader& r) {
+  NodeStats stats;
+  stats.metrics = obs::MetricsSnapshot::deserialize(r);
+  const std::uint64_t n = r.varint();
+  stats.spans.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stats.spans.push_back(obs::Span::deserialize(r));
+  }
+  return stats;
+}
+
+std::string handleStatsRpc(obs::MetricsRegistry& registry,
+                           const std::string& body) {
+  const StatsRequest req = StatsRequest::decode(body);
+  NodeStats stats;
+  stats.metrics = registry.snapshot();
+  if (req.includeSpans) {
+    stats.spans = req.traceIdFilter != 0
+                      ? registry.spans().forTrace(req.traceIdFilter)
+                      : registry.spans().all();
+  }
+  ByteWriter w;
+  stats.serialize(w);
+  return w.take();
+}
+
+NodeStats callStats(Transport& transport, const std::string& nodeName,
+                    const StatsRequest& request) {
+  const std::string response = transport.call(nodeName, request.encode());
+  ByteReader r(response);
+  return NodeStats::deserialize(r);
+}
+
+std::uint64_t ClusterStats::counterTotal(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& [node, stats] : nodes) {
+    (void)node;
+    total += stats.metrics.counterValue(name);
+  }
+  return total;
+}
+
+std::uint64_t ClusterStats::histogramCountTotal(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const auto& [node, stats] : nodes) {
+    (void)node;
+    total += stats.metrics.histogramCount(name);
+  }
+  return total;
+}
+
+std::vector<obs::Span> ClusterStats::allSpans() const {
+  std::vector<obs::Span> out;
+  for (const auto& [node, stats] : nodes) {
+    (void)node;
+    out.insert(out.end(), stats.spans.begin(), stats.spans.end());
+  }
+  return out;
+}
+
+std::vector<std::string> ClusterStats::nodesInTrace(
+    std::uint64_t traceId) const {
+  std::set<std::string> seen;
+  for (const auto& [node, stats] : nodes) {
+    (void)node;
+    for (const auto& s : stats.spans) {
+      if (s.traceId == traceId) seen.insert(s.node);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+ClusterStats collectClusterStats(Registry& registry, Transport& transport,
+                                 const std::vector<std::string>& extraNodes,
+                                 std::uint64_t traceIdFilter) {
+  std::vector<std::string> targets = registry.children(paths::announcements());
+  for (const auto& extra : extraNodes) {
+    if (std::find(targets.begin(), targets.end(), extra) == targets.end()) {
+      targets.push_back(extra);
+    }
+  }
+  StatsRequest req;
+  req.traceIdFilter = traceIdFilter;
+  ClusterStats cluster;
+  for (const auto& node : targets) {
+    try {
+      cluster.nodes[node] = callStats(transport, node, req);
+    } catch (const Error&) {
+      continue;  // unreachable or no stats handler: skip
+    }
+  }
+  return cluster;
+}
+
+}  // namespace dpss::cluster

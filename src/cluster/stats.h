@@ -1,0 +1,71 @@
+// Cluster-wide stats collection over the transport (rpc::kStats).
+//
+// Every node owns an obs::MetricsRegistry; the kStats RPC returns the
+// registry's MetricsSnapshot plus (optionally trace-filtered) spans.
+// collectClusterStats() walks the registry announcements — the same
+// global view the broker routes from — and calls each reachable node, so
+// the coordinator can assemble the cluster picture the paper's evaluation
+// tables are built from without touching any node state directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/registry.h"
+#include "cluster/transport.h"
+#include "obs/metrics.h"
+
+namespace dpss::cluster {
+
+struct StatsRequest {
+  bool includeSpans = true;
+  /// 0 = all spans; otherwise only spans of this trace.
+  std::uint64_t traceIdFilter = 0;
+
+  std::string encode() const;  // includes the rpc::kStats tag
+  static StatsRequest decode(const std::string& body);  // after tag
+};
+
+/// One node's stats response.
+struct NodeStats {
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Span> spans;
+
+  void serialize(ByteWriter& w) const;
+  static NodeStats deserialize(ByteReader& r);
+};
+
+/// Node-side kStats implementation over the node's registry; nodes call
+/// this from their RPC dispatch.
+std::string handleStatsRpc(obs::MetricsRegistry& registry,
+                           const std::string& body);
+
+/// Issues one kStats RPC; throws Unavailable like any other call.
+NodeStats callStats(Transport& transport, const std::string& nodeName,
+                    const StatsRequest& request = {});
+
+/// The assembled cluster view: node name -> that node's stats.
+struct ClusterStats {
+  std::map<std::string, NodeStats> nodes;
+
+  /// Sum of a counter across all nodes.
+  std::uint64_t counterTotal(std::string_view name) const;
+  /// Sum of a histogram's observation count across all nodes.
+  std::uint64_t histogramCountTotal(std::string_view name) const;
+  /// All spans across nodes (each span carries its origin node).
+  std::vector<obs::Span> allSpans() const;
+  /// Distinct nodes that recorded at least one span of `traceId`.
+  std::vector<std::string> nodesInTrace(std::uint64_t traceId) const;
+};
+
+/// Polls every node announced in the registry plus `extraNodes` (e.g. the
+/// broker, which answers queries but never announces). Unreachable nodes
+/// are skipped — stats collection must never take the cluster down.
+ClusterStats collectClusterStats(Registry& registry, Transport& transport,
+                                 const std::vector<std::string>& extraNodes = {},
+                                 std::uint64_t traceIdFilter = 0);
+
+}  // namespace dpss::cluster

@@ -2,6 +2,7 @@
 
 #include "common/bytes.h"
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace dpss::cluster {
 
@@ -46,7 +47,26 @@ std::string Transport::call(const std::string& nodeName,
     latency = latencyMs_;
   }
   if (latency > 0) clock_.sleepFor(latency);
-  std::string response = handler(request);
+  // Trace propagation across the emulated wire: the caller's context is
+  // serialized into an envelope (HTTP-trace-header analogue), decoded
+  // node-side, and installed around the handler so server spans parent
+  // onto the caller's span. Both ends live inside Transport, so handlers
+  // and callers keep seeing raw request bytes.
+  ByteWriter envelope;
+  const obs::TraceContext ctx = obs::currentTraceContext();
+  envelope.u8(ctx.active() ? 1 : 0);
+  if (ctx.active()) ctx.serialize(envelope);
+  envelope.raw(request);
+
+  ByteReader r(envelope.data());
+  obs::TraceContext remote;
+  if (r.u8() == 1) remote = obs::TraceContext::deserialize(r);
+  const std::string body(r.raw(r.remaining()));
+  std::string response;
+  {
+    obs::TraceScope scope(remote);
+    response = handler(body);
+  }
   if (latency > 0) clock_.sleepFor(latency);
   return response;
 }

@@ -5,6 +5,11 @@
 // shared between nodes except what the real system would put on the wire
 // (shared-nothing honesty). Latency and failure injection emulate the
 // network.
+//
+// Tracing: call() serializes the caller's obs::TraceContext into the wire
+// envelope (the analogue of HTTP trace headers) and installs it with
+// obs::TraceScope around the handler, so spans recorded node-side parent
+// onto the caller's span and one distributed query yields one span tree.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +69,7 @@ namespace rpc {
 constexpr std::uint8_t kQuerySegment = 1;  // scan one served segment
 constexpr std::uint8_t kPssInfo = 2;       // describe a document slice
 constexpr std::uint8_t kPssSearch = 3;     // run encrypted query on a slice
+constexpr std::uint8_t kStats = 4;         // metrics + span snapshot
 }  // namespace rpc
 
 /// Request to scan one served segment.

@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace dpss {
@@ -9,6 +11,8 @@ namespace dpss {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mu;
+thread_local std::string t_nodeName;
+thread_local std::uint64_t t_traceId = 0;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -24,10 +28,33 @@ const char* levelName(LogLevel level) {
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+void setLogNodeName(const std::string& name) { t_nodeName = name; }
+void setLogTraceId(std::uint64_t traceId) { t_traceId = traceId; }
+
 void logLine(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03d]", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+  std::fprintf(stderr, "%s [%s]", prefix, levelName(level));
+  if (!t_nodeName.empty()) std::fprintf(stderr, " [%s]", t_nodeName.c_str());
+  if (t_traceId != 0) {
+    std::fprintf(stderr, " [trace=%016llx]",
+                 static_cast<unsigned long long>(t_traceId));
+  }
+  std::fprintf(stderr, " %s\n", message.c_str());
 }
 
 }  // namespace dpss

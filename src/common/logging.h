@@ -1,7 +1,15 @@
 // Minimal leveled logger. Nodes log lifecycle events (segment loads,
 // handoffs, coordinator decisions); tests run at Warn to stay quiet.
+//
+// Each line carries a wall-clock timestamp plus two optional thread-local
+// prefixes so multi-node (in-process) logs interleave legibly:
+//   [12:34:56.789] [INFO] [historical-0] [trace=1a2b3c4d5e6f7788] message
+// The node name is installed by obs::ScopedRegistry around RPC handlers
+// and pool tasks; the trace id by obs::TraceScope / obs::SpanGuard, so log
+// lines correlate directly with the spans of the query that emitted them.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,6 +20,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Sets the process-wide minimum level (default: Warn).
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// Sets this thread's node-name prefix ("" clears it). Typically managed
+/// by obs::ScopedRegistry rather than called directly.
+void setLogNodeName(const std::string& name);
+
+/// Sets this thread's trace-id prefix (0 clears it). Managed by
+/// obs::TraceScope / obs::SpanGuard.
+void setLogTraceId(std::uint64_t traceId);
 
 /// Emits one line to stderr if `level` passes the threshold. Thread-safe.
 void logLine(LogLevel level, const std::string& message);

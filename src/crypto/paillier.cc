@@ -1,6 +1,7 @@
 #include "crypto/paillier.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dpss::crypto {
 
@@ -11,6 +12,17 @@ Bigint ell(const Bigint& x, const Bigint& d) {
   return Bigint::divFloor(x - Bigint(1), d);
 }
 
+// Metric identities interned once; recording is one atomic op into the
+// current node's registry (the node whose RPC handler is running).
+const obs::MetricId kEncryptCount = obs::internCounter("paillier.encrypt.count");
+const obs::MetricId kEncryptNs = obs::internHistogram("paillier.encrypt.ns");
+const obs::MetricId kDecryptCount = obs::internCounter("paillier.decrypt.count");
+const obs::MetricId kDecryptNs = obs::internHistogram("paillier.decrypt.ns");
+const obs::MetricId kHomAddCount =
+    obs::internCounter("paillier.homomorphic.add.count");
+const obs::MetricId kHomMulCount =
+    obs::internCounter("paillier.homomorphic.mul.count");
+
 }  // namespace
 
 PaillierPublicKey::PaillierPublicKey(Bigint n) : n_(std::move(n)) {
@@ -19,6 +31,9 @@ PaillierPublicKey::PaillierPublicKey(Bigint n) : n_(std::move(n)) {
 }
 
 Ciphertext PaillierPublicKey::encrypt(const Bigint& m, Rng& rng) const {
+  obs::MetricsRegistry& reg = obs::currentRegistry();
+  reg.counter(kEncryptCount).inc();
+  obs::ScopedTimer timer(reg.histogram(kEncryptNs));
   DPSS_CHECK_MSG(m.sign() >= 0 && m < n_, "plaintext out of [0, n)");
   // g^m with g = n+1: (1 + m·n) mod n².
   const Bigint gm = (Bigint(1) + m * n_) % n2_;
@@ -34,11 +49,13 @@ Ciphertext PaillierPublicKey::encrypt(const Bigint& m, Rng& rng) const {
 
 Ciphertext PaillierPublicKey::addCipher(const Ciphertext& a,
                                         const Ciphertext& b) const {
+  obs::currentRegistry().counter(kHomAddCount).inc();
   return Ciphertext{(a.value * b.value) % n2_};
 }
 
 Ciphertext PaillierPublicKey::mulPlain(const Ciphertext& c,
                                        const Bigint& k) const {
+  obs::currentRegistry().counter(kHomMulCount).inc();
   DPSS_CHECK_MSG(k.sign() >= 0, "scalar must be non-negative");
   return Ciphertext{Bigint::powm(c.value, k, n2_)};
 }
@@ -88,6 +105,9 @@ PaillierPrivateKey::PaillierPrivateKey(Bigint p, Bigint q)
 }
 
 Bigint PaillierPrivateKey::decrypt(const Ciphertext& c) const {
+  obs::MetricsRegistry& reg = obs::currentRegistry();
+  reg.counter(kDecryptCount).inc();
+  obs::ScopedTimer timer(reg.histogram(kDecryptNs));
   const Bigint& n = pub_.n();
   const Bigint& n2 = pub_.nSquared();
   DPSS_CHECK_MSG(c.value.sign() >= 0 && c.value < n2,
@@ -97,6 +117,9 @@ Bigint PaillierPrivateKey::decrypt(const Ciphertext& c) const {
 }
 
 Bigint PaillierPrivateKey::decryptCrt(const Ciphertext& c) const {
+  obs::MetricsRegistry& reg = obs::currentRegistry();
+  reg.counter(kDecryptCount).inc();
+  obs::ScopedTimer timer(reg.histogram(kDecryptNs));
   // m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise for q; then CRT.
   const Bigint cp = Bigint::powm(c.value % p2_, pMinus1_, p2_);
   const Bigint cq = Bigint::powm(c.value % q2_, qMinus1_, q2_);

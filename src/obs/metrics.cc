@@ -1,0 +1,467 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace dpss::obs {
+
+namespace {
+
+struct Descriptor {
+  MetricKind kind;
+  std::string name;
+  Labels labels;
+};
+
+struct InternTable {
+  std::mutex mu;
+  std::map<std::string, MetricId> byKey;
+  std::vector<Descriptor> descriptors;
+};
+
+InternTable& internTable() {
+  static InternTable* table = new InternTable();  // leaked: outlives statics
+  return *table;
+}
+
+std::string internKey(MetricKind kind, const std::string& name,
+                      const Labels& labels) {
+  std::string key;
+  key.push_back(static_cast<char>('0' + static_cast<int>(kind)));
+  key += name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x01');
+    key += k;
+    key.push_back('\x02');
+    key += v;
+  }
+  return key;
+}
+
+MetricId intern(MetricKind kind, std::string name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  InternTable& table = internTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  const std::string key = internKey(kind, name, labels);
+  const auto it = table.byKey.find(key);
+  if (it != table.byKey.end()) return it->second;
+  DPSS_CHECK_MSG(table.descriptors.size() < MetricsRegistry::kMaxMetrics,
+                 "metric intern table full; raise kMaxMetrics");
+  const MetricId id = static_cast<MetricId>(table.descriptors.size());
+  table.descriptors.push_back(Descriptor{kind, std::move(name), std::move(labels)});
+  table.byKey.emplace(key, id);
+  return id;
+}
+
+Descriptor descriptorOf(MetricId id) {
+  InternTable& table = internTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.descriptors.at(id);
+}
+
+std::size_t internCount() {
+  InternTable& table = internTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.descriptors.size();
+}
+
+thread_local MetricsRegistry* t_registry = nullptr;
+
+}  // namespace
+
+MetricId internCounter(std::string name, Labels labels) {
+  return intern(MetricKind::kCounter, std::move(name), std::move(labels));
+}
+MetricId internGauge(std::string name, Labels labels) {
+  return intern(MetricKind::kGauge, std::move(name), std::move(labels));
+}
+MetricId internHistogram(std::string name, Labels labels) {
+  return intern(MetricKind::kHistogram, std::move(name), std::move(labels));
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double upper = static_cast<double>(Histogram::bucketUpper(i)) + 1.0;
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(Histogram::bucketUpper(buckets.size() - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void MetricSample::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.str(name);
+  w.varint(labels.size());
+  for (const auto& [k, v] : labels) {
+    w.str(k);
+    w.str(v);
+  }
+  switch (kind) {
+    case MetricKind::kCounter:
+      w.u64(counterValue);
+      break;
+    case MetricKind::kGauge:
+      w.i64(gaugeValue);
+      break;
+    case MetricKind::kHistogram: {
+      w.u64(histogram.count);
+      w.u64(histogram.sum);
+      std::uint64_t nonzero = 0;
+      for (const auto b : histogram.buckets) nonzero += b != 0 ? 1 : 0;
+      w.varint(nonzero);
+      for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+        if (histogram.buckets[i] == 0) continue;
+        w.varint(i);
+        w.varint(histogram.buckets[i]);
+      }
+      break;
+    }
+  }
+}
+
+MetricSample MetricSample::deserialize(ByteReader& r) {
+  MetricSample s;
+  s.kind = static_cast<MetricKind>(r.u8());
+  s.name = r.str();
+  const std::uint64_t nLabels = r.varint();
+  s.labels.reserve(nLabels);
+  for (std::uint64_t i = 0; i < nLabels; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    s.labels.emplace_back(std::move(k), std::move(v));
+  }
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      s.counterValue = r.u64();
+      break;
+    case MetricKind::kGauge:
+      s.gaugeValue = r.i64();
+      break;
+    case MetricKind::kHistogram: {
+      s.histogram.count = r.u64();
+      s.histogram.sum = r.u64();
+      const std::uint64_t nonzero = r.varint();
+      for (std::uint64_t i = 0; i < nonzero; ++i) {
+        const std::uint64_t idx = r.varint();
+        const std::uint64_t cnt = r.varint();
+        if (idx < s.histogram.buckets.size()) s.histogram.buckets[idx] = cnt;
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+void MetricsSnapshot::serialize(ByteWriter& w) const {
+  w.str(node);
+  w.varint(samples.size());
+  for (const auto& s : samples) s.serialize(w);
+}
+
+MetricsSnapshot MetricsSnapshot::deserialize(ByteReader& r) {
+  MetricsSnapshot snap;
+  snap.node = r.str();
+  const std::uint64_t n = r.varint();
+  snap.samples.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    snap.samples.push_back(MetricSample::deserialize(r));
+  }
+  return snap;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counterValue(std::string_view name) const {
+  const auto* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kCounter ? s->counterValue : 0;
+}
+
+std::uint64_t MetricsSnapshot::histogramCount(std::string_view name) const {
+  const auto* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kHistogram ? s->histogram.count
+                                                           : 0;
+}
+
+struct MetricsRegistry::Cell {
+  MetricKind kind;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+MetricsRegistry::MetricsRegistry(std::string nodeName)
+    : node_(std::move(nodeName)) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  // If this registry is still installed somewhere we cannot fix that here,
+  // but the common case — destroyed on the thread that scoped it — is
+  // already safe because ScopedRegistry restored the previous pointer.
+}
+
+MetricsRegistry::Cell& MetricsRegistry::cell(MetricId id, MetricKind kind) {
+  DPSS_CHECK_MSG(id < kMaxMetrics, "metric id out of range");
+  Cell* c = cells_[id].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    c = cells_[id].load(std::memory_order_relaxed);
+    if (c == nullptr) {
+      auto fresh = std::make_unique<Cell>();
+      fresh->kind = kind;
+      c = fresh.get();
+      owned_.push_back(std::move(fresh));
+      cells_[id].store(c, std::memory_order_release);
+    }
+  }
+  return *c;
+}
+
+Counter& MetricsRegistry::counter(MetricId id) {
+  return cell(id, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(MetricId id) {
+  return cell(id, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(MetricId id) {
+  return cell(id, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.node = node_;
+  const std::size_t n = std::min<std::size_t>(internCount(), kMaxMetrics);
+  for (MetricId id = 0; id < n; ++id) {
+    const Cell* c = cells_[id].load(std::memory_order_acquire);
+    if (c == nullptr) continue;  // never touched in this registry
+    const Descriptor d = descriptorOf(id);
+    MetricSample s;
+    s.kind = d.kind;
+    s.name = d.name;
+    s.labels = d.labels;
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        s.counterValue = c->counter.value();
+        break;
+      case MetricKind::kGauge:
+        s.gaugeValue = c->gauge.value();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = c->histogram.snapshot();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+MetricsRegistry& globalRegistry() {
+  static MetricsRegistry* reg = new MetricsRegistry("");  // leaked on purpose
+  return *reg;
+}
+
+MetricsRegistry& currentRegistry() {
+  return t_registry != nullptr ? *t_registry : globalRegistry();
+}
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry& r) : prev_(t_registry) {
+  t_registry = &r;
+  setLogNodeName(r.nodeName());
+}
+
+ScopedRegistry::~ScopedRegistry() {
+  t_registry = prev_;
+  setLogNodeName(prev_ != nullptr ? prev_->nodeName() : std::string());
+}
+
+// --- exposition ----------------------------------------------------------
+
+namespace {
+
+std::string sanitizeMetricName(std::string_view name) {
+  std::string out = "dpss_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string labelBlock(const MetricsSnapshot& snap, const MetricSample& s,
+                       const std::string& extraKey = "",
+                       const std::string& extraValue = "") {
+  std::vector<std::pair<std::string, std::string>> labels;
+  if (!snap.node.empty()) labels.emplace_back("node", snap.node);
+  for (const auto& l : s.labels) labels.push_back(l);
+  if (!extraKey.empty()) labels.emplace_back(extraKey, extraValue);
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"";
+    for (const char c : labels[i].second) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* kindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string renderText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[64];
+  for (const auto& s : snapshot.samples) {
+    const std::string name = sanitizeMetricName(s.name);
+    out += "# TYPE " + name + " " + kindName(s.kind) + "\n";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(s.counterValue));
+        out += name + labelBlock(snapshot, s) + buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), " %lld\n",
+                      static_cast<long long>(s.gaugeValue));
+        out += name + labelBlock(snapshot, s) + buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
+          if (s.histogram.buckets[i] == 0) continue;
+          cumulative += s.histogram.buckets[i];
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(
+                            Histogram::bucketUpper(i)));
+          out += name + "_bucket" + labelBlock(snapshot, s, "le", buf);
+          std::snprintf(buf, sizeof(buf), " %llu\n",
+                        static_cast<unsigned long long>(cumulative));
+          out += buf;
+        }
+        out += name + "_bucket" + labelBlock(snapshot, s, "le", "+Inf");
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(s.histogram.count));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(s.histogram.sum));
+        out += name + "_sum" + labelBlock(snapshot, s) + buf;
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(s.histogram.count));
+        out += name + "_count" + labelBlock(snapshot, s) + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string renderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"node\":\"" + jsonEscape(snapshot.node) +
+                    "\",\"metrics\":[";
+  char buf[64];
+  bool first = true;
+  for (const auto& s : snapshot.samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + jsonEscape(s.name) + "\",\"kind\":\"" +
+           kindName(s.kind) + "\"";
+    if (!s.labels.empty()) {
+      out += ",\"labels\":{";
+      for (std::size_t i = 0; i < s.labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + jsonEscape(s.labels[i].first) + "\":\"" +
+               jsonEscape(s.labels[i].second) + "\"";
+      }
+      out += "}";
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%llu}",
+                      static_cast<unsigned long long>(s.counterValue));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%lld}",
+                      static_cast<long long>(s.gaugeValue));
+        out += buf;
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(buf, sizeof(buf), ",\"count\":%llu,\"sum\":%llu",
+                      static_cast<unsigned long long>(s.histogram.count),
+                      static_cast<unsigned long long>(s.histogram.sum));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"p50\":%.1f,\"p95\":%.1f",
+                      s.histogram.quantile(0.5), s.histogram.quantile(0.95));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"p99\":%.1f}",
+                      s.histogram.quantile(0.99));
+        out += buf;
+        break;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dpss::obs

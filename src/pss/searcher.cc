@@ -1,8 +1,19 @@
 #include "pss/searcher.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dpss::pss {
+
+namespace {
+
+const obs::MetricId kSegmentsProcessed =
+    obs::internCounter("pss.search.segments");
+const obs::MetricId kSegmentNs = obs::internHistogram("pss.search.segment_ns");
+const obs::MetricId kFoldCount = obs::internCounter("paillier.fold.count");
+const obs::MetricId kFoldNs = obs::internHistogram("paillier.fold.ns");
+
+}  // namespace
 
 void SearchResultEnvelope::serialize(ByteWriter& w) const {
   buffers.serialize(w);
@@ -73,12 +84,16 @@ void StreamSearcher::processSegment(
                    "stream indices must be contiguous within a batch");
   }
   const auto& pub = query_.publicKey();
+  obs::MetricsRegistry& reg = obs::currentRegistry();
+  obs::ScopedTimer segmentTimer(reg.histogram(kSegmentNs));
 
   // Step 2.1: E(c_i).
   const crypto::Ciphertext ec = encryptedCValue(words);
 
   // Step 2.2 (blockwise) + 2.3: fold into slots with g(i, j) = 1.
   // E(c_i·f_block) = E(c_i)^{f_block}.
+  std::uint64_t folds = 0;
+  const std::uint64_t foldStart = obs::nowNanos();
   std::vector<crypto::Ciphertext> ecf;
   ecf.reserve(blocks_);
   for (const auto& block : blocks) {
@@ -90,12 +105,20 @@ void StreamSearcher::processSegment(
       buffers_.data(j, b) = pub.addCipher(buffers_.data(j, b), ecf[b]);
     }
     buffers_.c(j) = pub.addCipher(buffers_.c(j), ec);
+    folds += blocks_ + 1;
   }
 
   // Step 2.4: Bloom update of the matching-indices buffer.
   for (const auto slot : bloom_.slots(index)) {
     buffers_.match(slot) = pub.addCipher(buffers_.match(slot), ec);
+    ++folds;
   }
+
+  // The fold is the paper's Fig. 7 cost driver: every homomorphic
+  // accumulation into a buffer slot for this segment counts as one fold.
+  reg.counter(kFoldCount).inc(folds);
+  reg.histogram(kFoldNs).observe(obs::nowNanos() - foldStart);
+  reg.counter(kSegmentsProcessed).inc();
 
   ++processed_;
 }

@@ -4,8 +4,18 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dpss::query {
+
+namespace {
+
+const obs::MetricId kScanCount = obs::internCounter("query.scan.count");
+const obs::MetricId kScanNs = obs::internHistogram("query.scan.ns");
+const obs::MetricId kScanRows = obs::internCounter("query.scan.rows");
+const obs::MetricId kFilterNs = obs::internHistogram("query.filter.ns");
+
+}  // namespace
 
 using storage::MetricType;
 using storage::Segment;
@@ -97,6 +107,10 @@ void truncateForTopN(const QuerySpec& spec, QueryResult& result) {
 }  // namespace
 
 QueryResult scanSegment(const Segment& segment, const QuerySpec& spec) {
+  obs::MetricsRegistry& reg = obs::currentRegistry();
+  reg.counter(kScanCount).inc();
+  obs::ScopedTimer scanTimer(reg.histogram(kScanNs));
+
   QueryResult result;
   result.segmentsScanned = 1;
 
@@ -197,7 +211,9 @@ QueryResult scanSegment(const Segment& segment, const QuerySpec& spec) {
   };
 
   if (spec.filter != nullptr) {
+    const std::uint64_t filterStart = obs::nowNanos();
     const auto bitmap = spec.filter->evaluate(segment);
+    reg.histogram(kFilterNs).observe(obs::nowNanos() - filterStart);
     bitmap.forEach([&](std::size_t row) {
       if (row >= hi) return false;  // ascending iteration: past the range
       if (row >= lo) scanRow(row);
@@ -236,6 +252,7 @@ QueryResult scanSegment(const Segment& segment, const QuerySpec& spec) {
     // Ungrouped queries always produce one row, even over no data.
     result.groups.emplace("", std::move(global));
   }
+  reg.counter(kScanRows).inc(result.rowsScanned);
   return result;
 }
 

@@ -1,8 +1,17 @@
 #include "storage/bitmap.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace dpss::storage {
+
+namespace {
+
+const obs::MetricId kIntersectCount =
+    obs::internCounter("bitmap.intersect.count");
+const obs::MetricId kUnionCount = obs::internCounter("bitmap.union.count");
+
+}  // namespace
 
 Bitmap::Bitmap(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
 
@@ -28,12 +37,14 @@ std::size_t Bitmap::cardinality() const {
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  obs::currentRegistry().counter(kIntersectCount).inc();
   DPSS_CHECK_MSG(size_ == other.size_, "bitmap size mismatch");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  obs::currentRegistry().counter(kUnionCount).inc();
   DPSS_CHECK_MSG(size_ == other.size_, "bitmap size mismatch");
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;

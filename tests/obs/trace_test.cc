@@ -1,0 +1,200 @@
+// Query tracing: span nesting, context propagation across the transport
+// (the broker→node "wire") and across thread-pool boundaries, and span
+// tree reassembly from per-node stores.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "cluster/transport.h"
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace dpss::obs {
+namespace {
+
+TEST(TraceContext, WireRoundTrip) {
+  TraceContext ctx{0x1234'5678'9abc'def0ULL, 42};
+  ByteWriter w;
+  ctx.serialize(w);
+  ByteReader r(w.data());
+  const TraceContext back = TraceContext::deserialize(r);
+  EXPECT_EQ(back.traceId, ctx.traceId);
+  EXPECT_EQ(back.spanId, ctx.spanId);
+  EXPECT_TRUE(back.active());
+  EXPECT_FALSE(TraceContext{}.active());
+}
+
+TEST(Span, WireRoundTrip) {
+  Span s;
+  s.traceId = 7;
+  s.spanId = 8;
+  s.parentId = 9;
+  s.name = "broker.scatter";
+  s.node = "hist-1";
+  s.startNs = 1000;
+  s.durationNs = 500;
+  s.tags = {{"segment", "ads/0/v1"}};
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.data());
+  const Span back = Span::deserialize(r);
+  EXPECT_EQ(back.traceId, 7u);
+  EXPECT_EQ(back.parentId, 9u);
+  EXPECT_EQ(back.name, "broker.scatter");
+  EXPECT_EQ(back.node, "hist-1");
+  ASSERT_EQ(back.tags.size(), 1u);
+  EXPECT_EQ(back.tags[0].second, "ads/0/v1");
+}
+
+TEST(SpanGuard, StartsATraceAndRecordsOnDestruction) {
+  MetricsRegistry reg("n1");
+  ScopedRegistry scope(reg);
+  std::uint64_t traceId = 0;
+  {
+    SpanGuard span("unit.work");
+    traceId = span.traceId();
+    EXPECT_NE(traceId, 0u);
+    EXPECT_EQ(currentTraceContext().traceId, traceId);
+  }
+  EXPECT_EQ(currentTraceContext().traceId, 0u);  // restored
+  const auto spans = reg.spans().forTrace(traceId);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.work");
+  EXPECT_EQ(spans[0].node, "n1");
+  EXPECT_EQ(spans[0].parentId, 0u);  // root
+}
+
+TEST(SpanGuard, NestedSpansShareTraceAndParent) {
+  MetricsRegistry reg("n1");
+  ScopedRegistry scope(reg);
+  std::uint64_t traceId = 0, outerId = 0;
+  {
+    SpanGuard outer("outer");
+    traceId = outer.traceId();
+    outerId = outer.spanId();
+    SpanGuard inner("inner");
+    EXPECT_EQ(inner.traceId(), traceId);
+  }
+  const auto spans = reg.spans().forTrace(traceId);
+  ASSERT_EQ(spans.size(), 2u);  // inner recorded first
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parentId, outerId);
+  EXPECT_EQ(spans[1].name, "outer");
+}
+
+TEST(SpanStore, CapacityIsBounded) {
+  SpanStore store(64);
+  for (int i = 0; i < 1000; ++i) {
+    Span s;
+    s.traceId = 1;
+    s.spanId = static_cast<std::uint64_t>(i + 1);
+    store.record(std::move(s));
+  }
+  EXPECT_LE(store.size(), 64u);
+  // The survivors are the most recent spans.
+  const auto all = store.all();
+  for (const auto& s : all) EXPECT_GT(s.spanId, 500u);
+}
+
+TEST(Trace, PropagatesAcrossThreadPoolBoundary) {
+  MetricsRegistry reg("n1");
+  std::uint64_t traceId = 0;
+  {
+    ScopedRegistry scope(reg);
+    SpanGuard root("submit.side");
+    traceId = root.traceId();
+    // The instrumented nodes capture the context at submit time and
+    // re-install it inside the worker; mirror that pattern here.
+    const TraceContext ctx = currentTraceContext();
+    std::thread worker([&reg, ctx] {
+      ScopedRegistry workerScope(reg);
+      TraceScope traceScope(ctx);
+      SpanGuard span("worker.side");
+    });
+    worker.join();
+  }
+  const auto spans = reg.spans().forTrace(traceId);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "worker.side");
+  EXPECT_EQ(spans[1].name, "submit.side");
+  EXPECT_EQ(spans[0].parentId, spans[1].spanId);
+}
+
+// The ISSUE's core tracing property: one query's trace id crosses the
+// emulated wire onto the remote node, and the two per-node span stores
+// reassemble into a single tree.
+TEST(Trace, PropagatesAcrossTransportRoundTrip) {
+  ManualClock clock(0);
+  cluster::Transport transport(clock);
+  MetricsRegistry brokerReg("broker");
+  MetricsRegistry histReg("hist-1");
+
+  transport.bind("hist-1", [&histReg](const std::string& req) {
+    ScopedRegistry scope(histReg);
+    SpanGuard span("historical.scan.segment");
+    return "ok:" + req;
+  });
+
+  std::uint64_t traceId = 0;
+  {
+    ScopedRegistry scope(brokerReg);
+    SpanGuard root("broker.query");
+    traceId = root.traceId();
+    SpanGuard scatter("broker.scatter");
+    EXPECT_EQ(transport.call("hist-1", "payload"), "ok:payload");
+  }
+
+  const auto brokerSpans = brokerReg.spans().forTrace(traceId);
+  const auto histSpans = histReg.spans().forTrace(traceId);
+  ASSERT_EQ(brokerSpans.size(), 2u);
+  ASSERT_EQ(histSpans.size(), 1u);
+
+  // The remote span joined the caller's trace and parented onto the
+  // innermost caller span (broker.scatter).
+  EXPECT_EQ(histSpans[0].traceId, traceId);
+  EXPECT_EQ(histSpans[0].node, "hist-1");
+  const Span* scatterSpan = nullptr;
+  for (const auto& s : brokerSpans) {
+    if (s.name == "broker.scatter") scatterSpan = &s;
+  }
+  ASSERT_NE(scatterSpan, nullptr);
+  EXPECT_EQ(histSpans[0].parentId, scatterSpan->spanId);
+
+  // Tree reassembly: exactly one root, every other span's parent exists.
+  std::vector<Span> all = brokerSpans;
+  all.insert(all.end(), histSpans.begin(), histSpans.end());
+  std::set<std::uint64_t> ids;
+  for (const auto& s : all) ids.insert(s.spanId);
+  int roots = 0;
+  for (const auto& s : all) {
+    if (s.parentId == 0) {
+      ++roots;
+    } else {
+      EXPECT_EQ(ids.count(s.parentId), 1u) << "orphan span " << s.name;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(Trace, InactiveContextDoesNotLeakAcrossTransport) {
+  ManualClock clock(0);
+  cluster::Transport transport(clock);
+  MetricsRegistry serverReg("srv");
+  transport.bind("srv", [&serverReg](const std::string&) {
+    ScopedRegistry scope(serverReg);
+    SpanGuard span("srv.work");  // no caller trace -> starts its own
+    return std::string("ok");
+  });
+  transport.call("srv", "x");
+  const auto all = serverReg.spans().all();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].parentId, 0u);
+}
+
+}  // namespace
+}  // namespace dpss::obs
