@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a ThreadSanitizer pass over the code whose
-# correctness depends on concurrency: the obs/ metrics+tracing layer and
-# the thread pool. Run from the repo root.
+# correctness depends on concurrency: the obs/ metrics+tracing layer,
+# the thread pool, and a trimmed cluster subset (broker/coordinator
+# churn races, chaos determinism, rpc retry policy). Run from the repo
+# root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,11 +15,12 @@ cmake --build build -j "$JOBS" >/dev/null
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 echo
-echo "== tsan: obs_test + thread_pool under -fsanitize=thread =="
+echo "== tsan: obs_test + thread_pool + cluster subset under -fsanitize=thread =="
 cmake -B build-tsan -S . -DDPSS_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target obs_test common_test -j "$JOBS" >/dev/null
+cmake --build build-tsan --target obs_test common_test cluster_test -j "$JOBS" >/dev/null
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/common_test --gtest_filter='ThreadPool.*'
+./build-tsan/tests/cluster_test --gtest_filter='Concurrency.*:RpcPolicy.*:CallPolicyTest.*:ChaosPolicy.*:ChaosTransport.*:Chaos.IdenticalSeedReproducesIdenticalSchedule'
 
 echo
 echo "all checks passed"

@@ -26,6 +26,10 @@ const obs::MetricId kCacheLossServes =
     obs::internCounter("broker.cache.loss_serves");
 const obs::MetricId kMergeNs = obs::internHistogram("broker.merge.ns");
 const obs::MetricId kPssSearches = obs::internCounter("broker.pss.searches");
+const obs::MetricId kPartialQueries =
+    obs::internCounter("broker.query.partial");
+const obs::MetricId kLostSegments =
+    obs::internCounter("broker.scatter.lost_segments");
 
 }  // namespace
 
@@ -46,7 +50,7 @@ void BrokerNode::start() {
   std::lock_guard<std::mutex> lock(mu_);
   DPSS_CHECK_MSG(!running_, "broker already running");
   session_ = registry_.connect(name_);
-  pool_ = std::make_unique<ThreadPool>(options_.scatterThreads);
+  pool_ = std::make_shared<ThreadPool>(options_.scatterThreads);
   running_ = true;
   viewDirty_ = true;
   // The broker answers stats probes (it never announces, so the
@@ -67,6 +71,7 @@ void BrokerNode::start() {
 
 void BrokerNode::stop() {
   std::vector<std::uint64_t> watches;
+  std::shared_ptr<ThreadPool> pool;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
@@ -77,10 +82,16 @@ void BrokerNode::stop() {
   }
   for (const auto id : watches) registry_.unwatch(id);
   transport_.unbind(name_);
-  std::lock_guard<std::mutex> lock(mu_);
-  registry_.expire(session_);
-  session_.reset();
-  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.expire(session_);
+    session_.reset();
+    pool = std::move(pool_);
+  }
+  // Release the broker's pool reference outside mu_: scatter tasks take
+  // mu_ (cache probes), so joining workers under the lock would deadlock.
+  // In-flight queries hold their own pin; the pool dies with the last one.
+  pool.reset();
 }
 
 void BrokerNode::invalidateView() {
@@ -131,9 +142,11 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
     std::string cacheKey;
   };
   std::vector<Target> targets;
+  std::shared_ptr<ThreadPool> pool;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    DPSS_CHECK_MSG(running_, "broker not running");
+    if (!running_) throw Unavailable("broker not running: " + name_);
+    pool = pool_;  // pin: a concurrent stop() must not join under our feet
     if (viewDirty_) {
       view_ = buildView();
       viewDirty_ = false;
@@ -171,8 +184,8 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
   std::vector<std::future<query::QueryResult>> futures;
   futures.reserve(targets.size());
   for (const auto& target : targets) {
-    futures.push_back(pool_->submit([this, target, spec, &outcome, &statsMu,
-                                     traceCtx]() -> query::QueryResult {
+    futures.push_back(pool->submit([this, target, spec, &outcome, &statsMu,
+                                    traceCtx]() -> query::QueryResult {
       obs::ScopedRegistry obsScope(obs_);
       obs::TraceScope traceScope(traceCtx);
       obs::SpanGuard scatterSpan("broker.scatter");
@@ -194,7 +207,11 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
         try {
           obs_.counter(kScatterRpcs).inc();
           const std::uint64_t rpcStart = obs::nowNanos();
-          auto result = callQuerySegment(transport_, node, target.id, spec);
+          const SegmentQueryRequest req{target.id, spec};
+          const std::string responseBytes =
+              callWithPolicy(transport_, node, req.encode(), options_.rpcPolicy);
+          ByteReader resultReader(responseBytes);
+          auto result = query::QueryResult::deserialize(resultReader);
           obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
                                                     rpcStart);
           scatterSpan.tag("node", node);
@@ -216,14 +233,17 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
   obs::SpanGuard mergeSpan("broker.merge");
   obs::ScopedTimer mergeTimer(obs_.histogram(kMergeNs));
   query::QueryResult merged;
-  std::size_t lost = 0;
   std::string firstLost;
   std::exception_ptr firstError;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     try {
       merged.mergeFrom(futures[i].get());
     } catch (const Unavailable&) {
-      ++lost;
+      outcome.unreachableSegments.push_back(targets[i].id);
+      if (firstLost.empty()) firstLost = targets[i].id.toString();
+    } catch (const std::future_error&) {
+      // stop() abandoned the task before a worker picked it up.
+      outcome.unreachableSegments.push_back(targets[i].id);
       if (firstLost.empty()) firstLost = targets[i].id.toString();
     } catch (...) {
       // User-level error (bad column, malformed spec): surface after all
@@ -232,10 +252,18 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
     }
   }
   if (firstError) std::rethrow_exception(firstError);
+  const std::size_t lost = outcome.unreachableSegments.size();
   if (lost > 0) {
-    throw Unavailable("segments unavailable (no replica, no cache): " +
-                      firstLost + " (+" + std::to_string(lost - 1) +
-                      " more)");
+    obs_.counter(kLostSegments).inc(lost);
+    // Graceful degradation: a strict minority of lost segments yields a
+    // partial answer; losing half or more means the result would be more
+    // hole than data, so fail loudly instead.
+    if (lost * 2 >= targets.size()) {
+      throw Unavailable("segments unavailable (no replica, no cache): " +
+                        firstLost + " (+" + std::to_string(lost - 1) +
+                        " more)");
+    }
+    obs_.counter(kPartialQueries).inc();
   }
 
   outcome.rowsScanned = merged.rowsScanned;
@@ -251,6 +279,13 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
   searchSpan.tag("doc_source", docSource);
   obs_.counter(kPssSearches).inc();
   if (traceIdOut != nullptr) *traceIdOut = searchSpan.traceId();
+
+  std::shared_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) throw Unavailable("broker not running: " + name_);
+    pool = pool_;  // pin across a concurrent stop(), as in query()
+  }
 
   // Discover nodes holding slices of the document source and their
   // maximum payload size, so every node searches with the same s.
@@ -270,7 +305,8 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     w.u8(rpc::kPssInfo);
     w.str(docSource);
     try {
-      const std::string resp = transport_.call(node, w.data());
+      const std::string resp =
+          callWithPolicy(transport_, node, w.data(), options_.rpcPolicy);
       ByteReader r(resp);
       SliceInfo info;
       info.node = node;
@@ -310,7 +346,7 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     w.u64(seed);
     std::string request = w.take();
     const obs::TraceContext traceCtx = obs::currentTraceContext();
-    futures.push_back(pool_->submit(
+    futures.push_back(pool->submit(
         [this, node = slice.node, request = std::move(request), traceCtx] {
           obs::ScopedRegistry obsScope(obs_);
           obs::TraceScope traceScope(traceCtx);
@@ -318,16 +354,33 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
           span.tag("node", node);
           obs_.counter(kScatterRpcs).inc();
           const std::uint64_t rpcStart = obs::nowNanos();
-          const std::string resp = transport_.call(node, request);
+          const std::string resp =
+              callWithPolicy(transport_, node, request, options_.rpcPolicy);
           obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
                                                     rpcStart);
           ByteReader r(resp);
           return pss::SearchResultEnvelope::deserialize(r);
         }));
   }
+  // Drain every future before any rethrow — same dangling-frame rule as
+  // query(). A missing envelope makes reconstruction impossible, so the
+  // first failure surfaces once all slices settled.
   std::vector<pss::SearchResultEnvelope> envelopes;
   envelopes.reserve(futures.size());
-  for (auto& f : futures) envelopes.push_back(f.get());
+  std::exception_ptr firstError;
+  for (auto& f : futures) {
+    try {
+      envelopes.push_back(f.get());
+    } catch (const std::future_error&) {
+      if (!firstError) {
+        firstError = std::make_exception_ptr(
+            Unavailable("broker stopped mid-search: " + name_));
+      }
+    } catch (...) {
+      if (!firstError) firstError = std::current_exception();
+    }
+  }
+  if (firstError) std::rethrow_exception(firstError);
   return envelopes;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "cluster/registry.h"
+#include "cluster/rpc_policy.h"
 #include "cluster/transport.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -38,6 +39,9 @@ namespace dpss::cluster {
 struct BrokerOptions {
   std::size_t scatterThreads = 16;   // parallel per-segment RPCs
   std::size_t resultCacheCapacity = 4096;  // cached (segment, query) entries
+  /// Retry/backoff/deadline policy for every outbound RPC (segment
+  /// scatter, PSS info/search probes).
+  RpcPolicy rpcPolicy{};
 };
 
 struct BrokerQueryOutcome {
@@ -46,9 +50,16 @@ struct BrokerQueryOutcome {
   std::size_t segmentsQueried = 0;
   std::size_t cacheHits = 0;
   std::size_t servedFromCacheAfterLoss = 0;
+  /// Segments with no reachable replica and no cached partial. Non-empty
+  /// means `rows` is a partial answer (graceful degradation: a strict
+  /// minority of segments may be missing; losing half or more throws
+  /// Unavailable instead).
+  std::vector<storage::SegmentId> unreachableSegments;
   /// Trace id of this query's span tree (cumulative totals live in the
   /// broker's obs::MetricsRegistry, not here).
   std::uint64_t traceId = 0;
+
+  bool partial() const { return !unreachableSegments.empty(); }
 };
 
 class BrokerNode {
@@ -62,9 +73,11 @@ class BrokerNode {
 
   const std::string& name() const { return name_; }
 
-  /// Routes, scatters, merges and finalizes one query.
-  /// Throws Unavailable when a needed segment has no reachable replica
-  /// and no cached result.
+  /// Routes, scatters, merges and finalizes one query. When a strict
+  /// minority of the visible segments has no reachable replica and no
+  /// cached result, returns a partial outcome annotated with the
+  /// unreachable segments; when half or more are lost (or the broker is
+  /// stopped) throws Unavailable.
   BrokerQueryOutcome query(const query::QuerySpec& spec);
 
   /// Runs the paper's private stream search over a distributed document
@@ -79,6 +92,9 @@ class BrokerNode {
 
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
+
+  /// The clock RPC deadlines and retry backoff run on (the transport's).
+  Clock& clock() { return transport_.clock(); }
 
   /// Current global view, for tests: data source -> timeline.
   std::vector<storage::SegmentId> visibleSegments(
@@ -108,7 +124,10 @@ class BrokerNode {
   View view_;
   std::vector<std::uint64_t> watchIds_;
   std::set<std::string> nodeWatches_;  // node paths already watched
-  std::unique_ptr<ThreadPool> pool_;
+  // shared_ptr so queries in flight pin the pool across a concurrent
+  // stop(): the same pattern as HistoricalNode::handleRpc (the fix for
+  // the stop-mid-query pool race).
+  std::shared_ptr<ThreadPool> pool_;
   Rng rng_{0xb20c};
 
   // LRU result cache: (segment id string + query fingerprint) -> partial.

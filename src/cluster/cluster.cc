@@ -14,7 +14,8 @@ Cluster::Cluster(Clock& clock, ClusterOptions options)
   broker_ = std::make_unique<BrokerNode>(
       "broker", registry_, transport_,
       BrokerOptions{.scatterThreads = options_.brokerScatterThreads,
-                    .resultCacheCapacity = options_.brokerCacheCapacity});
+                    .resultCacheCapacity = options_.brokerCacheCapacity,
+                    .rpcPolicy = options_.rpcPolicy});
   broker_->start();
   coordinator_ = std::make_unique<CoordinatorNode>("coordinator", registry_,
                                                    metaStore_, clock_);

@@ -28,6 +28,8 @@ struct ClusterOptions {
   std::size_t brokerScatterThreads = 16;
   std::size_t brokerCacheCapacity = 4096;  // 0 disables the result cache
   LoadRules defaultRules{};  // replication factor 1, keep forever
+  /// Retry/backoff/deadline policy for the broker's outbound RPCs.
+  RpcPolicy rpcPolicy{};
 };
 
 class Cluster {

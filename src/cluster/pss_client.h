@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/broker_node.h"
+#include "cluster/rpc_policy.h"
 #include "pss/session.h"
 
 namespace dpss::cluster {
@@ -16,15 +17,19 @@ namespace dpss::cluster {
 struct DistributedSearchStats {
   std::size_t envelopes = 0;    // slices searched (nodes involved)
   std::size_t retries = 0;      // singular-system batch retries
+  std::size_t unavailableRetries = 0;  // whole-batch retries after Unavailable
   std::uint64_t documents = 0;  // stream length covered
 };
 
 /// Runs one distributed private-search round. Throws CryptoError after
 /// `maxRetries` singular batches, NotFound when no node serves the
-/// document source.
+/// document source. Unavailable batches (node churn, chaos) are retried
+/// whole per `unavailableBackoff` — maxAttempts batches total, backing
+/// off on the broker's clock — then rethrown.
 std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
     BrokerNode& broker, pss::PrivateSearchClient& client,
     const std::string& docSource, const std::set<std::string>& keywords,
-    DistributedSearchStats* stats = nullptr, int maxRetries = 5);
+    DistributedSearchStats* stats = nullptr, int maxRetries = 5,
+    const RpcPolicy& unavailableBackoff = {});
 
 }  // namespace dpss::cluster

@@ -1,0 +1,78 @@
+#include "cluster/rpc_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace dpss::cluster {
+
+namespace {
+
+const obs::MetricId kAttempts = obs::internCounter(rpcmetrics::kAttempts);
+const obs::MetricId kRetries = obs::internCounter(rpcmetrics::kRetries);
+const obs::MetricId kRetryExhausted =
+    obs::internCounter(rpcmetrics::kRetryExhausted);
+const obs::MetricId kDeadlineExceeded =
+    obs::internCounter(rpcmetrics::kDeadlineExceeded);
+const obs::MetricId kBackoffMs = obs::internHistogram("rpc.backoff_ms");
+
+[[noreturn]] void throwDeadline(const std::string& nodeName,
+                                const RpcPolicy& policy) {
+  obs::currentRegistry().counter(kDeadlineExceeded).inc();
+  throw DeadlineExceeded("rpc deadline of " +
+                         std::to_string(policy.deadlineMs) + "ms exceeded: " +
+                         nodeName);
+}
+
+}  // namespace
+
+TimeMs backoffDelayMs(const RpcPolicy& policy, std::size_t retryIndex) {
+  if (policy.initialBackoffMs <= 0) return 0;
+  double delay = static_cast<double>(policy.initialBackoffMs);
+  const double cap = policy.maxBackoffMs > 0
+                         ? static_cast<double>(policy.maxBackoffMs)
+                         : std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < retryIndex && delay < cap; ++i) {
+    delay *= policy.backoffMultiplier;
+  }
+  return static_cast<TimeMs>(std::min(delay, cap));
+}
+
+std::string callWithPolicy(Transport& transport, const std::string& nodeName,
+                           const std::string& request,
+                           const RpcPolicy& policy) {
+  obs::MetricsRegistry& obs = obs::currentRegistry();
+  Clock& clock = transport.clock();
+  const std::size_t attempts = std::max<std::size_t>(policy.maxAttempts, 1);
+  const TimeMs deadline =
+      policy.deadlineMs > 0 ? clock.nowMs() + policy.deadlineMs : 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (deadline != 0 && clock.nowMs() >= deadline) {
+      throwDeadline(nodeName, policy);
+    }
+    obs.counter(kAttempts).inc();
+    try {
+      return transport.call(nodeName, request);
+    } catch (const Unavailable&) {
+      if (attempt + 1 >= attempts) {
+        obs.counter(kRetryExhausted).inc();
+        throw;
+      }
+    }
+    obs.counter(kRetries).inc();
+    TimeMs delay = backoffDelayMs(policy, attempt);
+    if (deadline != 0) {
+      const TimeMs remaining = deadline - clock.nowMs();
+      if (remaining <= 0) throwDeadline(nodeName, policy);
+      delay = std::min(delay, remaining);  // never sleep past the deadline
+    }
+    if (delay > 0) {
+      obs.histogram(kBackoffMs).observe(static_cast<std::uint64_t>(delay));
+      clock.sleepFor(delay);
+    }
+  }
+}
+
+}  // namespace dpss::cluster

@@ -58,8 +58,9 @@ std::string handleStatsRpc(obs::MetricsRegistry& registry,
 }
 
 NodeStats callStats(Transport& transport, const std::string& nodeName,
-                    const StatsRequest& request) {
-  const std::string response = transport.call(nodeName, request.encode());
+                    const StatsRequest& request, const RpcPolicy& policy) {
+  const std::string response =
+      callWithPolicy(transport, nodeName, request.encode(), policy);
   ByteReader r(response);
   return NodeStats::deserialize(r);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/registry.h"
+#include "cluster/rpc_policy.h"
 #include "cluster/transport.h"
 #include "obs/metrics.h"
 
@@ -43,9 +44,11 @@ struct NodeStats {
 std::string handleStatsRpc(obs::MetricsRegistry& registry,
                            const std::string& body);
 
-/// Issues one kStats RPC; throws Unavailable like any other call.
+/// Issues one kStats RPC under `policy` (default: retry, no backoff);
+/// throws Unavailable like any other call.
 NodeStats callStats(Transport& transport, const std::string& nodeName,
-                    const StatsRequest& request = {});
+                    const StatsRequest& request = {},
+                    const RpcPolicy& policy = {});
 
 /// The assembled cluster view: node name -> that node's stats.
 struct ClusterStats {

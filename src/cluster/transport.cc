@@ -2,9 +2,57 @@
 
 #include "common/bytes.h"
 #include "common/error.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dpss::cluster {
+
+namespace {
+
+const obs::MetricId kChaosDrops = obs::internCounter("transport.chaos.drops");
+const obs::MetricId kChaosDuplicates =
+    obs::internCounter("transport.chaos.duplicates");
+const obs::MetricId kChaosPartitions =
+    obs::internCounter("transport.chaos.partitions");
+const obs::MetricId kChaosPartitionRejects =
+    obs::internCounter("transport.chaos.partition_rejects");
+
+/// Event log cap: long soak runs keep injecting but stop recording.
+constexpr std::size_t kMaxChaosEvents = 1 << 16;
+
+}  // namespace
+
+ChaosPolicy::ChaosPolicy(ChaosOptions options)
+    : options_(std::move(options)), enabled_(true) {}
+
+ChaosDecision ChaosPolicy::decide(const std::string& dest,
+                                  std::uint64_t seq) const {
+  // One RNG per (seed, dest, seq), drawn in a fixed order: the schedule
+  // is a pure function of the seed, replayable regardless of timing.
+  Rng rng(hashCombine(seededHash(options_.seed, dest), seq));
+  ChaosDecision d;
+  if (options_.latencyJitterMaxMs > options_.latencyJitterMinMs) {
+    d.latencyMs = rng.between(options_.latencyJitterMinMs,
+                              options_.latencyJitterMaxMs);
+  } else {
+    d.latencyMs = options_.latencyJitterMinMs;
+  }
+  if (rng.chance(options_.duplicateProbability)) d.actions |= chaos::kDuplicate;
+  double dropP = options_.dropProbability;
+  const auto it = options_.dropProbabilityByDest.find(dest);
+  if (it != options_.dropProbabilityByDest.end()) dropP = it->second;
+  if (rng.chance(dropP)) d.actions |= chaos::kDrop;
+  if (rng.chance(options_.partitionProbability)) {
+    d.actions |= chaos::kPartition;
+    d.partitionMs =
+        options_.partitionMaxMs > options_.partitionMinMs
+            ? rng.between(options_.partitionMinMs, options_.partitionMaxMs)
+            : options_.partitionMinMs;
+  }
+  return d;
+}
 
 void Transport::bind(const std::string& nodeName, RpcHandler handler) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -27,6 +75,8 @@ std::string Transport::call(const std::string& nodeName,
                             const std::string& request) {
   RpcHandler handler;
   TimeMs latency = 0;
+  bool drop = false;
+  bool duplicate = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++calls_;
@@ -39,14 +89,43 @@ std::string Transport::call(const std::string& nodeName,
     if (partIt != partitioned_.end() && partIt->second) {
       throw Unavailable("node partitioned away: " + nodeName);
     }
+    if (chaos_.enabled()) {
+      const TimeMs now = clock_.nowMs();
+      const auto cutIt = chaosPartitionUntil_.find(nodeName);
+      if (cutIt != chaosPartitionUntil_.end() && now < cutIt->second) {
+        obs::currentRegistry().counter(kChaosPartitionRejects).inc();
+        throw Unavailable("chaos partition active: " + nodeName);
+      }
+      const std::uint64_t seq = chaosSeq_[nodeName]++;
+      const ChaosDecision d = chaos_.decide(nodeName, seq);
+      if ((d.actions != 0 || d.latencyMs > 0) &&
+          chaosEvents_.size() < kMaxChaosEvents) {
+        chaosEvents_.push_back(
+            {nodeName, seq, d.actions, d.latencyMs, d.partitionMs});
+      }
+      if (d.actions & chaos::kPartition) {
+        chaosPartitionUntil_[nodeName] = now + d.partitionMs;
+        obs::currentRegistry().counter(kChaosPartitions).inc();
+        throw Unavailable("chaos partition opened: " + nodeName);
+      }
+      drop = (d.actions & chaos::kDrop) != 0;
+      duplicate = (d.actions & chaos::kDuplicate) != 0;
+      latency = d.latencyMs;
+    }
     const auto it = handlers_.find(nodeName);
     if (it == handlers_.end()) {
       throw Unavailable("no route to node: " + nodeName);
     }
     handler = it->second;
-    latency = latencyMs_;
+    latency += latencyMs_;
   }
   if (latency > 0) clock_.sleepFor(latency);
+  // A dropped request still spends its wire time before the caller can
+  // conclude anything — the deadline tests depend on that ordering.
+  if (drop) {
+    obs::currentRegistry().counter(kChaosDrops).inc();
+    throw Unavailable("chaos dropped rpc to " + nodeName);
+  }
   // Trace propagation across the emulated wire: the caller's context is
   // serialized into an envelope (HTTP-trace-header analogue), decoded
   // node-side, and installed around the handler so server spans parent
@@ -66,6 +145,16 @@ std::string Transport::call(const std::string& nodeName,
   {
     obs::TraceScope scope(remote);
     response = handler(body);
+    if (duplicate) {
+      // Duplicate delivery: the handler runs again on the same bytes and
+      // its response is discarded. Handlers must be idempotent; whatever
+      // the duplicate throws, the network already dropped its reply.
+      obs::currentRegistry().counter(kChaosDuplicates).inc();
+      try {
+        (void)handler(body);
+      } catch (...) {
+      }
+    }
   }
   if (latency > 0) clock_.sleepFor(latency);
   return response;
@@ -84,6 +173,26 @@ void Transport::failNextCalls(const std::string& nodeName, std::size_t n) {
 void Transport::setPartitioned(const std::string& nodeName, bool partitioned) {
   std::lock_guard<std::mutex> lock(mu_);
   partitioned_[nodeName] = partitioned;
+}
+
+void Transport::setChaos(ChaosOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_ = ChaosPolicy(std::move(options));
+  chaosSeq_.clear();
+  chaosPartitionUntil_.clear();
+  chaosEvents_.clear();
+}
+
+void Transport::clearChaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_ = ChaosPolicy();
+  chaosSeq_.clear();
+  chaosPartitionUntil_.clear();
+}
+
+std::vector<ChaosEvent> Transport::chaosEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chaosEvents_;
 }
 
 std::uint64_t Transport::callCount() const {

@@ -6,6 +6,15 @@
 // (shared-nothing honesty). Latency and failure injection emulate the
 // network.
 //
+// Failure injection comes in two flavours:
+//  * hand-scripted faults (failNextCalls / setPartitioned), kept for
+//    targeted tests, and
+//  * a seeded ChaosPolicy: per-destination drop probability, added
+//    latency jitter, duplicate delivery and timed partitions, every
+//    decision a pure function of (seed, destination, per-destination
+//    call sequence number). The same seed always yields the same
+//    injected-failure schedule, so any chaos run is replayable.
+//
 // Tracing: call() serializes the caller's obs::TraceContext into the wire
 // envelope (the analogue of HTTP trace headers) and installs it with
 // obs::TraceScope around the handler, so spans recorded node-side parent
@@ -17,6 +26,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "query/query.h"
@@ -28,6 +38,71 @@ namespace dpss::cluster {
 /// A node-side handler: receives the serialized request, returns the
 /// serialized response. Throws to signal a node-side error.
 using RpcHandler = std::function<std::string(const std::string& requestBytes)>;
+
+// --- seeded chaos --------------------------------------------------------
+
+namespace chaos {
+/// Bits of ChaosDecision::actions / ChaosEvent::actions.
+constexpr std::uint8_t kDrop = 1;       // request lost on the wire
+constexpr std::uint8_t kDuplicate = 2;  // request delivered twice
+constexpr std::uint8_t kPartition = 4;  // destination cut off for a while
+}  // namespace chaos
+
+struct ChaosOptions {
+  std::uint64_t seed = 0;
+  /// Probability a call's request is dropped (caller sees Unavailable).
+  double dropProbability = 0.0;
+  /// Probability a delivered request reaches the handler twice (the
+  /// duplicate's response is discarded, as a network would discard a
+  /// duplicate reply). Exercises handler idempotence.
+  double duplicateProbability = 0.0;
+  /// Uniform added one-way latency in [min, max] ms, applied to both wire
+  /// legs via the transport's Clock (so ManualClock tests stay in
+  /// control of time).
+  TimeMs latencyJitterMinMs = 0;
+  TimeMs latencyJitterMaxMs = 0;
+  /// Probability a call opens a timed partition of its destination;
+  /// while open, every call to it fails. Duration uniform in [min, max].
+  double partitionProbability = 0.0;
+  TimeMs partitionMinMs = 0;
+  TimeMs partitionMaxMs = 0;
+  /// Per-destination overrides of dropProbability.
+  std::map<std::string, double> dropProbabilityByDest;
+};
+
+/// What the chaos layer decided for one call.
+struct ChaosDecision {
+  std::uint8_t actions = 0;  // chaos::k* bits
+  TimeMs latencyMs = 0;      // added one-way latency
+  TimeMs partitionMs = 0;    // partition duration when kPartition set
+};
+
+/// One recorded injection, for determinism checks and debugging.
+struct ChaosEvent {
+  std::string dest;
+  std::uint64_t seq = 0;  // per-destination call sequence number
+  std::uint8_t actions = 0;
+  TimeMs latencyMs = 0;
+  TimeMs partitionMs = 0;
+
+  friend bool operator==(const ChaosEvent& a, const ChaosEvent& b) = default;
+};
+
+/// Deterministic fault schedule: decide() is a pure function of
+/// (options.seed, destination, sequence number), independent of wall
+/// time and thread interleaving.
+class ChaosPolicy {
+ public:
+  ChaosPolicy() = default;  // inert
+  explicit ChaosPolicy(ChaosOptions options);
+
+  bool enabled() const { return enabled_; }
+  ChaosDecision decide(const std::string& dest, std::uint64_t seq) const;
+
+ private:
+  ChaosOptions options_{};
+  bool enabled_ = false;
+};
 
 class Transport {
  public:
@@ -42,6 +117,9 @@ class Transport {
   /// unbound, disconnected, or an injected failure fires.
   std::string call(const std::string& nodeName, const std::string& request);
 
+  /// The clock wire latency and retry backoff are measured against.
+  Clock& clock() { return clock_; }
+
   // --- network emulation ----------------------------------------------
   /// One-way artificial latency per call (applied twice: there and back).
   void setLatencyMs(TimeMs ms);
@@ -49,6 +127,13 @@ class Transport {
   void failNextCalls(const std::string& nodeName, std::size_t n);
   /// Drops a node off the network without unbinding it (partition).
   void setPartitioned(const std::string& nodeName, bool partitioned);
+
+  /// Installs a seeded chaos schedule (resets sequence numbers, open
+  /// chaos partitions and the event log).
+  void setChaos(ChaosOptions options);
+  void clearChaos();
+  /// Every injection so far, in injection order (capped; see cc).
+  std::vector<ChaosEvent> chaosEvents() const;
 
   std::uint64_t callCount() const;
 
@@ -60,6 +145,11 @@ class Transport {
   std::map<std::string, bool> partitioned_;
   TimeMs latencyMs_ = 0;
   std::uint64_t calls_ = 0;
+
+  ChaosPolicy chaos_;
+  std::map<std::string, std::uint64_t> chaosSeq_;
+  std::map<std::string, TimeMs> chaosPartitionUntil_;
+  std::vector<ChaosEvent> chaosEvents_;
 };
 
 // --- wire protocol -------------------------------------------------------

@@ -54,6 +54,14 @@ class Unavailable : public Error {
   explicit Unavailable(const std::string& what) : Error(what) {}
 };
 
+/// An RPC deadline elapsed before the call could complete. Subclass of
+/// Unavailable so existing replica-failover paths treat it as a node
+/// loss, while callers that care can distinguish it.
+class DeadlineExceeded : public Unavailable {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Unavailable(what) {}
+};
+
 /// Internal invariant violation; indicates a dpss bug, not user error.
 class InternalError : public Error {
  public:

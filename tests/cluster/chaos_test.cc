@@ -1,0 +1,197 @@
+// Seeded chaos sweeps: many distinct seeds drive broker queries and PSS
+// sessions through drop / duplicate / latency-jitter / timed-partition
+// injection. The invariants under chaos: every operation returns a
+// correct (possibly partial) result or a typed Error — never a hang,
+// crash, or torn result — and the same seed always reproduces the
+// identical injection schedule.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clock_driver.h"
+#include "cluster/cluster.h"
+#include "cluster/pss_client.h"
+#include "common/error.h"
+#include "pss/session.h"
+#include "storage/adtech.h"
+
+namespace dpss::cluster {
+namespace {
+
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+
+query::QuerySpec countQuery() {
+  query::QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {query::countAgg("cnt")};
+  return q;
+}
+
+std::vector<storage::SegmentPtr> makeSegments(std::size_t count) {
+  AdTechConfig config;
+  config.rowsPerSegment = 100;
+  return generateAdTechSegments(config, "ads", count);
+}
+
+TEST(Chaos, IdenticalSeedReproducesIdenticalSchedule) {
+  // Element-wise schedule equality needs a deterministic call order:
+  // one query thread, one scatter thread, replication 1, and a chaos mix
+  // without latency or partitions (those interact with wall ordering;
+  // the per-(dest, seq) decisions themselves are always seed-pure).
+  const auto run = [] {
+    ManualClock clock(1'400'000'000'000);
+    ClusterOptions options;
+    options.historicalNodes = 2;
+    options.brokerScatterThreads = 1;
+    options.brokerCacheCapacity = 0;
+    Cluster cluster(clock, options);
+    cluster.publishSegments(makeSegments(4));
+    ChaosOptions chaos;
+    chaos.seed = 1234;
+    chaos.dropProbability = 0.25;
+    chaos.duplicateProbability = 0.25;
+    cluster.transport().setChaos(chaos);
+    for (int i = 0; i < 5; ++i) {
+      try {
+        (void)cluster.broker().query(countQuery());
+      } catch (const Unavailable&) {
+        // part of the schedule
+      }
+    }
+    return cluster.transport().chaosEvents();
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "schedules diverge at event " << i;
+  }
+}
+
+TEST(Chaos, SeedSweepBrokerQueriesReturnResultOrTypedError) {
+  ManualClock clock(1'400'000'000'000);
+  ClockDriver driver(clock);  // before the cluster: outlives its sleepers
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.defaultRules.replicationFactor = 2;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock, options);
+  cluster.publishSegments(makeSegments(4));
+
+  int successes = 0;
+  int partials = 0;
+  int unavailable = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.dropProbability = 0.15;
+    chaos.duplicateProbability = 0.15;
+    chaos.latencyJitterMinMs = 1;
+    chaos.latencyJitterMaxMs = 5;
+    chaos.partitionProbability = 0.02;
+    chaos.partitionMinMs = 20;
+    chaos.partitionMaxMs = 50;
+    cluster.transport().setChaos(chaos);
+    try {
+      const auto outcome = cluster.broker().query(countQuery());
+      // No torn results: the count is a whole number of 100-row
+      // segments, and a partial answer may miss at most a strict
+      // minority of the 4 segments.
+      const auto cnt = static_cast<long long>(outcome.rows[0].values[0]);
+      EXPECT_EQ(cnt % 100, 0) << "seed " << seed;
+      EXPECT_EQ(cnt, 400 - 100 * static_cast<long long>(
+                                     outcome.unreachableSegments.size()))
+          << "seed " << seed;
+      EXPECT_LT(outcome.unreachableSegments.size() * 2, 4u)
+          << "seed " << seed;
+      ++successes;
+      if (outcome.partial()) ++partials;
+    } catch (const Unavailable&) {
+      ++unavailable;  // the typed half of the invariant
+    }
+  }
+  cluster.transport().clearChaos();
+  // With replication 2 and 3 attempts per replica, most seeds answer.
+  EXPECT_GT(successes, 25);
+  EXPECT_EQ(successes + unavailable, 50);
+  // Settled network: full answer again.
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 400.0);
+}
+
+TEST(Chaos, SeedSweepPrivateSearchSessions) {
+  ManualClock clock(1'400'000'000'000);
+  ClockDriver driver(clock);
+  Cluster cluster(clock, {.historicalNodes = 2});
+
+  // 20 docs per slice: comfortably above bufferLength (8) so the
+  // reconstruction has padding indices and stays well-conditioned.
+  std::vector<std::string> docs;
+  for (std::size_t i = 0; i < 40; ++i) {
+    docs.push_back("routine log line " + std::to_string(i));
+  }
+  docs[2] = "virus detected on host two";
+  docs[25] = "worm on host twenty-five";  // second node's slice
+  cluster.historical(0).loadDocuments("security-log", 0,
+                                      {docs.begin(), docs.begin() + 20});
+  cluster.historical(1).loadDocuments("security-log", 20,
+                                      {docs.begin() + 20, docs.end()});
+
+  const pss::Dictionary dict({"virus", "worm", "normal"});
+  pss::SearchParams params{
+      .bufferLength = 8, .indexBufferLength = 256, .bloomHashes = 5};
+  pss::PrivateSearchClient client(dict, params, 128, 4242);
+
+  RpcPolicy batchRetry;
+  batchRetry.maxAttempts = 3;
+
+  int full = 0;
+  int degraded = 0;
+  int failed = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    chaos.dropProbability = 0.1;
+    chaos.duplicateProbability = 0.1;
+    cluster.transport().setChaos(chaos);
+    try {
+      DistributedSearchStats stats;
+      const auto results = runDistributedPrivateSearch(
+          cluster.broker(), client, "security-log", {"virus", "worm"},
+          &stats, 5, batchRetry);
+      std::set<std::uint64_t> indices;
+      for (const auto& r : results) {
+        indices.insert(r.index);
+        EXPECT_EQ(r.payload, docs[r.index]) << "seed " << seed;
+      }
+      if (stats.documents == docs.size()) {
+        // Both slices answered: the result must be exact.
+        EXPECT_EQ(indices, (std::set<std::uint64_t>{2, 25}))
+            << "seed " << seed;
+        ++full;
+      } else {
+        // A slice's info probe was dropped past its retries: a smaller
+        // stream was searched, but recovered payloads are still real.
+        ++degraded;
+      }
+    } catch (const Unavailable&) {
+      ++failed;
+    } catch (const NotFound&) {
+      ++failed;  // every info probe lost: typed, not silent
+    } catch (const CryptoError&) {
+      ++failed;  // singular batches exhausted their retries: still typed
+    }
+  }
+  cluster.transport().clearChaos();
+  EXPECT_EQ(full + degraded + failed, 50);
+  // Retries make the common case a complete answer.
+  EXPECT_GT(full, 25);
+}
+
+}  // namespace
+}  // namespace dpss::cluster

@@ -1,0 +1,42 @@
+// Test helper: drives a ManualClock from a background thread so code
+// blocked in sleepFor() — chaos latency jitter, retry backoff, timed
+// partitions — always makes progress without the test predicting every
+// sleep. Declare a ClockDriver BEFORE the Cluster (or Transport) that
+// sleeps on the clock, so it outlives every sleeper during teardown.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace dpss::cluster {
+
+class ClockDriver {
+ public:
+  explicit ClockDriver(ManualClock& clock, TimeMs stepMs = 5)
+      : clock_(clock), thread_([this, stepMs] {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            if (clock_.sleeperCount() > 0) {
+              clock_.advance(stepMs);
+            } else {
+              std::this_thread::yield();
+            }
+          }
+        }) {}
+
+  ~ClockDriver() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+  ClockDriver(const ClockDriver&) = delete;
+  ClockDriver& operator=(const ClockDriver&) = delete;
+
+ private:
+  ManualClock& clock_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dpss::cluster

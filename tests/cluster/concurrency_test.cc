@@ -76,6 +76,51 @@ TEST(Concurrency, QueriesDuringCoordinatorChurn) {
   EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 600.0);
 }
 
+TEST(Concurrency, QueriesDuringBrokerChurn) {
+  // The stop-mid-query pool race (ROADMAP): queries racing broker
+  // stop()/start() must either answer correctly or fail with a typed
+  // Unavailable — never crash on a destroyed scatter pool or deadlock
+  // on the broker mutex during pool teardown.
+  ManualClock clock(1'400'000'000'000);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock, options);
+  AdTechConfig config;
+  config.rowsPerSegment = 100;
+  cluster.publishSegments(generateAdTechSegments(config, "ads", 4));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> answered{0};
+  std::atomic<int> unavailable{0};
+  std::vector<std::thread> queryThreads;
+  for (int t = 0; t < 3; ++t) {
+    queryThreads.emplace_back([&] {
+      while (!stop.load()) {
+        try {
+          const auto outcome = cluster.broker().query(countQuery());
+          const auto cnt = outcome.rows[0].values[0];
+          ASSERT_EQ(static_cast<long long>(cnt) % 100, 0);
+          answered.fetch_add(1);
+        } catch (const Unavailable&) {
+          unavailable.fetch_add(1);  // broker mid-restart
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 25; ++round) {
+    cluster.broker().stop();
+    cluster.broker().start();
+  }
+  stop.store(true);
+  for (auto& t : queryThreads) t.join();
+
+  EXPECT_GT(answered.load(), 0);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 400.0);
+}
+
 TEST(Concurrency, ParallelQueriesShareTheBrokerSafely) {
   ManualClock clock(1'400'000'000'000);
   Cluster cluster(clock, {.historicalNodes = 2});

@@ -3,8 +3,10 @@
 // after churn, and SQL/timeseries queries over the full distributed path.
 #include <gtest/gtest.h>
 
+#include "clock_driver.h"
 #include "cluster/cluster.h"
 #include "cluster/names.h"
+#include "cluster/rpc_policy.h"
 #include "common/error.h"
 #include "query/sql.h"
 #include "storage/adtech.h"
@@ -113,6 +115,141 @@ TEST_F(FailureTest, TransientRpcFailuresFailoverToReplica) {
   cluster.transport().failNextCalls("historical-0", 5);
   const auto outcome = cluster.broker().query(countQuery());
   EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+}
+
+TEST_F(FailureTest, TransientFailureRetriedOnSameReplica) {
+  // Replication 1: before the retry policy, one injected failure killed
+  // the only replica and the query; now the policy retries it in place.
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(2));
+
+  cluster.transport().failNextCalls("historical-0", 1);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal(rpcmetrics::kRetries), 1u);
+  EXPECT_EQ(stats.counterTotal(rpcmetrics::kRetryExhausted), 0u);
+}
+
+TEST_F(FailureTest, RetryExhaustionSurfacesInClusterStats) {
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(1));
+
+  // More consecutive failures than the default 3 attempts: the policy
+  // gives up, the only replica is lost, the query fails loudly.
+  cluster.transport().failNextCalls("historical-0", 10);
+  EXPECT_THROW(cluster.broker().query(countQuery()), Unavailable);
+
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal(rpcmetrics::kAttempts), 3u);
+  EXPECT_GE(stats.counterTotal(rpcmetrics::kRetries), 2u);
+  EXPECT_GE(stats.counterTotal(rpcmetrics::kRetryExhausted), 1u);
+  EXPECT_GE(stats.counterTotal("broker.scatter.lost_segments"), 1u);
+}
+
+TEST_F(FailureTest, DeadlineExpiryUnderInjectedLatency) {
+  ClockDriver driver(clock_);  // declared first: outlives the sleepers
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.brokerCacheCapacity = 0;
+  options.rpcPolicy.maxAttempts = 5;
+  options.rpcPolicy.deadlineMs = 20;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(1));
+
+  // Every call spends 30ms of injected wire latency and is then dropped:
+  // the 20ms deadline expires before a retry can be scheduled, so the
+  // typed DeadlineExceeded (an Unavailable) loses the only replica.
+  ChaosOptions chaos;
+  chaos.seed = 99;
+  chaos.dropProbability = 1.0;
+  chaos.latencyJitterMinMs = 30;
+  chaos.latencyJitterMaxMs = 30;
+  cluster.transport().setChaos(chaos);
+  EXPECT_THROW(cluster.broker().query(countQuery()), Unavailable);
+  cluster.transport().clearChaos();
+
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal(rpcmetrics::kDeadlineExceeded), 1u);
+}
+
+TEST_F(FailureTest, DuplicateDeliveryIsIdempotent) {
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(4));
+
+  // Every request reaches its handler twice; segment scans are read-only
+  // so the answer must be identical to single delivery.
+  ChaosOptions chaos;
+  chaos.seed = 5;
+  chaos.duplicateProbability = 1.0;
+  cluster.transport().setChaos(chaos);
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 400.0);
+  EXPECT_TRUE(outcome.unreachableSegments.empty());
+  cluster.transport().clearChaos();
+
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal("transport.chaos.duplicates"), 4u);
+}
+
+TEST_F(FailureTest, PartialResultWhenStrictMinorityPartitioned) {
+  ClusterOptions options;
+  options.historicalNodes = 3;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(3));
+
+  // Partition a node serving exactly one of the three segments (the
+  // balancer spreads three equal segments one per node).
+  std::size_t victim = cluster.historicalCount();
+  for (std::size_t i = 0; i < cluster.historicalCount(); ++i) {
+    if (cluster.historical(i).servedSegments().size() == 1) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, cluster.historicalCount());
+  cluster.transport().setPartitioned(cluster.historical(victim).name(), true);
+
+  const auto outcome = cluster.broker().query(countQuery());
+  EXPECT_TRUE(outcome.partial());
+  ASSERT_EQ(outcome.unreachableSegments.size(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal("broker.query.partial"), 1u);
+  EXPECT_GE(stats.counterTotal("broker.scatter.lost_segments"), 1u);
+
+  // Heal: the same query is whole again.
+  cluster.transport().setPartitioned(cluster.historical(victim).name(),
+                                     false);
+  const auto healed = cluster.broker().query(countQuery());
+  EXPECT_FALSE(healed.partial());
+  EXPECT_DOUBLE_EQ(healed.rows[0].values[0], 300.0);
+}
+
+TEST_F(FailureTest, LosingHalfOrMoreThrowsTypedUnavailable) {
+  ClusterOptions options;
+  options.historicalNodes = 3;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock_, options);
+  cluster.publishSegments(makeSegments(3));
+
+  // Cut two of three nodes: at least two segments lose their only
+  // replica, which is no longer a strict minority.
+  cluster.transport().setPartitioned("historical-0", true);
+  cluster.transport().setPartitioned("historical-1", true);
+  EXPECT_THROW(cluster.broker().query(countQuery()), Unavailable);
 }
 
 TEST_F(FailureTest, SqlThroughTheBroker) {

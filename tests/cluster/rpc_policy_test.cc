@@ -1,0 +1,303 @@
+// Unit tests for the RPC retry/backoff/deadline policy (backoff math,
+// callWithPolicy behaviour, obs counters) and for the seeded ChaosPolicy
+// (purity, distribution shape, transport-level drop/duplicate/partition
+// mechanics).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "clock_driver.h"
+#include "cluster/rpc_policy.h"
+#include "cluster/transport.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace dpss::cluster {
+namespace {
+
+// --- backoff math --------------------------------------------------------
+
+TEST(RpcPolicy, BackoffDisabledWhenInitialIsZero) {
+  RpcPolicy p;  // default: initialBackoffMs = 0
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(backoffDelayMs(p, i), 0);
+  }
+}
+
+TEST(RpcPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RpcPolicy p;
+  p.initialBackoffMs = 10;
+  p.backoffMultiplier = 2.0;
+  p.maxBackoffMs = 80;
+  EXPECT_EQ(backoffDelayMs(p, 0), 10);
+  EXPECT_EQ(backoffDelayMs(p, 1), 20);
+  EXPECT_EQ(backoffDelayMs(p, 2), 40);
+  EXPECT_EQ(backoffDelayMs(p, 3), 80);
+  EXPECT_EQ(backoffDelayMs(p, 4), 80);   // capped
+  EXPECT_EQ(backoffDelayMs(p, 40), 80);  // no overflow at deep indices
+}
+
+TEST(RpcPolicy, BackoffUncappedWhenMaxIsZero) {
+  RpcPolicy p;
+  p.initialBackoffMs = 1;
+  p.backoffMultiplier = 2.0;
+  p.maxBackoffMs = 0;
+  EXPECT_EQ(backoffDelayMs(p, 10), 1024);
+}
+
+// --- callWithPolicy ------------------------------------------------------
+
+class CallPolicyTest : public ::testing::Test {
+ protected:
+  CallPolicyTest() : clock_(0), transport_(clock_), scope_(obs_) {
+    transport_.bind("node", [this](const std::string& req) {
+      ++handled_;
+      return "echo:" + req;
+    });
+  }
+
+  std::uint64_t counter(const char* name) {
+    return obs_.snapshot().counterValue(name);
+  }
+
+  ManualClock clock_;
+  Transport transport_;
+  obs::MetricsRegistry obs_{"test"};
+  obs::ScopedRegistry scope_;
+  int handled_ = 0;
+};
+
+TEST_F(CallPolicyTest, SuccessTakesOneAttempt) {
+  EXPECT_EQ(callWithPolicy(transport_, "node", "hi"), "echo:hi");
+  EXPECT_EQ(transport_.callCount(), 1u);
+  EXPECT_EQ(counter(rpcmetrics::kAttempts), 1u);
+  EXPECT_EQ(counter(rpcmetrics::kRetries), 0u);
+}
+
+TEST_F(CallPolicyTest, RetriesTransientUnavailable) {
+  transport_.failNextCalls("node", 2);
+  EXPECT_EQ(callWithPolicy(transport_, "node", "hi"), "echo:hi");
+  EXPECT_EQ(transport_.callCount(), 3u);
+  EXPECT_EQ(counter(rpcmetrics::kAttempts), 3u);
+  EXPECT_EQ(counter(rpcmetrics::kRetries), 2u);
+  EXPECT_EQ(counter(rpcmetrics::kRetryExhausted), 0u);
+}
+
+TEST_F(CallPolicyTest, RetryExhaustionRethrowsAndCounts) {
+  transport_.failNextCalls("node", 10);
+  EXPECT_THROW(callWithPolicy(transport_, "node", "hi"), Unavailable);
+  EXPECT_EQ(transport_.callCount(), 3u);  // default maxAttempts = 3
+  EXPECT_EQ(counter(rpcmetrics::kRetryExhausted), 1u);
+  EXPECT_EQ(handled_, 0);
+}
+
+TEST_F(CallPolicyTest, NonUnavailableErrorsAreNeverRetried) {
+  transport_.bind("grumpy", [](const std::string&) -> std::string {
+    throw CorruptData("bad request");
+  });
+  EXPECT_THROW(callWithPolicy(transport_, "grumpy", "hi"), CorruptData);
+  EXPECT_EQ(transport_.callCount(), 1u);
+  EXPECT_EQ(counter(rpcmetrics::kRetries), 0u);
+}
+
+TEST_F(CallPolicyTest, BackoffSleepsOnTheTransportClock) {
+  transport_.failNextCalls("node", 2);
+  RpcPolicy p;
+  p.maxAttempts = 3;
+  p.initialBackoffMs = 10;
+  p.backoffMultiplier = 2.0;
+  ClockDriver driver(clock_, 5);
+  EXPECT_EQ(callWithPolicy(transport_, "node", "hi", p), "echo:hi");
+  // Two backoffs (10ms + 20ms) elapsed on the virtual clock.
+  EXPECT_GE(clock_.nowMs(), 30);
+}
+
+TEST_F(CallPolicyTest, DeadlineExpiryThrowsTypedError) {
+  transport_.failNextCalls("node", 100);
+  RpcPolicy p;
+  p.maxAttempts = 100;
+  p.initialBackoffMs = 20;
+  p.deadlineMs = 50;
+  ClockDriver driver(clock_, 5);
+  EXPECT_THROW(callWithPolicy(transport_, "node", "hi", p), DeadlineExceeded);
+  EXPECT_GE(counter(rpcmetrics::kDeadlineExceeded), 1u);
+  // Well short of the attempt budget: the deadline cut the retries off.
+  EXPECT_LT(transport_.callCount(), 10u);
+}
+
+TEST_F(CallPolicyTest, DeadlineExceededIsUnavailable) {
+  // Failover paths catch Unavailable; the typed deadline error must flow
+  // through them unchanged.
+  transport_.failNextCalls("node", 100);
+  RpcPolicy p;
+  p.maxAttempts = 100;
+  p.initialBackoffMs = 20;
+  p.deadlineMs = 50;
+  ClockDriver driver(clock_, 5);
+  EXPECT_THROW(callWithPolicy(transport_, "node", "hi", p), Unavailable);
+}
+
+// --- ChaosPolicy decisions ----------------------------------------------
+
+TEST(ChaosPolicy, DecisionsArePureFunctionsOfSeedDestSeq) {
+  ChaosOptions opts;
+  opts.seed = 42;
+  opts.dropProbability = 0.3;
+  opts.duplicateProbability = 0.2;
+  opts.latencyJitterMinMs = 1;
+  opts.latencyJitterMaxMs = 9;
+  opts.partitionProbability = 0.05;
+  opts.partitionMinMs = 10;
+  opts.partitionMaxMs = 90;
+  const ChaosPolicy a(opts);
+  const ChaosPolicy b(opts);
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    for (const char* dest : {"alpha", "beta"}) {
+      const ChaosDecision da = a.decide(dest, seq);
+      const ChaosDecision db = b.decide(dest, seq);
+      EXPECT_EQ(da.actions, db.actions);
+      EXPECT_EQ(da.latencyMs, db.latencyMs);
+      EXPECT_EQ(da.partitionMs, db.partitionMs);
+    }
+  }
+}
+
+TEST(ChaosPolicy, DifferentSeedsYieldDifferentSchedules) {
+  ChaosOptions a;
+  a.seed = 1;
+  a.dropProbability = 0.5;
+  ChaosOptions b = a;
+  b.seed = 2;
+  const ChaosPolicy pa(a);
+  const ChaosPolicy pb(b);
+  int differing = 0;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    if (pa.decide("n", seq).actions != pb.decide("n", seq).actions) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(ChaosPolicy, DropRateTracksProbability) {
+  ChaosOptions opts;
+  opts.seed = 7;
+  opts.dropProbability = 0.3;
+  const ChaosPolicy policy(opts);
+  int drops = 0;
+  const int n = 10000;
+  for (int seq = 0; seq < n; ++seq) {
+    if (policy.decide("n", static_cast<std::uint64_t>(seq)).actions &
+        chaos::kDrop) {
+      ++drops;
+    }
+  }
+  EXPECT_GT(drops, n * 0.25);
+  EXPECT_LT(drops, n * 0.35);
+}
+
+TEST(ChaosPolicy, PerDestinationDropOverride) {
+  ChaosOptions opts;
+  opts.seed = 7;
+  opts.dropProbability = 0.0;
+  opts.dropProbabilityByDest["cursed"] = 1.0;
+  const ChaosPolicy policy(opts);
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    EXPECT_TRUE(policy.decide("cursed", seq).actions & chaos::kDrop);
+    EXPECT_FALSE(policy.decide("blessed", seq).actions & chaos::kDrop);
+  }
+}
+
+TEST(ChaosPolicy, LatencyJitterStaysInRange) {
+  ChaosOptions opts;
+  opts.seed = 7;
+  opts.latencyJitterMinMs = 5;
+  opts.latencyJitterMaxMs = 15;
+  const ChaosPolicy policy(opts);
+  bool varied = false;
+  TimeMs first = policy.decide("n", 0).latencyMs;
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    const TimeMs l = policy.decide("n", seq).latencyMs;
+    EXPECT_GE(l, 5);
+    EXPECT_LE(l, 15);
+    if (l != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+// --- transport-level chaos mechanics ------------------------------------
+
+TEST(ChaosTransport, DropThrowsUnavailableAndLogsEvent) {
+  ManualClock clock(0);
+  Transport transport(clock);
+  transport.bind("n", [](const std::string&) { return std::string("ok"); });
+  ChaosOptions opts;
+  opts.seed = 3;
+  opts.dropProbability = 1.0;
+  transport.setChaos(opts);
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);
+  const auto events = transport.chaosEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].dest, "n");
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_TRUE(events[0].actions & chaos::kDrop);
+}
+
+TEST(ChaosTransport, DuplicateDeliversRequestTwiceReturnsOneResponse) {
+  ManualClock clock(0);
+  Transport transport(clock);
+  int handled = 0;
+  transport.bind("n", [&handled](const std::string&) {
+    ++handled;
+    return std::string("resp") + std::to_string(handled);
+  });
+  ChaosOptions opts;
+  opts.seed = 3;
+  opts.duplicateProbability = 1.0;
+  transport.setChaos(opts);
+  EXPECT_EQ(transport.call("n", "hi"), "resp1");  // duplicate's reply lost
+  EXPECT_EQ(handled, 2);
+}
+
+TEST(ChaosTransport, TimedPartitionRejectsUntilClockPasses) {
+  ManualClock clock(0);
+  Transport transport(clock);
+  transport.bind("n", [](const std::string&) { return std::string("ok"); });
+  ChaosOptions opts;
+  opts.seed = 11;
+  opts.partitionProbability = 1.0;
+  opts.partitionMinMs = 100;
+  opts.partitionMaxMs = 100;
+  transport.setChaos(opts);
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);  // opens partition
+  EXPECT_EQ(transport.chaosEvents().size(), 1u);
+  // While the partition is open, calls bounce without consuming sequence
+  // numbers — timing must not perturb the deterministic schedule.
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);
+  EXPECT_EQ(transport.chaosEvents().size(), 1u);
+  clock.advance(150);
+  // Healed: the next call consumes seq 1 (here deciding a new partition,
+  // since the probability is 1 — which proves the old one expired).
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);
+  const auto events = transport.chaosEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(ChaosTransport, ClearChaosRestoresCleanNetwork) {
+  ManualClock clock(0);
+  Transport transport(clock);
+  transport.bind("n", [](const std::string&) { return std::string("ok"); });
+  ChaosOptions opts;
+  opts.seed = 3;
+  opts.dropProbability = 1.0;
+  transport.setChaos(opts);
+  EXPECT_THROW(transport.call("n", "hi"), Unavailable);
+  transport.clearChaos();
+  EXPECT_EQ(transport.call("n", "hi"), "ok");
+}
+
+}  // namespace
+}  // namespace dpss::cluster
