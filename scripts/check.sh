@@ -1,18 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the code whose
-# correctness depends on concurrency: the obs/ metrics+tracing layer,
-# the thread pool, and a trimmed cluster subset (broker/coordinator
-# churn races, chaos determinism, rpc retry policy). Run from the repo
-# root.
+# The repo's verification gate, in four stages:
+#
+#   1. tier-1   — full build (with -Werror for src/) + full ctest suite
+#   2. lint     — dpss-lint determinism/layering invariants over src/
+#   3. asan     — the FULL ctest suite again under ASan+UBSan
+#                 (UBSan non-recoverable, so any UB fails the test)
+#   4. tsan     — the concurrency-sensitive subset under ThreadSanitizer
+#                 (obs layer, thread pool, churn/chaos/rpc-policy tests;
+#                 the full suite under TSan is too slow for a local gate)
+#
+# Clang's -Wthread-safety analysis over the annotated mutexes needs a
+# clang toolchain and runs in CI (.github/workflows/check.yml); if
+# clang++ is on PATH we run it here too.
+#
+# Run from the repo root. Set DPSS_CHECK_SKIP_SANITIZERS=1 for a quick
+# tier-1+lint pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier-1: full build + ctest =="
-cmake -B build -S . >/dev/null
+echo "== tier-1: full build (DPSS_WERROR=ON) + ctest =="
+cmake -B build -S . -DDPSS_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS" >/dev/null
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== dpss-lint: determinism & layering invariants =="
+python3 scripts/dpss_lint.py --selftest
+python3 scripts/dpss_lint.py
+
+if [[ "${DPSS_CHECK_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo
+  echo "sanitizer stages skipped (DPSS_CHECK_SKIP_SANITIZERS=1)"
+  exit 0
+fi
+
+echo
+echo "== asan+ubsan: full ctest suite under -fsanitize=address,undefined =="
+cmake -B build-asan -S . -DDPSS_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" >/dev/null
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
 
 echo
 echo "== tsan: obs_test + thread_pool + cluster subset under -fsanitize=thread =="
@@ -21,6 +49,17 @@ cmake --build build-tsan --target obs_test common_test cluster_test -j "$JOBS" >
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/common_test --gtest_filter='ThreadPool.*'
 ./build-tsan/tests/cluster_test --gtest_filter='Concurrency.*:RpcPolicy.*:CallPolicyTest.*:ChaosPolicy.*:ChaosTransport.*:Chaos.IdenticalSeedReproducesIdenticalSchedule'
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo
+  echo "== clang thread-safety: -Werror=thread-safety over annotated mutexes =="
+  cmake -B build-tsa -S . -DDPSS_THREAD_SAFETY=ON \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-tsa -j "$JOBS" >/dev/null
+else
+  echo
+  echo "clang++ not found; thread-safety analysis left to CI"
+fi
 
 echo
 echo "all checks passed"

@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""dpss-lint: enforce the repo's determinism and layering invariants.
+
+The cluster's tests replay seeded chaos schedules against a virtual clock,
+so determinism is a load-bearing property, not a style preference. These
+rules keep the accidental escape hatches shut:
+
+  wall-clock   -- no std::this_thread::sleep_for / system_clock::now /
+                  steady_clock::now outside common/clock.* (the Clock
+                  abstraction) and explicitly allowed measurement sites.
+  rng          -- no std::random_device / rand() / srand() outside
+                  common/rng.* (the seeded Rng abstraction).
+  transport-call -- no direct Transport::call; every RPC goes through
+                  callWithPolicy (cluster/rpc_policy.cc) so retry,
+                  backoff and deadline policy is never bypassed.
+  metric-name  -- obs::intern{Counter,Gauge,Histogram} names are
+                  lowercase dotted identifiers ("a.b.c"), so exposition
+                  renders a stable, greppable namespace.
+
+A violation can be waived inline with a justification:
+
+    // dpss-lint: allow(wall-clock) log timestamps are cosmetic.
+
+The comment may sit on the offending line or on the contiguous comment
+block immediately above it. An allow comment with no justification text
+is itself an error.
+
+Usage:
+    scripts/dpss_lint.py [--root DIR] [--selftest] [PATHS...]
+
+With no PATHS, lints every .h/.cc file under src/. Exits non-zero when
+any violation is found. --selftest runs the rule engine against built-in
+positive/negative samples (wired into ctest as `dpss_lint_selftest`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    pattern: re.Pattern
+    message: str
+    # Files (repo-relative, forward slashes) exempt from the rule.
+    exempt_files: frozenset = frozenset()
+
+
+# common/clock.* implements the Clock abstraction over the real clock;
+# common/thread_pool and thread_annotations never touch time.
+WALL_CLOCK_EXEMPT = frozenset(
+    {
+        "src/common/clock.h",
+        "src/common/clock.cc",
+    }
+)
+
+# common/rng.* implements the seeded generator every caller must use.
+RNG_EXEMPT = frozenset(
+    {
+        "src/common/rng.h",
+        "src/common/rng.cc",
+    }
+)
+
+# rpc_policy.cc is the one client-side site allowed to hit the raw
+# transport (it IS the policy layer); transport.cc/h define call().
+TRANSPORT_EXEMPT = frozenset(
+    {
+        "src/cluster/rpc_policy.cc",
+        "src/cluster/rpc_policy.h",
+        "src/cluster/transport.cc",
+        "src/cluster/transport.h",
+    }
+)
+
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+RULES = [
+    Rule(
+        name="wall-clock",
+        pattern=re.compile(
+            r"std::this_thread::sleep_for"
+            r"|\bsystem_clock::now\s*\("
+            r"|\bsteady_clock::now\s*\("
+        ),
+        message=(
+            "wall-clock access outside common/clock.*; take a Clock& so "
+            "tests control time (or justify with an allow comment)"
+        ),
+        exempt_files=WALL_CLOCK_EXEMPT,
+    ),
+    Rule(
+        name="rng",
+        pattern=re.compile(r"std::random_device\b|\b(?:s?rand)\s*\(\s*\)"),
+        message=(
+            "unseeded randomness outside common/rng.*; take an Rng so "
+            "runs are replayable from a seed"
+        ),
+        exempt_files=RNG_EXEMPT,
+    ),
+    Rule(
+        name="transport-call",
+        pattern=re.compile(r"\btransport_?\s*[.&]?\s*->?\s*\bcall\s*\("
+                           r"|\btransport_\.call\s*\("
+                           r"|\btransport\.call\s*\("),
+        message=(
+            "direct Transport::call bypasses retry/backoff/deadline "
+            "policy; route through callWithPolicy (cluster/rpc_policy.h)"
+        ),
+        exempt_files=TRANSPORT_EXEMPT,
+    ),
+]
+
+ALLOW_RE = re.compile(r"//\s*dpss-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+COMMENT_LINE_RE = re.compile(r"^\s*(//|\*|/\*)")
+INTERN_RE = re.compile(
+    r"""\b(?:obs::)?intern(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"""
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {self.message}\n"
+            f"    {self.snippet.strip()}"
+        )
+
+
+@dataclass
+class FileLint:
+    """Per-file rule engine; separable from the filesystem for selftest."""
+
+    relpath: str
+    lines: list
+    findings: list = field(default_factory=list)
+
+    def allowed_rules_for(self, index: int) -> dict:
+        """Rules waived for line `index` (0-based): same-line allow
+        comments, plus any in the contiguous comment block above the
+        enclosing statement (matches on a wrapped continuation line are
+        still covered by a comment above the statement's first line)."""
+        allowed = {}
+        candidates = [self.lines[index]]
+        j = index
+        while j > 0:
+            prev = self.lines[j - 1].rstrip()
+            if (
+                not prev
+                or prev.endswith((";", "{", "}"))
+                or COMMENT_LINE_RE.match(prev)
+            ):
+                break
+            candidates.append(self.lines[j - 1])
+            j -= 1
+        j -= 1
+        while j >= 0 and COMMENT_LINE_RE.match(self.lines[j]):
+            candidates.append(self.lines[j])
+            j -= 1
+        for text in candidates:
+            m = ALLOW_RE.search(text)
+            if m:
+                allowed[m.group(1)] = m.group(2).strip()
+        return allowed
+
+    def check(self) -> list:
+        for i, line in enumerate(self.lines):
+            allowed = self.allowed_rules_for(i)
+            for rule in RULES:
+                if self.relpath in rule.exempt_files:
+                    continue
+                if not rule.pattern.search(line):
+                    continue
+                if ALLOW_RE.search(line) and rule.name not in allowed:
+                    # The match came from the allow comment itself.
+                    if not rule.pattern.search(line.split("//")[0]):
+                        continue
+                if rule.name in allowed:
+                    if not allowed[rule.name]:
+                        self.findings.append(
+                            Finding(
+                                self.relpath,
+                                i + 1,
+                                rule.name,
+                                "allow comment needs a justification",
+                                line,
+                            )
+                        )
+                    continue
+                self.findings.append(
+                    Finding(self.relpath, i + 1, rule.name, rule.message, line)
+                )
+            for m in INTERN_RE.finditer(line):
+                name = m.group(1)
+                if "metric-name" in allowed:
+                    continue
+                if not METRIC_NAME_RE.match(name):
+                    self.findings.append(
+                        Finding(
+                            self.relpath,
+                            i + 1,
+                            "metric-name",
+                            f'metric "{name}" is not lowercase dotted '
+                            "(expected e.g. broker.query.count)",
+                            line,
+                        )
+                    )
+        return self.findings
+
+
+def lint_file(root: str, relpath: str) -> list:
+    with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    return FileLint(relpath, lines).check()
+
+
+def source_files(root: str):
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+# --- selftest -------------------------------------------------------------
+
+SELFTEST_CASES = [
+    # (rule expected in findings or None, relpath, source)
+    ("wall-clock", "src/x/a.cc", "auto t = std::chrono::system_clock::now();"),
+    ("wall-clock", "src/x/a.cc", "std::this_thread::sleep_for(1ms);"),
+    ("wall-clock", "src/x/a.cc", "auto t = steady_clock::now();"),
+    (None, "src/common/clock.cc", "auto t = system_clock::now();"),
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(wall-clock) measuring elapsed time only\n"
+        "auto t = steady_clock::now();",
+    ),
+    (
+        "wall-clock",
+        "src/x/a.cc",
+        "// dpss-lint: allow(wall-clock)\nauto t = steady_clock::now();",
+    ),  # missing justification
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(wall-clock) timing a span, elapsed only\n"
+        "auto t = duration_cast<nanoseconds>(\n"
+        "    steady_clock::now().time_since_epoch());",
+    ),  # allow covers wrapped continuation lines of the same statement
+    ("rng", "src/x/a.cc", "std::random_device rd;"),
+    ("rng", "src/x/a.cc", "int r = rand();"),
+    (None, "src/common/rng.cc", "std::random_device rd;"),
+    ("transport-call", "src/x/a.cc", "auto r = transport_.call(node, req);"),
+    ("transport-call", "src/x/a.cc", "auto r = transport.call(node, req);"),
+    (None, "src/cluster/rpc_policy.cc", "return transport.call(n, req);"),
+    (
+        "metric-name",
+        "src/x/a.cc",
+        'auto id = obs::internCounter("BrokerQueries");',
+    ),
+    ("metric-name", "src/x/a.cc", 'auto id = obs::internCounter("broker");'),
+    (None, "src/x/a.cc", 'auto id = obs::internCounter("broker.query.count");'),
+    (None, "src/x/a.cc", 'auto id = obs::internHistogram("rpc.latency_ns");'),
+    (
+        "metric-name",
+        "src/obs/x.cc",
+        'auto id = internGauge("Served");',
+    ),  # unqualified call inside namespace obs is still checked
+]
+
+
+FIXTURE_RE = re.compile(r"//\s*dpss-lint-fixture:\s*expect\(([a-z\-, ]+)\)")
+
+
+def check_fixtures(dirpath: str) -> int:
+    """Lint every fixture in `dirpath` and compare the rules found with
+    the fixture's own declaration, e.g.:
+
+        // dpss-lint-fixture: expect(wall-clock)
+        // dpss-lint-fixture: expect(clean)
+
+    Fixtures are linted as if they lived under src/ (they are never
+    compiled and the tree walk never visits tests/)."""
+    failures = 0
+    names = sorted(
+        n for n in os.listdir(dirpath) if n.endswith((".cc", ".h"))
+    )
+    if not names:
+        print(f"no fixtures found in {dirpath}")
+        return 1
+    for name in names:
+        with open(os.path.join(dirpath, name), encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        decl = next(
+            (m for line in lines if (m := FIXTURE_RE.search(line))), None
+        )
+        if decl is None:
+            print(f"fixture FAIL: {name}: missing dpss-lint-fixture header")
+            failures += 1
+            continue
+        expected = {
+            token.strip()
+            for token in decl.group(1).split(",")
+            if token.strip() and token.strip() != "clean"
+        }
+        found = {
+            f.rule
+            for f in FileLint(f"src/lint_fixtures/{name}", lines).check()
+        }
+        if found != expected:
+            print(
+                f"fixture FAIL: {name}: expected "
+                f"{sorted(expected) or 'clean'}, found {sorted(found) or 'clean'}"
+            )
+            failures += 1
+    if failures == 0:
+        print(f"fixtures OK ({len(names)} files)")
+    return 1 if failures else 0
+
+
+def selftest() -> int:
+    failures = 0
+    for expected, relpath, source in SELFTEST_CASES:
+        findings = FileLint(relpath, source.splitlines()).check()
+        rules = {f.rule for f in findings}
+        if expected is None and findings:
+            print(f"selftest FAIL: expected clean, got {rules}: {source!r}")
+            failures += 1
+        elif expected is not None and expected not in rules:
+            print(
+                f"selftest FAIL: expected {expected}, got "
+                f"{rules or 'clean'}: {source!r}"
+            )
+            failures += 1
+    if failures == 0:
+        print(f"selftest OK ({len(SELFTEST_CASES)} cases)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing scripts/)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the built-in rule-engine cases and exit",
+    )
+    parser.add_argument(
+        "--check-fixtures",
+        metavar="DIR",
+        help="lint every fixture in DIR against its expect() header",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="repo-relative files to lint (default: all of src/)",
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if args.check_fixtures:
+        return check_fixtures(args.check_fixtures)
+
+    relpaths = (
+        [p.replace(os.sep, "/") for p in args.paths]
+        if args.paths
+        else list(source_files(args.root))
+    )
+    findings = []
+    for relpath in relpaths:
+        findings.extend(lint_file(args.root, relpath))
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"dpss-lint: {len(findings)} violation(s) in {len(relpaths)} files")
+        return 1
+    print(f"dpss-lint: OK ({len(relpaths)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,12 +42,10 @@ BrokerNode::BrokerNode(std::string name, Registry& registry,
   DPSS_CHECK_MSG(options_.scatterThreads >= 1, "need at least one thread");
 }
 
-BrokerNode::~BrokerNode() {
-  if (running_) stop();
-}
+BrokerNode::~BrokerNode() { stop(); }
 
 void BrokerNode::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DPSS_CHECK_MSG(!running_, "broker already running");
   session_ = registry_.connect(name_);
   pool_ = std::make_shared<ThreadPool>(options_.scatterThreads);
@@ -72,22 +70,24 @@ void BrokerNode::start() {
 void BrokerNode::stop() {
   std::vector<std::uint64_t> watches;
   std::shared_ptr<ThreadPool> pool;
+  SessionPtr session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     watches = std::move(watchIds_);
     watchIds_.clear();
     nodeWatches_.clear();
+    session = std::move(session_);
+    session_.reset();
+    pool = std::move(pool_);
+    pool_.reset();
   }
   for (const auto id : watches) registry_.unwatch(id);
   transport_.unbind(name_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    registry_.expire(session_);
-    session_.reset();
-    pool = std::move(pool_);
-  }
+  // Expire the session outside mu_: its watch notifications may re-enter
+  // this broker's invalidateView(), which takes mu_.
+  registry_.expire(session);
   // Release the broker's pool reference outside mu_: scatter tasks take
   // mu_ (cache probes), so joining workers under the lock would deadlock.
   // In-flight queries hold their own pin; the pool dies with the last one.
@@ -95,7 +95,7 @@ void BrokerNode::stop() {
 }
 
 void BrokerNode::invalidateView() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   viewDirty_ = true;
 }
 
@@ -144,7 +144,7 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
   std::vector<Target> targets;
   std::shared_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) throw Unavailable("broker not running: " + name_);
     pool = pool_;  // pin: a concurrent stop() must not join under our feet
     if (viewDirty_) {
@@ -180,7 +180,7 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
   // Pool workers re-enter this node's observability scope and continue
   // the query's trace explicitly — thread-locals don't cross the pool.
   const obs::TraceContext traceCtx = obs::currentTraceContext();
-  std::mutex statsMu;
+  Mutex statsMu;
   std::vector<std::future<query::QueryResult>> futures;
   futures.reserve(targets.size());
   for (const auto& target : targets) {
@@ -190,19 +190,23 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
       obs::TraceScope traceScope(traceCtx);
       obs::SpanGuard scatterSpan("broker.scatter");
       scatterSpan.tag("segment", target.id.toString());
-      // Segments are immutable, so a cached partial is always valid.
-      {
+      // Historical segments are immutable, so a cached partial is always
+      // valid. Real-time segments keep the same id while events arrive —
+      // caching their scans freezes the count at whatever the first scan
+      // saw, so they always take the RPC path.
+      const bool cacheable = !target.id.mutableRealtime();
+      if (cacheable) {
         obs::SpanGuard probeSpan("broker.cache.probe");
         if (auto cached = cacheGet(target.cacheKey)) {
           obs_.counter(kCacheHits).inc();
           if (target.replicas.empty()) obs_.counter(kCacheLossServes).inc();
-          std::lock_guard<std::mutex> lock(statsMu);
+          MutexLock lock(statsMu);
           ++outcome.cacheHits;
           if (target.replicas.empty()) ++outcome.servedFromCacheAfterLoss;
           return *cached;
         }
       }
-      obs_.counter(kCacheMisses).inc();
+      if (cacheable) obs_.counter(kCacheMisses).inc();
       for (const auto& node : target.replicas) {
         try {
           obs_.counter(kScatterRpcs).inc();
@@ -215,7 +219,7 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
           obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
                                                     rpcStart);
           scatterSpan.tag("node", node);
-          cachePut(target.cacheKey, result);
+          if (cacheable) cachePut(target.cacheKey, result);
           return result;
         } catch (const Unavailable&) {
           continue;  // try the next replica
@@ -282,7 +286,7 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
 
   std::shared_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) throw Unavailable("broker not running: " + name_);
     pool = pool_;  // pin across a concurrent stop(), as in query()
   }
@@ -340,7 +344,7 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     w.varint(blocks);
     std::uint64_t seed;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       seed = rng_.next();
     }
     w.u64(seed);
@@ -386,7 +390,7 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
 
 std::vector<SegmentId> BrokerNode::visibleSegments(
     const std::string& dataSource, const Interval& interval) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (viewDirty_) {
     view_ = buildView();
     viewDirty_ = false;
@@ -398,7 +402,7 @@ std::vector<SegmentId> BrokerNode::visibleSegments(
 
 void BrokerNode::cachePut(const std::string& key,
                           const query::QueryResult& result) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = cacheIndex_.find(key);
   if (it != cacheIndex_.end()) {
     cacheList_.erase(it->second);
@@ -413,7 +417,7 @@ void BrokerNode::cachePut(const std::string& key,
 }
 
 std::optional<query::QueryResult> BrokerNode::cacheGet(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = cacheIndex_.find(key);
   if (it == cacheIndex_.end()) return std::nullopt;
   cacheList_.splice(cacheList_.begin(), cacheList_, it->second);

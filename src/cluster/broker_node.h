@@ -17,7 +17,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -27,6 +26,7 @@
 #include "cluster/rpc_policy.h"
 #include "cluster/transport.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "pss/query.h"
@@ -108,8 +108,8 @@ class BrokerNode {
     std::map<std::string, query::Timeline> timelines;
   };
 
-  View buildView();
-  void invalidateView();
+  View buildView() DPSS_REQUIRES(mu_);
+  void invalidateView() DPSS_EXCLUDES(mu_);
 
   std::string name_;
   Registry& registry_;
@@ -117,29 +117,34 @@ class BrokerNode {
   BrokerOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  std::mutex mu_;
-  SessionPtr session_;
-  bool running_ = false;
-  bool viewDirty_ = true;
-  View view_;
-  std::vector<std::uint64_t> watchIds_;
-  std::set<std::string> nodeWatches_;  // node paths already watched
+  Mutex mu_;
+  SessionPtr session_ DPSS_GUARDED_BY(mu_);
+  bool running_ DPSS_GUARDED_BY(mu_) = false;
+  bool viewDirty_ DPSS_GUARDED_BY(mu_) = true;
+  View view_ DPSS_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> watchIds_ DPSS_GUARDED_BY(mu_);
+  // node paths already watched
+  std::set<std::string> nodeWatches_ DPSS_GUARDED_BY(mu_);
   // shared_ptr so queries in flight pin the pool across a concurrent
   // stop(): the same pattern as HistoricalNode::handleRpc (the fix for
   // the stop-mid-query pool race).
-  std::shared_ptr<ThreadPool> pool_;
-  Rng rng_{0xb20c};
+  std::shared_ptr<ThreadPool> pool_ DPSS_GUARDED_BY(mu_);
+  Rng rng_ DPSS_GUARDED_BY(mu_){0xb20c};
 
   // LRU result cache: (segment id string + query fingerprint) -> partial.
   struct CacheEntry {
     std::string key;
     query::QueryResult result;
   };
-  std::list<CacheEntry> cacheList_;  // front = most recent
-  std::map<std::string, std::list<CacheEntry>::iterator> cacheIndex_;
+  // front = most recent
+  std::list<CacheEntry> cacheList_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, std::list<CacheEntry>::iterator> cacheIndex_
+      DPSS_GUARDED_BY(mu_);
 
-  void cachePut(const std::string& key, const query::QueryResult& result);
-  std::optional<query::QueryResult> cacheGet(const std::string& key);
+  void cachePut(const std::string& key, const query::QueryResult& result)
+      DPSS_EXCLUDES(mu_);
+  std::optional<query::QueryResult> cacheGet(const std::string& key)
+      DPSS_EXCLUDES(mu_);
 };
 
 }  // namespace dpss::cluster

@@ -48,66 +48,84 @@ HistoricalNode::HistoricalNode(std::string name, Registry& registry,
   DPSS_CHECK_MSG(options_.workerThreads >= 1, "need at least one worker");
 }
 
-HistoricalNode::~HistoricalNode() {
-  if (running_) stop();
-}
+HistoricalNode::~HistoricalNode() { stop(); }
 
 void HistoricalNode::start() {
+  SessionPtr session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DPSS_CHECK_MSG(!running_, "node already running");
     session_ = registry_.connect(name_);
+    session = session_;
     pool_ = std::make_shared<ThreadPool>(options_.workerThreads);
     running_ = true;
   }
   // Announce the node itself (ephemeral: crash -> vanishes).
-  registry_.create(paths::nodeAnnouncement(name_), "historical", session_,
+  registry_.create(paths::nodeAnnouncement(name_), "historical", session,
                    /*ephemeral=*/true);
   transport_.bind(name_, [this](const std::string& req) {
     return handleRpc(req);
   });
   // Arm the load-queue watch, then drain anything already assigned.
-  watchId_ = registry_.watchChildren(paths::loadQueue(name_),
-                                     [this](const std::string&) {
-                                       onLoadQueueEvent();
-                                     });
+  const std::uint64_t watchId = registry_.watchChildren(
+      paths::loadQueue(name_),
+      [this](const std::string&) { onLoadQueueEvent(); });
+  {
+    MutexLock lock(mu_);
+    watchId_ = watchId;
+  }
   onLoadQueueEvent();
   DPSS_LOG(Info) << "historical node " << name_ << " online";
 }
 
 void HistoricalNode::stop() {
+  SessionPtr session;
+  std::shared_ptr<ThreadPool> pool;
+  std::uint64_t watchId = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     served_.clear();
+    session = std::move(session_);
+    session_.reset();
+    pool = std::move(pool_);
+    pool_.reset();
+    watchId = watchId_;
+    watchId_ = 0;
   }
   transport_.unbind(name_);
-  registry_.unwatch(watchId_);
-  registry_.expire(session_);  // removes announcement + served ephemerals
-  std::lock_guard<std::mutex> lock(mu_);
-  session_.reset();
-  pool_.reset();
+  registry_.unwatch(watchId);
+  registry_.expire(session);  // removes announcement + served ephemerals
+  // Join workers outside mu_: in-flight scans pin the pool and take mu_.
+  pool.reset();
 }
 
 void HistoricalNode::crash() {
+  SessionPtr session;
+  std::shared_ptr<ThreadPool> pool;
+  std::uint64_t watchId = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     served_.clear();  // in-memory state dies; localDisk_ survives
+    session = std::move(session_);
+    session_.reset();
+    pool = std::move(pool_);
+    pool_.reset();
+    watchId = watchId_;
+    watchId_ = 0;
   }
   transport_.unbind(name_);
-  registry_.unwatch(watchId_);
-  registry_.expire(session_);
-  std::lock_guard<std::mutex> lock(mu_);
-  session_.reset();
-  pool_.reset();
+  registry_.unwatch(watchId);
+  registry_.expire(session);
+  pool.reset();
 }
 
 void HistoricalNode::onLoadQueueEvent() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
   }
   for (const auto& entry : registry_.children(paths::loadQueue(name_))) {
@@ -128,7 +146,7 @@ void HistoricalNode::processAssignment(const std::string& entryName) {
       // Entry name is the escaped segment id; recover it from served set.
       std::optional<SegmentId> victim;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         for (const auto& [id, seg] : served_) {
           (void)seg;
           if (paths::segmentNode(id) == entryName) {
@@ -149,7 +167,7 @@ void HistoricalNode::processAssignment(const std::string& entryName) {
 
 void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (served_.count(id) > 0) return;  // idempotent
   }
   obs::ScopedRegistry obsScope(obs_);
@@ -157,7 +175,7 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
   std::string blob;
   bool fromCache = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = localDisk_.find(key);
     if (it != localDisk_.end()) {
       blob = it->second;
@@ -171,26 +189,29 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
     blob = deepStorage_.get(key);  // may throw Unavailable/NotFound
     downloads_.fetch_add(1);
     obs_.counter(kDownloads).inc();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     localDisk_[key] = blob;
   }
   SegmentPtr segment = storage::decodeSegment(blob);
+  SessionPtr session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     served_[id] = std::move(segment);
     obs_.gauge(kServedGauge).set(static_cast<std::int64_t>(served_.size()));
+    session = session_;
   }
+  if (session == nullptr) throw Unavailable("node stopping: " + name_);
   obs_.counter(kSegmentsLoaded).inc();
   // Publish: the segment is queryable from this moment. The znode data is
   // the canonical id string (the znode name is an escaped, lossy form).
-  registry_.create(paths::servedSegment(name_, id), id.toString(), session_,
+  registry_.create(paths::servedSegment(name_, id), id.toString(), session,
                    /*ephemeral=*/true);
   DPSS_LOG(Info) << name_ << " serving " << id.toString();
 }
 
 void HistoricalNode::dropSegment(const SegmentId& id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     served_.erase(id);
     obs_.gauge(kServedGauge).set(static_cast<std::int64_t>(served_.size()));
   }
@@ -199,7 +220,7 @@ void HistoricalNode::dropSegment(const SegmentId& id) {
 }
 
 std::vector<SegmentId> HistoricalNode::servedSegments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SegmentId> out;
   out.reserve(served_.size());
   for (const auto& [id, seg] : served_) {
@@ -210,19 +231,19 @@ std::vector<SegmentId> HistoricalNode::servedSegments() const {
 }
 
 bool HistoricalNode::serves(const SegmentId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return served_.count(id) > 0;
 }
 
 bool HistoricalNode::cachedLocally(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return localDisk_.count(key) > 0;
 }
 
 void HistoricalNode::loadDocuments(const std::string& docSource,
                                    std::uint64_t baseIndex,
                                    std::vector<std::string> documents) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   docSlices_[docSource] = DocSlice{baseIndex, std::move(documents)};
 }
 
@@ -246,7 +267,7 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
     SegmentPtr segment;
     std::shared_ptr<ThreadPool> pool;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = served_.find(req.segment);
       if (it == served_.end()) {
         throw NotFound("segment not served here: " + req.segment.toString());
@@ -279,7 +300,7 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
   if (tag == rpc::kPssInfo) {
     ByteReader r(body);
     const std::string docSource = r.str();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = docSlices_.find(docSource);
     if (it == docSlices_.end()) {
       throw NotFound("no document slice for: " + docSource);
@@ -310,7 +331,7 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
 
     DocSlice slice;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       const auto it = docSlices_.find(docSource);
       if (it == docSlices_.end()) {
         throw NotFound("no document slice for: " + docSource);

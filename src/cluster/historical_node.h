@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/registry.h"
 #include "cluster/transport.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "pss/dictionary.h"
@@ -67,7 +67,10 @@ class HistoricalNode {
   void tick() { onLoadQueueEvent(); }
 
   const std::string& name() const { return name_; }
-  bool running() const { return running_; }
+  bool running() const {
+    MutexLock lock(mu_);
+    return running_;
+  }
 
   std::vector<storage::SegmentId> servedSegments() const;
   bool serves(const storage::SegmentId& id) const;
@@ -99,25 +102,27 @@ class HistoricalNode {
   HistoricalNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  mutable std::mutex mu_;
-  SessionPtr session_;
-  std::uint64_t watchId_ = 0;
-  bool running_ = false;
+  mutable Mutex mu_;
+  SessionPtr session_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t watchId_ DPSS_GUARDED_BY(mu_) = 0;
+  bool running_ DPSS_GUARDED_BY(mu_) = false;
   // "Local disk": encoded blobs that survive crash()/start() cycles.
-  std::map<std::string, std::string> localDisk_;
+  std::map<std::string, std::string> localDisk_ DPSS_GUARDED_BY(mu_);
   // Decoded, servable segments.
-  std::map<storage::SegmentId, storage::SegmentPtr> served_;
+  std::map<storage::SegmentId, storage::SegmentPtr> served_
+      DPSS_GUARDED_BY(mu_);
   struct DocSlice {
     std::uint64_t baseIndex = 0;
     std::vector<std::string> documents;
   };
-  std::map<std::string, DocSlice> docSlices_;  // docSource -> slice
+  // docSource -> slice
+  std::map<std::string, DocSlice> docSlices_ DPSS_GUARDED_BY(mu_);
 
   // Shared so an in-flight RPC can pin the pool across a concurrent
   // crash()/stop(): its scan still runs and the pool is destroyed by the
   // last holder, instead of abandoning the task (broken promise) or
   // racing the reset (use-after-free).
-  std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<ThreadPool> pool_ DPSS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> downloads_{0};
   std::atomic<std::uint64_t> cacheHits_{0};
 };

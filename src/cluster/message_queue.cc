@@ -14,7 +14,7 @@ std::string commitKey(const std::string& group, const std::string& topic,
 void MessageQueue::createTopic(const std::string& topic,
                                std::size_t partitions) {
   DPSS_CHECK_MSG(partitions >= 1, "topic needs at least one partition");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (topics_.count(topic) > 0) {
     throw AlreadyExists("topic already exists: " + topic);
   }
@@ -22,7 +22,7 @@ void MessageQueue::createTopic(const std::string& topic,
 }
 
 std::size_t MessageQueue::partitionCount(const std::string& topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) throw NotFound("no such topic: " + topic);
   return it->second.partitions.size();
@@ -41,7 +41,7 @@ const MessageQueue::Partition& MessageQueue::partitionRef(
 std::uint64_t MessageQueue::append(const std::string& topic,
                                    std::size_t partition,
                                    std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& part = const_cast<Partition&>(partitionRef(topic, partition));
   Message m;
   m.offset = part.log.size();
@@ -54,7 +54,7 @@ std::vector<Message> MessageQueue::poll(const std::string& topic,
                                         std::size_t partition,
                                         std::uint64_t fromOffset,
                                         std::size_t maxMessages) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto& part = partitionRef(topic, partition);
   std::vector<Message> out;
   for (std::uint64_t off = fromOffset;
@@ -66,13 +66,13 @@ std::vector<Message> MessageQueue::poll(const std::string& topic,
 
 std::uint64_t MessageQueue::endOffset(const std::string& topic,
                                       std::size_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return partitionRef(topic, partition).log.size();
 }
 
 void MessageQueue::commit(const std::string& group, const std::string& topic,
                           std::size_t partition, std::uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   (void)partitionRef(topic, partition);  // validates topic/partition
   commits_[commitKey(group, topic, partition)] = offset;
 }
@@ -80,7 +80,7 @@ void MessageQueue::commit(const std::string& group, const std::string& topic,
 std::uint64_t MessageQueue::committed(const std::string& group,
                                       const std::string& topic,
                                       std::size_t partition) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   (void)partitionRef(topic, partition);
   const auto it = commits_.find(commitKey(group, topic, partition));
   return it == commits_.end() ? 0 : it->second;

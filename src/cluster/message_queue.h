@@ -13,9 +13,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dpss::cluster {
 
@@ -58,12 +59,13 @@ class MessageQueue {
   };
 
   const Partition& partitionRef(const std::string& topic,
-                                std::size_t partition) const;
+                                std::size_t partition) const
+      DPSS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Topic> topics_;
+  mutable Mutex mu_;
+  std::map<std::string, Topic> topics_ DPSS_GUARDED_BY(mu_);
   // (group, topic, partition) -> committed offset.
-  std::map<std::string, std::uint64_t> commits_;
+  std::map<std::string, std::uint64_t> commits_ DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::cluster

@@ -3,26 +3,26 @@
 namespace dpss::cluster {
 
 void MetaStore::upsertSegment(const SegmentRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   segments_[record.id] = record;
 }
 
 void MetaStore::markUnused(const storage::SegmentId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = segments_.find(id);
   if (it != segments_.end()) it->second.used = false;
 }
 
 std::optional<SegmentRecord> MetaStore::getSegment(
     const storage::SegmentId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = segments_.find(id);
   if (it == segments_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<SegmentRecord> MetaStore::usedSegments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SegmentRecord> out;
   for (const auto& [id, rec] : segments_) {
     (void)id;
@@ -32,7 +32,7 @@ std::vector<SegmentRecord> MetaStore::usedSegments() const {
 }
 
 std::vector<SegmentRecord> MetaStore::allSegments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SegmentRecord> out;
   out.reserve(segments_.size());
   for (const auto& [id, rec] : segments_) {
@@ -43,12 +43,12 @@ std::vector<SegmentRecord> MetaStore::allSegments() const {
 }
 
 void MetaStore::setRules(const std::string& dataSource, LoadRules rules) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_[dataSource] = rules;
 }
 
 LoadRules MetaStore::rulesFor(const std::string& dataSource) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = rules_.find(dataSource);
   return it == rules_.end() ? defaultRules_ : it->second;
 }

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/load_rules.h"
+#include "common/thread_annotations.h"
 #include "storage/segment_id.h"
 
 namespace dpss::cluster {
@@ -46,15 +46,15 @@ class MetaStore {
   /// Rules for a data source, falling back to the default rule set.
   LoadRules rulesFor(const std::string& dataSource) const;
   void setDefaultRules(LoadRules rules) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     defaultRules_ = rules;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<storage::SegmentId, SegmentRecord> segments_;
-  std::map<std::string, LoadRules> rules_;
-  LoadRules defaultRules_;
+  mutable Mutex mu_;
+  std::map<storage::SegmentId, SegmentRecord> segments_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, LoadRules> rules_ DPSS_GUARDED_BY(mu_);
+  LoadRules defaultRules_ DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::cluster

@@ -55,9 +55,7 @@ RealtimeNode::RealtimeNode(std::string name, Registry& registry,
   DPSS_CHECK_MSG(options_.segmentGranularityMs > 0, "granularity must be > 0");
 }
 
-RealtimeNode::~RealtimeNode() {
-  if (running_) stop();
-}
+RealtimeNode::~RealtimeNode() { stop(); }
 
 TimeMs RealtimeNode::bucketStart(TimeMs t) const {
   const TimeMs g = options_.segmentGranularityMs;
@@ -74,20 +72,24 @@ SegmentId RealtimeNode::realtimeSegmentId(TimeMs bucket) const {
   // overshadows another ("each real-time segment has a partition
   // number"); "rt" < "v..." lexicographically, so a handed-off historical
   // version always overshadows the live one.
-  id.version = "rt";
+  id.version = SegmentId::kRealtimeVersion;
   id.partition = static_cast<std::uint32_t>(partition_);
   return id;
 }
 
 void RealtimeNode::start() {
+  SessionPtr session;
+  std::uint64_t startOffset = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DPSS_CHECK_MSG(!running_, "node already running");
     session_ = registry_.connect(name_);
+    session = session_;
     running_ = true;
     // Recovery: "reload any index which has been persisted to disk and
     // then read the message queue from the last committed offset".
     offset_ = queue_.committed(name_, topic_, partition_);
+    startOffset = offset_;
     lastPersist_ = clock_.nowMs();
     // Handoff versions must keep increasing across restarts so newer
     // re-handoffs overshadow older ones; seed the sequence from the clock.
@@ -95,7 +97,7 @@ void RealtimeNode::start() {
       versionCounter_ = static_cast<std::uint64_t>(clock_.nowMs()) * 1000;
     }
   }
-  registry_.create(paths::nodeAnnouncement(name_), "realtime", session_,
+  registry_.create(paths::nodeAnnouncement(name_), "realtime", session,
                    /*ephemeral=*/true);
   transport_.bind(name_, [this](const std::string& req) {
     return handleRpc(req);
@@ -103,29 +105,30 @@ void RealtimeNode::start() {
   // Re-announce buckets with surviving persisted data.
   std::vector<TimeMs> buckets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [bucket, snaps] : disk_.persisted) {
       if (!snaps.empty()) buckets.push_back(bucket);
     }
   }
   for (const auto b : buckets) announceBucket(b);
   DPSS_LOG(Info) << "realtime node " << name_ << " online from offset "
-                 << offset_;
+                 << startOffset;
 }
 
 void RealtimeNode::stop() {
+  SessionPtr session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     live_.clear();
     announced_.clear();
     awaitingServe_.clear();
+    session = std::move(session_);
+    session_.reset();
   }
   transport_.unbind(name_);
-  registry_.expire(session_);
-  std::lock_guard<std::mutex> lock(mu_);
-  session_.reset();
+  registry_.expire(session);
 }
 
 void RealtimeNode::crash() { stop(); }  // identical observable effect:
@@ -133,7 +136,7 @@ void RealtimeNode::crash() { stop(); }  // identical observable effect:
 
 void RealtimeNode::tick() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
   }
   ingest();
@@ -144,13 +147,18 @@ void RealtimeNode::tick() {
 void RealtimeNode::ingest() {
   obs::ScopedRegistry obsScope(obs_);
   for (;;) {
+    std::uint64_t pollFrom = 0;
+    {
+      MutexLock lock(mu_);
+      pollFrom = offset_;
+    }
     const auto messages =
-        queue_.poll(topic_, partition_, offset_, options_.maxPollBatch);
+        queue_.poll(topic_, partition_, pollFrom, options_.maxPollBatch);
     if (messages.empty()) return;
     obs_.counter(kEventsIngested).inc(messages.size());
     std::vector<TimeMs> newBuckets;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (const auto& m : messages) {
         const auto row = storage::decodeInputRow(m.payload);
         const TimeMs bucket = bucketStart(row.timestamp);
@@ -171,18 +179,20 @@ void RealtimeNode::ingest() {
 
 void RealtimeNode::announceBucket(TimeMs bucket) {
   bool needed = false;
+  SessionPtr session;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     if (!announced_[bucket]) {
       announced_[bucket] = true;
       needed = true;
     }
+    session = session_;
   }
   if (!needed) return;
   const SegmentId id = realtimeSegmentId(bucket);
   try {
-    registry_.create(paths::servedSegment(name_, id), id.toString(), session_,
+    registry_.create(paths::servedSegment(name_, id), id.toString(), session,
                      /*ephemeral=*/true);
   } catch (const AlreadyExists&) {
     // Restart within the same process lifetime; announcement persists.
@@ -194,7 +204,7 @@ void RealtimeNode::persistIfDue() {
   std::uint64_t offsetToCommit = 0;
   obs::ScopedRegistry obsScope(obs_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (now - lastPersist_ < options_.persistPeriodMs) return;
     lastPersist_ = now;
     obs_.counter(kPersistCount).inc();
@@ -221,7 +231,7 @@ void RealtimeNode::handoffIfDue() {
   // Phase 1: buckets past end + window -> merge, upload, register.
   std::vector<TimeMs> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [bucket, flag] : announced_) {
       (void)flag;
       if (awaitingServe_.count(bucket) > 0) continue;
@@ -232,7 +242,7 @@ void RealtimeNode::handoffIfDue() {
   for (const auto bucket : ready) {
     std::vector<SegmentPtr> parts;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Late data still in memory joins the merge.
       auto liveIt = live_.find(bucket);
       if (liveIt != live_.end() && liveIt->second != nullptr &&
@@ -249,15 +259,19 @@ void RealtimeNode::handoffIfDue() {
     historicalId.dataSource = dataSource_;
     historicalId.interval =
         Interval(bucket, bucket + options_.segmentGranularityMs);
-    char version[32];
-    std::snprintf(version, sizeof(version), "v%020" PRIu64,
-                  ++versionCounter_);
-    historicalId.version = version;
+    std::uint64_t version = 0;
+    {
+      MutexLock lock(mu_);
+      version = ++versionCounter_;
+    }
+    char versionBuf[32];
+    std::snprintf(versionBuf, sizeof(versionBuf), "v%020" PRIu64, version);
+    historicalId.version = versionBuf;
     historicalId.partition = static_cast<std::uint32_t>(partition_);
 
     if (parts.empty()) {
       // Nothing ever arrived for this bucket; just unannounce.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       awaitingServe_[bucket] = PendingHandoff{historicalId};
       continue;
     }
@@ -271,7 +285,7 @@ void RealtimeNode::handoffIfDue() {
     record.sizeBytes = blob.size();
     metaStore_.upsertSegment(record);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       awaitingServe_[bucket] = PendingHandoff{historicalId};
     }
     obs_.counter(kHandoffCount).inc();
@@ -283,7 +297,7 @@ void RealtimeNode::handoffIfDue() {
   // segment").
   std::vector<TimeMs> done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [bucket, pending] : awaitingServe_) {
       const std::string segName = paths::segmentNode(pending.historicalId);
       bool servedSomewhere = disk_.persisted[bucket].empty();  // empty bucket
@@ -314,12 +328,12 @@ void RealtimeNode::handoffIfDue() {
 }
 
 std::size_t RealtimeNode::pendingHandoffs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return awaitingServe_.size();
 }
 
 std::vector<SegmentId> RealtimeNode::announcedSegments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SegmentId> out;
   for (const auto& [bucket, flag] : announced_) {
     if (flag) out.push_back(realtimeSegmentId(bucket));
@@ -343,7 +357,7 @@ std::string RealtimeNode::handleRpc(const std::string& request) {
   const TimeMs bucket = req.segment.interval.start();
   std::vector<SegmentPtr> view;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto diskIt = disk_.persisted.find(bucket);
     if (diskIt != disk_.persisted.end()) {
       view = diskIt->second;

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "cluster/registry.h"
 #include "cluster/transport.h"
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/deep_storage.h"
 #include "storage/incremental_index.h"
@@ -74,8 +74,14 @@ class RealtimeNode {
   void tick();
 
   const std::string& name() const { return name_; }
-  std::uint64_t eventsIngested() const { return eventsIngested_; }
-  std::uint64_t currentOffset() const { return offset_; }
+  std::uint64_t eventsIngested() const {
+    MutexLock lock(mu_);
+    return eventsIngested_;
+  }
+  std::uint64_t currentOffset() const {
+    MutexLock lock(mu_);
+    return offset_;
+  }
   std::size_t pendingHandoffs() const;
   std::vector<storage::SegmentId> announcedSegments() const;
 
@@ -85,11 +91,11 @@ class RealtimeNode {
  private:
   TimeMs bucketStart(TimeMs t) const;
   storage::SegmentId realtimeSegmentId(TimeMs bucket) const;
-  void ingest();
-  void persistIfDue();
-  void handoffIfDue();
-  void announceBucket(TimeMs bucket);
-  std::string handleRpc(const std::string& request);
+  void ingest() DPSS_EXCLUDES(mu_);
+  void persistIfDue() DPSS_EXCLUDES(mu_);
+  void handoffIfDue() DPSS_EXCLUDES(mu_);
+  void announceBucket(TimeMs bucket) DPSS_EXCLUDES(mu_);
+  std::string handleRpc(const std::string& request) DPSS_EXCLUDES(mu_);
 
   std::string name_;
   Registry& registry_;
@@ -106,23 +112,26 @@ class RealtimeNode {
   RealtimeNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  mutable std::mutex mu_;
-  SessionPtr session_;
-  bool running_ = false;
-  std::uint64_t offset_ = 0;           // next queue offset to read
-  std::uint64_t eventsIngested_ = 0;
-  TimeMs lastPersist_ = 0;
-  std::uint64_t versionCounter_ = 0;   // handoff version sequence
+  mutable Mutex mu_;
+  SessionPtr session_ DPSS_GUARDED_BY(mu_);
+  bool running_ DPSS_GUARDED_BY(mu_) = false;
+  // next queue offset to read
+  std::uint64_t offset_ DPSS_GUARDED_BY(mu_) = 0;
+  std::uint64_t eventsIngested_ DPSS_GUARDED_BY(mu_) = 0;
+  TimeMs lastPersist_ DPSS_GUARDED_BY(mu_) = 0;
+  // handoff version sequence
+  std::uint64_t versionCounter_ DPSS_GUARDED_BY(mu_) = 0;
 
   // Live in-memory indexes per segment interval start.
-  std::map<TimeMs, std::unique_ptr<storage::IncrementalIndex>> live_;
+  std::map<TimeMs, std::unique_ptr<storage::IncrementalIndex>> live_
+      DPSS_GUARDED_BY(mu_);
   // Buckets whose historical segment was uploaded; waiting for a
   // historical node to serve it before unannouncing.
   struct PendingHandoff {
     storage::SegmentId historicalId;
   };
-  std::map<TimeMs, PendingHandoff> awaitingServe_;
-  std::map<TimeMs, bool> announced_;
+  std::map<TimeMs, PendingHandoff> awaitingServe_ DPSS_GUARDED_BY(mu_);
+  std::map<TimeMs, bool> announced_ DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::cluster

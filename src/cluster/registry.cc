@@ -14,7 +14,7 @@ void validatePath(const std::string& path) {
 }  // namespace
 
 SessionPtr Registry::connect(const std::string& ownerName) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return SessionPtr(new RegistrySession(this, nextSessionId_++, ownerName));
 }
 
@@ -30,7 +30,7 @@ void Registry::create(const std::string& path, const std::string& data,
   DPSS_CHECK_MSG(session != nullptr, "create requires a session");
   std::vector<Watch> toFire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (session->expired()) throw Unavailable("session expired");
     if (nodes_.count(path) > 0) {
       throw AlreadyExists("znode already exists: " + path);
@@ -59,7 +59,7 @@ void Registry::setData(const std::string& path, const std::string& data) {
   validatePath(path);
   std::vector<Watch> toFire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = nodes_.find(path);
     if (it == nodes_.end()) throw NotFound("no such znode: " + path);
     it->second.data = data;
@@ -69,14 +69,14 @@ void Registry::setData(const std::string& path, const std::string& data) {
 }
 
 std::optional<std::string> Registry::getData(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = nodes_.find(path);
   if (it == nodes_.end()) return std::nullopt;
   return it->second.data;
 }
 
 bool Registry::exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return nodes_.count(path) > 0;
 }
 
@@ -95,7 +95,7 @@ void Registry::remove(const std::string& path) {
   validatePath(path);
   std::vector<Watch> toFire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (nodes_.count(path) == 0) return;
     std::set<std::string> changedParents;
     removeSubtreeLocked(path, changedParents);
@@ -106,7 +106,7 @@ void Registry::remove(const std::string& path) {
 
 std::vector<std::string> Registry::children(const std::string& path) const {
   validatePath(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string prefix = path == "/" ? "/" : path + "/";
   std::vector<std::string> out;
   for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
@@ -119,14 +119,14 @@ std::vector<std::string> Registry::children(const std::string& path) const {
 
 std::uint64_t Registry::watchChildren(const std::string& path, Watch watch) {
   validatePath(path);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = nextWatchId_++;
   watches_.emplace(id, WatchEntry{path, std::move(watch)});
   return id;
 }
 
 void Registry::unwatch(std::uint64_t watchId) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   watches_.erase(watchId);
 }
 
@@ -142,8 +142,8 @@ void Registry::expire(const SessionPtr& session) {
   if (session == nullptr || session->expired()) return;
   std::vector<Watch> toFire;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    session->expired_ = true;
+    MutexLock lock(mu_);
+    session->expired_.store(true, std::memory_order_release);
     std::set<std::string> changedParents;
     for (auto it = nodes_.begin(); it != nodes_.end();) {
       if (it->second.ephemeral && it->second.sessionId == session->id()) {
@@ -161,7 +161,7 @@ void Registry::expire(const SessionPtr& session) {
 RegistrySession::~RegistrySession() {
   // Session handles are shared; the last owner dropping the handle ends
   // the session, mirroring a client disconnect.
-  if (!expired_ && registry_ != nullptr) {
+  if (!expired() && registry_ != nullptr) {
     // Cannot call expire(shared_from_this) from the destructor; inline the
     // ephemeral sweep via a throwaway shared_ptr with no-op deleter.
     SessionPtr self(this, [](RegistrySession*) {});

@@ -11,15 +11,17 @@
 // callbacks fire synchronously after the mutation, outside the lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dpss::cluster {
 
@@ -79,16 +81,17 @@ class Registry {
   };
 
   void notifyLocked(const std::string& parentPath,
-                    std::vector<Watch>& toFire) const;
+                    std::vector<Watch>& toFire) const DPSS_REQUIRES(mu_);
   static std::string parentOf(const std::string& path);
   void removeSubtreeLocked(const std::string& path,
-                           std::set<std::string>& changedParents);
+                           std::set<std::string>& changedParents)
+      DPSS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Node> nodes_;
-  std::map<std::uint64_t, WatchEntry> watches_;
-  std::uint64_t nextWatchId_ = 1;
-  std::uint64_t nextSessionId_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, Node> nodes_ DPSS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, WatchEntry> watches_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t nextWatchId_ DPSS_GUARDED_BY(mu_) = 1;
+  std::uint64_t nextSessionId_ DPSS_GUARDED_BY(mu_) = 1;
 
   friend class RegistrySession;
 };
@@ -98,7 +101,7 @@ class RegistrySession {
   ~RegistrySession();
   std::uint64_t id() const { return id_; }
   const std::string& owner() const { return owner_; }
-  bool expired() const { return expired_; }
+  bool expired() const { return expired_.load(std::memory_order_acquire); }
 
  private:
   friend class Registry;
@@ -108,7 +111,9 @@ class RegistrySession {
   Registry* registry_;
   std::uint64_t id_;
   std::string owner_;
-  bool expired_ = false;
+  // Written by Registry::expire() (under the registry mutex), read by any
+  // thread via expired() — atomic so unlocked reads are race-free.
+  std::atomic<bool> expired_{false};
 };
 
 }  // namespace dpss::cluster

@@ -1,5 +1,6 @@
 #include "cluster/transport.h"
 
+#include "cluster/rpc_policy.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/hash.h"
@@ -55,17 +56,17 @@ ChaosDecision ChaosPolicy::decide(const std::string& dest,
 }
 
 void Transport::bind(const std::string& nodeName, RpcHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_[nodeName] = std::move(handler);
 }
 
 void Transport::unbind(const std::string& nodeName) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   handlers_.erase(nodeName);
 }
 
 bool Transport::reachable(const std::string& nodeName) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = partitioned_.find(nodeName);
   const bool cut = it != partitioned_.end() && it->second;
   return !cut && handlers_.count(nodeName) > 0;
@@ -78,7 +79,7 @@ std::string Transport::call(const std::string& nodeName,
   bool drop = false;
   bool duplicate = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++calls_;
     const auto failIt = failures_.find(nodeName);
     if (failIt != failures_.end() && failIt->second > 0) {
@@ -161,22 +162,22 @@ std::string Transport::call(const std::string& nodeName,
 }
 
 void Transport::setLatencyMs(TimeMs ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   latencyMs_ = ms;
 }
 
 void Transport::failNextCalls(const std::string& nodeName, std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   failures_[nodeName] = n;
 }
 
 void Transport::setPartitioned(const std::string& nodeName, bool partitioned) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   partitioned_[nodeName] = partitioned;
 }
 
 void Transport::setChaos(ChaosOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   chaos_ = ChaosPolicy(std::move(options));
   chaosSeq_.clear();
   chaosPartitionUntil_.clear();
@@ -184,19 +185,19 @@ void Transport::setChaos(ChaosOptions options) {
 }
 
 void Transport::clearChaos() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   chaos_ = ChaosPolicy();
   chaosSeq_.clear();
   chaosPartitionUntil_.clear();
 }
 
 std::vector<ChaosEvent> Transport::chaosEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return chaosEvents_;
 }
 
 std::uint64_t Transport::callCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return calls_;
 }
 
@@ -221,7 +222,8 @@ query::QueryResult callQuerySegment(Transport& transport,
                                     const storage::SegmentId& segment,
                                     const query::QuerySpec& spec) {
   SegmentQueryRequest req{segment, spec};
-  const std::string responseBytes = transport.call(nodeName, req.encode());
+  const std::string responseBytes =
+      callWithPolicy(transport, nodeName, req.encode());
   ByteReader r(responseBytes);
   return query::QueryResult::deserialize(r);
 }

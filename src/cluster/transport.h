@@ -24,11 +24,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "query/query.h"
 #include "query/result.h"
 #include "storage/segment_id.h"
@@ -139,17 +139,17 @@ class Transport {
 
  private:
   Clock& clock_;
-  mutable std::mutex mu_;
-  std::map<std::string, RpcHandler> handlers_;
-  std::map<std::string, std::size_t> failures_;
-  std::map<std::string, bool> partitioned_;
-  TimeMs latencyMs_ = 0;
-  std::uint64_t calls_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, RpcHandler> handlers_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> failures_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, bool> partitioned_ DPSS_GUARDED_BY(mu_);
+  TimeMs latencyMs_ DPSS_GUARDED_BY(mu_) = 0;
+  std::uint64_t calls_ DPSS_GUARDED_BY(mu_) = 0;
 
-  ChaosPolicy chaos_;
-  std::map<std::string, std::uint64_t> chaosSeq_;
-  std::map<std::string, TimeMs> chaosPartitionUntil_;
-  std::vector<ChaosEvent> chaosEvents_;
+  ChaosPolicy chaos_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> chaosSeq_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, TimeMs> chaosPartitionUntil_ DPSS_GUARDED_BY(mu_);
+  std::vector<ChaosEvent> chaosEvents_ DPSS_GUARDED_BY(mu_);
 };
 
 // --- wire protocol -------------------------------------------------------

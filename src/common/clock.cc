@@ -23,27 +23,27 @@ SystemClock& SystemClock::instance() {
 }
 
 TimeMs ManualClock::nowMs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return now_;
 }
 
 void ManualClock::sleepFor(TimeMs ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const TimeMs deadline = now_ + ms;
   ++sleepers_;
-  cv_.wait(lock, [&] { return now_ >= deadline; });
+  while (now_ < deadline) cv_.wait(mu_);
   --sleepers_;
 }
 
 std::size_t ManualClock::sleeperCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sleepers_;
 }
 
 void ManualClock::advance(TimeMs delta) {
   DPSS_CHECK_MSG(delta >= 0, "manual clock cannot move backwards");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ += delta;
   }
   cv_.notify_all();
@@ -51,7 +51,7 @@ void ManualClock::advance(TimeMs delta) {
 
 void ManualClock::set(TimeMs t) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DPSS_CHECK_MSG(t >= now_, "manual clock cannot move backwards");
     now_ = t;
   }

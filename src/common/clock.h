@@ -5,10 +5,9 @@
 // drive them deterministically with ManualClock instead of sleeping.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace dpss {
 
@@ -59,10 +58,10 @@ class ManualClock final : public Clock {
   std::size_t sleeperCount() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  TimeMs now_;
-  std::size_t sleepers_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  TimeMs now_ DPSS_GUARDED_BY(mu_);
+  std::size_t sleepers_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpss

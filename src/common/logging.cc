@@ -4,13 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace dpss {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mu;
+Mutex g_mu;
 thread_local std::string t_nodeName;
 thread_local std::uint64_t t_traceId = 0;
 
@@ -34,6 +35,8 @@ void setLogTraceId(std::uint64_t traceId) { t_traceId = traceId; }
 void logLine(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
 
+  // dpss-lint: allow(wall-clock) log timestamps are cosmetic, never used
+  // for scheduling or determinism-sensitive decisions.
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -47,7 +50,7 @@ void logLine(LogLevel level, const std::string& message) {
   std::snprintf(prefix, sizeof(prefix), "[%02d:%02d:%02d.%03d]", tm.tm_hour,
                 tm.tm_min, tm.tm_sec, static_cast<int>(ms));
 
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   std::fprintf(stderr, "%s [%s]", prefix, levelName(level));
   if (!t_nodeName.empty()) std::fprintf(stderr, " [%s]", t_nodeName.c_str());
   if (t_traceId != 0) {

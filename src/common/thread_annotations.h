@@ -1,0 +1,128 @@
+// Clang thread-safety annotations and the annotated mutex wrapper every
+// concurrent class in dpss locks through.
+//
+// The annotations make the locking discipline a compile-time contract:
+// members declare which mutex guards them (DPSS_GUARDED_BY), private
+// helpers declare the lock they expect held (DPSS_REQUIRES), and clang's
+// -Wthread-safety analysis rejects any access that violates the
+// declaration. Build with -DDPSS_THREAD_SAFETY=ON under clang to promote
+// the analysis to -Werror=thread-safety (see scripts/check.sh and the CI
+// matrix); under gcc the attributes expand to nothing and the wrappers
+// behave exactly like std::mutex / std::lock_guard /
+// std::condition_variable_any.
+//
+// The std types are NOT annotated by libstdc++, so locking a raw
+// std::mutex is invisible to the analysis — that is why Mutex / MutexLock
+// / CondVar below exist, and why dpss code uses them instead.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DPSS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DPSS_THREAD_ANNOTATION
+#define DPSS_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define DPSS_CAPABILITY(x) DPSS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define DPSS_SCOPED_CAPABILITY DPSS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be accessed while holding the given mutex.
+#define DPSS_GUARDED_BY(x) DPSS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding the given mutex.
+#define DPSS_PT_GUARDED_BY(x) DPSS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed mutexes to be held on entry (and does not
+/// release them).
+#define DPSS_REQUIRES(...) \
+  DPSS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed mutexes held (it acquires
+/// them itself; calling with them held would self-deadlock).
+#define DPSS_EXCLUDES(...) DPSS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed mutexes and holds them on return.
+#define DPSS_ACQUIRE(...) \
+  DPSS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed mutexes (held on entry).
+#define DPSS_RELEASE(...) \
+  DPSS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define DPSS_TRY_ACQUIRE(...) \
+  DPSS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define DPSS_RETURN_CAPABILITY(x) DPSS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define DPSS_ASSERT_CAPABILITY(x) \
+  DPSS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for patterns the analysis cannot express. Every use needs
+/// a comment justifying why the access is safe.
+#define DPSS_NO_THREAD_SAFETY_ANALYSIS \
+  DPSS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dpss {
+
+/// std::mutex with the capability annotations the analysis needs.
+/// Satisfies Lockable, so it also works with std::unique_lock and
+/// std::condition_variable_any where those are unavoidable.
+class DPSS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DPSS_ACQUIRE() { mu_.lock(); }
+  void unlock() DPSS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DPSS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex — the annotated std::lock_guard.
+class DPSS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DPSS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DPSS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on Mutex. wait() atomically
+/// releases and reacquires the mutex internally; to the analysis the lock
+/// is held across the call, which matches what the caller observes.
+/// Predicates go in the caller as explicit `while (!cond) cv.wait(mu);`
+/// loops so guarded reads stay inside the annotated function body.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) DPSS_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dpss

@@ -7,15 +7,15 @@
 // sub-linear region to, and falls out of this design unmodified.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dpss {
 
@@ -32,12 +32,13 @@ class ThreadPool {
 
   /// Enqueues a task; the future reports its result or exception.
   template <typename F>
-  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>
+      DPSS_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -47,13 +48,13 @@ class ThreadPool {
   std::size_t threadCount() const { return workers_.size(); }
 
  private:
-  void workerLoop();
+  void workerLoop() DPSS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ DPSS_GUARDED_BY(mu_);
+  bool stopping_ DPSS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 }  // namespace dpss

@@ -14,7 +14,7 @@ Bigint RandomizerPool::makeRandomizer() {
   // rng draw is serialized; the expensive exponentiation runs unlocked.
   Bigint r;
   {
-    std::lock_guard<std::mutex> lock(rngMu_);
+    MutexLock lock(rngMu_);
     do {
       r = Bigint::randomBelow(rng_, pub_.n());
     } while (r.isZero() || !Bigint::gcd(r, pub_.n()).isOne());
@@ -25,13 +25,13 @@ Bigint RandomizerPool::makeRandomizer() {
 void RandomizerPool::refill(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     Bigint rn = makeRandomizer();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pool_.push_back(std::move(rn));
   }
 }
 
 std::size_t RandomizerPool::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pool_.size();
 }
 
@@ -39,7 +39,7 @@ Ciphertext RandomizerPool::encrypt(const Bigint& m) {
   DPSS_CHECK_MSG(m.sign() >= 0 && m < pub_.n(), "plaintext out of [0, n)");
   Bigint rn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!pool_.empty()) {
       rn = std::move(pool_.front());
       pool_.pop_front();
@@ -54,12 +54,12 @@ Ciphertext RandomizerPool::encrypt(const Bigint& m) {
 }
 
 std::size_t RandomizerPool::pooledHits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::size_t RandomizerPool::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -9,9 +9,9 @@
 
 #include <cstddef>
 #include <deque>
-#include <mutex>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "crypto/paillier.h"
 
 namespace dpss::crypto {
@@ -37,15 +37,15 @@ class RandomizerPool {
   std::size_t misses() const;
 
  private:
-  Bigint makeRandomizer();
+  Bigint makeRandomizer() DPSS_EXCLUDES(rngMu_);
 
   const PaillierPublicKey& pub_;
   Rng& rng_;
-  std::mutex rngMu_;  // serializes rng draws (fallback + refill paths)
-  mutable std::mutex mu_;
-  std::deque<Bigint> pool_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  Mutex rngMu_;  // serializes rng draws (fallback + refill paths)
+  mutable Mutex mu_;
+  std::deque<Bigint> pool_ DPSS_GUARDED_BY(mu_);
+  std::size_t hits_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpss::crypto

@@ -18,9 +18,9 @@ struct Descriptor {
 };
 
 struct InternTable {
-  std::mutex mu;
-  std::map<std::string, MetricId> byKey;
-  std::vector<Descriptor> descriptors;
+  Mutex mu;
+  std::map<std::string, MetricId> byKey DPSS_GUARDED_BY(mu);
+  std::vector<Descriptor> descriptors DPSS_GUARDED_BY(mu);
 };
 
 InternTable& internTable() {
@@ -45,7 +45,7 @@ std::string internKey(MetricKind kind, const std::string& name,
 MetricId intern(MetricKind kind, std::string name, Labels labels) {
   std::sort(labels.begin(), labels.end());
   InternTable& table = internTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   const std::string key = internKey(kind, name, labels);
   const auto it = table.byKey.find(key);
   if (it != table.byKey.end()) return it->second;
@@ -59,13 +59,13 @@ MetricId intern(MetricKind kind, std::string name, Labels labels) {
 
 Descriptor descriptorOf(MetricId id) {
   InternTable& table = internTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   return table.descriptors.at(id);
 }
 
 std::size_t internCount() {
   InternTable& table = internTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   return table.descriptors.size();
 }
 
@@ -233,7 +233,7 @@ MetricsRegistry::Cell& MetricsRegistry::cell(MetricId id, MetricKind kind) {
   DPSS_CHECK_MSG(id < kMaxMetrics, "metric id out of range");
   Cell* c = cells_[id].load(std::memory_order_acquire);
   if (c == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     c = cells_[id].load(std::memory_order_relaxed);
     if (c == nullptr) {
       auto fresh = std::make_unique<Cell>();
@@ -430,8 +430,13 @@ std::string renderJson(const MetricsSnapshot& snapshot) {
       out += ",\"labels\":{";
       for (std::size_t i = 0; i < s.labels.size(); ++i) {
         if (i > 0) out += ",";
-        out += "\"" + jsonEscape(s.labels[i].first) + "\":\"" +
-               jsonEscape(s.labels[i].second) + "\"";
+        // Sequential appends: `"..." + jsonEscape(...) + ...` trips
+        // GCC 12's spurious -Wrestrict (PR 105651) under -Werror.
+        out += '"';
+        out += jsonEscape(s.labels[i].first);
+        out += "\":\"";
+        out += jsonEscape(s.labels[i].second);
+        out += '"';
       }
       out += "}";
     }

@@ -30,12 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace dpss::obs {
@@ -168,8 +168,8 @@ class MetricsRegistry {
 
   std::string node_;
   std::array<std::atomic<Cell*>, kMaxMetrics> cells_{};
-  std::mutex mu_;  // guards cell creation only
-  std::vector<std::unique_ptr<Cell>> owned_;
+  Mutex mu_;  // guards cell creation only; reads go through the atomics
+  std::vector<std::unique_ptr<Cell>> owned_ DPSS_GUARDED_BY(mu_);
   SpanStore spans_;
 };
 

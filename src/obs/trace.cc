@@ -78,7 +78,7 @@ Span Span::deserialize(ByteReader& r) {
 }
 
 void SpanStore::record(Span span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= capacity_) {
     // Keep the newest half; bulk drop amortizes the erase.
     spans_.erase(spans_.begin(),
@@ -89,7 +89,7 @@ void SpanStore::record(Span span) {
 }
 
 std::vector<Span> SpanStore::forTrace(std::uint64_t traceId) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Span> out;
   for (const auto& s : spans_) {
     if (s.traceId == traceId) out.push_back(s);
@@ -98,21 +98,23 @@ std::vector<Span> SpanStore::forTrace(std::uint64_t traceId) const {
 }
 
 std::vector<Span> SpanStore::all() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 std::size_t SpanStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void SpanStore::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 
 std::uint64_t nowNanos() {
+  // dpss-lint: allow(wall-clock) spans and histograms measure real elapsed
+  // time by design; nothing schedules or branches on this value.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

@@ -14,12 +14,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 
 namespace dpss::obs {
 
@@ -63,10 +63,10 @@ class SpanStore {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::vector<Span> spans_;
-  std::size_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::size_t capacity_;  // set once in the constructor
+  std::vector<Span> spans_ DPSS_GUARDED_BY(mu_);
+  std::size_t dropped_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 /// Steady-clock nanoseconds (the time base of every span and histogram).

@@ -15,7 +15,7 @@ StandingSearch::StandingSearch(const Dictionary& dict, EncryptedQuery query,
 }
 
 bool StandingSearch::feed(std::string_view payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   searcher_.processSegment(nextIndex_++, payload);
   if (searcher_.segmentsProcessed() >= batchSize_) {
     ready_.push_back(searcher_.finish());
@@ -25,26 +25,26 @@ bool StandingSearch::feed(std::string_view payload) {
 }
 
 void StandingSearch::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (searcher_.segmentsProcessed() > 0) {
     ready_.push_back(searcher_.finish());
   }
 }
 
 std::vector<SearchResultEnvelope> StandingSearch::drainEnvelopes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SearchResultEnvelope> out(ready_.begin(), ready_.end());
   ready_.clear();
   return out;
 }
 
 std::uint64_t StandingSearch::documentsSeen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return nextIndex_;
 }
 
 std::size_t StandingSearch::pendingEnvelopes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ready_.size();
 }
 

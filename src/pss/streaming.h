@@ -12,12 +12,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "pss/searcher.h"
 
 namespace dpss::pss {
@@ -50,11 +50,11 @@ class StandingSearch {
  private:
   const Dictionary& dict_;
   std::size_t batchSize_;
-  Rng rng_;
-  mutable std::mutex mu_;
-  StreamSearcher searcher_;
-  std::uint64_t nextIndex_ = 0;
-  std::deque<SearchResultEnvelope> ready_;
+  Rng rng_ DPSS_GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  StreamSearcher searcher_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t nextIndex_ DPSS_GUARDED_BY(mu_) = 0;
+  std::deque<SearchResultEnvelope> ready_ DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::pss

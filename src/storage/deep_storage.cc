@@ -32,7 +32,7 @@ std::string LocalDeepStorage::pathFor(const std::string& key) const {
 }
 
 void LocalDeepStorage::put(const std::string& key, const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string path = pathFor(key);
   // Write-then-rename so readers never observe a torn blob.
   const std::string tmp = path + ".tmp";
@@ -47,7 +47,7 @@ void LocalDeepStorage::put(const std::string& key, const std::string& bytes) {
 }
 
 std::string LocalDeepStorage::get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string path = pathFor(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) throw NotFound("deep storage blob not found: " + key);
@@ -57,18 +57,18 @@ std::string LocalDeepStorage::get(const std::string& key) {
 }
 
 bool LocalDeepStorage::exists(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fs::exists(pathFor(key));
 }
 
 void LocalDeepStorage::remove(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fs::remove(pathFor(key));
   keyToFile_.erase(key);
 }
 
 std::vector<std::string> LocalDeepStorage::list() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(keyToFile_.size());
   for (const auto& [key, file] : keyToFile_) {
@@ -79,12 +79,12 @@ std::vector<std::string> LocalDeepStorage::list() {
 }
 
 void MemoryDeepStorage::put(const std::string& key, const std::string& bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   blobs_[key] = bytes;
 }
 
 std::string MemoryDeepStorage::get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++getCount_;
   if (failGets_ > 0) {
     --failGets_;
@@ -96,17 +96,17 @@ std::string MemoryDeepStorage::get(const std::string& key) {
 }
 
 bool MemoryDeepStorage::exists(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.count(key) > 0;
 }
 
 void MemoryDeepStorage::remove(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   blobs_.erase(key);
 }
 
 std::vector<std::string> MemoryDeepStorage::list() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> keys;
   keys.reserve(blobs_.size());
   for (const auto& [key, bytes] : blobs_) {
@@ -117,12 +117,12 @@ std::vector<std::string> MemoryDeepStorage::list() {
 }
 
 void MemoryDeepStorage::failNextGets(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   failGets_ = n;
 }
 
 std::size_t MemoryDeepStorage::getCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return getCount_;
 }
 

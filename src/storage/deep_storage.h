@@ -9,9 +9,10 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace dpss::storage {
 
@@ -47,8 +48,9 @@ class LocalDeepStorage final : public DeepStorage {
   std::string pathFor(const std::string& key) const;
 
   std::string root_;
-  std::mutex mu_;
-  std::map<std::string, std::string> keyToFile_;  // key -> sanitized name
+  Mutex mu_;
+  // key -> sanitized name
+  std::map<std::string, std::string> keyToFile_ DPSS_GUARDED_BY(mu_);
 };
 
 /// In-memory deep storage with fault injection.
@@ -65,10 +67,10 @@ class MemoryDeepStorage final : public DeepStorage {
   std::size_t getCount() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::string> blobs_;
-  std::size_t failGets_ = 0;
-  std::size_t getCount_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> blobs_ DPSS_GUARDED_BY(mu_);
+  std::size_t failGets_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t getCount_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpss::storage

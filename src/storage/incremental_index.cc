@@ -28,8 +28,12 @@ void IncrementalIndex::add(const InputRow& row) {
 
   Key key{bucket, row.dimensions};
   if (granularity_ == 0) {
-    // Disambiguate identical rows so nothing merges.
-    key.second.push_back("\x01" + std::to_string(events_));
+    // Disambiguate identical rows so nothing merges. Built by append:
+    // `"\x01" + std::to_string(...)` trips GCC 12's spurious
+    // -Wrestrict (PR 105651) under -Werror.
+    std::string tag(1, '\x01');
+    tag += std::to_string(events_);
+    key.second.push_back(std::move(tag));
   }
   auto [it, inserted] = rows_.try_emplace(key, row.metrics);
   if (!inserted) {

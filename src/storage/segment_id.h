@@ -19,6 +19,13 @@ struct SegmentId {
   /// "<dataSource>/<start>-<end>/<version>/<partition>" — unique key used
   /// for deep-storage blobs, znode names, cache directories.
   std::string toString() const;
+
+  /// Real-time segments carry the fixed version "rt" (chosen so any
+  /// handed-off historical version "v…" overshadows them) and keep
+  /// mutating as events arrive — unlike every other segment, their
+  /// contents are NOT identified by the id.
+  bool mutableRealtime() const { return version == kRealtimeVersion; }
+  static constexpr const char* kRealtimeVersion = "rt";
   static SegmentId parse(const std::string& s);
 
   void serialize(ByteWriter& w) const;

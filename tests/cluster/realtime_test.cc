@@ -73,6 +73,29 @@ TEST_F(RealtimeTest, IngestedDataIsImmediatelyQueryable) {
   EXPECT_DOUBLE_EQ(outcome.rows[0].values[1], 30.0);
 }
 
+TEST_F(RealtimeTest, BrokerNeverCachesMutableRealtimeScans) {
+  // Regression: the broker's per-segment result cache keyed on
+  // (segment id, query) froze real-time counts at whatever the first
+  // scan saw — the "rt" segment keeps its id while events arrive. The
+  // default cluster keeps the cache ON, so a repeat query after more
+  // ingestion must reflect the new events, not the cached scan.
+  Cluster cluster(clock_, {.historicalNodes = 1});
+  cluster.messageQueue().createTopic("ads-stream", 1);
+  cluster.addRealtimeNode("ads-stream", 0, rtSchema(), "rt-ads", options_);
+
+  cluster.messageQueue().append("ads-stream", 0, event(kT0 + 1000, "sina", 10));
+  cluster.realtime(0).tick();
+  const auto spec = rtCount(Interval(kT0, kT0 + kHour));
+  const auto first = cluster.broker().query(spec);
+  EXPECT_DOUBLE_EQ(first.rows[0].values[1], 10.0);
+
+  cluster.messageQueue().append("ads-stream", 0, event(kT0 + 2000, "sina", 25));
+  cluster.realtime(0).tick();
+  const auto second = cluster.broker().query(spec);
+  EXPECT_DOUBLE_EQ(second.rows[0].values[1], 35.0);
+  EXPECT_EQ(second.cacheHits, 0u);
+}
+
 TEST_F(RealtimeTest, RollupCompressesDuplicateKeys) {
   Cluster cluster(clock_, {.historicalNodes = 1});
   cluster.messageQueue().createTopic("ads-stream", 1);

@@ -1,0 +1,14 @@
+// dpss-lint-fixture: expect(wall-clock)
+//
+// An allow comment with no justification text is itself a violation:
+// the waiver must say why the escape hatch is safe.
+#include <chrono>
+
+namespace dpss {
+
+std::int64_t bare() {
+  // dpss-lint: allow(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace dpss

@@ -1,0 +1,35 @@
+// dpss-lint-fixture: expect(clean)
+//
+// The sanctioned shapes: a justified allow comment (covering a wrapped
+// statement), a policy-routed RPC, and well-formed metric names.
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace obs {
+unsigned internCounter(const char*);
+unsigned internHistogram(const char*);
+}
+
+namespace dpss::cluster {
+class Transport;
+std::string callWithPolicy(Transport&, const std::string& node,
+                           const std::string& request);
+
+std::uint64_t spanClock() {
+  // dpss-lint: allow(wall-clock) span timestamps measure real elapsed
+  // time by design; nothing schedules or branches on this value.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string fetchStats(Transport& transport, const std::string& node) {
+  return callWithPolicy(transport, node, "stats\n");
+}
+
+const auto kQueries = obs::internCounter("broker.query.count");
+const auto kLatency = obs::internHistogram("rpc.latency_ns");
+
+}  // namespace dpss::cluster

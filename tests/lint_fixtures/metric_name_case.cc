@@ -1,0 +1,15 @@
+// dpss-lint-fixture: expect(metric-name)
+//
+// Metric names are lowercase dotted identifiers so the exposition
+// namespace stays stable and greppable; CamelCase and undotted names
+// are rejected.
+namespace obs {
+unsigned internCounter(const char*);
+}
+
+namespace dpss {
+
+const auto kBadCase = obs::internCounter("BrokerQueriesTotal");
+const auto kBadFlat = obs::internCounter("brokerqueries");
+
+}  // namespace dpss

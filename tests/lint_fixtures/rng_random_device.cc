@@ -1,0 +1,15 @@
+// dpss-lint-fixture: expect(rng)
+//
+// Hardware entropy makes replica selection unreplayable; everything
+// random derives from a seeded dpss::Rng.
+#include <random>
+
+namespace dpss {
+
+std::size_t pickReplica(std::size_t count) {
+  std::random_device rd;
+  std::mt19937_64 gen(rd());
+  return gen() % count;
+}
+
+}  // namespace dpss

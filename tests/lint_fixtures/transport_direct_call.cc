@@ -1,0 +1,24 @@
+// dpss-lint-fixture: expect(transport-call)
+//
+// A raw Transport::call skips the retry/backoff/deadline policy layer;
+// clients must go through callWithPolicy (cluster/rpc_policy.h).
+#include <string>
+
+namespace dpss::cluster {
+
+class Transport {
+ public:
+  std::string call(const std::string& node, const std::string& request);
+};
+
+class NaiveClient {
+ public:
+  std::string fetch(const std::string& node) {
+    return transport_.call(node, "stats\n");
+  }
+
+ private:
+  Transport transport_;
+};
+
+}  // namespace dpss::cluster

@@ -1,0 +1,17 @@
+// dpss-lint-fixture: expect(wall-clock)
+//
+// Scheduling decisions taken from the real clock diverge between runs;
+// both the system and steady clocks must flow through common/clock.*.
+#include <chrono>
+#include <cstdint>
+
+namespace dpss {
+
+std::int64_t segmentDueAt() {
+  const auto wall = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             wall.time_since_epoch())
+      .count();
+}
+
+}  // namespace dpss

@@ -1,0 +1,14 @@
+// dpss-lint-fixture: expect(wall-clock)
+//
+// Real-time sleeps stall the virtual-clock test harness and make chaos
+// schedules irreproducible; code must wait on Clock::sleepFor instead.
+#include <chrono>
+#include <thread>
+
+namespace dpss {
+
+void backoffBeforeRetry() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+}  // namespace dpss
