@@ -16,6 +16,12 @@ rules keep the accidental escape hatches shut:
   metric-name  -- obs::intern{Counter,Gauge,Histogram} names are
                   lowercase dotted identifiers ("a.b.c"), so exposition
                   renders a stable, greppable namespace.
+  chaos-api    -- no ad-hoc fault injection (node .crash(), deprecated
+                  failNextGets) in src/ outside the chaos scheduler;
+                  faults must come from a seeded, replayable schedule
+                  (cluster/chaos_scheduler.h). Tests are never walked,
+                  so targeted regression tests stay free to crash nodes
+                  directly.
 
 A violation can be waived inline with a justification:
 
@@ -79,6 +85,20 @@ TRANSPORT_EXEMPT = frozenset(
     }
 )
 
+# The chaos scheduler is the one sanctioned fault injector; cluster.cc
+# implements the lifecycle primitives it drives (restartRealtime must
+# crash the old instance), and deep_storage.* declares/defines the
+# deprecated failNextGets alias itself.
+CHAOS_API_EXEMPT = frozenset(
+    {
+        "src/cluster/chaos_scheduler.cc",
+        "src/cluster/chaos_scheduler.h",
+        "src/cluster/cluster.cc",
+        "src/storage/deep_storage.cc",
+        "src/storage/deep_storage.h",
+    }
+)
+
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 RULES = [
@@ -114,6 +134,18 @@ RULES = [
             "policy; route through callWithPolicy (cluster/rpc_policy.h)"
         ),
         exempt_files=TRANSPORT_EXEMPT,
+    ),
+    Rule(
+        name="chaos-api",
+        # No whitespace after the member operator: "word. crash() word"
+        # in prose comments must not trip the rule.
+        pattern=re.compile(r"(?:\.|->)crash\s*\(|\bfailNextGets\s*\("),
+        message=(
+            "ad-hoc fault injection outside the chaos scheduler; derive "
+            "faults from a seeded schedule (cluster/chaos_scheduler.h) "
+            "so one seed replays the whole failure story"
+        ),
+        exempt_files=CHAOS_API_EXEMPT,
     ),
 ]
 
@@ -280,6 +312,22 @@ SELFTEST_CASES = [
         "src/obs/x.cc",
         'auto id = internGauge("Served");',
     ),  # unqualified call inside namespace obs is still checked
+    ("chaos-api", "src/x/a.cc", "cluster.historical(0).crash();"),
+    ("chaos-api", "src/x/a.cc", "historicals_[i]->crash();"),
+    ("chaos-api", "src/x/a.cc", "deepStorage_.failNextGets(3);"),
+    (None, "src/x/a.cc", "void crash();"),  # declaring the API is fine
+    (
+        None,
+        "src/cluster/chaos_scheduler.cc",
+        "cluster_.historical(i).crash();",
+    ),
+    (None, "src/cluster/cluster.cc", "slot.node->crash();"),
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(chaos-api) bench measures raw restart cost\n"
+        "node.crash();",
+    ),
 ]
 
 

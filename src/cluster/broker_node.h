@@ -72,6 +72,10 @@ class BrokerNode {
   void stop();
 
   const std::string& name() const { return name_; }
+  bool running() const {
+    MutexLock lock(mu_);
+    return running_;
+  }
 
   /// Routes, scatters, merges and finalizes one query. When a strict
   /// minority of the visible segments has no reachable replica and no
@@ -117,7 +121,7 @@ class BrokerNode {
   BrokerOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  Mutex mu_;
+  mutable Mutex mu_;
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   bool running_ DPSS_GUARDED_BY(mu_) = false;
   bool viewDirty_ DPSS_GUARDED_BY(mu_) = true;

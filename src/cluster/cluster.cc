@@ -8,6 +8,7 @@ namespace dpss::cluster {
 Cluster::Cluster(Clock& clock, ClusterOptions options)
     : clock_(clock), options_(options), transport_(clock) {
   metaStore_.setDefaultRules(options_.defaultRules);
+  deepStorage_.setClock(&clock_);  // serves injected slow-read delays
   for (std::size_t i = 0; i < options_.historicalNodes; ++i) {
     addHistoricalNode();
   }
@@ -65,6 +66,10 @@ std::size_t Cluster::addRealtimeNode(const std::string& topic,
   realtimes_impl_.push_back(std::move(slot));
   realtimes_.push_back(realtimes_impl_.back().node.get());
   return index;
+}
+
+void Cluster::crashRealtime(std::size_t i) {
+  realtimes_impl_.at(i).node->crash();
 }
 
 void Cluster::restartRealtime(std::size_t i) {

@@ -66,7 +66,13 @@ class Cluster {
                               RealtimeNodeOptions options = {});
   RealtimeNode& realtime(std::size_t i) { return *realtimes_.at(i); }
   std::size_t realtimeCount() const { return realtimes_.size(); }
-  /// Crash + restart a real-time node over its surviving disk.
+  /// Crash a real-time node (lossy: un-persisted index dies), leaving it
+  /// down until restartRealtime() brings a new instance up over the
+  /// surviving disk. The chaos scheduler uses the split form to model
+  /// down-time between crash and restart.
+  void crashRealtime(std::size_t i);
+  /// Crash (if still up) + restart a real-time node over its surviving
+  /// disk.
   void restartRealtime(std::size_t i);
 
   // --- convenience ---------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "cluster/historical_node.h"
 
+#include <algorithm>
 #include <future>
 
 #include "cluster/names.h"
@@ -33,6 +34,16 @@ const obs::MetricId kDiskCacheHits =
 const obs::MetricId kPssSlices =
     obs::internCounter("historical.pss.slice_searches");
 const obs::MetricId kServedGauge = obs::internGauge("historical.segments.served");
+const obs::MetricId kChecksumFailures =
+    obs::internCounter("historical.deep_storage.checksum_failures");
+const obs::MetricId kRefetchHeals =
+    obs::internCounter("historical.deep_storage.refetch_heals");
+const obs::MetricId kRepairs =
+    obs::internCounter("historical.deep_storage.repairs");
+const obs::MetricId kReregistrations =
+    obs::internCounter("historical.registry.reregistrations");
+const obs::MetricId kReregisterFailures =
+    obs::internCounter("historical.registry.reregister_failures");
 
 }  // namespace
 
@@ -123,6 +134,68 @@ void HistoricalNode::crash() {
   pool.reset();
 }
 
+void HistoricalNode::loseRegistrySession() {
+  SessionPtr session;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    session = session_;
+  }
+  registry_.expire(session);
+  DPSS_LOG(Warn) << name_ << " lost registry session (lease expiry)";
+}
+
+void HistoricalNode::maybeReregister() {
+  {
+    MutexLock lock(mu_);
+    if (!running_ || session_ == nullptr || !session_->expired()) return;
+    const TimeMs now = transport_.clock().nowMs();
+    if (reregisterNotBeforeMs_ == 0) {
+      // First tick after lease loss: schedule the reconnect one backoff
+      // period out, as a real client would after a ZK session expiry.
+      reregisterNotBeforeMs_ = now + reregisterBackoffMs_;
+      return;
+    }
+    if (now < reregisterNotBeforeMs_) return;
+  }
+  try {
+    SessionPtr session = registry_.connect(name_);
+    try {
+      registry_.create(paths::nodeAnnouncement(name_), "historical", session,
+                       /*ephemeral=*/true);
+    } catch (const AlreadyExists&) {
+    }
+    std::map<SegmentId, SegmentPtr> served;
+    {
+      MutexLock lock(mu_);
+      served = served_;
+    }
+    for (const auto& [id, seg] : served) {
+      (void)seg;
+      try {
+        registry_.create(paths::servedSegment(name_, id), id.toString(),
+                         session, /*ephemeral=*/true);
+      } catch (const AlreadyExists&) {
+      }
+    }
+    {
+      MutexLock lock(mu_);
+      if (!running_) return;  // stopped while reconnecting
+      session_ = std::move(session);
+      reregisterBackoffMs_ = options_.reregisterBackoffMs;
+      reregisterNotBeforeMs_ = 0;
+    }
+    obs_.counter(kReregistrations).inc();
+    DPSS_LOG(Info) << name_ << " re-registered after session expiry";
+  } catch (const Error& e) {
+    obs_.counter(kReregisterFailures).inc();
+    MutexLock lock(mu_);
+    reregisterBackoffMs_ =
+        std::min<TimeMs>(reregisterBackoffMs_ * 2, options_.reregisterBackoffMaxMs);
+    reregisterNotBeforeMs_ = transport_.clock().nowMs() + reregisterBackoffMs_;
+  }
+}
+
 void HistoricalNode::onLoadQueueEvent() {
   {
     MutexLock lock(mu_);
@@ -186,7 +259,21 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
     cacheHits_.fetch_add(1);
     obs_.counter(kDiskCacheHits).inc();
   } else {
-    blob = deepStorage_.get(key);  // may throw Unavailable/NotFound
+    bool healedByRefetch = false;
+    try {
+      // Verified download: only checksum-clean bytes ever reach the local
+      // disk cache or a decoded scan. May throw Unavailable/NotFound.
+      blob = deepStorage_.getVerified(key, &healedByRefetch);
+    } catch (const CorruptData&) {
+      // Leave the assignment queued: a replica holding good bytes must
+      // re-upload before this node can load the segment.
+      obs_.counter(kChecksumFailures).inc();
+      throw;
+    }
+    if (healedByRefetch) {
+      obs_.counter(kChecksumFailures).inc();
+      obs_.counter(kRefetchHeals).inc();
+    }
     downloads_.fetch_add(1);
     obs_.counter(kDownloads).inc();
     MutexLock lock(mu_);
@@ -207,6 +294,19 @@ void HistoricalNode::loadSegment(const SegmentId& id, const std::string& key) {
   registry_.create(paths::servedSegment(name_, id), id.toString(), session,
                    /*ephemeral=*/true);
   DPSS_LOG(Info) << name_ << " serving " << id.toString();
+  // Self-heal: a cache-hit load skipped deep storage entirely, so check
+  // whether the permanent copy rotted (or vanished) and re-upload this
+  // node's good bytes — re-replication elsewhere depends on it.
+  if (fromCache && !deepStorage_.verify(key)) {
+    try {
+      deepStorage_.put(key, blob);
+      obs_.counter(kRepairs).inc();
+      DPSS_LOG(Warn) << name_ << " re-uploaded corrupt/missing blob " << key;
+    } catch (const Error& e) {
+      DPSS_LOG(Warn) << name_ << " re-upload of " << key
+                     << " failed: " << e.what();
+    }
+  }
 }
 
 void HistoricalNode::dropSegment(const SegmentId& id) {

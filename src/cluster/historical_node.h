@@ -36,6 +36,10 @@ namespace dpss::cluster {
 
 struct HistoricalNodeOptions {
   std::size_t workerThreads = 15;  // the paper's per-node thread count
+  // Reconnect backoff after a registry session expiry (doubles per failed
+  // attempt up to the max, measured on the transport's virtual clock).
+  TimeMs reregisterBackoffMs = 50;
+  TimeMs reregisterBackoffMaxMs = 2000;
 };
 
 class HistoricalNode {
@@ -60,11 +64,20 @@ class HistoricalNode {
   /// cache survives for a later restart.
   void crash();
 
-  /// Periodic maintenance: re-processes any load-queue entries that a
-  /// previous attempt left behind (e.g. a deep-storage outage). Watch
-  /// events cover the steady state; tick() is the recovery path a real
-  /// node runs on a timer.
-  void tick() { onLoadQueueEvent(); }
+  /// Simulates losing the registry lease (ZK session expiry) while the
+  /// node itself keeps running: announcements and served ephemerals
+  /// vanish, but the process, pool and transport binding stay up. tick()
+  /// re-registers with backoff.
+  void loseRegistrySession();
+
+  /// Periodic maintenance: re-registers after a lost registry session and
+  /// re-processes any load-queue entries that a previous attempt left
+  /// behind (e.g. a deep-storage outage). Watch events cover the steady
+  /// state; tick() is the recovery path a real node runs on a timer.
+  void tick() {
+    maybeReregister();
+    onLoadQueueEvent();
+  }
 
   const std::string& name() const { return name_; }
   bool running() const {
@@ -89,6 +102,7 @@ class HistoricalNode {
   obs::MetricsRegistry& metrics() { return obs_; }
 
  private:
+  void maybeReregister();
   void onLoadQueueEvent();
   void processAssignment(const std::string& entryName);
   void loadSegment(const storage::SegmentId& id, const std::string& key);
@@ -106,6 +120,10 @@ class HistoricalNode {
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   std::uint64_t watchId_ DPSS_GUARDED_BY(mu_) = 0;
   bool running_ DPSS_GUARDED_BY(mu_) = false;
+  // Session-expiry recovery state: 0 means "no reconnect scheduled yet".
+  TimeMs reregisterNotBeforeMs_ DPSS_GUARDED_BY(mu_) = 0;
+  TimeMs reregisterBackoffMs_ DPSS_GUARDED_BY(mu_) =
+      options_.reregisterBackoffMs;
   // "Local disk": encoded blobs that survive crash()/start() cycles.
   std::map<std::string, std::string> localDisk_ DPSS_GUARDED_BY(mu_);
   // Decoded, servable segments.

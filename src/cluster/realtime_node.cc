@@ -1,5 +1,6 @@
 #include "cluster/realtime_node.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -28,6 +29,12 @@ const obs::MetricId kHandoffCount = obs::internCounter("realtime.handoff.count")
 const obs::MetricId kScanCount =
     obs::internCounter("realtime.segments.scanned");
 const obs::MetricId kScanNs = obs::internHistogram("realtime.scan.ns");
+const obs::MetricId kHandoffFailures =
+    obs::internCounter("realtime.handoff.failures");
+const obs::MetricId kReregistrations =
+    obs::internCounter("realtime.registry.reregistrations");
+const obs::MetricId kReregisterFailures =
+    obs::internCounter("realtime.registry.reregister_failures");
 
 }  // namespace
 
@@ -116,6 +123,36 @@ void RealtimeNode::start() {
 }
 
 void RealtimeNode::stop() {
+  // Graceful shutdown flushes live indexes and commits the consumed
+  // offset, so a restart resumes without re-scanning. crash() skips this
+  // flush — that durability gap is exactly what replay-from-committed-
+  // offset recovery covers.
+  std::uint64_t offsetToCommit = 0;
+  bool flushed = false;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    for (auto& [bucket, index] : live_) {
+      if (index == nullptr || index->empty()) continue;
+      SegmentId snapId = realtimeSegmentId(bucket);
+      snapId.version += "-p" + std::to_string(disk_.persisted[bucket].size());
+      disk_.persisted[bucket].push_back(index->persistAndClear(snapId));
+    }
+    offsetToCommit = offset_;
+    flushed = true;
+  }
+  if (flushed) queue_.commit(name_, topic_, partition_, offsetToCommit);
+  teardown();
+}
+
+void RealtimeNode::crash() {
+  // Abrupt failure: the un-persisted incremental index dies with the
+  // process and the committed offset stays wherever the last persist left
+  // it — start() re-consumes the gap from the message queue.
+  teardown();
+}
+
+void RealtimeNode::teardown() {
   SessionPtr session;
   {
     MutexLock lock(mu_);
@@ -131,14 +168,73 @@ void RealtimeNode::stop() {
   registry_.expire(session);
 }
 
-void RealtimeNode::crash() { stop(); }  // identical observable effect:
-                                        // ephemerals vanish, disk survives
+void RealtimeNode::loseRegistrySession() {
+  SessionPtr session;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    session = session_;
+  }
+  registry_.expire(session);
+  DPSS_LOG(Warn) << name_ << " lost registry session (lease expiry)";
+}
+
+void RealtimeNode::maybeReregister() {
+  {
+    MutexLock lock(mu_);
+    if (!running_ || session_ == nullptr || !session_->expired()) return;
+    const TimeMs now = clock_.nowMs();
+    if (reregisterNotBeforeMs_ == 0) {
+      // First tick after lease loss: schedule the reconnect one backoff
+      // period out, as a real client would after a ZK session expiry.
+      reregisterNotBeforeMs_ = now + reregisterBackoffMs_;
+      return;
+    }
+    if (now < reregisterNotBeforeMs_) return;
+  }
+  try {
+    SessionPtr session = registry_.connect(name_);
+    try {
+      registry_.create(paths::nodeAnnouncement(name_), "realtime", session,
+                       /*ephemeral=*/true);
+    } catch (const AlreadyExists&) {
+    }
+    std::vector<TimeMs> buckets;
+    {
+      MutexLock lock(mu_);
+      if (!running_) return;  // stopped while reconnecting
+      for (const auto& [bucket, flag] : announced_) {
+        if (flag) buckets.push_back(bucket);
+      }
+      session_ = session;
+      reregisterBackoffMs_ = options_.reregisterBackoffMs;
+      reregisterNotBeforeMs_ = 0;
+    }
+    for (const auto bucket : buckets) {
+      const SegmentId id = realtimeSegmentId(bucket);
+      try {
+        registry_.create(paths::servedSegment(name_, id), id.toString(),
+                         session, /*ephemeral=*/true);
+      } catch (const AlreadyExists&) {
+      }
+    }
+    obs_.counter(kReregistrations).inc();
+    DPSS_LOG(Info) << name_ << " re-registered after session expiry";
+  } catch (const Error& e) {
+    obs_.counter(kReregisterFailures).inc();
+    MutexLock lock(mu_);
+    reregisterBackoffMs_ = std::min<TimeMs>(reregisterBackoffMs_ * 2,
+                                            options_.reregisterBackoffMaxMs);
+    reregisterNotBeforeMs_ = clock_.nowMs() + reregisterBackoffMs_;
+  }
+}
 
 void RealtimeNode::tick() {
   {
     MutexLock lock(mu_);
     if (!running_) return;
   }
+  maybeReregister();
   ingest();
   persistIfDue();
   handoffIfDue();
@@ -278,7 +374,17 @@ void RealtimeNode::handoffIfDue() {
     const SegmentPtr merged = storage::mergeSegments(parts, historicalId);
     const std::string blob = storage::encodeSegment(*merged);
     const std::string key = historicalId.toString();
-    deepStorage_.put(key, blob);
+    try {
+      deepStorage_.put(key, blob);
+    } catch (const Error& e) {
+      // Upload-side outage: the bucket stays announced (still queryable
+      // live) and the next tick retries the whole handoff under a fresh
+      // version. No data is lost, only delayed.
+      obs_.counter(kHandoffFailures).inc();
+      DPSS_LOG(Warn) << name_ << " handoff upload failed for " << key << ": "
+                     << e.what();
+      continue;
+    }
     SegmentRecord record;
     record.id = historicalId;
     record.deepStorageKey = key;

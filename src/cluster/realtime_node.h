@@ -48,6 +48,10 @@ struct RealtimeNodeOptions {
   TimeMs windowMs = 600'000;                // handoff window time
   TimeMs rollupGranularityMs = 60'000;      // aggregate roll-up bucket
   std::size_t maxPollBatch = 4096;
+  // Reconnect backoff after a registry session expiry (doubles per failed
+  // attempt up to the max, measured on the node's clock).
+  TimeMs reregisterBackoffMs = 50;
+  TimeMs reregisterBackoffMaxMs = 2000;
 };
 
 class RealtimeNode {
@@ -65,15 +69,32 @@ class RealtimeNode {
 
   /// Connects, recovers from disk + committed offset, announces.
   void start();
+
+  /// Graceful stop: flushes live indexes to disk and commits the consumed
+  /// offset before leaving the network, so a restart resumes without
+  /// re-scanning.
   void stop();
-  /// Crash: in-memory index lost; disk and committed offset survive.
+
+  /// Crash: the un-persisted in-memory index is LOST and the committed
+  /// offset stays wherever the last persist left it; only disk and the
+  /// committed offset survive, so a restart re-consumes the gap from the
+  /// message queue (§III-A-2 recovery).
   void crash();
 
-  /// One scheduling round: ingest available messages, then run persist
-  /// and handoff if their deadlines passed.
+  /// Simulates losing the registry lease (ZK session expiry) while the
+  /// node keeps running; tick() re-registers with backoff.
+  void loseRegistrySession();
+
+  /// One scheduling round: re-register if the session expired, ingest
+  /// available messages, then run persist and handoff if their deadlines
+  /// passed.
   void tick();
 
   const std::string& name() const { return name_; }
+  bool running() const {
+    MutexLock lock(mu_);
+    return running_;
+  }
   std::uint64_t eventsIngested() const {
     MutexLock lock(mu_);
     return eventsIngested_;
@@ -91,6 +112,8 @@ class RealtimeNode {
  private:
   TimeMs bucketStart(TimeMs t) const;
   storage::SegmentId realtimeSegmentId(TimeMs bucket) const;
+  void teardown() DPSS_EXCLUDES(mu_);
+  void maybeReregister() DPSS_EXCLUDES(mu_);
   void ingest() DPSS_EXCLUDES(mu_);
   void persistIfDue() DPSS_EXCLUDES(mu_);
   void handoffIfDue() DPSS_EXCLUDES(mu_);
@@ -121,6 +144,10 @@ class RealtimeNode {
   TimeMs lastPersist_ DPSS_GUARDED_BY(mu_) = 0;
   // handoff version sequence
   std::uint64_t versionCounter_ DPSS_GUARDED_BY(mu_) = 0;
+  // Session-expiry recovery state: 0 means "no reconnect scheduled yet".
+  TimeMs reregisterNotBeforeMs_ DPSS_GUARDED_BY(mu_) = 0;
+  TimeMs reregisterBackoffMs_ DPSS_GUARDED_BY(mu_) =
+      options_.reregisterBackoffMs;
 
   // Live in-memory indexes per segment interval start.
   std::map<TimeMs, std::unique_ptr<storage::IncrementalIndex>> live_

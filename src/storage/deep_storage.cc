@@ -12,6 +12,27 @@ namespace dpss::storage {
 
 namespace fs = std::filesystem;
 
+std::uint64_t DeepStorage::checksumOf(const std::string& bytes) {
+  return fnv1a(bytes);
+}
+
+std::string DeepStorage::getVerified(const std::string& key,
+                                     bool* healedByRefetch) {
+  if (healedByRefetch != nullptr) *healedByRefetch = false;
+  std::string bytes = get(key);
+  const std::optional<std::uint64_t> want = storedChecksum(key);
+  if (!want.has_value() || checksumOf(bytes) == *want) return bytes;
+  // One re-fetch: transient read corruption heals, at-rest corruption
+  // does not — the caller then needs a good replica re-uploaded.
+  bytes = get(key);
+  if (checksumOf(bytes) == *want) {
+    if (healedByRefetch != nullptr) *healedByRefetch = true;
+    return bytes;
+  }
+  throw CorruptData("deep-storage blob failed checksum after re-fetch: " +
+                    key);
+}
+
 LocalDeepStorage::LocalDeepStorage(std::string root) : root_(std::move(root)) {
   fs::create_directories(root_);
 }
@@ -44,6 +65,7 @@ void LocalDeepStorage::put(const std::string& key, const std::string& bytes) {
   }
   fs::rename(tmp, path);
   keyToFile_[key] = path;
+  checksums_[key] = checksumOf(bytes);
 }
 
 std::string LocalDeepStorage::get(const std::string& key) {
@@ -65,6 +87,7 @@ void LocalDeepStorage::remove(const std::string& key) {
   MutexLock lock(mu_);
   fs::remove(pathFor(key));
   keyToFile_.erase(key);
+  checksums_.erase(key);
 }
 
 std::vector<std::string> LocalDeepStorage::list() {
@@ -78,21 +101,68 @@ std::vector<std::string> LocalDeepStorage::list() {
   return keys;
 }
 
+std::optional<std::uint64_t> LocalDeepStorage::storedChecksum(
+    const std::string& key) {
+  MutexLock lock(mu_);
+  const auto it = checksums_.find(key);
+  if (it == checksums_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LocalDeepStorage::verify(const std::string& key) {
+  MutexLock lock(mu_);
+  const std::string path = pathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const auto it = checksums_.find(key);
+  if (it == checksums_.end()) return true;  // predates this process
+  return checksumOf(bytes) == it->second;
+}
+
 void MemoryDeepStorage::put(const std::string& key, const std::string& bytes) {
   MutexLock lock(mu_);
+  ++putCount_;
+  if (failPuts_ > 0) {
+    --failPuts_;
+    throw Unavailable("injected deep-storage put failure");
+  }
   blobs_[key] = bytes;
+  checksums_[key] = checksumOf(bytes);
 }
 
 std::string MemoryDeepStorage::get(const std::string& key) {
-  MutexLock lock(mu_);
-  ++getCount_;
-  if (failGets_ > 0) {
-    --failGets_;
-    throw Unavailable("injected deep-storage failure");
+  std::string bytes;
+  TimeMs delayMs = 0;
+  Clock* clock = nullptr;
+  bool corrupt = false;
+  {
+    MutexLock lock(mu_);
+    ++getCount_;
+    if (failGets_ > 0) {
+      --failGets_;
+      throw Unavailable("injected deep-storage failure");
+    }
+    if (slowGets_ > 0) {
+      --slowGets_;
+      delayMs = slowGetDelayMs_;
+      clock = clock_;
+    }
+    if (corruptGets_ > 0) {
+      --corruptGets_;
+      corrupt = true;
+    }
+    const auto it = blobs_.find(key);
+    if (it == blobs_.end()) {
+      throw NotFound("deep storage blob not found: " + key);
+    }
+    bytes = it->second;
   }
-  const auto it = blobs_.find(key);
-  if (it == blobs_.end()) throw NotFound("deep storage blob not found: " + key);
-  return it->second;
+  // Sleep outside mu_ so a slow read never blocks other storage clients.
+  if (delayMs > 0 && clock != nullptr) clock->sleepFor(delayMs);
+  if (corrupt && !bytes.empty()) bytes[0] ^= 0x01;
+  return bytes;
 }
 
 bool MemoryDeepStorage::exists(const std::string& key) {
@@ -103,6 +173,7 @@ bool MemoryDeepStorage::exists(const std::string& key) {
 void MemoryDeepStorage::remove(const std::string& key) {
   MutexLock lock(mu_);
   blobs_.erase(key);
+  checksums_.erase(key);
 }
 
 std::vector<std::string> MemoryDeepStorage::list() {
@@ -116,14 +187,79 @@ std::vector<std::string> MemoryDeepStorage::list() {
   return keys;
 }
 
-void MemoryDeepStorage::failNextGets(std::size_t n) {
+std::optional<std::uint64_t> MemoryDeepStorage::storedChecksum(
+    const std::string& key) {
+  MutexLock lock(mu_);
+  const auto it = checksums_.find(key);
+  if (it == checksums_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryDeepStorage::verify(const std::string& key) {
+  MutexLock lock(mu_);
+  const auto blob = blobs_.find(key);
+  if (blob == blobs_.end()) return false;
+  const auto sum = checksums_.find(key);
+  if (sum == checksums_.end()) return true;
+  return checksumOf(blob->second) == sum->second;
+}
+
+void MemoryDeepStorage::injectGetFailures(std::size_t n) {
   MutexLock lock(mu_);
   failGets_ = n;
 }
 
+void MemoryDeepStorage::injectPutFailures(std::size_t n) {
+  MutexLock lock(mu_);
+  failPuts_ = n;
+}
+
+void MemoryDeepStorage::injectCorruptGets(std::size_t n) {
+  MutexLock lock(mu_);
+  corruptGets_ = n;
+}
+
+void MemoryDeepStorage::injectSlowGets(std::size_t n, TimeMs delayMs) {
+  MutexLock lock(mu_);
+  slowGets_ = n;
+  slowGetDelayMs_ = delayMs;
+}
+
+void MemoryDeepStorage::corruptBlob(const std::string& key) {
+  MutexLock lock(mu_);
+  const auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    throw NotFound("cannot corrupt missing blob: " + key);
+  }
+  // The recorded checksum is deliberately left untouched: this models
+  // at-rest bit rot that verify-on-load must catch.
+  if (!it->second.empty()) it->second[0] ^= 0x01;
+}
+
+void MemoryDeepStorage::clearFaults() {
+  MutexLock lock(mu_);
+  failGets_ = 0;
+  failPuts_ = 0;
+  corruptGets_ = 0;
+  slowGets_ = 0;
+  slowGetDelayMs_ = 0;
+}
+
+void MemoryDeepStorage::setClock(Clock* clock) {
+  MutexLock lock(mu_);
+  clock_ = clock;
+}
+
+void MemoryDeepStorage::failNextGets(std::size_t n) { injectGetFailures(n); }
+
 std::size_t MemoryDeepStorage::getCount() const {
   MutexLock lock(mu_);
   return getCount_;
+}
+
+std::size_t MemoryDeepStorage::putCount() const {
+  MutexLock lock(mu_);
+  return putCount_;
 }
 
 }  // namespace dpss::storage

@@ -2,16 +2,21 @@
 // permanently in a distributed file system, such as S3 or HDFS").
 //
 // The interface is the whole HDFS contract the system depends on:
-// immutable blob put/get plus listing. Two implementations:
+// immutable blob put/get plus listing, extended with per-blob checksums so
+// readers can detect bit rot (verify-on-load with one re-fetch before
+// surfacing CorruptData). Two implementations:
 //   LocalDeepStorage  — directory-backed, one file per blob
-//   MemoryDeepStorage — map-backed, with failure injection for tests
+//   MemoryDeepStorage — map-backed, with seeded-chaos fault hooks for tests
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
 
 namespace dpss::storage {
@@ -21,16 +26,39 @@ class DeepStorage {
   virtual ~DeepStorage() = default;
 
   /// Stores a blob; overwriting an existing key is allowed (segment
-  /// re-upload after a retried handoff must be idempotent).
+  /// re-upload after a retried handoff must be idempotent). Records the
+  /// blob's checksum for later verification.
   virtual void put(const std::string& key, const std::string& bytes) = 0;
 
   /// Throws NotFound when the key does not exist, Unavailable on an
-  /// injected/IO failure.
+  /// injected/IO failure. Performs no checksum verification — use
+  /// getVerified() on load paths that must never serve corrupt bytes.
   virtual std::string get(const std::string& key) = 0;
 
   virtual bool exists(const std::string& key) = 0;
   virtual void remove(const std::string& key) = 0;
   virtual std::vector<std::string> list() = 0;
+
+  /// Checksum recorded when `key` was last put through this instance, or
+  /// nullopt when the blob predates this process (e.g. a reopened
+  /// LocalDeepStorage directory) — verification is then skipped.
+  virtual std::optional<std::uint64_t> storedChecksum(
+      const std::string& key) = 0;
+
+  /// True when the blob at `key` exists and matches its recorded checksum
+  /// (a blob with no recorded checksum verifies trivially). Reads the
+  /// stored bytes directly, bypassing injected read faults.
+  virtual bool verify(const std::string& key) = 0;
+
+  /// get() + checksum verification. A mismatch triggers exactly one
+  /// re-fetch (transient read corruption heals; at-rest corruption does
+  /// not); a second mismatch throws CorruptData. `healedByRefetch`, when
+  /// non-null, reports whether the re-fetch path was taken successfully.
+  std::string getVerified(const std::string& key,
+                          bool* healedByRefetch = nullptr);
+
+  /// The checksum function used for all blobs (FNV-1a over the bytes).
+  static std::uint64_t checksumOf(const std::string& bytes);
 };
 
 /// One file per blob under `root`; keys are sanitized into file names.
@@ -43,6 +71,8 @@ class LocalDeepStorage final : public DeepStorage {
   bool exists(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> list() override;
+  std::optional<std::uint64_t> storedChecksum(const std::string& key) override;
+  bool verify(const std::string& key) override;
 
  private:
   std::string pathFor(const std::string& key) const;
@@ -51,9 +81,13 @@ class LocalDeepStorage final : public DeepStorage {
   Mutex mu_;
   // key -> sanitized name
   std::map<std::string, std::string> keyToFile_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> checksums_ DPSS_GUARDED_BY(mu_);
 };
 
-/// In-memory deep storage with fault injection.
+/// In-memory deep storage with fault injection. All fault hooks are
+/// thread-safe; the chaos scheduler (cluster/chaos_scheduler.h) is the
+/// intended driver — tests should prefer scheduling storage faults there
+/// so they ride the seeded, replayable schedule.
 class MemoryDeepStorage final : public DeepStorage {
  public:
   void put(const std::string& key, const std::string& bytes) override;
@@ -61,16 +95,54 @@ class MemoryDeepStorage final : public DeepStorage {
   bool exists(const std::string& key) override;
   void remove(const std::string& key) override;
   std::vector<std::string> list() override;
+  std::optional<std::uint64_t> storedChecksum(const std::string& key) override;
+  bool verify(const std::string& key) override;
 
   /// The next `n` get() calls throw Unavailable (simulated HDFS outage).
+  void injectGetFailures(std::size_t n);
+
+  /// The next `n` put() calls throw Unavailable (upload-side outage).
+  void injectPutFailures(std::size_t n);
+
+  /// The next `n` get() calls return bit-flipped copies of the stored
+  /// bytes (transient read corruption — a re-fetch observes clean bytes).
+  void injectCorruptGets(std::size_t n);
+
+  /// The next `n` get() calls sleep for `delayMs` on the configured clock
+  /// before returning (slow-read brownout). No-op without setClock().
+  void injectSlowGets(std::size_t n, TimeMs delayMs);
+
+  /// Flips one bit of the stored blob in place, leaving its recorded
+  /// checksum untouched: at-rest bit rot that verify-on-load must catch
+  /// and that only a re-upload of a good copy can heal. Throws NotFound
+  /// for a missing key.
+  void corruptBlob(const std::string& key);
+
+  /// Cancels all outstanding injected faults.
+  void clearFaults();
+
+  /// Clock used to serve injectSlowGets() delays.
+  void setClock(Clock* clock);
+
+  /// Deprecated alias for injectGetFailures(); prefer driving storage
+  /// faults through the chaos scheduler's seeded schedule.
   void failNextGets(std::size_t n);
+
   std::size_t getCount() const;
+  std::size_t putCount() const;
 
  private:
   mutable Mutex mu_;
   std::map<std::string, std::string> blobs_ DPSS_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> checksums_ DPSS_GUARDED_BY(mu_);
   std::size_t failGets_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t failPuts_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t corruptGets_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t slowGets_ DPSS_GUARDED_BY(mu_) = 0;
+  TimeMs slowGetDelayMs_ DPSS_GUARDED_BY(mu_) = 0;
+  Clock* clock_ DPSS_GUARDED_BY(mu_) = nullptr;
   std::size_t getCount_ DPSS_GUARDED_BY(mu_) = 0;
+  std::size_t putCount_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpss::storage

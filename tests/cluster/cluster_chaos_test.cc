@@ -1,0 +1,522 @@
+// Whole-cluster seeded fault injection: one seed replays an entire
+// failure story — node crash/restart cycles, deep-storage faults,
+// registry lease churn, wire-level chaos — and the cluster's recovery
+// machinery (coordinator re-replication, checksum verify-on-load +
+// self-heal re-upload, realtime replay from the committed offset,
+// registry re-registration with backoff) brings it back to full
+// replication with checksums verified.
+//
+// Invariants under every seed: each query/PSS request returns a correct
+// answer over the registered view, a typed partial (unreachable segments
+// annotated), or a typed Unavailable — never a silently wrong result.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clock_driver.h"
+#include "cluster/chaos_scheduler.h"
+#include "cluster/cluster.h"
+#include "cluster/names.h"
+#include "cluster/pss_client.h"
+#include "common/error.h"
+#include "pss/session.h"
+#include "storage/adtech.h"
+
+namespace dpss::cluster {
+namespace {
+
+using query::countAgg;
+using query::longSumAgg;
+using query::QuerySpec;
+using storage::AdTechConfig;
+using storage::generateAdTechSegments;
+using storage::InputRow;
+using storage::Schema;
+
+constexpr TimeMs kHour = 3'600'000;
+constexpr TimeMs kT0 =
+    1'400'000'000'000 - (1'400'000'000'000 % kHour);  // aligned hour start
+constexpr std::size_t kHistoricals = 3;
+constexpr std::size_t kSegments = 4;
+
+QuerySpec histQuery() {
+  QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {countAgg("cnt")};
+  return q;
+}
+
+QuerySpec rtQuery() {
+  QuerySpec q;
+  q.dataSource = "rt-ads";
+  q.interval = Interval(kT0, kT0 + kHour);
+  q.aggregations = {longSumAgg("impressions", "imps")};
+  return q;
+}
+
+std::vector<storage::SegmentPtr> makeSegments(std::size_t count) {
+  AdTechConfig config;
+  config.rowsPerSegment = 100;
+  return generateAdTechSegments(config, "ads", count);
+}
+
+Schema rtSchema() {
+  Schema s;
+  s.dimensions = {"publisher", "country"};
+  s.metrics = {{"impressions", storage::MetricType::kLong},
+               {"revenue", storage::MetricType::kDouble}};
+  return s;
+}
+
+std::string event(TimeMs ts) {
+  InputRow row;
+  row.timestamp = ts;
+  row.dimensions = {"sina", "cn"};
+  row.metrics = {1.0, 0.01};  // impressions = 1: longSum == visible events
+  return storage::encodeInputRow(row);
+}
+
+ChaosScheduleOptions sweepOptions(std::uint64_t seed) {
+  ChaosScheduleOptions o;
+  o.seed = seed;
+  o.horizonMs = 8'000;
+  o.meanEventGapMs = 600;
+  o.crashDownMinMs = 400;
+  o.crashDownMaxMs = 1'600;
+  // Wire chaos rides the same seed. No latency jitter / no partitions:
+  // the story loop steps a ManualClock by hand, so nothing may sleep.
+  o.transport.dropProbability = 0.03;
+  o.transport.duplicateProbability = 0.03;
+  return o;
+}
+
+/// Which acceptance fault class a kind belongs to.
+enum class FaultClass { kNodeCrash, kStorageFault, kRegistryExpiry };
+
+std::set<FaultClass> faultClasses(const std::vector<ClusterChaosEvent>& events) {
+  std::set<FaultClass> out;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case ChaosEventKind::kHistoricalCrash:
+      case ChaosEventKind::kRealtimeCrash:
+      case ChaosEventKind::kBrokerStop:
+        out.insert(FaultClass::kNodeCrash);
+        break;
+      case ChaosEventKind::kStorageGetOutage:
+      case ChaosEventKind::kStoragePutOutage:
+      case ChaosEventKind::kStorageSlowReads:
+      case ChaosEventKind::kStorageCorruptReads:
+      case ChaosEventKind::kStorageCorruptBlob:
+        out.insert(FaultClass::kStorageFault);
+        break;
+      case ChaosEventKind::kRegistryExpiry:
+        out.insert(FaultClass::kRegistryExpiry);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+struct PssRig {
+  pss::PrivateSearchClient* client = nullptr;
+  std::vector<std::string> docs;
+};
+
+struct StoryOutcome {
+  std::vector<ClusterChaosEvent> schedule;
+  std::vector<AppliedChaosEvent> log;
+  int answered = 0;
+  int partial = 0;
+  int unavailable = 0;
+};
+
+/// Runs one seeded failure story end-to-end and asserts the recovery
+/// invariants. Fully deterministic: ManualClock stepped by hand, all
+/// recovery driven from this thread.
+StoryOutcome runStory(std::uint64_t seed, const PssRig* pss = nullptr) {
+  StoryOutcome out;
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = kHistoricals;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock, options);
+  cluster.publishSegments(makeSegments(kSegments));
+
+  cluster.messageQueue().createTopic("live", 1);
+  RealtimeNodeOptions rtOptions;
+  rtOptions.segmentGranularityMs = kHour;
+  rtOptions.persistPeriodMs = 2'000;  // several persists per story
+  cluster.addRealtimeNode("live", 0, rtSchema(), "rt-ads", rtOptions);
+
+  if (pss != nullptr) {
+    cluster.historical(0).loadDocuments(
+        "security-log", 0, {pss->docs.begin(), pss->docs.begin() + 20});
+    cluster.historical(1).loadDocuments(
+        "security-log", 20, {pss->docs.begin() + 20, pss->docs.end()});
+  }
+
+  ChaosScheduler sched(cluster, sweepOptions(seed));
+  out.schedule = sched.schedule();
+
+  RpcPolicy pssPolicy;
+  pssPolicy.maxAttempts = 2;  // zero backoff: never sleeps the story loop
+
+  std::uint64_t appended = 0;
+  int step = 0;
+  while (!sched.done()) {
+    clock.advance(250);
+    sched.pump();
+    cluster.messageQueue().append("live", 0, event(kT0 + 1'000 + step * 10));
+    ++appended;
+    // Drive the recovery machinery the way node timers would.
+    cluster.coordinator().runOnce();
+    for (std::size_t i = 0; i < cluster.historicalCount(); ++i) {
+      if (cluster.historical(i).running()) cluster.historical(i).tick();
+    }
+    for (std::size_t i = 0; i < cluster.realtimeCount(); ++i) {
+      if (cluster.realtime(i).running()) cluster.realtime(i).tick();
+    }
+
+    // Historical invariant: count is always a multiple of the per-segment
+    // row count, never exceeds the full answer, and any shortfall beyond
+    // the registered view is annotated as unreachable segments.
+    try {
+      const auto outcome = cluster.broker().query(histQuery());
+      if (outcome.rows.empty()) {
+        ++out.answered;  // empty registered view: correct, vacuously
+      } else {
+        const auto cnt = static_cast<long long>(outcome.rows[0].values[0]);
+        EXPECT_EQ(cnt % 100, 0) << "seed " << seed << " step " << step;
+        EXPECT_LE(
+            cnt + 100 * static_cast<long long>(outcome.unreachableSegments.size()),
+            400)
+            << "seed " << seed << " step " << step;
+        ++out.answered;
+        if (outcome.partial()) ++out.partial;
+      }
+    } catch (const Unavailable&) {
+      ++out.unavailable;  // broker down / majority loss: typed
+    }
+
+    // Realtime invariant: the live sum never exceeds what was appended
+    // (crash loses un-persisted data only until replay catches up).
+    try {
+      const auto rt = cluster.broker().query(rtQuery());
+      if (!rt.rows.empty()) {
+        EXPECT_LE(static_cast<std::uint64_t>(rt.rows[0].values[0]), appended)
+            << "seed " << seed << " step " << step;
+      }
+    } catch (const Unavailable&) {
+    }
+
+    // PSS invariant (sparse: Paillier is expensive): recovered payloads
+    // are always real documents; failures are typed.
+    if (pss != nullptr && step % 10 == 5) {
+      try {
+        const auto results = runDistributedPrivateSearch(
+            cluster.broker(), *pss->client, "security-log", {"virus", "worm"},
+            nullptr, 2, pssPolicy);
+        for (const auto& r : results) {
+          EXPECT_LT(r.index, pss->docs.size()) << "seed " << seed;
+          if (r.index < pss->docs.size()) {
+            EXPECT_EQ(r.payload, pss->docs[r.index]) << "seed " << seed;
+          }
+        }
+      } catch (const Unavailable&) {
+      } catch (const NotFound&) {
+      } catch (const CryptoError&) {
+      }
+    }
+    ++step;
+  }
+
+  // End of story: heal and let the recovery machinery settle (backoffs
+  // elapse on the clock; ticks retry pending loads and re-registration).
+  sched.heal();
+  for (int i = 0; i < 30; ++i) {
+    clock.advance(250);
+    cluster.coordinator().runOnce();
+    for (std::size_t h = 0; h < cluster.historicalCount(); ++h) {
+      cluster.historical(h).tick();
+    }
+    for (std::size_t r = 0; r < cluster.realtimeCount(); ++r) {
+      cluster.realtime(r).tick();
+    }
+  }
+  cluster.converge();
+
+  // Full answer, nothing partial.
+  const auto settled = cluster.broker().query(histQuery());
+  EXPECT_FALSE(settled.partial()) << "seed " << seed;
+  EXPECT_DOUBLE_EQ(settled.rows[0].values[0], 400.0) << "seed " << seed;
+
+  // Realtime replayed everything from the committed offset.
+  const auto rt = cluster.broker().query(rtQuery());
+  EXPECT_FALSE(rt.rows.empty()) << "seed " << seed;
+  if (!rt.rows.empty()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(rt.rows[0].values[0]), appended)
+        << "seed " << seed;
+  }
+
+  // Back to full replication, checksums verified.
+  for (const auto& seg : makeSegments(kSegments)) {
+    const auto id = seg->id();
+    int holders = 0;
+    for (std::size_t i = 0; i < cluster.historicalCount(); ++i) {
+      if (cluster.historical(i).serves(id)) ++holders;
+    }
+    EXPECT_GE(holders, 2) << "seed " << seed << " segment " << id.toString();
+    EXPECT_TRUE(cluster.deepStorage().verify(id.toString()))
+        << "seed " << seed << " segment " << id.toString();
+  }
+
+  out.log = sched.log();
+  return out;
+}
+
+TEST(ClusterChaos, ScheduleIsAPureFunctionOfSeed) {
+  bool anyDifference = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto opts = sweepOptions(seed);
+    const auto a =
+        ChaosScheduler::buildSchedule(opts, kHistoricals, 1, kT0);
+    const auto b =
+        ChaosScheduler::buildSchedule(opts, kHistoricals, 1, kT0);
+    EXPECT_FALSE(a.empty()) << "seed " << seed;
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "seed " << seed << " event " << i;
+    }
+    if (seed > 0) {
+      const auto prev = ChaosScheduler::buildSchedule(sweepOptions(seed - 1),
+                                                      kHistoricals, 1, kT0);
+      if (!(prev.size() == a.size() &&
+            std::equal(prev.begin(), prev.end(), a.begin()))) {
+        anyDifference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(anyDifference) << "every seed produced the same schedule";
+}
+
+TEST(ClusterChaos, SingleSeedReplaysCombinedFaultStory) {
+  // Find the first seed whose schedule mixes all three acceptance fault
+  // classes: node crash, storage fault, registry expiry.
+  std::uint64_t storySeed = 0;
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 256 && !found; ++seed) {
+    const auto schedule =
+        ChaosScheduler::buildSchedule(sweepOptions(seed), kHistoricals, 1, kT0);
+    if (faultClasses(schedule).size() == 3) {
+      storySeed = seed;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const auto first = runStory(storySeed);
+  const auto second = runStory(storySeed);
+
+  // Same seed => byte-identical schedule AND byte-identical applied log,
+  // replaying >= 3 fault classes.
+  ASSERT_EQ(first.schedule.size(), second.schedule.size());
+  for (std::size_t i = 0; i < first.schedule.size(); ++i) {
+    EXPECT_EQ(first.schedule[i], second.schedule[i]) << "event " << i;
+  }
+  ASSERT_EQ(first.log.size(), second.log.size());
+  for (std::size_t i = 0; i < first.log.size(); ++i) {
+    EXPECT_EQ(first.log[i], second.log[i]) << "log entry " << i;
+  }
+  std::vector<ClusterChaosEvent> applied;
+  for (const auto& entry : first.log) {
+    if (entry.applied) applied.push_back(entry.event);
+  }
+  EXPECT_GE(faultClasses(applied).size(), 3u)
+      << "seed " << storySeed << " applied only "
+      << faultClasses(applied).size() << " fault classes";
+}
+
+TEST(ClusterChaos, SweepFiftySeedsEveryAnswerCorrectOrTypedPartial) {
+  // PSS rides along on a subset of seeds (Paillier keygen is expensive,
+  // so the client is built once).
+  PssRig rig;
+  for (std::size_t i = 0; i < 40; ++i) {
+    rig.docs.push_back("routine log line " + std::to_string(i));
+  }
+  rig.docs[2] = "virus detected on host two";
+  rig.docs[25] = "worm on host twenty-five";
+  const pss::Dictionary dict({"virus", "worm", "normal"});
+  pss::SearchParams params{
+      .bufferLength = 8, .indexBufferLength = 256, .bloomHashes = 5};
+  pss::PrivateSearchClient client(dict, params, 128, 4242);
+  rig.client = &client;
+
+  int applied = 0;
+  int answered = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const bool withPss = seed % 10 == 0;
+    const auto outcome = runStory(seed, withPss ? &rig : nullptr);
+    for (const auto& entry : outcome.log) {
+      if (entry.applied) ++applied;
+    }
+    answered += outcome.answered;
+    // The story must actually exercise the cluster, not no-op through.
+    EXPECT_FALSE(outcome.schedule.empty()) << "seed " << seed;
+    EXPECT_GT(outcome.answered + outcome.unavailable, 0) << "seed " << seed;
+  }
+  EXPECT_GT(applied, 50 * 3);  // faults really were injected
+  EXPECT_GT(answered, 0);
+}
+
+TEST(ClusterChaos, CorruptedBlobDetectedByChecksumAndHealedByReplication) {
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock, options);
+  const auto segments = makeSegments(1);
+  cluster.publishSegments(segments);
+  const auto id = segments[0]->id();
+  const std::string key = id.toString();
+  ASSERT_TRUE(cluster.historical(0).serves(id));
+  ASSERT_TRUE(cluster.historical(1).serves(id));
+
+  // At-rest bit rot in deep storage. Serving copies are unaffected.
+  cluster.deepStorage().corruptBlob(key);
+  EXPECT_FALSE(cluster.deepStorage().verify(key));
+  EXPECT_DOUBLE_EQ(cluster.broker().query(histQuery()).rows[0].values[0],
+                   100.0);
+
+  // A fresh node (no disk cache) is asked to replicate after node 0 is
+  // lost: the download fails the checksum (detected, typed) and the
+  // assignment stays pending — it must never decode rotten bytes into a
+  // wrong count.
+  const std::size_t fresh = cluster.addHistoricalNode();
+  cluster.historical(0).crash();
+  cluster.converge();
+  cluster.historical(fresh).tick();
+  EXPECT_FALSE(cluster.historical(fresh).serves(id));
+  const auto outcome = cluster.broker().query(histQuery());
+  EXPECT_FALSE(outcome.partial());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 100.0);  // via node 1
+
+  // Node 1 restarts, reloads from its surviving local-disk cache, notices
+  // the rotten deep-storage copy and re-uploads its good bytes.
+  cluster.historical(1).crash();
+  cluster.historical(1).start();
+  cluster.converge();
+  EXPECT_TRUE(cluster.historical(1).serves(id));
+  EXPECT_TRUE(cluster.deepStorage().verify(key));
+
+  // The fresh node's pending assignment now succeeds: full replication.
+  cluster.historical(fresh).tick();
+  cluster.converge();
+  EXPECT_TRUE(cluster.historical(fresh).serves(id));
+  EXPECT_DOUBLE_EQ(cluster.broker().query(histQuery()).rows[0].values[0],
+                   100.0);
+  const auto stats = cluster.collectStats();
+  EXPECT_GE(stats.counterTotal("historical.deep_storage.repairs"), 1u);
+  EXPECT_GE(stats.counterTotal("historical.deep_storage.checksum_failures"),
+            1u);
+}
+
+TEST(ClusterChaos, RealtimeCrashLosesUnpersistedStopFlushes) {
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock, options);
+  cluster.messageQueue().createTopic("live", 1);
+  RealtimeNodeOptions rtOptions;
+  rtOptions.segmentGranularityMs = kHour;
+  rtOptions.persistPeriodMs = 600'000;
+  cluster.addRealtimeNode("live", 0, rtSchema(), "rt-ads", rtOptions);
+
+  for (int i = 0; i < 5; ++i) {
+    cluster.messageQueue().append("live", 0, event(kT0 + 1'000 + i));
+  }
+  cluster.realtime(0).tick();
+  EXPECT_EQ(cluster.realtime(0).eventsIngested(), 5u);
+
+  // Crash before any persist: everything since the last commit is lost —
+  // and replayed from offset 0 on restart.
+  cluster.crashRealtime(0);
+  EXPECT_FALSE(cluster.realtime(0).running());
+  EXPECT_EQ(cluster.messageQueue().committed("realtime-0", "live", 0), 0u);
+  cluster.restartRealtime(0);
+  cluster.realtime(0).tick();
+  EXPECT_EQ(cluster.realtime(0).eventsIngested(), 5u);  // replayed
+  EXPECT_DOUBLE_EQ(cluster.broker().query(rtQuery()).rows[0].values[0], 5.0);
+
+  // Graceful stop flushes: persists live indexes and commits the offset,
+  // so the next incarnation resumes without re-consuming anything.
+  cluster.realtime(0).stop();
+  EXPECT_EQ(cluster.messageQueue().committed("realtime-0", "live", 0), 5u);
+  cluster.restartRealtime(0);
+  cluster.realtime(0).tick();
+  EXPECT_EQ(cluster.realtime(0).eventsIngested(), 0u);  // nothing replayed
+  EXPECT_DOUBLE_EQ(cluster.broker().query(rtQuery()).rows[0].values[0], 5.0);
+}
+
+TEST(ClusterChaos, RegistrySessionExpiryReregistersWithBackoff) {
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock, options);
+  cluster.publishSegments(makeSegments(2));
+  ASSERT_EQ(cluster.historical(0).servedSegments().size(), 2u);
+  const std::string announcement = paths::nodeAnnouncement("historical-0");
+  ASSERT_TRUE(cluster.registry().exists(announcement));
+
+  cluster.historical(0).loseRegistrySession();
+  EXPECT_TRUE(cluster.historical(0).running());  // process survived
+  EXPECT_FALSE(cluster.registry().exists(announcement));
+
+  // First tick only schedules the reconnect (backoff), second tick after
+  // the backoff elapsed re-registers node + served segments.
+  cluster.historical(0).tick();
+  EXPECT_FALSE(cluster.registry().exists(announcement));
+  clock.advance(50);
+  cluster.historical(0).tick();
+  EXPECT_TRUE(cluster.registry().exists(announcement));
+  const auto outcome = cluster.broker().query(histQuery());
+  EXPECT_FALSE(outcome.partial());
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 200.0);
+  EXPECT_GE(cluster.collectStats().counterTotal(
+                "historical.registry.reregistrations"),
+            1u);
+}
+
+TEST(ClusterChaos, SlowReadsDelayLoadsButQueriesStayCorrect) {
+  ManualClock clock(kT0);
+  ClockDriver driver(clock);  // before the cluster: outlives its sleepers
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.workerThreadsPerNode = 4;
+  Cluster cluster(clock, options);
+  cluster.deepStorage().injectSlowGets(2, 20);
+  cluster.publishSegments(makeSegments(2));
+  for (int i = 0; i < 20 && cluster.historical(0).servedSegments().size() < 2;
+       ++i) {
+    cluster.historical(0).tick();
+  }
+  EXPECT_EQ(cluster.historical(0).servedSegments().size(), 2u);
+  EXPECT_DOUBLE_EQ(cluster.broker().query(histQuery()).rows[0].values[0],
+                   200.0);
+}
+
+}  // namespace
+}  // namespace dpss::cluster

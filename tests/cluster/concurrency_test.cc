@@ -92,12 +92,22 @@ TEST(Concurrency, QueriesDuringBrokerChurn) {
   cluster.publishSegments(generateAdTechSegments(config, "ads", 4));
 
   std::atomic<bool> stop{false};
+  std::atomic<bool> brokerUp{true};
   std::atomic<int> answered{0};
   std::atomic<int> unavailable{0};
   std::vector<std::thread> queryThreads;
   for (int t = 0; t < 3; ++t) {
     queryThreads.emplace_back([&] {
       while (!stop.load()) {
+        // Started-window handshake: only attempt while the churn loop
+        // advertises the broker as up, so attempts can't all land in
+        // stopped windows (the ~1-in-30 flake on loaded machines). A
+        // stop() can still race an in-flight attempt — that race is the
+        // point of the test — but it then fails typed, never silently.
+        if (!brokerUp.load()) {
+          std::this_thread::yield();
+          continue;
+        }
         try {
           const auto outcome = cluster.broker().query(countQuery());
           const auto cnt = outcome.rows[0].values[0];
@@ -111,13 +121,22 @@ TEST(Concurrency, QueriesDuringBrokerChurn) {
   }
 
   for (int round = 0; round < 25; ++round) {
+    brokerUp.store(false);
     cluster.broker().stop();
     cluster.broker().start();
+    brokerUp.store(true);
+    // Give the started window real width: wait (bounded) until some
+    // attempt lands in it before yanking the broker again.
+    const int attemptsBefore = answered.load() + unavailable.load();
+    for (int spin = 0;
+         spin < 200 && answered.load() + unavailable.load() == attemptsBefore;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
-  // The final start() leaves the broker up. On a loaded machine every
-  // attempt above can land in a stopped window, so wait (bounded) for
-  // one settled answer: the assertion checks the broker survives the
-  // churn and still answers, not how the scheduler interleaved it.
+  // The final start() leaves the broker up; wait (bounded) for one
+  // settled answer: the assertion checks the broker survives the churn
+  // and still answers, not how the scheduler interleaved it.
   for (int spin = 0; spin < 2000 && answered.load() == 0; ++spin) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }

@@ -45,7 +45,7 @@ class FailureTest : public ::testing::Test {
 TEST_F(FailureTest, DeepStorageOutageRetriedOnNextCoordinatorRun) {
   Cluster cluster(clock_, {.historicalNodes = 1});
   // Every download fails during the first assignment attempt.
-  cluster.deepStorage().failNextGets(10);
+  cluster.deepStorage().injectGetFailures(10);
   const auto segments = makeSegments(2);
   for (const auto& seg : segments) {
     const std::string key = seg->id().toString();
@@ -61,7 +61,7 @@ TEST_F(FailureTest, DeepStorageOutageRetriedOnNextCoordinatorRun) {
   // Outage ends; the load-queue entries are still pending. The node's
   // periodic tick retries them (the coordinator never re-issues existing
   // assignments).
-  cluster.deepStorage().failNextGets(0);
+  cluster.deepStorage().clearFaults();
   cluster.historical(0).tick();
   EXPECT_EQ(cluster.historical(0).servedSegments().size(), 2u);
   const auto outcome = cluster.broker().query(countQuery());

@@ -1,0 +1,23 @@
+// dpss-lint-fixture: expect(chaos-api)
+//
+// Ad-hoc fault injection in production code defeats seeded replay: a
+// crash() or failNextGets() sprinkled outside the chaos scheduler fires
+// on a code path, not on the schedule, so no seed can reproduce the
+// resulting failure story. Faults must be drawn from
+// cluster/chaos_scheduler.h.
+namespace dpss::cluster {
+
+struct Node {
+  void crash();
+};
+
+struct Storage {
+  void failNextGets(int n);
+};
+
+void misbehave(Node& node, Storage& storage) {
+  node.crash();              // flagged: direct crash outside the scheduler
+  storage.failNextGets(2);   // flagged: deprecated ad-hoc storage fault
+}
+
+}  // namespace dpss::cluster

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
+#include "common/clock.h"
 #include "common/error.h"
 
 namespace dpss::storage {
@@ -84,14 +86,92 @@ TEST(MemoryDeepStorage, BasicRoundTrip) {
   EXPECT_FALSE(ds.exists("a"));
 }
 
+TEST_F(LocalDeepStorageTest, ChecksumsAndReopenSkipVerification) {
+  {
+    LocalDeepStorage ds(root_.string());
+    ds.put("k", "payload");
+    EXPECT_TRUE(ds.storedChecksum("k").has_value());
+    EXPECT_TRUE(ds.verify("k"));
+    EXPECT_EQ(ds.getVerified("k"), "payload");
+  }
+  // A reopened directory has no in-memory checksums: blobs predate the
+  // process, so verification is skipped rather than failing spuriously.
+  LocalDeepStorage reopened(root_.string());
+  EXPECT_FALSE(reopened.storedChecksum("k").has_value());
+  EXPECT_EQ(reopened.getVerified("k"), "payload");
+}
+
 TEST(MemoryDeepStorage, FaultInjection) {
   MemoryDeepStorage ds;
   ds.put("k", "v");
-  ds.failNextGets(2);
+  ds.injectGetFailures(2);
   EXPECT_THROW(ds.get("k"), Unavailable);
   EXPECT_THROW(ds.get("k"), Unavailable);
   EXPECT_EQ(ds.get("k"), "v");  // recovers after injected failures
   EXPECT_EQ(ds.getCount(), 3u);
+  // The deprecated alias keeps working for out-of-tree callers.
+  ds.failNextGets(1);
+  EXPECT_THROW(ds.get("k"), Unavailable);
+  ds.clearFaults();
+  EXPECT_EQ(ds.get("k"), "v");
+}
+
+TEST(MemoryDeepStorage, PutFailuresAndClear) {
+  MemoryDeepStorage ds;
+  ds.injectPutFailures(1);
+  EXPECT_THROW(ds.put("k", "v"), Unavailable);
+  EXPECT_FALSE(ds.exists("k"));
+  ds.put("k", "v");  // burst exhausted
+  EXPECT_EQ(ds.get("k"), "v");
+  EXPECT_EQ(ds.putCount(), 2u);
+}
+
+TEST(MemoryDeepStorage, ChecksumRecordedAndVerified) {
+  MemoryDeepStorage ds;
+  ds.put("k", "payload");
+  ASSERT_TRUE(ds.storedChecksum("k").has_value());
+  EXPECT_EQ(*ds.storedChecksum("k"), DeepStorage::checksumOf("payload"));
+  EXPECT_TRUE(ds.verify("k"));
+  EXPECT_FALSE(ds.verify("missing"));
+  EXPECT_EQ(ds.getVerified("k"), "payload");
+}
+
+TEST(MemoryDeepStorage, TransientCorruptReadHealsOnRefetch) {
+  MemoryDeepStorage ds;
+  ds.put("k", "payload");
+  ds.injectCorruptGets(1);
+  // Raw get returns flipped bytes; getVerified detects and re-fetches.
+  bool healed = false;
+  EXPECT_EQ(ds.getVerified("k", &healed), "payload");
+  EXPECT_TRUE(healed);
+  EXPECT_TRUE(ds.verify("k"));  // stored bytes were never touched
+}
+
+TEST(MemoryDeepStorage, AtRestCorruptionSurfacesCorruptData) {
+  MemoryDeepStorage ds;
+  ds.put("k", "payload");
+  ds.corruptBlob("k");
+  EXPECT_FALSE(ds.verify("k"));
+  // Both the first read and the one re-fetch see rotten bytes.
+  EXPECT_THROW(ds.getVerified("k"), CorruptData);
+  // A replica re-uploading good bytes heals the blob.
+  ds.put("k", "payload");
+  EXPECT_TRUE(ds.verify("k"));
+  EXPECT_EQ(ds.getVerified("k"), "payload");
+  EXPECT_THROW(ds.corruptBlob("missing"), NotFound);
+}
+
+TEST(MemoryDeepStorage, SlowReadsSleepOnTheClock) {
+  ManualClock clock(1'000);
+  MemoryDeepStorage ds;
+  ds.setClock(&clock);
+  ds.put("k", "v");
+  ds.injectSlowGets(1, 50);
+  std::thread reader([&] { EXPECT_EQ(ds.get("k"), "v"); });
+  while (clock.sleeperCount() == 0) std::this_thread::yield();
+  clock.advance(50);
+  reader.join();
+  EXPECT_EQ(ds.get("k"), "v");  // burst exhausted: no sleep
 }
 
 }  // namespace
