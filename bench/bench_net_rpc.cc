@@ -1,0 +1,110 @@
+// Loopback RPC microbench for the net layer: round-trip latency
+// percentiles and multi-threaded throughput through two NetTransports
+// (client + server, separate sockets, real framing) on 127.0.0.1.
+//
+// Prints a JSON document; BENCH_net.json at the repo root is seeded from
+// this output so perf drift in the socket/framing path is visible in
+// review diffs. Run with no arguments.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/net_transport.h"
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double percentile(std::vector<double>& sortedUs, double p) {
+  const std::size_t idx = std::min(
+      sortedUs.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sortedUs.size())));
+  return sortedUs[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpss;
+
+  SystemClock& clock = SystemClock::instance();
+  net::NetTransport server(clock);
+  net::NetTransport client(clock);
+  server.bind("echo", [](const std::string& req) { return req; });
+  server.start();
+  client.start();
+  client.addPeer("echo", "127.0.0.1:" + std::to_string(server.port()));
+
+  std::printf("{\n  \"bench\": \"net_rpc_loopback\",\n");
+
+  // --- single-caller round-trip latency, 64-byte payload ---------------
+  {
+    const std::string payload(64, 'x');
+    constexpr int kWarmup = 200;
+    constexpr int kCalls = 5'000;
+    for (int i = 0; i < kWarmup; ++i) client.call("echo", payload);
+    std::vector<double> us;
+    us.reserve(kCalls);
+    for (int i = 0; i < kCalls; ++i) {
+      const auto t0 = SteadyClock::now();
+      client.call("echo", payload);
+      us.push_back(std::chrono::duration<double, std::micro>(SteadyClock::now() - t0)
+                       .count());
+    }
+    std::sort(us.begin(), us.end());
+    std::printf("  \"latency_64B\": {\"calls\": %d, \"p50_us\": %.1f, "
+                "\"p95_us\": %.1f, \"p99_us\": %.1f},\n",
+                kCalls, percentile(us, 0.50), percentile(us, 0.95),
+                percentile(us, 0.99));
+  }
+
+  // --- multi-threaded throughput across payload sizes ------------------
+  const struct {
+    const char* key;
+    std::size_t bytes;
+    int callsPerThread;
+  } kSizes[] = {
+      {"throughput_64B", 64, 4'000},
+      {"throughput_4KiB", 4 * 1024, 2'000},
+      {"throughput_64KiB", 64 * 1024, 500},
+  };
+  constexpr int kThreads = 4;
+  for (std::size_t s = 0; s < std::size(kSizes); ++s) {
+    const auto& cfg = kSizes[s];
+    const std::string payload(cfg.bytes, 'y');
+    std::atomic<int> failures{0};
+    const auto t0 = SteadyClock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < cfg.callsPerThread; ++i) {
+          if (client.call("echo", payload).size() != payload.size()) {
+            ++failures;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double sec =
+        std::chrono::duration<double>(SteadyClock::now() - t0).count();
+    const double calls = double(kThreads) * cfg.callsPerThread;
+    std::printf("  \"%s\": {\"threads\": %d, \"calls\": %.0f, "
+                "\"calls_per_s\": %.0f, \"mb_per_s\": %.1f, "
+                "\"failures\": %d}%s\n",
+                cfg.key, kThreads, calls, calls / sec,
+                // Payload crosses the wire twice (request + echo).
+                2.0 * calls * double(cfg.bytes) / (1024.0 * 1024.0) / sec,
+                failures.load(), s + 1 < std::size(kSizes) ? "," : "");
+  }
+
+  std::printf("}\n");
+  client.stop();
+  server.stop();
+  return 0;
+}

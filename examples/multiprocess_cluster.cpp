@@ -1,0 +1,176 @@
+// Multi-process cluster: five dpss_node OS processes on loopback —
+// coordinator (hosting the authoritative registry/metadata/deep-storage
+// substrates), two historicals, a realtime node, and a broker — driven
+// from this process over the same TCP transport they use among
+// themselves. Publishes five ad-tech segments, runs a distributed count,
+// ingests realtime events, then runs a full private-search session whose
+// document stream is split across both historicals.
+//
+//   ./examples/multiprocess_cluster [path/to/dpss_node]
+//
+// The node binary defaults to build/src/net/dpss_node relative to the
+// current directory (run from the repo root after a build).
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/broker_rpc.h"
+#include "cluster/metastore.h"
+#include "cluster/pss_client.h"
+#include "common/clock.h"
+#include "common/interval.h"
+#include "net/control.h"
+#include "net/net_transport.h"
+#include "net/socket.h"
+#include "net/subprocess.h"
+#include "net/substrate.h"
+#include "pss/session.h"
+#include "query/query.h"
+#include "storage/adtech.h"
+#include "storage/segment_codec.h"
+
+namespace {
+
+std::uint16_t freePort() {
+  dpss::net::Fd probe = dpss::net::listenOn("127.0.0.1", 0);
+  const std::uint16_t port = dpss::net::boundPort(probe);
+  probe.reset();
+  return port;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpss;
+
+  const std::string bin = argc > 1 ? argv[1] : "build/src/net/dpss_node";
+  Clock& clock = SystemClock::instance();
+
+  // --- one port per role; every process learns the full wiring ---------
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"coordinator", freePort()}, {"hist-a", freePort()},
+      {"hist-b", freePort()},      {"rt-0", freePort()},
+      {"broker", freePort()},
+  };
+  std::vector<std::string> peerFlags;
+  for (const auto& [name, port] : wiring) {
+    peerFlags.push_back("--peer");
+    peerFlags.push_back(name + "=127.0.0.1:" + std::to_string(port));
+    if (name == "coordinator") {
+      peerFlags.push_back("--peer");
+      peerFlags.push_back(std::string(net::kSubstrateNode) +
+                          "=127.0.0.1:" + std::to_string(port));
+    }
+  }
+
+  std::vector<net::Subprocess> procs;
+  const auto spawn = [&](const std::string& role, const std::string& name,
+                         std::uint16_t port) {
+    std::vector<std::string> args = {
+        bin,        "--role", role, "--name", name,
+        "--listen", "127.0.0.1:" + std::to_string(port)};
+    args.insert(args.end(), peerFlags.begin(), peerFlags.end());
+    procs.push_back(net::Subprocess::spawn(args));
+    std::printf("spawned %-11s '%s' (pid %d) on port %u\n", role.c_str(),
+                name.c_str(), procs.back().pid(), port);
+  };
+  spawn("coordinator", "coordinator", wiring[0].second);
+  spawn("historical", "hist-a", wiring[1].second);
+  spawn("historical", "hist-b", wiring[2].second);
+  spawn("realtime", "rt-0", wiring[3].second);
+  spawn("broker", "broker", wiring[4].second);
+
+  // --- the driver joins the wire as a sixth participant ----------------
+  net::NetTransport driver(clock);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+    if (name == "coordinator") {
+      driver.addPeer(net::kSubstrateNode,
+                     "127.0.0.1:" + std::to_string(port));
+    }
+  }
+  for (const auto& [name, port] : wiring) {
+    while (true) {
+      try {
+        net::controlPing(driver, name);
+        break;
+      } catch (const Error&) {
+        clock.sleepFor(50);
+      }
+    }
+  }
+  std::printf("all five processes answering on their control channels\n\n");
+
+  // --- publish five segments through the remote substrates -------------
+  net::RemoteMetaStore metaStore(driver, net::kSubstrateNode);
+  net::RemoteDeepStorage deepStorage(driver, net::kSubstrateNode);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 200;
+  for (const auto& segment :
+       storage::generateAdTechSegments(config, "ads", 5)) {
+    const std::string key = segment->id().toString();
+    deepStorage.put(key, storage::encodeSegment(*segment));
+    cluster::SegmentRecord record;
+    record.id = segment->id();
+    record.deepStorageKey = key;
+    record.sizeBytes = segment->memoryFootprint();
+    metaStore.upsertSegment(record);
+  }
+  while (net::controlServedSegments(driver, "hist-a").size() +
+             net::controlServedSegments(driver, "hist-b").size() <
+         5) {
+    clock.sleepFor(100);
+  }
+  std::printf("5 segments published, assigned, and served: hist-a=%zu "
+              "hist-b=%zu\n",
+              net::controlServedSegments(driver, "hist-a").size(),
+              net::controlServedSegments(driver, "hist-b").size());
+
+  // --- distributed count through the remote broker ---------------------
+  cluster::RemoteBroker broker(driver, "broker");
+  query::QuerySpec q;
+  q.dataSource = "ads";
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {query::countAgg("rows")};
+  const auto outcome = broker.query(q);
+  std::printf("distributed count over 5 segments x %zu rows: %.0f "
+              "(trace %016llx)\n\n",
+              config.rowsPerSegment, outcome.rows.at(0).values.at(0),
+              static_cast<unsigned long long>(outcome.traceId));
+
+  // --- private search across both historicals' document slices ---------
+  const pss::Dictionary dict(
+      {"alert", "breach", "leak", "malware", "normal", "virus"});
+  pss::SearchParams params;
+  params.bufferLength = 8;
+  pss::PrivateSearchClient client(dict, params, 128, /*seed=*/2026);
+  std::vector<std::string> docs;
+  for (int i = 0; i < 30; ++i) {
+    docs.push_back("routine log line " + std::to_string(i));
+  }
+  docs[3] = "virus quarantined on host three";
+  docs[27] = "credential leak from host twenty-seven";
+  net::controlLoadDocuments(driver, "hist-a", "seclog", 0,
+                            {docs.begin(), docs.begin() + 15});
+  net::controlLoadDocuments(driver, "hist-b", "seclog", 15,
+                            {docs.begin() + 15, docs.end()});
+  const auto hits = cluster::runDistributedPrivateSearch(
+      broker, client, "seclog", {"virus", "leak"});
+  std::printf("private search for {virus, leak} over a 30-document stream "
+              "split across two processes:\n");
+  for (const auto& hit : hits) {
+    std::printf("  doc %llu: %s\n",
+                static_cast<unsigned long long>(hit.index),
+                hit.payload.c_str());
+  }
+
+  // --- graceful shutdown ------------------------------------------------
+  for (const auto& [name, port] : wiring) net::controlShutdown(driver, name);
+  for (auto& p : procs) p.wait();
+  driver.stop();
+  std::printf("\nall five processes exited cleanly\n");
+  return 0;
+}

@@ -26,6 +26,10 @@ cmake --build build -j "$JOBS" >/dev/null
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 echo
+echo "== multi-process: 5 dpss_node processes over loopback TCP =="
+./build/tests/net_test --gtest_filter='MultiprocessClusterTest.*'
+
+echo
 echo "== dpss-lint: determinism & layering invariants =="
 python3 scripts/dpss_lint.py --selftest
 python3 scripts/dpss_lint.py

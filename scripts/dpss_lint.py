@@ -16,6 +16,10 @@ rules keep the accidental escape hatches shut:
   metric-name  -- obs::intern{Counter,Gauge,Histogram} names are
                   lowercase dotted identifiers ("a.b.c"), so exposition
                   renders a stable, greppable namespace.
+  raw-socket   -- no raw socket/poll/epoll syscalls (or their headers)
+                  outside src/net/; every other layer speaks through the
+                  net transport so framing, deadlines, and typed error
+                  mapping live in one place.
   chaos-api    -- no ad-hoc fault injection (node .crash(), deprecated
                   failNextGets) in src/ outside the chaos scheduler;
                   faults must come from a seeded, replayable schedule
@@ -55,6 +59,13 @@ class Rule:
     message: str
     # Files (repo-relative, forward slashes) exempt from the rule.
     exempt_files: frozenset = frozenset()
+    # Directory prefixes (repo-relative, trailing slash) exempt wholesale.
+    exempt_dirs: frozenset = frozenset()
+
+    def exempts(self, relpath: str) -> bool:
+        return relpath in self.exempt_files or any(
+            relpath.startswith(d) for d in self.exempt_dirs
+        )
 
 
 # common/clock.* implements the Clock abstraction over the real clock;
@@ -136,6 +147,23 @@ RULES = [
         exempt_files=TRANSPORT_EXEMPT,
     ),
     Rule(
+        name="raw-socket",
+        # Header includes are the robust proxy for syscall use (you can't
+        # call them without these), plus the distinctive call spellings.
+        pattern=re.compile(
+            r"#include\s*<(?:sys/socket\.h|sys/epoll\.h|poll\.h"
+            r"|netinet/[^>]+|arpa/inet\.h|netdb\.h)>"
+            r"|\bepoll_(?:create1?|ctl|wait)\s*\("
+            r"|::socket\s*\("
+        ),
+        message=(
+            "raw socket/poll syscalls outside src/net/; go through the "
+            "net transport (net/net_transport.h) so framing, deadlines "
+            "and typed errors stay in one place"
+        ),
+        exempt_dirs=frozenset({"src/net/"}),
+    ),
+    Rule(
         name="chaos-api",
         # No whitespace after the member operator: "word. crash() word"
         # in prose comments must not trip the rule.
@@ -211,7 +239,7 @@ class FileLint:
         for i, line in enumerate(self.lines):
             allowed = self.allowed_rules_for(i)
             for rule in RULES:
-                if self.relpath in rule.exempt_files:
+                if rule.exempts(self.relpath):
                     continue
                 if not rule.pattern.search(line):
                     continue
@@ -312,6 +340,14 @@ SELFTEST_CASES = [
         "src/obs/x.cc",
         'auto id = internGauge("Served");',
     ),  # unqualified call inside namespace obs is still checked
+    ("raw-socket", "src/x/a.cc", "#include <sys/socket.h>"),
+    ("raw-socket", "src/x/a.cc", "#include <netinet/tcp.h>"),
+    ("raw-socket", "src/x/a.cc", "#include <poll.h>"),
+    ("raw-socket", "src/x/a.cc", "int ep = epoll_create1(0);"),
+    ("raw-socket", "src/x/a.cc", "int fd = ::socket(AF_INET, SOCK_STREAM, 0);"),
+    (None, "src/net/socket.cc", "#include <sys/socket.h>"),
+    (None, "src/net/server.cc", "#include <sys/epoll.h>"),
+    (None, "src/x/a.cc", "websocket(x);"),  # substring must not trip it
     ("chaos-api", "src/x/a.cc", "cluster.historical(0).crash();"),
     ("chaos-api", "src/x/a.cc", "historicals_[i]->crash();"),
     ("chaos-api", "src/x/a.cc", "deepStorage_.failNextGets(3);"),

@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "cluster/broker_rpc.h"
 #include "cluster/names.h"
 #include "cluster/stats.h"
 #include "common/bytes.h"
@@ -34,7 +35,7 @@ const obs::MetricId kLostSegments =
 }  // namespace
 
 BrokerNode::BrokerNode(std::string name, Registry& registry,
-                       Transport& transport, BrokerOptions options)
+                       TransportIface& transport, BrokerOptions options)
     : name_(std::move(name)),
       registry_(registry),
       transport_(transport),
@@ -52,12 +53,19 @@ void BrokerNode::start() {
   running_ = true;
   viewDirty_ = true;
   // The broker answers stats probes (it never announces, so the
-  // coordinator lists it explicitly when assembling cluster stats).
+  // coordinator lists it explicitly when assembling cluster stats) and —
+  // for clients in other processes — full queries and PSS rounds.
   transport_.bind(name_, [this](const std::string& req) {
-    if (req.empty() || static_cast<std::uint8_t>(req[0]) != rpc::kStats) {
-      throw CorruptData("broker serves only stats rpcs");
+    if (req.empty()) throw CorruptData("empty broker rpc");
+    switch (static_cast<std::uint8_t>(req[0])) {
+      case rpc::kStats:
+        return handleStatsRpc(obs_, req.substr(1));
+      case rpc::kBrokerQuery:
+      case rpc::kBrokerSearch:
+        return handleBrokerRpc(*this, req);
+      default:
+        throw CorruptData("unknown broker rpc tag");
     }
-    return handleStatsRpc(obs_, req.substr(1));
   });
   // Any announcement change anywhere invalidates the global view; the
   // next query rebuilds it from the registry.

@@ -24,6 +24,7 @@
 
 #include "cluster/registry.h"
 #include "cluster/rpc_policy.h"
+#include "cluster/search_broker.h"
 #include "cluster/transport.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
@@ -62,9 +63,9 @@ struct BrokerQueryOutcome {
   bool partial() const { return !unreachableSegments.empty(); }
 };
 
-class BrokerNode {
+class BrokerNode : public PrivateSearchBroker {
  public:
-  BrokerNode(std::string name, Registry& registry, Transport& transport,
+  BrokerNode(std::string name, Registry& registry, TransportIface& transport,
              BrokerOptions options = {});
   ~BrokerNode();
 
@@ -92,13 +93,13 @@ class BrokerNode {
   std::vector<pss::SearchResultEnvelope> privateSearch(
       const std::string& docSource, const pss::Dictionary& dictionary,
       const pss::EncryptedQuery& encryptedQuery,
-      std::uint64_t* traceIdOut = nullptr);
+      std::uint64_t* traceIdOut = nullptr) override;
 
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
 
   /// The clock RPC deadlines and retry backoff run on (the transport's).
-  Clock& clock() { return transport_.clock(); }
+  Clock& clock() override { return transport_.clock(); }
 
   /// Current global view, for tests: data source -> timeline.
   std::vector<storage::SegmentId> visibleSegments(
@@ -117,7 +118,7 @@ class BrokerNode {
 
   std::string name_;
   Registry& registry_;
-  Transport& transport_;
+  TransportIface& transport_;
   BrokerOptions options_;
   obs::MetricsRegistry obs_{name_};
 

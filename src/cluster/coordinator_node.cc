@@ -129,7 +129,7 @@ CoordinatorStats CoordinatorNode::runOnce() {
 }
 
 ClusterStats CoordinatorNode::collectClusterStats(
-    Transport& transport, const std::vector<std::string>& extraNodes,
+    TransportIface& transport, const std::vector<std::string>& extraNodes,
     std::uint64_t traceIdFilter) {
   return dpss::cluster::collectClusterStats(registry_, transport, extraNodes,
                                             traceIdFilter);

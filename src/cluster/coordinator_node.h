@@ -44,7 +44,7 @@ class CoordinatorNode {
   /// announced node (plus `extraNodes`, e.g. the broker, which answers
   /// queries but never announces) over rpc::kStats.
   ClusterStats collectClusterStats(
-      Transport& transport, const std::vector<std::string>& extraNodes = {},
+      TransportIface& transport, const std::vector<std::string>& extraNodes = {},
       std::uint64_t traceIdFilter = 0);
 
   const std::string& name() const { return name_; }

@@ -49,7 +49,7 @@ const obs::MetricId kReregisterFailures =
 
 HistoricalNode::HistoricalNode(std::string name, Registry& registry,
                                storage::DeepStorage& deepStorage,
-                               Transport& transport,
+                               TransportIface& transport,
                                HistoricalNodeOptions options)
     : name_(std::move(name)),
       registry_(registry),

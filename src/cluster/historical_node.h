@@ -45,7 +45,7 @@ struct HistoricalNodeOptions {
 class HistoricalNode {
  public:
   HistoricalNode(std::string name, Registry& registry,
-                 storage::DeepStorage& deepStorage, Transport& transport,
+                 storage::DeepStorage& deepStorage, TransportIface& transport,
                  HistoricalNodeOptions options = {});
   ~HistoricalNode();
 
@@ -112,7 +112,7 @@ class HistoricalNode {
   std::string name_;
   Registry& registry_;
   storage::DeepStorage& deepStorage_;
-  Transport& transport_;
+  TransportIface& transport_;
   HistoricalNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
 

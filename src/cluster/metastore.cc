@@ -53,4 +53,9 @@ LoadRules MetaStore::rulesFor(const std::string& dataSource) const {
   return it == rules_.end() ? defaultRules_ : it->second;
 }
 
+void MetaStore::setDefaultRules(LoadRules rules) {
+  MutexLock lock(mu_);
+  defaultRules_ = rules;
+}
+
 }  // namespace dpss::cluster

@@ -26,29 +26,34 @@ struct SegmentRecord {
   std::size_t sizeBytes = 0;
 };
 
+/// Virtual for the same reason as Registry: net::RemoteMetaStore forwards
+/// these ops to the coordinator process over TCP.
 class MetaStore {
  public:
+  MetaStore() = default;
+  virtual ~MetaStore() = default;
+  MetaStore(const MetaStore&) = delete;
+  MetaStore& operator=(const MetaStore&) = delete;
+
   /// Inserts or replaces a segment record (idempotent upsert).
-  void upsertSegment(const SegmentRecord& record);
+  virtual void upsertSegment(const SegmentRecord& record);
 
   /// Marks a segment unused (the coordinator will drop it everywhere).
-  void markUnused(const storage::SegmentId& id);
+  virtual void markUnused(const storage::SegmentId& id);
 
-  std::optional<SegmentRecord> getSegment(const storage::SegmentId& id) const;
+  virtual std::optional<SegmentRecord> getSegment(
+      const storage::SegmentId& id) const;
 
   /// All records with used == true.
-  std::vector<SegmentRecord> usedSegments() const;
+  virtual std::vector<SegmentRecord> usedSegments() const;
   /// Every record, including unused.
-  std::vector<SegmentRecord> allSegments() const;
+  virtual std::vector<SegmentRecord> allSegments() const;
 
   // --- rule table -----------------------------------------------------
-  void setRules(const std::string& dataSource, LoadRules rules);
+  virtual void setRules(const std::string& dataSource, LoadRules rules);
   /// Rules for a data source, falling back to the default rule set.
-  LoadRules rulesFor(const std::string& dataSource) const;
-  void setDefaultRules(LoadRules rules) {
-    MutexLock lock(mu_);
-    defaultRules_ = rules;
-  }
+  virtual LoadRules rulesFor(const std::string& dataSource) const;
+  virtual void setDefaultRules(LoadRules rules);
 
  private:
   mutable Mutex mu_;

@@ -8,7 +8,7 @@
 namespace dpss::cluster {
 
 std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
-    BrokerNode& broker, pss::PrivateSearchClient& client,
+    PrivateSearchBroker& broker, pss::PrivateSearchClient& client,
     const std::string& docSource, const std::set<std::string>& keywords,
     DistributedSearchStats* stats, int maxRetries,
     const RpcPolicy& unavailableBackoff) {

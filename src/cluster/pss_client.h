@@ -8,8 +8,8 @@
 #include <string>
 #include <vector>
 
-#include "cluster/broker_node.h"
 #include "cluster/rpc_policy.h"
+#include "cluster/search_broker.h"
 #include "pss/session.h"
 
 namespace dpss::cluster {
@@ -27,7 +27,7 @@ struct DistributedSearchStats {
 /// whole per `unavailableBackoff` — maxAttempts batches total, backing
 /// off on the broker's clock — then rethrown.
 std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
-    BrokerNode& broker, pss::PrivateSearchClient& client,
+    PrivateSearchBroker& broker, pss::PrivateSearchClient& client,
     const std::string& docSource, const std::set<std::string>& keywords,
     DistributedSearchStats* stats = nullptr, int maxRetries = 5,
     const RpcPolicy& unavailableBackoff = {});

@@ -42,7 +42,7 @@ RealtimeNode::RealtimeNode(std::string name, Registry& registry,
                            MessageQueue& queue, std::string topic,
                            std::size_t partition,
                            storage::DeepStorage& deepStorage,
-                           MetaStore& metaStore, Transport& transport,
+                           MetaStore& metaStore, TransportIface& transport,
                            Clock& clock, storage::Schema schema,
                            std::string dataSource, NodeDisk& disk,
                            RealtimeNodeOptions options)

@@ -59,7 +59,7 @@ class RealtimeNode {
   RealtimeNode(std::string name, Registry& registry, MessageQueue& queue,
                std::string topic, std::size_t partition,
                storage::DeepStorage& deepStorage, MetaStore& metaStore,
-               Transport& transport, Clock& clock, storage::Schema schema,
+               TransportIface& transport, Clock& clock, storage::Schema schema,
                std::string dataSource, NodeDisk& disk,
                RealtimeNodeOptions options = {});
   ~RealtimeNode();
@@ -127,7 +127,7 @@ class RealtimeNode {
   std::size_t partition_;
   storage::DeepStorage& deepStorage_;
   MetaStore& metaStore_;
-  Transport& transport_;
+  TransportIface& transport_;
   Clock& clock_;
   storage::Schema schema_;
   std::string dataSource_;

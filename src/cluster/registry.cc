@@ -50,6 +50,7 @@ void Registry::create(const std::string& path, const std::string& data,
     node.ephemeral = ephemeral;
     node.sessionId = ephemeral ? session->id() : 0;
     nodes_.emplace(path, std::move(node));
+    ++version_;
     notifyLocked(parentOf(path), toFire);
   }
   for (const auto& w : toFire) w(path);
@@ -63,6 +64,7 @@ void Registry::setData(const std::string& path, const std::string& data) {
     const auto it = nodes_.find(path);
     if (it == nodes_.end()) throw NotFound("no such znode: " + path);
     it->second.data = data;
+    ++version_;
     notifyLocked(parentOf(path), toFire);
   }
   for (const auto& w : toFire) w(path);
@@ -99,6 +101,7 @@ void Registry::remove(const std::string& path) {
     if (nodes_.count(path) == 0) return;
     std::set<std::string> changedParents;
     removeSubtreeLocked(path, changedParents);
+    ++version_;
     for (const auto& parent : changedParents) notifyLocked(parent, toFire);
   }
   for (const auto& w : toFire) w(path);
@@ -153,9 +156,25 @@ void Registry::expire(const SessionPtr& session) {
         ++it;
       }
     }
+    if (!changedParents.empty()) ++version_;
     for (const auto& parent : changedParents) notifyLocked(parent, toFire);
   }
   for (const auto& w : toFire) w("");
+}
+
+std::vector<RegistryEntry> Registry::dump() const {
+  MutexLock lock(mu_);
+  std::vector<RegistryEntry> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, node] : nodes_) {
+    out.push_back(RegistryEntry{path, node.data, node.ephemeral});
+  }
+  return out;  // map iteration order == sorted by path
+}
+
+std::uint64_t Registry::version() const {
+  MutexLock lock(mu_);
+  return version_;
 }
 
 RegistrySession::~RegistrySession() {

@@ -31,43 +31,67 @@ namespace dpss::cluster {
 class RegistrySession;
 using SessionPtr = std::shared_ptr<RegistrySession>;
 
+/// One znode in a registry snapshot (see Registry::dump()).
+struct RegistryEntry {
+  std::string path;
+  std::string data;
+  bool ephemeral = false;
+
+  friend bool operator==(const RegistryEntry& a,
+                         const RegistryEntry& b) = default;
+};
+
+/// The methods are virtual so net::RemoteRegistry (src/net/) can forward
+/// mutations to an authoritative registry in another OS process while
+/// reusing this class as its local, watch-firing mirror. In-process
+/// clusters keep using this class directly and pay one virtual dispatch.
 class Registry {
  public:
   using Watch = std::function<void(const std::string& path)>;
 
   Registry() = default;
+  virtual ~Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   /// Opens a session for a node.
-  SessionPtr connect(const std::string& ownerName);
+  virtual SessionPtr connect(const std::string& ownerName);
 
   /// Creates a node at `path` with `data`. Parents are created implicitly
   /// (as persistent nodes). Throws AlreadyExists.
-  void create(const std::string& path, const std::string& data,
-              const SessionPtr& session, bool ephemeral);
+  virtual void create(const std::string& path, const std::string& data,
+                      const SessionPtr& session, bool ephemeral);
 
   /// Updates data; throws NotFound.
-  void setData(const std::string& path, const std::string& data);
+  virtual void setData(const std::string& path, const std::string& data);
 
-  std::optional<std::string> getData(const std::string& path) const;
-  bool exists(const std::string& path) const;
+  virtual std::optional<std::string> getData(const std::string& path) const;
+  virtual bool exists(const std::string& path) const;
 
   /// Deletes a node (and its subtree). Unknown paths are ignored.
-  void remove(const std::string& path);
+  virtual void remove(const std::string& path);
 
   /// Direct children names (not full paths), sorted.
-  std::vector<std::string> children(const std::string& path) const;
+  virtual std::vector<std::string> children(const std::string& path) const;
 
   /// Fires `watch` whenever the direct-children set of `path` changes or
   /// data of a direct child changes. Persistent (re-arms itself).
   /// Returns an id usable with unwatch().
-  std::uint64_t watchChildren(const std::string& path, Watch watch);
-  void unwatch(std::uint64_t watchId);
+  virtual std::uint64_t watchChildren(const std::string& path, Watch watch);
+  virtual void unwatch(std::uint64_t watchId);
 
   /// Ends a session: every ephemeral node it owns disappears (with
   /// watches firing) — simulates a node crash / network partition.
-  void expire(const SessionPtr& session);
+  virtual void expire(const SessionPtr& session);
+
+  /// Every znode, sorted by path, plus the mutation version it reflects.
+  /// The substrate service serializes this for cross-process mirrors.
+  virtual std::vector<RegistryEntry> dump() const;
+
+  /// Monotone counter bumped by every mutation (create/setData/remove/
+  /// expire-with-ephemerals). Lets mirrors order snapshots against their
+  /// own forwarded writes.
+  virtual std::uint64_t version() const;
 
  private:
   struct Node {
@@ -92,6 +116,7 @@ class Registry {
   std::map<std::uint64_t, WatchEntry> watches_ DPSS_GUARDED_BY(mu_);
   std::uint64_t nextWatchId_ DPSS_GUARDED_BY(mu_) = 1;
   std::uint64_t nextSessionId_ DPSS_GUARDED_BY(mu_) = 1;
+  std::uint64_t version_ DPSS_GUARDED_BY(mu_) = 0;
 
   friend class RegistrySession;
 };

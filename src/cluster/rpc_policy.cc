@@ -40,7 +40,7 @@ TimeMs backoffDelayMs(const RpcPolicy& policy, std::size_t retryIndex) {
   return static_cast<TimeMs>(std::min(delay, cap));
 }
 
-std::string callWithPolicy(Transport& transport, const std::string& nodeName,
+std::string callWithPolicy(TransportIface& transport, const std::string& nodeName,
                            const std::string& request,
                            const RpcPolicy& policy) {
   obs::MetricsRegistry& obs = obs::currentRegistry();

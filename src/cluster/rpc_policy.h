@@ -53,7 +53,7 @@ inline constexpr const char* kDeadlineExceeded = "rpc.deadline_exceeded";
 /// the last attempt's error once attempts are exhausted. Non-Unavailable
 /// errors (NotFound, CorruptData, ...) are never retried: the node
 /// answered, it just didn't like the request.
-std::string callWithPolicy(Transport& transport, const std::string& nodeName,
+std::string callWithPolicy(TransportIface& transport, const std::string& nodeName,
                            const std::string& request,
                            const RpcPolicy& policy = {});
 

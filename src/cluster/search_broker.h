@@ -1,0 +1,35 @@
+// Abstract broker surface the PSS client driver needs (§III-C): scatter
+// one encrypted query over a document source and hand back the per-slice
+// envelopes. BrokerNode implements it in-process; net::RemoteBroker
+// (src/net/) implements it over TCP, so runDistributedPrivateSearch is
+// transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "pss/dictionary.h"
+#include "pss/query.h"
+#include "pss/searcher.h"
+
+namespace dpss::cluster {
+
+class PrivateSearchBroker {
+ public:
+  virtual ~PrivateSearchBroker() = default;
+
+  /// Scatters `encryptedQuery` to every node announcing a slice of
+  /// `docSource`; returns one envelope per slice. Throws Unavailable on
+  /// whole-batch failure, NotFound when nothing serves the source.
+  virtual std::vector<pss::SearchResultEnvelope> privateSearch(
+      const std::string& docSource, const pss::Dictionary& dictionary,
+      const pss::EncryptedQuery& encryptedQuery,
+      std::uint64_t* traceIdOut = nullptr) = 0;
+
+  /// The clock batch-retry backoff sleeps on.
+  virtual Clock& clock() = 0;
+};
+
+}  // namespace dpss::cluster

@@ -57,7 +57,7 @@ std::string handleStatsRpc(obs::MetricsRegistry& registry,
   return w.take();
 }
 
-NodeStats callStats(Transport& transport, const std::string& nodeName,
+NodeStats callStats(TransportIface& transport, const std::string& nodeName,
                     const StatsRequest& request, const RpcPolicy& policy) {
   const std::string response =
       callWithPolicy(transport, nodeName, request.encode(), policy);
@@ -104,7 +104,7 @@ std::vector<std::string> ClusterStats::nodesInTrace(
   return {seen.begin(), seen.end()};
 }
 
-ClusterStats collectClusterStats(Registry& registry, Transport& transport,
+ClusterStats collectClusterStats(Registry& registry, TransportIface& transport,
                                  const std::vector<std::string>& extraNodes,
                                  std::uint64_t traceIdFilter) {
   std::vector<std::string> targets = registry.children(paths::announcements());

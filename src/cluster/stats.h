@@ -46,7 +46,7 @@ std::string handleStatsRpc(obs::MetricsRegistry& registry,
 
 /// Issues one kStats RPC under `policy` (default: retry, no backoff);
 /// throws Unavailable like any other call.
-NodeStats callStats(Transport& transport, const std::string& nodeName,
+NodeStats callStats(TransportIface& transport, const std::string& nodeName,
                     const StatsRequest& request = {},
                     const RpcPolicy& policy = {});
 
@@ -67,7 +67,7 @@ struct ClusterStats {
 /// Polls every node announced in the registry plus `extraNodes` (e.g. the
 /// broker, which answers queries but never announces). Unreachable nodes
 /// are skipped — stats collection must never take the cluster down.
-ClusterStats collectClusterStats(Registry& registry, Transport& transport,
+ClusterStats collectClusterStats(Registry& registry, TransportIface& transport,
                                  const std::vector<std::string>& extraNodes = {},
                                  std::uint64_t traceIdFilter = 0);
 

@@ -217,7 +217,7 @@ SegmentQueryRequest SegmentQueryRequest::decode(const std::string& bytes) {
   return req;
 }
 
-query::QueryResult callQuerySegment(Transport& transport,
+query::QueryResult callQuerySegment(TransportIface& transport,
                                     const std::string& nodeName,
                                     const storage::SegmentId& segment,
                                     const query::QuerySpec& spec) {

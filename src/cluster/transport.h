@@ -39,6 +39,30 @@ namespace dpss::cluster {
 /// serialized response. Throws to signal a node-side error.
 using RpcHandler = std::function<std::string(const std::string& requestBytes)>;
 
+/// Abstract call/bind surface every node speaks. Two implementations:
+/// the in-process Transport below (virtual clock, chaos injection — the
+/// deterministic test substrate) and net::NetTransport (src/net/), which
+/// carries the same envelopes over real TCP sockets. Nodes, the RPC
+/// policy layer and the stats collector only ever see this interface, so
+/// the same node code runs single-process or as one OS process per node.
+class TransportIface {
+ public:
+  virtual ~TransportIface() = default;
+
+  /// Registers/replaces the handler serving `nodeName`.
+  virtual void bind(const std::string& nodeName, RpcHandler handler) = 0;
+  virtual void unbind(const std::string& nodeName) = 0;
+  virtual bool reachable(const std::string& nodeName) const = 0;
+
+  /// Sends request bytes to a node; throws Unavailable when the node is
+  /// unbound, unreachable, or an injected/real network failure fires.
+  virtual std::string call(const std::string& nodeName,
+                           const std::string& request) = 0;
+
+  /// The clock wire latency, deadlines and retry backoff run on.
+  virtual Clock& clock() = 0;
+};
+
 // --- seeded chaos --------------------------------------------------------
 
 namespace chaos {
@@ -104,21 +128,22 @@ class ChaosPolicy {
   bool enabled_ = false;
 };
 
-class Transport {
+class Transport final : public TransportIface {
  public:
   explicit Transport(Clock& clock) : clock_(clock) {}
 
   /// Registers/replaces the handler serving `nodeName`.
-  void bind(const std::string& nodeName, RpcHandler handler);
-  void unbind(const std::string& nodeName);
-  bool reachable(const std::string& nodeName) const;
+  void bind(const std::string& nodeName, RpcHandler handler) override;
+  void unbind(const std::string& nodeName) override;
+  bool reachable(const std::string& nodeName) const override;
 
   /// Sends request bytes to a node; throws Unavailable when the node is
   /// unbound, disconnected, or an injected failure fires.
-  std::string call(const std::string& nodeName, const std::string& request);
+  std::string call(const std::string& nodeName,
+                   const std::string& request) override;
 
   /// The clock wire latency and retry backoff are measured against.
-  Clock& clock() { return clock_; }
+  Clock& clock() override { return clock_; }
 
   // --- network emulation ----------------------------------------------
   /// One-way artificial latency per call (applied twice: there and back).
@@ -160,6 +185,10 @@ constexpr std::uint8_t kQuerySegment = 1;  // scan one served segment
 constexpr std::uint8_t kPssInfo = 2;       // describe a document slice
 constexpr std::uint8_t kPssSearch = 3;     // run encrypted query on a slice
 constexpr std::uint8_t kStats = 4;         // metrics + span snapshot
+constexpr std::uint8_t kBrokerQuery = 5;   // broker: full distributed query
+constexpr std::uint8_t kBrokerSearch = 6;  // broker: distributed PSS round
+constexpr std::uint8_t kSubstrate = 7;     // registry/metastore/storage ops
+constexpr std::uint8_t kControl = 8;       // dpss_node process control
 }  // namespace rpc
 
 /// Request to scan one served segment.
@@ -172,7 +201,7 @@ struct SegmentQueryRequest {
 };
 
 /// Issues a segment-scan RPC and decodes the partial result.
-query::QueryResult callQuerySegment(Transport& transport,
+query::QueryResult callQuerySegment(TransportIface& transport,
                                     const std::string& nodeName,
                                     const storage::SegmentId& segment,
                                     const query::QuerySpec& spec);

@@ -65,4 +65,22 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+namespace detail {
+/// Storage-only base so OwnedByteReader's string outlives the ByteReader
+/// view constructed over it (bases initialize in declaration order).
+struct OwnedBytes {
+  explicit OwnedBytes(std::string data) : owned(std::move(data)) {}
+  std::string owned;
+};
+}  // namespace detail
+
+/// ByteReader over bytes it owns. ByteReader itself is a non-owning view,
+/// so `ByteReader r(call(...))` silently reads a destroyed temporary; use
+/// this wherever the backing string is an rvalue (RPC responses).
+class OwnedByteReader : private detail::OwnedBytes, public ByteReader {
+ public:
+  explicit OwnedByteReader(std::string data)
+      : detail::OwnedBytes(std::move(data)), ByteReader(owned) {}
+};
+
 }  // namespace dpss

@@ -1,0 +1,158 @@
+#include "net/client.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dpss::net {
+
+namespace {
+
+const obs::MetricId kBytesOut = obs::internCounter("net.client.bytes_out");
+const obs::MetricId kBytesIn = obs::internCounter("net.client.bytes_in");
+const obs::MetricId kConnects = obs::internCounter("net.client.connects");
+const obs::MetricId kConnectErrors =
+    obs::internCounter("net.client.connect_errors");
+const obs::MetricId kReconnects = obs::internCounter("net.client.reconnects");
+const obs::MetricId kCallErrors = obs::internCounter("net.client.call_errors");
+const obs::MetricId kCalls = obs::internCounter("net.client.calls");
+const obs::MetricId kCallNs = obs::internHistogram("net.client.call_ns");
+
+}  // namespace
+
+NetClient::NetClient(Clock& clock, NetClientOptions options)
+    : clock_(clock), options_(options) {}
+
+NetClient::Conn NetClient::checkout(const Endpoint& endpoint) {
+  {
+    MutexLock lock(mu_);
+    auto it = idle_.find(endpoint);
+    if (it != idle_.end() && !it->second.empty()) {
+      Conn conn = std::move(it->second.front());
+      it->second.pop_front();
+      conn.fresh = false;
+      return conn;
+    }
+  }
+  return dial(endpoint);
+}
+
+void NetClient::checkin(const Endpoint& endpoint, Conn conn) {
+  MutexLock lock(mu_);
+  auto& pool = idle_[endpoint];
+  if (pool.size() >= options_.maxIdlePerEndpoint) return;  // close extra
+  pool.push_back(std::move(conn));
+}
+
+void NetClient::closeIdle() {
+  MutexLock lock(mu_);
+  idle_.clear();
+}
+
+NetClient::Conn NetClient::dial(const Endpoint& endpoint) {
+  const TimeMs deadlineAt =
+      options_.connectTimeoutMs == 0
+          ? 0
+          : clock_.nowMs() + options_.connectTimeoutMs;
+  try {
+    Conn conn;
+    conn.fd = connectWithDeadline(endpoint, clock_, deadlineAt);
+    conn.fresh = true;
+    obs::currentRegistry().counter(kConnects).inc();
+    return conn;
+  } catch (const Error&) {
+    obs::currentRegistry().counter(kConnectErrors).inc();
+    throw;
+  }
+}
+
+NetClient::Exchanged NetClient::exchange(Conn& conn, std::uint64_t requestId,
+                                         const std::string& payload,
+                                         TimeMs deadlineAtMs) {
+  const std::string wire =
+      encodeFrame(Frame{frame::kRequest, requestId, payload});
+  sendAll(conn.fd, wire, clock_, deadlineAtMs);
+  obs::currentRegistry().counter(kBytesOut).inc(wire.size());
+  for (;;) {
+    while (auto f = conn.decoder.next()) {
+      if (f->requestId != requestId) {
+        // A stale response from a previous timed-out call on this
+        // connection; skip it and keep reading.
+        continue;
+      }
+      if (f->kind == frame::kResponse) {
+        return Exchanged{false, std::move(f->payload)};
+      }
+      if (f->kind == frame::kError) {
+        return Exchanged{true, std::move(f->payload)};
+      }
+      throw CorruptData("unexpected frame kind from server: " +
+                        std::to_string(f->kind));
+    }
+    const std::string bytes = recvSome(conn.fd, clock_, deadlineAtMs);
+    if (bytes.empty()) {
+      throw Unavailable("connection closed by peer mid-call");
+    }
+    obs::currentRegistry().counter(kBytesIn).inc(bytes.size());
+    conn.decoder.feed(bytes);
+  }
+}
+
+std::string NetClient::call(const Endpoint& endpoint,
+                            const std::string& payload) {
+  obs::currentRegistry().counter(kCalls).inc();
+  obs::ScopedTimer timer(obs::currentRegistry().histogram(kCallNs));
+  const TimeMs deadlineAt =
+      options_.callTimeoutMs == 0 ? 0 : clock_.nowMs() + options_.callTimeoutMs;
+  std::uint64_t requestId;
+  {
+    MutexLock lock(mu_);
+    requestId = nextRequestId_++;
+  }
+
+  Conn conn = checkout(endpoint);
+  Exchanged result;
+  try {
+    result = exchange(conn, requestId, payload, deadlineAt);
+  } catch (const DeadlineExceeded&) {
+    obs::currentRegistry().counter(kCallErrors).inc();
+    throw;
+  } catch (const CorruptData&) {
+    // Garbled stream: the request may have executed; redialing and
+    // resending could run it twice, so surface the error as-is.
+    obs::currentRegistry().counter(kCallErrors).inc();
+    throw;
+  } catch (const Error& e) {
+    // Transport failure. A pooled connection may have been closed by the
+    // server (restart, idle reaping) between calls; exchange() throws on
+    // the first write or read, before any handler could have produced a
+    // frame for *this* request on a dead socket — but only the stale-
+    // pooled-connection case is provably "never reached a handler", so
+    // only that case gets a transparent redial.
+    if (conn.fresh) {
+      obs::currentRegistry().counter(kCallErrors).inc();
+      throw;
+    }
+    obs::currentRegistry().counter(kReconnects).inc();
+    DPSS_LOG(Debug) << "net client: pooled connection to "
+                    << endpoint.toString() << " failed (" << e.what()
+                    << "), redialing";
+    Conn retry;
+    try {
+      retry = dial(endpoint);
+      result = exchange(retry, requestId, payload, deadlineAt);
+    } catch (const Error&) {
+      obs::currentRegistry().counter(kCallErrors).inc();
+      throw;
+    }
+    checkin(endpoint, std::move(retry));
+    if (result.isError) throwWireError(result.payload);
+    return std::move(result.payload);
+  }
+  // The exchange completed: the connection is healthy either way.
+  checkin(endpoint, std::move(conn));
+  if (result.isError) throwWireError(result.payload);
+  return std::move(result.payload);
+}
+
+}  // namespace dpss::net

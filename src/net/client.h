@@ -1,0 +1,86 @@
+// TCP RPC client: per-endpoint connection pool with connect/read/write
+// deadlines and reconnect-on-failure.
+//
+// One call = one request frame + one matching response frame on a pooled
+// connection. Failure handling preserves at-most-once handler execution
+// from the client's point of view:
+//  * If dialing or the *first* write on a pooled (possibly stale)
+//    connection fails, the request provably never reached a handler, so
+//    the client transparently redials once and resends.
+//  * Any failure after bytes hit the wire surfaces as a typed
+//    Unavailable/DeadlineExceeded; the retry decision belongs to
+//    cluster::callWithPolicy, exactly as with the in-process transport.
+// Broken connections are discarded, never returned to the pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace dpss::net {
+
+struct NetClientOptions {
+  /// Budget for establishing one TCP connection.
+  TimeMs connectTimeoutMs = 2'000;
+  /// Budget for one complete call (write request + read response).
+  /// 0 = no deadline. Expiry throws DeadlineExceeded.
+  TimeMs callTimeoutMs = 10'000;
+  /// Idle connections kept per endpoint; extras are closed on release.
+  std::size_t maxIdlePerEndpoint = 4;
+};
+
+class NetClient {
+ public:
+  explicit NetClient(Clock& clock, NetClientOptions options = {});
+  ~NetClient() = default;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one request payload to `endpoint` ("host:port") and returns
+  /// the response payload. kError responses re-throw the server's typed
+  /// error; transport failures throw Unavailable / DeadlineExceeded.
+  std::string call(const Endpoint& endpoint, const std::string& payload);
+
+  /// Closes every idle pooled connection.
+  void closeIdle();
+
+  Clock& clock() { return clock_; }
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameDecoder decoder;
+    bool fresh = true;  // just dialed (never carried a call)
+  };
+
+  /// exchange() outcome: a response payload or a server-sent typed
+  /// error, kept distinct from transport failures (which throw) because
+  /// only the latter may safely trigger a redial + resend.
+  struct Exchanged {
+    bool isError = false;
+    std::string payload;
+  };
+
+  Conn checkout(const Endpoint& endpoint) DPSS_EXCLUDES(mu_);
+  void checkin(const Endpoint& endpoint, Conn conn) DPSS_EXCLUDES(mu_);
+  Conn dial(const Endpoint& endpoint);
+  /// One request/response exchange on an established connection. Throws
+  /// only transport-level errors.
+  Exchanged exchange(Conn& conn, std::uint64_t requestId,
+                     const std::string& payload, TimeMs deadlineAtMs);
+
+  Clock& clock_;
+  NetClientOptions options_;
+
+  mutable Mutex mu_;
+  std::map<Endpoint, std::deque<Conn>> idle_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t nextRequestId_ DPSS_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace dpss::net

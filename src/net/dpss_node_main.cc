@@ -1,0 +1,304 @@
+// dpss_node — one cluster role per OS process, wired over TCP.
+//
+//   dpss_node --role coordinator --name coordinator --listen 127.0.0.1:8400
+//   dpss_node --role historical  --name hist-0 --listen 127.0.0.1:8401
+//             --peer substrate=127.0.0.1:8400
+//   dpss_node --role broker      --name broker --listen 127.0.0.1:8404
+//             --peer substrate=127.0.0.1:8400 --peer hist-0=127.0.0.1:8401
+//
+// The coordinator process hosts the authoritative substrates (registry,
+// metadata store, deep storage) behind a SubstrateService; every other
+// role reaches them through Remote* proxies, so the node classes
+// themselves run completely unchanged. Peer routing is static: the
+// launcher (scripts, the multi-process test) knows every name and port
+// up front and passes --peer flags. See README "Multi-process
+// quickstart" and DESIGN.md §9.
+//
+// Each process also binds "<name>.ctl" (rpc::kControl) for out-of-band
+// driving: ping, document loading (historical), event ingestion
+// (realtime), and graceful shutdown.
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/broker_node.h"
+#include "cluster/coordinator_node.h"
+#include "cluster/historical_node.h"
+#include "cluster/message_queue.h"
+#include "cluster/metastore.h"
+#include "cluster/realtime_node.h"
+#include "cluster/registry.h"
+#include "cluster/rpc_policy.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "net/control.h"
+#include "net/net_transport.h"
+#include "net/socket.h"
+#include "net/substrate.h"
+#include "storage/deep_storage.h"
+#include "storage/schema.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) { g_stop = 1; }
+
+struct Flags {
+  std::string role;
+  std::string name;
+  std::string listenHost = "127.0.0.1";
+  std::uint16_t listenPort = 0;
+  std::vector<std::pair<std::string, std::string>> peers;  // name -> host:port
+  dpss::TimeMs tickMs = 50;
+  dpss::TimeMs leaseMs = 5'000;    // coordinator: substrate lease
+  dpss::TimeMs syncMs = 100;       // workers: mirror sync period
+  dpss::TimeMs heartbeatMs = 500;  // workers: lease heartbeat period
+  std::size_t brokerCache = 4096;  // 0 disables the result cache
+  std::size_t rpcAttempts = 3;
+  dpss::TimeMs rpcBackoffMs = 50;
+  dpss::TimeMs rpcDeadlineMs = 5'000;
+  // realtime role
+  std::string topic = "events";
+  std::size_t partition = 0;
+  std::string dataSource = "rt-events";
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "dpss_node: " << error << "\n"
+            << "usage: dpss_node --role coordinator|historical|realtime|broker"
+            << " --name NAME --listen HOST:PORT\n"
+            << "  [--peer NAME=HOST:PORT]... [--tick-ms N] [--lease-ms N]\n"
+            << "  [--sync-ms N] [--heartbeat-ms N] [--broker-cache N]\n"
+            << "  [--rpc-attempts N] [--rpc-backoff-ms N] [--rpc-deadline-ms "
+               "N]\n"
+            << "  [--topic T --partition P --data-source DS] [--verbose]\n";
+  std::exit(2);
+}
+
+Flags parseFlags(int argc, char** argv) {
+  Flags f;
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--role") {
+      f.role = next(i);
+    } else if (arg == "--name") {
+      f.name = next(i);
+    } else if (arg == "--listen") {
+      const dpss::net::Endpoint ep = dpss::net::Endpoint::parse(next(i));
+      f.listenHost = ep.host;
+      f.listenPort = ep.port;
+    } else if (arg == "--peer") {
+      const std::string v = next(i);
+      const auto eq = v.find('=');
+      if (eq == std::string::npos) usage("--peer wants NAME=HOST:PORT");
+      f.peers.emplace_back(v.substr(0, eq), v.substr(eq + 1));
+    } else if (arg == "--tick-ms") {
+      f.tickMs = std::stol(next(i));
+    } else if (arg == "--lease-ms") {
+      f.leaseMs = std::stol(next(i));
+    } else if (arg == "--sync-ms") {
+      f.syncMs = std::stol(next(i));
+    } else if (arg == "--heartbeat-ms") {
+      f.heartbeatMs = std::stol(next(i));
+    } else if (arg == "--broker-cache") {
+      f.brokerCache = std::stoul(next(i));
+    } else if (arg == "--rpc-attempts") {
+      f.rpcAttempts = std::stoul(next(i));
+    } else if (arg == "--rpc-backoff-ms") {
+      f.rpcBackoffMs = std::stol(next(i));
+    } else if (arg == "--rpc-deadline-ms") {
+      f.rpcDeadlineMs = std::stol(next(i));
+    } else if (arg == "--topic") {
+      f.topic = next(i);
+    } else if (arg == "--partition") {
+      f.partition = std::stoul(next(i));
+    } else if (arg == "--data-source") {
+      f.dataSource = next(i);
+    } else if (arg == "--verbose") {
+      dpss::setLogLevel(dpss::LogLevel::kInfo);
+    } else {
+      usage("unknown flag " + arg);
+    }
+  }
+  if (f.role.empty()) usage("--role is required");
+  if (f.name.empty()) usage("--name is required");
+  if (f.listenPort == 0) usage("--listen with an explicit port is required");
+  return f;
+}
+
+dpss::cluster::RpcPolicy rpcPolicy(const Flags& f) {
+  dpss::cluster::RpcPolicy policy;
+  policy.maxAttempts = f.rpcAttempts;
+  policy.initialBackoffMs = f.rpcBackoffMs;
+  policy.deadlineMs = f.rpcDeadlineMs;
+  return policy;
+}
+
+dpss::net::RemoteRegistryOptions registryOptions(const Flags& f) {
+  dpss::net::RemoteRegistryOptions opts;
+  opts.syncIntervalMs = f.syncMs;
+  opts.heartbeatIntervalMs = f.heartbeatMs;
+  opts.rpc = rpcPolicy(f);
+  return opts;
+}
+
+/// The fixed schema dpss_node's realtime role indexes (the realtime
+/// pipeline example's ad-event shape); events arrive over the control
+/// channel as storage::encodeInputRow payloads matching it.
+dpss::storage::Schema realtimeSchema() {
+  dpss::storage::Schema s;
+  s.dimensions = {"publisher", "country"};
+  s.metrics = {{"impressions", dpss::storage::MetricType::kLong},
+               {"revenue", dpss::storage::MetricType::kDouble}};
+  return s;
+}
+
+void announceReady(const Flags& f, dpss::net::NetTransport& transport) {
+  std::cout << "dpss_node " << f.role << " '" << f.name << "' listening on "
+            << f.listenHost << ":" << transport.port() << std::endl;
+}
+
+void mainLoop(const Flags& f, dpss::Clock& clock,
+              const std::function<void()>& tick) {
+  while (g_stop == 0 && !dpss::net::shutdownRequested()) {
+    tick();
+    clock.sleepFor(f.tickMs);
+  }
+}
+
+int runCoordinator(const Flags& f, dpss::Clock& clock,
+                   dpss::net::NetTransport& transport) {
+  dpss::cluster::Registry registry;
+  dpss::cluster::MetaStore metaStore;
+  dpss::storage::MemoryDeepStorage deepStorage;
+  dpss::net::SubstrateService substrate(registry, metaStore, deepStorage,
+                                        clock, f.leaseMs);
+  transport.bind(dpss::net::kSubstrateNode, substrate.handler());
+  dpss::cluster::CoordinatorNode coordinator(f.name, registry, metaStore,
+                                             clock);
+  dpss::net::bindControl(transport, f.name, "coordinator", {});
+  announceReady(f, transport);
+  mainLoop(f, clock, [&] {
+    coordinator.runOnce();
+    substrate.sweepExpiredLeases();
+  });
+  return 0;
+}
+
+int runHistorical(const Flags& f, dpss::Clock& clock,
+                  dpss::net::NetTransport& transport) {
+  dpss::net::RemoteRegistry registry(transport, dpss::net::kSubstrateNode,
+                                     registryOptions(f));
+  dpss::net::RemoteDeepStorage deepStorage(transport,
+                                           dpss::net::kSubstrateNode,
+                                           rpcPolicy(f));
+  dpss::cluster::HistoricalNode node(f.name, registry, deepStorage, transport);
+  dpss::net::ControlTargets targets;
+  targets.historical = &node;
+  dpss::net::bindControl(transport, f.name, "historical", targets);
+  node.start();
+  registry.start();
+  announceReady(f, transport);
+  mainLoop(f, clock, [&] { node.tick(); });
+  registry.stop();
+  node.stop();
+  return 0;
+}
+
+int runRealtime(const Flags& f, dpss::Clock& clock,
+                dpss::net::NetTransport& transport) {
+  dpss::net::RemoteRegistry registry(transport, dpss::net::kSubstrateNode,
+                                     registryOptions(f));
+  dpss::net::RemoteMetaStore metaStore(transport, dpss::net::kSubstrateNode,
+                                       rpcPolicy(f));
+  dpss::net::RemoteDeepStorage deepStorage(transport,
+                                           dpss::net::kSubstrateNode,
+                                           rpcPolicy(f));
+  // The queue is process-local — the node consumes its own partition's
+  // log, like a Kafka consumer colocated with its broker — and the
+  // control channel is its producer.
+  dpss::cluster::MessageQueue queue;
+  queue.createTopic(f.topic, f.partition + 1);
+  dpss::cluster::NodeDisk disk;
+  dpss::cluster::RealtimeNode node(f.name, registry, queue, f.topic,
+                                   f.partition, deepStorage, metaStore,
+                                   transport, clock, realtimeSchema(),
+                                   f.dataSource, disk);
+  dpss::net::ControlTargets targets;
+  targets.queue = &queue;
+  targets.topic = f.topic;
+  targets.partition = f.partition;
+  dpss::net::bindControl(transport, f.name, "realtime", targets);
+  node.start();
+  registry.start();
+  announceReady(f, transport);
+  mainLoop(f, clock, [&] { node.tick(); });
+  registry.stop();
+  node.stop();
+  return 0;
+}
+
+int runBroker(const Flags& f, dpss::Clock& clock,
+              dpss::net::NetTransport& transport) {
+  dpss::net::RemoteRegistry registry(transport, dpss::net::kSubstrateNode,
+                                     registryOptions(f));
+  dpss::cluster::BrokerOptions options;
+  options.resultCacheCapacity = f.brokerCache;
+  options.rpcPolicy = rpcPolicy(f);
+  dpss::cluster::BrokerNode broker(f.name, registry, transport, options);
+  dpss::net::bindControl(transport, f.name, "broker", {});
+  broker.start();
+  registry.start();
+  announceReady(f, transport);
+  mainLoop(f, clock, [&] {});
+  registry.stop();
+  broker.stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags f = parseFlags(argc, argv);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  dpss::Clock& clock = dpss::SystemClock::instance();
+  dpss::net::NetTransportOptions topts;
+  topts.server.host = f.listenHost;
+  topts.server.port = f.listenPort;
+  dpss::net::NetTransport transport(clock, topts);
+  try {
+    transport.start();
+    for (const auto& [name, hostPort] : f.peers) {
+      transport.addPeer(name, hostPort);
+    }
+    int rc = 0;
+    if (f.role == "coordinator") {
+      rc = runCoordinator(f, clock, transport);
+    } else if (f.role == "historical") {
+      rc = runHistorical(f, clock, transport);
+    } else if (f.role == "realtime") {
+      rc = runRealtime(f, clock, transport);
+    } else if (f.role == "broker") {
+      rc = runBroker(f, clock, transport);
+    } else {
+      usage("unknown role " + f.role);
+    }
+    transport.stop();
+    return rc;
+  } catch (const dpss::Error& e) {
+    std::cerr << "dpss_node '" << f.name << "': " << e.what() << std::endl;
+    return 1;
+  }
+}

@@ -1,0 +1,128 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace dpss::net {
+
+namespace {
+
+std::uint32_t readU32Le(const char* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));  // codec is little-endian, as is x86/arm
+  return v;
+}
+
+std::uint64_t readU64Le(const char* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string encodeFrame(const Frame& f) {
+  const std::uint64_t length = frame::kHeaderBytes + f.payload.size();
+  if (length > frame::kMaxFrameBytes) {
+    throw InvalidArgument("frame payload too large: " +
+                          std::to_string(f.payload.size()) + " bytes");
+  }
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(length));
+  w.u8(f.kind);
+  w.u64(f.requestId);
+  w.raw(f.payload);
+  return w.take();
+}
+
+void FrameDecoder::feed(std::string_view bytes) { buf_.append(bytes); }
+
+void FrameDecoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+  // connection doesn't grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < sizeof(std::uint32_t)) return std::nullopt;
+  const std::uint32_t length = readU32Le(buf_.data() + pos_);
+  if (length < frame::kHeaderBytes) {
+    throw CorruptData("frame length " + std::to_string(length) +
+                      " below header size");
+  }
+  if (length > frame::kMaxFrameBytes) {
+    throw CorruptData("oversized frame: " + std::to_string(length) +
+                      " bytes (max " + std::to_string(frame::kMaxFrameBytes) +
+                      ")");
+  }
+  if (avail < sizeof(std::uint32_t) + length) return std::nullopt;
+
+  const char* p = buf_.data() + pos_ + sizeof(std::uint32_t);
+  Frame f;
+  f.kind = static_cast<std::uint8_t>(*p);
+  if (f.kind != frame::kRequest && f.kind != frame::kResponse &&
+      f.kind != frame::kError) {
+    throw CorruptData("unknown frame kind: " + std::to_string(f.kind));
+  }
+  f.requestId = readU64Le(p + 1);
+  f.payload.assign(p + frame::kHeaderBytes, length - frame::kHeaderBytes);
+  pos_ += sizeof(std::uint32_t) + length;
+  compact();
+  return f;
+}
+
+std::string encodeErrorPayload(const std::exception& e) {
+  std::uint8_t code = wire_error::kInternalError;
+  // Most-derived first: DeadlineExceeded is an Unavailable.
+  if (dynamic_cast<const DeadlineExceeded*>(&e) != nullptr) {
+    code = wire_error::kDeadlineExceeded;
+  } else if (dynamic_cast<const Unavailable*>(&e) != nullptr) {
+    code = wire_error::kUnavailable;
+  } else if (dynamic_cast<const InvalidArgument*>(&e) != nullptr) {
+    code = wire_error::kInvalidArgument;
+  } else if (dynamic_cast<const NotFound*>(&e) != nullptr) {
+    code = wire_error::kNotFound;
+  } else if (dynamic_cast<const AlreadyExists*>(&e) != nullptr) {
+    code = wire_error::kAlreadyExists;
+  } else if (dynamic_cast<const CorruptData*>(&e) != nullptr) {
+    code = wire_error::kCorruptData;
+  } else if (dynamic_cast<const CryptoError*>(&e) != nullptr) {
+    code = wire_error::kCryptoError;
+  }
+  ByteWriter w;
+  w.u8(code);
+  w.str(e.what());
+  return w.take();
+}
+
+void throwWireError(const std::string& payload) {
+  ByteReader r(payload);
+  const std::uint8_t code = r.u8();
+  const std::string msg = r.str();
+  switch (code) {
+    case wire_error::kInvalidArgument:
+      throw InvalidArgument(msg);
+    case wire_error::kNotFound:
+      throw NotFound(msg);
+    case wire_error::kAlreadyExists:
+      throw AlreadyExists(msg);
+    case wire_error::kCorruptData:
+      throw CorruptData(msg);
+    case wire_error::kCryptoError:
+      throw CryptoError(msg);
+    case wire_error::kUnavailable:
+      throw Unavailable(msg);
+    case wire_error::kDeadlineExceeded:
+      throw DeadlineExceeded(msg);
+    case wire_error::kInternalError:
+      throw InternalError(msg);
+    default:
+      throw InternalError("unknown wire error code " + std::to_string(code) +
+                          ": " + msg);
+  }
+}
+
+}  // namespace dpss::net

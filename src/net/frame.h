@@ -1,0 +1,105 @@
+// Wire framing for the TCP transport (src/net/) — the real-network
+// counterpart of the in-process Transport's function call.
+//
+// Every frame is length-prefixed binary:
+//
+//   [u32 length][u8 kind][u64 requestId][payload ...]
+//
+// where `length` counts everything after itself (kind + requestId +
+// payload, little-endian like the rest of the codec). Three kinds:
+//
+//   kRequest  — payload = [str targetNode][envelope], envelope being the
+//               same trace-context + rpc-body bytes the in-process
+//               transport passes to handlers. One server socket hosts
+//               several logical nodes (e.g. "broker" and "broker.ctl"),
+//               so the target rides in the frame.
+//   kResponse — payload = raw handler response bytes.
+//   kError    — payload = [u8 errorCode][str message]; decodes back into
+//               the same typed dpss exception the handler threw, so
+//               Unavailable/NotFound/... survive the wire and the
+//               retry/failover logic in rpc_policy keeps working.
+//
+// Decoding never trusts the peer: oversized lengths, unknown kinds and
+// truncated payloads all surface as typed CorruptData — never a crash,
+// never an unbounded allocation, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace dpss::net {
+
+namespace frame {
+constexpr std::uint8_t kRequest = 1;
+constexpr std::uint8_t kResponse = 2;
+constexpr std::uint8_t kError = 3;
+
+/// Frame header bytes after the length prefix: kind (1) + requestId (8).
+constexpr std::size_t kHeaderBytes = 9;
+/// Hard cap on `length`; anything larger is a protocol violation (or an
+/// attack) and is rejected before any allocation happens.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+}  // namespace frame
+
+/// One decoded frame.
+struct Frame {
+  std::uint8_t kind = frame::kRequest;
+  std::uint64_t requestId = 0;
+  std::string payload;
+
+  friend bool operator==(const Frame& a, const Frame& b) = default;
+};
+
+/// Serializes a frame, length prefix included.
+std::string encodeFrame(const Frame& f);
+
+/// Incremental decoder: feed() whatever the socket produced (any
+/// fragmentation — single bytes, half headers, several frames at once),
+/// then drain complete frames with next(). Throws CorruptData on an
+/// oversized length or unknown kind; after a throw the stream is
+/// poisoned and the connection must be dropped.
+class FrameDecoder {
+ public:
+  /// Appends raw socket bytes to the internal buffer.
+  void feed(std::string_view bytes);
+
+  /// Pops the next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void compact();
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed errors over the wire -----------------------------------------
+
+/// Stable wire codes for the dpss error hierarchy (common/error.h).
+namespace wire_error {
+constexpr std::uint8_t kInvalidArgument = 1;
+constexpr std::uint8_t kNotFound = 2;
+constexpr std::uint8_t kAlreadyExists = 3;
+constexpr std::uint8_t kCorruptData = 4;
+constexpr std::uint8_t kCryptoError = 5;
+constexpr std::uint8_t kUnavailable = 6;
+constexpr std::uint8_t kDeadlineExceeded = 7;
+constexpr std::uint8_t kInternalError = 8;
+}  // namespace wire_error
+
+/// Builds a kError frame payload for an in-flight exception. Call from a
+/// catch block; unknown exception types map to kInternalError.
+std::string encodeErrorPayload(const std::exception& e);
+
+/// Decodes a kError payload and throws the corresponding typed dpss
+/// exception. Unknown codes throw InternalError (never silent).
+[[noreturn]] void throwWireError(const std::string& payload);
+
+}  // namespace dpss::net

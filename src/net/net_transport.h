@@ -1,0 +1,68 @@
+// TransportIface over real TCP sockets.
+//
+// One NetTransport per OS process: it runs one NetServer hosting every
+// logical node bound in this process (a broker process binds "broker"
+// and "broker.ctl" on one port) and one NetClient for outbound calls.
+// addPeer() maps logical node names to host:port endpoints — the
+// distributed analogue of the in-process transport's handler map.
+//
+// call() builds exactly the envelope the in-process Transport builds
+// (optional trace context + raw rpc body), so node handlers cannot tell
+// which transport delivered the bytes, and trace trees still span
+// processes. Locally bound names are also served over the loopback
+// socket rather than short-circuited: every call crosses a real wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/transport.h"
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace dpss::net {
+
+struct NetTransportOptions {
+  NetServerOptions server;
+  NetClientOptions client;
+};
+
+class NetTransport final : public cluster::TransportIface {
+ public:
+  explicit NetTransport(Clock& clock, NetTransportOptions options = {});
+  ~NetTransport() override;
+
+  /// Starts the server (binds the listen port). Idempotent.
+  void start();
+  void stop();
+
+  /// The server's bound port (valid after start()).
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Routes calls for `nodeName` to `hostPort` ("127.0.0.1:8401").
+  void addPeer(const std::string& nodeName, const std::string& hostPort);
+  void removePeer(const std::string& nodeName);
+
+  // --- TransportIface --------------------------------------------------
+  void bind(const std::string& nodeName, cluster::RpcHandler handler) override;
+  void unbind(const std::string& nodeName) override;
+  bool reachable(const std::string& nodeName) const override;
+  std::string call(const std::string& nodeName,
+                   const std::string& request) override;
+  Clock& clock() override { return clock_; }
+
+ private:
+  Endpoint endpointFor(const std::string& nodeName) const DPSS_EXCLUDES(mu_);
+
+  Clock& clock_;
+  NetServer server_;
+  NetClient client_;
+
+  mutable Mutex mu_;
+  std::map<std::string, Endpoint> peers_ DPSS_GUARDED_BY(mu_);
+};
+
+}  // namespace dpss::net

@@ -1,0 +1,266 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace dpss::net {
+
+namespace {
+
+std::string errnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Unavailable(errnoString("fcntl(O_NONBLOCK)"));
+  }
+}
+
+void setNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Remaining poll budget in ms: -1 = wait forever (no deadline), 0 means
+/// the deadline already passed.
+int pollBudgetMs(Clock& clock, TimeMs deadlineAtMs) {
+  if (deadlineAtMs == 0) return -1;
+  const TimeMs left = deadlineAtMs - clock.nowMs();
+  if (left <= 0) return 0;
+  // Cap so a clock skew can't turn into a multi-hour poll.
+  return static_cast<int>(left > 60'000 ? 60'000 : left);
+}
+
+/// Polls fd for `events`; throws DeadlineExceeded when the deadline
+/// passes first, Unavailable on poll failure. Returns revents.
+short pollFor(int fd, short events, Clock& clock, TimeMs deadlineAtMs,
+              const char* what) {
+  for (;;) {
+    const int budget = pollBudgetMs(clock, deadlineAtMs);
+    if (budget == 0) {
+      throw DeadlineExceeded(std::string(what) + ": deadline exceeded");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Unavailable(errnoString("poll"));
+    }
+    if (rc == 0) continue;  // re-check the deadline
+    return pfd.revents;
+  }
+}
+
+struct AddrInfoHolder {
+  struct addrinfo* ai = nullptr;
+  ~AddrInfoHolder() {
+    if (ai != nullptr) ::freeaddrinfo(ai);
+  }
+};
+
+AddrInfoHolder resolve(const std::string& host, std::uint16_t port,
+                       bool passive) {
+  struct addrinfo hints {};
+  hints.ai_family = AF_INET;  // loopback clusters; v6 adds nothing here
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  AddrInfoHolder out;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &out.ai);
+  if (rc != 0 || out.ai == nullptr) {
+    throw Unavailable("getaddrinfo(" + host + "): " + ::gai_strerror(rc));
+  }
+  return out;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Endpoint Endpoint::parse(const std::string& hostPort) {
+  const auto colon = hostPort.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == hostPort.size()) {
+    throw InvalidArgument("bad endpoint (want host:port): '" + hostPort + "'");
+  }
+  Endpoint ep;
+  ep.host = hostPort.substr(0, colon);
+  const std::string portStr = hostPort.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(portStr.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p < 1 || p > 65535) {
+    throw InvalidArgument("bad port in endpoint: '" + hostPort + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(p);
+  return ep;
+}
+
+Fd listenOn(const std::string& host, std::uint16_t port) {
+  const AddrInfoHolder addr = resolve(host, port, /*passive=*/true);
+  Fd fd(::socket(addr.ai->ai_family, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Unavailable(errnoString("socket"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), addr.ai->ai_addr, addr.ai->ai_addrlen) < 0) {
+    throw Unavailable(errnoString(("bind " + host).c_str()));
+  }
+  if (::listen(fd.get(), 128) < 0) {
+    throw Unavailable(errnoString("listen"));
+  }
+  setNonBlocking(fd.get());
+  return fd;
+}
+
+std::uint16_t boundPort(const Fd& fd) {
+  struct sockaddr_in sa {};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&sa), &len) <
+      0) {
+    throw Unavailable(errnoString("getsockname"));
+  }
+  return ntohs(sa.sin_port);
+}
+
+Fd acceptOne(const Fd& listenFd) {
+  const int fd = ::accept(listenFd.get(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Fd();
+    }
+    throw Unavailable(errnoString("accept"));
+  }
+  Fd out(fd);
+  setNonBlocking(fd);
+  setNoDelay(fd);
+  return out;
+}
+
+Fd connectWithDeadline(const Endpoint& ep, Clock& clock, TimeMs deadlineAtMs) {
+  const AddrInfoHolder addr = resolve(ep.host, ep.port, /*passive=*/false);
+  Fd fd(::socket(addr.ai->ai_family, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Unavailable(errnoString("socket"));
+  setNonBlocking(fd.get());
+  setNoDelay(fd.get());
+  const int rc = ::connect(fd.get(), addr.ai->ai_addr, addr.ai->ai_addrlen);
+  if (rc == 0) return fd;
+  if (errno != EINPROGRESS) {
+    throw Unavailable("connect " + ep.toString() + ": " +
+                      std::strerror(errno));
+  }
+  const short revents =
+      pollFor(fd.get(), POLLOUT, clock, deadlineAtMs, "connect");
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if ((revents & (POLLERR | POLLHUP)) != 0 ||
+      ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+      err != 0) {
+    throw Unavailable("connect " + ep.toString() + ": " +
+                      std::strerror(err != 0 ? err : ECONNREFUSED));
+  }
+  return fd;
+}
+
+void sendAll(const Fd& fd, std::string_view data, Clock& clock,
+             TimeMs deadlineAtMs) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd.get(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollFor(fd.get(), POLLOUT, clock, deadlineAtMs, "send");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw Unavailable(errnoString("send"));
+  }
+}
+
+std::string recvSome(const Fd& fd, Clock& clock, TimeMs deadlineAtMs) {
+  for (;;) {
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+    if (n == 0) return std::string();  // orderly shutdown
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollFor(fd.get(), POLLIN, clock, deadlineAtMs, "recv");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw Unavailable(errnoString("recv"));
+  }
+}
+
+std::string recvNow(const Fd& fd, bool* peerClosed) {
+  *peerClosed = false;
+  char buf[64 * 1024];
+  const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  if (n == 0) {
+    *peerClosed = true;
+    return std::string();
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return std::string();
+  }
+  throw Unavailable(errnoString("recv"));
+}
+
+std::size_t sendNow(const Fd& fd, std::string_view data) {
+  const ssize_t n =
+      ::send(fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (n >= 0) return static_cast<std::size_t>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  throw Unavailable(errnoString("send"));
+}
+
+void socketPair(Fd* a, Fd* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    throw Unavailable(errnoString("socketpair"));
+  }
+  *a = Fd(fds[0]);
+  *b = Fd(fds[1]);
+  setNonBlocking(a->get());
+  setNonBlocking(b->get());
+}
+
+}  // namespace dpss::net

@@ -1,0 +1,99 @@
+// Thin RAII + deadline layer over BSD sockets, the only place in dpss
+// that touches raw socket syscalls (enforced by the dpss-lint
+// raw-socket rule). Everything above (server/client/transport) works in
+// terms of Fd, sendAll/recvSome and millisecond deadlines measured on a
+// dpss::Clock.
+//
+// Deadline semantics: every blocking operation takes an absolute
+// `deadlineAtMs` on the caller's clock (0 = no deadline) and surfaces
+// expiry as a typed DeadlineExceeded; hard socket failures surface as
+// Unavailable. Nothing here ever blocks indefinitely when a deadline is
+// set — waits go through poll(2) with the remaining budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace dpss::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor (idempotent).
+  void reset();
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// "host:port" pair. parse() accepts "127.0.0.1:8400" (numeric IPv4 or
+/// resolvable hostname); throws InvalidArgument on malformed input.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  static Endpoint parse(const std::string& hostPort);
+  std::string toString() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    return a.host != b.host ? a.host < b.host : a.port < b.port;
+  }
+};
+
+/// Opens a listening TCP socket on `host:port` (SO_REUSEADDR, non-
+/// blocking, backlog 128). port 0 picks a free port; boundPort() reads
+/// the result. Throws Unavailable on failure.
+Fd listenOn(const std::string& host, std::uint16_t port);
+
+/// The local port a listening/connected socket is bound to.
+std::uint16_t boundPort(const Fd& fd);
+
+/// Accepts one pending connection (non-blocking listen socket); returns
+/// an invalid Fd when nothing is pending. The accepted socket is
+/// non-blocking with TCP_NODELAY. Throws Unavailable on hard failure.
+Fd acceptOne(const Fd& listenFd);
+
+/// Non-blocking connect with a deadline: throws DeadlineExceeded when
+/// the budget elapses, Unavailable on refusal/failure. The returned
+/// socket is non-blocking with TCP_NODELAY.
+Fd connectWithDeadline(const Endpoint& ep, Clock& clock, TimeMs deadlineAtMs);
+
+/// Writes all of `data`, polling for writability under the deadline.
+/// Throws DeadlineExceeded / Unavailable (peer reset, EPIPE, ...).
+void sendAll(const Fd& fd, std::string_view data, Clock& clock,
+             TimeMs deadlineAtMs);
+
+/// Reads whatever is available (blocking via poll until readable or
+/// deadline). Returns the bytes read; an empty string means the peer
+/// closed cleanly. Throws DeadlineExceeded / Unavailable.
+std::string recvSome(const Fd& fd, Clock& clock, TimeMs deadlineAtMs);
+
+/// Non-blocking single recv for event-loop use: returns bytes read
+/// (possibly empty when EAGAIN), sets *peerClosed when the peer shut the
+/// connection. Throws Unavailable on hard error.
+std::string recvNow(const Fd& fd, bool* peerClosed);
+
+/// Non-blocking single send for event-loop use: returns the number of
+/// bytes written (0 when the socket is full). Throws Unavailable on
+/// hard error.
+std::size_t sendNow(const Fd& fd, std::string_view data);
+
+/// A connected socket pair (SOCK_STREAM, non-blocking) used as the event
+/// loop's wakeup channel. Throws Unavailable on failure.
+void socketPair(Fd* a, Fd* b);
+
+}  // namespace dpss::net

@@ -1,0 +1,115 @@
+#include "net/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace dpss::net {
+
+Subprocess::~Subprocess() {
+  if (valid() && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    (void)wait();
+  }
+}
+
+Subprocess::Subprocess(Subprocess&& o) noexcept
+    : pid_(o.pid_), reaped_(o.reaped_), status_(o.status_) {
+  o.pid_ = -1;
+  o.reaped_ = false;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& o) noexcept {
+  if (this != &o) {
+    if (valid() && !reaped_) {
+      ::kill(pid_, SIGKILL);
+      (void)wait();
+    }
+    pid_ = o.pid_;
+    reaped_ = o.reaped_;
+    status_ = o.status_;
+    o.pid_ = -1;
+    o.reaped_ = false;
+  }
+  return *this;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw InvalidArgument("spawn: empty argv");
+  // exec-failure reporting channel: CLOEXEC write end survives the fork;
+  // a successful exec closes it silently, a failed exec writes errno.
+  int pipeFds[2];
+  if (::pipe2(pipeFds, O_CLOEXEC) < 0) {
+    throw Unavailable(std::string("pipe2: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipeFds[0]);
+    ::close(pipeFds[1]);
+    throw Unavailable(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: build the argv array and exec.
+    ::close(pipeFds[0]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    const int err = errno;
+    (void)!::write(pipeFds[1], &err, sizeof(err));
+    ::_exit(127);
+  }
+  ::close(pipeFds[1]);
+  int execErr = 0;
+  const ssize_t n = ::read(pipeFds[0], &execErr, sizeof(execErr));
+  ::close(pipeFds[0]);
+  if (n > 0) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    throw Unavailable("execv " + argv[0] + ": " + std::strerror(execErr));
+  }
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+void Subprocess::kill(int signal) {
+  if (valid() && !reaped_) ::kill(pid_, signal);
+}
+
+void Subprocess::kill() { kill(SIGKILL); }
+
+int Subprocess::wait() {
+  if (!valid() || reaped_) return status_;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0) {
+    if (errno != EINTR) {
+      reaped_ = true;
+      return status_;
+    }
+  }
+  status_ = status;
+  reaped_ = true;
+  return status_;
+}
+
+bool Subprocess::running() {
+  if (!valid() || reaped_) return false;
+  int status = 0;
+  const pid_t rc = ::waitpid(pid_, &status, WNOHANG);
+  if (rc == pid_) {
+    status_ = status;
+    reaped_ = true;
+    return false;
+  }
+  return rc == 0;
+}
+
+}  // namespace dpss::net

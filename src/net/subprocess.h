@@ -1,0 +1,48 @@
+// Minimal fork/exec subprocess handle for multi-process deployments:
+// the integration test and the multi-process example spawn dpss_node
+// binaries with it. Not a general process library — just spawn, signal,
+// wait, with no shell involved (argv goes straight to execv).
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace dpss::net {
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+  Subprocess(Subprocess&& o) noexcept;
+  Subprocess& operator=(Subprocess&& o) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// fork+execv. argv[0] is the binary path. Throws Unavailable when the
+  /// fork fails or the binary cannot be executed (detected via an
+  /// O_CLOEXEC pipe, so a bad path fails fast instead of at wait()).
+  static Subprocess spawn(const std::vector<std::string>& argv);
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  /// Sends a signal (default SIGKILL). No-op on an already-reaped child.
+  void kill(int signal);
+  void kill();
+
+  /// Waits for exit and reaps; returns the raw waitpid status, or -1 if
+  /// already reaped. Idempotent.
+  int wait();
+
+  /// True while the child exists and has not been reaped.
+  bool running();
+
+ private:
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  int status_ = -1;
+};
+
+}  // namespace dpss::net

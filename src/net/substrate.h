@@ -1,0 +1,225 @@
+// Cross-process substrates: how worker processes reach the coordinator
+// process's authoritative Registry / MetaStore / DeepStorage.
+//
+// The single-process cluster hands every node a reference to the same
+// Registry (the in-process ZooKeeper), MetaStore (the in-process MySQL)
+// and DeepStorage (the in-process HDFS). In a multi-process deployment
+// those live in the coordinator process behind a SubstrateService bound
+// as logical node "substrate" (rpc::kSubstrate); worker processes use:
+//
+//  * RemoteRegistry — a Registry subclass that doubles as a local,
+//    watch-firing mirror. Mutations are forwarded to the authority
+//    synchronously (read-your-writes), then applied to the mirror;
+//    reads and watches are served entirely from the mirror; a sync
+//    thread pulls versioned snapshots and reconciles the mirror through
+//    the base-class ops so watches fire naturally; a heartbeat thread
+//    keeps per-session leases alive — a missed lease expires the local
+//    session exactly like a ZK session loss, which is what the nodes'
+//    existing re-registration logic (PR 4) already handles.
+//  * RemoteMetaStore / RemoteDeepStorage — plain forwarding proxies.
+//
+// Every remote call goes through cluster::callWithPolicy, so retries,
+// backoff and deadlines govern substrate traffic like any other RPC.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/metastore.h"
+#include "cluster/registry.h"
+#include "cluster/rpc_policy.h"
+#include "cluster/transport.h"
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "storage/deep_storage.h"
+
+namespace dpss::net {
+
+/// Default logical node name the substrate service binds as.
+inline constexpr const char* kSubstrateNode = "substrate";
+
+/// Sub-operation codes, the byte after rpc::kSubstrate.
+namespace substrate_op {
+constexpr std::uint8_t kRegOpenSession = 1;
+constexpr std::uint8_t kRegHeartbeat = 2;
+constexpr std::uint8_t kRegCloseSession = 3;
+constexpr std::uint8_t kRegCreate = 4;
+constexpr std::uint8_t kRegSetData = 5;
+constexpr std::uint8_t kRegRemove = 6;
+constexpr std::uint8_t kRegSnapshot = 7;
+constexpr std::uint8_t kMetaUpsert = 10;
+constexpr std::uint8_t kMetaMarkUnused = 11;
+constexpr std::uint8_t kMetaGet = 12;
+constexpr std::uint8_t kMetaUsed = 13;
+constexpr std::uint8_t kMetaAll = 14;
+constexpr std::uint8_t kMetaSetRules = 15;
+constexpr std::uint8_t kMetaRulesFor = 16;
+constexpr std::uint8_t kMetaSetDefaultRules = 17;
+constexpr std::uint8_t kDsPut = 20;
+constexpr std::uint8_t kDsGet = 21;
+constexpr std::uint8_t kDsExists = 22;
+constexpr std::uint8_t kDsRemove = 23;
+constexpr std::uint8_t kDsList = 24;
+constexpr std::uint8_t kDsChecksum = 25;
+constexpr std::uint8_t kDsVerify = 26;
+}  // namespace substrate_op
+
+/// Serves the authoritative substrates over rpc::kSubstrate. Host the
+/// handler on the coordinator process's transport:
+///   transport.bind(kSubstrateNode, service.handler());
+/// and call sweepExpiredLeases() from the process's periodic loop so
+/// crashed workers lose their ephemerals (ZK lease-timeout semantics).
+class SubstrateService {
+ public:
+  SubstrateService(cluster::Registry& registry, cluster::MetaStore& metaStore,
+                   storage::DeepStorage& deepStorage, Clock& clock,
+                   TimeMs leaseMs = 5'000);
+
+  cluster::RpcHandler handler();
+
+  /// Expires every session whose last heartbeat is older than the lease.
+  /// Returns the number of sessions expired.
+  std::size_t sweepExpiredLeases();
+
+  std::size_t liveSessionCount() const;
+
+ private:
+  std::string handle(const std::string& body);
+
+  struct Lease {
+    cluster::SessionPtr session;
+    TimeMs lastBeatMs = 0;
+  };
+
+  cluster::Registry& registry_;
+  cluster::MetaStore& metaStore_;
+  storage::DeepStorage& deepStorage_;
+  Clock& clock_;
+  TimeMs leaseMs_;
+
+  mutable Mutex mu_;
+  std::map<std::uint64_t, Lease> leases_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t nextToken_ DPSS_GUARDED_BY(mu_) = 1;
+};
+
+// --- worker-side proxies -------------------------------------------------
+
+struct RemoteRegistryOptions {
+  /// Mirror reconciliation period (snapshot pull).
+  TimeMs syncIntervalMs = 100;
+  /// Session heartbeat period; keep well under the service's lease.
+  TimeMs heartbeatIntervalMs = 500;
+  /// Policy for every substrate RPC.
+  cluster::RpcPolicy rpc{};
+};
+
+class RemoteRegistry final : public cluster::Registry {
+ public:
+  RemoteRegistry(cluster::TransportIface& transport, std::string substrateNode,
+                 RemoteRegistryOptions options = {});
+  ~RemoteRegistry() override;
+
+  /// Starts the sync + heartbeat threads (idempotent).
+  void start();
+  void stop();
+
+  /// One synchronous mirror reconciliation / heartbeat round — the
+  /// loops call these; tests may too.
+  void syncNow();
+  void heartbeatNow();
+
+  // Mutations forward to the authority, then apply to the local mirror.
+  cluster::SessionPtr connect(const std::string& ownerName) override;
+  void create(const std::string& path, const std::string& data,
+              const cluster::SessionPtr& session, bool ephemeral) override;
+  void setData(const std::string& path, const std::string& data) override;
+  void remove(const std::string& path) override;
+  void expire(const cluster::SessionPtr& session) override;
+  // Reads, watches, dump() and version() inherit the mirror's behavior.
+
+ private:
+  std::string call(const std::string& bytes);
+  void applySnapshot(std::uint64_t version,
+                     std::vector<cluster::RegistryEntry> entries);
+  std::optional<std::uint64_t> tokenFor(const cluster::SessionPtr& session)
+      DPSS_EXCLUDES(mu_);
+
+  cluster::TransportIface& transport_;
+  std::string substrateNode_;
+  RemoteRegistryOptions options_;
+
+  // Serializes forwarded mutations against mirror reconciliation so a
+  // stale snapshot cannot undo a just-applied local write. Recursive:
+  // applying a mutation fires watch callbacks synchronously, and those
+  // callbacks (broker view invalidation, historical load processing) may
+  // re-enter a mutator on the same thread.
+  std::recursive_mutex syncMu_;
+  std::uint64_t mutationFloor_ = 0;  // guarded by syncMu_
+
+  mutable Mutex mu_;
+  struct SessionRef {
+    std::uint64_t token = 0;
+    std::weak_ptr<cluster::RegistrySession> session;
+  };
+  // local session id -> authority token.
+  std::map<std::uint64_t, SessionRef> sessions_ DPSS_GUARDED_BY(mu_);
+  cluster::SessionPtr mirrorSession_ DPSS_GUARDED_BY(mu_);
+
+  std::atomic<bool> threadsRunning_{false};
+  std::thread syncThread_;
+  std::thread heartbeatThread_;
+};
+
+class RemoteMetaStore final : public cluster::MetaStore {
+ public:
+  RemoteMetaStore(cluster::TransportIface& transport, std::string substrateNode,
+                  cluster::RpcPolicy rpc = {});
+
+  void upsertSegment(const cluster::SegmentRecord& record) override;
+  void markUnused(const storage::SegmentId& id) override;
+  std::optional<cluster::SegmentRecord> getSegment(
+      const storage::SegmentId& id) const override;
+  std::vector<cluster::SegmentRecord> usedSegments() const override;
+  std::vector<cluster::SegmentRecord> allSegments() const override;
+  void setRules(const std::string& dataSource,
+                cluster::LoadRules rules) override;
+  cluster::LoadRules rulesFor(const std::string& dataSource) const override;
+  void setDefaultRules(cluster::LoadRules rules) override;
+
+ private:
+  std::string call(const std::string& bytes) const;
+
+  cluster::TransportIface& transport_;
+  std::string substrateNode_;
+  cluster::RpcPolicy rpc_;
+};
+
+class RemoteDeepStorage final : public storage::DeepStorage {
+ public:
+  RemoteDeepStorage(cluster::TransportIface& transport,
+                    std::string substrateNode, cluster::RpcPolicy rpc = {});
+
+  void put(const std::string& key, const std::string& bytes) override;
+  std::string get(const std::string& key) override;
+  bool exists(const std::string& key) override;
+  void remove(const std::string& key) override;
+  std::vector<std::string> list() override;
+  std::optional<std::uint64_t> storedChecksum(const std::string& key) override;
+  bool verify(const std::string& key) override;
+
+ private:
+  std::string call(const std::string& bytes);
+
+  cluster::TransportIface& transport_;
+  std::string substrateNode_;
+  cluster::RpcPolicy rpc_;
+};
+
+}  // namespace dpss::net

@@ -250,8 +250,6 @@ void MemoryDeepStorage::setClock(Clock* clock) {
   clock_ = clock;
 }
 
-void MemoryDeepStorage::failNextGets(std::size_t n) { injectGetFailures(n); }
-
 std::size_t MemoryDeepStorage::getCount() const {
   MutexLock lock(mu_);
   return getCount_;

@@ -124,10 +124,6 @@ class MemoryDeepStorage final : public DeepStorage {
   /// Clock used to serve injectSlowGets() delays.
   void setClock(Clock* clock);
 
-  /// Deprecated alias for injectGetFailures(); prefer driving storage
-  /// faults through the chaos scheduler's seeded schedule.
-  void failNextGets(std::size_t n);
-
   std::size_t getCount() const;
   std::size_t putCount() const;
 

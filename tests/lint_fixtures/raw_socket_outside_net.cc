@@ -1,0 +1,16 @@
+// dpss-lint-fixture: expect(raw-socket)
+//
+// Raw socket syscalls outside src/net/: every other layer must speak
+// through the net transport so framing, deadlines, and typed error
+// mapping live in exactly one place.
+#include <sys/socket.h>
+
+#include <cstdint>
+
+namespace dpss::cluster {
+
+int dialDirectly(std::uint16_t) {
+  return ::socket(2 /*AF_INET*/, 1 /*SOCK_STREAM*/, 0);
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,202 @@
+// Wire-format tests: framing round-trips under arbitrary fragmentation,
+// and every malformed-input class (oversized length, unknown kind,
+// truncated payload, unknown rpc tag / error code) surfaces as a typed
+// error — never a crash, never a hang, never an unbounded allocation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/frame.h"
+
+namespace dpss::net {
+namespace {
+
+Frame makeFrame(std::uint8_t kind, std::uint64_t id, std::string payload) {
+  Frame f;
+  f.kind = kind;
+  f.requestId = id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(FrameCodec, RoundTripsSingleFrame) {
+  const Frame f = makeFrame(frame::kRequest, 42, "hello");
+  FrameDecoder dec;
+  dec.feed(encodeFrame(f));
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, f);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, EmptyPayloadRoundTrips) {
+  const Frame f = makeFrame(frame::kResponse, 0, "");
+  FrameDecoder dec;
+  dec.feed(encodeFrame(f));
+  const auto out = dec.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, f);
+}
+
+// Property: any sequence of frames survives any fragmentation of the
+// byte stream — single bytes, split headers, several frames per feed.
+TEST(FrameCodec, RoundTripsUnderRandomFragmentation) {
+  Rng rng(0xf7a3e);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Frame> frames;
+    std::string stream;
+    const std::size_t count = 1 + rng.below(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string payload;
+      const std::size_t len = rng.below(512);
+      payload.reserve(len);
+      for (std::size_t b = 0; b < len; ++b) {
+        payload.push_back(static_cast<char>(rng.below(256)));
+      }
+      const std::uint8_t kind = static_cast<std::uint8_t>(1 + rng.below(3));
+      frames.push_back(makeFrame(kind, rng.next(), std::move(payload)));
+      stream += encodeFrame(frames.back());
+    }
+
+    FrameDecoder dec;
+    std::vector<Frame> decoded;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t chunk =
+          std::min(stream.size() - pos, std::size_t(1) + rng.below(37));
+      dec.feed(std::string_view(stream).substr(pos, chunk));
+      pos += chunk;
+      while (auto f = dec.next()) decoded.push_back(std::move(*f));
+    }
+    EXPECT_EQ(decoded, frames) << "trial " << trial;
+    EXPECT_EQ(dec.buffered(), 0u);
+  }
+}
+
+TEST(FrameCodec, PartialHeaderYieldsNothing) {
+  const std::string encoded = encodeFrame(makeFrame(frame::kRequest, 7, "xy"));
+  FrameDecoder dec;
+  // Feed everything but the last byte, one byte at a time.
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    dec.feed(std::string_view(encoded).substr(i, 1));
+    EXPECT_FALSE(dec.next().has_value()) << "byte " << i;
+  }
+  dec.feed(std::string_view(encoded).substr(encoded.size() - 1));
+  EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(FrameCodec, OversizedLengthRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.u32(frame::kMaxFrameBytes + 1);
+  w.u8(frame::kRequest);
+  w.u64(1);
+  FrameDecoder dec;
+  dec.feed(w.data());
+  EXPECT_THROW(dec.next(), CorruptData);
+}
+
+TEST(FrameCodec, UndersizedLengthRejected) {
+  ByteWriter w;
+  w.u32(frame::kHeaderBytes - 1);  // too small to hold kind + requestId
+  w.u8(frame::kRequest);
+  w.u64(1);
+  FrameDecoder dec;
+  dec.feed(w.data());
+  EXPECT_THROW(dec.next(), CorruptData);
+}
+
+TEST(FrameCodec, UnknownKindRejected) {
+  ByteWriter w;
+  w.u32(frame::kHeaderBytes);
+  w.u8(99);  // not a valid kind
+  w.u64(1);
+  FrameDecoder dec;
+  dec.feed(w.data());
+  EXPECT_THROW(dec.next(), CorruptData);
+}
+
+TEST(FrameCodec, TruncatedPayloadJustWaits) {
+  // A truncated stream is indistinguishable from a slow peer: the decoder
+  // must neither throw nor fabricate a frame. (The server's read loop
+  // closes the connection when the peer disconnects mid-frame.)
+  const std::string encoded =
+      encodeFrame(makeFrame(frame::kRequest, 3, "payload"));
+  FrameDecoder dec;
+  dec.feed(std::string_view(encoded).substr(0, encoded.size() - 3));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_GT(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, DecoderIsPoisonedAfterThrow) {
+  ByteWriter w;
+  w.u32(frame::kMaxFrameBytes + 1);
+  w.u8(frame::kRequest);
+  w.u64(1);
+  FrameDecoder dec;
+  dec.feed(w.data());
+  EXPECT_THROW(dec.next(), CorruptData);
+  // A poisoned stream keeps throwing rather than resyncing mid-garbage.
+  EXPECT_THROW(dec.next(), CorruptData);
+}
+
+// --- typed errors over the wire -----------------------------------------
+
+template <typename E>
+void expectRoundTrip(const E& error, std::uint8_t expectedCode) {
+  const std::string payload = encodeErrorPayload(error);
+  ByteReader r(payload);
+  EXPECT_EQ(r.u8(), expectedCode);
+  EXPECT_THROW(throwWireError(payload), E);
+  try {
+    throwWireError(payload);
+  } catch (const E& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(WireError, EveryTypedErrorSurvivesTheWire) {
+  expectRoundTrip(InvalidArgument("boom"), wire_error::kInvalidArgument);
+  expectRoundTrip(NotFound("boom"), wire_error::kNotFound);
+  expectRoundTrip(AlreadyExists("boom"), wire_error::kAlreadyExists);
+  expectRoundTrip(CorruptData("boom"), wire_error::kCorruptData);
+  expectRoundTrip(CryptoError("boom"), wire_error::kCryptoError);
+  expectRoundTrip(Unavailable("boom"), wire_error::kUnavailable);
+  expectRoundTrip(DeadlineExceeded("boom"), wire_error::kDeadlineExceeded);
+  expectRoundTrip(InternalError("boom"), wire_error::kInternalError);
+}
+
+TEST(WireError, DeadlineExceededDoesNotDecayToUnavailable) {
+  // DeadlineExceeded subclasses Unavailable; the encoder must check the
+  // subclass first or deadline expiry loses its identity over the wire.
+  const std::string payload = encodeErrorPayload(DeadlineExceeded("late"));
+  ByteReader r(payload);
+  EXPECT_EQ(r.u8(), wire_error::kDeadlineExceeded);
+}
+
+TEST(WireError, NonDpssExceptionMapsToInternalError) {
+  const std::string payload =
+      encodeErrorPayload(std::runtime_error("who knows"));
+  EXPECT_THROW(throwWireError(payload), InternalError);
+}
+
+TEST(WireError, UnknownCodeThrowsInternalError) {
+  ByteWriter w;
+  w.u8(200);
+  w.str("from the future");
+  EXPECT_THROW(throwWireError(w.data()), InternalError);
+}
+
+TEST(WireError, TruncatedErrorPayloadThrowsTyped) {
+  // Even the error path is bounds-checked: a truncated kError payload
+  // surfaces as CorruptData from the reader, not a crash.
+  EXPECT_THROW(throwWireError(std::string("\x01", 1)), Error);
+  EXPECT_THROW(throwWireError(std::string()), Error);
+}
+
+}  // namespace
+}  // namespace dpss::net

@@ -1,0 +1,305 @@
+// The 5-process loopback cluster: coordinator (hosting the authoritative
+// substrates), two historicals, one realtime and one broker, each a real
+// OS process running the dpss_node binary, wired over TCP. The test
+// drives them from outside through the substrate proxies and the control
+// channel, answers a plain distributed query and a full private-search
+// session, kills one historical mid-run (typed partial result, no hang)
+// and watches the cluster heal through the lease sweep.
+//
+// The binary path arrives via the DPSS_NODE_BIN compile definition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/broker_rpc.h"
+#include "cluster/metastore.h"
+#include "cluster/pss_client.h"
+#include "cluster/rpc_policy.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/interval.h"
+#include "net/control.h"
+#include "net/net_transport.h"
+#include "net/socket.h"
+#include "net/subprocess.h"
+#include "net/substrate.h"
+#include "pss/session.h"
+#include "query/query.h"
+#include "storage/adtech.h"
+#include "storage/schema.h"
+#include "storage/segment_codec.h"
+
+namespace dpss::net {
+namespace {
+
+/// Reserves a free loopback port by binding port 0 and releasing it.
+/// (Small reuse race, irrelevant on a loopback test box.)
+std::uint16_t freePort() {
+  Fd probe = listenOn("127.0.0.1", 0);
+  const std::uint16_t port = boundPort(probe);
+  probe.reset();
+  return port;
+}
+
+query::QuerySpec countQuery(const std::string& dataSource) {
+  query::QuerySpec q;
+  q.dataSource = dataSource;
+  q.interval = Interval(0, 4'000'000'000'000LL);
+  q.aggregations = {query::countAgg("cnt")};
+  return q;
+}
+
+class MultiprocessClusterTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kBin = DPSS_NODE_BIN;
+
+  MultiprocessClusterTest() : clock_(SystemClock::instance()) {}
+
+  void TearDown() override {
+    // SIGKILL + reap anything a failed test left behind.
+    procs_.clear();
+  }
+
+  /// Launches one dpss_node role; every process learns every peer (the
+  /// static routing a launcher script would configure).
+  void spawnRole(const std::string& role, const std::string& name,
+                 std::uint16_t port,
+                 const std::vector<std::pair<std::string, std::uint16_t>>&
+                     peers,
+                 const std::vector<std::string>& extraFlags = {}) {
+    std::vector<std::string> argv = {
+        kBin,           "--role",  role,
+        "--name",       name,      "--listen",
+        "127.0.0.1:" + std::to_string(port),
+        "--tick-ms",    "25",      "--sync-ms",
+        "50",           "--heartbeat-ms", "200",
+        "--lease-ms",   "1500",    "--rpc-deadline-ms",
+        "2000",
+    };
+    for (const auto& [peerName, peerPort] : peers) {
+      argv.push_back("--peer");
+      argv.push_back(peerName + "=127.0.0.1:" + std::to_string(peerPort));
+    }
+    argv.insert(argv.end(), extraFlags.begin(), extraFlags.end());
+    procs_.push_back(Subprocess::spawn(argv));
+    names_.push_back(name);
+  }
+
+  Subprocess& proc(const std::string& name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return procs_[i];
+    }
+    throw NotFound("no such process: " + name);
+  }
+
+  /// Waits until the role's control channel answers (process up + bound).
+  void awaitReady(NetTransport& driver, const std::string& name,
+                  TimeMs budgetMs = 15'000) {
+    const TimeMs deadline = clock_.nowMs() + budgetMs;
+    while (true) {
+      try {
+        controlPing(driver, name);
+        return;
+      } catch (const Error&) {
+        if (clock_.nowMs() >= deadline) {
+          FAIL() << "process '" << name << "' never became ready";
+          return;
+        }
+        clock_.sleepFor(50);
+      }
+    }
+  }
+
+  /// Polls `condition` until true or the budget elapses.
+  bool eventually(const std::function<bool()>& condition,
+                  TimeMs budgetMs = 20'000) {
+    const TimeMs deadline = clock_.nowMs() + budgetMs;
+    while (clock_.nowMs() < deadline) {
+      if (condition()) return true;
+      clock_.sleepFor(100);
+    }
+    return condition();
+  }
+
+  SystemClock& clock_;
+  std::vector<Subprocess> procs_;
+  std::vector<std::string> names_;
+};
+
+TEST_F(MultiprocessClusterTest, FiveProcessesAnswerQueriesAndPss) {
+  const std::uint16_t coordPort = freePort();
+  const std::uint16_t histAPort = freePort();
+  const std::uint16_t histBPort = freePort();
+  const std::uint16_t rtPort = freePort();
+  const std::uint16_t brokerPort = freePort();
+
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"substrate", coordPort}, {"coordinator", coordPort},
+      {"hist-a", histAPort},    {"hist-b", histBPort},
+      {"rt-0", rtPort},         {"broker", brokerPort},
+  };
+
+  spawnRole("coordinator", "coordinator", coordPort, wiring);
+  spawnRole("historical", "hist-a", histAPort, wiring);
+  spawnRole("historical", "hist-b", histBPort, wiring);
+  spawnRole("realtime", "rt-0", rtPort, wiring,
+            {"--data-source", "rt-events"});
+  // The result cache is disabled so the kill-one-historical phase below
+  // observes a genuine partial result, not a cached serve.
+  spawnRole("broker", "broker", brokerPort, wiring, {"--broker-cache", "0"});
+
+  // The driver is a sixth participant on the same wire: its transport
+  // routes to every process, its substrate proxies publish data, and its
+  // RemoteBroker runs queries — nothing in this test short-circuits.
+  NetTransport driver(clock_);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+  }
+  for (const auto& name :
+       {"coordinator", "hist-a", "hist-b", "rt-0", "broker"}) {
+    awaitReady(driver, name);
+  }
+
+  cluster::RpcPolicy rpc;
+  rpc.maxAttempts = 3;
+  rpc.initialBackoffMs = 50;
+  rpc.deadlineMs = 4'000;
+
+  // --- publish 5 historical segments through the remote substrates ----
+  RemoteMetaStore metaStore(driver, kSubstrateNode, rpc);
+  RemoteDeepStorage deepStorage(driver, kSubstrateNode, rpc);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 120;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 5);
+  for (const auto& segment : segments) {
+    const std::string key = segment->id().toString();
+    deepStorage.put(key, storage::encodeSegment(*segment));
+    cluster::SegmentRecord record;
+    record.id = segment->id();
+    record.deepStorageKey = key;
+    record.sizeBytes = segment->memoryFootprint();
+    metaStore.upsertSegment(record);
+  }
+
+  // The coordinator process assigns; the historicals download and serve.
+  std::size_t servedA = 0;
+  std::size_t servedB = 0;
+  ASSERT_TRUE(eventually([&] {
+    servedA = controlServedSegments(driver, "hist-a").size();
+    servedB = controlServedSegments(driver, "hist-b").size();
+    return servedA + servedB == 5;
+  })) << "segments never got served: " << servedA << " + " << servedB;
+  EXPECT_GT(servedA, 0u);
+  EXPECT_GT(servedB, 0u);
+
+  // --- plain distributed query through the remote broker --------------
+  cluster::RemoteBroker broker(driver, "broker", rpc);
+  const auto outcome = broker.query(countQuery("ads"));
+  ASSERT_EQ(outcome.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(outcome.rows[0].values[0], 5 * 120.0);
+  EXPECT_EQ(outcome.segmentsQueried, 5u);
+  EXPECT_FALSE(outcome.partial());
+  EXPECT_NE(outcome.traceId, 0u);
+
+  // --- realtime ingestion, queryable through the same broker ----------
+  {
+    const TimeMs now = clock_.nowMs();
+    std::vector<std::string> events;
+    for (int i = 0; i < 7; ++i) {
+      storage::InputRow row;
+      row.timestamp = now;
+      row.dimensions = {"pub" + std::to_string(i % 2), "us"};
+      row.metrics = {double(i + 1), i / 100.0};
+      events.push_back(storage::encodeInputRow(row));
+    }
+    controlIngest(driver, "rt-0", events);
+    // Sum a metric rather than counting rows: the realtime index rolls
+    // up same-timestamp same-dimension events, sums are rollup-invariant.
+    query::QuerySpec rtQuery = countQuery("rt-events");
+    rtQuery.aggregations = {query::longSumAgg("impressions", "imp")};
+    ASSERT_TRUE(eventually([&] {
+      const auto rt = broker.query(rtQuery);
+      return !rt.rows.empty() && rt.rows[0].values[0] == 28.0;  // 1+..+7
+    })) << "ingested events never became queryable";
+  }
+
+  // --- full private-search session over both historicals --------------
+  {
+    const std::vector<std::string> dictWords = {"breach", "leak", "malware",
+                                                "normal", "virus"};
+    const pss::Dictionary dict(dictWords);
+    const pss::SearchParams params{
+        .bufferLength = 8, .indexBufferLength = 256, .bloomHashes = 5};
+    pss::PrivateSearchClient client(dict, params, 128, 4242);
+
+    std::vector<std::string> docs;
+    for (int i = 0; i < 40; ++i) {
+      docs.push_back("routine log line " + std::to_string(i));
+    }
+    docs[4] = "virus detected on host four";
+    docs[31] = "worm malware combo on host x";
+    controlLoadDocuments(driver, "hist-a", "seclog", 0,
+                         {docs.begin(), docs.begin() + 20});
+    controlLoadDocuments(driver, "hist-b", "seclog", 20,
+                         {docs.begin() + 20, docs.end()});
+
+    cluster::DistributedSearchStats stats;
+    const auto recovered = cluster::runDistributedPrivateSearch(
+        broker, client, "seclog", {"virus", "malware"}, &stats);
+    std::set<std::uint64_t> indices;
+    for (const auto& r : recovered) indices.insert(r.index);
+    EXPECT_EQ(indices, (std::set<std::uint64_t>{4, 31}));
+    for (const auto& r : recovered) EXPECT_EQ(r.payload, docs[r.index]);
+    EXPECT_EQ(stats.envelopes, 2u);  // one per historical's slice
+    EXPECT_EQ(stats.documents, 40u);
+  }
+
+  // --- kill one historical mid-run: typed partial result, no hang -----
+  // Kill the node serving fewer segments (a strict minority of 5), so
+  // the broker degrades to a partial answer instead of throwing.
+  const std::string victim = servedA < servedB ? "hist-a" : "hist-b";
+  const std::string survivor = servedA < servedB ? "hist-b" : "hist-a";
+  const std::size_t lostSegments = std::min(servedA, servedB);
+  proc(victim).kill();  // SIGKILL: no graceful unannounce, a real crash
+
+  const auto degraded = broker.query(countQuery("ads"));
+  EXPECT_TRUE(degraded.partial());
+  EXPECT_EQ(degraded.unreachableSegments.size(), lostSegments);
+  EXPECT_DOUBLE_EQ(degraded.rows.empty() ? 0.0 : degraded.rows[0].values[0],
+                   (5 - lostSegments) * 120.0);
+
+  // --- recovery: the lease sweep expires the dead node's announcements,
+  // the coordinator reassigns, the survivor picks everything up --------
+  ASSERT_TRUE(eventually(
+      [&] { return controlServedSegments(driver, survivor).size() == 5; },
+      30'000))
+      << "cluster never healed after losing " << victim;
+  // The broker's registry mirror trails the survivor's announcements by a
+  // sync period, so poll the query itself for the full answer.
+  ASSERT_TRUE(eventually([&] {
+    const auto healed = broker.query(countQuery("ads"));
+    return !healed.partial() && healed.rows.size() == 1 &&
+           healed.rows[0].values[0] == 5 * 120.0;
+  })) << "broker never saw the healed timeline";
+
+  // --- graceful shutdown ----------------------------------------------
+  for (const auto& name : names_) {
+    if (name == victim) continue;
+    controlShutdown(driver, name);
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == victim) continue;
+    const int status = procs_[i].wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << names_[i] << " exited with status " << status;
+  }
+}
+
+}  // namespace
+}  // namespace dpss::net

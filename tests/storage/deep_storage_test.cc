@@ -109,8 +109,7 @@ TEST(MemoryDeepStorage, FaultInjection) {
   EXPECT_THROW(ds.get("k"), Unavailable);
   EXPECT_EQ(ds.get("k"), "v");  // recovers after injected failures
   EXPECT_EQ(ds.getCount(), 3u);
-  // The deprecated alias keeps working for out-of-tree callers.
-  ds.failNextGets(1);
+  ds.injectGetFailures(1);
   EXPECT_THROW(ds.get("k"), Unavailable);
   ds.clearFaults();
   EXPECT_EQ(ds.get("k"), "v");
