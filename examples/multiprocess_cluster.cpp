@@ -39,6 +39,24 @@ std::uint16_t freePort() {
   return port;
 }
 
+/// One admin-plane GET: connect, request, read to close, return the body.
+std::string adminGet(dpss::Clock& clock, std::uint16_t port,
+                     const std::string& path) {
+  const dpss::TimeMs deadlineAt = clock.nowMs() + 5'000;
+  dpss::net::Fd fd =
+      dpss::net::connectWithDeadline({"127.0.0.1", port}, clock, deadlineAt);
+  dpss::net::sendAll(fd, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n",
+                     clock, deadlineAt);
+  std::string response;
+  for (;;) {
+    const std::string chunk = dpss::net::recvSome(fd, clock, deadlineAt);
+    if (chunk.empty()) break;
+    response += chunk;
+  }
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? response : response.substr(at + 4);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,22 +82,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Every node also serves its observability plane over HTTP.
+  std::vector<std::uint16_t> adminPorts;
+  for (std::size_t i = 0; i < wiring.size(); ++i) {
+    adminPorts.push_back(freePort());
+  }
+
   std::vector<net::Subprocess> procs;
   const auto spawn = [&](const std::string& role, const std::string& name,
-                         std::uint16_t port) {
+                         std::uint16_t port, std::uint16_t adminPort) {
     std::vector<std::string> args = {
         bin,        "--role", role, "--name", name,
-        "--listen", "127.0.0.1:" + std::to_string(port)};
+        "--listen", "127.0.0.1:" + std::to_string(port),
+        "--admin-port", std::to_string(adminPort)};
     args.insert(args.end(), peerFlags.begin(), peerFlags.end());
     procs.push_back(net::Subprocess::spawn(args));
-    std::printf("spawned %-11s '%s' (pid %d) on port %u\n", role.c_str(),
-                name.c_str(), procs.back().pid(), port);
+    std::printf("spawned %-11s '%s' (pid %d) on port %u, admin on %u\n",
+                role.c_str(), name.c_str(), procs.back().pid(), port,
+                adminPort);
   };
-  spawn("coordinator", "coordinator", wiring[0].second);
-  spawn("historical", "hist-a", wiring[1].second);
-  spawn("historical", "hist-b", wiring[2].second);
-  spawn("realtime", "rt-0", wiring[3].second);
-  spawn("broker", "broker", wiring[4].second);
+  spawn("coordinator", "coordinator", wiring[0].second, adminPorts[0]);
+  spawn("historical", "hist-a", wiring[1].second, adminPorts[1]);
+  spawn("historical", "hist-b", wiring[2].second, adminPorts[2]);
+  spawn("realtime", "rt-0", wiring[3].second, adminPorts[3]);
+  spawn("broker", "broker", wiring[4].second, adminPorts[4]);
 
   // --- the driver joins the wire as a sixth participant ----------------
   net::NetTransport driver(clock);
@@ -103,6 +129,15 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("all five processes answering on their control channels\n\n");
+  std::printf("observability plane (try these while it runs):\n");
+  for (std::size_t i = 0; i < wiring.size(); ++i) {
+    std::printf("  curl http://127.0.0.1:%u/metrics    # %s\n",
+                adminPorts[i], wiring[i].first.c_str());
+  }
+  std::printf("  curl http://127.0.0.1:%u/tracez     # assembled traces\n",
+              adminPorts[0]);
+  std::printf("  curl http://127.0.0.1:%u/queriesz   # slow-query log\n\n",
+              adminPorts[4]);
 
   // --- publish five segments through the remote substrates -------------
   net::RemoteMetaStore metaStore(driver, net::kSubstrateNode);
@@ -157,8 +192,9 @@ int main(int argc, char** argv) {
                             {docs.begin(), docs.begin() + 15});
   net::controlLoadDocuments(driver, "hist-b", "seclog", 15,
                             {docs.begin() + 15, docs.end()});
+  cluster::DistributedSearchStats stats;
   const auto hits = cluster::runDistributedPrivateSearch(
-      broker, client, "seclog", {"virus", "leak"});
+      broker, client, "seclog", {"virus", "leak"}, &stats);
   std::printf("private search for {virus, leak} over a 30-document stream "
               "split across two processes:\n");
   for (const auto& hit : hits) {
@@ -166,6 +202,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(hit.index),
                 hit.payload.c_str());
   }
+
+  // --- the coordinator assembled the cross-process trace ----------------
+  // Spans ship to the coordinator on maintenance ticks; poll /tracez for
+  // the search's trace id until all three processes' spans landed.
+  char tracePath[48];
+  std::snprintf(tracePath, sizeof(tracePath), "/tracez?trace=%016llx",
+                static_cast<unsigned long long>(stats.traceId));
+  std::string tracez;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    tracez = adminGet(clock, adminPorts[0], tracePath);
+    if (tracez.find("historical.pss.slice_search") != std::string::npos) {
+      break;
+    }
+    clock.sleepFor(100);
+  }
+  std::printf("\ncoordinator /tracez for trace %016llx:\n%s\n",
+              static_cast<unsigned long long>(stats.traceId),
+              tracez.c_str());
 
   // --- graceful shutdown ------------------------------------------------
   for (const auto& [name, port] : wiring) net::controlShutdown(driver, name);

@@ -30,6 +30,53 @@ echo "== multi-process: 5 dpss_node processes over loopback TCP =="
 ./build/tests/net_test --gtest_filter='MultiprocessClusterTest.*'
 
 echo
+echo "== admin smoke: boot a node, scrape /healthz and /metrics =="
+python3 - build/src/net/dpss_node <<'PY'
+import socket, subprocess, sys, time, urllib.request
+
+node_bin = sys.argv[1]
+
+def free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+rpc_port, admin_port = free_port(), free_port()
+proc = subprocess.Popen([
+    node_bin, "--role", "coordinator", "--name", "smoke",
+    "--listen", f"127.0.0.1:{rpc_port}", "--admin-port", str(admin_port),
+])
+try:
+    deadline = time.time() + 20
+    while True:
+        try:
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{admin_port}/healthz", timeout=2) as r:
+                body = r.read().decode()
+                if r.status != 200 or '"status":"ok"' not in body:
+                    sys.exit(f"/healthz bad: {r.status} {body!r}")
+                break
+        except OSError:
+            if time.time() > deadline:
+                sys.exit("admin /healthz never answered")
+            time.sleep(0.2)
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{admin_port}/metrics", timeout=2) as r:
+        text = r.read().decode()
+    if not text.strip():
+        sys.exit("/metrics came back empty")
+    for needle in ("# TYPE", "dpss_rpc_attempts", "dpss_net_server_accepts"):
+        if needle not in text:
+            sys.exit(f"/metrics is missing {needle!r}")
+    print(f"admin smoke OK: /healthz + /metrics on 127.0.0.1:{admin_port}")
+finally:
+    proc.terminate()
+    proc.wait(timeout=10)
+PY
+
+echo
 echo "== dpss-lint: determinism & layering invariants =="
 python3 scripts/dpss_lint.py --selftest
 python3 scripts/dpss_lint.py
@@ -47,10 +94,13 @@ cmake --build build-asan -j "$JOBS" >/dev/null
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
 echo
-echo "== tsan: obs_test + thread_pool + cluster subset under -fsanitize=thread =="
+echo "== tsan: obs_test + thread_pool + net/cluster subsets under -fsanitize=thread =="
 cmake -B build-tsan -S . -DDPSS_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target obs_test common_test cluster_test -j "$JOBS" >/dev/null
+cmake --build build-tsan --target obs_test common_test cluster_test net_test -j "$JOBS" >/dev/null
+# obs_test covers the span ring, trace collector and slow-query log; the
+# http admin tests exercise the admin loop thread against client threads.
 ./build-tsan/tests/obs_test
+./build-tsan/tests/net_test --gtest_filter='HttpAdminTest.*'
 ./build-tsan/tests/common_test --gtest_filter='ThreadPool.*'
 # ClusterChaos.Sweep* (50 whole-cluster stories) is deliberately excluded:
 # it is deterministic single-driver logic and far too slow under TSan.

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""dpss-dump: compact live view of a dpss cluster's admin metrics.
+
+Polls each node's /metrics.json (the HTTP admin server started with
+--admin-port) and renders a one-screen summary per node:
+
+  * QPS        -- per-second rate of broker.query.count + broker.pss.searches
+  * latency    -- p50/p99 of the broker's query/scatter histograms
+  * rpc errors -- per-second rates of rpc.retries, rpc.retry_exhausted,
+                  rpc.deadline_exceeded
+  * top-N      -- the fastest-moving counters since the previous poll
+
+Rates need two samples, so the first refresh shows absolute values and
+every later one shows deltas/second. Only the standard library is used.
+
+Usage:
+    scripts/dpss_dump.py [-i SECONDS] [-n TOP] [--once] HOST:PORT...
+
+HOST:PORT addresses the admin port (not the RPC port); a full URL also
+works. --once prints a single absolute snapshot and exits (CI-friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+RATE_COUNTERS = [
+    ("qps", ["broker.query.count", "broker.pss.searches"]),
+    ("rpc retries/s", ["rpc.retries"]),
+    ("rpc exhausted/s", ["rpc.retry_exhausted"]),
+    ("rpc deadline/s", ["rpc.deadline_exceeded"]),
+]
+
+LATENCY_HISTOGRAMS = [
+    "broker.query.ns",
+    "broker.scatter.latency_ns",
+    "rpc.call.latency_ns",
+    "net.server.handle_ns",
+]
+
+
+def metrics_url(target: str) -> str:
+    if target.startswith("http://") or target.startswith("https://"):
+        return target if target.endswith(".json") else target.rstrip("/") + "/metrics.json"
+    return f"http://{target}/metrics.json"
+
+
+def fetch(url: str, timeout: float):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def metric_key(m: dict) -> str:
+    labels = m.get("labels") or {}
+    if not labels:
+        return m["name"]
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f'{m["name"]}{{{inner}}}'
+
+
+def flatten(payload: dict) -> dict:
+    """{key: metric dict} across every registry the node exposes."""
+    out = {}
+    for node in payload.get("nodes", []):
+        for m in node.get("metrics", []):
+            out[metric_key(m)] = m
+    return out
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.0f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_node(target: str, current: dict, previous: dict,
+                elapsed: float, top: int) -> list:
+    lines = [f"== {target} =="]
+
+    if previous and elapsed > 0:
+        for label, names in RATE_COUNTERS:
+            now = sum(m.get("value", 0) for m in current.values()
+                      if m.get("kind") == "counter" and m["name"] in names)
+            before = sum(m.get("value", 0) for m in previous.values()
+                         if m.get("kind") == "counter" and m["name"] in names)
+            lines.append(f"  {label:<16} {(now - before) / elapsed:8.1f}")
+    else:
+        total = sum(m.get("value", 0) for m in current.values()
+                    if m.get("kind") == "counter")
+        lines.append(f"  counters total   {total:8d}  (rates on next poll)")
+
+    for name in LATENCY_HISTOGRAMS:
+        hists = [m for key, m in current.items()
+                 if m["name"] == name and m.get("kind") == "histogram"
+                 and m.get("count", 0) > 0]
+        for m in hists:
+            lines.append(
+                f"  {metric_key(m):<28} p50 {fmt_ns(m.get('p50', 0)):>8}"
+                f"  p99 {fmt_ns(m.get('p99', 0)):>8}"
+                f"  n {m.get('count', 0)}"
+            )
+
+    movers = []
+    for key, m in current.items():
+        if m.get("kind") != "counter":
+            continue
+        delta = m.get("value", 0) - previous.get(key, {}).get("value", 0)
+        if delta > 0:
+            movers.append((delta, key))
+    movers.sort(reverse=True)
+    for delta, key in movers[:top]:
+        rate = f"{delta / elapsed:.1f}/s" if previous and elapsed > 0 else str(delta)
+        lines.append(f"  {key:<44} +{delta} ({rate})")
+    return lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+", metavar="HOST:PORT",
+                        help="admin address of each node to watch")
+    parser.add_argument("-i", "--interval", type=float, default=2.0,
+                        help="seconds between polls (default 2)")
+    parser.add_argument("-n", "--top", type=int, default=8,
+                        help="top moving counters to show per node")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit")
+    parser.add_argument("--timeout", type=float, default=2.0,
+                        help="per-request timeout in seconds")
+    args = parser.parse_args()
+
+    urls = {t: metrics_url(t) for t in args.targets}
+    previous: dict = {}
+    prev_time = 0.0
+
+    while True:
+        now = time.monotonic()
+        elapsed = now - prev_time if prev_time else 0.0
+        screen = [time.strftime("dpss-dump  %H:%M:%S")]
+        current_all = {}
+        for target, url in urls.items():
+            try:
+                current = flatten(fetch(url, args.timeout))
+            except (urllib.error.URLError, OSError, ValueError) as e:
+                screen.append(f"== {target} ==\n  unreachable: {e}")
+                continue
+            current_all[target] = current
+            screen.extend(render_node(target, current,
+                                      previous.get(target, {}),
+                                      elapsed, args.top))
+        out = "\n".join(screen)
+        if args.once:
+            print(out)
+            return 0
+        sys.stdout.write("\x1b[2J\x1b[H" + out + "\n")
+        sys.stdout.flush()
+        previous = current_all
+        prev_time = now
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

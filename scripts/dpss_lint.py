@@ -16,6 +16,11 @@ rules keep the accidental escape hatches shut:
   metric-name  -- obs::intern{Counter,Gauge,Histogram} names are
                   lowercase dotted identifiers ("a.b.c"), so exposition
                   renders a stable, greppable namespace.
+  metric-label -- label VALUES at intern* call sites must be string
+                  literals or pass through obs::boundedLabelValue();
+                  interning an unbounded value (node names from input,
+                  request paths) grows the metric table until the
+                  kMaxMetrics DPSS_CHECK aborts the process.
   raw-socket   -- no raw socket/poll/epoll syscalls (or their headers)
                   outside src/net/; every other layer speaks through the
                   net transport so framing, deadlines, and typed error
@@ -182,6 +187,33 @@ COMMENT_LINE_RE = re.compile(r"^\s*(//|\*|/\*)")
 INTERN_RE = re.compile(
     r"""\b(?:obs::)?intern(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"""
 )
+INTERN_CALL_RE = re.compile(
+    r"\b(?:obs::)?intern(?:Counter|Gauge|Histogram)\s*\("
+)
+# One {"key", value} label pair inside an intern* call's argument text.
+LABEL_PAIR_RE = re.compile(r'\{\s*"[^"]*"\s*,\s*([^{}]*?)\s*\}')
+
+METRIC_LABEL_MESSAGE = (
+    "unbounded metric label value; every distinct value interns a new "
+    "series and kMaxMetrics aborts the process — use a string literal "
+    "or wrap with obs::boundedLabelValue()"
+)
+
+
+def intern_call_spans(text: str):
+    """Yields (offset, argument_text) for every intern* call in `text`,
+    with the argument extent found by balancing parentheses (calls and
+    boundedLabelValue() wrappers routinely span lines)."""
+    for m in INTERN_CALL_RE.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        yield m.end(), text[m.end() : i - 1]
 
 
 @dataclass
@@ -277,7 +309,41 @@ class FileLint:
                             line,
                         )
                     )
+        self.check_metric_labels()
         return self.findings
+
+    def check_metric_labels(self):
+        """Whole-file pass (intern* calls span lines): every label value
+        must be a string literal or go through boundedLabelValue()."""
+        text = "\n".join(self.lines)
+        for arg_off, arg_text in intern_call_spans(text):
+            for pm in LABEL_PAIR_RE.finditer(arg_text):
+                value = pm.group(1).strip()
+                if value.startswith('"') or "boundedLabelValue" in value:
+                    continue
+                index = text.count("\n", 0, arg_off + pm.start(1))
+                allowed = self.allowed_rules_for(index)
+                if "metric-label" in allowed:
+                    if not allowed["metric-label"]:
+                        self.findings.append(
+                            Finding(
+                                self.relpath,
+                                index + 1,
+                                "metric-label",
+                                "allow comment needs a justification",
+                                self.lines[index],
+                            )
+                        )
+                    continue
+                self.findings.append(
+                    Finding(
+                        self.relpath,
+                        index + 1,
+                        "metric-label",
+                        METRIC_LABEL_MESSAGE,
+                        self.lines[index],
+                    )
+                )
 
 
 def lint_file(root: str, relpath: str) -> list:
@@ -340,6 +406,41 @@ SELFTEST_CASES = [
         "src/obs/x.cc",
         'auto id = internGauge("Served");',
     ),  # unqualified call inside namespace obs is still checked
+    (
+        "metric-label",
+        "src/x/a.cc",
+        'auto id = obs::internCounter("rpc.calls", {{"node", nodeName}});',
+    ),
+    (
+        "metric-label",
+        "src/x/a.cc",
+        'auto id = internHistogram("h.ns",\n'
+        '    {{"op", "query"}, {"seg", id.toString()}});',
+    ),  # multi-line call; second pair is the unbounded one
+    (
+        None,
+        "src/x/a.cc",
+        'auto id = obs::internCounter("rpc.calls", {{"op", "query"}});',
+    ),
+    (
+        None,
+        "src/x/a.cc",
+        'auto id = obs::internCounter(\n'
+        '    "http.requests",\n'
+        '    {{"path", obs::boundedLabelValue("http.requests", "path", p)}});',
+    ),
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(metric-label) table has a fixed op set\n"
+        'auto id = obs::internCounter("a.b", {{"op", opName}});',
+    ),
+    (
+        "metric-label",
+        "src/x/a.cc",
+        "// dpss-lint: allow(metric-label)\n"
+        'auto id = obs::internCounter("a.b", {{"op", opName}});',
+    ),  # missing justification
     ("raw-socket", "src/x/a.cc", "#include <sys/socket.h>"),
     ("raw-socket", "src/x/a.cc", "#include <netinet/tcp.h>"),
     ("raw-socket", "src/x/a.cc", "#include <poll.h>"),

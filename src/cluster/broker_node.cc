@@ -41,6 +41,8 @@ BrokerNode::BrokerNode(std::string name, Registry& registry,
       transport_(transport),
       options_(options) {
   DPSS_CHECK_MSG(options_.scatterThreads >= 1, "need at least one thread");
+  obs_.queryLog().setSlowThresholdNs(
+      static_cast<std::uint64_t>(options_.slowQueryMs) * 1'000'000ULL);
 }
 
 BrokerNode::~BrokerNode() { stop(); }
@@ -184,20 +186,35 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
   outcome.segmentsQueried = targets.size();
   outcome.traceId = querySpan.traceId();
 
+  // Slow-query log bookkeeping: per-segment latency attribution shared
+  // across the scatter tasks, flushed into obs_.queryLog() on exit.
+  const std::uint64_t queryStartNs = obs::nowNanos();
+  Mutex statsMu;
+  std::vector<obs::QuerySegmentLatency> segmentLatencies;
+  std::uint64_t bytesMoved = 0;
+
   // Scatter: one task per segment (the paper's parallel query unit).
   // Pool workers re-enter this node's observability scope and continue
   // the query's trace explicitly — thread-locals don't cross the pool.
   const obs::TraceContext traceCtx = obs::currentTraceContext();
-  Mutex statsMu;
   std::vector<std::future<query::QueryResult>> futures;
   futures.reserve(targets.size());
   for (const auto& target : targets) {
     futures.push_back(pool->submit([this, target, spec, &outcome, &statsMu,
+                                    &segmentLatencies, &bytesMoved,
                                     traceCtx]() -> query::QueryResult {
       obs::ScopedRegistry obsScope(obs_);
       obs::TraceScope traceScope(traceCtx);
       obs::SpanGuard scatterSpan("broker.scatter");
       scatterSpan.tag("segment", target.id.toString());
+      const std::uint64_t taskStartNs = obs::nowNanos();
+      const auto attribute = [&](const std::string& node,
+                                 std::uint64_t latencyNs,
+                                 const char* outcomeLabel) {
+        MutexLock lock(statsMu);
+        segmentLatencies.push_back(obs::QuerySegmentLatency{
+            target.id.toString(), node, latencyNs, outcomeLabel});
+      };
       // Historical segments are immutable, so a cached partial is always
       // valid. Real-time segments keep the same id while events arrive —
       // caching their scans freezes the count at whatever the first scan
@@ -208,6 +225,9 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
         if (auto cached = cacheGet(target.cacheKey)) {
           obs_.counter(kCacheHits).inc();
           if (target.replicas.empty()) obs_.counter(kCacheLossServes).inc();
+          attribute("", obs::nowNanos() - taskStartNs,
+                    target.replicas.empty() ? "cache_after_loss"
+                                            : "cache_hit");
           MutexLock lock(statsMu);
           ++outcome.cacheHits;
           if (target.replicas.empty()) ++outcome.servedFromCacheAfterLoss;
@@ -224,9 +244,14 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
               callWithPolicy(transport_, node, req.encode(), options_.rpcPolicy);
           ByteReader resultReader(responseBytes);
           auto result = query::QueryResult::deserialize(resultReader);
-          obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
-                                                    rpcStart);
+          const std::uint64_t rpcNs = obs::nowNanos() - rpcStart;
+          obs_.histogram(kScatterLatencyNs).observe(rpcNs);
           scatterSpan.tag("node", node);
+          attribute(node, rpcNs, "ok");
+          {
+            MutexLock lock(statsMu);
+            bytesMoved += responseBytes.size();
+          }
           if (cacheable) cachePut(target.cacheKey, result);
           return result;
         } catch (const Unavailable&) {
@@ -235,6 +260,7 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
           continue;  // stale view: node no longer serves it
         }
       }
+      attribute("", obs::nowNanos() - taskStartNs, "unreachable");
       throw Unavailable("all replicas of " + target.id.toString() +
                         " unreachable and result not cached");
     }));
@@ -263,7 +289,35 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
       if (!firstError) firstError = std::current_exception();
     }
   }
-  if (firstError) std::rethrow_exception(firstError);
+  // Every exit path below flushes one record into the slow-query log;
+  // partial and errored queries are always kept (QueryLog retention).
+  const auto logQuery = [&](const std::string& error) {
+    obs::QueryLogRecord rec;
+    rec.traceId = outcome.traceId;
+    rec.kind = "query";
+    rec.target = spec.dataSource;
+    rec.startNs = queryStartNs;
+    rec.durationNs = obs::nowNanos() - queryStartNs;
+    rec.segmentsQueried = outcome.segmentsQueried;
+    rec.cacheHits = outcome.cacheHits;
+    rec.partial = outcome.partial();
+    for (const auto& id : outcome.unreachableSegments) {
+      rec.unreachableSegments.push_back(id.toString());
+    }
+    rec.error = error;
+    MutexLock lock(statsMu);
+    rec.bytesMoved = bytesMoved;
+    rec.segments = segmentLatencies;
+    obs_.queryLog().record(std::move(rec));
+  };
+  if (firstError) {
+    try {
+      std::rethrow_exception(firstError);
+    } catch (const std::exception& e) {
+      logQuery(e.what());
+      throw;
+    }
+  }
   const std::size_t lost = outcome.unreachableSegments.size();
   if (lost > 0) {
     obs_.counter(kLostSegments).inc(lost);
@@ -271,15 +325,18 @@ BrokerQueryOutcome BrokerNode::query(const query::QuerySpec& spec) {
     // partial answer; losing half or more means the result would be more
     // hole than data, so fail loudly instead.
     if (lost * 2 >= targets.size()) {
-      throw Unavailable("segments unavailable (no replica, no cache): " +
-                        firstLost + " (+" + std::to_string(lost - 1) +
-                        " more)");
+      const std::string msg =
+          "segments unavailable (no replica, no cache): " + firstLost +
+          " (+" + std::to_string(lost - 1) + " more)";
+      logQuery(msg);
+      throw Unavailable(msg);
     }
     obs_.counter(kPartialQueries).inc();
   }
 
   outcome.rowsScanned = merged.rowsScanned;
   outcome.rows = finalizeResult(spec, merged);
+  logQuery("");
   return outcome;
 }
 
@@ -291,6 +348,11 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
   searchSpan.tag("doc_source", docSource);
   obs_.counter(kPssSearches).inc();
   if (traceIdOut != nullptr) *traceIdOut = searchSpan.traceId();
+
+  const std::uint64_t searchStartNs = obs::nowNanos();
+  Mutex statsMu;
+  std::vector<obs::QuerySegmentLatency> sliceLatencies;
+  std::uint64_t bytesMoved = 0;
 
   std::shared_ptr<ThreadPool> pool;
   {
@@ -359,19 +421,33 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
     std::string request = w.take();
     const obs::TraceContext traceCtx = obs::currentTraceContext();
     futures.push_back(pool->submit(
-        [this, node = slice.node, request = std::move(request), traceCtx] {
+        [this, node = slice.node, request = std::move(request), traceCtx,
+         &statsMu, &sliceLatencies, &bytesMoved] {
           obs::ScopedRegistry obsScope(obs_);
           obs::TraceScope traceScope(traceCtx);
           obs::SpanGuard span("broker.pss.scatter");
           span.tag("node", node);
           obs_.counter(kScatterRpcs).inc();
           const std::uint64_t rpcStart = obs::nowNanos();
-          const std::string resp =
-              callWithPolicy(transport_, node, request, options_.rpcPolicy);
-          obs_.histogram(kScatterLatencyNs).observe(obs::nowNanos() -
-                                                    rpcStart);
-          ByteReader r(resp);
-          return pss::SearchResultEnvelope::deserialize(r);
+          try {
+            const std::string resp =
+                callWithPolicy(transport_, node, request, options_.rpcPolicy);
+            const std::uint64_t rpcNs = obs::nowNanos() - rpcStart;
+            obs_.histogram(kScatterLatencyNs).observe(rpcNs);
+            {
+              MutexLock lock(statsMu);
+              sliceLatencies.push_back(
+                  obs::QuerySegmentLatency{node, node, rpcNs, "ok"});
+              bytesMoved += resp.size();
+            }
+            ByteReader r(resp);
+            return pss::SearchResultEnvelope::deserialize(r);
+          } catch (...) {
+            MutexLock lock(statsMu);
+            sliceLatencies.push_back(obs::QuerySegmentLatency{
+                node, "", obs::nowNanos() - rpcStart, "unreachable"});
+            throw;
+          }
         }));
   }
   // Drain every future before any rethrow — same dangling-frame rule as
@@ -392,7 +468,33 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
       if (!firstError) firstError = std::current_exception();
     }
   }
-  if (firstError) std::rethrow_exception(firstError);
+  const auto logSearch = [&](const std::string& error) {
+    obs::QueryLogRecord rec;
+    rec.traceId = searchSpan.traceId();
+    rec.kind = "pss";
+    rec.target = docSource;
+    rec.startNs = searchStartNs;
+    rec.durationNs = obs::nowNanos() - searchStartNs;
+    rec.segmentsQueried = slices.size();
+    rec.error = error;
+    MutexLock lock(statsMu);
+    rec.bytesMoved = bytesMoved;
+    rec.segments = sliceLatencies;
+    for (const auto& s : rec.segments) {
+      if (s.outcome == "unreachable") rec.unreachableSegments.push_back(s.segment);
+    }
+    rec.partial = !rec.unreachableSegments.empty();
+    obs_.queryLog().record(std::move(rec));
+  };
+  if (firstError) {
+    try {
+      std::rethrow_exception(firstError);
+    } catch (const std::exception& e) {
+      logSearch(e.what());
+      throw;
+    }
+  }
+  logSearch("");
   return envelopes;
 }
 

@@ -43,6 +43,9 @@ struct BrokerOptions {
   /// Retry/backoff/deadline policy for every outbound RPC (segment
   /// scatter, PSS info/search probes).
   RpcPolicy rpcPolicy{};
+  /// Queries at or above this duration are always kept in the slow-query
+  /// log (partials and errors are kept regardless); 0 keeps every query.
+  TimeMs slowQueryMs = 500;
 };
 
 struct BrokerQueryOutcome {
@@ -97,6 +100,12 @@ class BrokerNode : public PrivateSearchBroker {
 
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
+
+  /// Whether the broker still holds a live registry session (/healthz).
+  bool registryLeaseActive() const {
+    MutexLock lock(mu_);
+    return session_ != nullptr && !session_->expired();
+  }
 
   /// The clock RPC deadlines and retry backoff run on (the transport's).
   Clock& clock() override { return transport_.clock(); }

@@ -101,6 +101,12 @@ class HistoricalNode {
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
 
+  /// Whether the node still holds a live registry session (/healthz).
+  bool registryLeaseActive() const {
+    MutexLock lock(mu_);
+    return session_ != nullptr && !session_->expired();
+  }
+
  private:
   void maybeReregister();
   void onLoadQueueEvent();

@@ -18,8 +18,8 @@ std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
   for (int attempt = 0;;) {
     try {
       const auto query = client.makeQuery(keywords);
-      const auto envelopes =
-          broker.privateSearch(docSource, client.dictionary(), query);
+      const auto envelopes = broker.privateSearch(
+          docSource, client.dictionary(), query, &local.traceId);
       local.envelopes = envelopes.size();
       local.documents = 0;
       for (const auto& env : envelopes) {

@@ -19,6 +19,9 @@ struct DistributedSearchStats {
   std::size_t retries = 0;      // singular-system batch retries
   std::size_t unavailableRetries = 0;  // whole-batch retries after Unavailable
   std::uint64_t documents = 0;  // stream length covered
+  /// Trace id of the last scatter's span tree (joins the coordinator's
+  /// assembled trace and the broker's slow-query log).
+  std::uint64_t traceId = 0;
 };
 
 /// Runs one distributed private-search round. Throws CryptoError after

@@ -109,6 +109,12 @@ class RealtimeNode {
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
 
+  /// Whether the node still holds a live registry session (/healthz).
+  bool registryLeaseActive() const {
+    MutexLock lock(mu_);
+    return session_ != nullptr && !session_->expired();
+  }
+
  private:
   TimeMs bucketStart(TimeMs t) const;
   storage::SegmentId realtimeSegmentId(TimeMs bucket) const;

@@ -1,0 +1,92 @@
+// Cross-process span shipping (rpc::kSpans).
+//
+// Worker nodes record finished spans into their registry's bounded
+// SpanStore; a SpanShipper drains the new ones each maintenance tick and
+// ships them to the trace sink (normally the coordinator), which feeds
+// them into an obs::TraceCollector. The same RPC also serves a fetch
+// sub-op so tests and admin tooling can pull a trace's raw spans back
+// out of the sink over the transport.
+//
+// Shipping is best-effort and bounded end to end: the SpanStore drops
+// the oldest spans under pressure, the shipper re-queues a failed batch
+// at most up to its pending cap, and the collector evicts whole traces
+// LRU (demoting the slowest; see obs/trace_assembly.h). Losing spans
+// degrades a trace to a forest — assembly keeps orphans visible — but
+// never wedges a node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/rpc_policy.h"
+#include "cluster/transport.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace_assembly.h"
+
+namespace dpss::cluster {
+
+namespace spans_op {
+constexpr std::uint8_t kShip = 1;   // node -> sink: batch of spans
+constexpr std::uint8_t kFetch = 2;  // admin/test -> sink: spans by trace
+}  // namespace spans_op
+
+/// One shipped batch: the origin node plus its new spans.
+struct SpanBatch {
+  std::string fromNode;
+  std::vector<obs::Span> spans;
+
+  std::string encode() const;  // includes the kSpans tag + kShip sub-op
+  static SpanBatch decode(ByteReader& r);  // after tag + sub-op
+};
+
+/// Encodes a fetch request (traceId 0 = every buffered span).
+std::string encodeSpanFetchRequest(std::uint64_t traceId);
+
+/// Sink-side kSpans dispatch (request includes the tag byte); nodes call
+/// this from their RPC handler.
+std::string handleSpansRpc(obs::TraceCollector& collector,
+                           const std::string& request);
+
+/// Pulls spans for one trace (0 = all) from the sink.
+std::vector<obs::Span> callSpansFetch(TransportIface& transport,
+                                      const std::string& sinkNode,
+                                      std::uint64_t traceId,
+                                      const RpcPolicy& policy = {});
+
+/// Periodically drains a registry's SpanStore and ships the new spans to
+/// the sink. tick() never throws: a failed ship keeps the batch pending
+/// (bounded) and retries next round.
+class SpanShipper {
+ public:
+  struct Options {
+    std::size_t maxBatch = 512;       // spans per kShip RPC
+    std::size_t maxPending = 4096;    // buffered across failed ships
+    RpcPolicy rpc{};
+  };
+
+  SpanShipper(obs::MetricsRegistry& registry, TransportIface& transport,
+              std::string sinkNode)
+      : SpanShipper(registry, transport, std::move(sinkNode), Options()) {}
+  SpanShipper(obs::MetricsRegistry& registry, TransportIface& transport,
+              std::string sinkNode, Options options);
+
+  /// One shipping round; no-op when nothing new is buffered.
+  void tick();
+
+  std::uint64_t spansShipped() const;
+
+ private:
+  obs::MetricsRegistry& registry_;
+  TransportIface& transport_;
+  std::string sink_;
+  Options options_;
+
+  mutable Mutex mu_;
+  std::uint64_t cursor_ DPSS_GUARDED_BY(mu_) = 0;
+  std::vector<obs::Span> pending_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t shipped_ DPSS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dpss::cluster

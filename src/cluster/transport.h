@@ -189,6 +189,7 @@ constexpr std::uint8_t kBrokerQuery = 5;   // broker: full distributed query
 constexpr std::uint8_t kBrokerSearch = 6;  // broker: distributed PSS round
 constexpr std::uint8_t kSubstrate = 7;     // registry/metastore/storage ops
 constexpr std::uint8_t kControl = 8;       // dpss_node process control
+constexpr std::uint8_t kSpans = 9;         // span shipping / trace fetch
 }  // namespace rpc
 
 /// Request to scan one served segment.

@@ -1,0 +1,243 @@
+#include "net/admin_plane.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/rpc_policy.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+
+namespace dpss::net {
+
+namespace {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The node registry plus the process-global one (deduped when the node
+/// *is* the global registry — the coordinator's case).
+std::vector<obs::MetricsSnapshot> snapshots(const AdminPlane& plane) {
+  std::vector<obs::MetricsSnapshot> out;
+  if (plane.registry != nullptr) out.push_back(plane.registry->snapshot());
+  if (plane.registry != &obs::globalRegistry()) {
+    out.push_back(obs::globalRegistry().snapshot());
+  }
+  return out;
+}
+
+std::uint64_t parseHexTraceId(const std::string& s) {
+  std::uint64_t id = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return 0;
+    id = (id << 4) | static_cast<std::uint64_t>(d);
+  }
+  return id;
+}
+
+/// Assembled traces for /tracez: from the collector when this node is
+/// the sink, else from the node's own span ring.
+std::vector<obs::TraceTree> tracesFor(const AdminPlane& plane,
+                                      std::uint64_t filter, std::size_t n) {
+  if (plane.traces != nullptr) {
+    if (filter != 0) {
+      return {obs::assembleTrace(plane.traces->spansFor(filter))};
+    }
+    return plane.traces->recent(n);
+  }
+  std::vector<obs::Span> spans;
+  if (plane.registry != nullptr) {
+    spans = filter != 0 ? plane.registry->spans().forTrace(filter)
+                        : plane.registry->spans().all();
+  }
+  std::vector<obs::TraceTree> trees = obs::assembleTraces(std::move(spans));
+  // Newest first, like the collector's recent().
+  std::reverse(trees.begin(), trees.end());
+  if (trees.size() > n) trees.resize(n);
+  return trees;
+}
+
+}  // namespace
+
+void bindAdminEndpoints(HttpAdminServer& server, AdminPlane plane) {
+  server.route("/", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        "dpss admin endpoints:\n"
+                        "  /metrics       Prometheus text exposition\n"
+                        "  /metrics.json  metrics as JSON\n"
+                        "  /healthz       liveness + lease state\n"
+                        "  /statusz       served segments, sessions, chaos\n"
+                        "  /tracez        assembled traces + slow queries\n"
+                        "  /tracez.json   assembled traces as JSON\n"
+                        "  /queriesz      slow-query log (JSON-lines)\n"};
+  });
+
+  // Pre-touch the rpc.* counters so the series is present on every node
+  // from the first scrape (Prometheus needs the zero point to rate()).
+  if (plane.registry != nullptr) {
+    static const obs::MetricId kRpcSeries[] = {
+        obs::internCounter(cluster::rpcmetrics::kAttempts),
+        obs::internCounter(cluster::rpcmetrics::kRetries),
+        obs::internCounter(cluster::rpcmetrics::kRetryExhausted),
+        obs::internCounter(cluster::rpcmetrics::kDeadlineExceeded),
+    };
+    for (const auto id : kRpcSeries) plane.registry->counter(id).inc(0);
+  }
+  // Same for net.server.*, which the net loop threads record into the
+  // process-global registry: a node that nobody has dialed yet must
+  // still expose the series at zero.
+  {
+    static const obs::MetricId kNetSeries[] = {
+        obs::internCounter("net.server.accepts"),
+        obs::internCounter("net.server.requests"),
+        obs::internCounter("net.server.bytes_in"),
+        obs::internCounter("net.server.bytes_out"),
+    };
+    for (const auto id : kNetSeries) obs::globalRegistry().counter(id).inc(0);
+  }
+
+  server.route("/metrics", [plane](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        obs::renderTextMulti(snapshots(plane))};
+  });
+
+  server.route("/metrics.json", [plane](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        obs::renderJsonMulti(snapshots(plane))};
+  });
+
+  server.route("/healthz", [plane](const HttpRequest&) {
+    char buf[64];
+    std::string out = "{\"status\":\"ok\",\"node\":\"" +
+                      jsonEscape(plane.nodeName) + "\",\"role\":\"" +
+                      jsonEscape(plane.role) + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"uptime_ms\":%llu",
+                  static_cast<unsigned long long>(
+                      (obs::nowNanos() - plane.startNs) / 1000000));
+    out += buf;
+    out += ",\"registry_lease\":\"" +
+           jsonEscape(plane.leaseState ? plane.leaseState() : "none") + "\"}";
+    return HttpResponse{200, "application/json", std::move(out)};
+  });
+
+  server.route("/statusz", [plane](const HttpRequest&) {
+    char buf[64];
+    std::string out = "{\"node\":\"" + jsonEscape(plane.nodeName) +
+                      "\",\"role\":\"" + jsonEscape(plane.role) + "\"";
+    if (plane.servedSegments) {
+      out += ",\"served_segments\":[";
+      const auto segments = plane.servedSegments();
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i > 0) out += ",";
+        out += '"';
+        out += jsonEscape(segments[i]);
+        out += '"';
+      }
+      out += "]";
+    }
+    if (plane.liveSessions) {
+      std::snprintf(buf, sizeof(buf), ",\"live_sessions\":%zu",
+                    plane.liveSessions());
+      out += buf;
+    }
+    // Chaos + span-plane counters, pulled from the merged snapshots.
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& snap : snapshots(plane)) {
+      for (const auto& s : snap.samples) {
+        if (s.kind != obs::MetricKind::kCounter) continue;
+        const bool interesting = s.name.rfind("chaos.", 0) == 0 ||
+                                 s.name.rfind("obs.spans.", 0) == 0 ||
+                                 s.name.rfind("broker.query", 0) == 0;
+        if (!interesting) continue;
+        if (!first) out += ",";
+        first = false;
+        out += '"';
+        out += jsonEscape(s.name);
+        out += '"';
+        std::snprintf(buf, sizeof(buf), ":%llu",
+                      static_cast<unsigned long long>(s.counterValue));
+        out += buf;
+      }
+    }
+    out += "}";
+    if (plane.registry != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"spans_buffered\":%zu",
+                    plane.registry->spans().size());
+      out += buf;
+      std::snprintf(buf, sizeof(buf), ",\"queries_logged\":%llu",
+                    static_cast<unsigned long long>(
+                        plane.registry->queryLog().totalRecorded()));
+      out += buf;
+    }
+    if (plane.traces != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"traces_collected\":%zu",
+                    plane.traces->traceCount());
+      out += buf;
+    }
+    out += "}";
+    return HttpResponse{200, "application/json", std::move(out)};
+  });
+
+  server.route("/tracez", [plane](const HttpRequest& req) {
+    std::uint64_t filter = 0;
+    const auto it = req.query.find("trace");
+    if (it != req.query.end()) filter = parseHexTraceId(it->second);
+    std::string out;
+    out += "== recent traces ==\n";
+    for (const auto& tree : tracesFor(plane, filter, 10)) {
+      out += renderTraceText(tree);
+    }
+    if (plane.traces != nullptr && filter == 0) {
+      out += "\n== slowest traces ==\n";
+      for (const auto& tree : plane.traces->slowest(5)) {
+        out += renderTraceText(tree);
+      }
+    }
+    if (plane.registry != nullptr) {
+      out += "\n== slow-query log (kept) ==\n";
+      out += obs::renderQueryLogLines(plane.registry->queryLog().kept());
+    }
+    return HttpResponse{200, "text/plain; charset=utf-8", std::move(out)};
+  });
+
+  server.route("/tracez.json", [plane](const HttpRequest& req) {
+    std::uint64_t filter = 0;
+    const auto it = req.query.find("trace");
+    if (it != req.query.end()) filter = parseHexTraceId(it->second);
+    std::string out = "{\"traces\":[";
+    const auto trees = tracesFor(plane, filter, 20);
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      if (i > 0) out += ",";
+      out += renderTraceJson(trees[i]);
+    }
+    out += "]}";
+    return HttpResponse{200, "application/json", std::move(out)};
+  });
+
+  server.route("/queriesz", [plane](const HttpRequest& req) {
+    if (plane.registry == nullptr) {
+      return HttpResponse{200, "application/x-ndjson", ""};
+    }
+    obs::QueryLog& log = plane.registry->queryLog();
+    const bool recent = req.query.count("recent") != 0;
+    return HttpResponse{200, "application/x-ndjson",
+                        obs::renderQueryLogLines(recent ? log.recent()
+                                                        : log.kept())};
+  });
+}
+
+}  // namespace dpss::net

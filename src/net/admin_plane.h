@@ -1,0 +1,50 @@
+// Wires the standard admin endpoints onto an HttpAdminServer, so every
+// dpss_node role exposes the same surface (DESIGN.md §10):
+//   /          — endpoint index
+//   /metrics   — Prometheus text (node registry merged with the
+//                process-global one: net.server.* lands in the global
+//                registry because the event loop runs outside any
+//                ScopedRegistry, while rpc.* lands in the node's)
+//   /metrics.json — same data as JSON for scripts/dpss_dump.py
+//   /healthz   — {node, role, uptime, registry-lease state}
+//   /statusz   — served segments, live sessions, chaos counters
+//   /tracez    — assembled traces (coordinator) or local spans (workers),
+//                plus the slow-query log; ?trace=<hex id> filters
+//   /tracez.json — assembled traces as JSON for tooling
+//   /queriesz  — slow-query log as JSON-lines (?recent=1 for the
+//                rolling all-queries window)
+// Everything renders from snapshots; no handler blocks on node locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http_admin.h"
+#include "obs/metrics.h"
+#include "obs/trace_assembly.h"
+
+namespace dpss::net {
+
+/// What a role hands the admin plane. Callbacks may be empty; the
+/// corresponding fields render as absent. All callbacks run on the admin
+/// server's loop thread and must be thread-safe.
+struct AdminPlane {
+  std::string nodeName;
+  std::string role;
+  /// The role's registry; the process-global registry is merged in
+  /// automatically (unless this *is* the global registry).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Trace sink (coordinator only); workers render their local spans.
+  obs::TraceCollector* traces = nullptr;
+  /// "active" | "expired" | "none" — registry-lease state for /healthz.
+  std::function<std::string()> leaseState;
+  std::function<std::vector<std::string>()> servedSegments;
+  std::function<std::size_t()> liveSessions;
+  std::uint64_t startNs = 0;  // obs::nowNanos() at process start
+};
+
+void bindAdminEndpoints(HttpAdminServer& server, AdminPlane plane);
+
+}  // namespace dpss::net

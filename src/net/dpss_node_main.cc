@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,13 +36,20 @@
 #include "cluster/realtime_node.h"
 #include "cluster/registry.h"
 #include "cluster/rpc_policy.h"
+#include "cluster/span_ship.h"
+#include "cluster/stats.h"
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "net/admin_plane.h"
 #include "net/control.h"
+#include "net/http_admin.h"
 #include "net/net_transport.h"
 #include "net/socket.h"
 #include "net/substrate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_assembly.h"
 #include "storage/deep_storage.h"
 #include "storage/schema.h"
 
@@ -67,6 +76,10 @@ struct Flags {
   std::string topic = "events";
   std::size_t partition = 0;
   std::string dataSource = "rt-events";
+  // observability plane
+  int adminPort = -1;  // -1 = no admin server; 0 = pick a free port
+  std::string traceSink = "coordinator";  // "" disables span shipping
+  dpss::TimeMs slowQueryMs = 500;         // broker slow-query threshold
 };
 
 [[noreturn]] void usage(const std::string& error) {
@@ -77,7 +90,9 @@ struct Flags {
             << "  [--sync-ms N] [--heartbeat-ms N] [--broker-cache N]\n"
             << "  [--rpc-attempts N] [--rpc-backoff-ms N] [--rpc-deadline-ms "
                "N]\n"
-            << "  [--topic T --partition P --data-source DS] [--verbose]\n";
+            << "  [--topic T --partition P --data-source DS] [--verbose]\n"
+            << "  [--admin-port P (0 = auto)] [--trace-sink NODE ('' off)]\n"
+            << "  [--slow-query-ms N]\n";
   std::exit(2);
 }
 
@@ -124,6 +139,12 @@ Flags parseFlags(int argc, char** argv) {
       f.partition = std::stoul(next(i));
     } else if (arg == "--data-source") {
       f.dataSource = next(i);
+    } else if (arg == "--admin-port") {
+      f.adminPort = std::stoi(next(i));
+    } else if (arg == "--trace-sink") {
+      f.traceSink = next(i);
+    } else if (arg == "--slow-query-ms") {
+      f.slowQueryMs = std::stol(next(i));
     } else if (arg == "--verbose") {
       dpss::setLogLevel(dpss::LogLevel::kInfo);
     } else {
@@ -168,6 +189,35 @@ void announceReady(const Flags& f, dpss::net::NetTransport& transport) {
             << f.listenHost << ":" << transport.port() << std::endl;
 }
 
+/// Starts the HTTP admin server when --admin-port was given (0 picks a
+/// free port) and prints the bound port on its own parseable line.
+std::unique_ptr<dpss::net::HttpAdminServer> startAdmin(
+    const Flags& f, dpss::Clock& clock, dpss::net::AdminPlane plane) {
+  if (f.adminPort < 0) return nullptr;
+  dpss::net::HttpAdminOptions opts;
+  opts.host = f.listenHost;
+  opts.port = static_cast<std::uint16_t>(f.adminPort);
+  auto server = std::make_unique<dpss::net::HttpAdminServer>(clock, opts);
+  dpss::net::bindAdminEndpoints(*server, std::move(plane));
+  server->start();
+  std::cout << "dpss_node '" << f.name << "' admin on " << f.listenHost << ":"
+            << server->port() << std::endl;
+  return server;
+}
+
+/// The span shipper every worker role runs from its tick: drains the
+/// node registry's span ring toward --trace-sink (default the
+/// coordinator). Disabled with --trace-sink ''.
+std::optional<dpss::cluster::SpanShipper> makeShipper(
+    const Flags& f, dpss::obs::MetricsRegistry& registry,
+    dpss::net::NetTransport& transport) {
+  if (f.traceSink.empty()) return std::nullopt;
+  dpss::cluster::SpanShipper::Options opts;
+  opts.rpc = rpcPolicy(f);
+  return std::make_optional<dpss::cluster::SpanShipper>(registry, transport,
+                                                        f.traceSink, opts);
+}
+
 void mainLoop(const Flags& f, dpss::Clock& clock,
               const std::function<void()>& tick) {
   while (g_stop == 0 && !dpss::net::shutdownRequested()) {
@@ -186,12 +236,44 @@ int runCoordinator(const Flags& f, dpss::Clock& clock,
   transport.bind(dpss::net::kSubstrateNode, substrate.handler());
   dpss::cluster::CoordinatorNode coordinator(f.name, registry, metaStore,
                                              clock);
+  // The coordinator is the cluster's trace sink: workers ship their span
+  // batches here (rpc::kSpans) and /tracez serves the assembled trees.
+  dpss::obs::TraceCollector collector;
+  transport.bind(f.name, [&collector](const std::string& req) {
+    if (req.empty()) throw dpss::CorruptData("empty coordinator rpc");
+    switch (static_cast<std::uint8_t>(req[0])) {
+      case dpss::cluster::rpc::kStats:
+        return dpss::cluster::handleStatsRpc(dpss::obs::globalRegistry(),
+                                             req.substr(1));
+      case dpss::cluster::rpc::kSpans:
+        return dpss::cluster::handleSpansRpc(collector, req);
+      default:
+        throw dpss::CorruptData("unknown coordinator rpc tag");
+    }
+  });
   dpss::net::bindControl(transport, f.name, "coordinator", {});
+  dpss::net::AdminPlane plane;
+  plane.nodeName = f.name;
+  plane.role = "coordinator";
+  // The coordinator's own runOnce() runs outside any ScopedRegistry, so
+  // its metrics live in the process-global registry.
+  plane.registry = &dpss::obs::globalRegistry();
+  plane.traces = &collector;
+  plane.leaseState = [] { return std::string("none"); };
+  plane.liveSessions = [&substrate] { return substrate.liveSessionCount(); };
+  plane.startNs = dpss::obs::nowNanos();
+  auto admin = startAdmin(f, clock, std::move(plane));
   announceReady(f, transport);
+  // Local spans (coordinator.* and net.server handlers) feed the
+  // collector directly; there is no point shipping them over TCP.
+  std::uint64_t spanCursor = 0;
   mainLoop(f, clock, [&] {
     coordinator.runOnce();
     substrate.sweepExpiredLeases();
+    auto spans = dpss::obs::globalRegistry().spans().collectSince(&spanCursor);
+    if (!spans.empty()) collector.add(std::move(spans));
   });
+  if (admin) admin->stop();
   return 0;
 }
 
@@ -208,10 +290,29 @@ int runHistorical(const Flags& f, dpss::Clock& clock,
   dpss::net::bindControl(transport, f.name, "historical", targets);
   node.start();
   registry.start();
+  dpss::net::AdminPlane plane;
+  plane.nodeName = f.name;
+  plane.role = "historical";
+  plane.registry = &node.metrics();
+  plane.leaseState = [&node] {
+    return std::string(node.registryLeaseActive() ? "active" : "expired");
+  };
+  plane.servedSegments = [&node] {
+    std::vector<std::string> out;
+    for (const auto& id : node.servedSegments()) out.push_back(id.toString());
+    return out;
+  };
+  plane.startNs = dpss::obs::nowNanos();
+  auto admin = startAdmin(f, clock, std::move(plane));
+  auto shipper = makeShipper(f, node.metrics(), transport);
   announceReady(f, transport);
-  mainLoop(f, clock, [&] { node.tick(); });
+  mainLoop(f, clock, [&] {
+    node.tick();
+    if (shipper) shipper->tick();
+  });
   registry.stop();
   node.stop();
+  if (admin) admin->stop();
   return 0;
 }
 
@@ -241,10 +342,29 @@ int runRealtime(const Flags& f, dpss::Clock& clock,
   dpss::net::bindControl(transport, f.name, "realtime", targets);
   node.start();
   registry.start();
+  dpss::net::AdminPlane plane;
+  plane.nodeName = f.name;
+  plane.role = "realtime";
+  plane.registry = &node.metrics();
+  plane.leaseState = [&node] {
+    return std::string(node.registryLeaseActive() ? "active" : "expired");
+  };
+  plane.servedSegments = [&node] {
+    std::vector<std::string> out;
+    for (const auto& id : node.announcedSegments()) out.push_back(id.toString());
+    return out;
+  };
+  plane.startNs = dpss::obs::nowNanos();
+  auto admin = startAdmin(f, clock, std::move(plane));
+  auto shipper = makeShipper(f, node.metrics(), transport);
   announceReady(f, transport);
-  mainLoop(f, clock, [&] { node.tick(); });
+  mainLoop(f, clock, [&] {
+    node.tick();
+    if (shipper) shipper->tick();
+  });
   registry.stop();
   node.stop();
+  if (admin) admin->stop();
   return 0;
 }
 
@@ -255,14 +375,28 @@ int runBroker(const Flags& f, dpss::Clock& clock,
   dpss::cluster::BrokerOptions options;
   options.resultCacheCapacity = f.brokerCache;
   options.rpcPolicy = rpcPolicy(f);
+  options.slowQueryMs = f.slowQueryMs;
   dpss::cluster::BrokerNode broker(f.name, registry, transport, options);
   dpss::net::bindControl(transport, f.name, "broker", {});
   broker.start();
   registry.start();
+  dpss::net::AdminPlane plane;
+  plane.nodeName = f.name;
+  plane.role = "broker";
+  plane.registry = &broker.metrics();
+  plane.leaseState = [&broker] {
+    return std::string(broker.registryLeaseActive() ? "active" : "expired");
+  };
+  plane.startNs = dpss::obs::nowNanos();
+  auto admin = startAdmin(f, clock, std::move(plane));
+  auto shipper = makeShipper(f, broker.metrics(), transport);
   announceReady(f, transport);
-  mainLoop(f, clock, [&] {});
+  mainLoop(f, clock, [&] {
+    if (shipper) shipper->tick();
+  });
   registry.stop();
   broker.stop();
+  if (admin) admin->stop();
   return 0;
 }
 
@@ -272,6 +406,12 @@ int main(int argc, char** argv) {
   const Flags f = parseFlags(argc, argv);
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+
+  // The process-global registry collects everything recorded outside a
+  // ScopedRegistry (net loop threads, the coordinator's whole plane);
+  // name it after this node so merged /metrics label those series too.
+  // Safe here: no other thread exists yet.
+  dpss::obs::globalRegistry().setNodeName(f.name);
 
   dpss::Clock& clock = dpss::SystemClock::instance();
   dpss::net::NetTransportOptions topts;

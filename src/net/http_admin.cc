@@ -1,0 +1,319 @@
+#include "net/http_admin.h"
+
+#include <poll.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dpss::net {
+
+namespace {
+
+const obs::MetricId kRequests = obs::internCounter("http.admin.requests");
+const obs::MetricId kErrors = obs::internCounter("http.admin.errors");
+const obs::MetricId kBytesOut = obs::internCounter("http.admin.bytes_out");
+const obs::MetricId kOversize =
+    obs::internCounter("http.admin.oversize_closes");
+const obs::MetricId kDeadlineCloses =
+    obs::internCounter("http.admin.deadline_closes");
+const obs::MetricId kConnsRejected =
+    obs::internCounter("http.admin.connections_rejected");
+
+const char* reasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string encodeResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    reasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.contentType + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+std::string decodePercent(std::string_view s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i] == '+' ? ' ' : s[i]);
+  }
+  return out;
+}
+
+/// Parses "METHOD SP target SP HTTP/1.x"; false on anything else.
+bool parseRequestLine(std::string_view line, HttpRequest* req) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 7) != "HTTP/1.") return false;
+  req->method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t qmark = target.find('?');
+  req->path = std::string(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      const std::size_t eq = pair.find('=');
+      if (!pair.empty()) {
+        req->query[decodePercent(pair.substr(0, eq))] =
+            eq == std::string_view::npos ? ""
+                                         : decodePercent(pair.substr(eq + 1));
+      }
+      if (amp == std::string_view::npos) break;
+      qs.remove_prefix(amp + 1);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpAdminServer::HttpAdminServer(Clock& clock, HttpAdminOptions options)
+    : clock_(clock), options_(std::move(options)) {}
+
+HttpAdminServer::~HttpAdminServer() { stop(); }
+
+void HttpAdminServer::route(const std::string& path, HttpHandler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void HttpAdminServer::start() {
+  {
+    MutexLock lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  listenFd_ = listenOn(options_.host, options_.port);
+  socketPair(&wakeRead_, &wakeWrite_);
+  loopThread_ = std::thread([this] { loop(); });
+}
+
+void HttpAdminServer::stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  try {
+    sendNow(wakeWrite_, "w");
+  } catch (const Error&) {
+    // loop already exiting
+  }
+  if (loopThread_.joinable()) loopThread_.join();
+  conns_.clear();
+  listenFd_.reset();
+  wakeRead_.reset();
+  wakeWrite_.reset();
+}
+
+std::uint16_t HttpAdminServer::port() const { return boundPort(listenFd_); }
+
+std::string HttpAdminServer::handle(const std::string& requestText) {
+  obs::currentRegistry().counter(kRequests).inc();
+  HttpResponse resp;
+  HttpRequest req;
+  const std::size_t eol = requestText.find("\r\n");
+  const std::string_view line =
+      std::string_view(requestText).substr(0, eol);
+  if (!parseRequestLine(line, &req)) {
+    resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (req.method != "GET") {
+    resp = HttpResponse{405, "text/plain; charset=utf-8",
+                        "only GET is served here\n"};
+  } else {
+    // Request paths are attacker-controlled: boundedLabelValue caps the
+    // label set so a path scan cannot exhaust the metric table.
+    obs::currentRegistry()
+        .counter(obs::internCounter(
+            "http.admin.requests_by_path",
+            {{"path", obs::boundedLabelValue("http.admin.requests_by_path",
+                                             "path", req.path)}}))
+        .inc();
+    const auto it = routes_.find(req.path);
+    if (it == routes_.end()) {
+      std::string body = "not found; try:\n";
+      for (const auto& [path, handler] : routes_) body += "  " + path + "\n";
+      resp = HttpResponse{404, "text/plain; charset=utf-8", std::move(body)};
+    } else {
+      try {
+        resp = it->second(req);
+      } catch (const std::exception& e) {
+        resp = HttpResponse{500, "text/plain; charset=utf-8",
+                            std::string("internal error: ") + e.what() + "\n"};
+      }
+    }
+  }
+  if (resp.status >= 400) obs::currentRegistry().counter(kErrors).inc();
+  return encodeResponse(resp);
+}
+
+void HttpAdminServer::maybeDispatch(Conn& conn) {
+  if (conn.responding) return;
+  if (conn.in.size() > options_.maxRequestBytes) {
+    obs::currentRegistry().counter(kOversize).inc();
+    obs::currentRegistry().counter(kErrors).inc();
+    conn.out = encodeResponse(HttpResponse{
+        431, "text/plain; charset=utf-8", "request too large\n"});
+    conn.responding = true;
+    return;
+  }
+  // A request is complete at the end of its headers; bodies are never
+  // read (GET-only plane), and anything pipelined past the first request
+  // dies with the Connection: close.
+  if (conn.in.find("\r\n\r\n") == std::string::npos &&
+      conn.in.find("\n\n") == std::string::npos) {
+    return;
+  }
+  conn.out = handle(conn.in);
+  conn.responding = true;
+}
+
+void HttpAdminServer::loop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<std::uint64_t> ids;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (!running_) return;
+    }
+
+    // Slowloris sweep: connections that never completed their request.
+    const TimeMs now = clock_.nowMs();
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn& conn = it->second;
+      if (!conn.responding && now >= conn.deadlineAtMs) {
+        obs::currentRegistry().counter(kDeadlineCloses).inc();
+        obs::currentRegistry().counter(kErrors).inc();
+        conn.out = encodeResponse(HttpResponse{
+            408, "text/plain; charset=utf-8", "request timeout\n"});
+        conn.responding = true;
+        // Best-effort synchronous flush; the deadline already expired,
+        // so the connection closes now either way.
+        try {
+          sendNow(conn.fd, conn.out);
+        } catch (const Error&) {
+        }
+        it = conns_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+
+    pfds.clear();
+    ids.clear();
+    pfds.push_back({listenFd_.get(), POLLIN, 0});
+    ids.push_back(0);
+    pfds.push_back({wakeRead_.get(), POLLIN, 0});
+    ids.push_back(0);
+    for (auto& [connId, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.responding && conn.outOffset < conn.out.size()) {
+        events = POLLOUT;
+      }
+      pfds.push_back({conn.fd.get(), events, 0});
+      ids.push_back(connId);
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) {
+      DPSS_LOG(Error) << "http admin: poll failed, shutting down loop";
+      return;
+    }
+    if (rc <= 0) continue;
+
+    if ((pfds[1].revents & POLLIN) != 0) {
+      bool closed = false;
+      while (!recvNow(wakeRead_, &closed).empty()) {
+      }
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        Fd accepted;
+        try {
+          accepted = acceptOne(listenFd_);
+        } catch (const Error& e) {
+          DPSS_LOG(Warn) << "http admin: accept error: " << e.what();
+          break;
+        }
+        if (!accepted.valid()) break;
+        if (conns_.size() >= options_.maxConnections) {
+          obs::currentRegistry().counter(kConnsRejected).inc();
+          continue;  // RAII closes it
+        }
+        Conn conn;
+        conn.fd = std::move(accepted);
+        conn.deadlineAtMs = clock_.nowMs() + options_.requestDeadlineMs;
+        conns_.emplace(nextConnId_++, std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      const auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool alive = true;
+      if ((pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (pfds[i].revents & (POLLIN | POLLOUT)) == 0) {
+        alive = false;
+      }
+      if (alive && (pfds[i].revents & POLLIN) != 0) {
+        try {
+          bool peerClosed = false;
+          const std::string bytes = recvNow(conn.fd, &peerClosed);
+          conn.in += bytes;
+          maybeDispatch(conn);
+          if (peerClosed && !conn.responding) alive = false;
+        } catch (const Error&) {
+          alive = false;
+        }
+      }
+      if (alive && conn.responding && (pfds[i].revents & POLLOUT) != 0) {
+        try {
+          const std::size_t n = sendNow(
+              conn.fd, std::string_view(conn.out).substr(conn.outOffset));
+          obs::currentRegistry().counter(kBytesOut).inc(n);
+          conn.outOffset += n;
+          if (conn.outOffset >= conn.out.size()) alive = false;  // done
+        } catch (const Error&) {
+          alive = false;
+        }
+      }
+      if (!alive) conns_.erase(it);
+    }
+  }
+}
+
+}  // namespace dpss::net

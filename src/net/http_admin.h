@@ -1,0 +1,109 @@
+// Per-node HTTP admin server — the operator-facing side of the
+// observability plane (DESIGN.md §10). Serves GET-only plaintext/JSON
+// endpoints (/metrics, /healthz, /tracez, ...) over the same poll-driven
+// single-loop-thread model as NetServer, reusing the RAII socket layer.
+// It lives in src/net/ (not src/obs/) because dpss_obs deliberately
+// links only dpss_common — socket code in obs would cycle the library
+// graph — and because src/net/ is the one directory the raw-socket lint
+// rule exempts.
+//
+// This is an admin plane, not a web server, and it is defensive about
+// exactly the hostile inputs that matter for a debug port:
+//  * request line + headers are capped (431 past maxRequestBytes);
+//  * a connection that dribbles a partial request (slowloris) is cut
+//    off with 408 at requestDeadlineMs;
+//  * malformed request lines get 400, unknown paths 404, non-GET 405;
+//  * every response is Connection: close — pipelined garbage after the
+//    first request is never parsed.
+// Handlers run on the loop thread: every endpoint renders from snapshots
+// of lock-cheap state, so there is nothing to gain from a pool and the
+// single thread keeps the server trivially race-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/thread_annotations.h"
+#include "net/socket.h"
+
+namespace dpss::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;                          // without the query string
+  std::map<std::string, std::string> query;  // decoded k=v params
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpAdminOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = pick a free port
+  std::size_t maxRequestBytes = 8192;
+  TimeMs requestDeadlineMs = 5000;  // slowloris cutoff
+  std::size_t maxConnections = 64;
+};
+
+class HttpAdminServer {
+ public:
+  HttpAdminServer(Clock& clock, HttpAdminOptions options = {});
+  ~HttpAdminServer();
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  /// Registers/replaces the handler for an exact path. Call before
+  /// start() (routes are read on the loop thread without a lock).
+  void route(const std::string& path, HttpHandler handler);
+
+  /// Starts listening + the event loop. Throws Unavailable when the
+  /// port cannot be bound. Idempotent.
+  void start();
+  void stop();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const;
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::string in;          // bytes received so far (pre-dispatch)
+    std::string out;         // encoded response awaiting write
+    std::size_t outOffset = 0;
+    TimeMs deadlineAtMs = 0;  // request must be complete by then
+    bool responding = false;  // request handled; draining out then close
+  };
+
+  void loop();
+  /// Parses + dispatches once conn.in holds a full request; fills
+  /// conn.out and flips conn.responding. Returns false to drop the
+  /// connection immediately (unrecoverable input).
+  void maybeDispatch(Conn& conn);
+  std::string handle(const std::string& requestText);
+
+  Clock& clock_;
+  HttpAdminOptions options_;
+  std::map<std::string, HttpHandler> routes_;  // frozen at start()
+
+  mutable Mutex mu_;
+  bool running_ DPSS_GUARDED_BY(mu_) = false;
+
+  Fd listenFd_;
+  Fd wakeRead_;
+  Fd wakeWrite_;
+  std::thread loopThread_;
+  // Loop-thread-only state: live connections by id.
+  std::map<std::uint64_t, Conn> conns_;
+  std::uint64_t nextConnId_ = 1;
+};
+
+}  // namespace dpss::net

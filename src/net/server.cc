@@ -40,8 +40,9 @@ obs::MetricId handleHistogram(std::uint8_t opTag) {
       obs::internHistogram("net.server.handle_ns", {{"op", "broker_search"}}),
       obs::internHistogram("net.server.handle_ns", {{"op", "substrate"}}),
       obs::internHistogram("net.server.handle_ns", {{"op", "control"}}),
+      obs::internHistogram("net.server.handle_ns", {{"op", "spans"}}),
   };
-  return opTag >= 1 && opTag <= 8 ? ids[opTag] : ids[0];
+  return opTag >= 1 && opTag <= 9 ? ids[opTag] : ids[0];
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -71,6 +72,18 @@ std::size_t internCount() {
 
 thread_local MetricsRegistry* t_registry = nullptr;
 
+// boundedLabelValue state: per (metric, labelKey) set of admitted values.
+// Process-wide like the intern table, and leaked for the same reason.
+struct LabelBoundTable {
+  Mutex mu;
+  std::map<std::string, std::set<std::string>> admitted DPSS_GUARDED_BY(mu);
+};
+
+LabelBoundTable& labelBoundTable() {
+  static LabelBoundTable* table = new LabelBoundTable();
+  return *table;
+}
+
 }  // namespace
 
 MetricId internCounter(std::string name, Labels labels) {
@@ -81,6 +94,18 @@ MetricId internGauge(std::string name, Labels labels) {
 }
 MetricId internHistogram(std::string name, Labels labels) {
   return intern(MetricKind::kHistogram, std::move(name), std::move(labels));
+}
+
+std::string boundedLabelValue(const std::string& metricName,
+                              const std::string& labelKey, std::string value,
+                              std::size_t cap) {
+  LabelBoundTable& table = labelBoundTable();
+  MutexLock lock(table.mu);
+  std::set<std::string>& admitted = table.admitted[metricName + '\x01' + labelKey];
+  if (admitted.count(value) != 0) return value;
+  if (admitted.size() >= cap) return "other";
+  admitted.insert(value);
+  return value;
 }
 
 double HistogramSnapshot::quantile(double q) const {
@@ -369,49 +394,64 @@ std::string jsonEscape(std::string_view s) {
 
 }  // namespace
 
-std::string renderText(const MetricsSnapshot& snapshot) {
-  std::string out;
+namespace {
+
+void renderSampleText(const MetricsSnapshot& snap, const MetricSample& s,
+                      std::set<std::string>& typed, std::string& out) {
   char buf[64];
-  for (const auto& s : snapshot.samples) {
-    const std::string name = sanitizeMetricName(s.name);
+  const std::string name = sanitizeMetricName(s.name);
+  if (typed.insert(name).second) {
     out += "# TYPE " + name + " " + kindName(s.kind) + "\n";
-    switch (s.kind) {
-      case MetricKind::kCounter:
+  }
+  switch (s.kind) {
+    case MetricKind::kCounter:
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.counterValue));
+      out += name + labelBlock(snap, s) + buf;
+      break;
+    case MetricKind::kGauge:
+      std::snprintf(buf, sizeof(buf), " %lld\n",
+                    static_cast<long long>(s.gaugeValue));
+      out += name + labelBlock(snap, s) + buf;
+      break;
+    case MetricKind::kHistogram: {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
+        if (s.histogram.buckets[i] == 0) continue;
+        cumulative += s.histogram.buckets[i];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(Histogram::bucketUpper(i)));
+        out += name + "_bucket" + labelBlock(snap, s, "le", buf);
         std::snprintf(buf, sizeof(buf), " %llu\n",
-                      static_cast<unsigned long long>(s.counterValue));
-        out += name + labelBlock(snapshot, s) + buf;
-        break;
-      case MetricKind::kGauge:
-        std::snprintf(buf, sizeof(buf), " %lld\n",
-                      static_cast<long long>(s.gaugeValue));
-        out += name + labelBlock(snapshot, s) + buf;
-        break;
-      case MetricKind::kHistogram: {
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i < s.histogram.buckets.size(); ++i) {
-          if (s.histogram.buckets[i] == 0) continue;
-          cumulative += s.histogram.buckets[i];
-          std::snprintf(buf, sizeof(buf), "%llu",
-                        static_cast<unsigned long long>(
-                            Histogram::bucketUpper(i)));
-          out += name + "_bucket" + labelBlock(snapshot, s, "le", buf);
-          std::snprintf(buf, sizeof(buf), " %llu\n",
-                        static_cast<unsigned long long>(cumulative));
-          out += buf;
-        }
-        out += name + "_bucket" + labelBlock(snapshot, s, "le", "+Inf");
-        std::snprintf(buf, sizeof(buf), " %llu\n",
-                      static_cast<unsigned long long>(s.histogram.count));
+                      static_cast<unsigned long long>(cumulative));
         out += buf;
-        std::snprintf(buf, sizeof(buf), " %llu\n",
-                      static_cast<unsigned long long>(s.histogram.sum));
-        out += name + "_sum" + labelBlock(snapshot, s) + buf;
-        std::snprintf(buf, sizeof(buf), " %llu\n",
-                      static_cast<unsigned long long>(s.histogram.count));
-        out += name + "_count" + labelBlock(snapshot, s) + buf;
-        break;
       }
+      out += name + "_bucket" + labelBlock(snap, s, "le", "+Inf");
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.histogram.count));
+      out += buf;
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.histogram.sum));
+      out += name + "_sum" + labelBlock(snap, s) + buf;
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.histogram.count));
+      out += name + "_count" + labelBlock(snap, s) + buf;
+      break;
     }
+  }
+}
+
+}  // namespace
+
+std::string renderText(const MetricsSnapshot& snapshot) {
+  return renderTextMulti({snapshot});
+}
+
+std::string renderTextMulti(const std::vector<MetricsSnapshot>& snapshots) {
+  std::string out;
+  std::set<std::string> typed;  // one # TYPE per sanitized name
+  for (const auto& snap : snapshots) {
+    for (const auto& s : snap.samples) renderSampleText(snap, s, typed, out);
   }
   return out;
 }
@@ -464,6 +504,16 @@ std::string renderJson(const MetricsSnapshot& snapshot) {
         out += buf;
         break;
     }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string renderJsonMulti(const std::vector<MetricsSnapshot>& snapshots) {
+  std::string out = "{\"nodes\":[";
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (i > 0) out += ",";
+    out += renderJson(snapshots[i]);
   }
   out += "]}";
   return out;

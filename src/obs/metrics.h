@@ -36,6 +36,7 @@
 
 #include "common/bytes.h"
 #include "common/thread_annotations.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace dpss::obs {
@@ -53,6 +54,18 @@ using MetricId = std::uint32_t;
 MetricId internCounter(std::string name, Labels labels = {});
 MetricId internGauge(std::string name, Labels labels = {});
 MetricId internHistogram(std::string name, Labels labels = {});
+
+/// Bounds the cardinality of a dynamic label value. The first `cap`
+/// distinct values ever seen for (metricName, labelKey) pass through
+/// unchanged; every later value collapses to "other". Required whenever
+/// an intern* label value is not a string literal (segment ids, peer
+/// names, data sources, ...): the intern table is capped at kMaxMetrics
+/// and DPSS_CHECK-aborts on overflow, so an unbounded label value is a
+/// process-killing leak, not just an exposition nuisance. Enforced by
+/// the dpss-lint "metric-label" rule.
+std::string boundedLabelValue(const std::string& metricName,
+                              const std::string& labelKey, std::string value,
+                              std::size_t cap = 16);
 
 /// Monotonic counter. All ops relaxed: totals are exact because every
 /// increment lands; ordering against other metrics is irrelevant.
@@ -155,7 +168,12 @@ class MetricsRegistry {
   Histogram& histogram(MetricId id);
 
   SpanStore& spans() { return spans_; }
+  QueryLog& queryLog() { return queryLog_; }
   const std::string& nodeName() const { return node_; }
+  /// Names the registry after the fact — for the process-global registry,
+  /// whose owner (main) only learns the node name from flags. Call before
+  /// any other thread can snapshot(); the name is unsynchronized.
+  void setNodeName(std::string name) { node_ = std::move(name); }
 
   /// Every cell ever touched in this registry, in MetricId order.
   MetricsSnapshot snapshot() const;
@@ -171,6 +189,7 @@ class MetricsRegistry {
   Mutex mu_;  // guards cell creation only; reads go through the atomics
   std::vector<std::unique_ptr<Cell>> owned_ DPSS_GUARDED_BY(mu_);
   SpanStore spans_;
+  QueryLog queryLog_;
 };
 
 /// Process-global fallback registry (benches, client-side code).
@@ -210,13 +229,23 @@ class ScopedTimer {
 
 // --- exposition ----------------------------------------------------------
 
-/// Prometheus text exposition (one block per sample; histograms expand to
-/// _bucket{le=...}/_sum/_count). Names are sanitized to the Prometheus
-/// charset and prefixed "dpss_"; the registry's node name becomes a
-/// node="..." label.
+/// Prometheus text exposition (histograms expand to
+/// _bucket{le=...}/_sum/_count; one # TYPE line per metric name). Names
+/// are sanitized to the Prometheus charset and prefixed "dpss_"; the
+/// registry's node name becomes a node="..." label.
 std::string renderText(const MetricsSnapshot& snapshot);
+
+/// Prometheus text over several registries at once (the admin server
+/// serves the node registry merged with the process-global one, since
+/// net.server.* lands in the global registry while rpc.* lands in the
+/// node's). Samples sharing a name render under a single # TYPE line and
+/// stay distinguishable by their node label.
+std::string renderTextMulti(const std::vector<MetricsSnapshot>& snapshots);
 
 /// Compact JSON: {"node":...,"metrics":[{name, kind, value|histogram}]}.
 std::string renderJson(const MetricsSnapshot& snapshot);
+
+/// JSON over several registries: {"nodes":[<renderJson>, ...]}.
+std::string renderJsonMulti(const std::vector<MetricsSnapshot>& snapshots);
 
 }  // namespace dpss::obs

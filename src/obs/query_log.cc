@@ -1,0 +1,117 @@
+#include "obs/query_log.h"
+
+#include <cstdio>
+
+namespace dpss::obs {
+
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void appendU64(std::string& out, const char* key, std::uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void QueryLog::record(QueryLogRecord record) {
+  MutexLock lock(mu_);
+  ++total_;
+  if (record.notable(options_.slowThresholdNs)) {
+    kept_.push_back(record);
+    while (kept_.size() > options_.keptCapacity) kept_.pop_front();
+  }
+  recent_.push_back(std::move(record));
+  while (recent_.size() > options_.recentCapacity) recent_.pop_front();
+}
+
+void QueryLog::setSlowThresholdNs(std::uint64_t ns) {
+  MutexLock lock(mu_);
+  options_.slowThresholdNs = ns;
+}
+
+std::uint64_t QueryLog::slowThresholdNs() const {
+  MutexLock lock(mu_);
+  return options_.slowThresholdNs;
+}
+
+std::vector<QueryLogRecord> QueryLog::recent() const {
+  MutexLock lock(mu_);
+  return {recent_.rbegin(), recent_.rend()};
+}
+
+std::vector<QueryLogRecord> QueryLog::kept() const {
+  MutexLock lock(mu_);
+  return {kept_.rbegin(), kept_.rend()};
+}
+
+std::uint64_t QueryLog::totalRecorded() const {
+  MutexLock lock(mu_);
+  return total_;
+}
+
+std::string renderQueryLogLine(const QueryLogRecord& r) {
+  std::string out = "{";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"trace_id\":\"%016llx\",",
+                static_cast<unsigned long long>(r.traceId));
+  out += buf;
+  out += "\"kind\":\"" + escape(r.kind) + "\",";
+  out += "\"target\":\"" + escape(r.target) + "\",";
+  appendU64(out, "start_ns", r.startNs);
+  out += ",";
+  appendU64(out, "duration_ns", r.durationNs);
+  out += ",";
+  appendU64(out, "segments_queried", r.segmentsQueried);
+  out += ",";
+  appendU64(out, "cache_hits", r.cacheHits);
+  out += ",";
+  appendU64(out, "bytes_moved", r.bytesMoved);
+  out += ",\"partial\":";
+  out += r.partial ? "true" : "false";
+  out += ",\"unreachable_segments\":[";
+  for (std::size_t i = 0; i < r.unreachableSegments.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"';
+    out += escape(r.unreachableSegments[i]);
+    out += '"';
+  }
+  out += "],\"segments\":[";
+  for (std::size_t i = 0; i < r.segments.size(); ++i) {
+    const auto& s = r.segments[i];
+    if (i > 0) out += ",";
+    out += "{\"segment\":\"" + escape(s.segment) + "\",";
+    out += "\"node\":\"" + escape(s.node) + "\",";
+    appendU64(out, "latency_ns", s.latencyNs);
+    out += ",\"outcome\":\"" + escape(s.outcome) + "\"}";
+  }
+  out += "]";
+  if (!r.error.empty()) out += ",\"error\":\"" + escape(r.error) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string renderQueryLogLines(const std::vector<QueryLogRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += renderQueryLogLine(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dpss::obs

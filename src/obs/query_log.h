@@ -1,0 +1,95 @@
+// Slow-query log with per-segment latency attribution (§IV's evaluation
+// questions — "where does a scatter spend its time" — asked of a live
+// broker instead of a bench).
+//
+// Brokers append one structured record per distributed query: the trace
+// id (joinable against the assembled trace tree), the per-segment latency
+// breakdown with each hop's outcome, retries folded into the latency,
+// partial-result bookkeeping, and bytes moved. Two bounded rings provide
+// the retention policy:
+//   * `recent` — every query, newest-first, FIFO eviction; a rolling
+//     window for /tracez and dpss_dump.
+//   * `kept`   — only queries worth keeping: over the slow threshold,
+//     typed-partial outcomes, or errors. Also FIFO-bounded, but because
+//     admission is selective a burst of fast healthy traffic can never
+//     flush out the interesting records.
+// Exposition is JSON-lines (one record per line) so logs can be streamed
+// to a file and grepped/jq'd without a parser.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace dpss::obs {
+
+/// One segment-level hop of a distributed query, as the broker saw it.
+struct QuerySegmentLatency {
+  std::string segment;
+  std::string node;  // replica that answered ("" when none did)
+  std::uint64_t latencyNs = 0;
+  /// "ok" | "cache_hit" | "cache_after_loss" | "unreachable"
+  std::string outcome;
+};
+
+struct QueryLogRecord {
+  std::uint64_t traceId = 0;
+  std::string kind;    // "query" | "pss"
+  std::string target;  // data source / document source
+  std::uint64_t startNs = 0;
+  std::uint64_t durationNs = 0;
+  std::size_t segmentsQueried = 0;
+  std::size_t cacheHits = 0;
+  std::uint64_t bytesMoved = 0;  // response payload bytes merged
+  bool partial = false;
+  std::vector<std::string> unreachableSegments;
+  std::vector<QuerySegmentLatency> segments;
+  std::string error;  // nonempty when the query threw
+
+  /// Worth keeping regardless of age: slow, partial, or errored.
+  bool notable(std::uint64_t slowThresholdNs) const {
+    return durationNs >= slowThresholdNs || partial || !error.empty();
+  }
+};
+
+class QueryLog {
+ public:
+  struct Options {
+    std::size_t recentCapacity = 256;
+    std::size_t keptCapacity = 256;
+    std::uint64_t slowThresholdNs = 500'000'000;  // 500ms
+  };
+
+  QueryLog() : QueryLog(Options()) {}
+  explicit QueryLog(Options options) : options_(options) {}
+
+  void record(QueryLogRecord record);
+
+  /// Retention knob (broker --slow-query-ms); 0 keeps every query.
+  void setSlowThresholdNs(std::uint64_t ns);
+  std::uint64_t slowThresholdNs() const;
+
+  /// Rolling window of all queries, newest first.
+  std::vector<QueryLogRecord> recent() const;
+  /// Slow/partial/errored queries, newest first.
+  std::vector<QueryLogRecord> kept() const;
+  std::uint64_t totalRecorded() const;
+
+ private:
+  mutable Mutex mu_;
+  Options options_;  // slowThresholdNs mutable under mu_
+  std::deque<QueryLogRecord> recent_ DPSS_GUARDED_BY(mu_);
+  std::deque<QueryLogRecord> kept_ DPSS_GUARDED_BY(mu_);
+  std::uint64_t total_ DPSS_GUARDED_BY(mu_) = 0;
+};
+
+/// One record as a single JSON object (no trailing newline).
+std::string renderQueryLogLine(const QueryLogRecord& record);
+
+/// JSON-lines: one renderQueryLogLine per record, newline-terminated.
+std::string renderQueryLogLines(const std::vector<QueryLogRecord>& records);
+
+}  // namespace dpss::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 #include "common/logging.h"
@@ -19,7 +21,12 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 std::uint64_t nextId() {
-  static std::atomic<std::uint64_t> counter{1};
+  // Span ids must be unique across every *process* in a cluster — the
+  // trace sink stitches parent links by id, and a collision silently
+  // re-parents another node's span. Start the counter from per-process
+  // entropy so no two processes walk the same splitmix64 sequence.
+  static std::atomic<std::uint64_t> counter{
+      splitmix64(static_cast<std::uint64_t>(::getpid()) ^ nowNanos())};
   std::uint64_t id = 0;
   // splitmix64 is a bijection over nonzero seeds here, but guard anyway:
   // a zero id would read as "not tracing".
@@ -86,6 +93,26 @@ void SpanStore::record(Span span) {
     ++dropped_;
   }
   spans_.push_back(std::move(span));
+  ++nextSeq_;
+}
+
+std::vector<Span> SpanStore::collectSince(std::uint64_t* cursor) const {
+  MutexLock lock(mu_);
+  const std::uint64_t firstSeq = nextSeq_ - spans_.size();
+  std::uint64_t from = *cursor;
+  if (from < firstSeq) from = firstSeq;  // the cap evicted the gap
+  std::vector<Span> out;
+  if (from < nextSeq_) {
+    out.assign(spans_.begin() + static_cast<std::ptrdiff_t>(from - firstSeq),
+               spans_.end());
+  }
+  *cursor = nextSeq_;
+  return out;
+}
+
+std::size_t SpanStore::droppedBatches() const {
+  MutexLock lock(mu_);
+  return dropped_;
 }
 
 std::vector<Span> SpanStore::forTrace(std::uint64_t traceId) const {

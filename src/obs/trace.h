@@ -62,11 +62,24 @@ class SpanStore {
   std::size_t size() const;
   void clear();
 
+  /// Incremental drain for span shipping: returns every span recorded at
+  /// or after *cursor (a monotone per-store sequence number; start from
+  /// 0), oldest first, and advances *cursor past them. Spans the cap
+  /// already evicted are skipped silently — shipping is lossy-but-bounded
+  /// by design, and droppedBatches() tells the operator it happened.
+  std::vector<Span> collectSince(std::uint64_t* cursor) const;
+
+  /// Times the cap dropped the oldest half of the buffer.
+  std::size_t droppedBatches() const;
+
  private:
   mutable Mutex mu_;
   std::size_t capacity_;  // set once in the constructor
   std::vector<Span> spans_ DPSS_GUARDED_BY(mu_);
   std::size_t dropped_ DPSS_GUARDED_BY(mu_) = 0;
+  // Sequence number of the next span record() will append; spans_[i] has
+  // sequence nextSeq_ - spans_.size() + i.
+  std::uint64_t nextSeq_ DPSS_GUARDED_BY(mu_) = 0;
 };
 
 /// Steady-clock nanoseconds (the time base of every span and histogram).

@@ -1,0 +1,308 @@
+#include "obs/trace_assembly.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace dpss::obs {
+
+namespace {
+
+void sortChildren(TraceNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const TraceNode& a, const TraceNode& b) {
+              return a.span.startNs < b.span.startNs;
+            });
+  for (auto& c : node.children) sortChildren(c);
+}
+
+TraceNode buildNode(const Span& span,
+                    const std::multimap<std::uint64_t, const Span*>& byParent,
+                    std::set<std::uint64_t>& placed) {
+  TraceNode node;
+  node.span = span;
+  auto [lo, hi] = byParent.equal_range(span.spanId);
+  for (auto it = lo; it != hi; ++it) {
+    const Span& child = *it->second;
+    if (!placed.insert(child.spanId).second) continue;  // id collision guard
+    TraceNode childNode = buildNode(child, byParent, placed);
+    if (child.node != span.node) {
+      childNode.wireNs = span.durationNs > child.durationNs
+                             ? span.durationNs - child.durationNs
+                             : 0;
+    }
+    node.children.push_back(std::move(childNode));
+  }
+  return node;
+}
+
+const TraceNode* findIn(const std::vector<TraceNode>& nodes,
+                        std::string_view name) {
+  for (const auto& n : nodes) {
+    if (n.span.name == name) return &n;
+    if (const TraceNode* hit = findIn(n.children, name)) return hit;
+  }
+  return nullptr;
+}
+
+std::string fmtMs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void renderNodeText(const TraceNode& node, std::size_t depth,
+                    std::string& out) {
+  out.append(2 + depth * 2, ' ');
+  out += node.span.name;
+  for (const auto& [k, v] : node.span.tags) {
+    out += " " + k + "=" + v;
+  }
+  out += "  [" + (node.span.node.empty() ? "-" : node.span.node) + "]  " +
+         fmtMs(node.span.durationNs);
+  if (node.wireNs > 0) out += "  (wire " + fmtMs(node.wireNs) + ")";
+  out += "\n";
+  for (const auto& c : node.children) renderNodeText(c, depth + 1, out);
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void renderNodeJson(const TraceNode& node, std::string& out) {
+  char buf[96];
+  out += "{\"name\":\"" + jsonEscape(node.span.name) + "\",\"node\":\"" +
+         jsonEscape(node.span.node) + "\"";
+  std::snprintf(buf, sizeof(buf),
+                ",\"start_ns\":%llu,\"duration_ns\":%llu,\"wire_ns\":%llu",
+                static_cast<unsigned long long>(node.span.startNs),
+                static_cast<unsigned long long>(node.span.durationNs),
+                static_cast<unsigned long long>(node.wireNs));
+  out += buf;
+  if (!node.span.tags.empty()) {
+    out += ",\"tags\":{";
+    for (std::size_t i = 0; i < node.span.tags.size(); ++i) {
+      if (i > 0) out += ",";
+      out += '"';
+      out += jsonEscape(node.span.tags[i].first);
+      out += "\":\"";
+      out += jsonEscape(node.span.tags[i].second);
+      out += '"';
+    }
+    out += "}";
+  }
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ",";
+    renderNodeJson(node.children[i], out);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+const TraceNode* TraceTree::find(std::string_view name) const {
+  return findIn(roots, name);
+}
+
+TraceTree assembleTrace(std::vector<Span> spans) {
+  TraceTree tree;
+  if (spans.empty()) return tree;
+  tree.traceId = spans.front().traceId;
+  tree.spanCount = spans.size();
+
+  std::set<std::uint64_t> spanIds;
+  std::set<std::string> nodes;
+  std::uint64_t minStart = ~0ULL;
+  for (const auto& s : spans) {
+    spanIds.insert(s.spanId);
+    if (!s.node.empty()) nodes.insert(s.node);
+    minStart = std::min(minStart, s.startNs);
+    tree.durationNs = std::max(tree.durationNs, s.durationNs);
+  }
+  tree.startNs = minStart;
+  tree.nodes.assign(nodes.begin(), nodes.end());
+
+  std::multimap<std::uint64_t, const Span*> byParent;
+  for (const auto& s : spans) byParent.emplace(s.parentId, &s);
+
+  // Roots: parentId 0, or a parent that never arrived (dropped ring,
+  // still-open span) — those orphans must stay visible.
+  std::set<std::uint64_t> placed;
+  for (const auto& s : spans) {
+    const bool isRoot = s.parentId == 0 || spanIds.count(s.parentId) == 0;
+    if (!isRoot) continue;
+    if (!placed.insert(s.spanId).second) continue;
+    tree.roots.push_back(buildNode(s, byParent, placed));
+  }
+  std::sort(tree.roots.begin(), tree.roots.end(),
+            [](const TraceNode& a, const TraceNode& b) {
+              return a.span.startNs < b.span.startNs;
+            });
+  for (auto& r : tree.roots) sortChildren(r);
+  return tree;
+}
+
+std::vector<TraceTree> assembleTraces(std::vector<Span> spans) {
+  std::map<std::uint64_t, std::vector<Span>> byTrace;
+  for (auto& s : spans) byTrace[s.traceId].push_back(std::move(s));
+  std::vector<TraceTree> trees;
+  trees.reserve(byTrace.size());
+  for (auto& [id, group] : byTrace) trees.push_back(assembleTrace(std::move(group)));
+  std::sort(trees.begin(), trees.end(),
+            [](const TraceTree& a, const TraceTree& b) {
+              return a.startNs < b.startNs;
+            });
+  return trees;
+}
+
+std::string renderTraceText(const TraceTree& tree) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "trace %016llx",
+                static_cast<unsigned long long>(tree.traceId));
+  std::string out = buf;
+  out += "  " + fmtMs(tree.durationNs);
+  std::snprintf(buf, sizeof(buf), "  %zu spans  nodes:", tree.spanCount);
+  out += buf;
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    out += i == 0 ? " " : ",";
+    out += tree.nodes[i];
+  }
+  out += "\n";
+  for (const auto& r : tree.roots) renderNodeText(r, 0, out);
+  return out;
+}
+
+std::string renderTraceJson(const TraceTree& tree) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"trace_id\":\"%016llx\"",
+                static_cast<unsigned long long>(tree.traceId));
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"start_ns\":%llu,\"duration_ns\":%llu,\"span_count\":%zu",
+                static_cast<unsigned long long>(tree.startNs),
+                static_cast<unsigned long long>(tree.durationNs),
+                tree.spanCount);
+  out += buf;
+  out += ",\"nodes\":[";
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"';
+    out += jsonEscape(tree.nodes[i]);
+    out += '"';
+  }
+  out += "],\"spans\":[";
+  for (std::size_t i = 0; i < tree.roots.size(); ++i) {
+    if (i > 0) out += ",";
+    renderNodeJson(tree.roots[i], out);
+  }
+  out += "]}";
+  return out;
+}
+
+void TraceCollector::add(std::vector<Span> spans) {
+  MutexLock lock(mu_);
+  for (auto& s : spans) {
+    ++received_;
+    auto& entry = live_[s.traceId];
+    entry.lastTouch = ++touchCounter_;
+    entry.maxDurationNs = std::max(entry.maxDurationNs, s.durationNs);
+    if (entry.spans.size() < options_.maxSpansPerTrace) {
+      entry.spans.push_back(std::move(s));
+    }
+  }
+  while (live_.size() > options_.maxTraces) evictOneLocked();
+}
+
+void TraceCollector::evictOneLocked() {
+  auto victim = live_.begin();
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->second.lastTouch < victim->second.lastTouch) victim = it;
+  }
+  // Demote rather than discard when the victim is among the slowest.
+  if (options_.slowKeep > 0) {
+    if (slow_.size() < options_.slowKeep) {
+      slow_[victim->first] = std::move(victim->second);
+    } else {
+      auto fastest = slow_.begin();
+      for (auto it = slow_.begin(); it != slow_.end(); ++it) {
+        if (it->second.maxDurationNs < fastest->second.maxDurationNs) {
+          fastest = it;
+        }
+      }
+      if (victim->second.maxDurationNs > fastest->second.maxDurationNs) {
+        slow_.erase(fastest);
+        slow_[victim->first] = std::move(victim->second);
+      }
+    }
+  }
+  live_.erase(victim);
+}
+
+std::vector<TraceTree> TraceCollector::recent(std::size_t n) const {
+  MutexLock lock(mu_);
+  std::vector<const std::pair<const std::uint64_t, Entry>*> entries;
+  entries.reserve(live_.size());
+  for (const auto& e : live_) entries.push_back(&e);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    return a->second.lastTouch > b->second.lastTouch;
+  });
+  std::vector<TraceTree> out;
+  for (const auto* e : entries) {
+    if (out.size() >= n) break;
+    out.push_back(assembleTrace(e->second.spans));
+  }
+  return out;
+}
+
+std::vector<TraceTree> TraceCollector::slowest(std::size_t n) const {
+  MutexLock lock(mu_);
+  std::vector<const std::pair<const std::uint64_t, Entry>*> entries;
+  entries.reserve(live_.size() + slow_.size());
+  for (const auto& e : live_) entries.push_back(&e);
+  for (const auto& e : slow_) entries.push_back(&e);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    return a->second.maxDurationNs > b->second.maxDurationNs;
+  });
+  std::vector<TraceTree> out;
+  for (const auto* e : entries) {
+    if (out.size() >= n) break;
+    out.push_back(assembleTrace(e->second.spans));
+  }
+  return out;
+}
+
+std::vector<Span> TraceCollector::spansFor(std::uint64_t traceId) const {
+  MutexLock lock(mu_);
+  std::vector<Span> out;
+  const auto take = [&](const std::map<std::uint64_t, Entry>& table) {
+    for (const auto& [id, entry] : table) {
+      if (traceId != 0 && id != traceId) continue;
+      out.insert(out.end(), entry.spans.begin(), entry.spans.end());
+    }
+  };
+  take(live_);
+  take(slow_);
+  return out;
+}
+
+std::size_t TraceCollector::traceCount() const {
+  MutexLock lock(mu_);
+  return live_.size() + slow_.size();
+}
+
+std::uint64_t TraceCollector::spansReceived() const {
+  MutexLock lock(mu_);
+  return received_;
+}
+
+}  // namespace dpss::obs

@@ -1,0 +1,111 @@
+// Cross-process trace assembly — the coordinator's half of the tracing
+// story. Worker nodes record finished spans into their bounded SpanStore
+// (obs/trace.h) and ship batches to the coordinator (cluster/span_ship.h,
+// rpc::kSpans); this file stitches every span sharing a trace id back
+// into a tree, so one PSS query renders as
+//   client -> broker scatter -> per-historical slice scans -> fold -> gather
+// with per-hop wire time separated from handler time.
+//
+// Wire-time attribution: a child span recorded on a *different* node than
+// its parent got there over an RPC, so the slice of the parent's duration
+// its handler did not account for is wire + queue + frame time:
+//   wireNs = parent.durationNs - child.durationNs   (clamped at 0)
+// Spans use CLOCK_MONOTONIC, which all processes on one host share, so
+// nesting assertions across processes are meaningful; the subtraction
+// above never compares absolute timestamps across hosts, only durations,
+// so it stays valid even without a shared clock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/trace.h"
+
+namespace dpss::obs {
+
+/// One span with its resolved children (children sorted by startNs).
+struct TraceNode {
+  Span span;
+  /// Wire + queue time for a remote hop: parent duration minus this
+  /// handler's duration. 0 for same-node children and for roots.
+  std::uint64_t wireNs = 0;
+  std::vector<TraceNode> children;
+};
+
+/// One assembled trace. Spans whose parent never arrived (dropped by a
+/// ring, or the parent is still open) surface as extra roots rather than
+/// vanishing.
+struct TraceTree {
+  std::uint64_t traceId = 0;
+  std::uint64_t startNs = 0;     // earliest span start
+  std::uint64_t durationNs = 0;  // longest span duration (the root's, normally)
+  std::size_t spanCount = 0;
+  std::vector<std::string> nodes;  // distinct recording nodes, sorted
+  std::vector<TraceNode> roots;    // sorted by startNs
+
+  /// Depth-first search for the first node with this span name.
+  const TraceNode* find(std::string_view name) const;
+};
+
+TraceTree assembleTrace(std::vector<Span> spans);
+
+/// Groups by trace id and assembles each; trees sorted by startNs.
+std::vector<TraceTree> assembleTraces(std::vector<Span> spans);
+
+/// Human-readable tree (one span per line, indented, durations in ms).
+std::string renderTraceText(const TraceTree& tree);
+
+/// JSON: {"trace_id","start_ns","duration_ns","span_count","nodes",
+///        "spans":[recursive {name,node,start_ns,duration_ns,wire_ns,
+///                            tags,children}]}.
+std::string renderTraceJson(const TraceTree& tree);
+
+/// Bounded sink for shipped spans, keyed by trace id. Eviction is
+/// least-recently-updated, but a trace evicted from the live table whose
+/// root duration ranks among the slowest seen is demoted into a small
+/// side table instead of discarded — so /tracez can always answer "what
+/// were the slowest queries" even after a flood of fast traffic.
+class TraceCollector {
+ public:
+  struct Options {
+    std::size_t maxTraces = 256;
+    std::size_t maxSpansPerTrace = 512;
+    std::size_t slowKeep = 32;
+  };
+
+  TraceCollector() : TraceCollector(Options()) {}
+  explicit TraceCollector(Options options) : options_(options) {}
+
+  void add(std::vector<Span> spans);
+
+  /// Most recently updated traces, assembled, newest first.
+  std::vector<TraceTree> recent(std::size_t n) const;
+  /// Slowest traces (live + demoted), assembled, slowest first.
+  std::vector<TraceTree> slowest(std::size_t n) const;
+  /// Raw spans for one trace (0 = every buffered span), live + demoted.
+  std::vector<Span> spansFor(std::uint64_t traceId) const;
+  std::size_t traceCount() const;
+  std::uint64_t spansReceived() const;
+
+ private:
+  struct Entry {
+    std::vector<Span> spans;
+    std::uint64_t lastTouch = 0;
+    std::uint64_t maxDurationNs = 0;
+  };
+
+  void evictOneLocked() DPSS_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  Options options_;
+  std::uint64_t touchCounter_ DPSS_GUARDED_BY(mu_) = 0;
+  std::uint64_t received_ DPSS_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, Entry> live_ DPSS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, Entry> slow_ DPSS_GUARDED_BY(mu_);
+};
+
+}  // namespace dpss::obs

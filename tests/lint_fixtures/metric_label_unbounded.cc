@@ -1,0 +1,39 @@
+// dpss-lint-fixture: expect(metric-label)
+//
+// A label value that varies with input interns a fresh metric series per
+// distinct value. The registry's table is fixed (kMaxMetrics) and a
+// DPSS_CHECK aborts the process when it fills, so an unbounded label —
+// a node name from the registry, an HTTP path, a segment id — is a
+// process-killing cardinality leak. Values must be string literals or go
+// through obs::boundedLabelValue(), which admits a capped set and folds
+// the tail into "other".
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dpss {
+
+void perNode(const std::string& nodeName) {
+  // flagged: nodeName is unbounded input
+  obs::currentRegistry()
+      .counter(obs::internCounter("rpc.calls", {{"node", nodeName}}))
+      .inc();
+}
+
+void perPath(const std::string& path) {
+  // fine: the cardinality is capped, the tail folds into "other"
+  obs::currentRegistry()
+      .counter(obs::internCounter(
+          "http.requests",
+          {{"path", obs::boundedLabelValue("http.requests", "path", path)}}))
+      .inc();
+}
+
+void fixedOp() {
+  // fine: a literal is bounded by definition
+  obs::currentRegistry()
+      .counter(obs::internCounter("rpc.calls", {{"op", "query"}}))
+      .inc();
+}
+
+}  // namespace dpss

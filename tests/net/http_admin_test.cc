@@ -1,0 +1,231 @@
+// HTTP admin server: normal requests, the admin-plane endpoints, and the
+// hostile inputs a debug port must survive — oversized request lines,
+// pipelined garbage, and a slowloris client that dribbles bytes until the
+// request deadline cuts it off.
+#include "net/http_admin.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "net/admin_plane.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_assembly.h"
+
+namespace dpss::net {
+namespace {
+
+/// One round-trip: connect, send `raw` verbatim, read until the server
+/// closes (every admin response is Connection: close).
+std::string rawRequest(std::uint16_t port, const std::string& raw,
+                       TimeMs deadlineMs = 2000) {
+  Clock& clock = SystemClock::instance();
+  const TimeMs deadlineAt = clock.nowMs() + deadlineMs;
+  Fd fd = connectWithDeadline({"127.0.0.1", port}, clock, deadlineAt);
+  sendAll(fd, raw, clock, deadlineAt);
+  std::string response;
+  for (;;) {
+    const std::string chunk = recvSome(fd, clock, deadlineAt);
+    if (chunk.empty()) break;  // peer closed
+    response += chunk;
+  }
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return rawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+int statusOf(const std::string& response) {
+  if (response.size() < 12 || response.substr(0, 5) != "HTTP/") return -1;
+  return std::stoi(response.substr(9, 3));
+}
+
+std::string bodyOf(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+class HttpAdminTest : public ::testing::Test {
+ protected:
+  void startServer(HttpAdminOptions options = {}) {
+    server_ = std::make_unique<HttpAdminServer>(SystemClock::instance(),
+                                                options);
+    server_->route("/ping", [](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+    });
+    server_->route("/echo", [](const HttpRequest& req) {
+      std::string body;
+      for (const auto& [k, v] : req.query) body += k + "=" + v + "\n";
+      return HttpResponse{200, "text/plain; charset=utf-8", body};
+    });
+    server_->route("/boom", [](const HttpRequest&) -> HttpResponse {
+      throw std::runtime_error("handler exploded");
+    });
+    server_->start();
+  }
+
+  std::unique_ptr<HttpAdminServer> server_;
+};
+
+TEST_F(HttpAdminTest, ServesRoutedHandlers) {
+  startServer();
+  const std::string resp = get(server_->port(), "/ping");
+  EXPECT_EQ(statusOf(resp), 200);
+  EXPECT_EQ(bodyOf(resp), "pong\n");
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(HttpAdminTest, DecodesQueryParameters) {
+  startServer();
+  const std::string resp =
+      get(server_->port(), "/echo?trace=abc123&n=5&pct=a%20b");
+  EXPECT_EQ(statusOf(resp), 200);
+  const std::string body = bodyOf(resp);
+  EXPECT_NE(body.find("trace=abc123"), std::string::npos);
+  EXPECT_NE(body.find("n=5"), std::string::npos);
+  EXPECT_NE(body.find("pct=a b"), std::string::npos);
+}
+
+TEST_F(HttpAdminTest, UnknownPathIs404ListingRoutes) {
+  startServer();
+  const std::string resp = get(server_->port(), "/nope");
+  EXPECT_EQ(statusOf(resp), 404);
+  EXPECT_NE(bodyOf(resp).find("/ping"), std::string::npos);
+}
+
+TEST_F(HttpAdminTest, NonGetIs405) {
+  startServer();
+  const std::string resp = rawRequest(
+      server_->port(), "POST /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(statusOf(resp), 405);
+}
+
+TEST_F(HttpAdminTest, HandlerExceptionIs500NotACrash) {
+  startServer();
+  EXPECT_EQ(statusOf(get(server_->port(), "/boom")), 500);
+  // The server survives and keeps serving.
+  EXPECT_EQ(statusOf(get(server_->port(), "/ping")), 200);
+}
+
+TEST_F(HttpAdminTest, MalformedRequestLineIs400) {
+  startServer();
+  EXPECT_EQ(statusOf(rawRequest(server_->port(), "garbage\r\n\r\n")), 400);
+  EXPECT_EQ(statusOf(rawRequest(server_->port(),
+                                "GET noslash HTTP/1.1\r\n\r\n")),
+            400);
+  EXPECT_EQ(statusOf(rawRequest(server_->port(), "GET / SPDY/3\r\n\r\n")),
+            400);
+}
+
+TEST_F(HttpAdminTest, OversizedRequestLineIs431) {
+  HttpAdminOptions options;
+  options.maxRequestBytes = 512;
+  startServer(options);
+  const std::string resp = rawRequest(
+      server_->port(),
+      "GET /" + std::string(4096, 'a') + " HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusOf(resp), 431);
+}
+
+TEST_F(HttpAdminTest, PipelinedGarbageAfterTheRequestIsNeverParsed) {
+  startServer();
+  // One valid request followed by junk on the same connection: the
+  // response must answer the first request and close — the junk dies
+  // with the Connection: close, never reaching the parser.
+  const std::string resp = rawRequest(
+      server_->port(),
+      "GET /ping HTTP/1.1\r\n\r\n\x01\x02garbage GET /boom HTTP/9.9\r\n\r\n");
+  EXPECT_EQ(statusOf(resp), 200);
+  EXPECT_EQ(bodyOf(resp), "pong\n");
+  // Exactly one response came back before the close.
+  EXPECT_EQ(resp.find("HTTP/1.1", 1), std::string::npos);
+}
+
+TEST_F(HttpAdminTest, SlowlorisHitsTheRequestDeadline) {
+  HttpAdminOptions options;
+  options.requestDeadlineMs = 200;  // fast cutoff for the test
+  startServer(options);
+  Clock& clock = SystemClock::instance();
+  const TimeMs deadlineAt = clock.nowMs() + 5000;
+  Fd fd = connectWithDeadline({"127.0.0.1", server_->port()}, clock,
+                              deadlineAt);
+  // Dribble a partial request and stall; never send the blank line.
+  sendAll(fd, "GET /ping HT", clock, deadlineAt);
+  std::string response;
+  for (;;) {
+    std::string chunk;
+    try {
+      chunk = recvSome(fd, clock, deadlineAt);
+    } catch (const Error&) {
+      break;  // reset by the server's close is also acceptable
+    }
+    if (chunk.empty()) break;  // server cut the connection
+    response += chunk;
+  }
+  // The sweep answers 408 (best-effort) and always closes the socket.
+  if (!response.empty()) {
+    EXPECT_EQ(statusOf(response), 408);
+  }
+}
+
+TEST_F(HttpAdminTest, AdminPlaneServesMetricsHealthzAndTracez) {
+  obs::MetricsRegistry registry("test-node");
+  registry.counter(obs::internCounter("admin.test.hits")).inc(7);
+  obs::TraceCollector traces;
+  {
+    obs::ScopedRegistry scope(registry);
+    obs::SpanGuard span("admin.test.query");
+  }
+  traces.add(registry.spans().all());
+
+  AdminPlane plane;
+  plane.nodeName = "test-node";
+  plane.role = "broker";
+  plane.registry = &registry;
+  plane.traces = &traces;
+  plane.leaseState = [] { return std::string("active"); };
+  plane.servedSegments = [] {
+    return std::vector<std::string>{"ads/2020/v1"};
+  };
+  plane.startNs = obs::nowNanos();
+
+  HttpAdminServer server(SystemClock::instance(), {});
+  bindAdminEndpoints(server, plane);
+  server.start();
+
+  const std::string metrics = get(server.port(), "/metrics");
+  EXPECT_EQ(statusOf(metrics), 200);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("dpss_admin_test_hits{node=\"test-node\"} 7"),
+            std::string::npos);
+  // rpc.* series exist even before any RPC ran (pre-touched).
+  EXPECT_NE(metrics.find("dpss_rpc_attempts"), std::string::npos);
+
+  const std::string healthz = get(server.port(), "/healthz");
+  EXPECT_EQ(statusOf(healthz), 200);
+  EXPECT_NE(healthz.find("\"role\":\"broker\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"registry_lease\":\"active\""),
+            std::string::npos);
+
+  const std::string statusz = get(server.port(), "/statusz");
+  EXPECT_EQ(statusOf(statusz), 200);
+  EXPECT_NE(statusz.find("ads/2020/v1"), std::string::npos);
+
+  const std::string tracez = get(server.port(), "/tracez");
+  EXPECT_EQ(statusOf(tracez), 200);
+  EXPECT_NE(tracez.find("admin.test.query"), std::string::npos);
+
+  const std::string metricsJson = get(server.port(), "/metrics.json");
+  EXPECT_EQ(statusOf(metricsJson), 200);
+  EXPECT_NE(metricsJson.find("\"name\":\"admin.test.hits\""),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace dpss::net

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <set>
 #include <string>
@@ -19,6 +20,7 @@
 #include "cluster/metastore.h"
 #include "cluster/pss_client.h"
 #include "cluster/rpc_policy.h"
+#include "cluster/span_ship.h"
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/interval.h"
@@ -27,6 +29,8 @@
 #include "net/socket.h"
 #include "net/subprocess.h"
 #include "net/substrate.h"
+#include "obs/trace.h"
+#include "obs/trace_assembly.h"
 #include "pss/session.h"
 #include "query/query.h"
 #include "storage/adtech.h"
@@ -43,6 +47,27 @@ std::uint16_t freePort() {
   const std::uint16_t port = boundPort(probe);
   probe.reset();
   return port;
+}
+
+/// Minimal HTTP client for the admin plane: one GET, read to close.
+std::string httpGet(Clock& clock, std::uint16_t port,
+                    const std::string& path) {
+  const TimeMs deadlineAt = clock.nowMs() + 5'000;
+  Fd fd = connectWithDeadline({"127.0.0.1", port}, clock, deadlineAt);
+  sendAll(fd, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n", clock,
+          deadlineAt);
+  std::string response;
+  for (;;) {
+    const std::string chunk = recvSome(fd, clock, deadlineAt);
+    if (chunk.empty()) break;  // Connection: close
+    response += chunk;
+  }
+  return response;
+}
+
+std::string httpBody(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
 }
 
 query::QuerySpec countQuery(const std::string& dataSource) {
@@ -287,6 +312,255 @@ TEST_F(MultiprocessClusterTest, FiveProcessesAnswerQueriesAndPss) {
     return !healed.partial() && healed.rows.size() == 1 &&
            healed.rows[0].values[0] == 5 * 120.0;
   })) << "broker never saw the healed timeline";
+
+  // --- graceful shutdown ----------------------------------------------
+  for (const auto& name : names_) {
+    if (name == victim) continue;
+    controlShutdown(driver, name);
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == victim) continue;
+    const int status = procs_[i].wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << names_[i] << " exited with status " << status;
+  }
+}
+
+// The observability plane across real processes: every node serves
+// Prometheus text on its admin port, the coordinator assembles the spans
+// the other processes ship into one PSS trace with the scatter topology
+// and monotone nested timestamps, and the broker's slow-query log
+// captures an injected-crash partial query with its unreachable
+// segments.
+TEST_F(MultiprocessClusterTest, AdminPlaneAssemblesCrossProcessTraces) {
+  const std::uint16_t coordPort = freePort();
+  const std::uint16_t histAPort = freePort();
+  const std::uint16_t histBPort = freePort();
+  const std::uint16_t brokerPort = freePort();
+  const std::uint16_t coordAdmin = freePort();
+  const std::uint16_t histAAdmin = freePort();
+  const std::uint16_t histBAdmin = freePort();
+  const std::uint16_t brokerAdmin = freePort();
+
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"substrate", coordPort},
+      {"coordinator", coordPort},
+      {"hist-a", histAPort},
+      {"hist-b", histBPort},
+      {"broker", brokerPort},
+  };
+
+  spawnRole("coordinator", "coordinator", coordPort, wiring,
+            {"--admin-port", std::to_string(coordAdmin)});
+  spawnRole("historical", "hist-a", histAPort, wiring,
+            {"--admin-port", std::to_string(histAAdmin)});
+  spawnRole("historical", "hist-b", histBPort, wiring,
+            {"--admin-port", std::to_string(histBAdmin)});
+  // Cache off so the kill phase below produces a genuine partial result
+  // for the slow-query log, not a cached serve.
+  spawnRole("broker", "broker", brokerPort, wiring,
+            {"--broker-cache", "0", "--admin-port",
+             std::to_string(brokerAdmin)});
+
+  NetTransport driver(clock_);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+  }
+  for (const auto& name : {"coordinator", "hist-a", "hist-b", "broker"}) {
+    awaitReady(driver, name);
+  }
+
+  cluster::RpcPolicy rpc;
+  rpc.maxAttempts = 3;
+  rpc.initialBackoffMs = 50;
+  rpc.deadlineMs = 4'000;
+
+  // --- every node scrapes: Prometheus text with rpc.* and net.* -------
+  const std::vector<std::pair<std::string, std::uint16_t>> adminPorts = {
+      {"coordinator", coordAdmin},
+      {"hist-a", histAAdmin},
+      {"hist-b", histBAdmin},
+      {"broker", brokerAdmin},
+  };
+  for (const auto& [name, port] : adminPorts) {
+    // The control channel answers before the admin server binds; wait
+    // for the admin port separately.
+    std::string metrics;
+    ASSERT_TRUE(eventually([&] {
+      try {
+        metrics = httpGet(clock_, port, "/metrics");
+        return true;
+      } catch (const Error&) {
+        return false;
+      }
+    })) << name << " admin port never came up";
+    EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos) << name;
+    EXPECT_NE(metrics.find("dpss_rpc_attempts"), std::string::npos)
+        << name << " is missing the pre-touched rpc.* series";
+    EXPECT_NE(metrics.find("dpss_net_server_accepts"), std::string::npos)
+        << name << " is missing the net.* series";
+    EXPECT_NE(metrics.find("node=\"" + name + "\""), std::string::npos)
+        << name;
+    const std::string healthz = httpGet(clock_, port, "/healthz");
+    EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos) << name;
+  }
+
+  // --- publish historical segments (for the chaos query later) --------
+  RemoteMetaStore metaStore(driver, kSubstrateNode, rpc);
+  RemoteDeepStorage deepStorage(driver, kSubstrateNode, rpc);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 120;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 5);
+  for (const auto& segment : segments) {
+    const std::string key = segment->id().toString();
+    deepStorage.put(key, storage::encodeSegment(*segment));
+    cluster::SegmentRecord record;
+    record.id = segment->id();
+    record.deepStorageKey = key;
+    record.sizeBytes = segment->memoryFootprint();
+    metaStore.upsertSegment(record);
+  }
+  std::size_t servedA = 0;
+  std::size_t servedB = 0;
+  ASSERT_TRUE(eventually([&] {
+    servedA = controlServedSegments(driver, "hist-a").size();
+    servedB = controlServedSegments(driver, "hist-b").size();
+    return servedA + servedB == 5;
+  })) << "segments never got served: " << servedA << " + " << servedB;
+
+  // --- one PSS session spanning both historicals ----------------------
+  cluster::RemoteBroker broker(driver, "broker", rpc);
+  std::uint64_t traceId = 0;
+  {
+    const pss::Dictionary dict(
+        {"breach", "leak", "malware", "normal", "virus"});
+    const pss::SearchParams params{
+        .bufferLength = 8, .indexBufferLength = 256, .bloomHashes = 5};
+    pss::PrivateSearchClient client(dict, params, 128, 4242);
+    std::vector<std::string> docs;
+    for (int i = 0; i < 30; ++i) {
+      docs.push_back("routine log line " + std::to_string(i));
+    }
+    docs[4] = "virus detected on host four";
+    docs[21] = "worm malware combo on host x";
+    controlLoadDocuments(driver, "hist-a", "seclog", 0,
+                         {docs.begin(), docs.begin() + 15});
+    controlLoadDocuments(driver, "hist-b", "seclog", 15,
+                         {docs.begin() + 15, docs.end()});
+
+    cluster::DistributedSearchStats stats;
+    const auto recovered = cluster::runDistributedPrivateSearch(
+        broker, client, "seclog", {"virus", "malware"}, &stats);
+    std::set<std::uint64_t> indices;
+    for (const auto& r : recovered) indices.insert(r.index);
+    EXPECT_EQ(indices, (std::set<std::uint64_t>{4, 21}));
+    EXPECT_EQ(stats.envelopes, 2u);
+    traceId = stats.traceId;
+  }
+  ASSERT_NE(traceId, 0u) << "broker returned no trace id for the search";
+
+  // --- the coordinator assembles the cross-process trace ---------------
+  // Spans ship on maintenance ticks (25ms here); poll the sink until the
+  // full scatter shape arrived from all three processes.
+  std::vector<obs::Span> spans;
+  ASSERT_TRUE(eventually([&] {
+    try {
+      spans = cluster::callSpansFetch(driver, "coordinator", traceId, rpc);
+    } catch (const Error&) {
+      return false;
+    }
+    std::size_t scatters = 0;
+    std::set<std::string> scanNodes;
+    bool root = false;
+    for (const auto& s : spans) {
+      if (s.name == "broker.private_search") root = true;
+      if (s.name == "broker.pss.scatter") ++scatters;
+      if (s.name == "historical.pss.slice_search") scanNodes.insert(s.node);
+    }
+    return root && scatters >= 2 &&
+           scanNodes == std::set<std::string>{"hist-a", "hist-b"};
+  })) << "coordinator never assembled the full PSS trace; got "
+      << spans.size() << " spans";
+
+  const obs::TraceTree tree = obs::assembleTrace(spans);
+  EXPECT_EQ(tree.traceId, traceId);
+  ASSERT_FALSE(tree.roots.empty());
+  const obs::TraceNode* root = nullptr;
+  for (const auto& r : tree.roots) {
+    if (r.span.name == "broker.private_search") root = &r;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->span.node, "broker");
+
+  // Topology: the root fans out to one scatter per historical slice, and
+  // each scatter contains exactly one remote scan on a distinct node.
+  std::set<std::string> scanNodes;
+  for (const auto& scatter : root->children) {
+    ASSERT_EQ(scatter.span.name, "broker.pss.scatter");
+    EXPECT_EQ(scatter.span.node, "broker");
+    EXPECT_EQ(scatter.wireNs, 0u);  // broker -> broker: no wire hop
+    ASSERT_EQ(scatter.children.size(), 1u);
+    const obs::TraceNode& scan = scatter.children[0];
+    EXPECT_EQ(scan.span.name, "historical.pss.slice_search");
+    scanNodes.insert(scan.span.node);
+    // A real process hop: the wire share is parent minus child time.
+    EXPECT_EQ(scan.wireNs,
+              scatter.span.durationNs > scan.span.durationNs
+                  ? scatter.span.durationNs - scan.span.durationNs
+                  : 0u);
+  }
+  EXPECT_EQ(scanNodes, (std::set<std::string>{"hist-a", "hist-b"}));
+
+  // Nested timestamps are monotone: all five processes share
+  // CLOCK_MONOTONIC on this host, and every child span is causally
+  // inside its parent, so starts never precede the parent's start and
+  // ends never pass the parent's end (1ms slack for clock granularity).
+  constexpr std::uint64_t kSlackNs = 1'000'000;
+  const std::function<void(const obs::TraceNode&)> checkNesting =
+      [&](const obs::TraceNode& node) {
+        for (const auto& child : node.children) {
+          EXPECT_GE(child.span.startNs + kSlackNs, node.span.startNs)
+              << child.span.name << " starts before " << node.span.name;
+          EXPECT_LE(child.span.startNs + child.span.durationNs,
+                    node.span.startNs + node.span.durationNs + kSlackNs)
+              << child.span.name << " ends after " << node.span.name;
+          checkNesting(child);
+        }
+      };
+  checkNesting(*root);
+
+  // The coordinator's /tracez shows the assembled multi-process trace.
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(traceId));
+  const std::string tracez =
+      httpGet(clock_, coordAdmin, std::string("/tracez?trace=") + hex);
+  EXPECT_NE(tracez.find("broker.private_search"), std::string::npos);
+  EXPECT_NE(tracez.find("[hist-a]"), std::string::npos);
+  EXPECT_NE(tracez.find("[hist-b]"), std::string::npos);
+
+  // --- crash a historical: the partial query lands in the query log ---
+  const std::string victim = servedA < servedB ? "hist-a" : "hist-b";
+  proc(victim).kill();
+  const auto degraded = broker.query(countQuery("ads"));
+  EXPECT_TRUE(degraded.partial());
+  ASSERT_FALSE(degraded.unreachableSegments.empty());
+
+  // Partial outcomes are always kept, whatever the slow threshold; the
+  // record carries the unreachable segments and the moved byte count.
+  const std::string queriesz =
+      httpBody(httpGet(clock_, brokerAdmin, "/queriesz"));
+  EXPECT_NE(queriesz.find("\"partial\":true"), std::string::npos)
+      << queriesz;
+  EXPECT_NE(queriesz.find("\"unreachable_segments\":[\""),
+            std::string::npos)
+      << queriesz;
+  EXPECT_NE(
+      queriesz.find(degraded.unreachableSegments[0].toString()),
+      std::string::npos)
+      << queriesz;
 
   // --- graceful shutdown ----------------------------------------------
   for (const auto& name : names_) {

@@ -1,0 +1,67 @@
+// Golden-file test for the Prometheus text exposition: a fixed registry
+// must render byte-for-byte what tests/obs/goldens/metrics.prom records.
+// The format is an operator-facing contract (scrape configs and dashboards
+// parse it), so accidental drift — label ordering, TYPE lines, histogram
+// series shape — should fail loudly. Regenerate with the command in the
+// golden file's header comment after an intentional format change.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dpss::obs {
+namespace {
+
+MetricsSnapshot goldenSnapshot(const std::string& node) {
+  MetricsRegistry reg(node);
+  reg.counter(internCounter("golden.requests")).inc(3);
+  reg.counter(internCounter("golden.errors", {{"op", "scan"}})).inc();
+  reg.gauge(internGauge("golden.segments.loaded")).set(12);
+  Histogram& h = reg.histogram(internHistogram("golden.latency_ns"));
+  h.observe(1'000);
+  h.observe(1'000);
+  h.observe(50'000);
+  return reg.snapshot();
+}
+
+std::string goldenPath() {
+  return std::string(DPSS_TESTS_DIR) + "/obs/goldens/metrics.prom";
+}
+
+TEST(PrometheusGolden, RenderMatchesCheckedInExposition) {
+  const std::string text = renderTextMulti(
+      {goldenSnapshot("broker"), goldenSnapshot("hist-0")});
+
+  std::ifstream in(goldenPath());
+  ASSERT_TRUE(in.good()) << "missing golden file " << goldenPath();
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(text, golden.str())
+      << "Prometheus exposition drifted from the golden file. If the "
+         "change is intentional, update " << goldenPath();
+}
+
+TEST(PrometheusGolden, MultiSnapshotEmitsOneTypeLinePerName) {
+  const std::string text = renderTextMulti(
+      {goldenSnapshot("broker"), goldenSnapshot("hist-0")});
+  std::size_t typeLines = 0;
+  std::size_t at = 0;
+  const std::string needle = "# TYPE dpss_golden_requests counter";
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    ++typeLines;
+    at += needle.size();
+  }
+  EXPECT_EQ(typeLines, 1u);
+  // Both nodes' series are present, distinguished by the node label.
+  EXPECT_NE(text.find("dpss_golden_requests{node=\"broker\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpss_golden_requests{node=\"hist-0\"} 3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpss::obs

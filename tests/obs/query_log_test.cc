@@ -1,0 +1,126 @@
+// Slow-query log: bounded retention in the recent ring, selective
+// admission into the kept ring (slow / partial / errored), and the
+// JSON-lines exposition format.
+#include "obs/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dpss::obs {
+namespace {
+
+QueryLogRecord makeRecord(std::uint64_t traceId, std::uint64_t durationNs) {
+  QueryLogRecord rec;
+  rec.traceId = traceId;
+  rec.kind = "query";
+  rec.target = "ads";
+  rec.startNs = 1000;
+  rec.durationNs = durationNs;
+  rec.segmentsQueried = 2;
+  return rec;
+}
+
+TEST(QueryLog, RecentIsNewestFirstAndBounded) {
+  QueryLog::Options opts;
+  opts.recentCapacity = 3;
+  QueryLog log(opts);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    log.record(makeRecord(id, 100));
+  }
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].traceId, 5u);
+  EXPECT_EQ(recent[2].traceId, 3u);
+  EXPECT_EQ(log.totalRecorded(), 5u);
+}
+
+TEST(QueryLog, FastHealthyQueriesNeverEnterKept) {
+  QueryLog log;
+  log.setSlowThresholdNs(1'000'000);
+  log.record(makeRecord(1, 100));  // fast, complete, no error
+  EXPECT_EQ(log.recent().size(), 1u);
+  EXPECT_TRUE(log.kept().empty());
+}
+
+TEST(QueryLog, SlowPartialAndErroredAreAlwaysKept) {
+  QueryLog log;
+  log.setSlowThresholdNs(1'000'000);
+
+  log.record(makeRecord(1, 5'000'000));  // over threshold
+
+  QueryLogRecord partial = makeRecord(2, 100);
+  partial.partial = true;
+  partial.unreachableSegments = {"ads/2020/v1"};
+  log.record(partial);
+
+  QueryLogRecord errored = makeRecord(3, 100);
+  errored.error = "segments unavailable";
+  log.record(errored);
+
+  const auto kept = log.kept();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].traceId, 3u);  // newest first
+  EXPECT_EQ(kept[1].traceId, 2u);
+  EXPECT_EQ(kept[2].traceId, 1u);
+}
+
+TEST(QueryLog, BurstOfFastTrafficCannotFlushKeptRecords) {
+  QueryLog::Options opts;
+  opts.recentCapacity = 4;
+  opts.keptCapacity = 16;
+  opts.slowThresholdNs = 1'000'000;
+  QueryLog log(opts);
+  log.record(makeRecord(77, 9'000'000));  // the interesting one
+  for (std::uint64_t id = 100; id < 200; ++id) {
+    log.record(makeRecord(id, 10));  // fast healthy flood
+  }
+  // Flushed from recent, still in kept.
+  ASSERT_EQ(log.recent().size(), 4u);
+  EXPECT_NE(log.recent()[0].traceId, 77u);
+  ASSERT_EQ(log.kept().size(), 1u);
+  EXPECT_EQ(log.kept()[0].traceId, 77u);
+}
+
+TEST(QueryLog, ThresholdZeroKeepsEverything) {
+  QueryLog log;
+  log.setSlowThresholdNs(0);
+  log.record(makeRecord(1, 1));
+  EXPECT_EQ(log.kept().size(), 1u);
+}
+
+TEST(RenderQueryLogLine, EmitsJoinableStructuredJson) {
+  QueryLogRecord rec = makeRecord(0xabcd, 2'000'000);
+  rec.cacheHits = 1;
+  rec.bytesMoved = 4096;
+  rec.partial = true;
+  rec.unreachableSegments = {"ads/2020/v1"};
+  rec.segments = {
+      {"ads/2019/v1", "hist-0", 1'500'000, "ok"},
+      {"ads/2020/v1", "", 40'000, "unreachable"},
+  };
+  rec.error = "minority lost";
+  const std::string line = renderQueryLogLine(rec);
+  EXPECT_NE(line.find("\"trace_id\":\"000000000000abcd\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"query\""), std::string::npos);
+  EXPECT_NE(line.find("\"partial\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"bytes_moved\":4096"), std::string::npos);
+  EXPECT_NE(line.find("\"unreachable_segments\":[\"ads/2020/v1\"]"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"outcome\":\"unreachable\""), std::string::npos);
+  EXPECT_NE(line.find("\"node\":\"hist-0\""), std::string::npos);
+  EXPECT_NE(line.find("\"error\":\"minority lost\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single line
+}
+
+TEST(RenderQueryLogLines, OneRecordPerLine) {
+  const std::string lines =
+      renderQueryLogLines({makeRecord(1, 10), makeRecord(2, 20)});
+  std::size_t newlines = 0;
+  for (const char c : lines) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 2u);
+}
+
+}  // namespace
+}  // namespace dpss::obs

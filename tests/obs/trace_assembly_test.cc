@@ -1,0 +1,190 @@
+// Trace assembly: stitching shipped spans into trees (parent links,
+// orphan roots, per-hop wire time), the TraceCollector's bounded
+// retention (LRU eviction with slowest-demotion), and the renderers.
+#include "obs/trace_assembly.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dpss::obs {
+namespace {
+
+Span makeSpan(std::uint64_t traceId, std::uint64_t spanId,
+              std::uint64_t parentId, const std::string& name,
+              const std::string& node, std::uint64_t startNs,
+              std::uint64_t durationNs) {
+  Span s;
+  s.traceId = traceId;
+  s.spanId = spanId;
+  s.parentId = parentId;
+  s.name = name;
+  s.node = node;
+  s.startNs = startNs;
+  s.durationNs = durationNs;
+  return s;
+}
+
+// The canonical multi-process PSS shape: client -> broker scatter ->
+// per-historical scans.
+std::vector<Span> pssTrace(std::uint64_t traceId) {
+  return {
+      makeSpan(traceId, 1, 0, "broker.private_search", "broker", 100, 1000),
+      makeSpan(traceId, 2, 1, "broker.pss.scatter", "broker", 150, 800),
+      makeSpan(traceId, 3, 1, "broker.pss.scatter", "broker", 160, 700),
+      makeSpan(traceId, 4, 2, "historical.pss.slice_search", "hist-0", 200,
+               500),
+      makeSpan(traceId, 5, 3, "historical.pss.slice_search", "hist-1", 210,
+               400),
+  };
+}
+
+TEST(AssembleTrace, BuildsTheScatterTree) {
+  const TraceTree tree = assembleTrace(pssTrace(0xabc));
+  EXPECT_EQ(tree.traceId, 0xabcu);
+  EXPECT_EQ(tree.spanCount, 5u);
+  EXPECT_EQ(tree.startNs, 100u);
+  EXPECT_EQ(tree.durationNs, 1000u);
+  ASSERT_EQ(tree.roots.size(), 1u);
+  const TraceNode& root = tree.roots[0];
+  EXPECT_EQ(root.span.name, "broker.private_search");
+  ASSERT_EQ(root.children.size(), 2u);
+  // Children sort by start time.
+  EXPECT_EQ(root.children[0].span.spanId, 2u);
+  EXPECT_EQ(root.children[1].span.spanId, 3u);
+  ASSERT_EQ(root.children[0].children.size(), 1u);
+  EXPECT_EQ(root.children[0].children[0].span.node, "hist-0");
+  // All three node names are collected.
+  EXPECT_EQ(tree.nodes,
+            (std::vector<std::string>{"broker", "hist-0", "hist-1"}));
+}
+
+TEST(AssembleTrace, WireTimeOnlyAcrossProcessHops) {
+  const TraceTree tree = assembleTrace(pssTrace(1));
+  const TraceNode& root = tree.roots[0];
+  // broker -> broker: same node, no wire time.
+  EXPECT_EQ(root.children[0].wireNs, 0u);
+  // broker scatter (800ns) -> hist-0 scan (500ns): 300ns on the wire.
+  EXPECT_EQ(root.children[0].children[0].wireNs, 300u);
+  EXPECT_EQ(root.children[1].children[0].wireNs, 300u);
+}
+
+TEST(AssembleTrace, OrphansWhoseParentWasDroppedStayVisibleAsRoots) {
+  auto spans = pssTrace(2);
+  spans.erase(spans.begin());  // the root span never arrived (ring drop)
+  const TraceTree tree = assembleTrace(spans);
+  // Both scatters become roots; their scans stay nested beneath them.
+  ASSERT_EQ(tree.roots.size(), 2u);
+  EXPECT_EQ(tree.roots[0].span.name, "broker.pss.scatter");
+  ASSERT_EQ(tree.roots[0].children.size(), 1u);
+  EXPECT_EQ(tree.roots[0].children[0].span.name,
+            "historical.pss.slice_search");
+}
+
+TEST(AssembleTrace, FindLocatesSpansByName) {
+  const TraceTree tree = assembleTrace(pssTrace(3));
+  const TraceNode* scan = tree.find("historical.pss.slice_search");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->span.parentId, 2u);
+  EXPECT_EQ(tree.find("no.such.span"), nullptr);
+}
+
+TEST(AssembleTraces, GroupsByTraceIdAndSortsByStart) {
+  std::vector<Span> spans;
+  for (const auto& s : pssTrace(20)) spans.push_back(s);
+  auto later = pssTrace(10);
+  for (auto& s : later) s.startNs += 10'000;
+  for (const auto& s : later) spans.push_back(s);
+  const auto trees = assembleTraces(std::move(spans));
+  ASSERT_EQ(trees.size(), 2u);
+  EXPECT_EQ(trees[0].traceId, 20u);
+  EXPECT_EQ(trees[1].traceId, 10u);
+}
+
+TEST(RenderTraceText, ShowsTopologyNodesAndWireTime) {
+  const std::string text = renderTraceText(assembleTrace(pssTrace(0xf00d)));
+  EXPECT_NE(text.find("trace 000000000000f00d"), std::string::npos);
+  EXPECT_NE(text.find("5 spans"), std::string::npos);
+  EXPECT_NE(text.find("broker.private_search"), std::string::npos);
+  EXPECT_NE(text.find("[hist-0]"), std::string::npos);
+  EXPECT_NE(text.find("(wire 0.000ms)"), std::string::npos);
+}
+
+TEST(RenderTraceJson, EmitsNestedChildren) {
+  const std::string json = renderTraceJson(assembleTrace(pssTrace(0xbeef)));
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000beef\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"span_count\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":"), std::string::npos);
+}
+
+TEST(TraceCollector, CollectsAndAssembles) {
+  TraceCollector collector;
+  collector.add(pssTrace(7));
+  EXPECT_EQ(collector.traceCount(), 1u);
+  EXPECT_EQ(collector.spansReceived(), 5u);
+  const auto trees = collector.recent(10);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].spanCount, 5u);
+  EXPECT_EQ(collector.spansFor(7).size(), 5u);
+  EXPECT_TRUE(collector.spansFor(999).empty());
+}
+
+TEST(TraceCollector, EvictsLruButKeepsTheSlowest) {
+  TraceCollector::Options opts;
+  opts.maxTraces = 4;
+  opts.slowKeep = 2;
+  TraceCollector collector(opts);
+  // One slow trace first (the LRU victim once the fast flood arrives).
+  collector.add({makeSpan(1, 1, 0, "slow.query", "broker", 0, 9'000'000)});
+  for (std::uint64_t id = 2; id <= 12; ++id) {
+    collector.add({makeSpan(id, 1, 0, "fast.query", "broker", id * 10, 100)});
+  }
+  // The flood evicted the slow trace from the live table, but slowest()
+  // still surfaces it from the demotion side-table.
+  const auto slowest = collector.slowest(1);
+  ASSERT_EQ(slowest.size(), 1u);
+  EXPECT_EQ(slowest[0].traceId, 1u);
+  EXPECT_EQ(slowest[0].durationNs, 9'000'000u);
+}
+
+TEST(TraceCollector, CapsSpansPerTrace) {
+  TraceCollector::Options opts;
+  opts.maxSpansPerTrace = 3;
+  TraceCollector collector(opts);
+  std::vector<Span> spans;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    spans.push_back(makeSpan(5, i, 0, "s", "n", i, 1));
+  }
+  collector.add(std::move(spans));
+  EXPECT_EQ(collector.spansFor(5).size(), 3u);
+  EXPECT_EQ(collector.spansReceived(), 10u);  // received, not kept
+}
+
+TEST(SpanStore, CollectSinceDrainsIncrementally) {
+  MetricsRegistry reg("n");
+  std::uint64_t cursor = 0;
+  {
+    ScopedRegistry scope(reg);
+    SpanGuard first("one");
+  }
+  auto batch = reg.spans().collectSince(&cursor);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].name, "one");
+  // Nothing new: the cursor does not re-deliver.
+  EXPECT_TRUE(reg.spans().collectSince(&cursor).empty());
+  {
+    ScopedRegistry scope(reg);
+    SpanGuard second("two");
+  }
+  batch = reg.spans().collectSince(&cursor);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].name, "two");
+}
+
+}  // namespace
+}  // namespace dpss::obs
