@@ -77,6 +77,10 @@ finally:
 PY
 
 echo
+echo "== bench smoke: pss hot-path speedup ratios vs BENCH_pss.json =="
+python3 scripts/check_bench_pss.py
+
+echo
 echo "== dpss-lint: determinism & layering invariants =="
 python3 scripts/dpss_lint.py --selftest
 python3 scripts/dpss_lint.py
@@ -94,14 +98,17 @@ cmake --build build-asan -j "$JOBS" >/dev/null
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
 echo
-echo "== tsan: obs_test + thread_pool + net/cluster subsets under -fsanitize=thread =="
+echo "== tsan: obs_test + thread_pool + pss fold + net/cluster subsets under -fsanitize=thread =="
 cmake -B build-tsan -S . -DDPSS_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target obs_test common_test cluster_test net_test -j "$JOBS" >/dev/null
+cmake --build build-tsan --target obs_test common_test cluster_test net_test pss_test -j "$JOBS" >/dev/null
 # obs_test covers the span ring, trace collector and slow-query log; the
 # http admin tests exercise the admin loop thread against client threads.
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/net_test --gtest_filter='HttpAdminTest.*'
 ./build-tsan/tests/common_test --gtest_filter='ThreadPool.*'
+# The thread-parallel per-segment fold and the randomizer pool's
+# refill/drain races are the crypto layer's only concurrency.
+./build-tsan/tests/pss_test --gtest_filter='FoldConcurrency.*:RandomizerPoolConcurrency.*'
 # ClusterChaos.Sweep* (50 whole-cluster stories) is deliberately excluded:
 # it is deterministic single-driver logic and far too slow under TSan.
 ./build-tsan/tests/cluster_test --gtest_filter='Concurrency.*:RpcPolicy.*:CallPolicyTest.*:ChaosPolicy.*:ChaosTransport.*:Chaos.IdenticalSeedReproducesIdenticalSchedule:ClusterChaos.SingleSeedReplaysCombinedFaultStory:ClusterChaos.SlowReadsDelayLoadsButQueriesStayCorrect:ClusterChaos.RealtimeCrashLosesUnpersistedStopFlushes'

@@ -25,6 +25,11 @@ rules keep the accidental escape hatches shut:
                   outside src/net/; every other layer speaks through the
                   net transport so framing, deadlines, and typed error
                   mapping live in one place.
+  raw-modexp   -- no powm/powmNaive/powmWindowed/mpz_powm or raw
+                  FixedBaseWindow use inside src/pss/; the search layer
+                  speaks crypto::Paillier* (encrypt, mulPlainMany,
+                  decryptCrtBatch), whose windowed/fixed-base kernels
+                  are pinned by the differential suite.
   chaos-api    -- no ad-hoc fault injection (node .crash(), deprecated
                   failNextGets) in src/ outside the chaos scheduler;
                   faults must come from a seeded, replayable schedule
@@ -66,8 +71,17 @@ class Rule:
     exempt_files: frozenset = frozenset()
     # Directory prefixes (repo-relative, trailing slash) exempt wholesale.
     exempt_dirs: frozenset = frozenset()
+    # When non-empty, the rule applies ONLY under these directory
+    # prefixes (repo-relative, trailing slash) — for layer-local
+    # invariants like raw-modexp, which bans a spelling in src/pss/ that
+    # is the whole point of src/crypto/.
+    only_dirs: frozenset = frozenset()
 
     def exempts(self, relpath: str) -> bool:
+        if self.only_dirs and not any(
+            relpath.startswith(d) for d in self.only_dirs
+        ):
+            return True
         return relpath in self.exempt_files or any(
             relpath.startswith(d) for d in self.exempt_dirs
         )
@@ -167,6 +181,21 @@ RULES = [
             "and typed errors stay in one place"
         ),
         exempt_dirs=frozenset({"src/net/"}),
+    ),
+    Rule(
+        name="raw-modexp",
+        pattern=re.compile(
+            r"\bpowm(?:Naive|Windowed)?\s*\(|\bmpz_powm\b"
+            r"|\bFixedBaseWindow\b"
+        ),
+        message=(
+            "raw modular exponentiation in src/pss/; the search layer "
+            "must go through the crypto::Paillier* kernels (encrypt, "
+            "mulPlain, mulPlainMany, decryptCrtBatch) so the windowed/"
+            "fixed-base fast paths and their differential coverage stay "
+            "the only modexp entry points"
+        ),
+        only_dirs=frozenset({"src/pss/"}),
     ),
     Rule(
         name="chaos-api",
@@ -449,6 +478,19 @@ SELFTEST_CASES = [
     (None, "src/net/socket.cc", "#include <sys/socket.h>"),
     (None, "src/net/server.cc", "#include <sys/epoll.h>"),
     (None, "src/x/a.cc", "websocket(x);"),  # substring must not trip it
+    ("raw-modexp", "src/pss/a.cc", "auto x = Bigint::powm(c, k, n2);"),
+    ("raw-modexp", "src/pss/a.cc", "auto x = Bigint::powmNaive(c, k, n2);"),
+    ("raw-modexp", "src/pss/a.cc", "mpz_powm(r, b, e, m);"),
+    ("raw-modexp", "src/pss/a.cc", "FixedBaseWindow table(c, n2, 512, 4);"),
+    (None, "src/crypto/paillier.cc", "auto x = Bigint::powm(c, k, n2);"),
+    (None, "src/pss/a.cc", "out = pub.mulPlainMany(ec, blocks);"),
+    (None, "src/x/a.cc", "auto x = Bigint::powm(c, k, n2);"),
+    (
+        None,
+        "src/pss/a.cc",
+        "// dpss-lint: allow(raw-modexp) proving-ground comparison only\n"
+        "auto x = Bigint::powmWindowed(c, k, n2, 4);",
+    ),
     ("chaos-api", "src/x/a.cc", "cluster.historical(0).crash();"),
     ("chaos-api", "src/x/a.cc", "historicals_[i]->crash();"),
     ("chaos-api", "src/x/a.cc", "deepStorage_.failNextGets(3);"),
@@ -469,6 +511,9 @@ SELFTEST_CASES = [
 
 
 FIXTURE_RE = re.compile(r"//\s*dpss-lint-fixture:\s*expect\(([a-z\-, ]+)\)")
+# Optional: lint the fixture as if it lived at this repo-relative path
+# (for only_dirs rules like raw-modexp that fire only under src/pss/).
+FIXTURE_AS_RE = re.compile(r"//\s*dpss-lint-fixture:\s*as\(([\w/.\-]+)\)")
 
 
 def check_fixtures(dirpath: str) -> int:
@@ -502,10 +547,13 @@ def check_fixtures(dirpath: str) -> int:
             for token in decl.group(1).split(",")
             if token.strip() and token.strip() != "clean"
         }
-        found = {
-            f.rule
-            for f in FileLint(f"src/lint_fixtures/{name}", lines).check()
-        }
+        as_decl = next(
+            (m for line in lines if (m := FIXTURE_AS_RE.search(line))), None
+        )
+        relpath = (
+            as_decl.group(1) if as_decl else f"src/lint_fixtures/{name}"
+        )
+        found = {f.rule for f in FileLint(relpath, lines).check()}
         if found != expected:
             print(
                 f"fixture FAIL: {name}: expected "

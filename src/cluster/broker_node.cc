@@ -400,7 +400,11 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
   for (const auto& s : slices) maxPayload = std::max(maxPayload, s.maxPayload);
   const pss::BlockCodec codec(pss::BlockCodec::maxBlockBytesFor(
       encryptedQuery.publicKey().modulusBits()));
-  const std::size_t blocks = codec.blockCount(maxPayload);
+  const std::size_t pack = std::max<std::size_t>(options_.pssPackFactor, 1);
+  // Packed mode sizes s for the worst-case group of `pack` max-sized
+  // payloads; every node then encodes into the same block count.
+  const std::size_t blocks = codec.blockCount(
+      pack > 1 ? pss::maxPackedBytes(pack, maxPayload) : maxPayload);
 
   // Scatter the encrypted query; each node searches its slice.
   std::vector<std::future<pss::SearchResultEnvelope>> futures;
@@ -418,6 +422,7 @@ std::vector<pss::SearchResultEnvelope> BrokerNode::privateSearch(
       seed = rng_.next();
     }
     w.u64(seed);
+    w.varint(pack);
     std::string request = w.take();
     const obs::TraceContext traceCtx = obs::currentTraceContext();
     futures.push_back(pool->submit(

@@ -16,7 +16,8 @@ Cluster::Cluster(Clock& clock, ClusterOptions options)
       "broker", registry_, transport_,
       BrokerOptions{.scatterThreads = options_.brokerScatterThreads,
                     .resultCacheCapacity = options_.brokerCacheCapacity,
-                    .rpcPolicy = options_.rpcPolicy});
+                    .rpcPolicy = options_.rpcPolicy,
+                    .pssPackFactor = options_.pssPackFactor});
   broker_->start();
   coordinator_ = std::make_unique<CoordinatorNode>("coordinator", registry_,
                                                    metaStore_, clock_);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <future>
+#include <set>
+#include <string_view>
 
 #include "cluster/names.h"
 #include "cluster/stats.h"
@@ -428,6 +430,8 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
     auto encQuery = pss::EncryptedQuery::deserialize(r);
     const std::size_t blocks = r.varint();
     const std::uint64_t seed = r.u64();
+    const std::size_t pack =
+        std::max<std::size_t>(r.remaining() > 0 ? r.varint() : 1, 1);
 
     DocSlice slice;
     {
@@ -438,13 +442,57 @@ std::string HistoricalNode::handleRpc(const std::string& request) {
       }
       slice = it->second;
     }
+    std::shared_ptr<ThreadPool> pool;
+    {
+      MutexLock lock(mu_);
+      pool = pool_;  // pin across a concurrent crash()/stop()
+    }
+    if (pool == nullptr) throw Unavailable("node stopping: " + name_);
     const pss::Dictionary dict(words);
     Rng rng(seed);
     pss::StreamSearcher searcher(dict, std::move(encQuery), blocks, rng);
-    for (std::size_t i = 0; i < slice.documents.size(); ++i) {
-      searcher.processSegment(slice.baseIndex + i, slice.documents[i]);
+    // The per-segment slot fold shards across the node's bounded pool; the
+    // shards own disjoint contiguous slot ranges, so the envelope bytes
+    // match the serial fold exactly.
+    searcher.setFoldOptions({pool.get(), 0});
+    const std::size_t docs = slice.documents.size();
+    try {
+      if (pack <= 1) {
+        for (std::size_t i = 0; i < docs; ++i) {
+          searcher.processSegment(slice.baseIndex + i, slice.documents[i]);
+        }
+      } else {
+        // Packed fold: group g covers slice documents [g·P, (g+1)·P); its
+        // keyword set is the union over members so any member's match
+        // folds the group. Group indices restart at 0 per envelope —
+        // reconstruction is per-envelope, and firstDocIndex anchors the
+        // unpacked document indices back onto the global stream.
+        for (std::size_t i = 0, g = 0; i < docs; i += pack, ++g) {
+          const std::size_t count = std::min(pack, docs - i);
+          std::vector<std::string_view> members;
+          members.reserve(count);
+          std::set<std::string> words;
+          for (std::size_t o = 0; o < count; ++o) {
+            members.push_back(slice.documents[i + o]);
+            for (auto& w : pss::distinctWords(slice.documents[i + o])) {
+              words.insert(std::move(w));
+            }
+          }
+          searcher.processSegment(
+              g, std::vector<std::string>(words.begin(), words.end()),
+              searcher.codec().encode(pss::packPayloads(members), blocks));
+        }
+      }
+    } catch (const std::future_error&) {
+      // A fold shard was abandoned by a dying pool: a node loss upstream.
+      throw Unavailable("node stopped mid-search: " + name_);
     }
-    const auto envelope = searcher.finish();
+    auto envelope = searcher.finish();
+    if (pack > 1) {
+      envelope.packFactor = pack;
+      envelope.firstDocIndex = slice.baseIndex;
+      envelope.documentCount = docs;
+    }
     ByteWriter w;
     envelope.serialize(w);
     return w.take();

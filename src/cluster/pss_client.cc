@@ -23,12 +23,14 @@ std::vector<pss::RecoveredSegment> runDistributedPrivateSearch(
       local.envelopes = envelopes.size();
       local.documents = 0;
       for (const auto& env : envelopes) {
-        local.documents += env.segmentsProcessed;
+        local.documents += env.documentCount;
       }
       try {
         std::vector<pss::RecoveredSegment> all;
         for (const auto& env : envelopes) {
-          const auto part = client.open(env);
+          // openDocuments == open for unpacked envelopes; packed ones are
+          // split back into per-document results here.
+          const auto part = client.openDocuments(env, keywords);
           all.insert(all.end(), part.begin(), part.end());
         }
         std::sort(all.begin(), all.end(),

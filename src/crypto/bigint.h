@@ -56,8 +56,20 @@ class Bigint {
   static Bigint divFloor(const Bigint& a, const Bigint& b);
 
   // --- modular --------------------------------------------------------
-  /// base^exp mod m (exp >= 0, m > 0).
+  /// base^exp mod m (exp >= 0, m > 0). The production kernel: GMP's
+  /// mpz_powm (Montgomery + internal windowing).
   static Bigint powm(const Bigint& base, const Bigint& exp, const Bigint& m);
+  /// Reference binary square-and-multiply modexp built from mul/mod
+  /// only — the naive sibling every fast kernel is differential-tested
+  /// against (tests/crypto/differential_test.cc). Never a hot path.
+  static Bigint powmNaive(const Bigint& base, const Bigint& exp,
+                          const Bigint& m);
+  /// Sliding-window modexp with a precomputed odd-power table
+  /// (HAC 14.85). windowBits in [1, 8]. Same result as powm/powmNaive;
+  /// exists so the windowed scan logic shared with FixedBaseWindow has a
+  /// standalone, differential-testable form.
+  static Bigint powmWindowed(const Bigint& base, const Bigint& exp,
+                             const Bigint& m, unsigned windowBits = 4);
   /// x^-1 mod m; throws CryptoError when gcd(x, m) != 1.
   static Bigint invert(const Bigint& x, const Bigint& m);
   static Bigint gcd(const Bigint& a, const Bigint& b);
@@ -82,6 +94,8 @@ class Bigint {
   std::size_t bitLength() const {
     return isZero() ? 0 : mpz_sizeinbase(z_, 2);
   }
+  /// Bit i of the magnitude (i = 0 is the least significant).
+  bool testBit(std::size_t i) const { return mpz_tstbit(z_, i) != 0; }
 
   /// Big-endian magnitude bytes (empty for zero). Sign is not encoded;
   /// all serialized dpss values are non-negative.

@@ -1,0 +1,53 @@
+#include "crypto/fixed_base.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace dpss::crypto {
+
+FixedBaseWindow::FixedBaseWindow(const Bigint& base, const Bigint& modulus,
+                                 std::size_t maxExpBits, unsigned windowBits)
+    : mod_(modulus), windowBits_(windowBits) {
+  DPSS_CHECK_MSG(modulus.sign() > 0, "modulus must be positive");
+  DPSS_CHECK_MSG(windowBits >= 1 && windowBits <= 8,
+                 "window width must be in [1, 8]");
+  DPSS_CHECK_MSG(maxExpBits >= 1, "maxExpBits must be >= 1");
+  digits_ = (maxExpBits + windowBits - 1) / windowBits;
+  const std::size_t row = (std::size_t(1) << windowBits) - 1;
+  table_.resize(digits_ * row);
+
+  // cur = base^(2^(w·i)); each row is cur, cur², ..., cur^(2^w − 1) by
+  // one multiplication per entry, and the next cur is the row's last
+  // entry times cur (cur^(2^w)) — no squaring chain needed.
+  Bigint cur = base % mod_;
+  for (std::size_t i = 0; i < digits_; ++i) {
+    table_[i * row] = cur;
+    for (std::size_t d = 1; d < row; ++d) {
+      table_[i * row + d] = (table_[i * row + d - 1] * cur) % mod_;
+    }
+    if (i + 1 < digits_) {
+      cur = (table_[i * row + row - 1] * cur) % mod_;
+    }
+  }
+}
+
+Bigint FixedBaseWindow::pow(const Bigint& exp) const {
+  DPSS_CHECK_MSG(exp.sign() >= 0, "exponent must be non-negative");
+  DPSS_CHECK_MSG(exp.bitLength() <= maxExpBits(),
+                 "exponent wider than the precomputed table");
+  const std::size_t row = (std::size_t(1) << windowBits_) - 1;
+  Bigint result = Bigint(1) % mod_;
+  for (std::size_t i = 0; i < digits_; ++i) {
+    std::size_t digit = 0;
+    for (unsigned j = 0; j < windowBits_; ++j) {
+      if (exp.testBit(i * windowBits_ + j)) digit |= std::size_t(1) << j;
+    }
+    if (digit != 0) {
+      result = (result * table_[i * row + digit - 1]) % mod_;
+    }
+  }
+  return result;
+}
+
+}  // namespace dpss::crypto

@@ -1,0 +1,52 @@
+// Fixed-base k-ary modular exponentiation (HAC 14.109 / Brickell et al.).
+//
+// When one base is raised to many exponents under the same modulus — the
+// broker folding E(c_i)^{f_block} for every block of a segment, s and
+// packed-payload factors deep — precomputing the table
+//
+//   table[i][d] = base^(d · 2^(w·i)) mod m     d ∈ [1, 2^w)
+//
+// turns each subsequent exponentiation into at most ⌈bits/w⌉ modular
+// multiplications with no squarings at all. The table costs about
+// (2^w − 1)·⌈bits/w⌉ multiplications to build, so it pays off once a few
+// exponents share the base; PaillierPublicKey::mulPlainMany picks the
+// crossover. Results are byte-identical to Bigint::powm — the
+// differential suite (tests/crypto/differential_test.cc) pins that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crypto/bigint.h"
+
+namespace dpss::crypto {
+
+class FixedBaseWindow {
+ public:
+  /// Precomputes the table for exponents up to `maxExpBits` bits.
+  /// windowBits in [1, 8]; 4 is a good default for Paillier-sized moduli.
+  FixedBaseWindow(const Bigint& base, const Bigint& modulus,
+                  std::size_t maxExpBits, unsigned windowBits = 4);
+
+  /// base^exp mod modulus. Requires exp >= 0 and bitLength <= maxExpBits.
+  Bigint pow(const Bigint& exp) const;
+
+  std::size_t maxExpBits() const { return digits_ * windowBits_; }
+  unsigned windowBits() const { return windowBits_; }
+
+  /// Rough table-build cost in modular multiplications, for callers
+  /// deciding whether the table amortizes over their batch.
+  static std::size_t buildCost(std::size_t maxExpBits, unsigned windowBits) {
+    const std::size_t digits = (maxExpBits + windowBits - 1) / windowBits;
+    return digits * ((std::size_t(1) << windowBits) - 1);
+  }
+
+ private:
+  Bigint mod_;
+  unsigned windowBits_;
+  std::size_t digits_;
+  // Row-major digits_ x (2^w - 1); entry(i, d-1) = base^(d·2^(w·i)).
+  std::vector<Bigint> table_;
+};
+
+}  // namespace dpss::crypto

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -45,17 +46,48 @@ class PaillierPublicKey {
   /// Largest value encodable in one plaintext: n - 1.
   Bigint maxPlaintext() const { return n_ - Bigint(1); }
 
-  /// E(m) with fresh randomness. Requires 0 <= m < n.
+  /// E(m) with fresh randomness. Requires 0 <= m < n. Fast path: with
+  /// g = n+1, g^m collapses to (1 + m·n) mod n², leaving r^n as the only
+  /// exponentiation.
   Ciphertext encrypt(const Bigint& m, Rng& rng) const;
 
   /// E(0) with fresh randomness — buffer slots start as encrypted zeros.
   Ciphertext encryptZero(Rng& rng) const { return encrypt(Bigint(0), rng); }
+
+  /// Reference encryption: g^m · r^n mod n² with both exponentiations
+  /// done by the naive square-and-multiply kernel, no g = n+1 shortcut.
+  /// The differential suite pins encrypt == encryptGeneric for equal r;
+  /// bench_pss_hotpath measures the gap. Never a hot path.
+  Ciphertext encryptGeneric(const Bigint& m, Rng& rng) const;
+
+  /// Deterministic fast-path encryption from an explicit randomizer
+  /// r ∈ Z*_n: (1 + m·n) · r^n mod n².
+  Ciphertext encryptWithR(const Bigint& m, const Bigint& r) const;
+
+  /// Deterministic reference sibling of encryptWithR (generic g^m · r^n,
+  /// naive kernel). Same r ⇒ byte-identical ciphertext to encryptWithR.
+  Ciphertext encryptGenericWithR(const Bigint& m, const Bigint& r) const;
+
+  /// E(m) from a precomputed blinding factor rn = r^n mod n² — the
+  /// randomizer-pool path: one multiplication, no exponentiation.
+  Ciphertext encryptWithBlinding(const Bigint& m, const Bigint& rn) const;
+
+  /// Draws r uniform in Z*_n — the rejection loop shared by encrypt and
+  /// RandomizerPool so pooled and fresh encryptions consume randomness
+  /// identically (same Rng state ⇒ same r ⇒ same ciphertext).
+  Bigint drawRandomizer(Rng& rng) const;
 
   /// E(a)·E(b) mod n² = E(a+b).
   Ciphertext addCipher(const Ciphertext& a, const Ciphertext& b) const;
 
   /// c^k mod n² = E(m·k). Requires k >= 0.
   Ciphertext mulPlain(const Ciphertext& c, const Bigint& k) const;
+
+  /// c^k for every k in `ks`, sharing one fixed-base window table over c
+  /// when the batch is large enough to amortize the build (the broker's
+  /// per-segment blockwise fold). Element-wise identical to mulPlain.
+  std::vector<Ciphertext> mulPlainMany(const Ciphertext& c,
+                                       const std::vector<Bigint>& ks) const;
 
   /// c·(1+mn) mod n² = E(m' + m) without fresh randomness (used only where
   /// the operand is already a ciphertext with randomness of its own).
@@ -86,6 +118,11 @@ class PaillierPrivateKey {
 
   /// CRT decryption (identical result, ~4x faster).
   Bigint decryptCrt(const Ciphertext& c) const;
+
+  /// Batched CRT decryption: one pass over many ciphertexts (the client
+  /// opening l_F·(s+1) + l_I buffer slots), amortizing per-call overhead.
+  /// Element-wise identical to decryptCrt.
+  std::vector<Bigint> decryptCrtBatch(const std::vector<Ciphertext>& cs) const;
 
   /// Serializes (p, q); deserialize re-derives all precomputation.
   /// Protect the bytes accordingly — this IS the private key.

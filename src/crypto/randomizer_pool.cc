@@ -12,12 +12,13 @@ RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, Rng& rng)
 Bigint RandomizerPool::makeRandomizer() {
   // r uniform in Z*_n, then r^n mod n² — the blinding factor. Only the
   // rng draw is serialized; the expensive exponentiation runs unlocked.
+  // drawRandomizer is the same rejection loop encrypt() uses, so pooled
+  // and fresh encryptions consume Rng state identically (the
+  // differential suite pins same-seed ⇒ same ciphertext).
   Bigint r;
   {
     MutexLock lock(rngMu_);
-    do {
-      r = Bigint::randomBelow(rng_, pub_.n());
-    } while (r.isZero() || !Bigint::gcd(r, pub_.n()).isOne());
+    r = pub_.drawRandomizer(rng_);
   }
   return Bigint::powm(r, pub_.n(), pub_.nSquared());
 }
@@ -49,8 +50,7 @@ Ciphertext RandomizerPool::encrypt(const Bigint& m) {
     }
   }
   if (rn.isZero()) rn = makeRandomizer();  // pool was dry
-  const Bigint gm = (Bigint(1) + m * pub_.n()) % pub_.nSquared();
-  return Ciphertext{(gm * rn) % pub_.nSquared()};
+  return pub_.encryptWithBlinding(m, rn);
 }
 
 std::size_t RandomizerPool::pooledHits() const {

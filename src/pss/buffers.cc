@@ -24,6 +24,27 @@ SearchBuffers::SearchBuffers(const crypto::PaillierPublicKey& pub,
   }
 }
 
+std::uint64_t SearchBuffers::foldSlotRange(
+    const crypto::PaillierPublicKey& pub, const crypto::BitPrf& prf,
+    std::uint64_t index, const crypto::Ciphertext& ec,
+    const std::vector<crypto::Ciphertext>& ecf, std::size_t lo,
+    std::size_t hi) {
+  DPSS_CHECK_MSG(hi <= cBuffer_.size() && lo <= hi,
+                 "fold range out of bounds");
+  DPSS_CHECK_MSG(ecf.size() == blocks_, "need one E(c·f) per block");
+  std::uint64_t folds = 0;
+  for (std::size_t j = lo; j < hi; ++j) {
+    if (!prf(index, j)) continue;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      crypto::Ciphertext& slot = dataBuffer_[j * blocks_ + b];
+      slot = pub.addCipher(slot, ecf[b]);
+    }
+    cBuffer_[j] = pub.addCipher(cBuffer_[j], ec);
+    folds += blocks_ + 1;
+  }
+  return folds;
+}
+
 void SearchBuffers::serialize(ByteWriter& w) const {
   w.varint(blocks_);
   w.varint(cBuffer_.size());

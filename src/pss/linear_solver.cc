@@ -15,16 +15,19 @@ ModMatrix::ModMatrix(std::size_t rows, std::size_t cols, Bigint modulus)
 
 namespace {
 
-/// Gauss–Jordan on the augmented system [A | B]; returns X with A·X = B.
-/// Returns false (instead of throwing) when singular if `solution` null.
-bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
-  const std::size_t dim = a.rows();
+/// Gauss–Jordan on the augmented system [A | B] with rows >= cols;
+/// reduces in place and returns the rank (== cols on success, smaller on
+/// column-rank deficiency). Pivots that share a factor with n are skipped
+/// as unusable (inverting them would factor n).
+std::size_t eliminate(ModMatrix& a, ModMatrix* b) {
+  const std::size_t cols = a.cols();
+  const std::size_t rows = a.rows();
   const Bigint& n = a.modulus();
-  for (std::size_t col = 0; col < dim; ++col) {
+  for (std::size_t col = 0; col < cols; ++col) {
     // Find a row at or below `col` whose pivot is invertible mod n.
-    std::size_t pivotRow = dim;
+    std::size_t pivotRow = rows;
     Bigint pivotInv;
-    for (std::size_t r = col; r < dim; ++r) {
+    for (std::size_t r = col; r < rows; ++r) {
       const Bigint& candidate = a.at(r, col);
       if (candidate.isZero()) continue;
       try {
@@ -37,11 +40,11 @@ bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
       pivotRow = r;
       break;
     }
-    if (pivotRow == dim) return false;
+    if (pivotRow == rows) return col;
 
     // Swap into place.
     if (pivotRow != col) {
-      for (std::size_t c = 0; c < dim; ++c) {
+      for (std::size_t c = 0; c < cols; ++c) {
         std::swap(a.at(pivotRow, c), a.at(col, c));
       }
       if (b != nullptr) {
@@ -52,7 +55,7 @@ bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
     }
 
     // Normalize the pivot row.
-    for (std::size_t c = 0; c < dim; ++c) {
+    for (std::size_t c = 0; c < cols; ++c) {
       a.at(col, c) = (a.at(col, c) * pivotInv) % n;
     }
     if (b != nullptr) {
@@ -62,11 +65,11 @@ bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
     }
 
     // Eliminate the column everywhere else.
-    for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t r = 0; r < rows; ++r) {
       if (r == col) continue;
       const Bigint factor = a.at(r, col);
       if (factor.isZero()) continue;
-      for (std::size_t c = 0; c < dim; ++c) {
+      for (std::size_t c = 0; c < cols; ++c) {
         a.at(r, c) = (a.at(r, c) + (n - Bigint(1)) * factor % n * a.at(col, c)) % n;
       }
       if (b != nullptr) {
@@ -77,8 +80,33 @@ bool eliminate(ModMatrix a, ModMatrix* b, ModMatrix* solution) {
       }
     }
   }
-  if (solution != nullptr && b != nullptr) *solution = std::move(*b);
-  return true;
+  return cols;
+}
+
+ModMatrix solveReduced(const ModMatrix& a, const ModMatrix& b) {
+  ModMatrix work = a;
+  ModMatrix rhs = b;
+  if (eliminate(work, &rhs) < a.cols()) {
+    throw CryptoError("singular reconstruction matrix: retry the batch");
+  }
+  // Surplus rows were fully eliminated (every column held a pivot), so
+  // their rhs must have reduced to zero for the system to be consistent.
+  for (std::size_t r = a.cols(); r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < rhs.cols(); ++c) {
+      if (!rhs.at(r, c).isZero()) {
+        throw CryptoError(
+            "inconsistent reconstruction system: buffers do not match any "
+            "candidate assignment (wrong key or corrupt envelope)");
+      }
+    }
+  }
+  ModMatrix solution(a.cols(), b.cols(), b.modulus());
+  for (std::size_t r = 0; r < a.cols(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      solution.at(r, c) = rhs.at(r, c);
+    }
+  }
+  return solution;
 }
 
 }  // namespace
@@ -87,17 +115,21 @@ ModMatrix solveLinearSystem(const ModMatrix& a, const ModMatrix& b) {
   DPSS_CHECK_MSG(a.rows() == a.cols(), "coefficient matrix must be square");
   DPSS_CHECK_MSG(b.rows() == a.rows(), "rhs row count mismatch");
   DPSS_CHECK_MSG(a.modulus() == b.modulus(), "modulus mismatch");
-  ModMatrix rhs = b;
-  ModMatrix solution(b.rows(), b.cols(), b.modulus());
-  if (!eliminate(a, &rhs, &solution)) {
-    throw CryptoError("singular reconstruction matrix: retry the batch");
-  }
-  return solution;
+  return solveReduced(a, b);
+}
+
+ModMatrix solveConsistentSystem(const ModMatrix& a, const ModMatrix& b) {
+  DPSS_CHECK_MSG(a.rows() >= a.cols(),
+                 "consistent solve needs rows >= cols (unknowns)");
+  DPSS_CHECK_MSG(b.rows() == a.rows(), "rhs row count mismatch");
+  DPSS_CHECK_MSG(a.modulus() == b.modulus(), "modulus mismatch");
+  return solveReduced(a, b);
 }
 
 bool isInvertible(const ModMatrix& a) {
   if (a.rows() != a.cols()) return false;
-  return eliminate(a, nullptr, nullptr);
+  ModMatrix work = a;
+  return eliminate(work, nullptr) == a.cols();
 }
 
 }  // namespace dpss::pss

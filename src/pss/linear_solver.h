@@ -41,6 +41,18 @@ class ModMatrix {
 /// with invertible pivots.
 ModMatrix solveLinearSystem(const ModMatrix& a, const ModMatrix& b);
 
+/// Solves the overdetermined-but-consistent system A·x = b (mod n) where
+/// A has rows() >= cols(). Returns the unique cols()×b.cols() solution.
+/// This is the PSS reconstruction case: the buffer contributes l_F
+/// equations but only the Bloom candidates are unknowns, and a random
+/// 0/1 matrix with surplus rows is full column rank with probability
+/// ~1 - 2^-(rows-cols) — far better than padding to a square system,
+/// which is singular ~45% of the time at l_F = 8. Throws
+/// CryptoError("singular ...") on column-rank deficiency and
+/// CryptoError("inconsistent ...") when the surplus equations disagree
+/// (e.g. buffers decrypted with the wrong key).
+ModMatrix solveConsistentSystem(const ModMatrix& a, const ModMatrix& b);
+
 /// True iff A is invertible mod n (destructive elimination on a copy).
 bool isInvertible(const ModMatrix& a);
 

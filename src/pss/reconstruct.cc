@@ -24,14 +24,24 @@ std::vector<RecoveredSegment> Reconstructor::reconstruct(
 
   if (env.segmentsProcessed == 0) return {};
   DPSS_CHECK_MSG(env.segmentsProcessed >= lf,
-                 "batch must process at least l_F segments so padding "
-                 "indices exist (paper: t > l_F)");
+                 "batch must process at least l_F segments (paper: t > l_F)");
 
   // ---- Step 3.1: decrypt the buffers. -------------------------------
-  std::vector<Bigint> iBuf(env.buffers.indexBufferLength());
-  for (std::size_t s = 0; s < iBuf.size(); ++s) {
-    iBuf[s] = priv_.decryptCrt(env.buffers.match(s));
+  // All l_I + l_F·(s+1) slots in one batched CRT pass: the element
+  // results equal per-slot decryptCrt exactly, the batch just amortizes
+  // the per-call overhead across the whole envelope.
+  const std::size_t li = env.buffers.indexBufferLength();
+  std::vector<crypto::Ciphertext> slots;
+  slots.reserve(li + lf * (blocks + 1));
+  for (std::size_t s = 0; s < li; ++s) slots.push_back(env.buffers.match(s));
+  for (std::size_t j = 0; j < lf; ++j) slots.push_back(env.buffers.c(j));
+  for (std::size_t j = 0; j < lf; ++j) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      slots.push_back(env.buffers.data(j, b));
+    }
   }
+  const std::vector<Bigint> plain = priv_.decryptCrtBatch(slots);
+  const std::vector<Bigint> iBuf(plain.begin(), plain.begin() + li);
 
   // ---- Step 3.2: Bloom candidate extraction. ------------------------
   const crypto::BloomHashFamily bloom(env.bloomSeed, env.params.bloomHashes,
@@ -39,7 +49,6 @@ std::vector<RecoveredSegment> Reconstructor::reconstruct(
   const std::uint64_t lo = env.firstIndex;
   const std::uint64_t hi = env.firstIndex + env.segmentsProcessed;
   std::vector<std::uint64_t> candidates;
-  std::vector<std::uint64_t> nonCandidates;  // padding pool ("pick")
   for (std::uint64_t i = lo; i < hi; ++i) {
     bool allSet = true;
     for (std::size_t t = 0; t < bloom.k(); ++t) {
@@ -48,11 +57,7 @@ std::vector<RecoveredSegment> Reconstructor::reconstruct(
         break;
       }
     }
-    if (allSet) {
-      candidates.push_back(i);
-    } else if (nonCandidates.size() < lf) {
-      nonCandidates.push_back(i);
-    }
+    if (allSet) candidates.push_back(i);
   }
   if (candidates.size() > lf) {
     throw BufferOverflow(
@@ -60,65 +65,50 @@ std::vector<RecoveredSegment> Reconstructor::reconstruct(
         std::to_string(candidates.size()) + ") exceed buffer length (" +
         std::to_string(lf) + "); retry with larger l_F / l_I");
   }
-  // Pad to exactly l_F with known non-matching indices.
-  for (std::size_t p = 0; candidates.size() < lf; ++p) {
-    if (p >= nonCandidates.size()) {
-      throw BufferOverflow(
-          "not enough non-candidate indices to pad the system; "
-          "process more segments per batch (t) or shrink l_F");
-    }
-    candidates.push_back(nonCandidates[p]);
-  }
-  std::sort(candidates.begin(), candidates.end());
+  if (candidates.empty()) return {};
 
-  // ---- Step 3.3: solve A·c = C'. -------------------------------------
+  // ---- Steps 3.3 + 4: solve A·c = C' and A·diag(c)·f = F'. -----------
   // Slot j accumulated Σ_r g(a_r, j)·c_{a_r}, so the coefficient matrix
-  // has one row per buffer slot and one column per candidate index.
+  // has one row per buffer slot and one column per candidate index. Every
+  // non-candidate column is known-zero (Bloom has no false negatives), so
+  // the system stays l_F equations over only k = |candidates| unknowns —
+  // the surplus rows make column-rank deficiency exponentially unlikely
+  // instead of the ~45% singularity of a padded square 0/1 matrix. Both
+  // right-hand sides share one elimination: column 0 is C', the rest F'.
+  const std::size_t k = candidates.size();
   const crypto::BitPrf g(env.prfSeed);
-  ModMatrix coeff(lf, lf, n);
+  ModMatrix coeff(lf, k, n);
   for (std::size_t j = 0; j < lf; ++j) {
-    for (std::size_t r = 0; r < lf; ++r) {
+    for (std::size_t r = 0; r < k; ++r) {
       coeff.at(j, r) = Bigint(g(candidates[r], j) ? 1 : 0);
     }
   }
-  ModMatrix cRhs(lf, 1, n);
+  ModMatrix rhs(lf, 1 + blocks, n);
   for (std::size_t j = 0; j < lf; ++j) {
-    cRhs.at(j, 0) = priv_.decryptCrt(env.buffers.c(j));
-  }
-  const ModMatrix cSol = solveLinearSystem(coeff, cRhs);
-
-  // Exact matching indices: candidates whose c-value is non-zero.
-  std::vector<bool> isMatch(lf);
-  std::vector<Bigint> cValues(lf);
-  for (std::size_t r = 0; r < lf; ++r) {
-    cValues[r] = cSol.at(r, 0);
-    isMatch[r] = !cValues[r].isZero();
-    if (cValues[r].isZero()) cValues[r] = Bigint(1);  // "replace zeros by ones"
-  }
-
-  // ---- Step 4: solve A·diag(c)·f = F' blockwise. ----------------------
-  ModMatrix fRhs(lf, blocks, n);
-  for (std::size_t j = 0; j < lf; ++j) {
+    rhs.at(j, 0) = plain[li + j];
     for (std::size_t b = 0; b < blocks; ++b) {
-      fRhs.at(j, b) = priv_.decryptCrt(env.buffers.data(j, b));
+      rhs.at(j, 1 + b) = plain[li + lf + j * blocks + b];
     }
   }
-  // Solve coeff·y = F' (y = diag(c)·f), then f_r = c_r^{-1}·y_r.
-  const ModMatrix y = solveLinearSystem(coeff, fRhs);
+  const ModMatrix sol = solveConsistentSystem(coeff, rhs);
 
+  // Exact matching indices: candidates whose c-value is non-zero; zero
+  // c-values are Bloom false positives. Column 0 of the solution is c,
+  // the remaining columns are y = diag(c)·f, so f_r = c_r^{-1}·y_r.
   const BlockCodec codec(BlockCodec::maxBlockBytesFor(pub.modulusBits()));
   std::vector<RecoveredSegment> out;
-  for (std::size_t r = 0; r < lf; ++r) {
-    if (!isMatch[r]) continue;
-    const Bigint cInv = Bigint::invert(cValues[r], n);
+  for (std::size_t r = 0; r < k; ++r) {
+    const Bigint& cValue = sol.at(r, 0);
+    if (cValue.isZero()) continue;
+    const Bigint cInv = Bigint::invert(cValue, n);
     std::vector<Bigint> blocksOut;
     blocksOut.reserve(blocks);
     for (std::size_t b = 0; b < blocks; ++b) {
-      blocksOut.push_back((y.at(r, b) * cInv) % n);
+      blocksOut.push_back((sol.at(r, 1 + b) * cInv) % n);
     }
     RecoveredSegment seg;
     seg.index = candidates[r];
-    seg.cValue = cValues[r].toUint64();
+    seg.cValue = cValue.toUint64();
     seg.payload = codec.decode(blocksOut);
     out.push_back(std::move(seg));
   }

@@ -1,5 +1,8 @@
 #include "pss/searcher.h"
 
+#include <algorithm>
+#include <future>
+
 #include "common/error.h"
 #include "obs/metrics.h"
 
@@ -21,6 +24,9 @@ void SearchResultEnvelope::serialize(ByteWriter& w) const {
   w.u64(bloomSeed);
   w.u64(firstIndex);
   w.u64(segmentsProcessed);
+  w.varint(packFactor);
+  w.u64(firstDocIndex);
+  w.varint(documentCount);
   params.serialize(w);
 }
 
@@ -31,6 +37,9 @@ SearchResultEnvelope SearchResultEnvelope::deserialize(ByteReader& r) {
   e.bloomSeed = r.u64();
   e.firstIndex = r.u64();
   e.segmentsProcessed = r.u64();
+  e.packFactor = r.varint();
+  e.firstDocIndex = r.u64();
+  e.documentCount = r.varint();
   e.params = SearchParams::deserialize(r);
   return e;
 }
@@ -91,21 +100,36 @@ void StreamSearcher::processSegment(
   const crypto::Ciphertext ec = encryptedCValue(words);
 
   // Step 2.2 (blockwise) + 2.3: fold into slots with g(i, j) = 1.
-  // E(c_i·f_block) = E(c_i)^{f_block}.
-  std::uint64_t folds = 0;
+  // E(c_i·f_block) = E(c_i)^{f_block}, all blocks sharing one fixed-base
+  // window table over E(c_i).
   const std::uint64_t foldStart = obs::nowNanos();
-  std::vector<crypto::Ciphertext> ecf;
-  ecf.reserve(blocks_);
-  for (const auto& block : blocks) {
-    ecf.push_back(pub.mulPlain(ec, block));
+  const std::vector<crypto::Ciphertext> ecf = pub.mulPlainMany(ec, blocks);
+  const std::size_t lF = buffers_.bufferLength();
+  std::size_t shards = 1;
+  if (fold_.pool != nullptr) {
+    shards = fold_.shards != 0 ? fold_.shards : fold_.pool->threadCount();
+    shards = std::min(shards, lF);
   }
-  for (std::size_t j = 0; j < buffers_.bufferLength(); ++j) {
-    if (!prf_(index, j)) continue;
-    for (std::size_t b = 0; b < blocks_; ++b) {
-      buffers_.data(j, b) = pub.addCipher(buffers_.data(j, b), ecf[b]);
+  std::uint64_t folds = 0;
+  if (shards <= 1) {
+    folds = buffers_.foldSlotRange(pub, prf_, index, ec, ecf, 0, lF);
+  } else {
+    // Contiguous disjoint ranges: shard k owns [k·⌈l_F/shards⌉, …). Each
+    // worker re-scopes this node's registry so fold metrics land where the
+    // serial path records them.
+    const std::size_t per = (lF + shards - 1) / shards;
+    std::vector<std::future<std::uint64_t>> parts;
+    parts.reserve(shards);
+    for (std::size_t k = 0; k < shards; ++k) {
+      const std::size_t lo = std::min(k * per, lF);
+      const std::size_t hi = std::min(lo + per, lF);
+      parts.push_back(fold_.pool->submit([this, &reg, &pub, &ec, &ecf, index,
+                                          lo, hi] {
+        obs::ScopedRegistry scope(reg);
+        return buffers_.foldSlotRange(pub, prf_, index, ec, ecf, lo, hi);
+      }));
     }
-    buffers_.c(j) = pub.addCipher(buffers_.c(j), ec);
-    folds += blocks_ + 1;
+    for (auto& part : parts) folds += part.get();
   }
 
   // Step 2.4: Bloom update of the matching-indices buffer.
@@ -129,6 +153,9 @@ SearchResultEnvelope StreamSearcher::finish() {
   env.bloomSeed = bloom_.seed();
   env.firstIndex = firstIndex_;
   env.segmentsProcessed = processed_;
+  env.packFactor = 1;
+  env.firstDocIndex = firstIndex_;
+  env.documentCount = processed_;
   env.params = query_.params();
   env.buffers = std::move(buffers_);
 

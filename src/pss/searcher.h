@@ -18,6 +18,7 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "crypto/paillier.h"
 #include "crypto/prf.h"
 #include "pss/blocking.h"
@@ -38,10 +39,32 @@ struct SearchResultEnvelope {
   /// its range; the client reconstructs each envelope independently.
   std::uint64_t firstIndex = 0;
   std::uint64_t segmentsProcessed = 0;  // t
+  /// Documents per segment (1 = unpacked). With packFactor P > 1 every
+  /// segment in this envelope is a pack of P consecutive documents
+  /// (pss::packPayloads); the client unpacks after reconstruction.
+  std::uint64_t packFactor = 1;
+  /// Stream index of the first *document* covered (== firstIndex when
+  /// unpacked). Document o of group i lives at
+  /// firstDocIndex + (i - firstIndex)·packFactor + o.
+  std::uint64_t firstDocIndex = 0;
+  /// Total documents covered (== segmentsProcessed when unpacked; the
+  /// last group of a packed batch may be short).
+  std::uint64_t documentCount = 0;
   SearchParams params;
 
   void serialize(ByteWriter& w) const;
   static SearchResultEnvelope deserialize(ByteReader& r);
+};
+
+/// How a StreamSearcher folds each segment into the buffer slots.
+struct FoldOptions {
+  /// Pool to shard the per-segment slot fold across. nullptr (the default)
+  /// keeps the fold serial on the calling thread.
+  ThreadPool* pool = nullptr;
+  /// Number of contiguous slot ranges to split [0, l_F) into; 0 means one
+  /// per pool thread. Shards own disjoint slots, so the folded buffers are
+  /// byte-identical to the serial fold for every shard count.
+  std::size_t shards = 0;
 };
 
 class StreamSearcher {
@@ -62,6 +85,11 @@ class StreamSearcher {
   void processSegment(std::uint64_t index,
                       const std::vector<std::string>& words,
                       const std::vector<crypto::Bigint>& blocks);
+
+  /// Opts the per-segment fold into thread-parallel sharding. Safe to call
+  /// between segments; the Bloom fold (k colliding slots) stays serial.
+  void setFoldOptions(const FoldOptions& opts) { fold_ = opts; }
+  const FoldOptions& foldOptions() const { return fold_; }
 
   /// Finishes the batch: hands the buffers + seeds to the caller and
   /// resets internal state for the next batch.
@@ -84,6 +112,7 @@ class StreamSearcher {
   SearchBuffers buffers_;
   crypto::BitPrf prf_;
   crypto::BloomHashFamily bloom_;
+  FoldOptions fold_;
   std::uint64_t firstIndex_ = 0;
   std::uint64_t processed_ = 0;
 };

@@ -3,6 +3,7 @@
 // query scattered by the broker, per-slice envelopes opened by the client.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "cluster/cluster.h"
@@ -53,6 +54,33 @@ class PssClusterTest : public ::testing::Test {
           const auto part = client_.open(env);
           all.insert(all.end(), part.begin(), part.end());
         }
+        return all;
+      } catch (const CryptoError&) {
+        continue;
+      }
+    }
+    throw CryptoError("no solvable batch in 5 attempts");
+  }
+
+  /// As search(), but opens through openDocuments so packed envelopes
+  /// come back per-document; results are sorted by document index.
+  std::vector<pss::RecoveredSegment> searchDocuments(
+      Cluster& cluster, const std::set<std::string>& keywords) {
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      const auto query = client_.makeQuery(keywords);
+      const auto envelopes =
+          cluster.broker().privateSearch("security-log", dict_, query);
+      try {
+        std::vector<pss::RecoveredSegment> all;
+        for (const auto& env : envelopes) {
+          const auto part = client_.openDocuments(env, keywords);
+          all.insert(all.end(), part.begin(), part.end());
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const pss::RecoveredSegment& a,
+                     const pss::RecoveredSegment& b) {
+                    return a.index < b.index;
+                  });
         return all;
       } catch (const CryptoError&) {
         continue;
@@ -129,6 +157,34 @@ TEST_F(PssClusterTest, EnvelopeCountMatchesSliceHolders) {
   std::uint64_t total = 0;
   for (const auto& env : envelopes) total += env.segmentsProcessed;
   EXPECT_EQ(total, 48u);
+}
+
+TEST_F(PssClusterTest, PackedClusterSearchMatchesUnpacked) {
+  // The broker's pssPackFactor makes every historical node fold groups of
+  // 3 documents; envelopes advertise the factor and openDocuments splits
+  // them back. Results must equal the unpacked run document-for-document.
+  auto docs = makeDocs(90);
+  docs[5] = "virus detected on host five";
+  docs[40] = "worm spreading laterally";
+  docs[41] = "virus and worm combo";  // same pack group as 40
+  docs[77] = "worm at the tail";
+
+  Cluster unpacked(clock_, {.historicalNodes = 2});
+  loadDocs(unpacked, docs);
+  const auto plain = searchDocuments(unpacked, {"virus", "worm"});
+
+  Cluster packed(clock_, {.historicalNodes = 2, .pssPackFactor = 3});
+  loadDocs(packed, docs);
+  const auto split = searchDocuments(packed, {"virus", "worm"});
+
+  ASSERT_EQ(split.size(), plain.size());
+  ASSERT_EQ(split.size(), 4u);
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    EXPECT_EQ(split[i].index, plain[i].index);
+    EXPECT_EQ(split[i].cValue, plain[i].cValue);
+    EXPECT_EQ(split[i].payload, plain[i].payload);
+  }
+  for (const auto& r : split) EXPECT_EQ(r.payload, docs[r.index]);
 }
 
 TEST_F(PssClusterTest, BrokerSeesOnlyCiphertexts) {

@@ -1,0 +1,249 @@
+// Differential crypto harness: every fast-path kernel must produce
+// byte-identical results to its naive sibling across ≥100-seed property
+// sweeps. The pairs under test:
+//
+//   Bigint::powmWindowed / FixedBaseWindow::pow  vs  Bigint::powmNaive
+//   PaillierPublicKey::encryptWithR (g = n+1)    vs  encryptGenericWithR
+//   PaillierPrivateKey::decryptCrt / CrtBatch    vs  decrypt
+//   PaillierPublicKey::mulPlainMany              vs  mulPlain
+//   RandomizerPool::encrypt (precomputed r^n)    vs  fresh encrypt
+//   packPayloads / unpackPayloads                vs  identity
+//   runPrivateSearchPacked                       vs  runPrivateSearch
+//
+// "Byte-identical" is literal: results are compared via toBytes(), not
+// just numerically, so serialization-visible drift fails too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+#include "crypto/fixed_base.h"
+#include "crypto/paillier.h"
+#include "crypto/randomizer_pool.h"
+#include "pss/blocking.h"
+#include "pss/session.h"
+
+namespace dpss::crypto {
+namespace {
+
+constexpr std::uint64_t kSeeds = 128;  // sweeps per property, >= 100
+
+// One shared small key pair: key generation dominates runtime, the
+// properties only need a valid key, and every sweep varies plaintexts
+// and randomizers per seed.
+const PaillierKeyPair& sharedKey() {
+  static const PaillierKeyPair kp = [] {
+    Rng rng(0xd1ffe7e57);
+    return generateKeyPair(128, rng);
+  }();
+  return kp;
+}
+
+TEST(ModexpDifferential, WindowedMatchesNaiveAndGmp) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(seed);
+    // Mix modulus sizes and parities; m = 1 and even moduli are legal.
+    const std::size_t modBits = 16 + rng.below(240);
+    const Bigint m = Bigint::randomBits(rng, modBits);
+    const Bigint base = Bigint::randomBelow(rng, m + Bigint(7));  // may be >= m
+    const Bigint exp = Bigint::randomBits(rng, 1 + rng.below(200));
+    const unsigned window = 1 + seed % 6;
+    const Bigint want = Bigint::powmNaive(base, exp, m);
+    EXPECT_EQ(Bigint::powmWindowed(base, exp, m, window).toBytes(),
+              want.toBytes())
+        << "seed " << seed << " window " << window;
+    EXPECT_EQ(Bigint::powm(base, exp, m).toBytes(), want.toBytes())
+        << "seed " << seed;
+  }
+}
+
+TEST(ModexpDifferential, WindowedEdgeCases) {
+  const Bigint m("982451653");
+  EXPECT_EQ(Bigint::powmWindowed(Bigint(0), Bigint(0), m), Bigint(1));
+  EXPECT_EQ(Bigint::powmWindowed(Bigint(0), Bigint(5), m), Bigint(0));
+  EXPECT_EQ(Bigint::powmWindowed(Bigint(7), Bigint(0), m), Bigint(1));
+  EXPECT_EQ(Bigint::powmWindowed(Bigint(7), Bigint(1), m), Bigint(7));
+  // m == 1: everything is 0.
+  EXPECT_EQ(Bigint::powmWindowed(Bigint(7), Bigint(9), Bigint(1)), Bigint(0));
+  EXPECT_EQ(Bigint::powmNaive(Bigint(7), Bigint(9), Bigint(1)), Bigint(0));
+}
+
+TEST(ModexpDifferential, FixedBaseTableMatchesNaive) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(1000 + seed);
+    const Bigint m = Bigint::randomBits(rng, 32 + rng.below(200));
+    const Bigint base = Bigint::randomBelow(rng, m);
+    const std::size_t maxBits = 1 + rng.below(128);
+    const unsigned window = 1 + seed % 5;
+    const FixedBaseWindow table(base, m, maxBits, window);
+    for (int i = 0; i < 4; ++i) {
+      const Bigint exp = Bigint::randomBits(rng, 1 + rng.below(maxBits));
+      EXPECT_EQ(table.pow(exp).toBytes(),
+                Bigint::powmNaive(base, exp, m).toBytes())
+          << "seed " << seed << " window " << window;
+    }
+    EXPECT_EQ(table.pow(Bigint(0)).toBytes(),
+              (Bigint(1) % m).toBytes());
+  }
+}
+
+TEST(PaillierDifferential, FastEncryptMatchesGenericReference) {
+  const auto& kp = sharedKey();
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(2000 + seed);
+    const Bigint m = Bigint::randomBelow(rng, kp.pub.n());
+    const Bigint r = kp.pub.drawRandomizer(rng);
+    const Ciphertext fast = kp.pub.encryptWithR(m, r);
+    const Ciphertext naive = kp.pub.encryptGenericWithR(m, r);
+    EXPECT_EQ(fast.value.toBytes(), naive.value.toBytes()) << "seed " << seed;
+    EXPECT_EQ(kp.priv.decrypt(fast), m);
+  }
+}
+
+TEST(PaillierDifferential, SameRngSeedSameCiphertextAcrossPaths) {
+  // encrypt and encryptGeneric share drawRandomizer, so equal Rng seeds
+  // must yield equal ciphertexts across the fast/naive pair.
+  const auto& kp = sharedKey();
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng seedRng(3000 + seed);
+    const Bigint m = Bigint::randomBelow(seedRng, kp.pub.n());
+    Rng a(4000 + seed), b(4000 + seed);
+    EXPECT_EQ(kp.pub.encrypt(m, a).value.toBytes(),
+              kp.pub.encryptGeneric(m, b).value.toBytes())
+        << "seed " << seed;
+  }
+}
+
+TEST(PaillierDifferential, DecryptCrtAndBatchMatchDecrypt) {
+  const auto& kp = sharedKey();
+  std::vector<Ciphertext> cts;
+  std::vector<Bigint> ms;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(5000 + seed);
+    ms.push_back(Bigint::randomBelow(rng, kp.pub.n()));
+    cts.push_back(kp.pub.encrypt(ms.back(), rng));
+  }
+  const std::vector<Bigint> batch = kp.priv.decryptCrtBatch(cts);
+  ASSERT_EQ(batch.size(), cts.size());
+  for (std::size_t i = 0; i < cts.size(); ++i) {
+    const std::string want = kp.priv.decrypt(cts[i]).toBytes();
+    EXPECT_EQ(kp.priv.decryptCrt(cts[i]).toBytes(), want) << "seed " << i;
+    EXPECT_EQ(batch[i].toBytes(), want) << "seed " << i;
+    EXPECT_EQ(batch[i].toBytes(), ms[i].toBytes()) << "seed " << i;
+  }
+}
+
+TEST(PaillierDifferential, MulPlainManyMatchesMulPlain) {
+  const auto& kp = sharedKey();
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(6000 + seed);
+    const Ciphertext c = kp.pub.encrypt(Bigint::randomBelow(rng, kp.pub.n()),
+                                        rng);
+    // Sizes 1..13 straddle the fixed-base amortization crossover, so both
+    // branches of mulPlainMany are exercised.
+    const std::size_t count = 1 + rng.below(13);
+    std::vector<Bigint> ks;
+    for (std::size_t i = 0; i < count; ++i) {
+      ks.push_back(Bigint::randomBits(rng, 1 + rng.below(120)));
+    }
+    if (seed % 7 == 0) ks[0] = Bigint(0);
+    const std::vector<Ciphertext> many = kp.pub.mulPlainMany(c, ks);
+    ASSERT_EQ(many.size(), ks.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      EXPECT_EQ(many[i].value.toBytes(), kp.pub.mulPlain(c, ks[i]).value.toBytes())
+          << "seed " << seed << " elem " << i;
+    }
+  }
+}
+
+TEST(PaillierDifferential, PooledEncryptionMatchesFresh) {
+  // The pool draws its randomizers through the same rejection loop as
+  // encrypt(), so a pool seeded like a fresh Rng must produce the exact
+  // ciphertext sequence of fresh encryptions.
+  const auto& kp = sharedKey();
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng plaintextRng(7000 + seed);
+    const Bigint m1 = Bigint::randomBelow(plaintextRng, kp.pub.n());
+    const Bigint m2 = Bigint::randomBelow(plaintextRng, kp.pub.n());
+
+    Rng poolRng(8000 + seed);
+    RandomizerPool pool(kp.pub, poolRng);
+    pool.refill(2);
+    const Ciphertext pooled1 = pool.encrypt(m1);
+    const Ciphertext pooled2 = pool.encrypt(m2);
+
+    Rng freshRng(8000 + seed);
+    EXPECT_EQ(pooled1.value.toBytes(),
+              kp.pub.encrypt(m1, freshRng).value.toBytes())
+        << "seed " << seed;
+    EXPECT_EQ(pooled2.value.toBytes(),
+              kp.pub.encrypt(m2, freshRng).value.toBytes())
+        << "seed " << seed;
+  }
+}
+
+TEST(PackingDifferential, PackUnpackRoundTrips) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(9000 + seed);
+    const std::size_t count = rng.below(6);
+    std::vector<std::string> docs;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string d;
+      const std::size_t len = rng.below(64);
+      for (std::size_t b = 0; b < len; ++b) {
+        d.push_back(static_cast<char>(rng.below(256)));
+      }
+      docs.push_back(std::move(d));
+    }
+    std::vector<std::string_view> views(docs.begin(), docs.end());
+    const std::vector<std::string> back =
+        pss::unpackPayloads(pss::packPayloads(views));
+    EXPECT_EQ(back, docs) << "seed " << seed;
+  }
+}
+
+TEST(PackingDifferential, PackedSearchMatchesPerDocumentSearch) {
+  // The end-to-end pair: packed sessions must recover the same documents
+  // with the same per-document c-values as unpacked sessions. Heavier
+  // than the kernel sweeps, so fewer seeds — the kernel equivalences
+  // above carry the 100-seed burden.
+  const std::vector<std::string> dictWords = {"apple", "breach", "cipher",
+                                              "delta", "echo"};
+  const pss::Dictionary dict(dictWords);
+  const pss::SearchParams params{
+      .bufferLength = 4, .indexBufferLength = 64, .bloomHashes = 3};
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    std::vector<std::string> stream;
+    for (int i = 0; i < 24; ++i) {
+      stream.push_back("routine entry " + std::to_string(i));
+    }
+    stream[3] = "breach in sector apple";
+    stream[10] = "cipher breach confirmed";
+    stream[17] = "apple only here";
+
+    pss::PrivateSearchClient clientA(dict, params, 128, 500 + seed);
+    Rng brokerA(600 + seed);
+    const auto unpacked = runPrivateSearch(clientA, {"apple", "breach"},
+                                           stream, 0, brokerA);
+
+    pss::PrivateSearchClient clientB(dict, params, 128, 500 + seed);
+    Rng brokerB(600 + seed);
+    const auto packed = runPrivateSearchPacked(
+        clientB, {"apple", "breach"}, stream, /*packFactor=*/3, 0, brokerB);
+
+    ASSERT_EQ(packed.size(), unpacked.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+      EXPECT_EQ(packed[i].index, unpacked[i].index) << "seed " << seed;
+      EXPECT_EQ(packed[i].cValue, unpacked[i].cValue) << "seed " << seed;
+      EXPECT_EQ(packed[i].payload, unpacked[i].payload) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpss::crypto

@@ -1,0 +1,20 @@
+// dpss-lint-fixture: expect(raw-modexp)
+// dpss-lint-fixture: as(src/pss/raw_modexp_fixture.cc)
+//
+// The PSS layer calling a modexp kernel directly bypasses the
+// crypto::Paillier* entry points — the only modexp call sites covered by
+// the differential suite (fast path == reference, byte for byte). A raw
+// powm here could silently disagree with the windowed kernels and no
+// test would see it. This fixture is linted as if it lived in src/pss/.
+#include "crypto/bigint.h"
+
+namespace dpss::pss {
+
+crypto::Bigint foldSlotByHand(const crypto::Bigint& c,
+                              const crypto::Bigint& k,
+                              const crypto::Bigint& n2) {
+  // Should be pub.mulPlain(c, k) — the raw kernel call is the violation.
+  return crypto::Bigint::powm(c, k, n2);
+}
+
+}  // namespace dpss::pss

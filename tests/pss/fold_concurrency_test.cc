@@ -1,0 +1,190 @@
+// Concurrency tests for the thread-parallel per-segment fold and the
+// randomizer pool — the TSan subset runs these (scripts/check.sh). The
+// load-bearing property: fold shards own disjoint contiguous slot
+// ranges, so the folded buffers are byte-identical to the serial fold
+// for every pool size and shard count.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "crypto/randomizer_pool.h"
+#include "pss/dictionary.h"
+#include "pss/query.h"
+#include "pss/searcher.h"
+#include "pss/session.h"
+
+namespace dpss::pss {
+namespace {
+
+const std::vector<std::string> kDict = {"alpha", "breach", "cipher", "delta",
+                                        "echo",  "fox",    "golf",   "hotel"};
+
+std::vector<std::string> makeStream(int docs) {
+  std::vector<std::string> stream;
+  for (int i = 0; i < docs; ++i) {
+    stream.push_back(i % 5 == 2 ? "breach detected in cipher " +
+                                      std::to_string(i)
+                                : "routine entry " + std::to_string(i));
+  }
+  return stream;
+}
+
+std::string envelopeBytes(const SearchResultEnvelope& env) {
+  ByteWriter w;
+  env.serialize(w);
+  return w.take();
+}
+
+// Runs one batch over the stream with the given fold options; everything
+// else (key, query, broker rng) is pinned so envelopes are comparable.
+// Takes the query by value-copy from a shared const original: makeQuery
+// consumes client randomness, so callers build it exactly once.
+std::string runBatch(const Dictionary& dict, const EncryptedQuery& query,
+                     const FoldOptions& fold) {
+  Rng brokerRng(4242);
+  StreamSearcher searcher(dict, query, /*blocks=*/3, brokerRng);
+  searcher.setFoldOptions(fold);
+  const auto stream = makeStream(40);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    searcher.processSegment(i, stream[i]);
+  }
+  return envelopeBytes(searcher.finish());
+}
+
+TEST(FoldConcurrency, ShardedFoldIsByteIdenticalToSerial) {
+  const Dictionary dict(kDict);
+  const SearchParams params{
+      .bufferLength = 12, .indexBufferLength = 128, .bloomHashes = 3};
+  PrivateSearchClient client(dict, params, 128, /*seed=*/77);
+  const EncryptedQuery query = client.makeQuery({"breach"});
+
+  const std::string serial = runBatch(dict, query, FoldOptions{});
+  ThreadPool pool(4);
+  for (const std::size_t shards : {0u, 1u, 2u, 3u, 5u, 8u, 64u}) {
+    const std::string sharded =
+        runBatch(dict, query, FoldOptions{&pool, shards});
+    EXPECT_EQ(sharded, serial) << "shards=" << shards;
+  }
+}
+
+TEST(FoldConcurrency, ConcurrentSearchersSharingOnePool) {
+  // Two searchers folding through the same pool concurrently — the
+  // historical node under overlapping kPssSearch RPCs. Each must still
+  // produce its own serial-identical envelope.
+  const Dictionary dict(kDict);
+  const SearchParams params{
+      .bufferLength = 8, .indexBufferLength = 96, .bloomHashes = 3};
+  PrivateSearchClient client(dict, params, 128, /*seed=*/99);
+  const EncryptedQuery query = client.makeQuery({"breach"});
+  const std::string serial = runBatch(dict, query, FoldOptions{});
+
+  ThreadPool pool(4);
+  std::vector<std::string> got(4);
+  {
+    std::vector<std::thread> drivers;
+    for (std::size_t t = 0; t < got.size(); ++t) {
+      drivers.emplace_back(
+          [&, t] { got[t] = runBatch(dict, query, {&pool, 3}); });
+    }
+    for (auto& d : drivers) d.join();
+  }
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    EXPECT_EQ(got[t], serial) << "driver " << t;
+  }
+}
+
+TEST(FoldConcurrency, PackedSearchUnderShardedFold) {
+  // Packing and fold sharding compose: a packed batch folded through a
+  // pool must open to the same documents as the serial session API.
+  const Dictionary dict(kDict);
+  // 36 docs packed at 2 = 18 groups; every i%5==2 doc matches, and those
+  // land in 7 distinct groups, so l_F must exceed 7.
+  const SearchParams params{
+      .bufferLength = 10, .indexBufferLength = 96, .bloomHashes = 3};
+  const auto stream = makeStream(36);
+
+  PrivateSearchClient client(dict, params, 128, /*seed=*/31);
+  Rng serialRng(111);
+  const auto want = runPrivateSearchPacked(client, {"breach"}, stream,
+                                           /*packFactor=*/2, 0, serialRng);
+  ASSERT_FALSE(want.empty());
+
+  PrivateSearchClient client2(dict, params, 128, /*seed=*/31);
+  const EncryptedQuery query = client2.makeQuery({"breach"});
+  Rng brokerRng(111);
+  const std::size_t blocks = blocksNeeded(
+      [&] {
+        std::vector<std::string> packs;
+        for (std::size_t i = 0; i < stream.size(); i += 2) {
+          packs.push_back(packPayloads({stream[i], stream[i + 1]}));
+        }
+        return packs;
+      }(),
+      client2.publicKey().modulusBits());
+  StreamSearcher searcher(dict, query, blocks, brokerRng);
+  ThreadPool pool(3);
+  searcher.setFoldOptions({&pool, 0});
+  for (std::size_t i = 0, g = 0; i < stream.size(); i += 2, ++g) {
+    std::set<std::string> words;
+    for (auto& w : distinctWords(stream[i])) words.insert(w);
+    for (auto& w : distinctWords(stream[i + 1])) words.insert(w);
+    searcher.processSegment(
+        g, std::vector<std::string>(words.begin(), words.end()),
+        searcher.codec().encode(packPayloads({stream[i], stream[i + 1]}),
+                                blocks));
+  }
+  SearchResultEnvelope env = searcher.finish();
+  env.packFactor = 2;
+  env.firstDocIndex = 0;
+  env.documentCount = stream.size();
+  const auto got = client2.openDocuments(env, {"breach"});
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index);
+    EXPECT_EQ(got[i].cValue, want[i].cValue);
+    EXPECT_EQ(got[i].payload, want[i].payload);
+  }
+}
+
+TEST(RandomizerPoolConcurrency, ConcurrentRefillAndDrain) {
+  Rng keyRng(2026);
+  const auto kp = crypto::generateKeyPair(128, keyRng);
+  Rng poolRng(55);
+  crypto::RandomizerPool pool(kp.pub, poolRng);
+
+  constexpr int kRefillers = 3, kDrainers = 3, kPerThread = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRefillers; ++t) {
+    threads.emplace_back([&] { pool.refill(kPerThread); });
+  }
+  std::vector<std::vector<crypto::Bigint>> drained(kDrainers);
+  for (int t = 0; t < kDrainers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        drained[t].push_back(
+            kp.priv.decrypt(pool.encrypt(crypto::Bigint(100 * t + i))));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every drain decrypted correctly regardless of hit/miss interleaving.
+  for (int t = 0; t < kDrainers; ++t) {
+    ASSERT_EQ(drained[t].size(), static_cast<std::size_t>(kPerThread));
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(drained[t][i], crypto::Bigint(100 * t + i));
+    }
+  }
+  EXPECT_EQ(pool.pooledHits() + pool.misses(),
+            static_cast<std::size_t>(kDrainers * kPerThread));
+}
+
+}  // namespace
+}  // namespace dpss::pss

@@ -106,6 +106,48 @@ TEST(LinearSolver, RequiresSquareMatrix) {
   EXPECT_THROW(solveLinearSystem(a, b), InternalError);
 }
 
+TEST(LinearSolver, ConsistentOverdeterminedSolves) {
+  // Four equations, two unknowns (x = 4, y = 3); the surplus rows agree.
+  const auto a = fromRows({{1, 1}, {1, -1}, {2, 1}, {0, 1}});
+  const auto b = fromRows({{7}, {1}, {11}, {3}});
+  const auto x = solveConsistentSystem(a, b);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.at(0, 0), Bigint(4));
+  EXPECT_EQ(x.at(1, 0), Bigint(3));
+}
+
+TEST(LinearSolver, InconsistentOverdeterminedThrows) {
+  // Same matrix, last equation contradicts (0·x + 1·y = 5 but y = 3).
+  const auto a = fromRows({{1, 1}, {1, -1}, {2, 1}, {0, 1}});
+  const auto b = fromRows({{7}, {1}, {11}, {5}});
+  EXPECT_THROW(solveConsistentSystem(a, b), CryptoError);
+}
+
+TEST(LinearSolver, RankDeficientOverdeterminedThrows) {
+  // Two proportional columns: no candidate assignment is identifiable.
+  const auto a = fromRows({{1, 1}, {1, 1}, {0, 0}});
+  const auto b = fromRows({{2}, {2}, {0}});
+  EXPECT_THROW(solveConsistentSystem(a, b), CryptoError);
+}
+
+TEST(LinearSolver, ConsistentSolveRejectsWideMatrix) {
+  ModMatrix a(2, 3, kMod);
+  ModMatrix b(2, 1, kMod);
+  EXPECT_THROW(solveConsistentSystem(a, b), InternalError);
+}
+
+TEST(LinearSolver, ConsistentSolveMatchesSquareSolve) {
+  const auto a = fromRows({{2, 1}, {1, 1}});
+  const auto b = fromRows({{5, 8}, {3, 5}});
+  const auto square = solveLinearSystem(a, b);
+  const auto rect = solveConsistentSystem(a, b);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(rect.at(r, c), square.at(r, c));
+    }
+  }
+}
+
 TEST(LinearSolver, PivotingHandlesLeadingZeros) {
   // First pivot position is zero; elimination must row-swap.
   const auto a = fromRows({{0, 1}, {1, 0}});

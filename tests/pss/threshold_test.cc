@@ -8,7 +8,10 @@
 namespace dpss::pss {
 namespace {
 
-class ThresholdTest : public ::testing::Test {
+// Parameterized over the ciphertext packing factor: thresholding is a
+// client-side filter on per-document c-values, so it must behave
+// identically whether documents travelled unpacked or packed.
+class ThresholdTest : public ::testing::TestWithParam<std::size_t> {
  protected:
   ThresholdTest()
       : dict_({"alpha", "beta", "gamma", "delta", "plain"}),
@@ -17,6 +20,13 @@ class ThresholdTest : public ::testing::Test {
         client_(dict_, params_, 128, 808),
         rng_(909) {}
 
+  std::vector<RecoveredSegment> search(const std::set<std::string>& keywords,
+                                       std::uint64_t threshold,
+                                       const std::vector<std::string>& docs) {
+    return runThresholdSearch(client_, keywords, threshold, docs, 0, rng_,
+                              /*maxRetries=*/3, /*packFactor=*/GetParam());
+  }
+
   Dictionary dict_;
   SearchParams params_;
   PrivateSearchClient client_;
@@ -24,7 +34,9 @@ class ThresholdTest : public ::testing::Test {
 };
 
 std::vector<std::string> thresholdStream() {
-  std::vector<std::string> docs(20, "plain text only");
+  // Long enough that the packed stream still has > l_F groups at the
+  // largest packing factor under test.
+  std::vector<std::string> docs(60, "plain text only");
   docs[2] = "alpha alone here";                       // c = 1
   docs[7] = "alpha and beta together";                // c = 2
   docs[11] = "alpha beta gamma triple";               // c = 3
@@ -32,47 +44,42 @@ std::vector<std::string> thresholdStream() {
   return docs;
 }
 
-TEST_F(ThresholdTest, ThresholdOneEqualsDisjunction) {
-  const auto all = runThresholdSearch(client_, {"alpha", "beta", "gamma"}, 1,
-                                      thresholdStream(), 0, rng_);
+TEST_P(ThresholdTest, ThresholdOneEqualsDisjunction) {
+  const auto all = search({"alpha", "beta", "gamma"}, 1, thresholdStream());
   EXPECT_EQ(all.size(), 4u);
 }
 
-TEST_F(ThresholdTest, ThresholdTwoDropsSingleMatches) {
-  const auto out = runThresholdSearch(client_, {"alpha", "beta", "gamma"}, 2,
-                                      thresholdStream(), 0, rng_);
+TEST_P(ThresholdTest, ThresholdTwoDropsSingleMatches) {
+  const auto out = search({"alpha", "beta", "gamma"}, 2, thresholdStream());
   ASSERT_EQ(out.size(), 3u);
   for (const auto& r : out) EXPECT_GE(r.cValue, 2u);
   EXPECT_EQ(out[0].index, 7u);
 }
 
-TEST_F(ThresholdTest, ThresholdEqualsKeywordCount) {
-  const auto out = runThresholdSearch(client_, {"alpha", "beta", "gamma"}, 3,
-                                      thresholdStream(), 0, rng_);
+TEST_P(ThresholdTest, ThresholdEqualsKeywordCount) {
+  const auto out = search({"alpha", "beta", "gamma"}, 3, thresholdStream());
   ASSERT_EQ(out.size(), 2u);  // docs 11 and 15 contain all three
   EXPECT_EQ(out[0].index, 11u);
   EXPECT_EQ(out[1].index, 15u);
 }
 
-TEST_F(ThresholdTest, ImpossibleThresholdYieldsNothing) {
-  const auto out = runThresholdSearch(client_, {"alpha", "beta"}, 3,
-                                      thresholdStream(), 0, rng_);
+TEST_P(ThresholdTest, ImpossibleThresholdYieldsNothing) {
+  const auto out = search({"alpha", "beta"}, 3, thresholdStream());
   EXPECT_TRUE(out.empty());  // only two keywords queried
 }
 
-TEST_F(ThresholdTest, ZeroThresholdRejected) {
-  EXPECT_THROW(runThresholdSearch(client_, {"alpha"}, 0, thresholdStream(),
-                                  0, rng_),
-               InternalError);
+TEST_P(ThresholdTest, ZeroThresholdRejected) {
+  EXPECT_THROW(search({"alpha"}, 0, thresholdStream()), InternalError);
 }
 
-TEST_F(ThresholdTest, PayloadsIntactAfterFiltering) {
+TEST_P(ThresholdTest, PayloadsIntactAfterFiltering) {
   const auto stream = thresholdStream();
-  const auto out =
-      runThresholdSearch(client_, {"alpha", "beta", "gamma"}, 2, stream, 0,
-                         rng_);
+  const auto out = search({"alpha", "beta", "gamma"}, 2, stream);
   for (const auto& r : out) EXPECT_EQ(r.payload, stream[r.index]);
 }
+
+INSTANTIATE_TEST_SUITE_P(PackFactor, ThresholdTest,
+                         ::testing::Values(1u, 2u, 3u));
 
 }  // namespace
 }  // namespace dpss::pss
