@@ -106,9 +106,12 @@ int main() {
           std::size_t n = 0;
           for (const auto& env : envelopes) {
             for (const auto& match : client.open(env)) {
-              // "wire amount <x>": parse the retrieved metric.
-              const auto pos = match.payload.rfind(' ');
-              sum += std::stod(match.payload.substr(pos + 1));
+              // "wire amount <x>": parse the retrieved metric. This is a
+              // client binary — releasing the plaintext is its purpose.
+              const std::string& doc =
+                  match.payload.releaseForClientReconstruction();
+              const auto pos = doc.rfind(' ');
+              sum += std::stod(doc.substr(pos + 1));
               ++n;
             }
           }

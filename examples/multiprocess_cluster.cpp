@@ -200,7 +200,7 @@ int main(int argc, char** argv) {
   for (const auto& hit : hits) {
     std::printf("  doc %llu: %s\n",
                 static_cast<unsigned long long>(hit.index),
-                hit.payload.c_str());
+                hit.payload.releaseForClientReconstruction().c_str());
   }
 
   // --- the coordinator assembled the cross-process trace ----------------

@@ -67,7 +67,7 @@ int main() {
     std::printf("  doc %3llu (c=%llu): %s\n",
                 static_cast<unsigned long long>(m.index),
                 static_cast<unsigned long long>(m.cValue),
-                m.payload.c_str());
+                m.payload.releaseForClientReconstruction().c_str());
   }
   std::printf("client: recovered %zu matching documents\n", matches.size());
   return matches.size() == 3 ? 0 : 1;

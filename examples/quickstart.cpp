@@ -55,7 +55,7 @@ int main() {
     std::printf("  doc %2llu (matched %llu keyword%s): %s\n",
                 static_cast<unsigned long long>(m.index),
                 static_cast<unsigned long long>(m.cValue),
-                m.cValue == 1 ? "" : "s", m.payload.c_str());
+                m.cValue == 1 ? "" : "s", m.payload.releaseForClientReconstruction().c_str());
   }
 
   // What the search cost, straight from the instrumentation layer.

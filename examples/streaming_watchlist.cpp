@@ -58,7 +58,7 @@ int main() {
         std::printf("ALERT @ event %3llu (matched %llu): %s\n",
                     static_cast<unsigned long long>(match.index),
                     static_cast<unsigned long long>(match.cValue),
-                    match.payload.c_str());
+                    match.payload.releaseForClientReconstruction().c_str());
         ++hits;
       }
     } catch (const CryptoError&) {

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # The repo's verification gate, in four stages:
 #
-#   1. tier-1   — full build (with -Werror for src/) + full ctest suite
-#   2. lint     — dpss-lint determinism/layering invariants over src/
+#   1. static   — dpss-lint + dpss-arch over src/, BEFORE the build:
+#                 both finish in under a second, so layer violations and
+#                 privacy-hatch leaks fail fast (the arch tree run
+#                 re-runs post-configure with compile_commands coverage
+#                 as the dpss_arch_tree ctest)
+#   2. tier-1   — full build (with -Werror for src/) + full ctest suite
 #   3. asan     — the FULL ctest suite again under ASan+UBSan
 #                 (UBSan non-recoverable, so any UB fails the test)
 #   4. tsan     — the concurrency-sensitive subset under ThreadSanitizer
@@ -20,6 +24,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+echo "== static: dpss-lint + dpss-arch (fail fast, pre-build) =="
+python3 scripts/dpss_lint.py --selftest
+python3 scripts/dpss_lint.py --check-fixtures tests/lint_fixtures
+python3 scripts/dpss_lint.py
+python3 scripts/dpss_arch.py --selftest
+python3 scripts/dpss_arch.py --no-compile-commands
+
+echo
 echo "== tier-1: full build (DPSS_WERROR=ON) + ctest =="
 cmake -B build -S . -DDPSS_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS" >/dev/null
@@ -81,9 +93,8 @@ echo "== bench smoke: pss hot-path speedup ratios vs BENCH_pss.json =="
 python3 scripts/check_bench_pss.py
 
 echo
-echo "== dpss-lint: determinism & layering invariants =="
-python3 scripts/dpss_lint.py --selftest
-python3 scripts/dpss_lint.py
+echo "== clang-tidy: curated .clang-tidy profile over src/ TUs =="
+python3 scripts/run_clang_tidy.py --build-dir build
 
 if [[ "${DPSS_CHECK_SKIP_SANITIZERS:-0}" == "1" ]]; then
   echo

@@ -36,6 +36,16 @@ rules keep the accidental escape hatches shut:
                   (cluster/chaos_scheduler.h). Tests are never walked,
                   so targeted regression tests stay free to crash nodes
                   directly.
+  plaintext-release -- the PlaintextBytes escape hatch
+                  (releaseForClientReconstruction, crypto/sensitive.h)
+                  is confined to the client reconstruction sites:
+                  pss/session.cc and cluster/pss_client.cc. Everywhere
+                  else in src/, decrypted matched documents stay inside
+                  the privacy type.
+  secret-memcpy -- no memcpy/memset/memmove over SecretScalar (or any
+                  Secret*-named) storage outside src/crypto/; byte-level
+                  access to key material bypasses the scrubbing dtor and
+                  the audited serialize() path.
 
 A violation can be waived inline with a justification:
 
@@ -129,6 +139,19 @@ CHAOS_API_EXEMPT = frozenset(
     }
 )
 
+# The privacy boundary's one sanctioned exit: client-side reconstruction
+# (session.cc splits pack groups, pss_client.cc drives the distributed
+# client) plus the declaration itself. Tests use their fixture
+# (tests/pss/plaintext_access.h) and client binaries (examples/, bench/)
+# consume results directly — neither is walked by the lint.
+PLAINTEXT_RELEASE_EXEMPT = frozenset(
+    {
+        "src/crypto/sensitive.h",
+        "src/pss/session.cc",
+        "src/cluster/pss_client.cc",
+    }
+)
+
 METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 
 RULES = [
@@ -208,6 +231,30 @@ RULES = [
             "so one seed replays the whole failure story"
         ),
         exempt_files=CHAOS_API_EXEMPT,
+    ),
+    Rule(
+        name="plaintext-release",
+        pattern=re.compile(r"\breleaseForClientReconstruction\s*\("),
+        message=(
+            "PlaintextBytes escape hatch outside the client "
+            "reconstruction sites (pss/session.cc, cluster/pss_client.cc); "
+            "decrypted matched documents must stay inside the privacy "
+            "type (crypto/sensitive.h)"
+        ),
+        exempt_files=PLAINTEXT_RELEASE_EXEMPT,
+    ),
+    Rule(
+        name="secret-memcpy",
+        # A mem*() call whose argument text names Secret-typed storage.
+        pattern=re.compile(
+            r"\b(?:memcpy|memset|memmove)\s*\([^;)]*\b[Ss]ecret"
+        ),
+        message=(
+            "byte-level access to SecretScalar storage outside "
+            "src/crypto/; key material moves only through the scrubbing "
+            "type and the audited PaillierPrivateKey::serialize path"
+        ),
+        exempt_dirs=frozenset({"src/crypto/"}),
     ),
 ]
 
@@ -507,6 +554,36 @@ SELFTEST_CASES = [
         "// dpss-lint: allow(chaos-api) bench measures raw restart cost\n"
         "node.crash();",
     ),
+    (
+        "plaintext-release",
+        "src/x/a.cc",
+        "auto s = seg.payload.releaseForClientReconstruction();",
+    ),
+    (
+        "plaintext-release",
+        "src/net/frame.cc",
+        "w.str(doc.releaseForClientReconstruction());",
+    ),
+    (None, "src/pss/session.cc",
+     "auto s = p.releaseForClientReconstruction();"),
+    (None, "src/cluster/pss_client.cc",
+     "auto s = p.releaseForClientReconstruction();"),
+    (None, "src/crypto/sensitive.h",
+     "const std::string& releaseForClientReconstruction() const;"),
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(plaintext-release) client-side CLI output\n"
+        "print(m.payload.releaseForClientReconstruction());",
+    ),
+    ("secret-memcpy", "src/x/a.cc",
+     "memcpy(buf, &secretKey, sizeof(secretKey));"),
+    ("secret-memcpy", "src/x/a.cc", "memset(&secrets[0], 0, n);"),
+    ("secret-memcpy", "src/pss/a.cc",
+     "std::memmove(dst, key.secretBytes(), n);"),
+    (None, "src/crypto/sensitive.cc", "memset(&secret, 0, n);"),
+    (None, "src/x/a.cc", "memcpy(dst, src, n);"),  # no secret involved
+    (None, "src/x/a.cc", "int consecrated = memcmp(a, b, n);"),
 ]
 
 

@@ -138,7 +138,11 @@ class BrokerNode : public PrivateSearchBroker {
   BrokerOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  mutable Mutex mu_;
+  // Lock order: broker mutex before registry mutex — start()/buildView()
+  // call into the registry (connect, children, watchChildren) with mu_
+  // held; the registry never calls back out under its lock (watches fire
+  // post-mutation, unlocked), so the inverse order cannot occur.
+  mutable Mutex mu_ DPSS_ACQUIRED_BEFORE(registry_.internalMutex());
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   bool running_ DPSS_GUARDED_BY(mu_) = false;
   bool viewDirty_ DPSS_GUARDED_BY(mu_) = true;

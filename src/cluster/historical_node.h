@@ -122,7 +122,10 @@ class HistoricalNode {
   HistoricalNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  mutable Mutex mu_;
+  // Lock order: historical mutex before registry mutex — announce /
+  // reregister paths call the registry with mu_ held (see broker_node.h
+  // for why the inverse order cannot occur).
+  mutable Mutex mu_ DPSS_ACQUIRED_BEFORE(registry_.internalMutex());
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   std::uint64_t watchId_ DPSS_GUARDED_BY(mu_) = 0;
   bool running_ DPSS_GUARDED_BY(mu_) = false;

@@ -141,7 +141,10 @@ class RealtimeNode {
   RealtimeNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
 
-  mutable Mutex mu_;
+  // Lock order: realtime mutex before registry mutex — start() and
+  // bucket announcements call the registry with mu_ held (see
+  // broker_node.h for why the inverse order cannot occur).
+  mutable Mutex mu_ DPSS_ACQUIRED_BEFORE(registry_.internalMutex());
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   bool running_ DPSS_GUARDED_BY(mu_) = false;
   // next queue offset to read

@@ -112,6 +112,18 @@ class Registry {
       DPSS_REQUIRES(mu_);
 
   mutable Mutex mu_;
+
+ public:
+  /// The registry mutex as a referenceable capability, so node classes
+  /// can declare lock order against it (DPSS_ACQUIRED_BEFORE). The
+  /// registry is the innermost lock in the cluster: nodes hold their own
+  /// mutex across registry calls (connect, create, children), and the
+  /// registry never calls back out under mu_ — watches fire after the
+  /// mutation, outside the lock (see the class comment). Exposed for
+  /// annotation only; nothing outside this class locks it.
+  Mutex& internalMutex() const DPSS_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
   std::map<std::string, Node> nodes_ DPSS_GUARDED_BY(mu_);
   std::map<std::uint64_t, WatchEntry> watches_ DPSS_GUARDED_BY(mu_);
   std::uint64_t nextWatchId_ DPSS_GUARDED_BY(mu_) = 1;

@@ -65,6 +65,17 @@
 /// Function returns a reference to the given capability.
 #define DPSS_RETURN_CAPABILITY(x) DPSS_THREAD_ANNOTATION(lock_returned(x))
 
+/// Declares lock-acquisition order on a mutex member: this mutex is
+/// always taken before (respectively after) the listed ones. Documents
+/// the cluster's node-mutex → registry-mutex order and lets clang's
+/// -Wthread-safety-beta flag inversions; the non-beta analysis (what CI
+/// runs as -Werror) parses but does not yet enforce these, so the
+/// annotations are forward-compatible documentation with teeth pending.
+#define DPSS_ACQUIRED_BEFORE(...) \
+  DPSS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DPSS_ACQUIRED_AFTER(...) \
+  DPSS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 /// Runtime assertion that the calling thread holds the capability.
 #define DPSS_ASSERT_CAPABILITY(x) \
   DPSS_THREAD_ANNOTATION(assert_capability(x))

@@ -152,27 +152,30 @@ PaillierPublicKey PaillierPublicKey::deserialize(ByteReader& r) {
 
 PaillierPrivateKey::PaillierPrivateKey(Bigint p, Bigint q)
     : p_(std::move(p)), q_(std::move(q)) {
-  DPSS_CHECK_MSG(!(p_ == q_), "p and q must differ");
-  DPSS_CHECK_MSG(p_.isProbablePrime() && q_.isProbablePrime(),
+  // Key material lives in SecretScalar; bind const views for the math.
+  const Bigint& pv = p_.get();
+  const Bigint& qv = q_.get();
+  DPSS_CHECK_MSG(!(pv == qv), "p and q must differ");
+  DPSS_CHECK_MSG(pv.isProbablePrime() && qv.isProbablePrime(),
                  "p and q must be prime");
-  pub_ = PaillierPublicKey(p_ * q_);
+  pub_ = PaillierPublicKey(pv * qv);
   const Bigint& n = pub_.n();
   const Bigint& n2 = pub_.nSquared();
 
-  lambda_ = Bigint::lcm(p_ - Bigint(1), q_ - Bigint(1));
+  lambda_ = SecretScalar(Bigint::lcm(pv - Bigint(1), qv - Bigint(1)));
   // μ = L(g^λ mod n²)^{-1} mod n, g = n+1.
-  const Bigint gl = Bigint::powm(n + Bigint(1), lambda_, n2);
-  mu_ = Bigint::invert(ell(gl, n), n);
+  const Bigint gl = Bigint::powm(n + Bigint(1), lambda_.get(), n2);
+  mu_ = SecretScalar(Bigint::invert(ell(gl, n), n));
 
-  p2_ = p_ * p_;
-  q2_ = q_ * q_;
-  pMinus1_ = p_ - Bigint(1);
-  qMinus1_ = q_ - Bigint(1);
-  const Bigint gp = Bigint::powm(n + Bigint(1), pMinus1_, p2_);
-  const Bigint gq = Bigint::powm(n + Bigint(1), qMinus1_, q2_);
-  hp_ = Bigint::invert(ell(gp, p_) % p_, p_);
-  hq_ = Bigint::invert(ell(gq, q_) % q_, q_);
-  pInvModQ_ = Bigint::invert(p_, q_);
+  p2_ = SecretScalar(pv * pv);
+  q2_ = SecretScalar(qv * qv);
+  pMinus1_ = SecretScalar(pv - Bigint(1));
+  qMinus1_ = SecretScalar(qv - Bigint(1));
+  const Bigint gp = Bigint::powm(n + Bigint(1), pMinus1_.get(), p2_.get());
+  const Bigint gq = Bigint::powm(n + Bigint(1), qMinus1_.get(), q2_.get());
+  hp_ = SecretScalar(Bigint::invert(ell(gp, pv) % pv, pv));
+  hq_ = SecretScalar(Bigint::invert(ell(gq, qv) % qv, qv));
+  pInvModQ_ = SecretScalar(Bigint::invert(pv, qv));
 }
 
 Bigint PaillierPrivateKey::decrypt(const Ciphertext& c) const {
@@ -183,8 +186,8 @@ Bigint PaillierPrivateKey::decrypt(const Ciphertext& c) const {
   const Bigint& n2 = pub_.nSquared();
   DPSS_CHECK_MSG(c.value.sign() >= 0 && c.value < n2,
                  "ciphertext out of range");
-  const Bigint cl = Bigint::powm(c.value, lambda_, n2);
-  return (ell(cl, n) * mu_) % n;
+  const Bigint cl = Bigint::powm(c.value, lambda_.get(), n2);
+  return (ell(cl, n) * mu_.get()) % n;
 }
 
 Bigint PaillierPrivateKey::decryptCrt(const Ciphertext& c) const {
@@ -192,13 +195,17 @@ Bigint PaillierPrivateKey::decryptCrt(const Ciphertext& c) const {
   reg.counter(kDecryptCount).inc();
   obs::ScopedTimer timer(reg.histogram(kDecryptNs));
   // m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise for q; then CRT.
-  const Bigint cp = Bigint::powm(c.value % p2_, pMinus1_, p2_);
-  const Bigint cq = Bigint::powm(c.value % q2_, qMinus1_, q2_);
-  const Bigint mp = (ell(cp, p_) % p_) * hp_ % p_;
-  const Bigint mq = (ell(cq, q_) % q_) * hq_ % q_;
+  const Bigint& p = p_.get();
+  const Bigint& q = q_.get();
+  const Bigint& p2 = p2_.get();
+  const Bigint& q2 = q2_.get();
+  const Bigint cp = Bigint::powm(c.value % p2, pMinus1_.get(), p2);
+  const Bigint cq = Bigint::powm(c.value % q2, qMinus1_.get(), q2);
+  const Bigint mp = (ell(cp, p) % p) * hp_.get() % p;
+  const Bigint mq = (ell(cq, q) % q) * hq_.get() % q;
   // m = mp + p·((mq - mp)·p^{-1} mod q)
-  const Bigint diff = ((mq - mp) % q_ + q_) % q_;
-  return mp + p_ * ((diff * pInvModQ_) % q_);
+  const Bigint diff = ((mq - mp) % q + q) % q;
+  return mp + p * ((diff * pInvModQ_.get()) % q);
 }
 
 std::vector<Bigint> PaillierPrivateKey::decryptCrtBatch(
@@ -210,20 +217,24 @@ std::vector<Bigint> PaillierPrivateKey::decryptCrtBatch(
   out.reserve(cs.size());
   // Same per-element math as decryptCrt; one metrics touch and one
   // reserve for the whole batch instead of per call.
+  const Bigint& p = p_.get();
+  const Bigint& q = q_.get();
+  const Bigint& p2 = p2_.get();
+  const Bigint& q2 = q2_.get();
   for (const auto& c : cs) {
-    const Bigint cp = Bigint::powm(c.value % p2_, pMinus1_, p2_);
-    const Bigint cq = Bigint::powm(c.value % q2_, qMinus1_, q2_);
-    const Bigint mp = (ell(cp, p_) % p_) * hp_ % p_;
-    const Bigint mq = (ell(cq, q_) % q_) * hq_ % q_;
-    const Bigint diff = ((mq - mp) % q_ + q_) % q_;
-    out.push_back(mp + p_ * ((diff * pInvModQ_) % q_));
+    const Bigint cp = Bigint::powm(c.value % p2, pMinus1_.get(), p2);
+    const Bigint cq = Bigint::powm(c.value % q2, qMinus1_.get(), q2);
+    const Bigint mp = (ell(cp, p) % p) * hp_.get() % p;
+    const Bigint mq = (ell(cq, q) % q) * hq_.get() % q;
+    const Bigint diff = ((mq - mp) % q + q) % q;
+    out.push_back(mp + p * ((diff * pInvModQ_.get()) % q));
   }
   return out;
 }
 
 void PaillierPrivateKey::serialize(ByteWriter& w) const {
-  w.str(p_.toBytes());
-  w.str(q_.toBytes());
+  w.str(p_.get().toBytes());
+  w.str(q_.get().toBytes());
 }
 
 PaillierPrivateKey PaillierPrivateKey::deserialize(ByteReader& r) {

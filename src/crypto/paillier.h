@@ -22,6 +22,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "crypto/bigint.h"
+#include "crypto/sensitive.h"
 
 namespace dpss::crypto {
 
@@ -29,6 +30,15 @@ namespace dpss::crypto {
 /// Bigints can never be passed where a ciphertext is expected.
 struct Ciphertext {
   Bigint value;
+
+  /// Wire form. CiphertextBlob (crypto/sensitive.h) is the one
+  /// sensitive-adjacent payload sanctioned to cross the trust boundary;
+  /// every ciphertext serialization path goes through it so the codec
+  /// states which species it carries.
+  CiphertextBlob toBlob() const { return CiphertextBlob(value.toBytes()); }
+  static Ciphertext fromBlob(const CiphertextBlob& blob) {
+    return Ciphertext{Bigint::fromBytes(blob.wire())};
+  }
 
   friend bool operator==(const Ciphertext& a, const Ciphertext& b) = default;
 };
@@ -105,11 +115,21 @@ class PaillierPublicKey {
 };
 
 /// Private key with CRT precomputation.
+///
+/// All key material lives in SecretScalar (crypto/sensitive.h): the key
+/// is move-only — a copy would be an uncontrolled second residence for
+/// the factorization of n — and every scalar is scrubbed on
+/// destruction. serialize() remains the one audited persistence path.
 class PaillierPrivateKey {
  public:
   PaillierPrivateKey() = default;
   /// p, q distinct odd primes; the public modulus is n = p·q.
   PaillierPrivateKey(Bigint p, Bigint q);
+
+  PaillierPrivateKey(const PaillierPrivateKey&) = delete;
+  PaillierPrivateKey& operator=(const PaillierPrivateKey&) = delete;
+  PaillierPrivateKey(PaillierPrivateKey&&) noexcept = default;
+  PaillierPrivateKey& operator=(PaillierPrivateKey&&) noexcept = default;
 
   const PaillierPublicKey& publicKey() const { return pub_; }
 
@@ -131,13 +151,13 @@ class PaillierPrivateKey {
 
  private:
   PaillierPublicKey pub_;
-  Bigint p_, q_;
-  Bigint lambda_, mu_;
+  SecretScalar p_, q_;
+  SecretScalar lambda_, mu_;
   // CRT precomputation.
-  Bigint p2_, q2_;        // p², q²
-  Bigint pMinus1_, qMinus1_;
-  Bigint hp_, hq_;        // Lp(g^{p-1} mod p²)^{-1} mod p, and for q
-  Bigint pInvModQ_;
+  SecretScalar p2_, q2_;  // p², q²
+  SecretScalar pMinus1_, qMinus1_;
+  SecretScalar hp_, hq_;  // Lp(g^{p-1} mod p²)^{-1} mod p, and for q
+  SecretScalar pInvModQ_;
 };
 
 struct PaillierKeyPair {

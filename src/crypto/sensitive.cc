@@ -1,0 +1,34 @@
+#include "crypto/sensitive.h"
+
+#include <gmp.h>
+
+#include <ostream>
+
+namespace dpss::crypto {
+
+void scrubBytes(void* data, std::size_t size) noexcept {
+  // Volatile writes so the store-before-free cannot be elided as a dead
+  // store the way a plain memset can (CWE-14). This is best-effort
+  // hygiene, not a security proof: copies made by the allocator or the
+  // OS are out of reach.
+  auto* p = static_cast<volatile unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const PlaintextBytes& p) {
+  return os << "PlaintextBytes(" << p.size() << " bytes)";
+}
+
+void SecretScalar::scrub() noexcept {
+  // Zero the limbs in place before mpz_clear (run by ~Bigint) returns
+  // the storage to GMP's allocator. mpz_limbs_modify never shrinks the
+  // allocation, so writing mpz_size limbs is in bounds.
+  mpz_ptr z = value_.raw();
+  const std::size_t limbs = mpz_size(z);
+  if (limbs == 0) return;
+  mp_limb_t* p = mpz_limbs_modify(z, limbs);
+  scrubBytes(p, limbs * sizeof(mp_limb_t));
+  mpz_limbs_finish(z, 0);
+}
+
+}  // namespace dpss::crypto

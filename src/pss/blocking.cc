@@ -50,7 +50,8 @@ std::vector<crypto::Bigint> BlockCodec::encode(std::string_view payload,
   return blocks;
 }
 
-std::string BlockCodec::decode(const std::vector<crypto::Bigint>& blocks) const {
+crypto::PlaintextBytes BlockCodec::decode(
+    const std::vector<crypto::Bigint>& blocks) const {
   std::string framed;
   framed.reserve(blocks.size() * blockBytes_);
   for (const auto& block : blocks) {
@@ -66,12 +67,12 @@ std::string BlockCodec::decode(const std::vector<crypto::Bigint>& blocks) const 
   try {
     len = r.varint();
     if (len > r.remaining()) throw CorruptData("length exceeds frame");
-    const std::string payload(r.raw(len));
+    std::string payload(r.raw(len));
     const std::uint32_t expect = r.u32();
     if (checksum32(payload) != expect) {
       throw CorruptData("payload checksum mismatch");
     }
-    return payload;
+    return crypto::PlaintextBytes(std::move(payload));
   } catch (const CorruptData&) {
     throw;
   }

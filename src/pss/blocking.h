@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/bigint.h"
+#include "crypto/sensitive.h"
 
 namespace dpss::pss {
 
@@ -39,7 +40,10 @@ class BlockCodec {
 
   /// Inverse of encode(). Throws CorruptData when the frame or checksum is
   /// invalid — the signal the OS05 baseline uses to reject collided slots.
-  std::string decode(const std::vector<crypto::Bigint>& blocks) const;
+  /// decode() is the moment decrypted buffer slots become a readable
+  /// document, so the result is privacy-typed: a PlaintextBytes cannot be
+  /// re-serialized into a Frame/Envelope (see crypto/sensitive.h).
+  crypto::PlaintextBytes decode(const std::vector<crypto::Bigint>& blocks) const;
 
  private:
   std::size_t blockBytes_;

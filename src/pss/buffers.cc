@@ -49,9 +49,9 @@ void SearchBuffers::serialize(ByteWriter& w) const {
   w.varint(blocks_);
   w.varint(cBuffer_.size());
   w.varint(matchBuffer_.size());
-  for (const auto& ct : dataBuffer_) w.str(ct.value.toBytes());
-  for (const auto& ct : cBuffer_) w.str(ct.value.toBytes());
-  for (const auto& ct : matchBuffer_) w.str(ct.value.toBytes());
+  for (const auto& ct : dataBuffer_) w.str(ct.toBlob().wire());
+  for (const auto& ct : cBuffer_) w.str(ct.toBlob().wire());
+  for (const auto& ct : matchBuffer_) w.str(ct.toBlob().wire());
 }
 
 SearchBuffers SearchBuffers::deserialize(ByteReader& r) {
@@ -62,7 +62,8 @@ SearchBuffers SearchBuffers::deserialize(ByteReader& r) {
   auto readN = [&r](std::size_t n, std::vector<crypto::Ciphertext>& out) {
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(crypto::Ciphertext{crypto::Bigint::fromBytes(r.str())});
+      out.push_back(
+          crypto::Ciphertext::fromBlob(crypto::CiphertextBlob(r.str())));
     }
   };
   readN(lf * b.blocks_, b.dataBuffer_);

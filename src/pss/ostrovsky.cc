@@ -92,15 +92,17 @@ OstrovskyEnvelope OstrovskySearcher::finish() {
   return env;
 }
 
-std::vector<std::string> ostrovskyReconstruct(
+std::vector<crypto::PlaintextBytes> ostrovskyReconstruct(
     const crypto::PaillierPrivateKey& priv, const OstrovskyEnvelope& env) {
   const Bigint& n = priv.publicKey().n();
   const std::size_t blocks = env.blocksPerSegment;
   const BlockCodec codec(
       BlockCodec::maxBlockBytesFor(priv.publicKey().modulusBits()));
 
-  std::vector<std::string> out;
-  std::set<std::string> seen;
+  // Dedup compares PlaintextBytes directly (comparison is not release;
+  // the raw bytes stay inside the privacy type).
+  std::vector<crypto::PlaintextBytes> out;
+  std::set<crypto::PlaintextBytes> seen;
   for (std::size_t slot = 0; slot < env.cSlots.size(); ++slot) {
     const Bigint c = priv.decryptCrt(env.cSlots[slot]);
     if (c.isZero()) continue;  // empty slot (or cancelling collision)
@@ -117,7 +119,7 @@ std::vector<std::string> ostrovskyReconstruct(
       payloadBlocks.push_back((v * cInv) % n);
     }
     try {
-      std::string payload = codec.decode(payloadBlocks);
+      crypto::PlaintextBytes payload = codec.decode(payloadBlocks);
       if (seen.insert(payload).second) out.push_back(std::move(payload));
     } catch (const CorruptData&) {
       // Collision garbage: checksum rejects it. This is the baseline's

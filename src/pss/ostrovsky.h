@@ -61,8 +61,9 @@ class OstrovskySearcher {
 /// Recovered payloads (exact original bytes) from collision-free slots.
 /// Collided or empty slots are silently dropped — the baseline's inherent
 /// loss mode. Duplicates (a segment surviving in several slots) are
-/// deduplicated.
-std::vector<std::string> ostrovskyReconstruct(
+/// deduplicated. Privacy-typed like the three-buffer reconstruction:
+/// decrypted documents come back as PlaintextBytes.
+std::vector<crypto::PlaintextBytes> ostrovskyReconstruct(
     const crypto::PaillierPrivateKey& priv, const OstrovskyEnvelope& env);
 
 }  // namespace dpss::pss

@@ -15,7 +15,7 @@ void EncryptedQuery::serialize(ByteWriter& w) const {
   pub_.serialize(w);
   params_.serialize(w);
   w.varint(entries_.size());
-  for (const auto& e : entries_) w.str(e.value.toBytes());
+  for (const auto& e : entries_) w.str(e.toBlob().wire());
 }
 
 EncryptedQuery EncryptedQuery::deserialize(ByteReader& r) {
@@ -25,7 +25,8 @@ EncryptedQuery EncryptedQuery::deserialize(ByteReader& r) {
   std::vector<crypto::Ciphertext> entries;
   entries.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    entries.push_back(crypto::Ciphertext{crypto::Bigint::fromBytes(r.str())});
+    entries.push_back(
+        crypto::Ciphertext::fromBlob(crypto::CiphertextBlob(r.str())));
   }
   return EncryptedQuery(std::move(pub), std::move(entries), params);
 }

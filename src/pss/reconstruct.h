@@ -19,11 +19,15 @@
 
 namespace dpss::pss {
 
-/// One recovered matching segment.
+/// One recovered matching segment. The payload is privacy-typed
+/// (crypto/sensitive.h): a decrypted matched document can be compared
+/// and carried around, but reading the raw bytes back out requires the
+/// lint-audited releaseForClientReconstruction escape hatch, and
+/// serializing it into a Frame/Envelope does not compile.
 struct RecoveredSegment {
   std::uint64_t index = 0;   // position in the stream
   std::uint64_t cValue = 0;  // |K ∩ W_i| — how many query keywords matched
-  std::string payload;       // exact original bytes
+  crypto::PlaintextBytes payload;  // exact original bytes, privacy-typed
 
   friend bool operator==(const RecoveredSegment& a,
                          const RecoveredSegment& b) = default;

@@ -18,7 +18,7 @@ PrivateSearchClient::PrivateSearchClient(const Dictionary& dict,
 
 EncryptedQuery PrivateSearchClient::makeQuery(
     const std::set<std::string>& keywords) {
-  return buildQuery(dict_, keywords, keys_.pub, params_, rng_);
+  return buildQuery(dict_, keywords, keys_.get().pub, params_, rng_);
 }
 
 std::vector<RecoveredSegment> PrivateSearchClient::openDocuments(
@@ -28,7 +28,10 @@ std::vector<RecoveredSegment> PrivateSearchClient::openDocuments(
   if (env.packFactor <= 1) return groups;
   std::vector<RecoveredSegment> docs;
   for (const auto& group : groups) {
-    const std::vector<std::string> members = unpackPayloads(group.payload);
+    // Escape hatch (lint-audited): splitting a reconstructed pack group
+    // back into documents is client-side reconstruction by definition.
+    std::vector<std::string> members =
+        unpackPayloads(group.payload.releaseForClientReconstruction());
     const std::uint64_t base =
         env.firstDocIndex + (group.index - env.firstIndex) * env.packFactor;
     for (std::size_t o = 0; o < members.size(); ++o) {
@@ -44,7 +47,7 @@ std::vector<RecoveredSegment> PrivateSearchClient::openDocuments(
       RecoveredSegment doc;
       doc.index = base + o;
       doc.cValue = c;
-      doc.payload = members[o];
+      doc.payload = crypto::PlaintextBytes(std::move(members[o]));
       docs.push_back(std::move(doc));
     }
   }

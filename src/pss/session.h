@@ -32,7 +32,7 @@ class PrivateSearchClient {
 
   /// Steps 3–4: open a broker result envelope.
   std::vector<RecoveredSegment> open(const SearchResultEnvelope& env) const {
-    return Reconstructor(keys_.priv).reconstruct(env);
+    return Reconstructor(keys_.get().priv).reconstruct(env);
   }
 
   /// Steps 3–4 plus unpacking: opens an envelope whose segments each pack
@@ -45,8 +45,10 @@ class PrivateSearchClient {
       const SearchResultEnvelope& env,
       const std::set<std::string>& keywords) const;
 
-  const crypto::PaillierPublicKey& publicKey() const { return keys_.pub; }
-  const crypto::PaillierPrivateKey& privateKey() const { return keys_.priv; }
+  const crypto::PaillierPublicKey& publicKey() const { return keys_.get().pub; }
+  const crypto::PaillierPrivateKey& privateKey() const {
+    return keys_.get().priv;
+  }
   const Dictionary& dictionary() const { return dict_; }
   const SearchParams& params() const { return params_; }
 
@@ -54,7 +56,10 @@ class PrivateSearchClient {
   const Dictionary& dict_;
   SearchParams params_;
   Rng rng_;
-  crypto::PaillierKeyPair keys_;
+  // TrustedOnly: a server-role translation unit (broker/historical/
+  // realtime/coordinator, DPSS_SERVER_ROLE_TU) cannot construct this
+  // client — the key pair is compile-time confined to the trusted zone.
+  crypto::TrustedOnly<crypto::PaillierKeyPair> keys_;
 };
 
 /// One full private-search round over an in-memory stream of payloads

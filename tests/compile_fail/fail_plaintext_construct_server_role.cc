@@ -1,0 +1,14 @@
+// dpss-negcompile: expect(privacy boundary)
+// dpss-negcompile: flags(-DDPSS_SERVER_ROLE_TU)
+//
+// A broker/historical TU (DPSS_SERVER_ROLE_TU) materializing a
+// decrypted document trips the dependent static_assert in the
+// PlaintextBytes constructor. The same file compiles cleanly without
+// the flag (see ok_plaintext_construct_client.cc).
+#include <string>
+
+#include "crypto/sensitive.h"
+
+dpss::crypto::PlaintextBytes materialize(std::string bytes) {
+  return dpss::crypto::PlaintextBytes(std::move(bytes));
+}

@@ -1,0 +1,16 @@
+// dpss-negcompile: expect(no match for .*operator=)
+// dpss-negcompile: flags(-DDPSS_SERVER_ROLE_TU)
+//
+// ISSUE 8's acceptance scenario: a historical node (a server-role TU,
+// hence the DPSS_SERVER_ROLE_TU flag) tries to serialize a decrypted
+// matched document into an RPC frame. PlaintextBytes does not convert
+// to std::string, so the Frame payload assignment fails to compile.
+#include "crypto/sensitive.h"
+#include "net/frame.h"
+
+std::string shipToClient(const dpss::crypto::PlaintextBytes& doc) {
+  dpss::net::Frame f;
+  f.kind = dpss::net::frame::kResponse;
+  f.payload = doc;
+  return dpss::net::encodeFrame(f);
+}

@@ -1,0 +1,12 @@
+// dpss-negcompile: expect(cannot convert .*PlaintextBytes.* to .*string_view)
+//
+// The core leak the privacy types exist to prevent: a decrypted matched
+// document written into the byte codec that feeds every net::Frame and
+// RPC envelope. PlaintextBytes has no conversion to string_view, so
+// ByteWriter::str() has no viable overload.
+#include "common/bytes.h"
+#include "crypto/sensitive.h"
+
+void leak(const dpss::crypto::PlaintextBytes& doc, dpss::ByteWriter& w) {
+  w.str(doc);
+}

@@ -1,0 +1,10 @@
+// dpss-negcompile: expect(deleted)
+//
+// The deleted SecretScalar copies propagate: PaillierPrivateKey is
+// move-only, so a key pair cannot be fanned out by value either.
+#include "crypto/paillier.h"
+
+dpss::crypto::PaillierPrivateKey duplicate(
+    const dpss::crypto::PaillierPrivateKey& key) {
+  return dpss::crypto::PaillierPrivateKey(key);
+}

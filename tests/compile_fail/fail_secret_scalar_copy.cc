@@ -1,0 +1,10 @@
+// dpss-negcompile: expect(deleted)
+//
+// Copying key material gives it an uncontrolled second residence that
+// the scrubbing destructor never reaches. SecretScalar deletes its copy
+// operations; only moves (ownership transfer) compile.
+#include "crypto/sensitive.h"
+
+dpss::crypto::SecretScalar duplicate(const dpss::crypto::SecretScalar& key) {
+  return dpss::crypto::SecretScalar(key);
+}

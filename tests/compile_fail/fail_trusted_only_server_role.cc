@@ -1,0 +1,12 @@
+// dpss-negcompile: expect(privacy boundary)
+// dpss-negcompile: flags(-DDPSS_SERVER_ROLE_TU)
+//
+// TrustedOnly<T> is the zone marker for client-only state (the session
+// key pair). Constructing one in a server-role TU is a static_assert
+// error: a node that answers RPCs can never materialize a key pair.
+#include "crypto/paillier.h"
+#include "crypto/sensitive.h"
+
+dpss::crypto::TrustedOnly<dpss::crypto::PaillierKeyPair> makeKeys() {
+  return dpss::crypto::TrustedOnly<dpss::crypto::PaillierKeyPair>();
+}

@@ -1,0 +1,16 @@
+// dpss-negcompile: ok
+// dpss-negcompile: flags(-DDPSS_SERVER_ROLE_TU)
+//
+// Control: ciphertexts ARE what servers ship. CiphertextBlob crosses
+// into a Frame freely, even in a server-role TU — the boundary rejects
+// plaintext and key material, not the scheme's own wire traffic.
+#include "crypto/paillier.h"
+#include "crypto/sensitive.h"
+#include "net/frame.h"
+
+std::string shipToClient(const dpss::crypto::Ciphertext& ct) {
+  dpss::net::Frame f;
+  f.kind = dpss::net::frame::kResponse;
+  f.payload = ct.toBlob().wire();
+  return dpss::net::encodeFrame(f);
+}

@@ -1,0 +1,18 @@
+// dpss-negcompile: ok
+//
+// Control for the server-role fixtures: the identical constructions
+// compile cleanly in a client TU (no DPSS_SERVER_ROLE_TU). If this
+// breaks, the failing fixtures are failing for the wrong reason.
+#include <string>
+#include <utility>
+
+#include "crypto/paillier.h"
+#include "crypto/sensitive.h"
+
+dpss::crypto::PlaintextBytes materialize(std::string bytes) {
+  return dpss::crypto::PlaintextBytes(std::move(bytes));
+}
+
+dpss::crypto::TrustedOnly<dpss::crypto::PaillierKeyPair> makeKeys() {
+  return dpss::crypto::TrustedOnly<dpss::crypto::PaillierKeyPair>();
+}

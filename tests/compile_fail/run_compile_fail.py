@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Negative-compile test driver: prove the privacy boundary holds at
+compile time.
+
+Each fixture in this directory is compiled with `-fsyntax-only` and
+declares the expected outcome in a header comment:
+
+    // dpss-negcompile: expect(<regex>)   must FAIL; stderr must match
+    // dpss-negcompile: ok                must compile cleanly (control)
+    // dpss-negcompile: flags(<flags>)    extra compiler flags, e.g. the
+                                          -DDPSS_SERVER_ROLE_TU zone marker
+
+The `ok` controls keep the suite honest: if a fixture's includes rot,
+the failing fixtures would "pass" for the wrong reason — the controls
+prove the surrounding code still compiles, so the failures are the typed
+boundary and nothing else.
+
+Invoked by ctest (see tests/CMakeLists.txt) as:
+    run_compile_fail.py --compiler c++ --fixture f.cc -- <base flags>
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*dpss-negcompile:\s*expect\((.+)\)\s*$")
+OK_RE = re.compile(r"//\s*dpss-negcompile:\s*ok\s*$")
+FLAGS_RE = re.compile(r"//\s*dpss-negcompile:\s*flags\((.+)\)\s*$")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compiler", required=True)
+    parser.add_argument("--fixture", required=True)
+    parser.add_argument(
+        "base_flags", nargs="*", help="flags after --, passed to the compiler"
+    )
+    args = parser.parse_args()
+
+    expect = None
+    must_compile = False
+    extra_flags: list = []
+    with open(args.fixture, encoding="utf-8") as fh:
+        for line in fh:
+            if m := EXPECT_RE.search(line):
+                expect = m.group(1).strip()
+            elif OK_RE.search(line):
+                must_compile = True
+            elif m := FLAGS_RE.search(line):
+                extra_flags.extend(m.group(1).split())
+    if expect is None and not must_compile:
+        print(f"{args.fixture}: missing dpss-negcompile header")
+        return 1
+    if expect is not None and must_compile:
+        print(f"{args.fixture}: both expect() and ok declared")
+        return 1
+
+    cmd = (
+        [args.compiler]
+        + args.base_flags
+        + extra_flags
+        + ["-fsyntax-only", args.fixture]
+    )
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diagnostics = proc.stderr + proc.stdout
+
+    if must_compile:
+        if proc.returncode != 0:
+            print(f"{args.fixture}: control fixture failed to compile:")
+            print(diagnostics)
+            return 1
+        print(f"{args.fixture}: OK (compiles, as declared)")
+        return 0
+
+    if proc.returncode == 0:
+        print(
+            f"{args.fixture}: compiled successfully but must NOT — "
+            "the privacy boundary has a hole"
+        )
+        return 1
+    if not re.search(expect, diagnostics):
+        print(
+            f"{args.fixture}: failed to compile (good) but the "
+            f"diagnostic does not match /{expect}/:"
+        )
+        print(diagnostics)
+        return 1
+    print(f"{args.fixture}: OK (rejected with the expected diagnostic)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

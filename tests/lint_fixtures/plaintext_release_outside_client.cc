@@ -1,0 +1,20 @@
+// dpss-lint-fixture: expect(plaintext-release)
+// dpss-lint-fixture: as(src/net/leak_fixture.cc)
+//
+// The one way out of PlaintextBytes is releaseForClientReconstruction()
+// (crypto/sensitive.h), and it belongs to the client reconstruction
+// sites only (pss/session.cc, cluster/pss_client.cc). Here a net-layer
+// TU uses it to copy a decrypted matched document into an RPC frame —
+// exactly the leak the privacy type exists to prevent. The type system
+// already rejects `w.str(doc)` without the hatch; the lint closes the
+// hatch itself. This fixture is linted as if it lived in src/net/.
+#include "common/bytes.h"
+#include "crypto/sensitive.h"
+
+namespace dpss::net {
+
+void leakIntoFrame(const crypto::PlaintextBytes& doc, ByteWriter& w) {
+  w.str(doc.releaseForClientReconstruction());
+}
+
+}  // namespace dpss::net

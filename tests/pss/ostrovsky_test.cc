@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "pss/plaintext_access.h"
 #include "pss/session.h"
 
 namespace dpss::pss {
@@ -82,7 +83,8 @@ TEST_F(OstrovskyTest, CollisionGarbageNeverSurfaces) {
     searcher.processSegment(static_cast<std::uint64_t>(i), payload);
   }
   for (const auto& p : ostrovskyReconstruct(kp_.priv, searcher.finish())) {
-    EXPECT_TRUE(truth.count(p)) << "non-genuine payload surfaced: " << p;
+    EXPECT_TRUE(truth.count(test::plaintext(p)))
+        << "non-genuine payload surfaced: " << p;
   }
 }
 

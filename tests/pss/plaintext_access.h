@@ -1,0 +1,21 @@
+// Test-side window into PlaintextBytes (crypto/sensitive.h).
+//
+// Tests assert on the exact recovered bytes, so they need the raw
+// string back out of the privacy type. Routing every test through this
+// one helper keeps the escape hatch grep-auditable: in-tree call sites
+// of releaseForClientReconstruction() are pss/session.cc,
+// cluster/pss_client.cc (enforced by dpss-lint over src/), this fixture,
+// and the client-side example/bench binaries.
+#pragma once
+
+#include <string>
+
+#include "crypto/sensitive.h"
+
+namespace dpss::test {
+
+inline const std::string& plaintext(const crypto::PlaintextBytes& p) {
+  return p.releaseForClientReconstruction();
+}
+
+}  // namespace dpss::test
