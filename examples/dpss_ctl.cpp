@@ -1,0 +1,70 @@
+// dpss_ctl — operator CLI for a node's control channel.
+//
+// Speaks the same control verbs the multi-process tests use
+// (net/control.h, every send policy-wrapped), against one node's RPC
+// address. The membership verbs drive the README's "Scaling the
+// cluster" runbook:
+//
+//   dpss_ctl HOST:PORT NAME ping           # role string
+//   dpss_ctl HOST:PORT NAME decommission   # request a graceful drain
+//   dpss_ctl HOST:PORT NAME drain-state    # draining/complete + served
+//   dpss_ctl HOST:PORT NAME served         # served segment ids
+//   dpss_ctl HOST:PORT NAME shutdown       # graceful stop
+//
+// HOST:PORT is the node's RPC listen address (not the admin port); NAME
+// is its --name (the control channel answers as "<name>.ctl").
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "net/control.h"
+#include "net/net_transport.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s HOST:PORT NAME "
+                 "{ping|decommission|drain-state|served|shutdown}\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string address = argv[1];
+  const std::string name = argv[2];
+  const std::string verb = argv[3];
+
+  using namespace dpss;
+  net::NetTransport transport(SystemClock::instance());
+  transport.start();
+  transport.addPeer(net::controlNode(name), address);
+
+  try {
+    if (verb == "ping") {
+      std::printf("%s\n", net::controlPing(transport, name).c_str());
+    } else if (verb == "decommission") {
+      net::controlDecommission(transport, name);
+      std::printf("drain requested for '%s'\n", name.c_str());
+    } else if (verb == "drain-state") {
+      const auto state = net::controlDrainState(transport, name);
+      std::printf("draining=%s complete=%s served=%llu\n",
+                  state.draining ? "true" : "false",
+                  state.complete ? "true" : "false",
+                  static_cast<unsigned long long>(state.servedSegments));
+    } else if (verb == "served") {
+      for (const auto& id : net::controlServedSegments(transport, name)) {
+        std::printf("%s\n", id.c_str());
+      }
+    } else if (verb == "shutdown") {
+      net::controlShutdown(transport, name);
+      std::printf("shutdown requested for '%s'\n", name.c_str());
+    } else {
+      std::fprintf(stderr, "unknown verb '%s'\n", verb.c_str());
+      return 2;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dpss_ctl: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

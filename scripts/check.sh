@@ -38,7 +38,11 @@ cmake --build build -j "$JOBS" >/dev/null
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 echo
-echo "== multi-process: 5 dpss_node processes over loopback TCP =="
+echo "== multi-process: loopback cluster + elastic join->drain + leader-kill failover =="
+# MultiprocessClusterTest includes ElasticScaleOutAndDrainUnderLoad
+# (runtime 2->8->2 scale under continuous query/PSS load) and
+# CoordinatorFailoverOnLeaderKill (SIGKILL the leader mid-drain) — the
+# membership smoke this gate requires.
 ./build/tests/net_test --gtest_filter='MultiprocessClusterTest.*'
 
 echo
@@ -91,6 +95,10 @@ PY
 echo
 echo "== bench smoke: pss hot-path speedup ratios vs BENCH_pss.json =="
 python3 scripts/check_bench_pss.py
+
+echo
+echo "== bench smoke: rebalancer invariants vs BENCH_rebalance.json =="
+python3 scripts/check_bench_rebalance.py
 
 echo
 echo "== clang-tidy: curated .clang-tidy profile over src/ TUs =="

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Bench smoke gate for the coordinator rebalancer.
+
+Runs `bench_rebalance --quick` (2k segments through placement,
+scale-out rebalance, and drain against the real CoordinatorNode) and
+gates the *structural invariants* of the reconcile loop — properties
+that are deterministic functions of the coordinator's logic, identical
+on every machine:
+
+  - every segment gets placed, and stays placed through a drain
+  - no cycle exceeds the configured per-cycle move budget
+  - the final spread converges to the imbalance threshold
+  - the scale-out moves close to the ideal count (segments x
+    joined/total) — a rebalancer that thrashes (moves a segment more
+    than once) or under-moves fails here
+
+The baseline (BENCH_rebalance.json, seeded from a full 10k run) is
+compared only on scale-independent ratios; absolute seconds and
+cycles/sec are machine-shaped and never gated.
+
+Usage:
+    scripts/check_bench_rebalance.py [--bench PATH] [--baseline PATH]
+                                     [--thrash-tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Keys that must exist and be positive (shape check only).
+STRUCTURAL_KEYS = [
+    ("segments",),
+    ("nodes_initial",),
+    ("nodes_final",),
+    ("max_moves_per_cycle",),
+    ("placement", "cycles"),
+    ("placement", "served"),
+    ("rebalance", "cycles"),
+    ("rebalance", "moves_total"),
+    ("drain", "cycles"),
+    ("drain", "served"),
+]
+
+
+def lookup(doc: dict, path: tuple) -> float:
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(".".join(path))
+        node = node[key]
+    if not isinstance(node, (int, float)):
+        raise KeyError(".".join(path) + " is not numeric")
+    return float(node)
+
+
+def gate(doc: dict, thrash_tolerance: float) -> int:
+    """Checks the structural invariants on one bench document."""
+    failures = 0
+
+    def check(ok: bool, name: str, detail: str):
+        nonlocal failures
+        print(f"{'OK' if ok else 'FAIL'}: {name}: {detail}")
+        if not ok:
+            failures += 1
+
+    segments = lookup(doc, ("segments",))
+    check(
+        lookup(doc, ("placement", "served")) == segments,
+        "placement covers every segment",
+        f"served {lookup(doc, ('placement', 'served')):.0f} of "
+        f"{segments:.0f}",
+    )
+
+    budget = lookup(doc, ("max_moves_per_cycle",))
+    worst = lookup(doc, ("rebalance", "max_moves_in_one_cycle"))
+    check(
+        worst <= budget,
+        "per-cycle move budget respected",
+        f"worst cycle issued {worst:.0f} (budget {budget:.0f})",
+    )
+
+    spread = lookup(doc, ("rebalance", "final_spread"))
+    check(
+        spread <= 1,
+        "rebalance converges to the imbalance threshold",
+        f"final spread {spread:.0f}",
+    )
+
+    joined = lookup(doc, ("nodes_final",)) - lookup(doc, ("nodes_initial",))
+    ideal = segments * joined / lookup(doc, ("nodes_final",))
+    moves = lookup(doc, ("rebalance", "moves_total"))
+    low = ideal * (1.0 - thrash_tolerance)
+    high = ideal * (1.0 + thrash_tolerance)
+    check(
+        low <= moves <= high,
+        "scale-out moves close to ideal (no thrashing)",
+        f"{moves:.0f} moves for ideal {ideal:.0f} "
+        f"(band {low:.0f}..{high:.0f})",
+    )
+
+    check(
+        lookup(doc, ("drain", "drained_still_serving")) == 0,
+        "drained nodes end up serving nothing",
+        f"{lookup(doc, ('drain', 'drained_still_serving')):.0f} left",
+    )
+    check(
+        lookup(doc, ("drain", "served")) == segments,
+        "drain preserves every copy (load-before-drop)",
+        f"served {lookup(doc, ('drain', 'served')):.0f} of {segments:.0f}",
+    )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="build/bench/bench_rebalance")
+    parser.add_argument("--baseline", default="BENCH_rebalance.json")
+    parser.add_argument("--thrash-tolerance", type=float, default=0.25)
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    proc = subprocess.run(
+        [args.bench, "--quick"], capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        print(f"FAIL: bench exited {proc.returncode}")
+        return 1
+    try:
+        current = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        print(proc.stdout)
+        print(f"FAIL: bench stdout is not valid JSON: {err}")
+        return 1
+
+    failures = 0
+    for path in STRUCTURAL_KEYS:
+        try:
+            value = lookup(current, path)
+        except KeyError as err:
+            print(f"FAIL: bench output missing {err}")
+            failures += 1
+            continue
+        if value <= 0:
+            print(f"FAIL: {'.'.join(path)} = {value} (must be positive)")
+            failures += 1
+    if failures:
+        print(f"{failures} bench gate failure(s)")
+        return 1
+
+    # The invariants must hold for the fresh run AND for the seeded
+    # baseline (a stale baseline regenerated from a broken build would
+    # otherwise gate nothing).
+    failures += gate(current, args.thrash_tolerance)
+    failures += gate(baseline, args.thrash_tolerance)
+
+    # Scale-independent ratio vs baseline: moves per segment. Identical
+    # topology change (8 -> 16 nodes) must move the same fraction of
+    # segments regardless of segment count or machine.
+    base_ratio = lookup(baseline, ("rebalance", "moves_total")) / lookup(
+        baseline, ("segments",)
+    )
+    cur_ratio = lookup(current, ("rebalance", "moves_total")) / lookup(
+        current, ("segments",)
+    )
+    drift = abs(cur_ratio - base_ratio)
+    ok = drift <= 0.05
+    print(
+        f"{'OK' if ok else 'FAIL'}: moves-per-segment matches baseline: "
+        f"{cur_ratio:.3f} vs {base_ratio:.3f}"
+    )
+    if not ok:
+        failures += 1
+
+    if failures:
+        print(f"{failures} bench gate failure(s)")
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,17 @@ Polls each node's /metrics.json (the HTTP admin server started with
 Rates need two samples, so the first refresh shows absolute values and
 every later one shows deltas/second. Only the standard library is used.
 
+With --placement the dump switches to each node's /statusz and renders
+the membership/placement view instead: per historical the served-segment
+count and drain state, per coordinator the leader flag, fencing epoch
+and the rebalancer's last-cycle numbers (active/draining nodes,
+imbalance, throttled work, cumulative loads/drops/moves). This is the
+operator's view while scaling the cluster out or draining nodes (see
+README "Scaling the cluster").
+
 Usage:
-    scripts/dpss_dump.py [-i SECONDS] [-n TOP] [--once] HOST:PORT...
+    scripts/dpss_dump.py [-i SECONDS] [-n TOP] [--once] [--placement]
+                         HOST:PORT...
 
 HOST:PORT addresses the admin port (not the RPC port); a full URL also
 works. --once prints a single absolute snapshot and exits (CI-friendly).
@@ -123,6 +132,64 @@ def render_node(target: str, current: dict, previous: dict,
     return lines
 
 
+def statusz_url(target: str) -> str:
+    if target.startswith("http://") or target.startswith("https://"):
+        return target.rstrip("/") + "/statusz"
+    return f"http://{target}/statusz"
+
+
+def render_placement(target: str, status: dict) -> list:
+    """One node's /statusz rendered as a placement/membership line set."""
+    role = status.get("role", "?")
+    name = status.get("node", target)
+    lines = [f"== {name} ({role}) @ {target} =="]
+
+    if "served_segments" in status:
+        served = status["served_segments"]
+        pending = status.get("pending_loads", 0)
+        drain = status.get("drain", {})
+        state = "serving"
+        if drain.get("draining"):
+            state = "drain complete" if drain.get("complete") else "draining"
+        lines.append(
+            f"  segments {len(served):>6}   pending {pending:>4}"
+            f"   state {state}"
+        )
+
+    if "rebalancer" in status:
+        reb = status["rebalancer"]
+        leader = "leader" if status.get("leader") else "standby"
+        lines.append(
+            f"  {leader}  epoch {status.get('epoch', 0)}"
+            f"   nodes {reb.get('activeNodes', 0)} active"
+            f" / {reb.get('drainingNodes', 0)} draining"
+            f"   imbalance {reb.get('imbalance', 0)}"
+        )
+        lines.append(
+            f"  last cycle: moves {reb.get('movesIssued', 0)}"
+            f"  throttled moves {reb.get('throttledMoves', 0)}"
+            f"  throttled loads {reb.get('throttledLoads', 0)}"
+        )
+        lines.append(
+            f"  cumulative: loads {reb.get('totalLoads', 0)}"
+            f"  drops {reb.get('totalDrops', 0)}"
+            f"  moves {reb.get('totalMoves', 0)}"
+        )
+    return lines
+
+
+def placement_screen(urls: dict, timeout: float) -> str:
+    screen = [time.strftime("dpss-dump --placement  %H:%M:%S")]
+    for target, url in urls.items():
+        try:
+            status = fetch(url, timeout)
+        except (urllib.error.URLError, OSError, ValueError) as e:
+            screen.append(f"== {target} ==\n  unreachable: {e}")
+            continue
+        screen.extend(render_placement(target, status))
+    return "\n".join(screen)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("targets", nargs="+", metavar="HOST:PORT",
@@ -135,7 +202,21 @@ def main() -> int:
                         help="print one snapshot and exit")
     parser.add_argument("--timeout", type=float, default=2.0,
                         help="per-request timeout in seconds")
+    parser.add_argument("--placement", action="store_true",
+                        help="show the /statusz membership/placement view "
+                             "(served counts, drain state, rebalancer)")
     args = parser.parse_args()
+
+    if args.placement:
+        urls = {t: statusz_url(t) for t in args.targets}
+        while True:
+            out = placement_screen(urls, args.timeout)
+            if args.once:
+                print(out)
+                return 0
+            sys.stdout.write("\x1b[2J\x1b[H" + out + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
 
     urls = {t: metrics_url(t) for t in args.targets}
     previous: dict = {}

@@ -13,6 +13,12 @@ rules keep the accidental escape hatches shut:
   transport-call -- no direct Transport::call; every RPC goes through
                   callWithPolicy (cluster/rpc_policy.cc) so retry,
                   backoff and deadline policy is never bypassed.
+  control-channel -- no hand-rolled control frames (control_op::
+                  opcodes, controlNode() addressing) outside
+                  net/control.*; membership verbs — decommission,
+                  drain state, shutdown — go through the control*
+                  client helpers so every send carries retry/deadline
+                  policy and one wire format.
   metric-name  -- obs::intern{Counter,Gauge,Histogram} names are
                   lowercase dotted identifiers ("a.b.c"), so exposition
                   renders a stable, greppable namespace.
@@ -125,6 +131,16 @@ TRANSPORT_EXEMPT = frozenset(
     }
 )
 
+# net/control.* implements both halves of the control channel: the
+# handler and the control* client helpers (which route every send
+# through callWithPolicy).
+CONTROL_CHANNEL_EXEMPT = frozenset(
+    {
+        "src/net/control.h",
+        "src/net/control.cc",
+    }
+)
+
 # The chaos scheduler is the one sanctioned fault injector; cluster.cc
 # implements the lifecycle primitives it drives (restartRealtime must
 # crash the old instance), and deep_storage.* declares/defines the
@@ -187,6 +203,22 @@ RULES = [
             "policy; route through callWithPolicy (cluster/rpc_policy.h)"
         ),
         exempt_files=TRANSPORT_EXEMPT,
+    ),
+    Rule(
+        name="control-channel",
+        # Hand-rolling a control frame requires the control_op:: opcode
+        # constants; addressing "<name>.ctl" yourself requires
+        # controlNode(). Either spelling outside net/control.* means a
+        # raw membership verb is bypassing the policy-wrapped helpers.
+        pattern=re.compile(r"\bcontrol_op::\w+|\bcontrolNode\s*\("),
+        message=(
+            "hand-rolled control-channel send outside net/control.cc; "
+            "membership verbs (decommission, drain state, shutdown) go "
+            "through the control* client helpers (net/control.h), which "
+            "route through callWithPolicy so retry/deadline policy and "
+            "the wire format stay in one place"
+        ),
+        exempt_files=CONTROL_CHANNEL_EXEMPT,
     ),
     Rule(
         name="raw-socket",
@@ -517,6 +549,23 @@ SELFTEST_CASES = [
         "// dpss-lint: allow(metric-label)\n"
         'auto id = obs::internCounter("a.b", {{"op", opName}});',
     ),  # missing justification
+    (
+        "control-channel",
+        "src/x/a.cc",
+        "w.u8(net::control_op::kDecommission);",
+    ),
+    (
+        "control-channel",
+        "src/x/a.cc",
+        'transport.call(controlNode(name), w.take());',
+    ),
+    (None, "src/net/control.cc", "w.u8(control_op::kDrainState);"),
+    (None, "src/net/control.h", "constexpr std::uint8_t kDecommission = 6;"),
+    (
+        None,
+        "src/x/a.cc",
+        "net::controlDecommission(transport, nodeName);",
+    ),  # the sanctioned helper spelling must stay clean
     ("raw-socket", "src/x/a.cc", "#include <sys/socket.h>"),
     ("raw-socket", "src/x/a.cc", "#include <netinet/tcp.h>"),
     ("raw-socket", "src/x/a.cc", "#include <poll.h>"),

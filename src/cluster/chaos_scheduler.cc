@@ -21,6 +21,8 @@ const obs::MetricId kStorageCorruptions =
     obs::internCounter("chaos.storage.corruptions");
 const obs::MetricId kRegistryExpiries =
     obs::internCounter("chaos.registry.expiries");
+const obs::MetricId kMembershipEvents =
+    obs::internCounter("chaos.membership.events");
 
 }  // namespace
 
@@ -50,6 +52,12 @@ const char* toString(ChaosEventKind kind) {
       return "storage-corrupt-blob";
     case ChaosEventKind::kRegistryExpiry:
       return "registry-expiry";
+    case ChaosEventKind::kHistoricalJoin:
+      return "historical-join";
+    case ChaosEventKind::kHistoricalDecommission:
+      return "historical-decommission";
+    case ChaosEventKind::kCoordinatorDepose:
+      return "coordinator-depose";
   }
   return "unknown";
 }
@@ -83,6 +91,11 @@ std::vector<ClusterChaosEvent> ChaosScheduler::buildSchedule(
   if (historicalCount + realtimeCount > 0) {
     add(ChaosEventKind::kRegistryExpiry, options.registryExpiryWeight);
   }
+  add(ChaosEventKind::kHistoricalJoin, options.historicalJoinWeight);
+  if (historicalCount > 0) {
+    add(ChaosEventKind::kHistoricalDecommission, options.decommissionWeight);
+  }
+  add(ChaosEventKind::kCoordinatorDepose, options.coordinatorDeposeWeight);
   double totalWeight = 0;
   for (const auto& c : classes) totalWeight += c.weight;
   if (classes.empty() || totalWeight <= 0 || options.meanEventGapMs <= 0) {
@@ -159,6 +172,16 @@ std::vector<ClusterChaosEvent> ChaosScheduler::buildSchedule(
       case ChaosEventKind::kRegistryExpiry:
         e.target = static_cast<std::uint32_t>(
             rng.below(historicalCount + realtimeCount));
+        out.push_back(e);
+        break;
+      case ChaosEventKind::kHistoricalJoin:
+      case ChaosEventKind::kCoordinatorDepose:
+        out.push_back(e);
+        break;
+      case ChaosEventKind::kHistoricalDecommission:
+        // Node resolved at apply time (the live set grows with joins);
+        // the raw draw keeps the choice seed-determined.
+        e.target = static_cast<std::uint32_t>(rng.next() & 0xffffffffu);
         out.push_back(e);
         break;
       case ChaosEventKind::kHistoricalRestart:
@@ -415,6 +438,37 @@ void ChaosScheduler::apply(const ClusterChaosEvent& e) {
         obs_.counter(kRegistryExpiries).inc();
         record(e, true, node.name());
       }
+      return;
+    }
+    case ChaosEventKind::kHistoricalJoin: {
+      const std::size_t i = cluster_.addHistoricalNode();
+      obs_.counter(kMembershipEvents).inc();
+      record(e, true, cluster_.historical(i).name());
+      return;
+    }
+    case ChaosEventKind::kHistoricalDecommission: {
+      // Candidates: running, not already draining. Refuse to drain the
+      // last one — a cluster with zero active historicals can never
+      // re-replicate, so the drain would deadlock.
+      std::vector<std::size_t> candidates;
+      for (std::size_t i = 0; i < cluster_.historicalCount(); ++i) {
+        auto& node = cluster_.historical(i);
+        if (node.running() && !node.draining()) candidates.push_back(i);
+      }
+      if (candidates.size() <= 1) {
+        record(e, false, "would-empty-cluster");
+        return;
+      }
+      auto& node = cluster_.historical(candidates[e.target % candidates.size()]);
+      node.requestDrain();
+      obs_.counter(kMembershipEvents).inc();
+      record(e, true, node.name());
+      return;
+    }
+    case ChaosEventKind::kCoordinatorDepose: {
+      cluster_.coordinator().elector().depose();
+      obs_.counter(kMembershipEvents).inc();
+      record(e, true, cluster_.coordinator().name());
       return;
     }
   }

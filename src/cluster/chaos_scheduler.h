@@ -8,6 +8,9 @@
 //   - deep-storage faults: failed gets/puts, slow reads, transient
 //     read corruption, at-rest bit-flipped blobs
 //   - registry lease churn: session expiries with re-registration backoff
+//   - membership churn (DESIGN.md §13, weights default 0 so pre-existing
+//     seeds replay unchanged): runtime historical joins, graceful
+//     decommissions, coordinator leader deposition
 //
 // Determinism contract: buildSchedule() is a pure function of
 // (options, historicalCount, realtimeCount, startMs) — same seed, same
@@ -52,6 +55,11 @@ enum class ChaosEventKind : std::uint8_t {
   kStorageCorruptReads, // param = number of gets returning flipped bytes
   kStorageCorruptBlob,  // at-rest bit rot; blob chosen at apply time
   kRegistryExpiry,      // lease loss on a historical or realtime node
+  kHistoricalJoin,          // runtime scale-out: a new historical starts
+  kHistoricalDecommission,  // graceful drain; skipped if it would empty
+                            // the cluster (node chosen at apply time)
+  kCoordinatorDepose,       // leader loses its session without noticing;
+                            // exercises epoch fencing + re-election
 };
 
 const char* toString(ChaosEventKind kind);
@@ -102,6 +110,11 @@ struct ChaosScheduleOptions {
   double storageCorruptReadWeight = 0.5;
   double storageCorruptBlobWeight = 0.0;  // heals only via replica re-upload
   double registryExpiryWeight = 1.0;
+  /// Membership churn. All default 0.0: schedules built before these
+  /// classes existed must replay byte-identically from the same seed.
+  double historicalJoinWeight = 0.0;
+  double decommissionWeight = 0.0;
+  double coordinatorDeposeWeight = 0.0;
 
   /// Crash events pair with an explicit restart event this far out.
   TimeMs crashDownMinMs = 500;

@@ -19,8 +19,8 @@ Cluster::Cluster(Clock& clock, ClusterOptions options)
                     .rpcPolicy = options_.rpcPolicy,
                     .pssPackFactor = options_.pssPackFactor});
   broker_->start();
-  coordinator_ = std::make_unique<CoordinatorNode>("coordinator", registry_,
-                                                   metaStore_, clock_);
+  coordinator_ = std::make_unique<CoordinatorNode>(
+      "coordinator", registry_, metaStore_, clock_, options_.coordinator);
 }
 
 Cluster::~Cluster() {
@@ -36,10 +36,11 @@ Cluster::~Cluster() {
 
 std::size_t Cluster::addHistoricalNode() {
   const std::size_t index = historicals_.size();
+  HistoricalNodeOptions nodeOptions;
+  nodeOptions.workerThreads = options_.workerThreadsPerNode;
   auto node = std::make_unique<HistoricalNode>(
       "historical-" + std::to_string(index), registry_, deepStorage_,
-      transport_,
-      HistoricalNodeOptions{.workerThreads = options_.workerThreadsPerNode});
+      transport_, nodeOptions);
   node->start();
   historicals_.push_back(std::move(node));
   return index;

@@ -32,6 +32,8 @@ struct ClusterOptions {
   RpcPolicy rpcPolicy{};
   /// Documents per packed PSS segment (BrokerOptions::pssPackFactor).
   std::size_t pssPackFactor = 1;
+  /// Rebalancer/throttle knobs forwarded to the coordinator.
+  CoordinatorOptions coordinator{};
 };
 
 class Cluster {

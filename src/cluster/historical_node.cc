@@ -74,11 +74,16 @@ void HistoricalNode::start() {
     running_ = true;
   }
   // Announce the node itself (ephemeral: crash -> vanishes).
-  registry_.create(paths::nodeAnnouncement(name_), "historical", session,
+  registry_.create(paths::nodeAnnouncement(name_),
+                   paths::announceData("historical", options_.advertiseEndpoint),
+                   session,
                    /*ephemeral=*/true);
   transport_.bind(name_, [this](const std::string& req) {
     return handleRpc(req);
   });
+  // A persistent drain flag survives a crash: resume draining before
+  // touching the queue, so queued loads are refused, not taken.
+  refreshDrainState();
   // Arm the load-queue watch, then drain anything already assigned.
   const std::uint64_t watchId = registry_.watchChildren(
       paths::loadQueue(name_),
@@ -110,6 +115,13 @@ void HistoricalNode::stop() {
   transport_.unbind(name_);
   registry_.unwatch(watchId);
   registry_.expire(session);  // removes announcement + served ephemerals
+  // A finished drain deregisters fully: the flag served its purpose. An
+  // unfinished one stays, so a restart resumes draining where it left off.
+  if (drainComplete_.load(std::memory_order_acquire)) {
+    registry_.remove(paths::drainFlag(name_));
+    draining_.store(false, std::memory_order_release);
+    drainComplete_.store(false, std::memory_order_release);
+  }
   // Join workers outside mu_: in-flight scans pin the pool and take mu_.
   pool.reset();
 }
@@ -163,8 +175,11 @@ void HistoricalNode::maybeReregister() {
   try {
     SessionPtr session = registry_.connect(name_);
     try {
-      registry_.create(paths::nodeAnnouncement(name_), "historical", session,
-                       /*ephemeral=*/true);
+      registry_.create(
+          paths::nodeAnnouncement(name_),
+          paths::announceData("historical", options_.advertiseEndpoint),
+          session,
+          /*ephemeral=*/true);
     } catch (const AlreadyExists&) {
     }
     std::map<SegmentId, SegmentPtr> served;
@@ -198,6 +213,42 @@ void HistoricalNode::maybeReregister() {
   }
 }
 
+void HistoricalNode::requestDrain() {
+  SessionPtr session;
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    session = session_;
+  }
+  try {
+    // Persistent on purpose: the flag must survive this node's session
+    // (and process) so a crash mid-drain resumes draining on restart. For
+    // the same reason it must not depend on the lease being healthy — a
+    // decommission can land mid-reregistration, so write through a
+    // throwaway session when ours is dead.
+    if (session == nullptr || session->expired()) {
+      session = registry_.connect(name_ + ".drain");
+    }
+    registry_.create(paths::drainFlag(name_), paths::kDrainRequested, session,
+                     /*ephemeral=*/false);
+    DPSS_LOG(Info) << name_ << " drain requested";
+  } catch (const AlreadyExists&) {
+    // Already draining; idempotent.
+  }
+  draining_.store(true, std::memory_order_release);
+}
+
+void HistoricalNode::refreshDrainState() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+  }
+  const auto flag = registry_.getData(paths::drainFlag(name_));
+  draining_.store(flag.has_value(), std::memory_order_release);
+  drainComplete_.store(flag.has_value() && *flag == paths::kDrainComplete,
+                       std::memory_order_release);
+}
+
 void HistoricalNode::onLoadQueueEvent() {
   {
     MutexLock lock(mu_);
@@ -213,10 +264,15 @@ void HistoricalNode::processAssignment(const std::string& entryName) {
   const auto data = registry_.getData(path);
   if (!data) return;  // already acked by this node
   try {
-    if (data->rfind("load:", 0) == 0) {
-      const SegmentId id = SegmentId::parse(data->substr(5, data->find('\x01') - 5));
-      const std::string key = data->substr(data->find('\x01') + 1);
-      loadSegment(id, key);
+    if (const auto load = paths::parseLoadEntry(*data)) {
+      if (draining()) {
+        // A draining node takes no new work. Ack-removing the entry (below)
+        // is the refusal: the coordinator sees the pending load vanish and
+        // places the replica on an active node instead.
+        DPSS_LOG(Info) << name_ << " draining, refused load " << entryName;
+      } else {
+        loadSegment(load->id, load->deepStorageKey);
+      }
     } else if (*data == "drop") {
       // Entry name is the escaped segment id; recover it from served set.
       std::optional<SegmentId> victim;
@@ -335,6 +391,19 @@ std::vector<SegmentId> HistoricalNode::servedSegments() const {
 bool HistoricalNode::serves(const SegmentId& id) const {
   MutexLock lock(mu_);
   return served_.count(id) > 0;
+}
+
+std::size_t HistoricalNode::pendingLoads() const {
+  // Registry reads take the registry's own lock; mu_ must not be held
+  // (lock order: node mutex before registry mutex, and this needs
+  // neither).
+  std::size_t pending = 0;
+  const std::string queue = paths::loadQueue(name_);
+  for (const auto& child : registry_.children(queue)) {
+    const auto data = registry_.getData(queue + "/" + child);
+    if (data && paths::parseLoadEntry(*data)) ++pending;
+  }
+  return pending;
 }
 
 bool HistoricalNode::cachedLocally(const std::string& key) const {

@@ -40,6 +40,10 @@ struct HistoricalNodeOptions {
   // attempt up to the max, measured on the transport's virtual clock).
   TimeMs reregisterBackoffMs = 50;
   TimeMs reregisterBackoffMaxMs = 2000;
+  // "host:port" published in the node announcement so peers that did not
+  // know this node at startup (runtime scale-out) can resolve a route to
+  // it (net::NetTransport's peer resolver). Empty: announce type only.
+  std::string advertiseEndpoint;
 };
 
 class HistoricalNode {
@@ -70,13 +74,32 @@ class HistoricalNode {
   /// re-registers with backoff.
   void loseRegistrySession();
 
-  /// Periodic maintenance: re-registers after a lost registry session and
-  /// re-processes any load-queue entries that a previous attempt left
-  /// behind (e.g. a deep-storage outage). Watch events cover the steady
-  /// state; tick() is the recovery path a real node runs on a timer.
+  /// Periodic maintenance: re-registers after a lost registry session,
+  /// refreshes drain state (the flag may be written by the coordinator or
+  /// a control verb, not just by this node) and re-processes any
+  /// load-queue entries that a previous attempt left behind (e.g. a
+  /// deep-storage outage). Watch events cover the steady state; tick() is
+  /// the recovery path a real node runs on a timer.
   void tick() {
     maybeReregister();
+    refreshDrainState();
     onLoadQueueEvent();
+  }
+
+  // --- graceful drain (decommission; DESIGN.md §13) ---------------------
+  /// Enters drain mode: this node refuses new loads (ack-removing them so
+  /// the coordinator places the replica elsewhere) while the coordinator
+  /// re-replicates its segments and then drops them, load-before-drop.
+  /// Persistent flag: a crash mid-drain resumes draining after restart.
+  /// Idempotent.
+  void requestDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// True once the coordinator flipped the flag: nothing served, queue
+  /// empty. The node can now stop() — which deregisters the flag.
+  bool drainComplete() const {
+    return drainComplete_.load(std::memory_order_acquire);
   }
 
   const std::string& name() const { return name_; }
@@ -87,6 +110,12 @@ class HistoricalNode {
 
   std::vector<storage::SegmentId> servedSegments() const;
   bool serves(const storage::SegmentId& id) const;
+
+  /// Load-queue entries issued to this node and not yet applied (mid
+  /// download, or stalled behind a deep-storage outage until the next
+  /// tick). Steady state is 0; /statusz reports it for the placement
+  /// view.
+  std::size_t pendingLoads() const;
 
   /// Local-disk-cache introspection for tests and the cache ablation.
   bool cachedLocally(const std::string& deepStorageKey) const;
@@ -109,6 +138,7 @@ class HistoricalNode {
 
  private:
   void maybeReregister();
+  void refreshDrainState();
   void onLoadQueueEvent();
   void processAssignment(const std::string& entryName);
   void loadSegment(const storage::SegmentId& id, const std::string& key);
@@ -152,6 +182,10 @@ class HistoricalNode {
   std::shared_ptr<ThreadPool> pool_ DPSS_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> downloads_{0};
   std::atomic<std::uint64_t> cacheHits_{0};
+  // Drain state mirrors the /drains/<node> flag (see refreshDrainState);
+  // atomics so the assignment path and admin plane read them lock-free.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drainComplete_{false};
 };
 
 }  // namespace dpss::cluster

@@ -1,0 +1,65 @@
+#include "cluster/leader_election.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace dpss::cluster {
+
+LeaderElector::LeaderElector(std::string owner, Registry& registry,
+                             Options options)
+    : owner_(std::move(owner)), registry_(registry), options_(options) {}
+
+bool LeaderElector::tick() {
+  try {
+    if (session_ == nullptr || session_->expired()) {
+      // Session loss killed our ephemeral leader znode (or will, at the
+      // authority): any leadership we held is gone with it.
+      leader_.store(false, std::memory_order_release);
+      session_ = registry_.connect(owner_ + ".elector");
+    }
+    const auto data = registry_.getData(options_.leaderPath);
+    if (data.has_value()) {
+      // Compare the full tag, not just the owner: a deposed-and-reelected
+      // coordinator with the same name must adopt its NEW epoch, not
+      // mistake the old acquisition for current leadership.
+      leader_.store(*data == tag_, std::memory_order_release);
+      return isLeader();
+    }
+    const std::uint64_t epoch = registry_.acquireLeadership(
+        options_.leaderPath, options_.epochPath, owner_, session_);
+    tag_ = owner_ + "#" + std::to_string(epoch);
+    epoch_.store(epoch, std::memory_order_release);
+    leader_.store(true, std::memory_order_release);
+    DPSS_LOG(Info) << owner_ << " acquired coordinator leadership, epoch "
+                   << epoch;
+  } catch (const AlreadyExists&) {
+    // A rival won the race between our read and our acquire.
+    leader_.store(false, std::memory_order_release);
+  } catch (const Error& e) {
+    DPSS_LOG(Warn) << owner_ << " election round failed: " << e.what();
+    leader_.store(false, std::memory_order_release);
+  }
+  return isLeader();
+}
+
+void LeaderElector::resign() {
+  if (isLeader()) {
+    try {
+      const auto data = registry_.getData(options_.leaderPath);
+      if (data.has_value() && *data == tag_) {
+        registry_.remove(options_.leaderPath);
+      }
+    } catch (const Error& e) {
+      DPSS_LOG(Warn) << owner_ << " resign failed: " << e.what();
+    }
+  }
+  leader_.store(false, std::memory_order_release);
+}
+
+void LeaderElector::depose() {
+  if (session_ != nullptr) registry_.expire(session_);
+  // Deliberately leave leader_ true: the point of the hook is a leader
+  // that has not yet noticed. The next tick() observes the expiry.
+}
+
+}  // namespace dpss::cluster

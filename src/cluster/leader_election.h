@@ -1,0 +1,76 @@
+// Coordinator leader election over the registry (DESIGN.md §13).
+//
+// Standby coordinators all run an elector against the same pair of
+// znodes: a persistent epoch counter and an ephemeral leader znode owned
+// by the current leader's session. Registry::acquireLeadership() makes
+// bump-epoch + take-leader one atomic step, so every successful
+// acquisition observes a strictly larger epoch than any predecessor —
+// that epoch fences the leader's writes (createFenced/setDataFenced):
+// a deposed leader that has not yet noticed its session died gets Fenced
+// on its next decision instead of corrupting the load queues.
+//
+// tick() is the whole protocol: reconnect if the session expired, read
+// the leader znode, acquire it if free. Called from the coordinator's
+// periodic loop; a SIGKILLed leader's ephemeral znode vanishes when its
+// substrate lease times out, and the next standby tick takes over.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "cluster/names.h"
+#include "cluster/registry.h"
+
+namespace dpss::cluster {
+
+struct LeaderElectorOptions {
+  std::string leaderPath = paths::leaderNode();
+  std::string epochPath = paths::epochNode();
+};
+
+class LeaderElector {
+ public:
+  using Options = LeaderElectorOptions;
+
+  /// Does not touch the registry; the first tick() connects.
+  LeaderElector(std::string owner, Registry& registry, Options options = {});
+
+  /// One election round; returns the post-round isLeader(). Never throws:
+  /// a registry outage just means "not leader this round".
+  bool tick();
+
+  /// Leadership as of the last tick(). Safe from any thread (/statusz).
+  bool isLeader() const { return leader_.load(std::memory_order_acquire); }
+
+  /// The epoch minted by this elector's latest acquisition (0 = never
+  /// led). Stays readable after deposition — fenced writes carrying it
+  /// are exactly the ones the registry must reject.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Steps down voluntarily: removes the leader znode if ours and forgets
+  /// leadership. The next tick() (here or on a standby) re-elects.
+  void resign();
+
+  /// Chaos hook: expires the elector's registry session without telling
+  /// it — the authority moves on while this elector still believes it
+  /// leads, exercising the fencing path. (In-process analogue of
+  /// SIGKILLing the leader and waiting out its lease.)
+  void depose();
+
+  const std::string& owner() const { return owner_; }
+
+ private:
+  std::string owner_;
+  Registry& registry_;
+  Options options_;
+
+  // tick()/resign()/depose() run on the coordinator's single driver
+  // thread; only the atomics are read cross-thread (admin plane).
+  SessionPtr session_;
+  std::string tag_;  // "<owner>#<epoch>" of our latest acquisition
+  std::atomic<bool> leader_{false};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace dpss::cluster

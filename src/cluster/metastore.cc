@@ -58,4 +58,17 @@ void MetaStore::setDefaultRules(LoadRules rules) {
   defaultRules_ = rules;
 }
 
+std::vector<std::pair<std::string, LoadRules>> MetaStore::ruleTable() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<std::string, LoadRules>> out;
+  out.reserve(rules_.size());
+  for (const auto& [ds, rules] : rules_) out.emplace_back(ds, rules);
+  return out;
+}
+
+LoadRules MetaStore::defaultRules() const {
+  MutexLock lock(mu_);
+  return defaultRules_;
+}
+
 }  // namespace dpss::cluster

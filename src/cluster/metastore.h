@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/load_rules.h"
@@ -54,6 +55,13 @@ class MetaStore {
   /// Rules for a data source, falling back to the default rule set.
   virtual LoadRules rulesFor(const std::string& dataSource) const;
   virtual void setDefaultRules(LoadRules rules);
+
+  // --- whole-table enumeration (snapshots) ----------------------------
+  // Local-state only: these read the in-memory tables and are NOT
+  // forwarded by net::RemoteMetaStore. JournaledMetaStore uses them to
+  // serialize the full state into a snapshot file.
+  std::vector<std::pair<std::string, LoadRules>> ruleTable() const;
+  LoadRules defaultRules() const;
 
  private:
   mutable Mutex mu_;

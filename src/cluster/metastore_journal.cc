@@ -1,0 +1,228 @@
+#include "cluster/metastore_journal.h"
+
+#include <filesystem>
+#include <iterator>
+#include <optional>
+#include <utility>
+
+#include "cluster/meta_codec.h"
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dpss::cluster {
+
+namespace {
+
+// Journal/snapshot op codes (payload byte 0). The snapshot file reuses the
+// record framing but holds a single kOpSnapshot record with the full state.
+constexpr std::uint8_t kOpUpsert = 1;
+constexpr std::uint8_t kOpMarkUnused = 2;
+constexpr std::uint8_t kOpSetRules = 3;
+constexpr std::uint8_t kOpSetDefaultRules = 4;
+
+// [u32 len][payload][u64 fnv1a(payload)]
+std::string frame(const std::string& payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u64(fnv1a(payload));
+  return w.take();
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Pulls one framed record off `r`. nullopt at clean EOF and at the first
+/// torn or checksum-failing record — recovery stops there; everything
+/// before it is intact by construction (appends are sequential).
+std::optional<std::string> nextRecord(ByteReader& r) {
+  if (r.remaining() < 4) return std::nullopt;
+  const std::uint32_t len = r.u32();
+  if (r.remaining() < static_cast<std::uint64_t>(len) + 8) return std::nullopt;
+  std::string payload(r.raw(len));
+  if (r.u64() != fnv1a(payload)) return std::nullopt;
+  return payload;
+}
+
+}  // namespace
+
+JournaledMetaStore::JournaledMetaStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  std::filesystem::create_directories(dir_);
+  recover();
+  MutexLock lock(jmu_);
+  journal_.open(journalPath(), std::ios::binary | std::ios::app);
+  if (!journal_) {
+    throw InternalError("cannot open metastore journal: " + journalPath());
+  }
+}
+
+JournaledMetaStore::~JournaledMetaStore() = default;
+
+void JournaledMetaStore::upsertSegment(const SegmentRecord& record) {
+  MetaStore::upsertSegment(record);
+  ByteWriter w;
+  meta_codec::writeRecord(w, record);
+  appendOp(kOpUpsert, w.take());
+}
+
+void JournaledMetaStore::markUnused(const storage::SegmentId& id) {
+  MetaStore::markUnused(id);
+  ByteWriter w;
+  id.serialize(w);
+  appendOp(kOpMarkUnused, w.take());
+}
+
+void JournaledMetaStore::setRules(const std::string& dataSource,
+                                  LoadRules rules) {
+  MetaStore::setRules(dataSource, rules);
+  ByteWriter w;
+  w.str(dataSource);
+  meta_codec::writeRules(w, rules);
+  appendOp(kOpSetRules, w.take());
+}
+
+void JournaledMetaStore::setDefaultRules(LoadRules rules) {
+  MetaStore::setDefaultRules(rules);
+  ByteWriter w;
+  meta_codec::writeRules(w, rules);
+  appendOp(kOpSetDefaultRules, w.take());
+}
+
+void JournaledMetaStore::snapshotNow() {
+  MutexLock lock(jmu_);
+  writeSnapshotLocked();
+}
+
+std::size_t JournaledMetaStore::snapshotsWritten() const {
+  MutexLock lock(jmu_);
+  return snapshotsWritten_;
+}
+
+void JournaledMetaStore::recover() {
+  loadSnapshot();
+  recoveredOps_ = replayJournal();
+}
+
+bool JournaledMetaStore::loadSnapshot() {
+  const std::string blob = readWholeFile(snapshotPath());
+  if (blob.empty()) return false;
+  ByteReader file(blob);
+  const auto payload = nextRecord(file);
+  if (!payload.has_value()) {
+    DPSS_LOG(Warn) << "metastore snapshot corrupt, ignoring: "
+                   << snapshotPath();
+    return false;
+  }
+  try {
+    ByteReader s(*payload);
+    MetaStore::setDefaultRules(meta_codec::readRules(s));
+    const std::uint64_t nRules = s.varint();
+    for (std::uint64_t i = 0; i < nRules; ++i) {
+      const std::string ds = s.str();
+      MetaStore::setRules(ds, meta_codec::readRules(s));
+    }
+    for (const auto& rec : meta_codec::readRecords(s)) {
+      MetaStore::upsertSegment(rec);
+    }
+  } catch (const Error& e) {
+    // Checksum passed but decode failed: a format skew, not a torn write.
+    DPSS_LOG(Warn) << "metastore snapshot undecodable: " << e.what();
+    return false;
+  }
+  return true;
+}
+
+std::size_t JournaledMetaStore::replayJournal() {
+  const std::string blob = readWholeFile(journalPath());
+  ByteReader file(blob);
+  std::size_t applied = 0;
+  while (auto payload = nextRecord(file)) {
+    try {
+      ByteReader p(*payload);
+      const std::uint8_t op = p.u8();
+      applyOp(op, p);
+      ++applied;
+    } catch (const Error& e) {
+      DPSS_LOG(Warn) << "metastore journal replay stopped: " << e.what();
+      break;
+    }
+  }
+  if (file.remaining() > 0) {
+    DPSS_LOG(Warn) << "metastore journal has " << file.remaining()
+                   << " trailing bytes past the last intact record (torn "
+                      "write); ignored";
+  }
+  return applied;
+}
+
+void JournaledMetaStore::applyOp(std::uint8_t op, ByteReader& r) {
+  switch (op) {
+    case kOpUpsert:
+      MetaStore::upsertSegment(meta_codec::readRecord(r));
+      break;
+    case kOpMarkUnused:
+      MetaStore::markUnused(storage::SegmentId::deserialize(r));
+      break;
+    case kOpSetRules: {
+      const std::string ds = r.str();
+      MetaStore::setRules(ds, meta_codec::readRules(r));
+      break;
+    }
+    case kOpSetDefaultRules:
+      MetaStore::setDefaultRules(meta_codec::readRules(r));
+      break;
+    default:
+      throw CorruptData("unknown metastore journal op: " +
+                        std::to_string(op));
+  }
+}
+
+void JournaledMetaStore::appendOp(std::uint8_t op, const std::string& args) {
+  ByteWriter p;
+  p.u8(op);
+  p.raw(args);
+  const std::string framed = frame(p.take());
+  MutexLock lock(jmu_);
+  journal_.write(framed.data(),
+                 static_cast<std::streamsize>(framed.size()));
+  journal_.flush();
+  if (++opsSinceSnapshot_ >= options_.snapshotEveryOps) writeSnapshotLocked();
+}
+
+void JournaledMetaStore::writeSnapshotLocked() {
+  ByteWriter w;
+  meta_codec::writeRules(w, defaultRules());
+  const auto rules = ruleTable();
+  w.varint(rules.size());
+  for (const auto& [ds, r] : rules) {
+    w.str(ds);
+    meta_codec::writeRules(w, r);
+  }
+  meta_codec::writeRecords(w, allSegments());
+  const std::string framed = frame(w.take());
+
+  const std::string tmp = snapshotPath() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    if (!out) {
+      DPSS_LOG(Warn) << "metastore snapshot write failed: " << tmp;
+      return;  // keep journaling; the old snapshot (if any) stays valid
+    }
+  }
+  std::filesystem::rename(tmp, snapshotPath());
+
+  // Everything the journal held is in the snapshot now; start it fresh.
+  journal_.close();
+  journal_.open(journalPath(), std::ios::binary | std::ios::trunc);
+  opsSinceSnapshot_ = 0;
+  ++snapshotsWritten_;
+}
+
+}  // namespace dpss::cluster

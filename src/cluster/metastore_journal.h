@@ -1,0 +1,75 @@
+// Durable metastore: the in-process MySQL grows a redo log (DESIGN.md
+// §13). Every mutation is applied to the in-memory tables, then appended
+// to an on-disk journal as a length-prefixed, checksummed record; every
+// `snapshotEveryOps` mutations the full state is written to a snapshot
+// file (tmp + rename, so a crash mid-snapshot leaves the old one intact)
+// and the journal is truncated. Construction recovers snapshot-then-
+// journal, stopping cleanly at the first torn/corrupt record — exactly
+// what a standby or restarted coordinator needs to resume reconciliation
+// with the expected-state tables it had before the crash.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "cluster/metastore.h"
+#include "common/bytes.h"
+#include "common/thread_annotations.h"
+
+namespace dpss::cluster {
+
+struct JournaledMetaStoreOptions {
+  /// Mutations between automatic snapshots (journal truncation points).
+  std::size_t snapshotEveryOps = 256;
+};
+
+class JournaledMetaStore final : public MetaStore {
+ public:
+  using Options = JournaledMetaStoreOptions;
+
+  /// Creates `dir` if needed and recovers any prior state found there.
+  explicit JournaledMetaStore(std::string dir, Options options = {});
+  ~JournaledMetaStore() override;
+
+  // Mutators: apply to the in-memory tables, then journal.
+  void upsertSegment(const SegmentRecord& record) override;
+  void markUnused(const storage::SegmentId& id) override;
+  void setRules(const std::string& dataSource, LoadRules rules) override;
+  void setDefaultRules(LoadRules rules) override;
+  // Reads inherit the in-memory tables.
+
+  /// Forces a snapshot + journal truncation now.
+  void snapshotNow();
+
+  /// Mutations replayed from disk at construction (tests/observability).
+  std::size_t recoveredOps() const { return recoveredOps_; }
+  /// Snapshots written by this instance.
+  std::size_t snapshotsWritten() const;
+
+ private:
+  void recover();
+  bool loadSnapshot();
+  std::size_t replayJournal();
+  void applyOp(std::uint8_t op, ByteReader& r);
+  void appendOp(std::uint8_t op, const std::string& payload)
+      DPSS_EXCLUDES(jmu_);
+  void writeSnapshotLocked() DPSS_REQUIRES(jmu_);
+
+  std::string journalPath() const { return dir_ + "/journal.bin"; }
+  std::string snapshotPath() const { return dir_ + "/snapshot.bin"; }
+
+  std::string dir_;
+  Options options_;
+  std::size_t recoveredOps_ = 0;
+
+  // Serializes journal appends and snapshot swaps. Independent of the
+  // base-class table mutex: mutators apply to the tables first (base
+  // lock), then persist under jmu_, so readers never wait on disk.
+  mutable Mutex jmu_;
+  std::ofstream journal_ DPSS_GUARDED_BY(jmu_);
+  std::size_t opsSinceSnapshot_ DPSS_GUARDED_BY(jmu_) = 0;
+  std::size_t snapshotsWritten_ DPSS_GUARDED_BY(jmu_) = 0;
+};
+
+}  // namespace dpss::cluster

@@ -1,7 +1,13 @@
 // Registry path layout shared by all node types (Figure 2's
-// /announcements and per-node "load queue" paths).
+// /announcements and per-node "load queue" paths), plus the small data
+// formats that ride those znodes: node announcements (type + optional
+// advertised endpoint), load-queue entries (segment + blob key + issuing
+// leader epoch) and drain flags.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "storage/segment_id.h"
@@ -37,6 +43,77 @@ inline std::string loadQueue(const std::string& node) {
 inline std::string loadQueueEntry(const std::string& node,
                                   const storage::SegmentId& id) {
   return loadQueue(node) + "/" + segmentNode(id);
+}
+
+/// Drain flags: /drains/<node>, persistent (they survive the node's
+/// session so a crash mid-drain resumes draining on restart). Data is
+/// kDrainRequested while the coordinator re-replicates the node's
+/// segments elsewhere, flipped to kDrainComplete once it serves nothing.
+inline std::string drainsRoot() { return "/drains"; }
+inline std::string drainFlag(const std::string& node) {
+  return "/drains/" + node;
+}
+inline constexpr const char* kDrainRequested = "draining";
+inline constexpr const char* kDrainComplete = "complete";
+
+/// Coordinator leader election: an ephemeral leader znode (owner dies ->
+/// znode vanishes -> a standby acquires) fenced by a persistent,
+/// monotonically increasing epoch znode.
+inline std::string coordinatorRoot() { return "/coordinator"; }
+inline std::string leaderNode() { return "/coordinator/leader"; }
+inline std::string epochNode() { return "/coordinator/epoch"; }
+
+// --- znode data formats --------------------------------------------------
+// Fields inside one znode's data are '\x01'-separated (znode data is
+// opaque bytes; \x01 cannot appear in node types, segment ids, blob keys
+// or host:port strings).
+
+/// Node announcement data: "<type>" or "<type>\x01<host:port>". The
+/// endpoint is how a dynamically joined node becomes dialable: brokers
+/// resolve unknown peer names through it (net::NetTransport's resolver).
+inline std::string announceData(const std::string& type,
+                                const std::string& endpoint) {
+  return endpoint.empty() ? type : type + '\x01' + endpoint;
+}
+inline std::string announceType(const std::string& data) {
+  return data.substr(0, data.find('\x01'));
+}
+inline std::string announceEndpoint(const std::string& data) {
+  const auto sep = data.find('\x01');
+  return sep == std::string::npos ? std::string() : data.substr(sep + 1);
+}
+
+/// A parsed load-queue entry. Drops carry no payload (data == "drop");
+/// loads are "load:<id>\x01<deepStorageKey>[\x01<epoch>]" — the epoch is
+/// the issuing leader's, recorded for audit (fencing happens at write
+/// time; historicals obey whatever survived the fence).
+struct LoadEntry {
+  storage::SegmentId id;
+  std::string deepStorageKey;
+  std::uint64_t epoch = 0;
+};
+
+inline std::string loadEntryData(const storage::SegmentId& id,
+                                 const std::string& deepStorageKey,
+                                 std::uint64_t epoch) {
+  return "load:" + id.toString() + '\x01' + deepStorageKey + '\x01' +
+         std::to_string(epoch);
+}
+
+inline std::optional<LoadEntry> parseLoadEntry(const std::string& data) {
+  if (data.rfind("load:", 0) != 0) return std::nullopt;
+  const auto sep1 = data.find('\x01');
+  if (sep1 == std::string::npos) return std::nullopt;
+  LoadEntry e;
+  e.id = storage::SegmentId::parse(data.substr(5, sep1 - 5));
+  const auto sep2 = data.find('\x01', sep1 + 1);
+  if (sep2 == std::string::npos) {
+    e.deepStorageKey = data.substr(sep1 + 1);  // pre-epoch writer
+  } else {
+    e.deepStorageKey = data.substr(sep1 + 1, sep2 - sep1 - 1);
+    e.epoch = std::strtoull(data.c_str() + sep2 + 1, nullptr, 10);
+  }
+  return e;
 }
 
 }  // namespace dpss::cluster::paths

@@ -1,5 +1,7 @@
 #include "cluster/registry.h"
 
+#include <cstdlib>
+
 #include "common/error.h"
 
 namespace dpss::cluster {
@@ -24,6 +26,30 @@ std::string Registry::parentOf(const std::string& path) {
   return path.substr(0, slash);
 }
 
+void Registry::createLocked(const std::string& path, const std::string& data,
+                            const SessionPtr& session, bool ephemeral) {
+  if (session->expired()) throw Unavailable("session expired");
+  if (nodes_.count(path) > 0) {
+    throw AlreadyExists("znode already exists: " + path);
+  }
+  // Materialize persistent parents.
+  std::string parent = parentOf(path);
+  std::vector<std::string> missing;
+  while (parent != "/" && nodes_.count(parent) == 0) {
+    missing.push_back(parent);
+    parent = parentOf(parent);
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    nodes_.emplace(*it, Node{});
+  }
+  Node node;
+  node.data = data;
+  node.ephemeral = ephemeral;
+  node.sessionId = ephemeral ? session->id() : 0;
+  nodes_.emplace(path, std::move(node));
+  ++version_;
+}
+
 void Registry::create(const std::string& path, const std::string& data,
                       const SessionPtr& session, bool ephemeral) {
   validatePath(path);
@@ -31,29 +57,95 @@ void Registry::create(const std::string& path, const std::string& data,
   std::vector<Watch> toFire;
   {
     MutexLock lock(mu_);
-    if (session->expired()) throw Unavailable("session expired");
-    if (nodes_.count(path) > 0) {
-      throw AlreadyExists("znode already exists: " + path);
-    }
-    // Materialize persistent parents.
-    std::string parent = parentOf(path);
-    std::vector<std::string> missing;
-    while (parent != "/" && nodes_.count(parent) == 0) {
-      missing.push_back(parent);
-      parent = parentOf(parent);
-    }
-    for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
-      nodes_.emplace(*it, Node{});
-    }
-    Node node;
-    node.data = data;
-    node.ephemeral = ephemeral;
-    node.sessionId = ephemeral ? session->id() : 0;
-    nodes_.emplace(path, std::move(node));
+    createLocked(path, data, session, ephemeral);
+    notifyLocked(parentOf(path), toFire);
+  }
+  for (const auto& w : toFire) w(path);
+}
+
+std::uint64_t Registry::epochAtLocked(const std::string& epochPath) const {
+  const auto it = nodes_.find(epochPath);
+  if (it == nodes_.end()) return 0;
+  return std::strtoull(it->second.data.c_str(), nullptr, 10);
+}
+
+void Registry::checkFenceLocked(const std::string& fencePath,
+                                std::uint64_t epoch,
+                                const std::string& op) const {
+  const std::uint64_t current = epochAtLocked(fencePath);
+  if (epoch < current) {
+    throw Fenced(op + " fenced: epoch " + std::to_string(epoch) +
+                 " < current " + std::to_string(current) + " at " + fencePath);
+  }
+}
+
+void Registry::createFenced(const std::string& path, const std::string& data,
+                            const SessionPtr& session, bool ephemeral,
+                            const std::string& fencePath,
+                            std::uint64_t epoch) {
+  validatePath(path);
+  validatePath(fencePath);
+  DPSS_CHECK_MSG(session != nullptr, "create requires a session");
+  std::vector<Watch> toFire;
+  {
+    MutexLock lock(mu_);
+    checkFenceLocked(fencePath, epoch, "create " + path);
+    createLocked(path, data, session, ephemeral);
+    notifyLocked(parentOf(path), toFire);
+  }
+  for (const auto& w : toFire) w(path);
+}
+
+void Registry::setDataFenced(const std::string& path, const std::string& data,
+                             const std::string& fencePath,
+                             std::uint64_t epoch) {
+  validatePath(path);
+  validatePath(fencePath);
+  std::vector<Watch> toFire;
+  {
+    MutexLock lock(mu_);
+    checkFenceLocked(fencePath, epoch, "setData " + path);
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw NotFound("no such znode: " + path);
+    it->second.data = data;
     ++version_;
     notifyLocked(parentOf(path), toFire);
   }
   for (const auto& w : toFire) w(path);
+}
+
+std::uint64_t Registry::acquireLeadership(const std::string& leaderPath,
+                                          const std::string& epochPath,
+                                          const std::string& ownerTag,
+                                          const SessionPtr& session) {
+  validatePath(leaderPath);
+  validatePath(epochPath);
+  DPSS_CHECK_MSG(session != nullptr, "acquireLeadership requires a session");
+  std::vector<Watch> toFire;
+  std::uint64_t epoch = 0;
+  {
+    MutexLock lock(mu_);
+    if (session->expired()) throw Unavailable("session expired");
+    if (nodes_.count(leaderPath) > 0) {
+      throw AlreadyExists("leader znode held: " + leaderPath);
+    }
+    // Bump-then-create is one mutation under mu_: no window where a rival
+    // can slip between minting the epoch and taking the leader znode.
+    epoch = epochAtLocked(epochPath) + 1;
+    const auto it = nodes_.find(epochPath);
+    if (it == nodes_.end()) {
+      createLocked(epochPath, std::to_string(epoch), session,
+                   /*ephemeral=*/false);
+    } else {
+      it->second.data = std::to_string(epoch);
+      ++version_;
+    }
+    createLocked(leaderPath, ownerTag + "#" + std::to_string(epoch), session,
+                 /*ephemeral=*/true);
+    notifyLocked(parentOf(leaderPath), toFire);
+  }
+  for (const auto& w : toFire) w(leaderPath);
+  return epoch;
 }
 
 void Registry::setData(const std::string& path, const std::string& data) {

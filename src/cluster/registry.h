@@ -65,6 +65,30 @@ class Registry {
   /// Updates data; throws NotFound.
   virtual void setData(const std::string& path, const std::string& data);
 
+  // --- epoch-fenced writes (coordinator failover, DESIGN.md §13) --------
+  // A fenced write names an epoch znode (integer data) and the epoch the
+  // writer believes it holds. The comparison and the mutation are one
+  // atomic step under the registry mutex — ZooKeeper's multi-op
+  // check+create. A write whose epoch is below the stored one throws
+  // Fenced and mutates nothing: that writer was deposed.
+
+  virtual void createFenced(const std::string& path, const std::string& data,
+                            const SessionPtr& session, bool ephemeral,
+                            const std::string& fencePath, std::uint64_t epoch);
+  virtual void setDataFenced(const std::string& path, const std::string& data,
+                             const std::string& fencePath,
+                             std::uint64_t epoch);
+
+  /// Atomic leader acquisition: if no znode exists at `leaderPath`, bumps
+  /// the integer epoch at `epochPath` (creating it at 1 if absent) and
+  /// creates an ephemeral leader znode with data "<ownerTag>#<epoch>" in
+  /// the same mutation. Throws AlreadyExists when a leader already holds
+  /// the znode. Returns the newly minted epoch.
+  virtual std::uint64_t acquireLeadership(const std::string& leaderPath,
+                                          const std::string& epochPath,
+                                          const std::string& ownerTag,
+                                          const SessionPtr& session);
+
   virtual std::optional<std::string> getData(const std::string& path) const;
   virtual bool exists(const std::string& path) const;
 
@@ -107,6 +131,13 @@ class Registry {
   void notifyLocked(const std::string& parentPath,
                     std::vector<Watch>& toFire) const DPSS_REQUIRES(mu_);
   static std::string parentOf(const std::string& path);
+  void createLocked(const std::string& path, const std::string& data,
+                    const SessionPtr& session, bool ephemeral)
+      DPSS_REQUIRES(mu_);
+  std::uint64_t epochAtLocked(const std::string& epochPath) const
+      DPSS_REQUIRES(mu_);
+  void checkFenceLocked(const std::string& fencePath, std::uint64_t epoch,
+                        const std::string& op) const DPSS_REQUIRES(mu_);
   void removeSubtreeLocked(const std::string& path,
                            std::set<std::string>& changedParents)
       DPSS_REQUIRES(mu_);

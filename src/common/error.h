@@ -62,6 +62,15 @@ class DeadlineExceeded : public Unavailable {
   explicit DeadlineExceeded(const std::string& what) : Unavailable(what) {}
 };
 
+/// A write carrying a stale leadership epoch was rejected by the
+/// authority (epoch fencing). Deliberately NOT a subclass of Unavailable:
+/// retrying cannot help — the writer has been deposed and must stand down
+/// and re-elect, so rpc retry policies must surface this immediately.
+class Fenced : public Error {
+ public:
+  explicit Fenced(const std::string& what) : Error(what) {}
+};
+
 /// Internal invariant violation; indicates a dpss bug, not user error.
 class InternalError : public Error {
  public:

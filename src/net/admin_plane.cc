@@ -161,7 +161,8 @@ void bindAdminEndpoints(HttpAdminServer& server, AdminPlane plane) {
         if (s.kind != obs::MetricKind::kCounter) continue;
         const bool interesting = s.name.rfind("chaos.", 0) == 0 ||
                                  s.name.rfind("obs.spans.", 0) == 0 ||
-                                 s.name.rfind("broker.query", 0) == 0;
+                                 s.name.rfind("broker.query", 0) == 0 ||
+                                 s.name.rfind("coordinator.", 0) == 0;
         if (!interesting) continue;
         if (!first) out += ",";
         first = false;
@@ -187,6 +188,13 @@ void bindAdminEndpoints(HttpAdminServer& server, AdminPlane plane) {
       std::snprintf(buf, sizeof(buf), ",\"traces_collected\":%zu",
                     plane.traces->traceCount());
       out += buf;
+    }
+    if (plane.statusFields) {
+      const std::string extra = plane.statusFields();
+      if (!extra.empty()) {
+        out += ",";
+        out += extra;
+      }
     }
     out += "}";
     return HttpResponse{200, "application/json", std::move(out)};

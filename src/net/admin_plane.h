@@ -42,6 +42,11 @@ struct AdminPlane {
   std::function<std::string()> leaseState;
   std::function<std::vector<std::string>()> servedSegments;
   std::function<std::size_t()> liveSessions;
+  /// Role-specific /statusz fields, rendered verbatim into the top-level
+  /// JSON object: a `"key":value[,"key":value...]` fragment WITHOUT the
+  /// surrounding braces. The coordinator reports its leadership +
+  /// rebalancer section here; a historical reports its drain state.
+  std::function<std::string()> statusFields;
   std::uint64_t startNs = 0;  // obs::nowNanos() at process start
 };
 

@@ -76,6 +76,21 @@ void bindControl(cluster::TransportIface& transport,
         for (const auto& id : served) w.str(id.toString());
         break;
       }
+      case control_op::kDecommission:
+        if (targets.historical == nullptr) {
+          throw InvalidArgument("control: this role cannot drain");
+        }
+        targets.historical->requestDrain();
+        break;
+      case control_op::kDrainState: {
+        if (targets.historical == nullptr) {
+          throw InvalidArgument("control: this role cannot drain");
+        }
+        w.u8(targets.historical->draining() ? 1 : 0);
+        w.u8(targets.historical->drainComplete() ? 1 : 0);
+        w.u64(targets.historical->servedSegments().size());
+        break;
+      }
       default:
         throw InvalidArgument("control: unknown sub-op " +
                               std::to_string(subop));
@@ -130,6 +145,24 @@ std::vector<std::string> controlServedSegments(
   out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.str());
   return out;
+}
+
+void controlDecommission(cluster::TransportIface& transport,
+                         const std::string& nodeName) {
+  cluster::callWithPolicy(transport, controlNode(nodeName),
+                          ctlRequest(control_op::kDecommission).take());
+}
+
+DrainState controlDrainState(cluster::TransportIface& transport,
+                             const std::string& nodeName) {
+  OwnedByteReader r(
+      cluster::callWithPolicy(transport, controlNode(nodeName),
+                              ctlRequest(control_op::kDrainState).take()));
+  DrainState state;
+  state.draining = r.u8() != 0;
+  state.complete = r.u8() != 0;
+  state.servedSegments = r.u64();
+  return state;
 }
 
 }  // namespace dpss::net

@@ -24,6 +24,8 @@ constexpr std::uint8_t kLoadDocs = 2;
 constexpr std::uint8_t kIngest = 3;
 constexpr std::uint8_t kShutdown = 4;
 constexpr std::uint8_t kServedSegments = 5;
+constexpr std::uint8_t kDecommission = 6;
+constexpr std::uint8_t kDrainState = 7;
 }  // namespace control_op
 
 /// The control node name for a logical node.
@@ -72,5 +74,21 @@ void controlShutdown(cluster::TransportIface& transport,
 /// Canonical segment-id strings the historical currently serves.
 std::vector<std::string> controlServedSegments(
     cluster::TransportIface& transport, const std::string& nodeName);
+
+/// Puts a historical into drain mode (graceful decommission). The node
+/// refuses new loads from then on; the coordinator re-replicates its
+/// segments elsewhere and flips the flag to complete once it serves
+/// nothing. Idempotent.
+void controlDecommission(cluster::TransportIface& transport,
+                         const std::string& nodeName);
+
+/// Drain progress for a historical.
+struct DrainState {
+  bool draining = false;
+  bool complete = false;
+  std::uint64_t servedSegments = 0;
+};
+DrainState controlDrainState(cluster::TransportIface& transport,
+                             const std::string& nodeName);
 
 }  // namespace dpss::net

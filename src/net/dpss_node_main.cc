@@ -6,17 +6,27 @@
 //   dpss_node --role broker      --name broker --listen 127.0.0.1:8404
 //             --peer substrate=127.0.0.1:8400 --peer hist-0=127.0.0.1:8401
 //
-// The coordinator process hosts the authoritative substrates (registry,
-// metadata store, deep storage) behind a SubstrateService; every other
-// role reaches them through Remote* proxies, so the node classes
-// themselves run completely unchanged. Peer routing is static: the
-// launcher (scripts, the multi-process test) knows every name and port
-// up front and passes --peer flags. See README "Multi-process
-// quickstart" and DESIGN.md §9.
+// By default the coordinator process hosts the authoritative substrates
+// (registry, metadata store, deep storage) behind a SubstrateService;
+// every other role reaches them through Remote* proxies, so the node
+// classes themselves run completely unchanged. For coordinator failover
+// the substrates move to their own process (--role substrate) and any
+// number of coordinators run against it with --peer substrate=...; they
+// elect a leader through the registry and a SIGKILLed leader is replaced
+// within its lease (DESIGN.md §13).
+//
+// Peer routing is static for launch-time nodes (--peer flags), dynamic
+// for runtime-joined ones: nodes started with --advertise publish their
+// endpoint in their announcement, and processes holding a registry
+// mirror resolve unknown callees through it (NetTransport resolver). See
+// README "Multi-process quickstart" / "Scaling the cluster" and DESIGN.md
+// §9, §13.
 //
 // Each process also binds "<name>.ctl" (rpc::kControl) for out-of-band
 // driving: ping, document loading (historical), event ingestion
-// (realtime), and graceful shutdown.
+// (realtime), decommission/drain-state (historical), and graceful
+// shutdown. A draining historical exits on its own once the coordinator
+// marks the drain complete.
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -33,6 +43,8 @@
 #include "cluster/historical_node.h"
 #include "cluster/message_queue.h"
 #include "cluster/metastore.h"
+#include "cluster/metastore_journal.h"
+#include "cluster/names.h"
 #include "cluster/realtime_node.h"
 #include "cluster/registry.h"
 #include "cluster/rpc_policy.h"
@@ -80,11 +92,17 @@ struct Flags {
   int adminPort = -1;  // -1 = no admin server; 0 = pick a free port
   std::string traceSink = "coordinator";  // "" disables span shipping
   dpss::TimeMs slowQueryMs = 500;         // broker slow-query threshold
+  // elastic membership (DESIGN.md §13)
+  std::string metaDir;     // substrate/coordinator: journal+snapshot dir
+  std::string advertise;   // historical: announced endpoint ("" = listen)
+  std::size_t movesPerCycle = 8;      // coordinator rebalancer budget
+  std::size_t maxPendingLoads = 4;    // coordinator per-node load cap
 };
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "dpss_node: " << error << "\n"
-            << "usage: dpss_node --role coordinator|historical|realtime|broker"
+            << "usage: dpss_node --role "
+               "substrate|coordinator|historical|realtime|broker"
             << " --name NAME --listen HOST:PORT\n"
             << "  [--peer NAME=HOST:PORT]... [--tick-ms N] [--lease-ms N]\n"
             << "  [--sync-ms N] [--heartbeat-ms N] [--broker-cache N]\n"
@@ -92,7 +110,8 @@ struct Flags {
                "N]\n"
             << "  [--topic T --partition P --data-source DS] [--verbose]\n"
             << "  [--admin-port P (0 = auto)] [--trace-sink NODE ('' off)]\n"
-            << "  [--slow-query-ms N]\n";
+            << "  [--slow-query-ms N] [--meta-dir DIR] [--advertise HOST:PORT]\n"
+            << "  [--moves-per-cycle N] [--max-pending-loads N]\n";
   std::exit(2);
 }
 
@@ -145,6 +164,14 @@ Flags parseFlags(int argc, char** argv) {
       f.traceSink = next(i);
     } else if (arg == "--slow-query-ms") {
       f.slowQueryMs = std::stol(next(i));
+    } else if (arg == "--meta-dir") {
+      f.metaDir = next(i);
+    } else if (arg == "--advertise") {
+      f.advertise = next(i);
+    } else if (arg == "--moves-per-cycle") {
+      f.movesPerCycle = std::stoul(next(i));
+    } else if (arg == "--max-pending-loads") {
+      f.maxPendingLoads = std::stoul(next(i));
     } else if (arg == "--verbose") {
       dpss::setLogLevel(dpss::LogLevel::kInfo);
     } else {
@@ -219,23 +246,145 @@ std::optional<dpss::cluster::SpanShipper> makeShipper(
 }
 
 void mainLoop(const Flags& f, dpss::Clock& clock,
-              const std::function<void()>& tick) {
+              const std::function<void()>& tick,
+              const std::function<bool()>& done = nullptr) {
   while (g_stop == 0 && !dpss::net::shutdownRequested()) {
     tick();
+    if (done && done()) return;
     clock.sleepFor(f.tickMs);
   }
 }
 
-int runCoordinator(const Flags& f, dpss::Clock& clock,
-                   dpss::net::NetTransport& transport) {
+/// The authoritative metadata store: journaled + snapshotted when
+/// --meta-dir was given (survives a process restart), in-memory
+/// otherwise.
+std::unique_ptr<dpss::cluster::MetaStore> makeMetaStore(const Flags& f) {
+  if (f.metaDir.empty()) return std::make_unique<dpss::cluster::MetaStore>();
+  return std::make_unique<dpss::cluster::JournaledMetaStore>(f.metaDir);
+}
+
+/// True when `name` is wired to another process. A peer entry that points
+/// back at this process's own listen endpoint does not count: launcher
+/// scripts hand every node the same wiring map, so a standalone
+/// coordinator routinely sees "substrate=<its own address>".
+bool hasRemotePeer(const Flags& f, const std::string& name) {
+  for (const auto& [peer, hostPort] : f.peers) {
+    if (peer != name) continue;
+    try {
+      const dpss::net::Endpoint ep = dpss::net::Endpoint::parse(hostPort);
+      if (ep.host == f.listenHost && ep.port == f.listenPort) continue;
+    } catch (const dpss::Error&) {
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Routes callees unknown at launch (runtime scale-out) through their
+/// registry announcements. The caller must clear the resolver before
+/// `registry` dies.
+void installResolver(dpss::net::NetTransport& transport,
+                     dpss::cluster::Registry& registry) {
+  transport.setPeerResolver(
+      [&registry](const std::string& node) -> std::optional<std::string> {
+        const auto data =
+            registry.getData(dpss::cluster::paths::nodeAnnouncement(node));
+        if (!data) return std::nullopt;
+        const std::string ep = dpss::cluster::paths::announceEndpoint(*data);
+        if (ep.empty()) return std::nullopt;
+        return ep;
+      });
+}
+
+/// The coordinator's role-specific /statusz section: election state plus
+/// the most recent reconciliation cycle's rebalancer numbers.
+std::string coordinatorStatusFields(dpss::cluster::CoordinatorNode& c) {
+  const auto s = c.lastStats();
+  std::string out;
+  out += "\"leader\":" + std::string(s.leader ? "true" : "false");
+  out += ",\"epoch\":" + std::to_string(s.epoch);
+  out += ",\"rebalancer\":{";
+  out += "\"activeNodes\":" + std::to_string(s.activeNodes);
+  out += ",\"drainingNodes\":" + std::to_string(s.drainingNodes);
+  out += ",\"imbalance\":" + std::to_string(s.imbalance);
+  out += ",\"movesIssued\":" + std::to_string(s.movesIssued);
+  out += ",\"throttledMoves\":" + std::to_string(s.throttledMoves);
+  out += ",\"throttledLoads\":" + std::to_string(s.throttledLoads);
+  out += ",\"totalLoads\":" + std::to_string(c.totalLoadsIssued());
+  out += ",\"totalDrops\":" + std::to_string(c.totalDropsIssued());
+  out += ",\"totalMoves\":" + std::to_string(c.totalMovesIssued());
+  out += "}";
+  return out;
+}
+
+/// Standalone substrate host for multi-coordinator deployments: the
+/// registry, metadata store and deep storage live here so no coordinator
+/// is special and a SIGKILLed leader loses nothing but its lease.
+int runSubstrate(const Flags& f, dpss::Clock& clock,
+                 dpss::net::NetTransport& transport) {
   dpss::cluster::Registry registry;
-  dpss::cluster::MetaStore metaStore;
+  auto metaStore = makeMetaStore(f);
   dpss::storage::MemoryDeepStorage deepStorage;
-  dpss::net::SubstrateService substrate(registry, metaStore, deepStorage,
+  dpss::net::SubstrateService substrate(registry, *metaStore, deepStorage,
                                         clock, f.leaseMs);
   transport.bind(dpss::net::kSubstrateNode, substrate.handler());
-  dpss::cluster::CoordinatorNode coordinator(f.name, registry, metaStore,
-                                             clock);
+  dpss::net::bindControl(transport, f.name, "substrate", {});
+  dpss::net::AdminPlane plane;
+  plane.nodeName = f.name;
+  plane.role = "substrate";
+  plane.registry = &dpss::obs::globalRegistry();
+  plane.leaseState = [] { return std::string("none"); };
+  plane.liveSessions = [&substrate] { return substrate.liveSessionCount(); };
+  plane.startNs = dpss::obs::nowNanos();
+  auto admin = startAdmin(f, clock, std::move(plane));
+  announceReady(f, transport);
+  mainLoop(f, clock, [&] { substrate.sweepExpiredLeases(); });
+  if (admin) admin->stop();
+  return 0;
+}
+
+int runCoordinator(const Flags& f, dpss::Clock& clock,
+                   dpss::net::NetTransport& transport) {
+  // Two deployments share this role. Standalone (no substrate peer): this
+  // process hosts the authoritative substrates, as the single-coordinator
+  // topology always has. Standby-capable (--peer substrate=...): the
+  // substrates live in a substrate process and several coordinators run
+  // this same code against Remote* proxies, electing a leader among
+  // themselves — the node class cannot tell the difference.
+  const bool remoteSubstrate = hasRemotePeer(f, dpss::net::kSubstrateNode);
+  std::unique_ptr<dpss::cluster::Registry> localRegistry;
+  std::unique_ptr<dpss::cluster::MetaStore> localMeta;
+  std::unique_ptr<dpss::storage::MemoryDeepStorage> localDeep;
+  std::unique_ptr<dpss::net::SubstrateService> substrate;
+  std::unique_ptr<dpss::net::RemoteRegistry> remoteRegistry;
+  std::unique_ptr<dpss::net::RemoteMetaStore> remoteMeta;
+  dpss::cluster::Registry* registry = nullptr;
+  dpss::cluster::MetaStore* metaStore = nullptr;
+  if (remoteSubstrate) {
+    remoteRegistry = std::make_unique<dpss::net::RemoteRegistry>(
+        transport, dpss::net::kSubstrateNode, registryOptions(f));
+    remoteMeta = std::make_unique<dpss::net::RemoteMetaStore>(
+        transport, dpss::net::kSubstrateNode, rpcPolicy(f));
+    registry = remoteRegistry.get();
+    metaStore = remoteMeta.get();
+  } else {
+    localRegistry = std::make_unique<dpss::cluster::Registry>();
+    localMeta = makeMetaStore(f);
+    localDeep = std::make_unique<dpss::storage::MemoryDeepStorage>();
+    substrate = std::make_unique<dpss::net::SubstrateService>(
+        *localRegistry, *localMeta, *localDeep, clock, f.leaseMs);
+    transport.bind(dpss::net::kSubstrateNode, substrate->handler());
+    registry = localRegistry.get();
+    metaStore = localMeta.get();
+  }
+  dpss::cluster::CoordinatorOptions copts;
+  copts.maxMovesPerCycle = f.movesPerCycle;
+  copts.maxPendingLoadsPerNode = f.maxPendingLoads;
+  dpss::cluster::CoordinatorNode coordinator(f.name, *registry, *metaStore,
+                                             clock, copts);
+  // Stats collection dials every announced node; runtime-joined ones are
+  // only dialable through their announced endpoints.
+  installResolver(transport, *registry);
   // The coordinator is the cluster's trace sink: workers ship their span
   // batches here (rpc::kSpans) and /tracez serves the assembled trees.
   dpss::obs::TraceCollector collector;
@@ -260,19 +409,29 @@ int runCoordinator(const Flags& f, dpss::Clock& clock,
   plane.registry = &dpss::obs::globalRegistry();
   plane.traces = &collector;
   plane.leaseState = [] { return std::string("none"); };
-  plane.liveSessions = [&substrate] { return substrate.liveSessionCount(); };
+  if (substrate) {
+    plane.liveSessions = [&substrate] {
+      return substrate->liveSessionCount();
+    };
+  }
+  plane.statusFields = [&coordinator] {
+    return coordinatorStatusFields(coordinator);
+  };
   plane.startNs = dpss::obs::nowNanos();
   auto admin = startAdmin(f, clock, std::move(plane));
+  if (remoteRegistry) remoteRegistry->start();
   announceReady(f, transport);
   // Local spans (coordinator.* and net.server handlers) feed the
   // collector directly; there is no point shipping them over TCP.
   std::uint64_t spanCursor = 0;
   mainLoop(f, clock, [&] {
     coordinator.runOnce();
-    substrate.sweepExpiredLeases();
+    if (substrate) substrate->sweepExpiredLeases();
     auto spans = dpss::obs::globalRegistry().spans().collectSince(&spanCursor);
     if (!spans.empty()) collector.add(std::move(spans));
   });
+  if (remoteRegistry) remoteRegistry->stop();
+  transport.setPeerResolver(nullptr);  // it captures *registry
   if (admin) admin->stop();
   return 0;
 }
@@ -284,7 +443,15 @@ int runHistorical(const Flags& f, dpss::Clock& clock,
   dpss::net::RemoteDeepStorage deepStorage(transport,
                                            dpss::net::kSubstrateNode,
                                            rpcPolicy(f));
-  dpss::cluster::HistoricalNode node(f.name, registry, deepStorage, transport);
+  dpss::cluster::HistoricalNodeOptions nodeOptions;
+  // Announce a dialable endpoint so processes that did not know this node
+  // at launch (runtime scale-out) can resolve a route to it.
+  nodeOptions.advertiseEndpoint =
+      f.advertise.empty()
+          ? f.listenHost + ":" + std::to_string(transport.port())
+          : f.advertise;
+  dpss::cluster::HistoricalNode node(f.name, registry, deepStorage, transport,
+                                     nodeOptions);
   dpss::net::ControlTargets targets;
   targets.historical = &node;
   dpss::net::bindControl(transport, f.name, "historical", targets);
@@ -302,14 +469,33 @@ int runHistorical(const Flags& f, dpss::Clock& clock,
     for (const auto& id : node.servedSegments()) out.push_back(id.toString());
     return out;
   };
+  plane.statusFields = [&node] {
+    std::string out;
+    out += "\"pending_loads\":" + std::to_string(node.pendingLoads());
+    out += ",\"drain\":{\"draining\":";
+    out += node.draining() ? "true" : "false";
+    out += ",\"complete\":";
+    out += node.drainComplete() ? "true" : "false";
+    out += "}";
+    return out;
+  };
   plane.startNs = dpss::obs::nowNanos();
   auto admin = startAdmin(f, clock, std::move(plane));
   auto shipper = makeShipper(f, node.metrics(), transport);
   announceReady(f, transport);
-  mainLoop(f, clock, [&] {
-    node.tick();
-    if (shipper) shipper->tick();
-  });
+  mainLoop(
+      f, clock,
+      [&] {
+        node.tick();
+        if (shipper) shipper->tick();
+      },
+      // A drained node has nothing left to serve: deregister and exit so
+      // the operator (or launcher) can reclaim the process.
+      [&node] { return node.drainComplete(); });
+  if (node.drainComplete()) {
+    std::cout << "dpss_node '" << f.name << "' drain complete, exiting"
+              << std::endl;
+  }
   registry.stop();
   node.stop();
   if (admin) admin->stop();
@@ -377,6 +563,9 @@ int runBroker(const Flags& f, dpss::Clock& clock,
   options.rpcPolicy = rpcPolicy(f);
   options.slowQueryMs = f.slowQueryMs;
   dpss::cluster::BrokerNode broker(f.name, registry, transport, options);
+  // The broker dials whatever serves a segment; historicals that joined
+  // after launch are routed through their announced endpoints.
+  installResolver(transport, registry);
   dpss::net::bindControl(transport, f.name, "broker", {});
   broker.start();
   registry.start();
@@ -396,6 +585,7 @@ int runBroker(const Flags& f, dpss::Clock& clock,
   });
   registry.stop();
   broker.stop();
+  transport.setPeerResolver(nullptr);  // it captures `registry`
   if (admin) admin->stop();
   return 0;
 }
@@ -424,7 +614,9 @@ int main(int argc, char** argv) {
       transport.addPeer(name, hostPort);
     }
     int rc = 0;
-    if (f.role == "coordinator") {
+    if (f.role == "substrate") {
+      rc = runSubstrate(f, clock, transport);
+    } else if (f.role == "coordinator") {
       rc = runCoordinator(f, clock, transport);
     } else if (f.role == "historical") {
       rc = runHistorical(f, clock, transport);

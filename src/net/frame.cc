@@ -91,6 +91,8 @@ std::string encodeErrorPayload(const std::exception& e) {
     code = wire_error::kCorruptData;
   } else if (dynamic_cast<const CryptoError*>(&e) != nullptr) {
     code = wire_error::kCryptoError;
+  } else if (dynamic_cast<const Fenced*>(&e) != nullptr) {
+    code = wire_error::kFenced;
   }
   ByteWriter w;
   w.u8(code);
@@ -119,6 +121,8 @@ void throwWireError(const std::string& payload) {
       throw DeadlineExceeded(msg);
     case wire_error::kInternalError:
       throw InternalError(msg);
+    case wire_error::kFenced:
+      throw Fenced(msg);
     default:
       throw InternalError("unknown wire error code " + std::to_string(code) +
                           ": " + msg);

@@ -92,6 +92,7 @@ constexpr std::uint8_t kCryptoError = 5;
 constexpr std::uint8_t kUnavailable = 6;
 constexpr std::uint8_t kDeadlineExceeded = 7;
 constexpr std::uint8_t kInternalError = 8;
+constexpr std::uint8_t kFenced = 9;
 }  // namespace wire_error
 
 /// Builds a kError frame payload for an in-flight exception. Call from a

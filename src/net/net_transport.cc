@@ -53,6 +53,11 @@ void NetTransport::removePeer(const std::string& nodeName) {
   peers_.erase(nodeName);
 }
 
+void NetTransport::setPeerResolver(PeerResolver resolver) {
+  MutexLock lock(mu_);
+  resolver_ = std::move(resolver);
+}
+
 void NetTransport::bind(const std::string& nodeName,
                         cluster::RpcHandler handler) {
   server_.bind(nodeName, std::move(handler));
@@ -64,8 +69,13 @@ void NetTransport::unbind(const std::string& nodeName) {
 
 bool NetTransport::reachable(const std::string& nodeName) const {
   if (server_.serves(nodeName)) return true;
-  MutexLock lock(mu_);
-  return peers_.count(nodeName) > 0;
+  PeerResolver resolver;
+  {
+    MutexLock lock(mu_);
+    if (peers_.count(nodeName) > 0) return true;
+    resolver = resolver_;
+  }
+  return resolver && resolver(nodeName).has_value();
 }
 
 Endpoint NetTransport::endpointFor(const std::string& nodeName) const {
@@ -78,6 +88,19 @@ Endpoint NetTransport::endpointFor(const std::string& nodeName) const {
     // Local logical node: loop back through the real socket, keeping the
     // wire honest even for same-process calls.
     return Endpoint{"127.0.0.1", server_.port()};
+  }
+  // Unknown at launch: maybe a runtime-joined node whose announcement
+  // carries an endpoint. Copy the resolver out so it runs unlocked (it
+  // typically reads a registry mirror with its own mutex).
+  PeerResolver resolver;
+  {
+    MutexLock lock(mu_);
+    resolver = resolver_;
+  }
+  if (resolver) {
+    if (const auto hostPort = resolver(nodeName)) {
+      return Endpoint::parse(*hostPort);
+    }
   }
   throw Unavailable("no route to node: " + nodeName);
 }

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "cluster/transport.h"
@@ -46,6 +48,16 @@ class NetTransport final : public cluster::TransportIface {
   void addPeer(const std::string& nodeName, const std::string& hostPort);
   void removePeer(const std::string& nodeName);
 
+  /// Dynamic route discovery for nodes that joined after launch: when a
+  /// callee is neither a static peer nor served locally, the resolver is
+  /// asked for its "host:port" (typically read from the node's registry
+  /// announcement). Resolved fresh per call — a returned endpoint is not
+  /// cached, so a node that moves re-resolves. Pass nullptr to clear
+  /// (required before destroying whatever the resolver captures).
+  using PeerResolver =
+      std::function<std::optional<std::string>(const std::string& nodeName)>;
+  void setPeerResolver(PeerResolver resolver);
+
   // --- TransportIface --------------------------------------------------
   void bind(const std::string& nodeName, cluster::RpcHandler handler) override;
   void unbind(const std::string& nodeName) override;
@@ -63,6 +75,7 @@ class NetTransport final : public cluster::TransportIface {
 
   mutable Mutex mu_;
   std::map<std::string, Endpoint> peers_ DPSS_GUARDED_BY(mu_);
+  PeerResolver resolver_ DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::net

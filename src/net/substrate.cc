@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "cluster/meta_codec.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/logging.h"
@@ -15,46 +16,14 @@ using cluster::LoadRules;
 using cluster::RegistryEntry;
 using cluster::SegmentRecord;
 
-void writeRules(ByteWriter& w, const LoadRules& rules) {
-  w.varint(rules.replicationFactor);
-  w.i64(rules.retentionMs);
-}
-
-LoadRules readRules(ByteReader& r) {
-  LoadRules rules;
-  rules.replicationFactor = static_cast<std::size_t>(r.varint());
-  rules.retentionMs = r.i64();
-  return rules;
-}
-
-void writeRecord(ByteWriter& w, const SegmentRecord& rec) {
-  rec.id.serialize(w);
-  w.str(rec.deepStorageKey);
-  w.u8(rec.used ? 1 : 0);
-  w.varint(rec.sizeBytes);
-}
-
-SegmentRecord readRecord(ByteReader& r) {
-  SegmentRecord rec;
-  rec.id = storage::SegmentId::deserialize(r);
-  rec.deepStorageKey = r.str();
-  rec.used = r.u8() != 0;
-  rec.sizeBytes = static_cast<std::size_t>(r.varint());
-  return rec;
-}
-
-void writeRecords(ByteWriter& w, const std::vector<SegmentRecord>& recs) {
-  w.varint(recs.size());
-  for (const auto& rec : recs) writeRecord(w, rec);
-}
-
-std::vector<SegmentRecord> readRecords(ByteReader& r) {
-  const std::uint64_t n = r.varint();
-  std::vector<SegmentRecord> out;
-  out.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) out.push_back(readRecord(r));
-  return out;
-}
+// Row codecs are shared with the metastore journal (one format on the
+// wire and on disk).
+using cluster::meta_codec::readRecord;
+using cluster::meta_codec::readRecords;
+using cluster::meta_codec::readRules;
+using cluster::meta_codec::writeRecord;
+using cluster::meta_codec::writeRecords;
+using cluster::meta_codec::writeRules;
 
 /// Request builder: [rpc::kSubstrate][subop][args...].
 ByteWriter subRequest(std::uint8_t subop) {
@@ -185,6 +154,38 @@ std::string SubstrateService::handle(const std::string& body) {
     case substrate_op::kRegRemove: {
       const std::string path = r.str();
       registry_.remove(path);
+      w.u64(registry_.version());
+      break;
+    }
+    case substrate_op::kRegCreateFenced: {
+      const std::uint64_t token = r.u64();
+      const std::string path = r.str();
+      const std::string data = r.str();
+      const bool ephemeral = r.u8() != 0;
+      const std::string fencePath = r.str();
+      const std::uint64_t epoch = r.u64();
+      registry_.createFenced(path, data, sessionFor(token), ephemeral,
+                             fencePath, epoch);
+      w.u64(registry_.version());
+      break;
+    }
+    case substrate_op::kRegSetDataFenced: {
+      const std::string path = r.str();
+      const std::string data = r.str();
+      const std::string fencePath = r.str();
+      const std::uint64_t epoch = r.u64();
+      registry_.setDataFenced(path, data, fencePath, epoch);
+      w.u64(registry_.version());
+      break;
+    }
+    case substrate_op::kRegAcquireLeader: {
+      const std::uint64_t token = r.u64();
+      const std::string leaderPath = r.str();
+      const std::string epochPath = r.str();
+      const std::string ownerTag = r.str();
+      const std::uint64_t epoch = registry_.acquireLeadership(
+          leaderPath, epochPath, ownerTag, sessionFor(token));
+      w.u64(epoch);
       w.u64(registry_.version());
       break;
     }
@@ -394,6 +395,96 @@ void RemoteRegistry::remove(const std::string& path) {
   OwnedByteReader resp(call(req.take()));
   mutationFloor_ = std::max(mutationFloor_, resp.u64());
   Registry::remove(path);
+}
+
+void RemoteRegistry::createFenced(const std::string& path,
+                                  const std::string& data,
+                                  const cluster::SessionPtr& session,
+                                  bool ephemeral, const std::string& fencePath,
+                                  std::uint64_t epoch) {
+  const auto token = tokenFor(session);
+  if (!token.has_value()) {
+    throw Unavailable("remote registry: session has no authority token");
+  }
+  std::lock_guard<std::recursive_mutex> sync(syncMu_);
+  ByteWriter req = subRequest(substrate_op::kRegCreateFenced);
+  req.u64(*token);
+  req.str(path);
+  req.str(data);
+  req.u8(ephemeral ? 1 : 0);
+  req.str(fencePath);
+  req.u64(epoch);
+  // Fenced/AlreadyExists rejections propagate from the authority before
+  // any mirror change — the epoch check only means anything there.
+  OwnedByteReader resp(call(req.take()));
+  mutationFloor_ = std::max(mutationFloor_, resp.u64());
+  try {
+    Registry::create(path, data, session, ephemeral);
+  } catch (const AlreadyExists&) {
+    try {
+      Registry::setData(path, data);
+    } catch (const Error&) {
+    }
+  }
+}
+
+void RemoteRegistry::setDataFenced(const std::string& path,
+                                   const std::string& data,
+                                   const std::string& fencePath,
+                                   std::uint64_t epoch) {
+  std::lock_guard<std::recursive_mutex> sync(syncMu_);
+  ByteWriter req = subRequest(substrate_op::kRegSetDataFenced);
+  req.str(path);
+  req.str(data);
+  req.str(fencePath);
+  req.u64(epoch);
+  OwnedByteReader resp(call(req.take()));
+  mutationFloor_ = std::max(mutationFloor_, resp.u64());
+  try {
+    Registry::setData(path, data);
+  } catch (const NotFound&) {
+    // Mirror lags; reconcile will create it.
+  }
+}
+
+std::uint64_t RemoteRegistry::acquireLeadership(
+    const std::string& leaderPath, const std::string& epochPath,
+    const std::string& ownerTag, const cluster::SessionPtr& session) {
+  const auto token = tokenFor(session);
+  if (!token.has_value()) {
+    throw Unavailable("remote registry: session has no authority token");
+  }
+  std::lock_guard<std::recursive_mutex> sync(syncMu_);
+  ByteWriter req = subRequest(substrate_op::kRegAcquireLeader);
+  req.u64(*token);
+  req.str(leaderPath);
+  req.str(epochPath);
+  req.str(ownerTag);
+  // AlreadyExists (a rival leads) propagates before any mirror change.
+  OwnedByteReader resp(call(req.take()));
+  const std::uint64_t epoch = resp.u64();
+  mutationFloor_ = std::max(mutationFloor_, resp.u64());
+  // Mirror-apply with the authority's epoch — NOT base acquireLeadership,
+  // which would mint a divergent local epoch.
+  const std::string tag = ownerTag + "#" + std::to_string(epoch);
+  try {
+    Registry::create(epochPath, std::to_string(epoch), session,
+                     /*ephemeral=*/false);
+  } catch (const AlreadyExists&) {
+    try {
+      Registry::setData(epochPath, std::to_string(epoch));
+    } catch (const Error&) {
+    }
+  }
+  try {
+    Registry::create(leaderPath, tag, session, /*ephemeral=*/true);
+  } catch (const AlreadyExists&) {
+    try {
+      Registry::setData(leaderPath, tag);
+    } catch (const Error&) {
+    }
+  }
+  return epoch;
 }
 
 void RemoteRegistry::expire(const cluster::SessionPtr& session) {

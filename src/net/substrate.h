@@ -54,6 +54,8 @@ constexpr std::uint8_t kRegCreate = 4;
 constexpr std::uint8_t kRegSetData = 5;
 constexpr std::uint8_t kRegRemove = 6;
 constexpr std::uint8_t kRegSnapshot = 7;
+constexpr std::uint8_t kRegCreateFenced = 8;
+constexpr std::uint8_t kRegSetDataFenced = 9;
 constexpr std::uint8_t kMetaUpsert = 10;
 constexpr std::uint8_t kMetaMarkUnused = 11;
 constexpr std::uint8_t kMetaGet = 12;
@@ -69,6 +71,7 @@ constexpr std::uint8_t kDsRemove = 23;
 constexpr std::uint8_t kDsList = 24;
 constexpr std::uint8_t kDsChecksum = 25;
 constexpr std::uint8_t kDsVerify = 26;
+constexpr std::uint8_t kRegAcquireLeader = 30;
 }  // namespace substrate_op
 
 /// Serves the authoritative substrates over rpc::kSubstrate. Host the
@@ -142,6 +145,18 @@ class RemoteRegistry final : public cluster::Registry {
   void setData(const std::string& path, const std::string& data) override;
   void remove(const std::string& path) override;
   void expire(const cluster::SessionPtr& session) override;
+  // Fenced writes and leader election go to the authority, where the
+  // epoch check is atomic with the mutation; the mirror just follows.
+  void createFenced(const std::string& path, const std::string& data,
+                    const cluster::SessionPtr& session, bool ephemeral,
+                    const std::string& fencePath, std::uint64_t epoch) override;
+  void setDataFenced(const std::string& path, const std::string& data,
+                     const std::string& fencePath,
+                     std::uint64_t epoch) override;
+  std::uint64_t acquireLeadership(const std::string& leaderPath,
+                                  const std::string& epochPath,
+                                  const std::string& ownerTag,
+                                  const cluster::SessionPtr& session) override;
   // Reads, watches, dump() and version() inherit the mirror's behavior.
 
  private:

@@ -282,6 +282,172 @@ StoryOutcome runStory(std::uint64_t seed, const PssRig* pss = nullptr) {
   return out;
 }
 
+// --- membership churn (joins / drains / leader deposition) --------------
+
+ChaosScheduleOptions membershipOptions(std::uint64_t seed) {
+  ChaosScheduleOptions o;
+  o.seed = seed;
+  o.horizonMs = 6'000;
+  o.meanEventGapMs = 500;
+  // Membership churn dominates; a thread of crash + lease chaos rides
+  // along so elasticity is exercised under failures, not in isolation.
+  o.historicalJoinWeight = 2.0;
+  o.decommissionWeight = 2.0;
+  o.coordinatorDeposeWeight = 1.0;
+  o.historicalCrashWeight = 0.5;
+  o.realtimeCrashWeight = 0.0;
+  o.brokerRestartWeight = 0.0;
+  o.storageGetOutageWeight = 0.0;
+  o.storagePutOutageWeight = 0.0;
+  o.storageCorruptReadWeight = 0.0;
+  o.registryExpiryWeight = 0.5;
+  return o;
+}
+
+struct MembershipOutcome {
+  std::vector<ClusterChaosEvent> schedule;
+  std::vector<AppliedChaosEvent> log;
+  std::size_t finalHistoricals = 0;
+  std::uint64_t finalEpoch = 0;
+};
+
+/// One seeded elastic-membership story: nodes join, drain and crash while
+/// the leader is occasionally deposed; queries must stay correct or
+/// typed-partial throughout, and the story must replay byte-identically.
+MembershipOutcome runMembershipStory(std::uint64_t seed) {
+  MembershipOutcome out;
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = 2;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  options.defaultRules.replicationFactor = 2;
+  Cluster cluster(clock, options);
+  cluster.publishSegments(makeSegments(kSegments));
+
+  ChaosScheduler sched(cluster, membershipOptions(seed));
+  out.schedule = sched.schedule();
+
+  while (!sched.done()) {
+    clock.advance(250);
+    sched.pump();
+    cluster.coordinator().runOnce();
+    for (std::size_t i = 0; i < cluster.historicalCount(); ++i) {
+      if (cluster.historical(i).running()) cluster.historical(i).tick();
+    }
+    // Never silently wrong: counts are whole segments, never above the
+    // full answer, shortfalls typed (partial annotation or Unavailable).
+    try {
+      const auto outcome = cluster.broker().query(histQuery());
+      if (!outcome.rows.empty()) {
+        const auto cnt = static_cast<long long>(outcome.rows[0].values[0]);
+        EXPECT_EQ(cnt % 100, 0) << "seed " << seed;
+        EXPECT_LE(cnt, 400) << "seed " << seed;
+      }
+    } catch (const Unavailable&) {
+    }
+  }
+
+  sched.heal();
+  for (int i = 0; i < 30; ++i) {
+    clock.advance(250);
+    cluster.coordinator().runOnce();
+    for (std::size_t h = 0; h < cluster.historicalCount(); ++h) {
+      if (cluster.historical(h).running()) cluster.historical(h).tick();
+    }
+  }
+  cluster.converge();
+
+  // Settled: the survivors (joined nodes included, drained ones excluded)
+  // answer the full count.
+  const auto settled = cluster.broker().query(histQuery());
+  EXPECT_FALSE(settled.partial()) << "seed " << seed;
+  if (!settled.rows.empty()) {
+    EXPECT_DOUBLE_EQ(settled.rows[0].values[0], 400.0) << "seed " << seed;
+  } else {
+    ADD_FAILURE() << "seed " << seed << " settled with an empty view";
+  }
+
+  out.log = sched.log();
+  out.finalHistoricals = cluster.historicalCount();
+  out.finalEpoch = cluster.coordinator().lastStats().epoch;
+  return out;
+}
+
+TEST(ClusterChaos, MembershipScheduleIsAPureFunctionOfSeed) {
+  bool sawJoin = false, sawDrain = false, sawDepose = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto opts = membershipOptions(seed);
+    const auto a = ChaosScheduler::buildSchedule(opts, 2, 0, kT0);
+    const auto b = ChaosScheduler::buildSchedule(opts, 2, 0, kT0);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "seed " << seed << " event " << i;
+    }
+    for (const auto& e : a) {
+      sawJoin |= e.kind == ChaosEventKind::kHistoricalJoin;
+      sawDrain |= e.kind == ChaosEventKind::kHistoricalDecommission;
+      sawDepose |= e.kind == ChaosEventKind::kCoordinatorDepose;
+    }
+  }
+  EXPECT_TRUE(sawJoin);
+  EXPECT_TRUE(sawDrain);
+  EXPECT_TRUE(sawDepose);
+}
+
+TEST(ClusterChaos, MembershipZeroWeightsLeaveLegacySchedulesUntouched) {
+  // Replayability across versions: a schedule built before membership
+  // events existed must come out byte-identical from the same seed — the
+  // new classes only fire when their weights are raised above zero.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (const auto& e :
+         ChaosScheduler::buildSchedule(sweepOptions(seed), kHistoricals, 1,
+                                       kT0)) {
+      EXPECT_NE(e.kind, ChaosEventKind::kHistoricalJoin) << "seed " << seed;
+      EXPECT_NE(e.kind, ChaosEventKind::kHistoricalDecommission)
+          << "seed " << seed;
+      EXPECT_NE(e.kind, ChaosEventKind::kCoordinatorDepose)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ClusterChaos, MembershipSweepFiftySeedsReplaysByteIdentically) {
+  std::size_t joins = 0, drains = 0, deposes = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto first = runMembershipStory(seed);
+    const auto second = runMembershipStory(seed);
+
+    ASSERT_EQ(first.schedule.size(), second.schedule.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < first.schedule.size(); ++i) {
+      EXPECT_EQ(first.schedule[i], second.schedule[i])
+          << "seed " << seed << " event " << i;
+    }
+    ASSERT_EQ(first.log.size(), second.log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < first.log.size(); ++i) {
+      EXPECT_EQ(first.log[i], second.log[i])
+          << "seed " << seed << " log entry " << i;
+    }
+    EXPECT_EQ(first.finalHistoricals, second.finalHistoricals)
+        << "seed " << seed;
+    EXPECT_EQ(first.finalEpoch, second.finalEpoch) << "seed " << seed;
+
+    for (const auto& entry : first.log) {
+      if (!entry.applied) continue;
+      if (entry.event.kind == ChaosEventKind::kHistoricalJoin) ++joins;
+      if (entry.event.kind == ChaosEventKind::kHistoricalDecommission) {
+        ++drains;
+      }
+      if (entry.event.kind == ChaosEventKind::kCoordinatorDepose) ++deposes;
+    }
+  }
+  // The sweep must actually exercise every membership class.
+  EXPECT_GT(joins, 0u);
+  EXPECT_GT(drains, 0u);
+  EXPECT_GT(deposes, 0u);
+}
+
 TEST(ClusterChaos, ScheduleIsAPureFunctionOfSeed) {
   bool anyDifference = false;
   for (std::uint64_t seed = 0; seed < 64; ++seed) {

@@ -167,5 +167,60 @@ TEST(Registry, WatchCanReenterRegistry) {
   EXPECT_TRUE(reg.exists("/ack"));
 }
 
+// --- leader election + epoch fencing (DESIGN.md §13) --------------------
+
+TEST(Registry, AcquireLeadershipMintsMonotonicEpochs) {
+  Registry reg;
+  auto a = reg.connect("coord-a");
+  auto b = reg.connect("coord-b");
+  const std::string leader = "/coordinator/leader";
+  const std::string epoch = "/coordinator/epoch";
+
+  EXPECT_EQ(reg.acquireLeadership(leader, epoch, "coord-a", a), 1u);
+  EXPECT_EQ(reg.getData(leader), "coord-a#1");
+  // Held: a second contender cannot acquire.
+  EXPECT_THROW(reg.acquireLeadership(leader, epoch, "coord-b", b),
+               AlreadyExists);
+
+  // The holder's session dies -> the ephemeral leader znode vanishes and
+  // the standby acquires with a strictly larger epoch.
+  reg.expire(a);
+  EXPECT_FALSE(reg.exists(leader));
+  EXPECT_EQ(reg.acquireLeadership(leader, epoch, "coord-b", b), 2u);
+  EXPECT_EQ(reg.getData(leader), "coord-b#2");
+}
+
+TEST(Registry, FencedWritesRejectStaleEpochsWithoutMutating) {
+  Registry reg;
+  auto a = reg.connect("coord-a");
+  const std::string leader = "/coordinator/leader";
+  const std::string epoch = "/coordinator/epoch";
+  const auto epochA = reg.acquireLeadership(leader, epoch, "coord-a", a);
+
+  // Current-epoch writes pass.
+  reg.createFenced("/q/e1", "load", a, false, epoch, epochA);
+  EXPECT_EQ(reg.getData("/q/e1"), "load");
+
+  // Deposition: coord-a's session expires, coord-b mints epoch 2.
+  reg.expire(a);
+  auto b = reg.connect("coord-b");
+  const auto epochB = reg.acquireLeadership(leader, epoch, "coord-b", b);
+  ASSERT_GT(epochB, epochA);
+
+  // coord-a reconnects still believing in epoch 1: every fenced write is
+  // rejected atomically — the check and the mutation are one step, so
+  // nothing is created and nothing is overwritten.
+  auto stale = reg.connect("coord-a");
+  EXPECT_THROW(reg.createFenced("/q/e2", "load", stale, false, epoch, epochA),
+               Fenced);
+  EXPECT_FALSE(reg.exists("/q/e2"));
+  EXPECT_THROW(reg.setDataFenced("/q/e1", "drop", epoch, epochA), Fenced);
+  EXPECT_EQ(reg.getData("/q/e1"), "load");
+
+  // The live leader's epoch still writes.
+  reg.setDataFenced("/q/e1", "drop", epoch, epochB);
+  EXPECT_EQ(reg.getData("/q/e1"), "drop");
+}
+
 }  // namespace
 }  // namespace dpss::cluster

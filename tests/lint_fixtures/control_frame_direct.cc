@@ -1,0 +1,40 @@
+// dpss-lint-fixture: expect(control-channel)
+//
+// A hand-rolled control frame (raw control_op:: opcode + controlNode()
+// addressing) bypasses the control* client helpers in net/control.h,
+// which wrap every membership verb in callWithPolicy. A launcher that
+// decommissions a node this way loses retries, deadlines, and the one
+// canonical wire format.
+#include <cstdint>
+#include <string>
+
+namespace dpss::net {
+
+namespace control_op {
+constexpr std::uint8_t kDecommission = 6;
+}  // namespace control_op
+
+inline std::string controlNode(const std::string& nodeName) {
+  return nodeName + ".ctl";
+}
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  std::string take();
+};
+
+class ImpatientLauncher {
+ public:
+  void drainNode(const std::string& name) {
+    ByteWriter w;
+    w.u8(8);  // rpc::kControl
+    w.u8(control_op::kDecommission);
+    send(controlNode(name), w.take());
+  }
+
+ private:
+  void send(const std::string& target, const std::string& frame);
+};
+
+}  // namespace dpss::net

@@ -168,6 +168,7 @@ TEST(WireError, EveryTypedErrorSurvivesTheWire) {
   expectRoundTrip(Unavailable("boom"), wire_error::kUnavailable);
   expectRoundTrip(DeadlineExceeded("boom"), wire_error::kDeadlineExceeded);
   expectRoundTrip(InternalError("boom"), wire_error::kInternalError);
+  expectRoundTrip(Fenced("boom"), wire_error::kFenced);
 }
 
 TEST(WireError, DeadlineExceededDoesNotDecayToUnavailable) {

@@ -575,5 +575,349 @@ TEST_F(MultiprocessClusterTest, AdminPlaneAssemblesCrossProcessTraces) {
   }
 }
 
+// Elastic membership across real processes (DESIGN.md §13): the cluster
+// scales 2 -> 8 historicals at runtime — the joiners know only the
+// substrate; no static wiring anywhere names them — then drains back to
+// 2 via the decommission control verb. Query and PSS load runs the whole
+// time; not a single request may be dropped, and every drained process
+// must exit 0 on its own once its segments are re-replicated.
+TEST_F(MultiprocessClusterTest, ElasticScaleOutAndDrainUnderLoad) {
+  const std::uint16_t coordPort = freePort();
+  const std::uint16_t histAPort = freePort();
+  const std::uint16_t histBPort = freePort();
+  const std::uint16_t brokerPort = freePort();
+
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"substrate", coordPort},
+      {"coordinator", coordPort},
+      {"hist-a", histAPort},
+      {"hist-b", histBPort},
+      {"broker", brokerPort},
+  };
+  spawnRole("coordinator", "coordinator", coordPort, wiring);
+  spawnRole("historical", "hist-a", histAPort, wiring);
+  spawnRole("historical", "hist-b", histBPort, wiring);
+  // Cache off: every query below must hit the live timeline, so a lost
+  // segment can never hide behind a cached serve.
+  spawnRole("broker", "broker", brokerPort, wiring, {"--broker-cache", "0"});
+
+  NetTransport driver(clock_);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+  }
+  for (const auto& name : {"coordinator", "hist-a", "hist-b", "broker"}) {
+    awaitReady(driver, name);
+  }
+
+  cluster::RpcPolicy rpc;
+  rpc.maxAttempts = 3;
+  rpc.initialBackoffMs = 50;
+  rpc.deadlineMs = 4'000;
+
+  // --- publish 8 segments onto the 2-node cluster ---------------------
+  RemoteMetaStore metaStore(driver, kSubstrateNode, rpc);
+  RemoteDeepStorage deepStorage(driver, kSubstrateNode, rpc);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 120;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 8);
+  for (const auto& segment : segments) {
+    const std::string key = segment->id().toString();
+    deepStorage.put(key, storage::encodeSegment(*segment));
+    cluster::SegmentRecord record;
+    record.id = segment->id();
+    record.deepStorageKey = key;
+    record.sizeBytes = segment->memoryFootprint();
+    metaStore.upsertSegment(record);
+  }
+  ASSERT_TRUE(eventually([&] {
+    return controlServedSegments(driver, "hist-a").size() +
+               controlServedSegments(driver, "hist-b").size() ==
+           8;
+  })) << "segments never got served";
+
+  // --- continuous load: one query per poll iteration -------------------
+  cluster::RemoteBroker broker(driver, "broker", rpc);
+  std::size_t dropped = 0;
+  std::size_t answered = 0;
+  std::size_t fullAnswers = 0;
+  const auto loadQuery = [&] {
+    try {
+      const auto outcome = broker.query(countQuery("ads"));
+      ++answered;
+      const double cnt =
+          outcome.rows.empty() ? 0.0 : outcome.rows[0].values[0];
+      // Never silently wrong: whole segments only, never above the full
+      // answer; shortfalls must be annotated partial.
+      EXPECT_EQ(static_cast<long long>(cnt) % 120, 0);
+      EXPECT_LE(cnt, 8 * 120.0);
+      if (!outcome.partial() && cnt == 8 * 120.0) ++fullAnswers;
+    } catch (const Error& e) {
+      ++dropped;
+      ADD_FAILURE() << "query dropped during membership churn: " << e.what();
+    }
+  };
+
+  // PSS rides along on the two permanent nodes.
+  const pss::Dictionary dict({"breach", "leak", "malware", "normal",
+                              "virus"});
+  const pss::SearchParams params{
+      .bufferLength = 8, .indexBufferLength = 256, .bloomHashes = 5};
+  pss::PrivateSearchClient client(dict, params, 128, 4242);
+  std::vector<std::string> docs;
+  for (int i = 0; i < 40; ++i) {
+    docs.push_back("routine log line " + std::to_string(i));
+  }
+  docs[4] = "virus detected on host four";
+  docs[31] = "worm malware combo on host x";
+  controlLoadDocuments(driver, "hist-a", "seclog", 0,
+                       {docs.begin(), docs.begin() + 20});
+  controlLoadDocuments(driver, "hist-b", "seclog", 20,
+                       {docs.begin() + 20, docs.end()});
+  const auto pssSearch = [&] {
+    const auto recovered = cluster::runDistributedPrivateSearch(
+        broker, client, "seclog", {"virus", "malware"});
+    std::set<std::uint64_t> indices;
+    for (const auto& r : recovered) indices.insert(r.index);
+    EXPECT_EQ(indices, (std::set<std::uint64_t>{4, 31}));
+    for (const auto& r : recovered) EXPECT_EQ(r.payload, docs[r.index]);
+  };
+  pssSearch();  // baseline on the 2-node cluster
+
+  // --- runtime scale-out: six joiners, substrate wiring only -----------
+  std::vector<std::string> joiners;
+  const std::vector<std::pair<std::string, std::uint16_t>> joinerWiring = {
+      {"substrate", coordPort}, {"coordinator", coordPort}};
+  for (int i = 2; i < 8; ++i) {
+    const std::string name = "hist-" + std::to_string(i);
+    const std::uint16_t port = freePort();
+    // The joiner announces its own endpoint; the broker and coordinator
+    // resolve routes to it from the announcement, not from static wiring.
+    spawnRole("historical", name, port, joinerWiring);
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+    joiners.push_back(name);
+  }
+  for (const auto& name : joiners) awaitReady(driver, name);
+
+  // The throttled rebalancer spreads the 8 segments one per node, with
+  // queries answering throughout.
+  std::vector<std::string> allNodes = {"hist-a", "hist-b"};
+  allNodes.insert(allNodes.end(), joiners.begin(), joiners.end());
+  ASSERT_TRUE(eventually(
+      [&] {
+        loadQuery();
+        for (const auto& name : allNodes) {
+          if (controlServedSegments(driver, name).size() != 1) return false;
+        }
+        return true;
+      },
+      60'000))
+      << "rebalancer never spread 8 segments across 8 nodes";
+  pssSearch();  // under the scaled topology
+
+  // --- graceful drain back to 2 ----------------------------------------
+  controlDecommission(driver, joiners[0]);
+  const auto drainState = controlDrainState(driver, joiners[0]);
+  EXPECT_TRUE(drainState.draining);
+  for (std::size_t i = 1; i < joiners.size(); ++i) {
+    controlDecommission(driver, joiners[i]);
+  }
+  ASSERT_TRUE(eventually(
+      [&] {
+        loadQuery();
+        return controlServedSegments(driver, "hist-a").size() +
+                   controlServedSegments(driver, "hist-b").size() ==
+               8;
+      },
+      60'000))
+      << "drained segments never re-replicated to the permanent nodes";
+
+  // Every drained process deregisters and exits 0 by itself.
+  std::set<std::string> reaped;
+  for (const auto& name : joiners) {
+    const int status = proc(name).wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << name << " exited with status " << status;
+    reaped.insert(name);
+  }
+
+  pssSearch();  // back on the 2-node cluster
+  ASSERT_TRUE(eventually([&] {
+    const auto settled = broker.query(countQuery("ads"));
+    return !settled.partial() && settled.rows.size() == 1 &&
+           settled.rows[0].values[0] == 8 * 120.0;
+  })) << "cluster never settled to a full answer after the drain";
+
+  EXPECT_EQ(dropped, 0u) << "of " << answered + dropped
+                         << " queries during churn";
+  EXPECT_GT(fullAnswers, 0u);
+
+  // --- graceful shutdown ------------------------------------------------
+  for (const auto& name : names_) {
+    if (reaped.count(name) > 0) continue;
+    controlShutdown(driver, name);
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (reaped.count(names_[i]) > 0) continue;
+    const int status = procs_[i].wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << names_[i] << " exited with status " << status;
+  }
+}
+
+// Coordinator failover (DESIGN.md §13): the substrates live in their own
+// process, two coordinators elect a leader through the registry, and the
+// leader is SIGKILLed mid-drain. The standby must take over within the
+// lease, finish the drain under its own epoch (load-before-drop survives
+// the leader change), assign segments published after the failover, and
+// keep every query answering.
+TEST_F(MultiprocessClusterTest, CoordinatorFailoverOnLeaderKill) {
+  const std::uint16_t subPort = freePort();
+  const std::uint16_t coordAPort = freePort();
+  const std::uint16_t coordBPort = freePort();
+  const std::uint16_t histAPort = freePort();
+  const std::uint16_t histBPort = freePort();
+  const std::uint16_t brokerPort = freePort();
+  const std::uint16_t adminA = freePort();
+  const std::uint16_t adminB = freePort();
+
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"substrate", subPort}, {"coord-a", coordAPort},
+      {"coord-b", coordBPort}, {"hist-a", histAPort},
+      {"hist-b", histBPort},  {"broker", brokerPort},
+  };
+  spawnRole("substrate", "substrate", subPort, wiring);
+  spawnRole("coordinator", "coord-a", coordAPort, wiring,
+            {"--admin-port", std::to_string(adminA)});
+  spawnRole("coordinator", "coord-b", coordBPort, wiring,
+            {"--admin-port", std::to_string(adminB)});
+  // No process is named "coordinator" here, so span shipping has no sink;
+  // switch it off rather than letting every tick burn a failed call.
+  spawnRole("historical", "hist-a", histAPort, wiring, {"--trace-sink", ""});
+  spawnRole("historical", "hist-b", histBPort, wiring, {"--trace-sink", ""});
+  spawnRole("broker", "broker", brokerPort, wiring,
+            {"--broker-cache", "0", "--trace-sink", ""});
+
+  NetTransport driver(clock_);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+  }
+  for (const auto& name :
+       {"substrate", "coord-a", "coord-b", "hist-a", "hist-b", "broker"}) {
+    awaitReady(driver, name);
+  }
+
+  cluster::RpcPolicy rpc;
+  rpc.maxAttempts = 3;
+  rpc.initialBackoffMs = 50;
+  rpc.deadlineMs = 4'000;
+
+  // --- publish 4 of 6 segments; one coordinator assigns them -----------
+  RemoteMetaStore metaStore(driver, kSubstrateNode, rpc);
+  RemoteDeepStorage deepStorage(driver, kSubstrateNode, rpc);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 120;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 6);
+  const auto publish = [&](std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) {
+      const std::string key = segments[i]->id().toString();
+      deepStorage.put(key, storage::encodeSegment(*segments[i]));
+      cluster::SegmentRecord record;
+      record.id = segments[i]->id();
+      record.deepStorageKey = key;
+      record.sizeBytes = segments[i]->memoryFootprint();
+      metaStore.upsertSegment(record);
+    }
+  };
+  publish(0, 4);
+  ASSERT_TRUE(eventually([&] {
+    return controlServedSegments(driver, "hist-a").size() +
+               controlServedSegments(driver, "hist-b").size() ==
+           4;
+  })) << "no coordinator ever assigned the segments";
+
+  cluster::RemoteBroker broker(driver, "broker", rpc);
+  // The broker's timeline lags the announcements by a mirror sync; poll
+  // until it sees the full pre-failover answer.
+  ASSERT_TRUE(eventually([&] {
+    const auto first = broker.query(countQuery("ads"));
+    return !first.partial() && first.rows.size() == 1 &&
+           first.rows[0].values[0] == 4 * 120.0;
+  })) << "broker never saw the pre-failover timeline";
+
+  // --- find the leader through /statusz ---------------------------------
+  const auto statusz = [&](std::uint16_t port) -> std::string {
+    try {
+      return httpBody(httpGet(clock_, port, "/statusz"));
+    } catch (const Error&) {
+      return "";
+    }
+  };
+  const auto isLeader = [&](std::uint16_t port) {
+    return statusz(port).find("\"leader\":true") != std::string::npos;
+  };
+  ASSERT_TRUE(eventually([&] { return isLeader(adminA) || isLeader(adminB); }))
+      << "no coordinator ever took leadership";
+  const bool aLeads = isLeader(adminA);
+  const std::string leader = aLeads ? "coord-a" : "coord-b";
+  const std::uint16_t standbyAdmin = aLeads ? adminB : adminA;
+  EXPECT_FALSE(isLeader(standbyAdmin)) << "split brain: two leaders";
+
+  // --- SIGKILL the leader mid-drain -------------------------------------
+  // The drain gives the new leader inherited work: re-replicate hist-b's
+  // segments to hist-a, then drop them (load-before-drop holds across the
+  // leader change), then flip the drain complete.
+  controlDecommission(driver, "hist-b");
+  proc(leader).kill();
+
+  ASSERT_TRUE(eventually([&] { return isLeader(standbyAdmin); }, 20'000))
+      << "standby never took over after the leader was killed";
+  // The new leader fenced itself in with a strictly larger epoch.
+  const std::string standbyStatus = statusz(standbyAdmin);
+  const auto epochAt = standbyStatus.find("\"epoch\":");
+  ASSERT_NE(epochAt, std::string::npos) << standbyStatus;
+  EXPECT_GE(std::atoi(standbyStatus.c_str() + epochAt + 8), 2)
+      << standbyStatus;
+
+  // The inherited drain finishes: hist-a serves everything, hist-b exits.
+  ASSERT_TRUE(eventually(
+      [&] { return controlServedSegments(driver, "hist-a").size() == 4; },
+      30'000))
+      << "the new leader never finished the inherited drain";
+  {
+    const int status = proc("hist-b").wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "hist-b exited with status " << status;
+  }
+
+  // --- post-failover work: new segments land under the new epoch --------
+  publish(4, 6);
+  ASSERT_TRUE(eventually(
+      [&] { return controlServedSegments(driver, "hist-a").size() == 6; },
+      30'000))
+      << "the new leader never assigned the post-failover segments";
+  ASSERT_TRUE(eventually([&] {
+    const auto healed = broker.query(countQuery("ads"));
+    return !healed.partial() && healed.rows.size() == 1 &&
+           healed.rows[0].values[0] == 6 * 120.0;
+  })) << "broker never saw the post-failover timeline";
+
+  // --- graceful shutdown ------------------------------------------------
+  const std::set<std::string> gone = {leader, "hist-b"};
+  for (const auto& name : names_) {
+    if (gone.count(name) > 0) continue;
+    controlShutdown(driver, name);
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (gone.count(names_[i]) > 0) continue;
+    const int status = procs_[i].wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << names_[i] << " exited with status " << status;
+  }
+}
+
 }  // namespace
 }  // namespace dpss::net
