@@ -1,15 +1,15 @@
-// Streaming private search: a standing encrypted watch-list over a live
-// message queue. The monitoring service (broker side) never learns the
+// Standing private subscription: an encrypted watch-list over a live
+// message queue. The monitoring service (server side) never learns the
 // watched keywords; the analyst (client side) periodically collects
-// fixed-size envelopes — communication independent of the stream length —
-// and opens them offline.
+// fixed-size encrypted snapshots — communication independent of the
+// stream length — and opens them offline.
 //
 //   ./examples/streaming_watchlist
 #include <cstdio>
 
 #include "cluster/message_queue.h"
 #include "pss/session.h"
-#include "pss/streaming.h"
+#include "pss/subscription.h"
 
 int main() {
   using namespace dpss;
@@ -23,14 +23,20 @@ int main() {
   params.bloomHashes = 5;
   PrivateSearchClient analyst(dictionary, params, 512, /*seed=*/166);
 
-  // The watch-list stays on the analyst's side; the service sees only Q.
-  const auto encryptedQuery = analyst.makeQuery({"beacon", "rootkit"});
+  // The analyst registers a standing subscription: the watch-list stays
+  // on the analyst's side; the service sees only the encrypted query.
+  SubscriptionSpec spec;
+  spec.docSource = "edr-events";
+  spec.dictionaryWords = dictionary.words();
+  spec.query = analyst.makeQuery({"beacon", "rootkit"});
+  spec.blocksPerSegment = 4;
+  spec.policy.maxDocuments = 50;  // seal a snapshot every 50 events
+  spec.policy.periodMs = 0;
 
   cluster::MessageQueue queue;
   queue.createTopic("edr-events", 1);
 
   // Producer: endpoint telemetry trickles into the queue.
-  Rng noise(5);
   for (int i = 0; i < 150; ++i) {
     std::string event = "benign update check from host" + std::to_string(i);
     if (i == 31) event = "periodic beacon to known bad asn";
@@ -39,24 +45,26 @@ int main() {
     queue.append("edr-events", 0, event);
   }
 
-  // Monitoring service: a standing search drains the queue, sealing an
-  // envelope every 50 events.
-  StandingSearch standing(dictionary, encryptedQuery, /*blocks=*/4,
-                          /*batchSize=*/50, /*seed=*/42);
+  // Monitoring service: the standing matcher folds every event into the
+  // subscription's encrypted buffers, sealing on the fill threshold.
+  SubscriptionMatcher matcher(spec, /*seed=*/42, /*nowMs=*/0);
+  std::vector<SubscriptionSnapshot> snapshots;
   std::uint64_t offset = 0;
   for (const auto& message : queue.poll("edr-events", 0, offset, 1000)) {
-    standing.feed(message.payload);
+    matcher.feed(message.offset, message.payload, message.payload, 0);
     offset = message.offset + 1;
+    if (auto snap = matcher.sealIfDue(0)) snapshots.push_back(std::move(*snap));
   }
-  standing.flush();
+  if (auto snap = matcher.seal(0)) snapshots.push_back(std::move(*snap));
 
-  // Analyst: collect and open.
+  // Analyst: apply each snapshot; the feed dedups replays by position.
+  SubscriptionFeed feed(analyst.privateKey());
   std::size_t hits = 0;
-  for (const auto& envelope : standing.drainEnvelopes()) {
+  for (const auto& snap : snapshots) {
     try {
-      for (const auto& match : analyst.open(envelope)) {
+      for (const auto& match : feed.apply("edr-events", snap.envelope)) {
         std::printf("ALERT @ event %3llu (matched %llu): %s\n",
-                    static_cast<unsigned long long>(match.index),
+                    static_cast<unsigned long long>(match.streamIndex),
                     static_cast<unsigned long long>(match.cValue),
                     match.payload.releaseForClientReconstruction().c_str());
         ++hits;

@@ -101,6 +101,10 @@ echo "== bench smoke: rebalancer invariants vs BENCH_rebalance.json =="
 python3 scripts/check_bench_rebalance.py
 
 echo
+echo "== bench smoke: subscription matcher invariants vs BENCH_subs.json =="
+python3 scripts/check_bench_subs.py
+
+echo
 echo "== clang-tidy: curated .clang-tidy profile over src/ TUs =="
 python3 scripts/run_clang_tidy.py --build-dir build
 

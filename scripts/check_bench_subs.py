@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench smoke gate for the standing-subscription plane.
+
+Runs `bench_subscriptions --quick` (a SubscriptionHost swept over 1, 8,
+and 64 live subscriptions against a fixed document stream) and gates the
+*structural invariants* of the subscription matcher — properties that
+are deterministic functions of the snapshot policy and the document
+generator, identical on every machine:
+
+  - every document is folded into every subscription (folds = subs x docs)
+  - snapshot counts follow exactly from the fill threshold: docs // max
+    fill-seals per subscription plus one commit-barrier seal for the
+    remainder
+  - the decrypted feed recovers every expected match (an oversized block
+    budget, a broken fold, or a bad seal would all surface here)
+  - fold throughput stays flat as subscriptions scale (cost per
+    subscription is independent of how many neighbours it has) — a very
+    loose same-run ratio, never an absolute time
+
+The baseline (BENCH_subs.json, seeded from the full 1 -> 1024 run) is
+held to the same invariants plus scale-independent comparisons (match
+fraction, snapshots per subscription); absolute seconds and folds/sec
+are machine-shaped and never gated.
+
+Usage:
+    scripts/check_bench_subs.py [--bench PATH] [--baseline PATH]
+                                [--flatness 4.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def gate(doc: dict, label: str, flatness: float) -> int:
+    """Checks the structural invariants on one bench document."""
+    failures = 0
+
+    def check(ok: bool, name: str, detail: str):
+        nonlocal failures
+        print(f"{'OK' if ok else 'FAIL'}: {label}: {name}: {detail}")
+        if not ok:
+            failures += 1
+
+    docs = doc.get("documents_per_point", 0)
+    max_docs = doc.get("max_documents_per_snapshot", 0)
+    points = doc.get("points", [])
+    check(docs > 0 and max_docs > 0 and len(points) >= 2,
+          "document shape",
+          f"{len(points)} points, {docs} docs, fill threshold {max_docs}")
+    if failures:
+        return failures
+
+    fills = docs // max_docs
+    remainder = 1 if docs % max_docs else 0
+    for p in points:
+        subs = p.get("subscriptions", 0)
+        check(
+            p.get("folds") == subs * docs,
+            "every document folded into every subscription",
+            f"{p.get('folds')} folds for {subs} subs x {docs} docs",
+        )
+        check(
+            p.get("fill_snapshots") == subs * fills,
+            "fill-threshold seals match the policy",
+            f"{p.get('fill_snapshots')} for {subs} subs x {fills}",
+        )
+        check(
+            p.get("drain_snapshots") == subs * remainder,
+            "commit barrier seals exactly the partial batches",
+            f"{p.get('drain_snapshots')} for {subs} subs x {remainder}",
+        )
+        check(
+            p.get("recovered") == p.get("expected_matches")
+            and p.get("expected_matches", 0) > 0,
+            "feed recovers every expected match",
+            f"recovered {p.get('recovered')} of "
+            f"{p.get('expected_matches')}",
+        )
+        check(
+            p.get("duplicates_dropped") == 0,
+            "no duplicate deliveries in a clean run",
+            f"{p.get('duplicates_dropped')} dropped",
+        )
+
+    # Same-run, same-machine ratio: per-subscription fold cost must not
+    # blow up with fan-out. The band is deliberately loose (timing), but
+    # a matcher that went quadratic in the subscription count fails it.
+    lo, hi = points[0], points[-1]
+    if lo.get("folds_per_s", 0) > 0 and hi.get("folds_per_s", 0) > 0:
+        ratio = lo["folds_per_s"] / hi["folds_per_s"]
+        check(
+            ratio <= flatness,
+            "fold throughput flat across fan-out",
+            f"{lo['folds_per_s']:.0f}/s at {lo['subscriptions']} subs vs "
+            f"{hi['folds_per_s']:.0f}/s at {hi['subscriptions']} subs "
+            f"(ratio {ratio:.2f}, limit {flatness})",
+        )
+    else:
+        check(False, "fold throughput measured", "folds_per_s missing or 0")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="build/bench/bench_subscriptions")
+    parser.add_argument("--baseline", default="BENCH_subs.json")
+    parser.add_argument("--flatness", type=float, default=4.0,
+                        help="max slowdown of folds/s at the largest "
+                             "sweep point vs the smallest")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    proc = subprocess.run(
+        [args.bench, "--quick"], capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        print(f"FAIL: bench exited {proc.returncode}")
+        return 1
+    try:
+        current = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        print(proc.stdout)
+        print(f"FAIL: bench stdout is not valid JSON: {err}")
+        return 1
+
+    # The invariants must hold for the fresh run AND for the seeded
+    # baseline (a stale baseline regenerated from a broken build would
+    # otherwise gate nothing).
+    failures = gate(current, "quick", args.flatness)
+    failures += gate(baseline, "baseline", args.flatness)
+
+    # Scale-independent comparisons: the quick run and the full baseline
+    # share the document generator and the snapshot policy, so the match
+    # fraction and the per-subscription snapshot count must agree
+    # exactly, whatever the machine.
+    def match_fraction(doc: dict) -> float:
+        p = doc["points"][0]
+        return p["expected_matches"] / doc["documents_per_point"]
+
+    def snaps_per_sub(doc: dict) -> float:
+        p = doc["points"][-1]
+        total = p["fill_snapshots"] + p["drain_snapshots"]
+        return total / p["subscriptions"]
+
+    for name, fn in [("match fraction", match_fraction),
+                     ("snapshots per subscription", snaps_per_sub)]:
+        try:
+            cur, base = fn(current), fn(baseline)
+        except (KeyError, IndexError, ZeroDivisionError) as err:
+            print(f"FAIL: {name} not computable: {err!r}")
+            failures += 1
+            continue
+        ok = cur == base
+        print(f"{'OK' if ok else 'FAIL'}: {name} matches baseline: "
+              f"{cur:.3f} vs {base:.3f}")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"{failures} bench gate failure(s)")
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

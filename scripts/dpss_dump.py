@@ -21,9 +21,16 @@ imbalance, throttled work, cumulative loads/drops/moves). This is the
 operator's view while scaling the cluster out or draining nodes (see
 README "Scaling the cluster").
 
+With --subscriptions the dump renders each node's standing-query table
+from /statusz instead: per realtime host one line per hosted
+subscription (id, age, buffer fill %, documents matched, snapshots
+sealed/pending, last acked seq), per broker the registered queries with
+their age and collected-snapshot counts. This is the operator's live
+view of the PR 10 subscription plane (README "Standing subscriptions").
+
 Usage:
-    scripts/dpss_dump.py [-i SECONDS] [-n TOP] [--once] [--placement]
-                         HOST:PORT...
+    scripts/dpss_dump.py [-i SECONDS] [-n TOP] [--once]
+                         [--placement | --subscriptions] HOST:PORT...
 
 HOST:PORT addresses the admin port (not the RPC port); a full URL also
 works. --once prints a single absolute snapshot and exits (CI-friendly).
@@ -178,15 +185,68 @@ def render_placement(target: str, status: dict) -> list:
     return lines
 
 
-def placement_screen(urls: dict, timeout: float) -> str:
-    screen = [time.strftime("dpss-dump --placement  %H:%M:%S")]
+def fmt_age(ms: float) -> str:
+    if ms >= 3_600_000:
+        return f"{ms / 3_600_000:.1f}h"
+    if ms >= 60_000:
+        return f"{ms / 60_000:.1f}m"
+    return f"{ms / 1000:.1f}s"
+
+
+def render_subscriptions(target: str, status: dict) -> list:
+    """One node's /statusz standing-query table."""
+    role = status.get("role", "?")
+    name = status.get("node", target)
+    lines = [f"== {name} ({role}) @ {target} =="]
+    subs = status.get("subscriptions")
+    if subs is None:
+        lines.append("  (no subscription plane on this role)")
+        return lines
+    if not subs:
+        lines.append("  no standing subscriptions")
+        return lines
+
+    if role == "broker":
+        lines.append(
+            f"  {'id':>4}  {'source':<12} {'age':>8} {'snapshots':>10}")
+        for s in subs:
+            lines.append(
+                f"  {s.get('id', 0):>4}  {s.get('doc_source', '?'):<12}"
+                f" {fmt_age(s.get('age_ms', 0)):>8}"
+                f" {s.get('snapshots_collected', 0):>10}"
+            )
+        rounds = status.get("subscription_reconcile_rounds")
+        if rounds is not None:
+            lines.append(f"  reconcile rounds {rounds}")
+        return lines
+
+    lines.append(
+        f"  {'id':>4} {'state':<7} {'age':>8} {'fill':>5}"
+        f" {'docs':>6} {'sealed':>7} {'pending':>8} {'acked':>6}")
+    for s in subs:
+        state = "active" if s.get("active") else "idle"
+        lines.append(
+            f"  {s.get('id', 0):>4} {state:<7}"
+            f" {fmt_age(s.get('age_ms', 0)):>8}"
+            f" {s.get('fill_percent', 0):>4}%"
+            f" {s.get('documents_seen', 0):>6}"
+            f" {s.get('snapshots_sealed', 0):>7}"
+            f" {s.get('pending_snapshots', 0):>8}"
+            f" {s.get('acked_seq', 0):>6}"
+        )
+    return lines
+
+
+def statusz_screen(urls: dict, timeout: float, title: str,
+                   renderer) -> str:
+    screen = [time.strftime(f"dpss-dump {title}  %H:%M:%S")]
     for target, url in urls.items():
         try:
             status = fetch(url, timeout)
         except (urllib.error.URLError, OSError, ValueError) as e:
             screen.append(f"== {target} ==\n  unreachable: {e}")
             continue
-        screen.extend(render_placement(target, status))
+        screen.extend(renderer(target, status))
     return "\n".join(screen)
 
 
@@ -205,12 +265,19 @@ def main() -> int:
     parser.add_argument("--placement", action="store_true",
                         help="show the /statusz membership/placement view "
                              "(served counts, drain state, rebalancer)")
+    parser.add_argument("--subscriptions", action="store_true",
+                        help="show the /statusz standing-subscription view "
+                             "(id, age, fill %%, snapshots delivered)")
     args = parser.parse_args()
+    if args.placement and args.subscriptions:
+        parser.error("--placement and --subscriptions are exclusive")
 
-    if args.placement:
+    if args.placement or args.subscriptions:
         urls = {t: statusz_url(t) for t in args.targets}
+        title = "--placement" if args.placement else "--subscriptions"
+        renderer = render_placement if args.placement else render_subscriptions
         while True:
-            out = placement_screen(urls, args.timeout)
+            out = statusz_screen(urls, args.timeout, title, renderer)
             if args.once:
                 print(out)
                 return 0

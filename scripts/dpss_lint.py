@@ -52,6 +52,13 @@ rules keep the accidental escape hatches shut:
                   Secret*-named) storage outside src/crypto/; byte-level
                   access to key material bypasses the scrubbing dtor and
                   the audited serialize() path.
+  subscription-match -- standing-query matching has exactly one entry
+                  point: SubscriptionMatcher, confined to the
+                  subscription.* files (pss/subscription.* and its owner
+                  cluster/subscription_host.*). Everything else feeds
+                  documents through SubscriptionHost::onDocument. The
+                  seed's deleted StandingSearch stub must not come back
+                  under either name.
 
 A violation can be waived inline with a justification:
 
@@ -165,6 +172,20 @@ PLAINTEXT_RELEASE_EXEMPT = frozenset(
         "src/crypto/sensitive.h",
         "src/pss/session.cc",
         "src/cluster/pss_client.cc",
+    }
+)
+
+# The subscription plane's matcher and its owner: the only files that
+# may name the match entry point. PR 10 folded the seed's streaming.cc
+# stub (StandingSearch) into SubscriptionMatcher; the lint keeps both
+# spellings from leaking back into other layers.
+SUBSCRIPTION_MATCH_EXEMPT = frozenset(
+    {
+        "src/pss/subscription.h",
+        "src/pss/subscription.cc",
+        "src/pss/subscription_feed.cc",
+        "src/cluster/subscription_host.h",
+        "src/cluster/subscription_host.cc",
     }
 )
 
@@ -287,6 +308,19 @@ RULES = [
             "type and the audited PaillierPrivateKey::serialize path"
         ),
         exempt_dirs=frozenset({"src/crypto/"}),
+    ),
+    Rule(
+        name="subscription-match",
+        pattern=re.compile(r"\bSubscriptionMatcher\b|\bStandingSearch\b"),
+        message=(
+            "subscription match entry point outside the subscription.* "
+            "files; standing queries are matched only by "
+            "SubscriptionMatcher (pss/subscription.h) owned by "
+            "SubscriptionHost — feed documents through "
+            "SubscriptionHost::onDocument, and never resurrect the "
+            "deleted StandingSearch stub"
+        ),
+        exempt_files=SUBSCRIPTION_MATCH_EXEMPT,
     ),
 ]
 
@@ -633,6 +667,32 @@ SELFTEST_CASES = [
     (None, "src/crypto/sensitive.cc", "memset(&secret, 0, n);"),
     (None, "src/x/a.cc", "memcpy(dst, src, n);"),  # no secret involved
     (None, "src/x/a.cc", "int consecrated = memcmp(a, b, n);"),
+    (
+        "subscription-match",
+        "src/cluster/realtime_node.cc",
+        "pss::SubscriptionMatcher matcher(spec, seed, now);",
+    ),
+    (
+        "subscription-match",
+        "src/query/broker_node.cc",
+        "StandingSearch search(query);",
+    ),  # the deleted seed stub must not come back
+    (None, "src/pss/subscription.cc",
+     "std::optional<SubscriptionSnapshot> SubscriptionMatcher::seal("),
+    (None, "src/cluster/subscription_host.cc",
+     "entry.matcher = std::make_unique<pss::SubscriptionMatcher>(spec);"),
+    (
+        None,
+        "src/x/a.cc",
+        "subscriptions_.onDocument(offset, text, payload);",
+    ),  # the sanctioned feed path stays clean
+    (
+        None,
+        "src/x/a.cc",
+        "// dpss-lint: allow(subscription-match) doc cross-reference only\n"
+        "// see SubscriptionMatcher for the fold identities\n"
+        "void fold();",
+    ),
 ]
 
 

@@ -5,6 +5,7 @@
 #include "cluster/broker_rpc.h"
 #include "cluster/names.h"
 #include "cluster/stats.h"
+#include "cluster/subscription_broker.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/logging.h"
@@ -65,6 +66,19 @@ void BrokerNode::start() {
       case rpc::kBrokerQuery:
       case rpc::kBrokerSearch:
         return handleBrokerRpc(*this, req);
+      case rpc::kSubscribe:
+      case rpc::kUnsubscribe:
+      case rpc::kSnapshot: {
+        SubscriptionBroker* subs = nullptr;
+        {
+          MutexLock lock(mu_);
+          subs = subscriptions_;
+        }
+        if (subs == nullptr) {
+          throw Unavailable("broker has no subscription plane attached");
+        }
+        return subs->handleRpc(req);
+      }
       default:
         throw CorruptData("unknown broker rpc tag");
     }

@@ -37,6 +37,8 @@
 
 namespace dpss::cluster {
 
+class SubscriptionBroker;
+
 struct BrokerOptions {
   std::size_t scatterThreads = 16;   // parallel per-segment RPCs
   std::size_t resultCacheCapacity = 4096;  // cached (segment, query) entries
@@ -108,6 +110,14 @@ class BrokerNode : public PrivateSearchBroker {
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
 
+  /// Attaches the subscription plane: kSubscribe/kUnsubscribe/kSnapshot
+  /// requests are forwarded to `broker` (which must outlive this node or
+  /// be detached with nullptr first). Unattached brokers reject the verbs.
+  void attachSubscriptions(SubscriptionBroker* broker) {
+    MutexLock lock(mu_);
+    subscriptions_ = broker;
+  }
+
   /// Whether the broker still holds a live registry session (/healthz).
   bool registryLeaseActive() const {
     MutexLock lock(mu_);
@@ -146,6 +156,7 @@ class BrokerNode : public PrivateSearchBroker {
   SessionPtr session_ DPSS_GUARDED_BY(mu_);
   bool running_ DPSS_GUARDED_BY(mu_) = false;
   bool viewDirty_ DPSS_GUARDED_BY(mu_) = true;
+  SubscriptionBroker* subscriptions_ DPSS_GUARDED_BY(mu_) = nullptr;
   View view_ DPSS_GUARDED_BY(mu_);
   std::vector<std::uint64_t> watchIds_ DPSS_GUARDED_BY(mu_);
   // node paths already watched

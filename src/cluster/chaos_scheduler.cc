@@ -23,6 +23,8 @@ const obs::MetricId kRegistryExpiries =
     obs::internCounter("chaos.registry.expiries");
 const obs::MetricId kMembershipEvents =
     obs::internCounter("chaos.membership.events");
+const obs::MetricId kSubscriptionEvents =
+    obs::internCounter("chaos.subscription.events");
 
 }  // namespace
 
@@ -58,6 +60,12 @@ const char* toString(ChaosEventKind kind) {
       return "historical-decommission";
     case ChaosEventKind::kCoordinatorDepose:
       return "coordinator-depose";
+    case ChaosEventKind::kSubscriptionSubscribe:
+      return "subscription-subscribe";
+    case ChaosEventKind::kSubscriptionUnsubscribe:
+      return "subscription-unsubscribe";
+    case ChaosEventKind::kSubscriptionSnapshotDeadline:
+      return "subscription-snapshot-deadline";
   }
   return "unknown";
 }
@@ -96,6 +104,16 @@ std::vector<ClusterChaosEvent> ChaosScheduler::buildSchedule(
     add(ChaosEventKind::kHistoricalDecommission, options.decommissionWeight);
   }
   add(ChaosEventKind::kCoordinatorDepose, options.coordinatorDeposeWeight);
+  // Subscription churn rides behind every older class so legacy seeds
+  // (all three weights 0) replay byte-identically.
+  add(ChaosEventKind::kSubscriptionSubscribe,
+      options.subscriptionSubscribeWeight);
+  add(ChaosEventKind::kSubscriptionUnsubscribe,
+      options.subscriptionUnsubscribeWeight);
+  if (realtimeCount > 0) {
+    add(ChaosEventKind::kSubscriptionSnapshotDeadline,
+        options.subscriptionSnapshotDeadlineWeight);
+  }
   double totalWeight = 0;
   for (const auto& c : classes) totalWeight += c.weight;
   if (classes.empty() || totalWeight <= 0 || options.meanEventGapMs <= 0) {
@@ -181,6 +199,14 @@ std::vector<ClusterChaosEvent> ChaosScheduler::buildSchedule(
       case ChaosEventKind::kHistoricalDecommission:
         // Node resolved at apply time (the live set grows with joins);
         // the raw draw keeps the choice seed-determined.
+        e.target = static_cast<std::uint32_t>(rng.next() & 0xffffffffu);
+        out.push_back(e);
+        break;
+      case ChaosEventKind::kSubscriptionSubscribe:
+      case ChaosEventKind::kSubscriptionUnsubscribe:
+      case ChaosEventKind::kSubscriptionSnapshotDeadline:
+        // Subscribe/unsubscribe targets resolve in the harness hook; the
+        // deadline target is a realtime index reduced at apply time.
         e.target = static_cast<std::uint32_t>(rng.next() & 0xffffffffu);
         out.push_back(e);
         break;
@@ -469,6 +495,44 @@ void ChaosScheduler::apply(const ClusterChaosEvent& e) {
       cluster_.coordinator().elector().depose();
       obs_.counter(kMembershipEvents).inc();
       record(e, true, cluster_.coordinator().name());
+      return;
+    }
+    case ChaosEventKind::kSubscriptionSubscribe: {
+      if (!options_.onSubscriptionSubscribe) {
+        record(e, false, "no-subscribe-hook");
+        return;
+      }
+      const bool ok = options_.onSubscriptionSubscribe(e.target);
+      if (ok) obs_.counter(kSubscriptionEvents).inc();
+      record(e, ok, "subscribe");
+      return;
+    }
+    case ChaosEventKind::kSubscriptionUnsubscribe: {
+      if (!options_.onSubscriptionUnsubscribe) {
+        record(e, false, "no-unsubscribe-hook");
+        return;
+      }
+      const bool ok = options_.onSubscriptionUnsubscribe(e.target);
+      if (ok) obs_.counter(kSubscriptionEvents).inc();
+      record(e, ok, "unsubscribe");
+      return;
+    }
+    case ChaosEventKind::kSubscriptionSnapshotDeadline: {
+      if (cluster_.realtimeCount() == 0) {
+        record(e, false, "no-realtime-nodes");
+        return;
+      }
+      const std::size_t i = e.target % cluster_.realtimeCount();
+      auto& node = cluster_.realtime(i);
+      if (!node.running()) {
+        record(e, false, node.name());
+        return;
+      }
+      // Deadline pressure: force the seal barrier now instead of waiting
+      // for the period/fill trigger, then let delivery proceed normally.
+      node.subscriptions().sealAll();
+      obs_.counter(kSubscriptionEvents).inc();
+      record(e, true, node.name());
       return;
     }
   }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,12 @@ enum class ChaosEventKind : std::uint8_t {
                             // the cluster (node chosen at apply time)
   kCoordinatorDepose,       // leader loses its session without noticing;
                             // exercises epoch fencing + re-election
+  kSubscriptionSubscribe,    // harness hook registers a standing query
+                             // (the scheduler cannot build an encrypted
+                             // query itself — that needs client keys)
+  kSubscriptionUnsubscribe,  // harness hook retires a standing query
+  kSubscriptionSnapshotDeadline,  // forces the seal barrier on one
+                                  // realtime node mid-stream
 };
 
 const char* toString(ChaosEventKind kind);
@@ -115,6 +122,19 @@ struct ChaosScheduleOptions {
   double historicalJoinWeight = 0.0;
   double decommissionWeight = 0.0;
   double coordinatorDeposeWeight = 0.0;
+  /// Subscription churn (PR 10). Also default 0.0 for the same replay
+  /// guarantee: a zero-weight class is dropped before any RNG draw, so
+  /// pre-existing seeds keep producing byte-identical schedules.
+  double subscriptionSubscribeWeight = 0.0;
+  double subscriptionUnsubscribeWeight = 0.0;
+  double subscriptionSnapshotDeadlineWeight = 0.0;
+
+  /// Harness hooks for subscription churn — registering a standing query
+  /// needs client-side key material the scheduler must never hold. The
+  /// argument is the event's raw target draw; return false to log the
+  /// event as skipped. Unset hooks skip their events.
+  std::function<bool(std::uint32_t)> onSubscriptionSubscribe;
+  std::function<bool(std::uint32_t)> onSubscriptionUnsubscribe;
 
   /// Crash events pair with an explicit restart event this far out.
   TimeMs crashDownMinMs = 500;

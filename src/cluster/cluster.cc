@@ -19,6 +19,10 @@ Cluster::Cluster(Clock& clock, ClusterOptions options)
                     .rpcPolicy = options_.rpcPolicy,
                     .pssPackFactor = options_.pssPackFactor});
   broker_->start();
+  subscriptionBroker_ = std::make_unique<SubscriptionBroker>(
+      registry_, metaStore_, transport_,
+      SubscriptionBrokerOptions{.rpc = options_.rpcPolicy});
+  broker_->attachSubscriptions(subscriptionBroker_.get());
   coordinator_ = std::make_unique<CoordinatorNode>(
       "coordinator", registry_, metaStore_, clock_, options_.coordinator);
 }

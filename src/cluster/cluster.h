@@ -15,6 +15,7 @@
 #include "cluster/metastore.h"
 #include "cluster/realtime_node.h"
 #include "cluster/registry.h"
+#include "cluster/subscription_broker.h"
 #include "cluster/transport.h"
 #include "common/clock.h"
 #include "storage/deep_storage.h"
@@ -56,6 +57,9 @@ class Cluster {
   // --- nodes --------------------------------------------------------------
   BrokerNode& broker() { return *broker_; }
   CoordinatorNode& coordinator() { return *coordinator_; }
+  /// The broker-side subscription plane (registration, fan-out,
+  /// snapshot collection). Already attached to broker().
+  SubscriptionBroker& subscriptionBroker() { return *subscriptionBroker_; }
   HistoricalNode& historical(std::size_t i) { return *historicals_.at(i); }
   std::size_t historicalCount() const { return historicals_.size(); }
 
@@ -116,6 +120,7 @@ class Cluster {
   std::vector<RealtimeSlot> realtimes_impl_;
   std::vector<RealtimeNode*> realtimes_;
   std::unique_ptr<BrokerNode> broker_;
+  std::unique_ptr<SubscriptionBroker> subscriptionBroker_;
   std::unique_ptr<CoordinatorNode> coordinator_;
 };
 

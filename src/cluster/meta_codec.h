@@ -55,4 +55,32 @@ inline std::vector<SegmentRecord> readRecords(ByteReader& r) {
   return out;
 }
 
+inline void writeSubscription(ByteWriter& w, const SubscriptionRecord& rec) {
+  w.varint(rec.id);
+  w.str(rec.specBytes);
+  w.i64(rec.createdMs);
+}
+
+inline SubscriptionRecord readSubscription(ByteReader& r) {
+  SubscriptionRecord rec;
+  rec.id = r.varint();
+  rec.specBytes = r.str();
+  rec.createdMs = r.i64();
+  return rec;
+}
+
+inline void writeSubscriptions(ByteWriter& w,
+                               const std::vector<SubscriptionRecord>& recs) {
+  w.varint(recs.size());
+  for (const auto& rec : recs) writeSubscription(w, rec);
+}
+
+inline std::vector<SubscriptionRecord> readSubscriptions(ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<SubscriptionRecord> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(readSubscription(r));
+  return out;
+}
+
 }  // namespace dpss::cluster::meta_codec

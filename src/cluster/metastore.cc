@@ -58,6 +58,27 @@ void MetaStore::setDefaultRules(LoadRules rules) {
   defaultRules_ = rules;
 }
 
+void MetaStore::upsertSubscription(const SubscriptionRecord& record) {
+  MutexLock lock(mu_);
+  subscriptions_[record.id] = record;
+}
+
+void MetaStore::removeSubscription(std::uint64_t id) {
+  MutexLock lock(mu_);
+  subscriptions_.erase(id);
+}
+
+std::vector<SubscriptionRecord> MetaStore::subscriptions() const {
+  MutexLock lock(mu_);
+  std::vector<SubscriptionRecord> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& [id, rec] : subscriptions_) {
+    (void)id;
+    out.push_back(rec);
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, LoadRules>> MetaStore::ruleTable() const {
   MutexLock lock(mu_);
   std::vector<std::pair<std::string, LoadRules>> out;

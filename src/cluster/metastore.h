@@ -27,6 +27,16 @@ struct SegmentRecord {
   std::size_t sizeBytes = 0;
 };
 
+/// Subscription-table row: one standing encrypted query. The spec bytes
+/// are the serialized pss::SubscriptionSpec — opaque ciphertext + public
+/// tuning at this layer, so the metastore (and its journal and the
+/// substrate wire) never depend on the pss types.
+struct SubscriptionRecord {
+  std::uint64_t id = 0;
+  std::string specBytes;
+  std::int64_t createdMs = 0;
+};
+
 /// Virtual for the same reason as Registry: net::RemoteMetaStore forwards
 /// these ops to the coordinator process over TCP.
 class MetaStore {
@@ -56,6 +66,14 @@ class MetaStore {
   virtual LoadRules rulesFor(const std::string& dataSource) const;
   virtual void setDefaultRules(LoadRules rules);
 
+  // --- subscription table ---------------------------------------------
+  /// Inserts or replaces a standing subscription (idempotent upsert).
+  virtual void upsertSubscription(const SubscriptionRecord& record);
+  /// Retires a subscription; unknown ids are a no-op.
+  virtual void removeSubscription(std::uint64_t id);
+  /// All live subscriptions, id-ascending.
+  virtual std::vector<SubscriptionRecord> subscriptions() const;
+
   // --- whole-table enumeration (snapshots) ----------------------------
   // Local-state only: these read the in-memory tables and are NOT
   // forwarded by net::RemoteMetaStore. JournaledMetaStore uses them to
@@ -68,6 +86,8 @@ class MetaStore {
   std::map<storage::SegmentId, SegmentRecord> segments_ DPSS_GUARDED_BY(mu_);
   std::map<std::string, LoadRules> rules_ DPSS_GUARDED_BY(mu_);
   LoadRules defaultRules_ DPSS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, SubscriptionRecord> subscriptions_
+      DPSS_GUARDED_BY(mu_);
 };
 
 }  // namespace dpss::cluster

@@ -20,6 +20,8 @@ constexpr std::uint8_t kOpUpsert = 1;
 constexpr std::uint8_t kOpMarkUnused = 2;
 constexpr std::uint8_t kOpSetRules = 3;
 constexpr std::uint8_t kOpSetDefaultRules = 4;
+constexpr std::uint8_t kOpUpsertSubscription = 5;
+constexpr std::uint8_t kOpRemoveSubscription = 6;
 
 // [u32 len][payload][u64 fnv1a(payload)]
 std::string frame(const std::string& payload) {
@@ -94,6 +96,20 @@ void JournaledMetaStore::setDefaultRules(LoadRules rules) {
   appendOp(kOpSetDefaultRules, w.take());
 }
 
+void JournaledMetaStore::upsertSubscription(const SubscriptionRecord& record) {
+  MetaStore::upsertSubscription(record);
+  ByteWriter w;
+  meta_codec::writeSubscription(w, record);
+  appendOp(kOpUpsertSubscription, w.take());
+}
+
+void JournaledMetaStore::removeSubscription(std::uint64_t id) {
+  MetaStore::removeSubscription(id);
+  ByteWriter w;
+  w.varint(id);
+  appendOp(kOpRemoveSubscription, w.take());
+}
+
 void JournaledMetaStore::snapshotNow() {
   MutexLock lock(jmu_);
   writeSnapshotLocked();
@@ -129,6 +145,13 @@ bool JournaledMetaStore::loadSnapshot() {
     }
     for (const auto& rec : meta_codec::readRecords(s)) {
       MetaStore::upsertSegment(rec);
+    }
+    // Subscription table: absent in pre-PR-10 snapshots, so only read it
+    // when bytes remain (a truncated-but-checksummed older format).
+    if (s.remaining() > 0) {
+      for (const auto& sub : meta_codec::readSubscriptions(s)) {
+        MetaStore::upsertSubscription(sub);
+      }
     }
   } catch (const Error& e) {
     // Checksum passed but decode failed: a format skew, not a torn write.
@@ -177,6 +200,12 @@ void JournaledMetaStore::applyOp(std::uint8_t op, ByteReader& r) {
     case kOpSetDefaultRules:
       MetaStore::setDefaultRules(meta_codec::readRules(r));
       break;
+    case kOpUpsertSubscription:
+      MetaStore::upsertSubscription(meta_codec::readSubscription(r));
+      break;
+    case kOpRemoveSubscription:
+      MetaStore::removeSubscription(r.varint());
+      break;
     default:
       throw CorruptData("unknown metastore journal op: " +
                         std::to_string(op));
@@ -205,6 +234,7 @@ void JournaledMetaStore::writeSnapshotLocked() {
     meta_codec::writeRules(w, r);
   }
   meta_codec::writeRecords(w, allSegments());
+  meta_codec::writeSubscriptions(w, subscriptions());
   const std::string framed = frame(w.take());
 
   const std::string tmp = snapshotPath() + ".tmp";

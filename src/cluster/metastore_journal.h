@@ -37,6 +37,8 @@ class JournaledMetaStore final : public MetaStore {
   void markUnused(const storage::SegmentId& id) override;
   void setRules(const std::string& dataSource, LoadRules rules) override;
   void setDefaultRules(LoadRules rules) override;
+  void upsertSubscription(const SubscriptionRecord& record) override;
+  void removeSubscription(std::uint64_t id) override;
   // Reads inherit the in-memory tables.
 
   /// Forces a snapshot + journal truncation now.

@@ -58,7 +58,9 @@ RealtimeNode::RealtimeNode(std::string name, Registry& registry,
       schema_(std::move(schema)),
       dataSource_(std::move(dataSource)),
       disk_(disk),
-      options_(options) {
+      options_(options),
+      subsHost_(name_, dataSource_, disk_.subscriptions, clock_,
+                options_.subscriptions) {
   DPSS_CHECK_MSG(options_.segmentGranularityMs > 0, "granularity must be > 0");
 }
 
@@ -104,8 +106,17 @@ void RealtimeNode::start() {
       versionCounter_ = static_cast<std::uint64_t>(clock_.nowMs()) * 1000;
     }
   }
-  registry_.create(paths::nodeAnnouncement(name_), "realtime", session,
-                   /*ephemeral=*/true);
+  try {
+    registry_.create(paths::nodeAnnouncement(name_), "realtime", session,
+                     /*ephemeral=*/true);
+  } catch (...) {
+    // Announce conflict (a crashed predecessor's ephemeral not yet swept)
+    // or registry outage: roll back so the caller can retry start().
+    MutexLock lock(mu_);
+    running_ = false;
+    session_.reset();
+    throw;
+  }
   transport_.bind(name_, [this](const std::string& req) {
     return handleRpc(req);
   });
@@ -118,6 +129,9 @@ void RealtimeNode::start() {
     }
   }
   for (const auto b : buckets) announceBucket(b);
+  // Rebuild standing matchers from the specs that survived on disk; their
+  // seq counters and unacked snapshots resume where the crash left them.
+  subsHost_.restore();
   DPSS_LOG(Info) << "realtime node " << name_ << " online from offset "
                  << startOffset;
 }
@@ -141,7 +155,12 @@ void RealtimeNode::stop() {
     offsetToCommit = offset_;
     flushed = true;
   }
-  if (flushed) queue_.commit(name_, topic_, partition_, offsetToCommit);
+  if (flushed) {
+    // Seal-before-commit: every subscription batch reaches disk before
+    // the offset does, so nothing at or below the commit is only in RAM.
+    subsHost_.sealAll();
+    queue_.commit(name_, topic_, partition_, offsetToCommit);
+  }
   teardown();
 }
 
@@ -236,6 +255,7 @@ void RealtimeNode::tick() {
   }
   maybeReregister();
   ingest();
+  subsHost_.sealDue();
   persistIfDue();
   handoffIfDue();
 }
@@ -252,11 +272,16 @@ void RealtimeNode::ingest() {
         queue_.poll(topic_, partition_, pollFrom, options_.maxPollBatch);
     if (messages.empty()) return;
     obs_.counter(kEventsIngested).inc(messages.size());
+    std::vector<storage::InputRow> rows;
+    rows.reserve(messages.size());
+    for (const auto& m : messages) {
+      rows.push_back(storage::decodeInputRow(m.payload));
+    }
     std::vector<TimeMs> newBuckets;
     {
       MutexLock lock(mu_);
-      for (const auto& m : messages) {
-        const auto row = storage::decodeInputRow(m.payload);
+      for (std::size_t i = 0; i < messages.size(); ++i) {
+        const auto& row = rows[i];
         const TimeMs bucket = bucketStart(row.timestamp);
         auto& index = live_[bucket];
         if (index == nullptr) {
@@ -266,8 +291,22 @@ void RealtimeNode::ingest() {
         }
         index->add(row);
         ++eventsIngested_;
-        offset_ = m.offset + 1;
+        offset_ = messages[i].offset + 1;
       }
+    }
+    // Standing subscriptions: match every ingested document outside mu_
+    // (the host has its own lock, and the homomorphic fold is by far the
+    // most expensive step of this loop). The dictionary matches against
+    // the row's dimension values; the recoverable payload is the raw
+    // queue message, so the client reconstructs the full event.
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      std::string matchText;
+      for (const auto& d : rows[i].dimensions) {
+        if (!matchText.empty()) matchText += ' ';
+        matchText += d;
+      }
+      subsHost_.onDocument(messages[i].offset, matchText,
+                           messages[i].payload);
     }
     for (const auto b : newBuckets) announceBucket(b);
   }
@@ -314,6 +353,10 @@ void RealtimeNode::persistIfDue() {
     }
     offsetToCommit = offset_;
   }
+  // Seal-before-commit: subscription batches covering offsets at or below
+  // the commit must be on disk before the offset moves, otherwise a crash
+  // right after the commit would lose matches the queue never replays.
+  subsHost_.sealAll();
   // "a real-time compute node uses the offset of the last message of the
   // most recently persisted index to update the message queue".
   queue_.commit(name_, topic_, partition_, offsetToCommit);
@@ -452,6 +495,10 @@ std::string RealtimeNode::handleRpc(const std::string& request) {
   const auto tag = static_cast<std::uint8_t>(request[0]);
   obs::ScopedRegistry obsScope(obs_);
   if (tag == rpc::kStats) return handleStatsRpc(obs_, request.substr(1));
+  if (tag == rpc::kSubscribe || tag == rpc::kUnsubscribe ||
+      tag == rpc::kSnapshot) {
+    return subsHost_.handleRpc(request);
+  }
   if (tag != rpc::kQuerySegment) throw CorruptData("unsupported rpc");
   obs::SpanGuard rpcSpan("realtime.query_segment");
   const auto req = SegmentQueryRequest::decode(request.substr(1));

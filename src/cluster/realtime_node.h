@@ -26,6 +26,7 @@
 #include "cluster/message_queue.h"
 #include "cluster/metastore.h"
 #include "cluster/registry.h"
+#include "cluster/subscription_host.h"
 #include "cluster/transport.h"
 #include "common/clock.h"
 #include "common/thread_annotations.h"
@@ -40,6 +41,11 @@ namespace dpss::cluster {
 struct NodeDisk {
   // interval start -> persisted immutable snapshots.
   std::map<TimeMs, std::vector<storage::SegmentPtr>> persisted;
+  // Standing-subscription state (specs, snapshot sequence numbers,
+  // sealed-but-unacked snapshots). Surviving here is what ties snapshot
+  // delivery to the committed-offset recovery contract: a restarted node
+  // resumes the same seq space and still holds everything unacked.
+  SubscriptionDiskState subscriptions;
 };
 
 struct RealtimeNodeOptions {
@@ -52,6 +58,8 @@ struct RealtimeNodeOptions {
   // attempt up to the max, measured on the node's clock).
   TimeMs reregisterBackoffMs = 50;
   TimeMs reregisterBackoffMaxMs = 2000;
+  // Standing-subscription host tuning (pending cap, fold sharding).
+  SubscriptionHostOptions subscriptions;
 };
 
 class RealtimeNode {
@@ -109,6 +117,14 @@ class RealtimeNode {
   /// This node's metrics + span store (also served over rpc::kStats).
   obs::MetricsRegistry& metrics() { return obs_; }
 
+  /// The node's standing-subscription host (attach/fetch also arrive over
+  /// rpc::kSubscribe/kUnsubscribe/kSnapshot; direct access is for tests
+  /// and the /statusz subscriptions section).
+  SubscriptionHost& subscriptions() { return subsHost_; }
+  std::vector<SubscriptionHostStatus> subscriptionStatus() const {
+    return subsHost_.status();
+  }
+
   /// Whether the node still holds a live registry session (/healthz).
   bool registryLeaseActive() const {
     MutexLock lock(mu_);
@@ -140,6 +156,9 @@ class RealtimeNode {
   NodeDisk& disk_;
   RealtimeNodeOptions options_;
   obs::MetricsRegistry obs_{name_};
+  // Own mutex inside; safe to call with or without mu_ held (the host
+  // never calls back into the node).
+  SubscriptionHost subsHost_;
 
   // Lock order: realtime mutex before registry mutex — start() and
   // bucket announcements call the registry with mu_ held (see

@@ -1,0 +1,83 @@
+#include "cluster/subscription_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/subscription_rpc.h"
+#include "common/error.h"
+
+namespace dpss::cluster {
+
+SubscriptionClient::SubscriptionClient(TransportIface& transport,
+                                       std::string brokerNode,
+                                       pss::PrivateSearchClient& search,
+                                       RpcPolicy rpc)
+    : transport_(transport),
+      brokerNode_(std::move(brokerNode)),
+      search_(search),
+      rpc_(rpc) {}
+
+pss::SubscriptionId SubscriptionClient::subscribe(
+    const std::set<std::string>& keywords, const std::string& docSource,
+    std::size_t blocksPerSegment, pss::SnapshotPolicy policy) {
+  pss::SubscriptionSpec spec;
+  spec.docSource = docSource;
+  spec.dictionaryWords = search_.dictionary().words();
+  spec.query = search_.makeQuery(keywords);
+  spec.blocksPerSegment = blocksPerSegment;
+  spec.policy = policy;
+  const auto id = registerSubscription(transport_, brokerNode_, spec, rpc_);
+  subs_.emplace(id, Sub{pss::SubscriptionFeed(search_.privateKey()), {}, {}});
+  return id;
+}
+
+void SubscriptionClient::unsubscribe(pss::SubscriptionId id) {
+  unsubscribeOn(transport_, brokerNode_, id, rpc_);
+  subs_.erase(id);
+}
+
+std::vector<pss::RecoveredDocument> SubscriptionClient::poll(
+    pss::SubscriptionId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) {
+    throw InvalidArgument("poll: unknown subscription id " +
+                          std::to_string(id));
+  }
+  Sub& sub = it->second;
+  std::vector<pss::RecoveredDocument> fresh;
+  for (const auto& snap :
+       collectSnapshots(transport_, brokerNode_, id, sub.acks, rpc_)) {
+    try {
+      for (auto& doc : sub.feed.apply(snap.node, snap.envelope)) {
+        fresh.push_back(doc);
+        sub.docs.push_back(std::move(doc));
+      }
+    } catch (const CryptoError&) {
+      // An unsolvable envelope (e.g. more matches than l_F slots — buffer
+      // overflow, the paper's known limitation) yields nothing. Ack it
+      // anyway: retrying the same ciphertext can never succeed.
+      ++unsolvable_;
+    }
+    auto& ack = sub.acks[snap.node];
+    ack = std::max(ack, snap.seq);
+  }
+  return fresh;
+}
+
+const std::vector<pss::RecoveredDocument>& SubscriptionClient::documents(
+    pss::SubscriptionId id) const {
+  const auto it = subs_.find(id);
+  if (it == subs_.end()) {
+    throw InvalidArgument("documents: unknown subscription id " +
+                          std::to_string(id));
+  }
+  return it->second.docs;
+}
+
+std::uint64_t SubscriptionClient::snapshotsApplied(
+    pss::SubscriptionId id) const {
+  const auto it = subs_.find(id);
+  return it == subs_.end() ? 0 : it->second.feed.snapshotsApplied();
+}
+
+}  // namespace dpss::cluster

@@ -1,0 +1,71 @@
+// Trusted-zone client for standing subscriptions: builds the encrypted
+// spec from a keyword set (the server tier only ever sees the encrypted
+// query), registers it at a broker, and incrementally reconstructs the
+// stream of matches from collected snapshots.
+//
+// This translation unit is deliberately NOT marked DPSS_SERVER_ROLE_TU —
+// it holds the Paillier private key (via PrivateSearchClient) and is the
+// only place in the cluster layer where subscription ciphertext becomes
+// plaintext.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/rpc_policy.h"
+#include "cluster/transport.h"
+#include "pss/session.h"
+#include "pss/subscription.h"
+
+namespace dpss::cluster {
+
+class SubscriptionClient {
+ public:
+  /// `search` supplies the dictionary, query encryption and the private
+  /// key; it must outlive the client.
+  SubscriptionClient(TransportIface& transport, std::string brokerNode,
+                     pss::PrivateSearchClient& search, RpcPolicy rpc = {});
+
+  /// Registers a standing disjunction over `keywords` against documents
+  /// from `docSource`. Returns the broker-assigned id.
+  pss::SubscriptionId subscribe(const std::set<std::string>& keywords,
+                                const std::string& docSource,
+                                std::size_t blocksPerSegment = 1,
+                                pss::SnapshotPolicy policy = {});
+
+  /// Retires the subscription cluster-wide.
+  void unsubscribe(pss::SubscriptionId id);
+
+  /// Collects pending snapshots through the broker, applies them to the
+  /// subscription's feed and advances the per-node ack watermarks.
+  /// Returns only the documents new in this poll.
+  std::vector<pss::RecoveredDocument> poll(pss::SubscriptionId id);
+
+  /// Every document recovered so far for `id`, in recovery order.
+  const std::vector<pss::RecoveredDocument>& documents(
+      pss::SubscriptionId id) const;
+
+  std::uint64_t snapshotsApplied(pss::SubscriptionId id) const;
+  std::uint64_t snapshotsUnsolvable() const { return unsolvable_; }
+
+ private:
+  struct Sub {
+    pss::SubscriptionFeed feed;
+    // Highest snapshot seq applied per realtime node; sent as the ack on
+    // the next collect, which lets the node GC delivered snapshots.
+    std::map<std::string, std::uint64_t> acks;
+    std::vector<pss::RecoveredDocument> docs;
+  };
+
+  TransportIface& transport_;
+  std::string brokerNode_;
+  pss::PrivateSearchClient& search_;
+  RpcPolicy rpc_;
+  std::map<pss::SubscriptionId, Sub> subs_;
+  std::uint64_t unsolvable_ = 0;
+};
+
+}  // namespace dpss::cluster

@@ -1,0 +1,91 @@
+// Wire codecs + client helpers for the subscription plane
+// (rpc::kSubscribe / kUnsubscribe / kSnapshot).
+//
+// Two hops speak these verbs:
+//   client -> broker   register a spec (broker assigns the id), retire an
+//                      id, collect snapshots across all realtime nodes
+//                      with per-node ack sequence numbers
+//   broker -> realtime attach/detach a known id on an ingesting node,
+//                      list the ids a node is matching (the reconcile
+//                      probe), fetch one node's pending snapshots
+//
+// Snapshot delivery is ack-based at-least-once: every sealed snapshot
+// carries a per-(node, subscription) monotonic seq; a fetch carries the
+// highest seq the caller has durably applied, the node garbage-collects
+// everything at or below it and returns the rest. Replayed snapshots are
+// harmless — the client's SubscriptionFeed dedups by stream position.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/rpc_policy.h"
+#include "cluster/transport.h"
+#include "pss/subscription.h"
+
+namespace dpss::cluster {
+
+/// Sub-operation byte after rpc::kSubscribe.
+namespace subrpc {
+constexpr std::uint8_t kRegister = 0;  // client -> broker: spec, id assigned
+constexpr std::uint8_t kAttach = 1;    // broker -> realtime: id + spec
+constexpr std::uint8_t kList = 2;      // broker -> realtime: live ids
+/// Sub-operation byte after rpc::kSnapshot.
+constexpr std::uint8_t kCollect = 0;  // client -> broker: fan-in collect
+constexpr std::uint8_t kFetch = 1;    // broker -> realtime: one node
+}  // namespace subrpc
+
+// --- wire codecs (exposed for tests and handlers) ------------------------
+
+std::string encodeRegisterRequest(const pss::SubscriptionSpec& spec);
+std::string encodeAttachRequest(pss::SubscriptionId id,
+                                const pss::SubscriptionSpec& spec);
+std::string encodeListRequest();
+std::string encodeUnsubscribeRequest(pss::SubscriptionId id);
+std::string encodeCollectRequest(
+    pss::SubscriptionId id, const std::map<std::string, std::uint64_t>& acks);
+std::string encodeFetchRequest(pss::SubscriptionId id, std::uint64_t ackSeq);
+
+std::string encodeSnapshotList(
+    const std::vector<pss::SubscriptionSnapshot>& snapshots);
+std::vector<pss::SubscriptionSnapshot> decodeSnapshotList(
+    const std::string& bytes);
+
+// --- client helpers (all through callWithPolicy) -------------------------
+
+/// Registers a standing query at the broker; returns the assigned id.
+pss::SubscriptionId registerSubscription(TransportIface& transport,
+                                         const std::string& brokerNode,
+                                         const pss::SubscriptionSpec& spec,
+                                         const RpcPolicy& rpc = {});
+
+/// Attaches a known subscription on one realtime node (idempotent).
+void attachSubscription(TransportIface& transport, const std::string& node,
+                        pss::SubscriptionId id,
+                        const pss::SubscriptionSpec& spec,
+                        const RpcPolicy& rpc = {});
+
+/// Ids the node is currently matching (the broker's reconcile probe).
+std::vector<pss::SubscriptionId> listSubscriptions(TransportIface& transport,
+                                                   const std::string& node,
+                                                   const RpcPolicy& rpc = {});
+
+/// Retires a subscription on a broker or a realtime node (idempotent).
+void unsubscribeOn(TransportIface& transport, const std::string& node,
+                   pss::SubscriptionId id, const RpcPolicy& rpc = {});
+
+/// Collects pending snapshots for `id` across the cluster via the broker.
+/// `acks` maps realtime node name -> highest seq already applied.
+std::vector<pss::SubscriptionSnapshot> collectSnapshots(
+    TransportIface& transport, const std::string& brokerNode,
+    pss::SubscriptionId id, const std::map<std::string, std::uint64_t>& acks,
+    const RpcPolicy& rpc = {});
+
+/// Fetches one realtime node's pending snapshots past `ackSeq`.
+std::vector<pss::SubscriptionSnapshot> fetchSnapshots(
+    TransportIface& transport, const std::string& node, pss::SubscriptionId id,
+    std::uint64_t ackSeq, const RpcPolicy& rpc = {});
+
+}  // namespace dpss::cluster

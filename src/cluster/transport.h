@@ -190,6 +190,9 @@ constexpr std::uint8_t kBrokerSearch = 6;  // broker: distributed PSS round
 constexpr std::uint8_t kSubstrate = 7;     // registry/metastore/storage ops
 constexpr std::uint8_t kControl = 8;       // dpss_node process control
 constexpr std::uint8_t kSpans = 9;         // span shipping / trace fetch
+constexpr std::uint8_t kSubscribe = 10;    // register/attach a subscription
+constexpr std::uint8_t kUnsubscribe = 11;  // retire a subscription
+constexpr std::uint8_t kSnapshot = 12;     // fetch sealed snapshots (acked)
 }  // namespace rpc
 
 /// Request to scan one served segment.

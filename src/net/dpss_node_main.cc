@@ -50,6 +50,7 @@
 #include "cluster/rpc_policy.h"
 #include "cluster/span_ship.h"
 #include "cluster/stats.h"
+#include "cluster/subscription_broker.h"
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
@@ -296,6 +297,48 @@ void installResolver(dpss::net::NetTransport& transport,
       });
 }
 
+/// The realtime role's /statusz subscription table (one entry per hosted
+/// standing query), consumed by `dpss_dump.py --subscriptions`.
+std::string subscriptionStatusFields(dpss::cluster::RealtimeNode& node) {
+  std::string out = "\"subscriptions\":[";
+  bool first = true;
+  for (const auto& s : node.subscriptionStatus()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"active\":" + std::string(s.active ? "true" : "false");
+    out += ",\"age_ms\":" + std::to_string(s.ageMs);
+    out += ",\"fill_percent\":" + std::to_string(s.fillPercent);
+    out += ",\"documents_seen\":" + std::to_string(s.documentsSeen);
+    out += ",\"snapshots_sealed\":" + std::to_string(s.snapshotsSealed);
+    out += ",\"pending_snapshots\":" + std::to_string(s.pendingSnapshots);
+    out += ",\"acked_seq\":" + std::to_string(s.ackedSeq);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+/// The broker's /statusz view of the registered standing queries.
+std::string subscriptionBrokerStatusFields(
+    dpss::cluster::SubscriptionBroker& subs, dpss::Clock& clock) {
+  const dpss::TimeMs now = clock.nowMs();
+  std::string out = "\"subscriptions\":[";
+  bool first = true;
+  for (const auto& s : subs.status()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(s.id);
+    out += ",\"doc_source\":\"" + s.docSource + "\"";
+    out += ",\"age_ms\":" + std::to_string(now - s.createdMs);
+    out += ",\"snapshots_collected\":" + std::to_string(s.snapshotsCollected);
+    out += "}";
+  }
+  out += "],\"subscription_reconcile_rounds\":" +
+         std::to_string(subs.reconcileRounds());
+  return out;
+}
+
 /// The coordinator's role-specific /statusz section: election state plus
 /// the most recent reconciliation cycle's rebalancer numbers.
 std::string coordinatorStatusFields(dpss::cluster::CoordinatorNode& c) {
@@ -526,7 +569,17 @@ int runRealtime(const Flags& f, dpss::Clock& clock,
   targets.topic = f.topic;
   targets.partition = f.partition;
   dpss::net::bindControl(transport, f.name, "realtime", targets);
-  node.start();
+  // A process restarted right after a crash races its dead predecessor's
+  // ephemeral announcement: wait out the lease sweep instead of dying.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      node.start();
+      break;
+    } catch (const dpss::AlreadyExists&) {
+      if (attempt >= 40 || g_stop != 0) throw;
+      clock.sleepFor(250);
+    }
+  }
   registry.start();
   dpss::net::AdminPlane plane;
   plane.nodeName = f.name;
@@ -540,6 +593,7 @@ int runRealtime(const Flags& f, dpss::Clock& clock,
     for (const auto& id : node.announcedSegments()) out.push_back(id.toString());
     return out;
   };
+  plane.statusFields = [&node] { return subscriptionStatusFields(node); };
   plane.startNs = dpss::obs::nowNanos();
   auto admin = startAdmin(f, clock, std::move(plane));
   auto shipper = makeShipper(f, node.metrics(), transport);
@@ -558,11 +612,21 @@ int runBroker(const Flags& f, dpss::Clock& clock,
               dpss::net::NetTransport& transport) {
   dpss::net::RemoteRegistry registry(transport, dpss::net::kSubstrateNode,
                                      registryOptions(f));
+  // The subscription plane persists standing queries in the authoritative
+  // metastore (journaled when the substrate runs with --meta-dir, so they
+  // survive coordinator failover) and fans them out to realtime nodes.
+  dpss::net::RemoteMetaStore metaStore(transport, dpss::net::kSubstrateNode,
+                                       rpcPolicy(f));
   dpss::cluster::BrokerOptions options;
   options.resultCacheCapacity = f.brokerCache;
   options.rpcPolicy = rpcPolicy(f);
   options.slowQueryMs = f.slowQueryMs;
   dpss::cluster::BrokerNode broker(f.name, registry, transport, options);
+  dpss::cluster::SubscriptionBrokerOptions subOptions;
+  subOptions.rpc = rpcPolicy(f);
+  dpss::cluster::SubscriptionBroker subscriptions(registry, metaStore,
+                                                  transport, subOptions);
+  broker.attachSubscriptions(&subscriptions);
   // The broker dials whatever serves a segment; historicals that joined
   // after launch are routed through their announced endpoints.
   installResolver(transport, registry);
@@ -576,12 +640,27 @@ int runBroker(const Flags& f, dpss::Clock& clock,
   plane.leaseState = [&broker] {
     return std::string(broker.registryLeaseActive() ? "active" : "expired");
   };
+  plane.statusFields = [&subscriptions, &clock] {
+    return subscriptionBrokerStatusFields(subscriptions, clock);
+  };
   plane.startNs = dpss::obs::nowNanos();
   auto admin = startAdmin(f, clock, std::move(plane));
   auto shipper = makeShipper(f, broker.metrics(), transport);
   announceReady(f, transport);
+  // The reconcile loop is throttled well below the tick rate: it probes
+  // every realtime node, which is pointless more than ~twice a second.
+  dpss::TimeMs lastReconcile = 0;
   mainLoop(f, clock, [&] {
     if (shipper) shipper->tick();
+    const dpss::TimeMs now = clock.nowMs();
+    if (now - lastReconcile >= 500) {
+      lastReconcile = now;
+      try {
+        subscriptions.reconcile();
+      } catch (const dpss::Error&) {
+        // Substrate unreachable: the next round retries.
+      }
+    }
   });
   registry.stop();
   broker.stop();

@@ -15,15 +15,20 @@ namespace {
 using cluster::LoadRules;
 using cluster::RegistryEntry;
 using cluster::SegmentRecord;
+using cluster::SubscriptionRecord;
 
 // Row codecs are shared with the metastore journal (one format on the
 // wire and on disk).
 using cluster::meta_codec::readRecord;
 using cluster::meta_codec::readRecords;
 using cluster::meta_codec::readRules;
+using cluster::meta_codec::readSubscription;
+using cluster::meta_codec::readSubscriptions;
 using cluster::meta_codec::writeRecord;
 using cluster::meta_codec::writeRecords;
 using cluster::meta_codec::writeRules;
+using cluster::meta_codec::writeSubscription;
+using cluster::meta_codec::writeSubscriptions;
 
 /// Request builder: [rpc::kSubstrate][subop][args...].
 ByteWriter subRequest(std::uint8_t subop) {
@@ -231,6 +236,15 @@ std::string SubstrateService::handle(const std::string& body) {
       break;
     case substrate_op::kMetaSetDefaultRules:
       metaStore_.setDefaultRules(readRules(r));
+      break;
+    case substrate_op::kMetaSubUpsert:
+      metaStore_.upsertSubscription(readSubscription(r));
+      break;
+    case substrate_op::kMetaSubRemove:
+      metaStore_.removeSubscription(r.varint());
+      break;
+    case substrate_op::kMetaSubList:
+      writeSubscriptions(w, metaStore_.subscriptions());
       break;
     case substrate_op::kDsPut: {
       const std::string key = r.str();
@@ -666,6 +680,23 @@ void RemoteMetaStore::setDefaultRules(LoadRules rules) {
   ByteWriter req = subRequest(substrate_op::kMetaSetDefaultRules);
   writeRules(req, rules);
   call(req.take());
+}
+
+void RemoteMetaStore::upsertSubscription(const SubscriptionRecord& record) {
+  ByteWriter req = subRequest(substrate_op::kMetaSubUpsert);
+  writeSubscription(req, record);
+  call(req.take());
+}
+
+void RemoteMetaStore::removeSubscription(std::uint64_t id) {
+  ByteWriter req = subRequest(substrate_op::kMetaSubRemove);
+  req.varint(id);
+  call(req.take());
+}
+
+std::vector<SubscriptionRecord> RemoteMetaStore::subscriptions() const {
+  OwnedByteReader resp(call(subRequest(substrate_op::kMetaSubList).take()));
+  return readSubscriptions(resp);
 }
 
 // --- RemoteDeepStorage ---------------------------------------------------

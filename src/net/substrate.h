@@ -72,6 +72,9 @@ constexpr std::uint8_t kDsList = 24;
 constexpr std::uint8_t kDsChecksum = 25;
 constexpr std::uint8_t kDsVerify = 26;
 constexpr std::uint8_t kRegAcquireLeader = 30;
+constexpr std::uint8_t kMetaSubUpsert = 31;
+constexpr std::uint8_t kMetaSubRemove = 32;
+constexpr std::uint8_t kMetaSubList = 33;
 }  // namespace substrate_op
 
 /// Serves the authoritative substrates over rpc::kSubstrate. Host the
@@ -207,6 +210,9 @@ class RemoteMetaStore final : public cluster::MetaStore {
                 cluster::LoadRules rules) override;
   cluster::LoadRules rulesFor(const std::string& dataSource) const override;
   void setDefaultRules(cluster::LoadRules rules) override;
+  void upsertSubscription(const cluster::SubscriptionRecord& record) override;
+  void removeSubscription(std::uint64_t id) override;
+  std::vector<cluster::SubscriptionRecord> subscriptions() const override;
 
  private:
   std::string call(const std::string& bytes) const;

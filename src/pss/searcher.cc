@@ -147,6 +147,17 @@ void StreamSearcher::processSegment(
   ++processed_;
 }
 
+void StreamSearcher::padSegments(std::size_t count) {
+  DPSS_CHECK_MSG(processed_ > 0,
+                 "padSegments requires a non-empty batch (base index unset)");
+  // Folding an empty segment multiplies every touched slot by the
+  // ciphertext 1, leaving the buffers byte-identical — so padding is pure
+  // bookkeeping: the padded indices enter [firstIndex, firstIndex + t) for
+  // the client's Bloom scan, but their c-value is provably zero and the
+  // reconstructor discards them as non-matches.
+  processed_ += count;
+}
+
 SearchResultEnvelope StreamSearcher::finish() {
   SearchResultEnvelope env;
   env.prfSeed = prf_.seed();

@@ -91,6 +91,16 @@ class StreamSearcher {
   void setFoldOptions(const FoldOptions& opts) { fold_ = opts; }
   const FoldOptions& foldOptions() const { return fold_; }
 
+  /// Appends `count` empty segments to the batch without folding. An empty
+  /// segment's contribution is the multiplicative identity everywhere
+  /// (c = 0 with blinding r = 1, so E(c) = 1 and E(c·f) = 1), which leaves
+  /// every buffer slot byte-identical — this only advances the index
+  /// bookkeeping. Standing subscriptions use it to pad a partial batch up
+  /// to l_F segments before sealing (the paper requires t > l_F); padded
+  /// indices can never be recovered (their c-value is zero). Requires a
+  /// non-empty batch so the base index is already fixed.
+  void padSegments(std::size_t count);
+
   /// Finishes the batch: hands the buffers + seeds to the caller and
   /// resets internal state for the next batch.
   SearchResultEnvelope finish();

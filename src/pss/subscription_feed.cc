@@ -1,0 +1,33 @@
+// Client-side half of the subscription plane. This TU is deliberately NOT
+// a server-role TU: SubscriptionFeed::apply turns decrypted buffer slots
+// into PlaintextBytes, which only a trusted (client) translation unit may
+// construct — the same split as searcher.cc vs session.cc.
+#include "pss/subscription.h"
+
+namespace dpss::pss {
+
+std::vector<RecoveredDocument> SubscriptionFeed::apply(
+    std::string_view stream, const SearchResultEnvelope& env) {
+  ++snapshotsApplied_;
+  std::vector<RecoveredSegment> segments = reconstructor_.reconstruct(env);
+  std::vector<RecoveredDocument> fresh;
+  for (auto& seg : segments) {
+    DocKey key{std::string(stream), seg.index};
+    if (documents_.find(key) != documents_.end()) {
+      // A crash/replay or an at-least-once redelivery re-covered this
+      // stream position; the payload is identical by construction.
+      ++duplicatesDropped_;
+      continue;
+    }
+    RecoveredDocument doc;
+    doc.stream = key.first;
+    doc.streamIndex = seg.index;
+    doc.cValue = seg.cValue;
+    doc.payload = std::move(seg.payload);
+    documents_.emplace(std::move(key), doc);
+    fresh.push_back(std::move(doc));
+  }
+  return fresh;
+}
+
+}  // namespace dpss::pss

@@ -21,7 +21,9 @@
 #include "cluster/cluster.h"
 #include "cluster/names.h"
 #include "cluster/pss_client.h"
+#include "cluster/subscription_client.h"
 #include "common/error.h"
+#include "pss/plaintext_access.h"
 #include "pss/session.h"
 #include "storage/adtech.h"
 
@@ -446,6 +448,231 @@ TEST(ClusterChaos, MembershipSweepFiftySeedsReplaysByteIdentically) {
   EXPECT_GT(joins, 0u);
   EXPECT_GT(drains, 0u);
   EXPECT_GT(deposes, 0u);
+}
+
+// --- standing subscriptions under chaos ---------------------------------
+
+std::string subEvent(TimeMs ts, const std::string& pub) {
+  InputRow row;
+  row.timestamp = ts;
+  row.dimensions = {pub, "cn"};
+  row.metrics = {1.0, 0.01};
+  return storage::encodeInputRow(row);
+}
+
+ChaosScheduleOptions subscriptionOptions(std::uint64_t seed) {
+  ChaosScheduleOptions o;
+  o.seed = seed;
+  o.horizonMs = 8'000;
+  o.meanEventGapMs = 500;
+  // Subscription churn + realtime crash/replay is the story; everything
+  // else is off so the ledger assertion isolates the snapshot/offset
+  // contract.
+  o.subscriptionSubscribeWeight = 1.5;
+  o.subscriptionUnsubscribeWeight = 1.0;
+  o.subscriptionSnapshotDeadlineWeight = 1.5;
+  o.realtimeCrashWeight = 1.0;
+  o.historicalCrashWeight = 0.0;
+  o.brokerRestartWeight = 0.0;
+  o.storageGetOutageWeight = 0.0;
+  o.storagePutOutageWeight = 0.0;
+  o.storageCorruptReadWeight = 0.0;
+  o.registryExpiryWeight = 0.0;
+  o.crashDownMinMs = 400;
+  o.crashDownMaxMs = 1'600;
+  return o;
+}
+
+TEST(ClusterChaos, SubscriptionZeroWeightsLeaveLegacySchedulesUntouched) {
+  // The replay guarantee again, for the PR 10 classes: schedules built
+  // with the pre-subscription options (all three weights default 0) must
+  // never contain a subscription event.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (const auto& e :
+         ChaosScheduler::buildSchedule(sweepOptions(seed), kHistoricals, 1,
+                                       kT0)) {
+      EXPECT_NE(e.kind, ChaosEventKind::kSubscriptionSubscribe)
+          << "seed " << seed;
+      EXPECT_NE(e.kind, ChaosEventKind::kSubscriptionUnsubscribe)
+          << "seed " << seed;
+      EXPECT_NE(e.kind, ChaosEventKind::kSubscriptionSnapshotDeadline)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ClusterChaos, SubscriptionScheduleIsAPureFunctionOfSeed) {
+  bool sawSubscribe = false, sawUnsubscribe = false, sawDeadline = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto opts = subscriptionOptions(seed);
+    const auto a = ChaosScheduler::buildSchedule(opts, 1, 2, kT0);
+    const auto b = ChaosScheduler::buildSchedule(opts, 1, 2, kT0);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "seed " << seed << " event " << i;
+    }
+    for (const auto& e : a) {
+      sawSubscribe |= e.kind == ChaosEventKind::kSubscriptionSubscribe;
+      sawUnsubscribe |= e.kind == ChaosEventKind::kSubscriptionUnsubscribe;
+      sawDeadline |= e.kind == ChaosEventKind::kSubscriptionSnapshotDeadline;
+    }
+  }
+  EXPECT_TRUE(sawSubscribe);
+  EXPECT_TRUE(sawUnsubscribe);
+  EXPECT_TRUE(sawDeadline);
+}
+
+struct SubscriptionStoryTally {
+  std::size_t chaosSubscribes = 0;
+  std::size_t chaosUnsubscribes = 0;
+  std::size_t deadlines = 0;
+  std::size_t crashes = 0;
+};
+
+/// One seeded subscription chaos story. The invariant under every seed:
+/// the anchor standing query — registered before ingest and never retired
+/// — loses no match at or below a committed offset, despite realtime
+/// crash/replay, forced snapshot deadlines and churn from chaos-created
+/// subscriptions sharing the nodes.
+SubscriptionStoryTally runSubscriptionStory(std::uint64_t seed,
+                                            pss::PrivateSearchClient& search) {
+  SubscriptionStoryTally tally;
+  ManualClock clock(kT0);
+  ClusterOptions options;
+  options.historicalNodes = 1;
+  options.workerThreadsPerNode = 4;
+  options.brokerCacheCapacity = 0;
+  Cluster cluster(clock, options);
+  cluster.messageQueue().createTopic("live", 2);
+  RealtimeNodeOptions rtOptions;
+  rtOptions.segmentGranularityMs = kHour;
+  rtOptions.persistPeriodMs = 2'000;  // several seal-before-commit barriers
+  cluster.addRealtimeNode("live", 0, rtSchema(), "rt-ads", rtOptions);
+  cluster.addRealtimeNode("live", 1, rtSchema(), "rt-ads", rtOptions);
+
+  SubscriptionClient subs(cluster.transport(), "broker", search);
+  pss::SnapshotPolicy policy;
+  policy.periodMs = 1'500;
+  policy.maxDocuments = 8;
+  const auto anchor = subs.subscribe({"sina"}, "rt-ads", 8, policy);
+
+  // Chaos-created subscriptions come and go via the harness hooks; the
+  // scheduler itself never holds key material.
+  std::vector<pss::SubscriptionId> pool;
+  auto opts = subscriptionOptions(seed);
+  opts.onSubscriptionSubscribe = [&](std::uint32_t) {
+    pool.push_back(subs.subscribe({"sohu"}, "rt-ads", 8, policy));
+    return true;
+  };
+  opts.onSubscriptionUnsubscribe = [&](std::uint32_t target) {
+    if (pool.empty()) return false;
+    const std::size_t i = target % pool.size();
+    subs.unsubscribe(pool[i]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  };
+  ChaosScheduler sched(cluster, opts);
+
+  std::multiset<std::string> expectedAnchor;
+  std::multiset<std::string> produced;
+  static const char* kPubs[] = {"sina", "sohu", "weibo"};
+  int step = 0;
+  while (!sched.done()) {
+    clock.advance(250);
+    sched.pump();
+    const std::string payload =
+        subEvent(kT0 + 1'000 + step, kPubs[step % 3]);
+    cluster.messageQueue().append("live", step % 2, payload);
+    produced.insert(payload);
+    if (step % 3 == 0) expectedAnchor.insert(payload);  // "sina"
+    cluster.coordinator().runOnce();
+    for (std::size_t i = 0; i < cluster.realtimeCount(); ++i) {
+      if (cluster.realtime(i).running()) cluster.realtime(i).tick();
+    }
+    // Production runs a throttled reconcile loop on the broker; here it
+    // repairs attach state after crash/restart cycles.
+    cluster.subscriptionBroker().reconcile();
+    if (step % 4 == 3) subs.poll(anchor);  // mid-story incremental delivery
+    ++step;
+  }
+
+  for (const auto& entry : sched.log()) {
+    if (!entry.applied) continue;
+    switch (entry.event.kind) {
+      case ChaosEventKind::kSubscriptionSubscribe:
+        ++tally.chaosSubscribes;
+        break;
+      case ChaosEventKind::kSubscriptionUnsubscribe:
+        ++tally.chaosUnsubscribes;
+        break;
+      case ChaosEventKind::kSubscriptionSnapshotDeadline:
+        ++tally.deadlines;
+        break;
+      case ChaosEventKind::kRealtimeCrash:
+        ++tally.crashes;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Heal and settle: restarted nodes replay from their committed offsets,
+  // then a final seal barrier flushes every partial batch.
+  sched.heal();
+  for (int i = 0; i < 12; ++i) {
+    clock.advance(250);
+    cluster.coordinator().runOnce();
+    for (std::size_t r = 0; r < cluster.realtimeCount(); ++r) {
+      cluster.realtime(r).tick();
+    }
+    cluster.subscriptionBroker().reconcile();
+  }
+  for (std::size_t r = 0; r < cluster.realtimeCount(); ++r) {
+    cluster.realtime(r).subscriptions().sealAll();
+  }
+  subs.poll(anchor);
+
+  // The ledger: every "sina" event produced reconstructs exactly once —
+  // sealed batches survived crashes on disk, unsealed ones were replayed,
+  // and (node, offset) dedup collapses the overlap.
+  std::multiset<std::string> got;
+  for (const auto& doc : subs.documents(anchor)) {
+    got.insert(test::plaintext(doc.payload));
+    EXPECT_GE(doc.cValue, 1u) << "seed " << seed;
+  }
+  EXPECT_EQ(got, expectedAnchor) << "seed " << seed;
+  EXPECT_EQ(subs.snapshotsUnsolvable(), 0u) << "seed " << seed;
+
+  // Chaos survivors deliver only real produced payloads.
+  for (const auto id : pool) {
+    subs.poll(id);
+    for (const auto& doc : subs.documents(id)) {
+      EXPECT_EQ(produced.count(test::plaintext(doc.payload)), 1u)
+          << "seed " << seed;
+    }
+  }
+  return tally;
+}
+
+TEST(ClusterChaos, SubscriptionSweepFiftySeedsLosesNoCommittedMatch) {
+  const pss::Dictionary dict({"sina", "sohu", "weibo"});
+  pss::SearchParams params{
+      .bufferLength = 16, .indexBufferLength = 256, .bloomHashes = 5};
+  pss::PrivateSearchClient search(dict, params, 128, 4242);
+
+  SubscriptionStoryTally total;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto t = runSubscriptionStory(seed, search);
+    total.chaosSubscribes += t.chaosSubscribes;
+    total.chaosUnsubscribes += t.chaosUnsubscribes;
+    total.deadlines += t.deadlines;
+    total.crashes += t.crashes;
+  }
+  // The sweep must actually exercise every churn class and the crash path.
+  EXPECT_GT(total.chaosSubscribes, 0u);
+  EXPECT_GT(total.chaosUnsubscribes, 0u);
+  EXPECT_GT(total.deadlines, 0u);
+  EXPECT_GT(total.crashes, 0u);
 }
 
 TEST(ClusterChaos, ScheduleIsAPureFunctionOfSeed) {

@@ -1,0 +1,24 @@
+// dpss-lint-fixture: expect(subscription-match)
+//
+// Standing-query matching has exactly one entry point: the
+// SubscriptionMatcher owned by SubscriptionHost (the PR 10 successor of
+// the seed's StandingSearch stub, which streaming.cc used to define). A
+// node layer that instantiates its own matcher — or resurrects the old
+// stub — bypasses the host's seal-before-commit barrier and the durable
+// pending-snapshot store, so crash recovery silently loses matches.
+namespace dpss::pss {
+class SubscriptionMatcher;
+struct StandingSearch;
+}  // namespace dpss::pss
+
+namespace dpss::cluster {
+
+void matchInline(pss::SubscriptionMatcher& matcher);
+
+void ingest() {
+  pss::SubscriptionMatcher* rogue = nullptr;  // flagged: matcher outside
+                                              // the subscription plane
+  matchInline(*rogue);
+}
+
+}  // namespace dpss::cluster

@@ -20,6 +20,8 @@
 #include "cluster/metastore.h"
 #include "cluster/pss_client.h"
 #include "cluster/rpc_policy.h"
+#include "cluster/subscription_client.h"
+#include "pss/plaintext_access.h"
 #include "cluster/span_ship.h"
 #include "common/clock.h"
 #include "common/error.h"
@@ -760,6 +762,228 @@ TEST_F(MultiprocessClusterTest, ElasticScaleOutAndDrainUnderLoad) {
   }
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (reaped.count(names_[i]) > 0) continue;
+    const int status = procs_[i].wait();
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << names_[i] << " exited with status " << status;
+  }
+}
+
+// Standing subscriptions across real processes (DESIGN.md §14): eight
+// concurrent standing queries registered at the broker process fan out to
+// two realtime processes over TCP and match continuous ingest; encrypted
+// snapshots flow back and reconstruct incrementally at the driver. One
+// realtime process is SIGKILLed mid-stream and restarted — its local
+// queue dies with it, so the producer replays the log from the start and
+// the client's (node, offset) dedup collapses the overlap, exactly the
+// replay contract the in-process crash tests prove. A historical process
+// joins at runtime halfway through; deliveries continue throughout. At
+// the end every matching event reconstructs exactly once.
+TEST_F(MultiprocessClusterTest, StandingSubscriptionsSurviveKillAndJoin) {
+  const std::uint16_t coordPort = freePort();
+  const std::uint16_t rt0Port = freePort();
+  const std::uint16_t rt1Port = freePort();
+  const std::uint16_t brokerPort = freePort();
+  const std::uint16_t rt0Admin = freePort();
+  const std::uint16_t rt1Admin = freePort();
+  const std::uint16_t brokerAdmin = freePort();
+
+  const std::vector<std::pair<std::string, std::uint16_t>> wiring = {
+      {"substrate", coordPort},
+      {"coordinator", coordPort},
+      {"rt-0", rt0Port},
+      {"rt-1", rt1Port},
+      {"broker", brokerPort},
+  };
+  const std::vector<std::string> rt0Flags = {
+      "--data-source", "rt-events", "--admin-port", std::to_string(rt0Admin),
+      "--trace-sink", ""};
+  spawnRole("coordinator", "coordinator", coordPort, wiring);
+  spawnRole("realtime", "rt-0", rt0Port, wiring, rt0Flags);
+  spawnRole("realtime", "rt-1", rt1Port, wiring,
+            {"--data-source", "rt-events", "--admin-port",
+             std::to_string(rt1Admin), "--trace-sink", ""});
+  spawnRole("broker", "broker", brokerPort, wiring,
+            {"--broker-cache", "0", "--admin-port",
+             std::to_string(brokerAdmin), "--trace-sink", ""});
+
+  NetTransport driver(clock_);
+  driver.start();
+  for (const auto& [name, port] : wiring) {
+    driver.addPeer(name, "127.0.0.1:" + std::to_string(port));
+    driver.addPeer(name + ".ctl", "127.0.0.1:" + std::to_string(port));
+  }
+  for (const auto& name : {"coordinator", "rt-0", "rt-1", "broker"}) {
+    awaitReady(driver, name);
+  }
+
+  cluster::RpcPolicy rpc;
+  rpc.maxAttempts = 3;
+  rpc.initialBackoffMs = 50;
+  rpc.deadlineMs = 4'000;
+
+  // --- register 8 standing queries, one per publisher ------------------
+  std::vector<std::string> pubs;
+  for (int i = 0; i < 8; ++i) pubs.push_back("pub" + std::to_string(i));
+  const pss::Dictionary dict({pubs.begin(), pubs.end()});
+  const pss::SearchParams params{
+      .bufferLength = 16, .indexBufferLength = 256, .bloomHashes = 5};
+  pss::PrivateSearchClient search(dict, params, 128, 4242);
+  cluster::SubscriptionClient subs(driver, "broker", search, rpc);
+  pss::SnapshotPolicy policy;
+  policy.periodMs = 200;  // ticks run at 25ms wall time: seals fast
+  policy.maxDocuments = 8;
+  std::vector<pss::SubscriptionId> ids;
+  for (const auto& pub : pubs) {
+    ids.push_back(subs.subscribe({pub}, "rt-events", 8, policy));
+  }
+
+  // Fan-out readiness: both realtime processes host all 8 (the broker's
+  // own 500ms reconcile loop repairs any registration RPC that raced the
+  // node's announcement).
+  const auto hostedSubscriptions = [&](std::uint16_t adminPort) {
+    std::string body;
+    try {
+      body = httpBody(httpGet(clock_, adminPort, "/statusz"));
+    } catch (const Error&) {
+      return std::size_t{0};
+    }
+    std::size_t count = 0;
+    for (std::size_t at = body.find("{\"id\":"); at != std::string::npos;
+         at = body.find("{\"id\":", at + 1)) {
+      ++count;
+    }
+    return count;
+  };
+  ASSERT_TRUE(eventually([&] {
+    return hostedSubscriptions(rt0Admin) == 8 &&
+           hostedSubscriptions(rt1Admin) == 8;
+  })) << "standing queries never fanned out to both realtime processes";
+  // The broker's own /statusz lists the registry for dpss_dump.py.
+  const std::string brokerStatus =
+      httpBody(httpGet(clock_, brokerAdmin, "/statusz"));
+  EXPECT_NE(brokerStatus.find("\"subscriptions\":["), std::string::npos);
+  EXPECT_NE(brokerStatus.find("\"doc_source\":\"rt-events\""),
+            std::string::npos);
+
+  // --- continuous ingest with an expected-delivery ledger ---------------
+  // Each produced event names one publisher; the ledger records, per
+  // standing query, every payload that must eventually reconstruct. The
+  // producer keeps per-node logs so a killed node's queue can be replayed.
+  std::vector<std::multiset<std::string>> expected(ids.size());
+  std::vector<std::string> log0, log1;
+  int eventSeq = 0;
+  const auto produce = [&](const std::string& node, int count) {
+    std::vector<std::string> batch;
+    for (int i = 0; i < count; ++i, ++eventSeq) {
+      storage::InputRow row;
+      row.timestamp = clock_.nowMs();
+      row.dimensions = {pubs[eventSeq % 8], "us"};
+      row.metrics = {double(eventSeq), 0.0};
+      const std::string payload = storage::encodeInputRow(row);
+      batch.push_back(payload);
+      expected[eventSeq % 8].insert(payload);
+      (node == "rt-0" ? log0 : log1).push_back(payload);
+    }
+    controlIngest(driver, node, batch);
+  };
+  // Polls every standing query until each one's ledger is fully
+  // reconstructed (multiset equality: exactly once, no duplicates).
+  const auto allDelivered = [&] {
+    return eventually([&] {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        subs.poll(ids[i]);
+        std::multiset<std::string> got;
+        for (const auto& doc : subs.documents(ids[i])) {
+          got.insert(dpss::test::plaintext(doc.payload));
+        }
+        if (got != expected[i]) return false;
+      }
+      return true;
+    });
+  };
+
+  produce("rt-0", 16);
+  produce("rt-1", 16);
+  ASSERT_TRUE(allDelivered()) << "phase 1 deliveries never completed";
+
+  // --- SIGKILL one realtime process mid-stream --------------------------
+  proc("rt-0").kill();
+  // Deliveries from the survivor continue while rt-0 is down; the broker
+  // collect loop skips the unreachable node instead of failing the poll.
+  produce("rt-1", 16);
+  ASSERT_TRUE(allDelivered()) << "survivor deliveries stalled during outage";
+
+  // --- runtime historical join (subscriptions keep flowing) -------------
+  const std::uint16_t histPort = freePort();
+  spawnRole("historical", "hist-x", histPort,
+            {{"substrate", coordPort}, {"coordinator", coordPort}},
+            {"--trace-sink", ""});
+  driver.addPeer("hist-x.ctl", "127.0.0.1:" + std::to_string(histPort));
+  awaitReady(driver, "hist-x");
+  RemoteMetaStore metaStore(driver, kSubstrateNode, rpc);
+  RemoteDeepStorage deepStorage(driver, kSubstrateNode, rpc);
+  storage::AdTechConfig config;
+  config.rowsPerSegment = 120;
+  const auto segments = storage::generateAdTechSegments(config, "ads", 2);
+  for (const auto& segment : segments) {
+    const std::string key = segment->id().toString();
+    deepStorage.put(key, storage::encodeSegment(*segment));
+    cluster::SegmentRecord record;
+    record.id = segment->id();
+    record.deepStorageKey = key;
+    record.sizeBytes = segment->memoryFootprint();
+    metaStore.upsertSegment(record);
+  }
+  ASSERT_TRUE(eventually([&] {
+    return controlServedSegments(driver, "hist-x").size() == 2;
+  })) << "runtime joiner never served the published segments";
+
+  // --- restart the killed node ------------------------------------------
+  // Same name, same port: static routes stay valid. The process comes
+  // back empty (its queue and subscription state died with it); the
+  // broker's reconcile loop re-attaches all 8 standing queries.
+  spawnRole("realtime", "rt-0", rt0Port, wiring, rt0Flags);
+  awaitReady(driver, "rt-0");
+  ASSERT_TRUE(eventually([&] { return hostedSubscriptions(rt0Admin) == 8; }))
+      << "reconcile never re-attached the standing queries after restart";
+
+  // Replay rt-0's log from the start, then keep producing. Replayed
+  // events land on the same (node, offset) keys the client has already
+  // reconstructed, so dedup delivers nothing twice; the new events follow
+  // at higher offsets.
+  const std::vector<std::string> replay = log0;
+  controlIngest(driver, "rt-0", replay);
+  produce("rt-0", 16);
+  produce("rt-1", 8);
+  ASSERT_TRUE(allDelivered())
+      << "post-restart deliveries never completed (replay + new events)";
+
+  // Every reconstructed document is a genuine match with a solvable
+  // snapshot: nothing unsolvable, nothing delivered for the wrong word.
+  EXPECT_EQ(subs.snapshotsUnsolvable(), 0u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (const auto& doc : subs.documents(ids[i])) {
+      EXPECT_GE(doc.cValue, 1u);
+    }
+    EXPECT_GT(subs.snapshotsApplied(ids[i]), 0u) << "subscription " << i;
+  }
+
+  // Unsubscribe one query: its hosts drop it; the other seven live on.
+  subs.unsubscribe(ids[0]);
+  ASSERT_TRUE(eventually([&] {
+    return hostedSubscriptions(rt0Admin) == 7 &&
+           hostedSubscriptions(rt1Admin) == 7;
+  })) << "unsubscribe never retired the standing query on the hosts";
+
+  // --- graceful shutdown -------------------------------------------------
+  // procs_[1] is the SIGKILLed first rt-0 incarnation; the control
+  // shutdown reaches the restarted one through the same name/port.
+  for (const auto& name :
+       {"coordinator", "rt-0", "rt-1", "broker", "hist-x"}) {
+    controlShutdown(driver, name);
+  }
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (i == 1) continue;
     const int status = procs_[i].wait();
     EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
         << names_[i] << " exited with status " << status;
